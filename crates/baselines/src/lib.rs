@@ -1,0 +1,26 @@
+//! The comparison systems from the paper's evaluation (Section VII):
+//!
+//! * [`naive`] — the count-only detector from Section IV-C1: put red dots
+//!   at the largest message-count positions;
+//! * [`toretter`] — Sakaki et al.'s social-network event detector applied
+//!   to chat (Section VII-B, Figure 7a): statistical burst alarms with no
+//!   reaction-delay adjustment;
+//! * [`socialskip`] — Chorianopoulos' seek-vote curve over viewer
+//!   interactions (Section VII-C, Figure 8);
+//! * [`moocer`] — Kim et al.'s play-frequency curve with turning-point
+//!   boundaries (Section VII-C, Figure 8).
+//!
+//! All four share the substrate in `lightor-simkit` (histograms,
+//! smoothing, peak detection) and none sees ground truth.
+
+#![warn(missing_docs)]
+
+pub mod moocer;
+pub mod naive;
+pub mod socialskip;
+pub mod toretter;
+
+pub use moocer::Moocer;
+pub use naive::NaiveCount;
+pub use socialskip::SocialSkip;
+pub use toretter::Toretter;

@@ -1,0 +1,125 @@
+//! Moocer (Kim et al., "Understanding in-video dropouts and interaction
+//! peaks", L@S 2014), as described in paper Section VII-C.
+//!
+//! Builds a 1-second-bin *play frequency* histogram — every second a
+//! viewer plays adds +1 to that second's bin — smooths it, finds local
+//! maxima, and reports each highlight as the span between the two turning
+//! points flanking the maximum.
+
+use lightor_simkit::{local_maxima, moving_average, turning_points, Histogram};
+use lightor_types::{Sec, Session, TimeRange};
+
+/// Play-frequency curve extractor.
+#[derive(Clone, Copy, Debug)]
+pub struct Moocer {
+    /// Smoothing radius in bins (1 bin = 1 second).
+    pub smooth_radius: usize,
+}
+
+impl Default for Moocer {
+    fn default() -> Self {
+        Moocer { smooth_radius: 8 }
+    }
+}
+
+impl Moocer {
+    /// The smoothed play-frequency curve (one value per second).
+    pub fn curve(&self, sessions: &[Session], duration: Sec) -> Vec<f64> {
+        if duration.0 <= 0.0 {
+            return Vec::new();
+        }
+        let mut hist = Histogram::with_bin_width(0.0, duration.0, 1.0);
+        for s in sessions {
+            for p in s.plays() {
+                hist.add_range(p.start().0, p.end().0, 1.0);
+            }
+        }
+        moving_average(hist.counts(), self.smooth_radius)
+    }
+
+    /// All extracted highlights (turning-point spans), strongest first.
+    pub fn extract(&self, sessions: &[Session], duration: Sec) -> Vec<TimeRange> {
+        let curve = self.curve(sessions, duration);
+        let mut peaks = local_maxima(&curve);
+        peaks.retain(|&i| curve[i] > 0.0);
+        peaks.sort_by(|&a, &b| curve[b].total_cmp(&curve[a]).then(a.cmp(&b)));
+        peaks
+            .into_iter()
+            .map(|i| {
+                let (l, r) = turning_points(&curve, i);
+                TimeRange::from_secs(l as f64, (r as f64 + 1.0).min(duration.0))
+            })
+            .collect()
+    }
+
+    /// The extracted highlight nearest to `dot` (Figure 8 protocol).
+    pub fn extract_near(
+        &self,
+        sessions: &[Session],
+        duration: Sec,
+        dot: Sec,
+    ) -> Option<TimeRange> {
+        self.extract(sessions, duration)
+            .into_iter()
+            .min_by(|a, b| a.distance_to(dot).total_cmp(&b.distance_to(dot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{Interaction, UserId};
+
+    fn play_sessions(start: f64, end: f64, n: usize) -> Vec<Session> {
+        (0..n)
+            .map(|i| {
+                let jitter = i as f64 * 0.5;
+                Session::new(
+                    UserId(i as u64),
+                    vec![
+                        Interaction::Play { video_ts: Sec(start + jitter) },
+                        Interaction::Pause { video_ts: Sec(end + jitter) },
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn popular_region_becomes_highlight() {
+        let sessions = play_sessions(500.0, 525.0, 10);
+        let m = Moocer::default();
+        let spans = m.extract(&sessions, Sec(1000.0));
+        assert!(!spans.is_empty());
+        let best = spans[0];
+        assert!(
+            best.overlaps(&TimeRange::from_secs(500.0, 525.0)),
+            "span {best}"
+        );
+    }
+
+    #[test]
+    fn turning_points_bound_the_span() {
+        let sessions = play_sessions(500.0, 525.0, 10);
+        let m = Moocer::default();
+        let span = m.extract(&sessions, Sec(1000.0))[0];
+        // The span should not stretch into the un-watched region.
+        assert!(span.start.0 > 450.0 && span.end.0 < 575.0, "span {span}");
+    }
+
+    #[test]
+    fn extract_near_picks_closest() {
+        let mut sessions = play_sessions(300.0, 320.0, 10);
+        sessions.extend(play_sessions(800.0, 825.0, 8));
+        let m = Moocer::default();
+        let near = m.extract_near(&sessions, Sec(1000.0), Sec(810.0)).unwrap();
+        assert!(near.overlaps(&TimeRange::from_secs(800.0, 825.0)), "{near}");
+    }
+
+    #[test]
+    fn no_plays_no_highlights() {
+        let m = Moocer::default();
+        assert!(m.extract(&[], Sec(100.0)).is_empty());
+        assert!(m.curve(&[], Sec(0.0)).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! The naive count-only detector (paper Section IV-C1).
+//!
+//! "Count which part of the video has the largest message number and put a
+//! red dot at that position." Its two documented failure modes — bot
+//! bursts and the reaction delay — are exactly what the prediction and
+//! adjustment stages fix.
+
+use lightor_simkit::{peaks_min_separation, Histogram};
+use lightor_types::{ChatLog, Sec};
+
+/// Count-peak red-dot placement.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveCount {
+    /// Histogram bin width in seconds.
+    pub bin: f64,
+    /// Minimum separation between reported dots (δ), in seconds.
+    pub min_separation: f64,
+}
+
+impl Default for NaiveCount {
+    fn default() -> Self {
+        NaiveCount {
+            bin: 10.0,
+            min_separation: 120.0,
+        }
+    }
+}
+
+impl NaiveCount {
+    /// Top-k message-count peaks, separated by at least δ, highest first.
+    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<Sec> {
+        if duration.0 <= 0.0 || chat.is_empty() {
+            return Vec::new();
+        }
+        let mut hist = Histogram::with_bin_width(0.0, duration.0, self.bin);
+        for m in chat.messages() {
+            hist.add(m.ts.0);
+        }
+        let counts = hist.counts();
+        let sep_bins = (self.min_separation / self.bin).ceil() as usize;
+        let mut peaks = peaks_min_separation(counts, sep_bins.max(1));
+        peaks.sort_by(|&a, &b| counts[b].total_cmp(&counts[a]).then(a.cmp(&b)));
+        peaks
+            .into_iter()
+            .take(k)
+            .map(|i| Sec(hist.bin_center(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{ChatMessage, UserId};
+
+    fn chat_with_bursts(bursts: &[(f64, usize)], duration: f64) -> ChatLog {
+        let mut msgs = Vec::new();
+        for &(at, n) in bursts {
+            for i in 0..n {
+                msgs.push(ChatMessage::new(
+                    at + i as f64 * 0.3,
+                    UserId(i as u64),
+                    "msg",
+                ));
+            }
+        }
+        // Light background.
+        let mut t = 0.0;
+        while t < duration {
+            msgs.push(ChatMessage::new(t, UserId(999), "bg"));
+            t += 20.0;
+        }
+        ChatLog::new(msgs)
+    }
+
+    #[test]
+    fn finds_the_biggest_burst() {
+        let chat = chat_with_bursts(&[(500.0, 30), (1200.0, 12)], 2000.0);
+        let dots = NaiveCount::default().detect(&chat, Sec(2000.0), 2);
+        assert_eq!(dots.len(), 2);
+        assert!((dots[0].0 - 505.0).abs() < 15.0, "first dot {}", dots[0]);
+        assert!((dots[1].0 - 1205.0).abs() < 15.0, "second dot {}", dots[1]);
+    }
+
+    #[test]
+    fn respects_separation() {
+        // Two bursts 60 s apart: only one may be reported at δ = 120.
+        let chat = chat_with_bursts(&[(500.0, 30), (560.0, 25)], 1000.0);
+        let dots = NaiveCount::default().detect(&chat, Sec(1000.0), 5);
+        for i in 0..dots.len() {
+            for j in (i + 1)..dots.len() {
+                assert!((dots[i].0 - dots[j].0).abs() >= 120.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let n = NaiveCount::default();
+        assert!(n.detect(&ChatLog::empty(), Sec(100.0), 3).is_empty());
+        let chat = chat_with_bursts(&[(10.0, 5)], 100.0);
+        assert!(n.detect(&chat, Sec(0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn k_caps_output() {
+        let chat = chat_with_bursts(&[(200.0, 20), (600.0, 15), (1000.0, 10)], 1500.0);
+        assert_eq!(NaiveCount::default().detect(&chat, Sec(1500.0), 2).len(), 2);
+    }
+}

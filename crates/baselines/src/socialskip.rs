@@ -1,0 +1,178 @@
+//! SocialSkip (Chorianopoulos 2013), as described in paper Section VII-C.
+//!
+//! Builds a 1-second-bin interest histogram from *seek* interactions:
+//! a Seek Backward means the skipped-over range was interesting (+1), a
+//! Seek Forward means it was boring (−1). The curve is smoothed, local
+//! maxima become highlights, and each highlight spans ±10 s around its
+//! maximum.
+
+use lightor_simkit::{local_maxima, moving_average, Histogram};
+use lightor_types::{Interaction, Sec, Session, TimeRange};
+
+/// Seek-vote interest curve extractor.
+#[derive(Clone, Copy, Debug)]
+pub struct SocialSkip {
+    /// Smoothing radius in bins (1 bin = 1 second).
+    pub smooth_radius: usize,
+    /// Half-width of the reported highlight around each local maximum.
+    pub half_width: f64,
+}
+
+impl Default for SocialSkip {
+    fn default() -> Self {
+        SocialSkip {
+            smooth_radius: 8,
+            half_width: 10.0,
+        }
+    }
+}
+
+impl SocialSkip {
+    /// The smoothed interest curve (one value per second of video).
+    pub fn curve(&self, sessions: &[Session], duration: Sec) -> Vec<f64> {
+        if duration.0 <= 0.0 {
+            return Vec::new();
+        }
+        let mut hist = Histogram::with_bin_width(0.0, duration.0, 1.0);
+        for s in sessions {
+            for ev in &s.events {
+                match *ev {
+                    Interaction::SeekBackward { from, to } => {
+                        // The jumped-back range [to, from] was interesting.
+                        hist.add_range(to.0, from.0, 1.0);
+                    }
+                    Interaction::SeekForward { from, to } => {
+                        // The skipped range [from, to] was boring.
+                        hist.add_range(from.0, to.0, -1.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        moving_average(hist.counts(), self.smooth_radius)
+    }
+
+    /// All extracted highlights, as `(start, end)` spans around curve
+    /// maxima, strongest first.
+    pub fn extract(&self, sessions: &[Session], duration: Sec) -> Vec<TimeRange> {
+        let curve = self.curve(sessions, duration);
+        let mut peaks = local_maxima(&curve);
+        // Only positive-interest maxima count as highlights.
+        peaks.retain(|&i| curve[i] > 0.0);
+        peaks.sort_by(|&a, &b| curve[b].total_cmp(&curve[a]).then(a.cmp(&b)));
+        peaks
+            .into_iter()
+            .map(|i| {
+                let center = i as f64 + 0.5;
+                TimeRange::from_secs(
+                    (center - self.half_width).max(0.0),
+                    (center + self.half_width).min(duration.0),
+                )
+            })
+            .collect()
+    }
+
+    /// The extracted highlight nearest to `dot` — how the Figure 8
+    /// comparison queries the baseline per red dot.
+    pub fn extract_near(
+        &self,
+        sessions: &[Session],
+        duration: Sec,
+        dot: Sec,
+    ) -> Option<TimeRange> {
+        self.extract(sessions, duration)
+            .into_iter()
+            .min_by(|a, b| {
+                a.distance_to(dot)
+                    .total_cmp(&b.distance_to(dot))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::UserId;
+
+    fn seekback_sessions(target: f64, n: usize) -> Vec<Session> {
+        (0..n)
+            .map(|i| {
+                Session::new(
+                    UserId(i as u64),
+                    vec![
+                        Interaction::Play { video_ts: Sec(target + 30.0) },
+                        Interaction::SeekBackward {
+                            from: Sec(target + 20.0),
+                            to: Sec(target - 5.0),
+                        },
+                        Interaction::Pause { video_ts: Sec(target + 15.0) },
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seekbacks_create_a_peak() {
+        let sessions = seekback_sessions(500.0, 8);
+        let ss = SocialSkip::default();
+        let spans = ss.extract(&sessions, Sec(1000.0));
+        assert!(!spans.is_empty());
+        let best = spans[0];
+        assert!(
+            best.contains(Sec(505.0)),
+            "peak span {best} should cover the rewatched region"
+        );
+        assert!((best.duration().0 - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn seek_forwards_suppress() {
+        let mut sessions = seekback_sessions(500.0, 3);
+        // Heavy skipping over 700..760 must not create a highlight there.
+        for i in 0..10 {
+            sessions.push(Session::new(
+                UserId(100 + i),
+                vec![
+                    Interaction::Play { video_ts: Sec(690.0) },
+                    Interaction::SeekForward { from: Sec(700.0), to: Sec(760.0) },
+                    Interaction::Pause { video_ts: Sec(770.0) },
+                ],
+            ));
+        }
+        let ss = SocialSkip::default();
+        let spans = ss.extract(&sessions, Sec(1000.0));
+        assert!(spans
+            .iter()
+            .all(|s| !s.contains(Sec(730.0)) || s.distance_to(Sec(505.0)).0 == 0.0));
+    }
+
+    #[test]
+    fn extract_near_picks_closest() {
+        let mut sessions = seekback_sessions(300.0, 8);
+        sessions.extend(seekback_sessions(800.0, 6));
+        let ss = SocialSkip::default();
+        let near = ss.extract_near(&sessions, Sec(1000.0), Sec(790.0)).unwrap();
+        assert!(near.contains(Sec(800.0)), "nearest span {near}");
+    }
+
+    #[test]
+    fn no_seeks_no_highlights() {
+        let sessions = vec![Session::new(
+            UserId(0),
+            vec![
+                Interaction::Play { video_ts: Sec(10.0) },
+                Interaction::Pause { video_ts: Sec(50.0) },
+            ],
+        )];
+        let ss = SocialSkip::default();
+        assert!(ss.extract(&sessions, Sec(100.0)).is_empty());
+        assert!(ss.extract_near(&sessions, Sec(100.0), Sec(30.0)).is_none());
+    }
+
+    #[test]
+    fn empty_duration_is_empty() {
+        let ss = SocialSkip::default();
+        assert!(ss.curve(&[], Sec(0.0)).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Toretter-style statistical burst detection (Sakaki et al., "Earthquake
+//! shakes Twitter users", adapted to live chat as in paper Section VII-B).
+//!
+//! Toretter models the number of event-related messages per time window
+//! and raises an alarm when the observed count is statistically
+//! improbable under the baseline rate. Crucially for the comparison in
+//! Figure 7a, it reports the alarm at the *burst* position — it has no
+//! concept of the reaction delay between a video highlight and the chat
+//! discussing it, which is why its Video Precision@K (start) stays under
+//! 20% while LIGHTOR's adjustment stage lifts the same peaks to ~3×
+//! higher precision.
+
+use lightor_simkit::{mean, std_dev, Histogram};
+use lightor_types::{ChatLog, Sec};
+
+/// Statistical burst alarm detector.
+#[derive(Clone, Copy, Debug)]
+pub struct Toretter {
+    /// Aggregation window in seconds.
+    pub window: f64,
+    /// Alarm threshold in baseline standard deviations.
+    pub sigma_threshold: f64,
+    /// Minimum separation between reported alarms (δ), in seconds.
+    pub min_separation: f64,
+}
+
+impl Default for Toretter {
+    fn default() -> Self {
+        Toretter {
+            window: 25.0,
+            sigma_threshold: 2.0,
+            min_separation: 120.0,
+        }
+    }
+}
+
+/// One raised alarm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alarm {
+    /// Alarm position (center of the offending window).
+    pub at: Sec,
+    /// Burst significance in baseline standard deviations.
+    pub z_score: f64,
+}
+
+impl Toretter {
+    /// All alarms over a video, most significant first.
+    pub fn alarms(&self, chat: &ChatLog, duration: Sec) -> Vec<Alarm> {
+        if duration.0 <= 0.0 || chat.is_empty() {
+            return Vec::new();
+        }
+        let mut hist = Histogram::with_bin_width(0.0, duration.0, self.window);
+        for m in chat.messages() {
+            hist.add(m.ts.0);
+        }
+        let counts = hist.counts();
+        let mu = mean(counts).unwrap_or(0.0);
+        let sigma = std_dev(counts).unwrap_or(0.0).max(1e-9);
+
+        let mut alarms: Vec<Alarm> = counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| {
+                let z = (c - mu) / sigma;
+                (z >= self.sigma_threshold).then(|| Alarm {
+                    at: Sec(hist.bin_center(i)),
+                    z_score: z,
+                })
+            })
+            .collect();
+        alarms.sort_by(|a, b| b.z_score.total_cmp(&a.z_score).then(a.at.total_cmp(&b.at)));
+        alarms
+    }
+
+    /// Top-k alarm positions with δ separation — Toretter's "red dots".
+    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<Sec> {
+        let mut chosen: Vec<Sec> = Vec::with_capacity(k);
+        for a in self.alarms(chat, duration) {
+            if chosen
+                .iter()
+                .all(|c| (c.0 - a.at.0).abs() > self.min_separation)
+            {
+                chosen.push(a.at);
+                if chosen.len() == k {
+                    break;
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{ChatMessage, UserId};
+
+    fn chat_with_burst(burst_at: f64, burst_n: usize, duration: f64) -> ChatLog {
+        let mut msgs = Vec::new();
+        let mut t = 0.0;
+        while t < duration {
+            msgs.push(ChatMessage::new(t, UserId(0), "bg"));
+            t += 10.0;
+        }
+        for i in 0..burst_n {
+            msgs.push(ChatMessage::new(
+                burst_at + (i as f64) * 0.4,
+                UserId(i as u64),
+                "burst",
+            ));
+        }
+        ChatLog::new(msgs)
+    }
+
+    #[test]
+    fn alarm_fires_on_burst() {
+        let chat = chat_with_burst(1000.0, 40, 3000.0);
+        let t = Toretter::default();
+        let alarms = t.alarms(&chat, Sec(3000.0));
+        assert!(!alarms.is_empty());
+        assert!(
+            (alarms[0].at.0 - 1008.0).abs() < 26.0,
+            "strongest alarm at {}",
+            alarms[0].at
+        );
+        assert!(alarms[0].z_score >= 2.0);
+    }
+
+    #[test]
+    fn no_alarms_on_flat_traffic() {
+        let chat = chat_with_burst(0.0, 0, 3000.0);
+        let t = Toretter::default();
+        assert!(t.detect(&chat, Sec(3000.0), 5).is_empty());
+    }
+
+    #[test]
+    fn alarm_lands_at_burst_not_highlight_start() {
+        // The burst trails the (hypothetical) highlight at 975 s by 25 s;
+        // Toretter reports the burst position — the systematic lateness
+        // Figure 7a punishes.
+        let chat = chat_with_burst(1000.0, 40, 3000.0);
+        let dots = Toretter::default().detect(&chat, Sec(3000.0), 1);
+        assert!(dots[0].0 >= 995.0, "dot {} should sit at the burst", dots[0]);
+    }
+
+    #[test]
+    fn separation_is_enforced() {
+        let mut msgs = chat_with_burst(1000.0, 40, 3000.0).into_messages();
+        msgs.extend(chat_with_burst(1060.0, 35, 3000.0).into_messages());
+        let chat = ChatLog::new(msgs);
+        let dots = Toretter::default().detect(&chat, Sec(3000.0), 5);
+        for i in 0..dots.len() {
+            for j in (i + 1)..dots.len() {
+                assert!((dots[i].0 - dots[j].0).abs() > 120.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chat_is_empty() {
+        let t = Toretter::default();
+        assert!(t.alarms(&ChatLog::empty(), Sec(100.0)).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Ablation benches for the design choices DESIGN.md calls out: sliding
+//! window size, red-dot separation δ, the filter stages, and the feature
+//! sets. These measure *quality* (printed once) and *cost* (criterion).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightor::{
+    filter_plays, ExtractorConfig, FeatureSet, HighlightInitializer, InitializerConfig,
+    TrainingVideo,
+};
+use lightor_bench::bench_dataset;
+use lightor_chatsim::SimVideo;
+use lightor_eval::metrics::video_precision_start;
+use lightor_types::{Play, PlaySet, Sec};
+
+fn train_with_window(videos: &[&SimVideo], window_len: f64) -> HighlightInitializer {
+    let views: Vec<TrainingVideo> = videos
+        .iter()
+        .map(|v| TrainingVideo {
+            chat: &v.video.chat,
+            duration: v.video.meta.duration,
+            highlights: &v.video.highlights,
+            label_ranges: &v.response_ranges,
+        })
+        .collect();
+    HighlightInitializer::train(
+        &views,
+        FeatureSet::Full,
+        InitializerConfig {
+            window_len,
+            ..InitializerConfig::default()
+        },
+    )
+}
+
+/// Window-size ablation: cost of training+scoring at 10/25/50 s windows,
+/// with the resulting precision printed once per size.
+fn bench_window_size(c: &mut Criterion) {
+    let data = bench_dataset();
+    let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
+    let test = &data.videos[3];
+
+    let mut g = c.benchmark_group("ablation_window_size");
+    g.sample_size(10);
+    for window in [10.0, 25.0, 50.0] {
+        let init = train_with_window(&train, window);
+        let dots = init.red_dots(&test.video.chat, test.video.meta.duration, 5);
+        let starts: Vec<Sec> = dots.iter().map(|d| d.at).collect();
+        println!(
+            "[ablation] window {window:>4.0} s -> P@5(start) = {:.3}",
+            video_precision_start(&starts, test)
+        );
+        g.bench_function(format!("score_w{window:.0}"), |b| {
+            b.iter(|| black_box(init.red_dots(&test.video.chat, test.video.meta.duration, 5)))
+        });
+    }
+    g.finish();
+}
+
+/// Separation ablation: δ ∈ {30, 120, 300} changes how far apart the
+/// top-k dots must sit.
+fn bench_separation(c: &mut Criterion) {
+    let data = bench_dataset();
+    let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
+    let test = &data.videos[3];
+
+    let mut g = c.benchmark_group("ablation_separation");
+    g.sample_size(10);
+    for sep in [30.0, 120.0, 300.0] {
+        let views: Vec<TrainingVideo> = train
+            .iter()
+            .map(|v| TrainingVideo {
+                chat: &v.video.chat,
+                duration: v.video.meta.duration,
+                highlights: &v.video.highlights,
+                label_ranges: &v.response_ranges,
+            })
+            .collect();
+        let init = HighlightInitializer::train(
+            &views,
+            FeatureSet::Full,
+            InitializerConfig {
+                min_separation: sep,
+                ..InitializerConfig::default()
+            },
+        );
+        let dots = init.red_dots(&test.video.chat, test.video.meta.duration, 8);
+        let starts: Vec<Sec> = dots.iter().map(|d| d.at).collect();
+        println!(
+            "[ablation] delta {sep:>4.0} s -> P@8(start) = {:.3} ({} dots)",
+            video_precision_start(&starts, test),
+            dots.len()
+        );
+        g.bench_function(format!("top8_sep{sep:.0}"), |b| {
+            b.iter(|| black_box(init.red_dots(&test.video.chat, test.video.meta.duration, 8)))
+        });
+    }
+    g.finish();
+}
+
+/// Filter ablation: full filter vs no graph-outlier stage vs no filter.
+fn bench_filter_stages(c: &mut Criterion) {
+    let plays: PlaySet = (0..48)
+        .map(|i| {
+            let s = 1955.0 + (i as f64 * 11.7) % 100.0;
+            Play::from_secs(s, s + 4.0 + (i as f64 * 5.3) % 50.0)
+        })
+        .collect();
+    let dot = Sec(2000.0);
+    let full = ExtractorConfig::default();
+    // Disabling length/distance rules approximates "no filtering".
+    let loose = ExtractorConfig {
+        min_play_len: 0.0,
+        max_play_len: f64::MAX,
+        max_dot_distance: f64::MAX,
+        ..full
+    };
+    let mut g = c.benchmark_group("ablation_filter");
+    g.bench_function("full_filter", |b| {
+        b.iter(|| black_box(filter_plays(&plays, dot, &full)))
+    });
+    g.bench_function("scope_only", |b| {
+        b.iter(|| black_box(filter_plays(&plays, dot, &loose)))
+    });
+    g.finish();
+}
+
+/// Feature-set ablation: training cost of 1/2/3-feature models.
+fn bench_feature_sets(c: &mut Criterion) {
+    let data = bench_dataset();
+    let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
+    let views: Vec<TrainingVideo> = train
+        .iter()
+        .map(|v| TrainingVideo {
+            chat: &v.video.chat,
+            duration: v.video.meta.duration,
+            highlights: &v.video.highlights,
+            label_ranges: &v.response_ranges,
+        })
+        .collect();
+    let mut g = c.benchmark_group("ablation_features");
+    g.sample_size(10);
+    for fs in FeatureSet::ALL {
+        g.bench_function(format!("train_{fs:?}"), |b| {
+            b.iter(|| {
+                black_box(HighlightInitializer::train(
+                    &views,
+                    fs,
+                    InitializerConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_size,
+    bench_separation,
+    bench_filter_stages,
+    bench_feature_sets,
+);
+criterion_main!(benches);

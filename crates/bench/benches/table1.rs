@@ -1,0 +1,53 @@
+//! Table I bench: the training-time comparison is itself the headline of
+//! the paper's Table I, so it gets a dedicated criterion target —
+//! `lightor_train` vs `joint_lstm_train` is the reproduced ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightor::FeatureSet;
+use lightor_chatsim::{lol_dataset, SimVideo};
+use lightor_eval::harness::train_initializer;
+use lightor_neural::joint_lstm::{JointLstm, JointLstmConfig, JointVideo};
+use lightor_neural::{synthetic_frame_features, VisualConfig};
+
+fn bench_lightor_training(c: &mut Criterion) {
+    let data = lol_dataset(1, 0x7AB);
+    let train: Vec<&SimVideo> = data.videos.iter().collect();
+    c.bench_function("table1_lightor_train_1_video", |b| {
+        b.iter(|| black_box(train_initializer(&train, FeatureSet::Full)))
+    });
+}
+
+fn bench_joint_lstm_training(c: &mut Criterion) {
+    let data = lol_dataset(2, 0x7AB);
+    let vis = VisualConfig::default();
+    let frames: Vec<Vec<[f32; 4]>> = data
+        .videos
+        .iter()
+        .map(|sv| synthetic_frame_features(&sv.video, &vis, 0x7AC))
+        .collect();
+    let videos: Vec<JointVideo> = data
+        .videos
+        .iter()
+        .zip(&frames)
+        .map(|(sv, f)| JointVideo {
+            frames: f,
+            chat: &sv.video.chat,
+            duration: sv.video.meta.duration,
+            highlights: &sv.video.highlights,
+        })
+        .collect();
+    let cfg = JointLstmConfig {
+        epochs: 1,
+        max_samples: 400,
+        ..JointLstmConfig::default()
+    };
+    let mut g = c.benchmark_group("table1_joint_lstm");
+    g.sample_size(10);
+    g.bench_function("train_2_videos_1_epoch", |b| {
+        b.iter(|| black_box(JointLstm::train(&videos, cfg, 0x7AD)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lightor_training, bench_joint_lstm_training);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared fixtures for the criterion benches: pre-generated datasets and
+//! pre-trained models so the benches measure algorithm cost, not setup.
+
+use lightor::{FeatureSet, HighlightInitializer};
+use lightor_chatsim::{dota2_dataset, Dataset, SimVideo};
+use lightor_eval::harness::train_initializer;
+
+/// A small Dota2 dataset shared by the micro benches.
+pub fn bench_dataset() -> Dataset {
+    dota2_dataset(4, 0xBE7C)
+}
+
+/// An initializer trained on the first half of [`bench_dataset`].
+pub fn bench_initializer(data: &Dataset) -> HighlightInitializer {
+    let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
+    train_initializer(&train, FeatureSet::Full)
+}

@@ -1,0 +1,359 @@
+//! Chat replay synthesis.
+//!
+//! A video's chat is the superposition of four event processes:
+//!
+//! 1. **Background chatter** — homogeneous Poisson at the video's base
+//!    rate, mostly medium-length messages with occasional stray reactions.
+//! 2. **Reaction bursts** — one per ground-truth highlight. Viewers can
+//!    only comment on a highlight *after* seeing it (Section IV-C1), so
+//!    the burst window opens a reaction delay after the highlight starts
+//!    and its rate follows a triangular profile (ramp up, peak, decay):
+//!    the message-count peak the adjustment stage anchors on.
+//! 3. **Bot bursts** — advertisement spam: many long, near-identical
+//!    messages in a few seconds (the false-positive family that defeats
+//!    the count-only detector, Section IV-C1).
+//! 4. **Off-topic bursts** — conversation flare-ups: many short but
+//!    lexically diverse messages (the family the similarity feature
+//!    defeats, Section VII-B).
+
+use crate::game::GameProfile;
+use crate::lexicon::{self, MessageKind};
+use crate::video::VideoSpec;
+use lightor_simkit::dist::{coin, uniform, PoissonProcess, TruncNormal};
+use lightor_simkit::SimRng;
+use lightor_types::{ChatLog, ChatMessage, LabeledVideo, TimeRange, UserId};
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// A fully generated video: the labelled dataset unit plus the generator's
+/// ground truth about *chat* (which the paper's human labellers produced by
+/// watching: "is this window talking about a highlight?").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimVideo {
+    /// Metadata, chat replay and highlight labels.
+    pub video: LabeledVideo,
+    /// Reaction-burst window per highlight (index-aligned with
+    /// `video.highlights`) — the analog of human window labels.
+    pub response_ranges: Vec<TimeRange>,
+    /// True reaction delay per highlight, in seconds.
+    pub reaction_delays: Vec<f64>,
+}
+
+impl SimVideo {
+    /// True if `range` overlaps any highlight's reaction burst — the
+    /// window-labelling rule used to train and score the prediction stage.
+    pub fn window_is_highlight(&self, range: TimeRange) -> bool {
+        self.response_ranges.iter().any(|r| r.overlaps(&range))
+    }
+}
+
+/// Synthesizes chat replays for [`VideoSpec`]s.
+#[derive(Clone, Debug)]
+pub struct ChatGenerator {
+    profile: GameProfile,
+}
+
+/// Fraction of the reaction-burst window at which the message rate peaks.
+const BURST_PEAK_FRAC: f64 = 0.35;
+
+impl ChatGenerator {
+    /// A generator for the given game profile.
+    pub fn new(profile: GameProfile) -> Self {
+        ChatGenerator { profile }
+    }
+
+    /// Generate the chat replay for `spec`.
+    pub fn generate(&self, spec: &VideoSpec, rng: &mut SimRng) -> SimVideo {
+        let mut messages: Vec<ChatMessage> = Vec::new();
+        let dur = spec.meta.duration.0;
+
+        self.background(spec, &mut messages, rng);
+        let (response_ranges, reaction_delays) =
+            self.reaction_bursts(spec, &mut messages, rng);
+        self.bot_bursts(spec, &mut messages, rng);
+        self.offtopic_bursts(spec, &mut messages, rng);
+
+        debug_assert!(messages.iter().all(|m| m.ts.0 >= 0.0 && m.ts.0 <= dur));
+
+        SimVideo {
+            video: LabeledVideo {
+                meta: spec.meta.clone(),
+                chat: ChatLog::new(messages),
+                highlights: spec.highlights.clone(),
+            },
+            response_ranges,
+            reaction_delays,
+        }
+    }
+
+    fn random_user(&self, rng: &mut SimRng) -> UserId {
+        UserId(rng.gen_range(0..self.profile.chatter_pool))
+    }
+
+    fn background(&self, spec: &VideoSpec, out: &mut Vec<ChatMessage>, rng: &mut SimRng) {
+        let proc = PoissonProcess::new(spec.background_rate);
+        for t in proc.sample_times(0.0, spec.meta.duration.0, rng) {
+            // Mostly chatter; a sprinkle of stray reactions and questions
+            // keeps single hype tokens from being a perfect highlight tell.
+            let kind = if coin(rng, 0.08) {
+                MessageKind::Hype
+            } else if coin(rng, 0.05) {
+                MessageKind::OffTopic
+            } else {
+                MessageKind::Background
+            };
+            let user = self.random_user(rng);
+            out.push(ChatMessage::new(
+                t,
+                user,
+                lexicon::generate(rng, kind, self.profile.game),
+            ));
+        }
+    }
+
+    /// One triangular-rate burst per highlight; returns the burst windows
+    /// and the sampled delays.
+    fn reaction_bursts(
+        &self,
+        spec: &VideoSpec,
+        out: &mut Vec<ChatMessage>,
+        rng: &mut SimRng,
+    ) -> (Vec<TimeRange>, Vec<f64>) {
+        let p = &self.profile;
+        let delay_dist = TruncNormal::new(
+            p.reaction_delay_mean,
+            p.reaction_delay_std,
+            p.reaction_delay_bounds.0,
+            p.reaction_delay_bounds.1,
+        );
+        let dur = spec.meta.duration.0;
+        let mut windows = Vec::with_capacity(spec.highlights.len());
+        let mut delays = Vec::with_capacity(spec.highlights.len());
+
+        for h in &spec.highlights {
+            let delay = delay_dist.sample(rng);
+            let burst_len = uniform(rng, p.burst_len.0, p.burst_len.1);
+            let start = (h.start().0 + delay).min(dur - 1.0);
+            let end = (start + burst_len).min(dur);
+            let window = TimeRange::from_secs(start, end);
+
+            // Everyone reacts to the same moment: the burst concentrates
+            // on a few focus tokens (the similarity feature's signal).
+            let focus = lexicon::hype_focus(rng, p.game);
+            let mult = uniform(rng, p.burst_multiplier.0, p.burst_multiplier.1);
+            // Thinning against the triangular envelope: expected message
+            // count = background_rate * mult * burst_len.
+            let max_rate = spec.background_rate * mult * 2.0;
+            let candidates = PoissonProcess::new(max_rate).sample_times(start, end, rng);
+            for t in candidates {
+                let x = (t - start) / (end - start).max(1e-9);
+                let envelope = if x < BURST_PEAK_FRAC {
+                    x / BURST_PEAK_FRAC
+                } else {
+                    (1.0 - x) / (1.0 - BURST_PEAK_FRAC)
+                };
+                if coin(rng, envelope) {
+                    let user = self.random_user(rng);
+                    let text = if coin(rng, 0.88) {
+                        lexicon::hype_with_focus(rng, &focus, p.game)
+                    } else {
+                        lexicon::generate(rng, MessageKind::Background, p.game)
+                    };
+                    out.push(ChatMessage::new(t, user, text));
+                }
+            }
+            windows.push(window);
+            delays.push(delay);
+        }
+        (windows, delays)
+    }
+
+    fn bot_bursts(&self, spec: &VideoSpec, out: &mut Vec<ChatMessage>, rng: &mut SimRng) {
+        let dur = spec.meta.duration.0;
+        let hours = dur / 3600.0;
+        let n = sample_count(self.profile.bot_bursts_per_hour * hours, rng);
+        for _ in 0..n {
+            let start = uniform(rng, 0.0, (dur - 30.0).max(1.0));
+            let len = uniform(rng, 8.0, 18.0);
+            let rate = uniform(rng, 0.9, 2.2);
+            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng)
+            {
+                out.push(ChatMessage::new(
+                    t,
+                    UserId::BOT,
+                    lexicon::generate(rng, MessageKind::Bot, self.profile.game),
+                ));
+            }
+        }
+    }
+
+    fn offtopic_bursts(&self, spec: &VideoSpec, out: &mut Vec<ChatMessage>, rng: &mut SimRng) {
+        let dur = spec.meta.duration.0;
+        let hours = dur / 3600.0;
+        let n = sample_count(self.profile.offtopic_bursts_per_hour * hours, rng);
+        for _ in 0..n {
+            let start = uniform(rng, 0.0, (dur - 40.0).max(1.0));
+            let len = uniform(rng, 15.0, 30.0);
+            let rate = spec.background_rate * uniform(rng, 2.5, 5.0);
+            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng)
+            {
+                let user = self.random_user(rng);
+                out.push(ChatMessage::new(
+                    t,
+                    user,
+                    lexicon::generate(rng, MessageKind::OffTopic, self.profile.game),
+                ));
+            }
+        }
+    }
+}
+
+fn sample_count(mean: f64, rng: &mut SimRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    Poisson::new(mean).expect("positive mean").sample(rng) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoGenerator;
+    use lightor_simkit::SeedTree;
+    use lightor_types::{ChannelId, VideoId};
+
+    fn gen_sim(profile: GameProfile, idx: u64, seed: u64) -> SimVideo {
+        let vg = VideoGenerator::new(profile.clone());
+        let cg = ChatGenerator::new(profile);
+        let root = SeedTree::new(seed);
+        let mut vrng = root.child("video").index(idx).rng();
+        let spec = vg.generate(VideoId(idx), ChannelId(0), &mut vrng);
+        let mut crng = root.child("chat").index(idx).rng();
+        cg.generate(&spec, &mut crng)
+    }
+
+    #[test]
+    fn message_counts_match_paper_band() {
+        // Paper Section VII-A: 800-4300 messages per video. Allow modest
+        // slack since our counts are random draws.
+        for i in 0..12 {
+            let sv = gen_sim(GameProfile::dota2(), i, 11);
+            let n = sv.video.chat.len();
+            assert!(
+                (550..=5200).contains(&n),
+                "video {i}: {n} messages, duration {}",
+                sv.video.meta.duration
+            );
+        }
+    }
+
+    #[test]
+    fn chat_is_sorted_and_in_range() {
+        let sv = gen_sim(GameProfile::lol(), 0, 12);
+        let msgs = sv.video.chat.messages();
+        assert!(msgs.windows(2).all(|w| w[0].ts.0 <= w[1].ts.0));
+        let dur = sv.video.meta.duration.0;
+        assert!(msgs.iter().all(|m| (0.0..=dur).contains(&m.ts.0)));
+    }
+
+    #[test]
+    fn bursts_follow_highlights_with_delay() {
+        let sv = gen_sim(GameProfile::dota2(), 1, 13);
+        for (h, (w, d)) in sv
+            .video
+            .highlights
+            .iter()
+            .zip(sv.response_ranges.iter().zip(&sv.reaction_delays))
+        {
+            assert!(
+                (6.0..=26.0).contains(d),
+                "delay {d} outside truncation bounds"
+            );
+            assert!((w.start.0 - (h.start().0 + d)).abs() < 1.5);
+            assert!(w.end.0 > w.start.0);
+        }
+    }
+
+    #[test]
+    fn burst_windows_have_elevated_rate() {
+        let sv = gen_sim(GameProfile::dota2(), 2, 14);
+        let chat = &sv.video.chat;
+        let dur = sv.video.meta.duration.0;
+        // Compare burst-window rate against the whole-video average rate.
+        let avg_rate = chat.len() as f64 / dur;
+        let mut elevated = 0;
+        for w in &sv.response_ranges {
+            let n = chat.count_in(*w) as f64;
+            let rate = n / w.duration().0.max(1e-9);
+            if rate > 1.5 * avg_rate {
+                elevated += 1;
+            }
+        }
+        // The vast majority of bursts must be visibly elevated.
+        assert!(
+            elevated * 10 >= sv.response_ranges.len() * 7,
+            "{elevated}/{} bursts elevated",
+            sv.response_ranges.len()
+        );
+    }
+
+    #[test]
+    fn hype_messages_are_shorter_in_bursts() {
+        let sv = gen_sim(GameProfile::dota2(), 3, 15);
+        let chat = &sv.video.chat;
+        let mut burst_len = Vec::new();
+        let mut other_len = Vec::new();
+        for m in chat.messages() {
+            let in_burst = sv
+                .response_ranges
+                .iter()
+                .any(|w| w.contains(m.ts));
+            if in_burst {
+                burst_len.push(m.word_count() as f64);
+            } else {
+                other_len.push(m.word_count() as f64);
+            }
+        }
+        let bm = lightor_simkit::mean(&burst_len).unwrap();
+        let om = lightor_simkit::mean(&other_len).unwrap();
+        assert!(bm < om, "burst mean len {bm} vs other {om}");
+    }
+
+    #[test]
+    fn window_is_highlight_matches_ranges() {
+        let sv = gen_sim(GameProfile::lol(), 4, 16);
+        let w = sv.response_ranges[0];
+        assert!(sv.window_is_highlight(w));
+        assert!(sv.window_is_highlight(TimeRange::from_secs(w.start.0 - 5.0, w.start.0 + 1.0)));
+        // A window long before the first highlight cannot be labelled.
+        assert!(!sv.window_is_highlight(TimeRange::from_secs(0.0, 10.0)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_sim(GameProfile::dota2(), 5, 17);
+        let b = gen_sim(GameProfile::dota2(), 5, 17);
+        assert_eq!(a.video.chat, b.video.chat);
+        assert_eq!(a.response_ranges, b.response_ranges);
+    }
+
+    #[test]
+    fn bot_messages_present_and_long() {
+        // Across several videos, bots must appear (they are the noise the
+        // prediction stage exists to reject).
+        let mut bot_msgs = 0usize;
+        let mut total = 0usize;
+        for i in 0..6 {
+            let sv = gen_sim(GameProfile::dota2(), i, 18);
+            for m in sv.video.chat.messages() {
+                total += 1;
+                if m.user == UserId::BOT {
+                    bot_msgs += 1;
+                    assert!(m.word_count() >= 14, "bot msg too short: {:?}", m.text);
+                }
+            }
+        }
+        assert!(bot_msgs > 20, "only {bot_msgs} bot messages in {total}");
+    }
+}

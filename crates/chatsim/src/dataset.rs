@@ -1,0 +1,139 @@
+//! Assembled labelled datasets mirroring the paper's two corpora.
+
+use crate::chat::{ChatGenerator, SimVideo};
+use crate::game::GameProfile;
+use crate::video::VideoGenerator;
+use lightor_simkit::SeedTree;
+use lightor_types::{ChannelId, GameKind, VideoId};
+
+/// A labelled video corpus for one game.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The game all videos belong to.
+    pub game: GameKind,
+    /// The labelled videos.
+    pub videos: Vec<SimVideo>,
+}
+
+impl Dataset {
+    /// Generate a dataset of `n` videos for `game` under `seed`.
+    ///
+    /// Each video gets an independent RNG stream derived from
+    /// `seed/game/index`, so sub-sampling a dataset (e.g. 10 of 60 videos)
+    /// yields the same videos as generating the smaller dataset directly.
+    pub fn generate(game: GameKind, n: usize, seed: u64) -> Self {
+        let profile = GameProfile::for_game(game);
+        let vg = VideoGenerator::new(profile.clone());
+        let cg = ChatGenerator::new(profile);
+        let root = SeedTree::new(seed).child("dataset").child(game.name());
+
+        let videos = (0..n)
+            .map(|i| {
+                let node = root.index(i as u64);
+                let mut vrng = node.child("spec").rng();
+                let spec = vg.generate(
+                    VideoId(i as u64),
+                    ChannelId(1000 + i as u64 % 10),
+                    &mut vrng,
+                );
+                let mut crng = node.child("chat").rng();
+                cg.generate(&spec, &mut crng)
+            })
+            .collect();
+
+        Dataset { game, videos }
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// True when the dataset has no videos.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Borrow the videos at `indices` (for train/test splits).
+    pub fn select(&self, indices: &[usize]) -> Vec<&SimVideo> {
+        indices.iter().map(|&i| &self.videos[i]).collect()
+    }
+
+    /// Mean number of labelled highlights per video.
+    pub fn mean_highlights(&self) -> f64 {
+        if self.videos.is_empty() {
+            return 0.0;
+        }
+        self.videos
+            .iter()
+            .map(|v| v.video.highlights.len() as f64)
+            .sum::<f64>()
+            / self.videos.len() as f64
+    }
+}
+
+/// The paper's Dota2 corpus: 60 videos from personal channels.
+pub fn dota2_dataset(n: usize, seed: u64) -> Dataset {
+    Dataset::generate(GameKind::Dota2, n, seed)
+}
+
+/// The paper's LoL corpus: 173 NALCS championship videos.
+pub fn lol_dataset(n: usize, seed: u64) -> Dataset {
+    Dataset::generate(GameKind::Lol, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_stability() {
+        // Generating 5 videos then 3 videos yields the same first 3.
+        let big = dota2_dataset(5, 99);
+        let small = dota2_dataset(3, 99);
+        for i in 0..3 {
+            assert_eq!(big.videos[i].video.chat, small.videos[i].video.chat);
+        }
+    }
+
+    #[test]
+    fn games_are_independent_streams() {
+        let d = dota2_dataset(2, 5);
+        let l = lol_dataset(2, 5);
+        assert_ne!(
+            d.videos[0].video.chat.len(),
+            l.videos[0].video.chat.len(),
+            "distinct games should not share chat streams"
+        );
+        assert_eq!(d.game, GameKind::Dota2);
+        assert_eq!(l.game, GameKind::Lol);
+    }
+
+    #[test]
+    fn mean_highlights_matches_profiles() {
+        let d = dota2_dataset(12, 31);
+        assert!(
+            (6.0..=14.0).contains(&d.mean_highlights()),
+            "dota2 mean {}",
+            d.mean_highlights()
+        );
+        let l = lol_dataset(12, 31);
+        assert!(
+            l.mean_highlights() > d.mean_highlights(),
+            "LoL should average more highlights ({} vs {})",
+            l.mean_highlights(),
+            d.mean_highlights()
+        );
+    }
+
+    #[test]
+    fn select_borrows_by_index() {
+        let d = dota2_dataset(4, 8);
+        let picked = d.select(&[2, 0]);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].video.meta.id, VideoId(2));
+        assert_eq!(picked[1].video.meta.id, VideoId(0));
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-game generation parameters.
+//!
+//! The two profiles reproduce the dataset statistics from Section VII-A:
+//!
+//! | statistic | Dota2 (personal channels) | LoL (NALCS broadcasts) |
+//! |---|---|---|
+//! | videos | 60 | 173 |
+//! | video length | 0.5–2 h | 0.5–1 h |
+//! | highlights/video | ≈10 | ≈14 |
+//! | highlight length | 5–50 s | 2–81 s |
+//! | chat messages/video | 800–4300 | 800–4300 |
+//!
+//! The reaction delay (how long after a highlight *starts* the chat burst
+//! ramps up) is the quantity the adjustment stage learns; its mean is set
+//! so the learned constant lands in the paper's 23–27 s band (Figure 7b).
+
+use lightor_types::GameKind;
+use serde::{Deserialize, Serialize};
+
+/// All knobs the generators need for one game title.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GameProfile {
+    /// Which game this profile models.
+    pub game: GameKind,
+    /// Video length range in hours (uniform).
+    pub video_len_hours: (f64, f64),
+    /// Mean highlights per video (Poisson, clamped to `min_highlights`).
+    pub highlights_per_video: f64,
+    /// Lower clamp on the sampled highlight count.
+    pub min_highlights: usize,
+    /// Highlight duration bounds in seconds (truncation of the
+    /// mean/std distribution below).
+    pub highlight_len: (f64, f64),
+    /// Mean highlight duration. Real highlight collections skew short —
+    /// a kill takes seconds, long team fights are rare — which is why the
+    /// *unadjusted* chat peak usually lands past the highlight's end
+    /// (the failure Figure 7a punishes in Toretter).
+    pub highlight_len_mean: f64,
+    /// Std-dev of the highlight duration.
+    pub highlight_len_std: f64,
+    /// Minimum separation between highlight starts, in seconds. Must stay
+    /// above the red-dot separation δ = 120 s so ground truth itself does
+    /// not violate the top-k separation rule.
+    pub highlight_min_gap: f64,
+    /// Background chat rate range in messages/second (log-uniform per
+    /// video — channel popularity varies over orders of magnitude).
+    pub background_rate: (f64, f64),
+    /// Reaction-burst rate as a multiple of the video's background rate.
+    pub burst_multiplier: (f64, f64),
+    /// Reaction-burst duration range in seconds (uniform).
+    pub burst_len: (f64, f64),
+    /// Reaction delay mean/std in seconds (truncated normal, bounds below).
+    pub reaction_delay_mean: f64,
+    /// Standard deviation of the reaction delay.
+    pub reaction_delay_std: f64,
+    /// Truncation bounds for the reaction delay.
+    pub reaction_delay_bounds: (f64, f64),
+    /// Advertisement-bot bursts per hour of video.
+    pub bot_bursts_per_hour: f64,
+    /// Off-topic conversation bursts per hour of video.
+    pub offtopic_bursts_per_hour: f64,
+    /// Unique-viewer count range (log-uniform).
+    pub viewers: (f64, f64),
+    /// Size of the chatting-user pool per video.
+    pub chatter_pool: u64,
+}
+
+impl GameProfile {
+    /// Dota 2 on personal channels (paper dataset 1).
+    pub fn dota2() -> Self {
+        GameProfile {
+            game: GameKind::Dota2,
+            video_len_hours: (0.5, 2.0),
+            highlights_per_video: 10.0,
+            min_highlights: 5,
+            highlight_len: (5.0, 50.0),
+            highlight_len_mean: 16.0,
+            highlight_len_std: 10.0,
+            highlight_min_gap: 200.0,
+            background_rate: (0.20, 0.45),
+            burst_multiplier: (3.5, 7.0),
+            burst_len: (15.0, 26.0),
+            reaction_delay_mean: 16.0,
+            reaction_delay_std: 2.5,
+            reaction_delay_bounds: (8.0, 28.0),
+            bot_bursts_per_hour: 1.6,
+            offtopic_bursts_per_hour: 2.8,
+            viewers: (300.0, 24000.0),
+            chatter_pool: 400,
+        }
+    }
+
+    /// League of Legends championship broadcasts (paper dataset 2).
+    ///
+    /// Championship chat is denser, highlights are more frequent and more
+    /// variable in length, and the crowd reacts slightly faster (the
+    /// broadcast itself directs attention at the play).
+    pub fn lol() -> Self {
+        GameProfile {
+            game: GameKind::Lol,
+            video_len_hours: (0.5, 1.0),
+            highlights_per_video: 14.0,
+            min_highlights: 8,
+            highlight_len: (2.0, 81.0),
+            highlight_len_mean: 30.0,
+            highlight_len_std: 18.0,
+            highlight_min_gap: 160.0,
+            background_rate: (0.30, 0.95),
+            burst_multiplier: (3.0, 6.0),
+            burst_len: (14.0, 24.0),
+            reaction_delay_mean: 15.0,
+            reaction_delay_std: 2.2,
+            reaction_delay_bounds: (7.0, 26.0),
+            bot_bursts_per_hour: 1.0,
+            offtopic_bursts_per_hour: 2.2,
+            viewers: (2000.0, 120000.0),
+            chatter_pool: 1500,
+        }
+    }
+
+    /// Profile lookup by game.
+    pub fn for_game(game: GameKind) -> Self {
+        match game {
+            GameKind::Dota2 => GameProfile::dota2(),
+            GameKind::Lol => GameProfile::lol(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_dataset_stats() {
+        let d = GameProfile::dota2();
+        assert_eq!(d.video_len_hours, (0.5, 2.0));
+        assert_eq!(d.highlight_len, (5.0, 50.0));
+        let l = GameProfile::lol();
+        assert_eq!(l.video_len_hours, (0.5, 1.0));
+        assert_eq!(l.highlight_len, (2.0, 81.0));
+        assert!(l.highlights_per_video > d.highlights_per_video);
+    }
+
+    #[test]
+    fn highlight_gap_respects_red_dot_separation() {
+        // δ = 120 s in the paper; ground truth must be separable.
+        assert!(GameProfile::dota2().highlight_min_gap > 120.0);
+        assert!(GameProfile::lol().highlight_min_gap > 120.0);
+    }
+
+    #[test]
+    fn reaction_delay_band_supports_learned_c() {
+        // The learned c ≈ delay + burst_len/2 must land in 23–27 s.
+        for p in [GameProfile::dota2(), GameProfile::lol()] {
+            let c_estimate = p.reaction_delay_mean + (p.burst_len.0 + p.burst_len.1) / 4.0;
+            assert!(
+                (20.0..=30.0).contains(&c_estimate),
+                "{}: c estimate {c_estimate}",
+                p.game
+            );
+        }
+    }
+
+    #[test]
+    fn for_game_round_trips() {
+        assert_eq!(GameProfile::for_game(GameKind::Dota2).game, GameKind::Dota2);
+        assert_eq!(GameProfile::for_game(GameKind::Lol).game, GameKind::Lol);
+    }
+}

@@ -1,0 +1,288 @@
+//! Message text generation.
+//!
+//! Four message families, engineered so each of the paper's three window
+//! features has discriminative work to do (Section IV-C2, Figure 2b):
+//!
+//! * **Hype** — what viewers type right after a highlight: 1–4 tokens,
+//!   heavy repetition, emotes. Short length, high mutual similarity.
+//! * **Background** — ordinary chatter: 4–14 words over a broad
+//!   vocabulary. Medium length, low similarity.
+//! * **Bot** — advertisement spam: 14–24 words from a tiny template pool.
+//!   High message *count* and high similarity, but long — the
+//!   message-length feature is what defeats these (the paper's first
+//!   false-positive family).
+//! * **Off-topic** — a conversation flare-up (someone asked a question,
+//!   the chat piles on): short messages over a broad vocabulary. High
+//!   count, short length, but low similarity — the similarity feature is
+//!   what defeats these.
+
+use lightor_types::GameKind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Emotes shared by every stream.
+const EMOTES: &[&str] = &[
+    "PogChamp", "Kreygasm", "LUL", "OMEGALUL", "monkaS", "EZ", "Clap", "KEKW", "Pog",
+    "PepeHands", "5Head", "Jebaited", "GIGACHAD",
+];
+
+/// Short hype exclamations shared by every game.
+const HYPE_COMMON: &[&str] = &[
+    "wow", "omg", "gg", "wtf", "insane", "clutch", "lol", "no way", "sick", "what a play",
+    "unreal", "holy",
+];
+
+/// Dota2-specific hype tokens.
+const HYPE_DOTA2: &[&str] = &[
+    "rampage", "ultrakill", "black hole", "echo slam", "divine rapier", "aegis", "roshan",
+    "buyback", "megacreeps", "chrono", "ravage",
+];
+
+/// LoL-specific hype tokens.
+const HYPE_LOL: &[&str] = &[
+    "pentakill", "quadra", "baron steal", "ace", "backdoor", "elder steal", "flash ult",
+    "outplayed", "1v5", "nexus race",
+];
+
+/// Broad background vocabulary (game talk, small talk). Wide on purpose:
+/// ordinary chatter must be lexically scattered so the similarity
+/// feature separates it from focused reaction bursts.
+const BACKGROUND: &[&str] = &[
+    "the", "a", "this", "that", "stream", "game", "team", "player", "build", "item", "why",
+    "how", "when", "today", "tomorrow", "really", "think", "draft", "pick", "ban", "mid",
+    "lane", "jungle", "support", "carry", "farm", "gold", "level", "early", "late", "push",
+    "fight", "objective", "map", "vision", "ward", "chat", "anyone", "watching", "from",
+    "where", "what", "again", "still", "music", "song", "food", "pizza", "coffee", "work",
+    "school", "weekend", "favorite", "best", "worst", "ever", "never", "always", "maybe",
+    "probably", "definitely", "guys", "hello", "everyone", "good", "bad", "nice", "fine",
+    "yesterday", "tonight", "morning", "evening", "minute", "hour", "second", "match",
+    "series", "finals", "group", "stage", "bracket", "winner", "loser", "score", "point",
+    "damage", "heal", "tank", "range", "melee", "spell", "cooldown", "mana", "health",
+    "buff", "nerf", "patch", "meta", "version", "update", "server", "lag", "ping", "fps",
+    "camera", "replay", "clip", "channel", "subscribe", "follow", "prime", "emote",
+    "keyboard", "mouse", "headset", "chair", "desk", "setup", "monitor", "screen",
+    "brother", "sister", "friend", "roommate", "dog", "cat", "homework", "exam", "class",
+    "job", "boss", "meeting", "vacation", "holiday", "birthday", "party", "movie",
+    "series2", "episode", "season", "book", "story", "news", "weather", "rain", "snow",
+    "summer", "winter", "spring", "autumn", "city", "country", "travel", "flight",
+    "train", "bus", "car", "bike", "walk", "run", "gym", "sleep", "tired", "awake",
+    "hungry", "thirsty", "water", "tea", "juice", "soda", "burger", "pasta", "salad",
+    "chicken", "noodles", "rice", "bread", "cheese", "sauce", "spicy", "sweet", "sour",
+];
+
+/// Advertisement templates bots cycle through (near-identical, long).
+const BOT_TEMPLATES: &[&str] = &[
+    "follow my channel for free skins giveaway every day click the link in my profile to win big prizes now",
+    "best cheap game keys and skins at our store visit the link in bio use code WIN for ten percent off today",
+    "join our discord server for daily giveaways free coaching and exclusive drops link in the description below right now",
+];
+
+/// The four message families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Ordinary chatter.
+    Background,
+    /// Highlight reaction.
+    Hype,
+    /// Advertisement bot spam.
+    Bot,
+    /// Conversation flare-up unrelated to gameplay.
+    OffTopic,
+}
+
+/// Generate one message of the given kind.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, kind: MessageKind, game: GameKind) -> String {
+    match kind {
+        MessageKind::Background => background(rng),
+        MessageKind::Hype => hype(rng, game),
+        MessageKind::Bot => bot(rng),
+        MessageKind::OffTopic => offtopic(rng),
+    }
+}
+
+fn hype<R: Rng + ?Sized>(rng: &mut R, game: GameKind) -> String {
+    let specific = match game {
+        GameKind::Dota2 => HYPE_DOTA2,
+        GameKind::Lol => HYPE_LOL,
+    };
+    // Hype messages are 1-4 tokens; tokens repeat ("Kill! Kill!").
+    // Game-specific memes dominate real highlight chat — this is what
+    // makes a character-level model game-bound (paper Figure 11b).
+    let mut parts: Vec<&str> = Vec::new();
+    let n = rng.gen_range(1..=3);
+    for _ in 0..n {
+        let roll: f64 = rng.gen();
+        let token = if roll < 0.20 {
+            *EMOTES.choose(rng).expect("non-empty")
+        } else if roll < 0.45 {
+            *HYPE_COMMON.choose(rng).expect("non-empty")
+        } else {
+            *specific.choose(rng).expect("non-empty")
+        };
+        parts.push(token);
+        // Repetition: sometimes double the token.
+        if rng.gen_bool(0.3) {
+            parts.push(token);
+        }
+    }
+    parts.join(" ")
+}
+
+/// Sample the *focus tokens* of one highlight's reaction burst: everyone
+/// is reacting to the same moment, so a burst concentrates on a handful
+/// of tokens ("RAMPAGE", one emote, one exclamation). This concentration
+/// is the message-similarity feature's signal.
+pub fn hype_focus<R: Rng + ?Sized>(rng: &mut R, game: GameKind) -> Vec<&'static str> {
+    let specific = match game {
+        GameKind::Dota2 => HYPE_DOTA2,
+        GameKind::Lol => HYPE_LOL,
+    };
+    vec![
+        *specific.choose(rng).expect("non-empty"),
+        *specific.choose(rng).expect("non-empty"),
+        *specific.choose(rng).expect("non-empty"),
+        *EMOTES.choose(rng).expect("non-empty"),
+    ]
+}
+
+/// One message of a focused reaction burst: 1-3 tokens drawn mostly from
+/// the burst's focus set, with heavy repetition.
+pub fn hype_with_focus<R: Rng + ?Sized>(
+    rng: &mut R,
+    focus: &[&'static str],
+    game: GameKind,
+) -> String {
+    if focus.is_empty() {
+        return hype(rng, game);
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    let n = rng.gen_range(1..=3);
+    for _ in 0..n {
+        let token = if rng.gen_bool(0.85) {
+            *focus.choose(rng).expect("non-empty")
+        } else {
+            // A stray generic exclamation.
+            *HYPE_COMMON.choose(rng).expect("non-empty")
+        };
+        parts.push(token);
+        if rng.gen_bool(0.35) {
+            parts.push(token);
+        }
+    }
+    parts.join(" ")
+}
+
+fn background<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.gen_range(4..=14);
+    let words: Vec<&str> = (0..n)
+        .map(|_| *BACKGROUND.choose(rng).expect("non-empty"))
+        .collect();
+    words.join(" ")
+}
+
+fn bot<R: Rng + ?Sized>(rng: &mut R) -> String {
+    // Bots repeat one of a few long templates with a random suffix token,
+    // so the messages are long AND nearly identical to each other.
+    let template = *BOT_TEMPLATES.choose(rng).expect("non-empty");
+    let tag = rng.gen_range(0..3u32);
+    format!("{template} code{tag}")
+}
+
+fn offtopic<R: Rng + ?Sized>(rng: &mut R) -> String {
+    // Short but lexically scattered: 2-6 words from the broad vocabulary.
+    let n = rng.gen_range(2..=6);
+    let words: Vec<&str> = (0..n)
+        .map(|_| *BACKGROUND.choose(rng).expect("non-empty"))
+        .collect();
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_simkit::SeedTree;
+
+    fn word_count(s: &str) -> usize {
+        s.split_whitespace().count()
+    }
+
+    #[test]
+    fn hype_is_short() {
+        let mut rng = SeedTree::new(1).rng();
+        let lens: Vec<f64> = (0..300)
+            .map(|_| word_count(&hype(&mut rng, GameKind::Dota2)) as f64)
+            .collect();
+        // Individual messages can reach ~9 words (3 multi-word phrases,
+        // doubled), but the *mean* must sit well below background's mean
+        // of 9 — that contrast is the message-length feature.
+        assert!(lens.iter().all(|&n| n <= 12.0));
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        assert!(mean < 5.5, "hype mean length {mean}");
+    }
+
+    #[test]
+    fn bot_is_long() {
+        let mut rng = SeedTree::new(2).rng();
+        for _ in 0..50 {
+            let m = bot(&mut rng);
+            assert!(word_count(&m) >= 14, "bot too short: {m:?}");
+        }
+    }
+
+    #[test]
+    fn background_is_medium() {
+        let mut rng = SeedTree::new(3).rng();
+        for _ in 0..100 {
+            let n = word_count(&background(&mut rng));
+            assert!((4..=14).contains(&n));
+        }
+    }
+
+    #[test]
+    fn offtopic_is_short_but_diverse() {
+        let mut rng = SeedTree::new(4).rng();
+        let msgs: Vec<String> = (0..100).map(|_| offtopic(&mut rng)).collect();
+        assert!(msgs.iter().all(|m| word_count(m) <= 6));
+        // Diversity: many distinct messages.
+        let distinct: std::collections::HashSet<&String> = msgs.iter().collect();
+        assert!(distinct.len() > 60, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn bots_are_mutually_similar() {
+        let mut rng = SeedTree::new(5).rng();
+        let msgs: Vec<String> = (0..30).map(|_| bot(&mut rng)).collect();
+        // At most 3 templates × 3 tags = 9 distinct strings.
+        let distinct: std::collections::HashSet<&String> = msgs.iter().collect();
+        assert!(distinct.len() <= 9);
+    }
+
+    #[test]
+    fn game_specific_hype_differs() {
+        let mut rng = SeedTree::new(6).rng();
+        let dota: String = (0..300)
+            .map(|_| hype(&mut rng, GameKind::Dota2))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(dota.contains("rampage") || dota.contains("roshan") || dota.contains("aegis"));
+        let lol: String = (0..300)
+            .map(|_| hype(&mut rng, GameKind::Lol))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(lol.contains("pentakill") || lol.contains("baron") || lol.contains("ace"));
+    }
+
+    #[test]
+    fn generate_dispatches() {
+        let mut rng = SeedTree::new(7).rng();
+        for kind in [
+            MessageKind::Background,
+            MessageKind::Hype,
+            MessageKind::Bot,
+            MessageKind::OffTopic,
+        ] {
+            let m = generate(&mut rng, kind, GameKind::Lol);
+            assert!(!m.is_empty());
+        }
+    }
+}

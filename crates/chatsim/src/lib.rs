@@ -1,0 +1,37 @@
+//! A generative model of a Twitch-like live-streaming platform.
+//!
+//! The paper evaluates on 60 crawled Dota2 videos and 173 LoL championship
+//! videos with human highlight labels, plus a crawl of top-channel videos
+//! for the applicability study. None of that data can ship with this
+//! reproduction, so this crate *generates* it from explicit mechanisms:
+//!
+//! * [`GameProfile`] — per-game parameters (video length, highlight
+//!   density/duration, chat rates, reaction delay) calibrated to the
+//!   statistics the paper reports in Section VII-A;
+//! * [`lexicon`] — vocabularies for background chatter, highlight hype
+//!   (short, repetitive, emote-heavy), advertisement bots (long,
+//!   near-identical) and off-topic bursts (short but lexically diverse);
+//! * [`VideoGenerator`] / [`ChatGenerator`] — sample a video's ground-truth
+//!   highlights, then synthesize its chat replay: background Poisson
+//!   chatter plus a delayed *reaction burst* after each highlight, plus the
+//!   two noise-burst families the paper's features must defeat;
+//! * [`catalog`] — channels, popularity and recent-video listings for the
+//!   Section VII-D applicability study and the platform crawler;
+//! * [`dataset`] — the assembled Dota2/LoL labelled datasets.
+//!
+//! Everything is deterministic given a [`SeedTree`](lightor_simkit::SeedTree).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod chat;
+pub mod dataset;
+pub mod game;
+pub mod lexicon;
+pub mod video;
+
+pub use catalog::{Channel, SimPlatform};
+pub use chat::{ChatGenerator, SimVideo};
+pub use dataset::{dota2_dataset, lol_dataset, Dataset};
+pub use game::GameProfile;
+pub use video::{VideoGenerator, VideoSpec};

@@ -1,0 +1,208 @@
+//! Video sampling: length, viewer count, and ground-truth highlight
+//! placement.
+
+use crate::game::GameProfile;
+use lightor_simkit::dist::{log_uniform, uniform};
+use lightor_simkit::SimRng;
+use lightor_types::{ChannelId, Highlight, Sec, VideoId, VideoMeta};
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// A sampled video skeleton: metadata, ground-truth highlights and the
+/// video's base chat intensity. The chat replay itself is produced by
+/// [`ChatGenerator`](crate::chat::ChatGenerator).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VideoSpec {
+    /// Metadata (id, channel, game, duration, viewers).
+    pub meta: VideoMeta,
+    /// Ground-truth highlights, sorted by start, pairwise ≥ `min_gap` apart.
+    pub highlights: Vec<Highlight>,
+    /// This video's background chat rate (messages/second).
+    pub background_rate: f64,
+}
+
+/// Samples [`VideoSpec`]s from a [`GameProfile`].
+#[derive(Clone, Debug)]
+pub struct VideoGenerator {
+    profile: GameProfile,
+}
+
+/// Margin kept free of highlights at both ends of the video, so reaction
+/// bursts and red-dot neighbourhoods never get truncated by the edges.
+const EDGE_MARGIN: f64 = 90.0;
+
+impl VideoGenerator {
+    /// A generator for the given game profile.
+    pub fn new(profile: GameProfile) -> Self {
+        VideoGenerator { profile }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &GameProfile {
+        &self.profile
+    }
+
+    /// Sample one video. `id`/`channel` are assigned by the caller so
+    /// datasets and catalogs control their own numbering.
+    pub fn generate(&self, id: VideoId, channel: ChannelId, rng: &mut SimRng) -> VideoSpec {
+        let p = &self.profile;
+        let duration_s = uniform(rng, p.video_len_hours.0, p.video_len_hours.1) * 3600.0;
+        let viewers = log_uniform(rng, p.viewers.0, p.viewers.1) as u32;
+        let background_rate = log_uniform(rng, p.background_rate.0, p.background_rate.1);
+
+        let highlights = self.place_highlights(duration_s, rng);
+
+        VideoSpec {
+            meta: VideoMeta {
+                id,
+                channel,
+                game: p.game,
+                duration: Sec(duration_s),
+                viewers,
+            },
+            highlights,
+            background_rate,
+        }
+    }
+
+    /// Sample highlight count and place non-overlapping highlights with the
+    /// profile's minimum start gap, away from the video edges.
+    fn place_highlights(&self, duration_s: f64, rng: &mut SimRng) -> Vec<Highlight> {
+        let p = &self.profile;
+        let poisson = Poisson::new(p.highlights_per_video).expect("positive mean");
+        let mut want = (poisson.sample(rng) as usize).max(p.min_highlights);
+
+        // Cap by what physically fits.
+        let usable = duration_s - 2.0 * EDGE_MARGIN;
+        let capacity = (usable / p.highlight_min_gap).floor() as usize;
+        want = want.min(capacity.max(1));
+
+        let mut starts: Vec<f64> = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while starts.len() < want && attempts < 10_000 {
+            attempts += 1;
+            let cand = uniform(rng, EDGE_MARGIN, duration_s - EDGE_MARGIN);
+            if starts
+                .iter()
+                .all(|&s| (s - cand).abs() >= p.highlight_min_gap)
+            {
+                starts.push(cand);
+            }
+        }
+        starts.sort_by(|a, b| a.total_cmp(b));
+
+        let len_dist = lightor_simkit::TruncNormal::new(
+            p.highlight_len_mean,
+            p.highlight_len_std,
+            p.highlight_len.0,
+            p.highlight_len.1,
+        );
+        starts
+            .into_iter()
+            .map(|s| {
+                let len = len_dist.sample(rng);
+                // Keep the clip inside the video.
+                let end = (s + len).min(duration_s - 5.0);
+                Highlight::from_secs(s, end.max(s + 1.0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_simkit::SeedTree;
+    use lightor_types::GameKind;
+
+    fn gen_videos(profile: GameProfile, n: usize, seed: u64) -> Vec<VideoSpec> {
+        let g = VideoGenerator::new(profile);
+        let root = SeedTree::new(seed);
+        (0..n)
+            .map(|i| {
+                let mut rng = root.index(i as u64).rng();
+                g.generate(VideoId(i as u64), ChannelId(0), &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durations_in_profile_range() {
+        for v in gen_videos(GameProfile::dota2(), 20, 1) {
+            let h = v.meta.duration.0 / 3600.0;
+            assert!((0.5..=2.0).contains(&h), "duration {h}h");
+            assert_eq!(v.meta.game, GameKind::Dota2);
+        }
+    }
+
+    #[test]
+    fn highlights_are_sorted_disjoint_and_gapped() {
+        for v in gen_videos(GameProfile::dota2(), 20, 2) {
+            let gap = GameProfile::dota2().highlight_min_gap;
+            for w in v.highlights.windows(2) {
+                assert!(w[0].start().0 < w[1].start().0, "unsorted");
+                assert!(
+                    w[1].start().0 - w[0].start().0 >= gap - 1e-9,
+                    "gap violated: {} then {}",
+                    w[0].range,
+                    w[1].range
+                );
+                assert!(!w[0].range.overlaps(&w[1].range));
+            }
+        }
+    }
+
+    #[test]
+    fn highlight_lengths_in_range() {
+        for v in gen_videos(GameProfile::lol(), 20, 3) {
+            for h in &v.highlights {
+                let len = h.range.duration().0;
+                assert!(
+                    (1.0..=81.0).contains(&len),
+                    "length {len} outside LoL range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn highlights_keep_edge_margin() {
+        for v in gen_videos(GameProfile::dota2(), 20, 4) {
+            for h in &v.highlights {
+                assert!(h.start().0 >= EDGE_MARGIN);
+                assert!(h.end().0 <= v.meta.duration.0);
+            }
+        }
+    }
+
+    #[test]
+    fn highlight_counts_are_plausible() {
+        let videos = gen_videos(GameProfile::dota2(), 40, 5);
+        let mean = videos.iter().map(|v| v.highlights.len() as f64).sum::<f64>()
+            / videos.len() as f64;
+        // Poisson(10) clamped ≥5, capped by capacity: mean should be near 10.
+        assert!((7.0..=13.0).contains(&mean), "mean highlights {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_videos(GameProfile::lol(), 3, 9);
+        let b = gen_videos(GameProfile::lol(), 3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_videos_still_get_highlights() {
+        // Even a 0.5 h video must produce at least min_highlights (capacity
+        // allows ~8 at 200 s gap).
+        let videos = gen_videos(GameProfile::dota2(), 30, 6);
+        for v in videos {
+            assert!(
+                v.highlights.len() >= 5,
+                "only {} highlights in {}s video",
+                v.highlights.len(),
+                v.meta.duration.0
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! AMT-style campaigns: publish a task per red dot, collect N responses.
+//!
+//! Section VII-C: "We created one task for each red dot. We first
+//! published the 35 tasks to AMT. After receiving 10 responses for each
+//! task, we computed the new position of each red dot, and published a set
+//! of new tasks with updated red-dot positions." [`Campaign`] reproduces
+//! that loop: each `run_task` call samples fresh workers from the pool and
+//! returns their sessions and derived plays.
+
+use crate::session::{simulate_session, SessionParams};
+use crate::worker::{sample_pool, Worker};
+use lightor_simkit::SeedTree;
+use lightor_types::{LabeledVideo, Play, PlaySet, Sec, Session};
+use rand::seq::SliceRandom;
+
+/// The result of one crowd task (one red dot, N viewers).
+#[derive(Clone, Debug)]
+pub struct TaskResult {
+    /// Raw sessions, one per responding worker.
+    pub sessions: Vec<Session>,
+    /// Play records derived from the sessions.
+    pub plays: PlaySet,
+}
+
+/// A worker pool plus deterministic task dispatch.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    workers: Vec<Worker>,
+    params: SessionParams,
+    root: SeedTree,
+    tasks_run: u64,
+}
+
+impl Campaign {
+    /// Create a campaign backed by `n_workers` simulated workers.
+    /// The paper recruited 492.
+    pub fn new(n_workers: usize, seed: u64) -> Self {
+        let root = SeedTree::new(seed).child("campaign");
+        let mut rng = root.child("pool").rng();
+        Campaign {
+            workers: sample_pool(n_workers, 10_000, &mut rng),
+            params: SessionParams::default(),
+            root,
+            tasks_run: 0,
+        }
+    }
+
+    /// Override the behaviour parameters (for ablations).
+    pub fn with_params(mut self, params: SessionParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Number of workers in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of tasks dispatched so far.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run
+    }
+
+    /// Publish one task: `n_responses` distinct workers watch `video`
+    /// around `dot` and their interactions are logged.
+    pub fn run_task(&mut self, video: &LabeledVideo, dot: Sec, n_responses: usize) -> TaskResult {
+        let task_node = self.root.child("task").index(self.tasks_run);
+        self.tasks_run += 1;
+
+        // Sample respondents without replacement.
+        let mut pick_rng = task_node.child("pick").rng();
+        let mut idx: Vec<usize> = (0..self.workers.len()).collect();
+        idx.shuffle(&mut pick_rng);
+        let n = n_responses.min(self.workers.len());
+
+        let mut sessions = Vec::with_capacity(n);
+        let mut plays: Vec<Play> = Vec::new();
+        for (slot, &wi) in idx[..n].iter().enumerate() {
+            let mut rng = task_node.child("worker").index(slot as u64).rng();
+            let session =
+                simulate_session(video, dot, &self.workers[wi], &self.params, &mut rng);
+            plays.extend(session.plays());
+            sessions.push(session);
+        }
+        TaskResult {
+            sessions,
+            plays: PlaySet::new(plays),
+        }
+    }
+
+    /// A collector closure for the Extractor's iterative loop: each call
+    /// is one crowd round at the given dot position.
+    pub fn collector<'a>(
+        &'a mut self,
+        video: &'a LabeledVideo,
+        n_responses: usize,
+    ) -> impl FnMut(Sec) -> PlaySet + 'a {
+        move |dot| self.run_task(video, dot, n_responses).plays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{
+        ChannelId, ChatLog, GameKind, Highlight, VideoId, VideoMeta,
+    };
+
+    fn test_video() -> LabeledVideo {
+        LabeledVideo {
+            meta: VideoMeta {
+                id: VideoId(0),
+                channel: ChannelId(0),
+                game: GameKind::Dota2,
+                duration: Sec(3600.0),
+                viewers: 500,
+            },
+            chat: ChatLog::empty(),
+            highlights: vec![Highlight::from_secs(1990.0, 2005.0)],
+        }
+    }
+
+    #[test]
+    fn task_returns_requested_responses() {
+        let mut c = Campaign::new(100, 1);
+        let v = test_video();
+        let r = c.run_task(&v, Sec(1995.0), 10);
+        assert_eq!(r.sessions.len(), 10);
+        assert!(!r.plays.is_empty());
+        assert_eq!(c.tasks_run(), 1);
+        assert_eq!(c.pool_size(), 100);
+    }
+
+    #[test]
+    fn responses_capped_by_pool() {
+        let mut c = Campaign::new(5, 2);
+        let v = test_video();
+        let r = c.run_task(&v, Sec(1995.0), 50);
+        assert_eq!(r.sessions.len(), 5);
+    }
+
+    #[test]
+    fn distinct_workers_per_task() {
+        let mut c = Campaign::new(100, 3);
+        let v = test_video();
+        let r = c.run_task(&v, Sec(1995.0), 20);
+        let users: std::collections::HashSet<_> =
+            r.sessions.iter().map(|s| s.user).collect();
+        assert_eq!(users.len(), 20, "workers must be sampled without replacement");
+    }
+
+    #[test]
+    fn successive_tasks_differ() {
+        let mut c = Campaign::new(100, 4);
+        let v = test_video();
+        let a = c.run_task(&v, Sec(1995.0), 10);
+        let b = c.run_task(&v, Sec(1995.0), 10);
+        // Same dot, but fresh respondents / randomness.
+        assert_ne!(a.plays, b.plays);
+        assert_eq!(c.tasks_run(), 2);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let v = test_video();
+        let mut c1 = Campaign::new(50, 7);
+        let mut c2 = Campaign::new(50, 7);
+        let a = c1.run_task(&v, Sec(2000.0), 10);
+        let b = c2.run_task(&v, Sec(2000.0), 10);
+        assert_eq!(a.plays, b.plays);
+    }
+
+    #[test]
+    fn collector_advances_rounds() {
+        let v = test_video();
+        let mut c = Campaign::new(50, 8);
+        {
+            let mut collect = c.collector(&v, 8);
+            let p1 = collect(Sec(1995.0));
+            let p2 = collect(Sec(1990.0));
+            assert!(!p1.is_empty() && !p2.is_empty());
+        }
+        assert_eq!(c.tasks_run(), 2);
+    }
+}

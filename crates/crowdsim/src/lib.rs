@@ -1,0 +1,33 @@
+//! Implicit-crowd simulator: the stand-in for the paper's 492 Amazon
+//! Mechanical Turk workers.
+//!
+//! The Highlight Extractor's entire design reacts to regularities in how
+//! real viewers behave around a red dot (paper Sections V-B/V-C):
+//!
+//! * when the dot lands **before the end** of the highlight (Type II),
+//!   viewers click it, maybe skip the boring lead-in, watch the highlight
+//!   through, and hold a few seconds past its end — start offsets come out
+//!   roughly *normal* around +5…+10 s (Figure 3b);
+//! * when the dot lands **after the end** (Type I), there is nothing to
+//!   watch ahead, so viewers hunt: short check plays, backward jumps,
+//!   skips to the next dot — start offsets come out roughly *uniform*
+//!   over −40…+20 s (Figure 3a);
+//! * regardless of type, a fraction of plays are pure noise: 2–5 s random
+//!   checks, marathon viewings, plays far from the dot. These are what the
+//!   Extractor's filter stage exists to remove.
+//!
+//! This crate generates those behaviours *mechanistically* — per-worker
+//! style, patience and reaction parameters drive a small state machine —
+//! so the distributions of Figure 3 emerge rather than being hard-coded,
+//! and the Extractor succeeds or fails for the same reasons it does on
+//! real interaction data.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod session;
+pub mod worker;
+
+pub use campaign::{Campaign, TaskResult};
+pub use session::{simulate_session, SessionParams};
+pub use worker::{Worker, WorkerStyle};

@@ -1,0 +1,459 @@
+//! The per-viewer behaviour state machine.
+//!
+//! Given a video's ground truth, a red-dot position and a worker, produce
+//! the [`Session`] (raw player events) that viewer would generate. The
+//! machine branches on the *actual* dot-vs-highlight geometry — the same
+//! quantity the Extractor later tries to infer from the aggregate data:
+//!
+//! * dot at or before the highlight's end → watch-through behaviour
+//!   (paper Type II, Figure 3b);
+//! * dot after the highlight's end → hunting behaviour (paper Type I,
+//!   Figure 3a).
+
+use crate::worker::{Worker, WorkerStyle};
+use lightor_simkit::dist::{coin, uniform, TruncNormal};
+use lightor_simkit::SimRng;
+use lightor_types::{Highlight, Interaction, LabeledVideo, Sec, Session};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Population-level behaviour constants.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionParams {
+    /// Std-dev of the click landing position around the dot (seconds).
+    pub click_jitter_std: f64,
+    /// Mean seconds *into* the highlight where watch-through viewers
+    /// settle ("the most exciting part happens a few seconds after the
+    /// start", Section V-C) — the source of Figure 3b's +5…+10 median.
+    pub skip_mean: f64,
+    /// Std-dev of the settle offset.
+    pub skip_std: f64,
+    /// Truncation bounds of the settle offset relative to the highlight
+    /// start.
+    pub skip_bounds: (f64, f64),
+    /// Backward hunting jump range (seconds).
+    pub back_jump: (f64, f64),
+    /// Length range of a quick "is this interesting?" check play.
+    pub check_len: (f64, f64),
+    /// Probability of one extra random noise play per session.
+    pub noise_play_prob: f64,
+    /// Max distance of noise plays from the dot.
+    pub noise_offset: f64,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        SessionParams {
+            click_jitter_std: 1.8,
+            skip_mean: 5.0,
+            skip_std: 5.0,
+            skip_bounds: (-10.0, 18.0),
+            back_jump: (15.0, 55.0),
+            check_len: (2.0, 5.0),
+            noise_play_prob: 0.15,
+            noise_offset: 90.0,
+        }
+    }
+}
+
+/// Simulate one viewer's session around `dot`.
+pub fn simulate_session(
+    video: &LabeledVideo,
+    dot: Sec,
+    worker: &Worker,
+    params: &SessionParams,
+    rng: &mut SimRng,
+) -> Session {
+    let dur = video.meta.duration.0;
+    let clamp = |t: f64| t.clamp(0.0, dur);
+    let mut ev: Vec<Interaction> = Vec::new();
+
+    match worker.style {
+        WorkerStyle::Random => random_browse(&mut ev, dot, dur, params, rng),
+        WorkerStyle::Binger => binge(&mut ev, dot, dur, rng),
+        _ => {
+            if let Some((h, _)) = video.nearest_highlight(dot) {
+                let h = *h;
+                if dot.0 <= h.end().0 {
+                    watch_through(&mut ev, dot, &h, worker, params, dur, rng);
+                } else {
+                    hunt_backward(&mut ev, dot, &h, worker, params, dur, rng);
+                }
+            } else {
+                random_browse(&mut ev, dot, dur, params, rng);
+            }
+        }
+    }
+
+    // Population-level noise: an unrelated check somewhere near the dot.
+    if coin(rng, params.noise_play_prob) {
+        let at = clamp(dot.0 + uniform(rng, -params.noise_offset, params.noise_offset));
+        let len = uniform(rng, params.check_len.0, params.check_len.1);
+        ev.push(Interaction::Play { video_ts: Sec(at) });
+        ev.push(Interaction::Leave {
+            video_ts: Sec(clamp(at + len)),
+        });
+    }
+
+    Session::new(worker.id, ev)
+}
+
+/// Type II flow: the highlight is (partly) ahead of the dot.
+fn watch_through(
+    ev: &mut Vec<Interaction>,
+    dot: Sec,
+    h: &Highlight,
+    worker: &Worker,
+    params: &SessionParams,
+    dur: f64,
+    rng: &mut SimRng,
+) {
+    let jitter = Normal::new(0.0, params.click_jitter_std).expect("positive std");
+    let p0 = (dot.0 + jitter.sample(rng)).clamp(0.0, dur);
+    ev.push(Interaction::Play { video_ts: Sec(p0) });
+
+    let wait = h.start().0 - p0;
+    let end_watch = (h.end().0 + worker.hold).min(dur);
+
+    if worker.style == WorkerStyle::Impatient && wait > worker.patience {
+        // Got bored before the highlight arrived; bail.
+        let stop = (p0 + worker.patience).min(dur);
+        if coin(rng, 0.5) {
+            ev.push(Interaction::Leave { video_ts: Sec(stop) });
+        } else {
+            ev.push(Interaction::SeekForward {
+                from: Sec(stop),
+                to: Sec((stop + uniform(rng, 60.0, 180.0)).min(dur)),
+            });
+            ev.push(Interaction::Leave {
+                video_ts: Sec((stop + uniform(rng, 62.0, 185.0)).min(dur)),
+            });
+        }
+        return;
+    }
+
+    // Where the viewer actually settles: a few seconds into the action.
+    let skip = TruncNormal::new(
+        params.skip_mean,
+        params.skip_std,
+        params.skip_bounds.0,
+        params.skip_bounds.1,
+    )
+    .sample(rng);
+    let land = (h.start().0 + skip).max(p0);
+
+    if land > p0 + 2.5 {
+        // Quick check at the dot, then scrub to the action.
+        let check = uniform(rng, params.check_len.0, params.check_len.1);
+        ev.push(Interaction::SeekForward {
+            from: Sec((p0 + check).min(dur)),
+            to: Sec(land.min(dur)),
+        });
+    }
+
+    if worker.style == WorkerStyle::Seeker && coin(rng, 0.6) {
+        // Seekers double-check there was nothing earlier.
+        let back = land - uniform(rng, params.back_jump.0, params.back_jump.1 / 2.0);
+        let probe_end = (back + uniform(rng, 3.0, 8.0)).min(dur);
+        ev.push(Interaction::SeekBackward {
+            from: Sec((land + uniform(rng, 2.0, 6.0)).min(dur)),
+            to: Sec(back.max(0.0)),
+        });
+        ev.push(Interaction::SeekForward {
+            from: Sec(probe_end),
+            to: Sec(land.min(dur)),
+        });
+    }
+
+    if end_watch > land {
+        ev.push(Interaction::Pause {
+            video_ts: Sec(end_watch),
+        });
+    } else {
+        ev.push(Interaction::Leave {
+            video_ts: Sec((land + 1.0).min(dur)),
+        });
+    }
+}
+
+/// Type I flow: the highlight already ended before the dot.
+fn hunt_backward(
+    ev: &mut Vec<Interaction>,
+    dot: Sec,
+    h: &Highlight,
+    worker: &Worker,
+    params: &SessionParams,
+    dur: f64,
+    rng: &mut SimRng,
+) {
+    let jitter = Normal::new(0.0, params.click_jitter_std).expect("positive std");
+    let p0 = (dot.0 + jitter.sample(rng)).clamp(0.0, dur);
+    ev.push(Interaction::Play { video_ts: Sec(p0) });
+
+    // Watch ahead briefly; nothing happens (the highlight is behind).
+    let give_up = (p0 + worker.patience.min(8.0)).min(dur);
+
+    if worker.style == WorkerStyle::Impatient {
+        // Skip to wherever's next; their play never covers the highlight.
+        ev.push(Interaction::SeekForward {
+            from: Sec(give_up),
+            to: Sec((give_up + uniform(rng, 60.0, 180.0)).min(dur)),
+        });
+        ev.push(Interaction::Leave {
+            video_ts: Sec((give_up + uniform(rng, 62.0, 184.0)).min(dur)),
+        });
+        return;
+    }
+
+    // Hunt backward up to twice.
+    let mut cursor = give_up;
+    let mut found = false;
+    for _ in 0..2 {
+        let jump = uniform(rng, params.back_jump.0, params.back_jump.1);
+        let land = (cursor - worker.patience.min(8.0) - jump).max(0.0);
+        ev.push(Interaction::SeekBackward {
+            from: Sec(cursor),
+            to: Sec(land),
+        });
+        if land <= h.end().0 {
+            // Landed at or before the highlight's end: watch it through.
+            let end_watch = (h.end().0 + worker.hold).min(dur);
+            ev.push(Interaction::Pause {
+                video_ts: Sec(end_watch.max(land + 1.0)),
+            });
+            found = true;
+            break;
+        }
+        // Still past the highlight: check briefly and jump again.
+        let check = uniform(rng, params.check_len.0, params.check_len.1);
+        cursor = (land + check).min(dur);
+    }
+    if !found {
+        ev.push(Interaction::Leave {
+            video_ts: Sec((cursor + 1.0).min(dur)),
+        });
+    }
+}
+
+/// Noise style: a couple of short plays at arbitrary offsets from the dot.
+fn random_browse(
+    ev: &mut Vec<Interaction>,
+    dot: Sec,
+    dur: f64,
+    params: &SessionParams,
+    rng: &mut SimRng,
+) {
+    let n = 1 + usize::from(coin(rng, 0.5));
+    for _ in 0..n {
+        let at = (dot.0 + uniform(rng, -params.noise_offset, params.noise_offset))
+            .clamp(0.0, dur);
+        let len = uniform(rng, params.check_len.0, params.check_len.1 + 3.0);
+        ev.push(Interaction::Play { video_ts: Sec(at) });
+        ev.push(Interaction::Pause {
+            video_ts: Sec((at + len).min(dur)),
+        });
+    }
+    ev.push(Interaction::Leave {
+        video_ts: Sec(dot.0.clamp(0.0, dur)),
+    });
+}
+
+/// Marathon style: one very long play spanning the whole neighbourhood.
+fn binge(ev: &mut Vec<Interaction>, dot: Sec, dur: f64, rng: &mut SimRng) {
+    let start = (dot.0 - uniform(rng, 20.0, 50.0)).max(0.0);
+    let end = (dot.0 + uniform(rng, 85.0, 150.0)).min(dur);
+    ev.push(Interaction::Play { video_ts: Sec(start) });
+    ev.push(Interaction::Leave { video_ts: Sec(end) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::sample_pool;
+    use lightor_simkit::{mean, std_dev, SeedTree};
+    use lightor_types::{ChannelId, ChatLog, GameKind, UserId, VideoId, VideoMeta};
+
+    fn test_video(highlights: Vec<Highlight>) -> LabeledVideo {
+        LabeledVideo {
+            meta: VideoMeta {
+                id: VideoId(0),
+                channel: ChannelId(0),
+                game: GameKind::Dota2,
+                duration: Sec(3600.0),
+                viewers: 1000,
+            },
+            chat: ChatLog::empty(),
+            highlights,
+        }
+    }
+
+    fn collect_plays(
+        video: &LabeledVideo,
+        dot: Sec,
+        n_workers: usize,
+        seed: u64,
+    ) -> Vec<lightor_types::Play> {
+        let root = SeedTree::new(seed);
+        let mut pool_rng = root.child("pool").rng();
+        let pool = sample_pool(n_workers, 0, &mut pool_rng);
+        let params = SessionParams::default();
+        pool.iter()
+            .enumerate()
+            .flat_map(|(i, w)| {
+                let mut rng = root.child("sess").index(i as u64).rng();
+                simulate_session(video, dot, w, &params, &mut rng).plays()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sessions_produce_plays_within_video() {
+        let v = test_video(vec![Highlight::from_secs(1990.0, 2005.0)]);
+        let plays = collect_plays(&v, Sec(1995.0), 100, 1);
+        assert!(plays.len() >= 100, "plays {}", plays.len());
+        for p in &plays {
+            assert!(p.start().0 >= 0.0 && p.end().0 <= 3600.0);
+        }
+    }
+
+    #[test]
+    fn type2_main_plays_cluster_normally_after_start() {
+        // Dot right at the highlight start (good dot): Figure 3b — the
+        // dominant plays start a bell-shaped few seconds after h.start.
+        let h = Highlight::from_secs(1990.0, 2010.0);
+        let v = test_video(vec![h]);
+        let plays = collect_plays(&v, Sec(1990.0), 300, 2);
+        // Take plays that cover a substantial part of the highlight
+        // (the Extractor's filtered set would look like this).
+        let offsets: Vec<f64> = plays
+            .iter()
+            .filter(|p| p.duration().0 >= 8.0 && p.duration().0 <= 75.0)
+            .filter(|p| p.range.overlap_len(&h.range).0 >= 5.0)
+            .map(|p| p.start().0 - h.start().0)
+            .collect();
+        assert!(offsets.len() > 100, "sample {}", offsets.len());
+        let m = mean(&offsets).unwrap();
+        assert!(
+            (0.0..=12.0).contains(&m),
+            "mean start offset {m}, expected Figure 3b band"
+        );
+        let s = std_dev(&offsets).unwrap();
+        assert!(s < 12.0, "spread too wide: {s}");
+    }
+
+    #[test]
+    fn type1_plays_scatter_widely() {
+        // Dot 30 s after the highlight ended: Figure 3a — hunting spreads
+        // start positions quasi-uniformly, far wider than Type II.
+        let h = Highlight::from_secs(1990.0, 2005.0);
+        let v = test_video(vec![h]);
+        let plays = collect_plays(&v, Sec(2035.0), 300, 3);
+        let offsets: Vec<f64> = plays
+            .iter()
+            .filter(|p| p.duration().0 >= 4.0)
+            .map(|p| p.start().0 - h.start().0)
+            .collect();
+        let s1 = std_dev(&offsets).unwrap();
+
+        let plays2 = collect_plays(&v, Sec(1990.0), 300, 3);
+        let offsets2: Vec<f64> = plays2
+            .iter()
+            .filter(|p| p.duration().0 >= 8.0 && p.range.overlap_len(&h.range).0 >= 5.0)
+            .map(|p| p.start().0 - h.start().0)
+            .collect();
+        let s2 = std_dev(&offsets2).unwrap();
+        assert!(
+            s1 > 1.5 * s2,
+            "Type I spread {s1} should dwarf Type II spread {s2}"
+        );
+    }
+
+    #[test]
+    fn type1_generates_plays_before_or_across_dot() {
+        // The classifier's signal (Figure 4): hunting produces plays that
+        // end before the dot or straddle it.
+        let h = Highlight::from_secs(1990.0, 2005.0);
+        let v = test_video(vec![h]);
+        let dot = Sec(2035.0);
+        let plays = collect_plays(&v, dot, 200, 4);
+        let before = plays.iter().filter(|p| p.end().0 < dot.0).count();
+        let across = plays
+            .iter()
+            .filter(|p| p.start().0 < dot.0 && p.end().0 >= dot.0)
+            .count();
+        assert!(
+            before + across > plays.len() / 4,
+            "hunting signal missing: {before} before + {across} across of {}",
+            plays.len()
+        );
+
+        // Type II, by contrast, is dominated by plays at/after the dot.
+        let dot2 = Sec(1988.0);
+        let plays2 = collect_plays(&v, dot2, 200, 5);
+        let after2 = plays2
+            .iter()
+            .filter(|p| p.start().0 >= dot2.0 - 3.0)
+            .count();
+        assert!(
+            after2 * 2 > plays2.len(),
+            "{after2} of {} start near/after dot",
+            plays2.len()
+        );
+    }
+
+    #[test]
+    fn impatient_workers_do_not_cover_type1_highlights() {
+        let h = Highlight::from_secs(1990.0, 2005.0);
+        let v = test_video(vec![h]);
+        let w = Worker {
+            id: UserId(9),
+            style: WorkerStyle::Impatient,
+            patience: 5.0,
+            hold: 3.0,
+        };
+        let params = SessionParams { noise_play_prob: 0.0, ..Default::default() };
+        let mut rng = SeedTree::new(6).rng();
+        for _ in 0..50 {
+            let plays =
+                simulate_session(&v, Sec(2035.0), &w, &params, &mut rng).plays();
+            for p in plays {
+                assert!(
+                    p.range.overlap_len(&h.range).0 < 1.0,
+                    "impatient worker covered the highlight: {}",
+                    p.range
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bingers_produce_long_plays() {
+        let v = test_video(vec![Highlight::from_secs(1990.0, 2005.0)]);
+        let w = Worker {
+            id: UserId(10),
+            style: WorkerStyle::Binger,
+            patience: 8.0,
+            hold: 4.0,
+        };
+        let params = SessionParams { noise_play_prob: 0.0, ..Default::default() };
+        let mut rng = SeedTree::new(7).rng();
+        let plays = simulate_session(&v, Sec(2000.0), &w, &params, &mut rng).plays();
+        assert_eq!(plays.len(), 1);
+        assert!(plays[0].duration().0 > 80.0, "binge too short: {}", plays[0].range);
+    }
+
+    #[test]
+    fn no_highlights_still_yields_a_session() {
+        let v = test_video(vec![]);
+        let plays = collect_plays(&v, Sec(1000.0), 40, 8);
+        assert!(!plays.is_empty());
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let v = test_video(vec![Highlight::from_secs(500.0, 520.0)]);
+        let a = collect_plays(&v, Sec(505.0), 30, 9);
+        let b = collect_plays(&v, Sec(505.0), 30, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Worker population: behaviour styles and per-worker parameters.
+
+use lightor_simkit::dist::uniform;
+use lightor_simkit::SimRng;
+use lightor_types::UserId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a viewer approaches a red dot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerStyle {
+    /// Clicks the dot, skips the boring lead-in, watches the highlight
+    /// through and a few seconds past it. The majority.
+    Engaged,
+    /// Gives the dot only a few seconds; if nothing exciting happens,
+    /// skips away. Produces the short check plays the filter removes.
+    Impatient,
+    /// Actively scrubs backward/forward hunting for the highlight even
+    /// when one is playing — extra hunting noise.
+    Seeker,
+    /// Starts early, watches far past the highlight; produces the too-long
+    /// plays the filter removes.
+    Binger,
+    /// Ignores the dot and samples random positions. Pure noise.
+    Random,
+}
+
+impl WorkerStyle {
+    /// All styles, for exhaustive tests.
+    pub const ALL: [WorkerStyle; 5] = [
+        WorkerStyle::Engaged,
+        WorkerStyle::Impatient,
+        WorkerStyle::Seeker,
+        WorkerStyle::Binger,
+        WorkerStyle::Random,
+    ];
+}
+
+/// One simulated crowd worker.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Platform identity used in sessions and play records.
+    pub id: UserId,
+    /// Behaviour style.
+    pub style: WorkerStyle,
+    /// Seconds of "nothing happening" this worker tolerates before acting.
+    pub patience: f64,
+    /// Seconds the worker keeps watching after a highlight ends.
+    pub hold: f64,
+}
+
+/// Style mix of the population. Engaged viewers dominate — the paper's
+/// campaigns worked *because* most AMT viewers genuinely watched — but
+/// every noise family is represented.
+const STYLE_WEIGHTS: [(WorkerStyle, f64); 5] = [
+    (WorkerStyle::Engaged, 0.55),
+    (WorkerStyle::Impatient, 0.15),
+    (WorkerStyle::Seeker, 0.10),
+    (WorkerStyle::Binger, 0.10),
+    (WorkerStyle::Random, 0.10),
+];
+
+/// Sample one worker with the given id.
+pub fn sample_worker(id: UserId, rng: &mut SimRng) -> Worker {
+    let roll: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut style = WorkerStyle::Engaged;
+    for (s, w) in STYLE_WEIGHTS {
+        acc += w;
+        if roll < acc {
+            style = s;
+            break;
+        }
+    }
+    Worker {
+        id,
+        style,
+        patience: uniform(rng, 4.0, 14.0),
+        hold: uniform(rng, 1.0, 9.0),
+    }
+}
+
+/// Sample a pool of `n` workers (ids `base_id..base_id+n`).
+pub fn sample_pool(n: usize, base_id: u64, rng: &mut SimRng) -> Vec<Worker> {
+    (0..n)
+        .map(|i| sample_worker(UserId(base_id + i as u64), rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_simkit::SeedTree;
+
+    #[test]
+    fn style_mix_is_respected() {
+        let mut rng = SeedTree::new(1).rng();
+        let pool = sample_pool(2000, 0, &mut rng);
+        let engaged = pool
+            .iter()
+            .filter(|w| w.style == WorkerStyle::Engaged)
+            .count() as f64
+            / pool.len() as f64;
+        assert!((engaged - 0.55).abs() < 0.05, "engaged fraction {engaged}");
+        // Every style occurs.
+        for s in WorkerStyle::ALL {
+            assert!(pool.iter().any(|w| w.style == s), "missing {s:?}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = STYLE_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameters_in_range() {
+        let mut rng = SeedTree::new(2).rng();
+        for w in sample_pool(200, 100, &mut rng) {
+            assert!((4.0..14.0).contains(&w.patience));
+            assert!((1.0..9.0).contains(&w.hold));
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut rng = SeedTree::new(3).rng();
+        let pool = sample_pool(5, 42, &mut rng);
+        let ids: Vec<u64> = pool.iter().map(|w| w.id.0).collect();
+        assert_eq!(ids, vec![42, 43, 44, 45, 46]);
+    }
+}

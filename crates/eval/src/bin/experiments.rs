@@ -1,0 +1,63 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all                # every figure/table, full scale
+//! experiments fig6 fig7         # a subset
+//! experiments all --quick       # reduced datasets (CI-sized)
+//! experiments all --markdown    # markdown instead of text tables
+//! ```
+
+use lightor_eval::experiments::{fig10, fig11, fig2, fig3, fig6, fig7, fig8, fig9, table1};
+use lightor_eval::{ExpEnv, Report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let mut which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if which.is_empty() || which.contains(&"all") {
+        which = vec![
+            "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
+        ];
+    }
+
+    let env = if quick { ExpEnv::quick() } else { ExpEnv::full() };
+    let mut reports: Vec<Report> = Vec::new();
+    for name in which {
+        let started = std::time::Instant::now();
+        match name {
+            "fig2" => reports.push(fig2::run(&env)),
+            "fig3" => reports.push(fig3::run(&env)),
+            "fig6" => {
+                reports.push(fig6::run_a(&env));
+                reports.push(fig6::run_b(&env));
+            }
+            "fig7" => {
+                reports.push(fig7::run_a(&env));
+                reports.push(fig7::run_b(&env));
+            }
+            "fig8" => reports.push(fig8::run(&env)),
+            "fig9" => reports.push(fig9::run(&env)),
+            "fig10" => reports.push(fig10::run(&env)),
+            "fig11" => reports.push(fig11::run(&env)),
+            "table1" => reports.push(table1::run(&env)),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{name} done in {:.1?}]", started.elapsed());
+    }
+
+    for r in &reports {
+        if markdown {
+            println!("{}", r.to_markdown());
+        } else {
+            println!("{}", r.to_text());
+        }
+    }
+}

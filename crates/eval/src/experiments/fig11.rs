@@ -1,0 +1,151 @@
+//! Figure 11 — cross-game generalization (train on LoL, test on LoL and
+//! Dota2).
+//!
+//! (a) LIGHTOR transfers: its three features are game-agnostic. The paper
+//!     even sees slightly *higher* precision on Dota2 for K > 5 (Dota2
+//!     videos contain more highlights per hour of scoreboard time).
+//! (b) Chat-LSTM does not transfer: the character patterns it memorizes
+//!     are LoL-vocabulary-specific.
+
+use crate::experiments::fig10::{lstm_config, prefix_start_curve};
+use crate::harness::{train_initializer, ExpEnv};
+use crate::report::{fmt3, Report, Table};
+use lightor::FeatureSet;
+use lightor_chatsim::SimVideo;
+use lightor_neural::{ChatLstm, LabeledChatVideo};
+use lightor_types::Sec;
+
+const K_MAX: usize = 10;
+
+/// Curves for one system: (LoL test, Dota2 test).
+pub struct TransferCurves {
+    /// Precision@K on same-game (LoL) test videos.
+    pub lol: Vec<f64>,
+    /// Precision@K on cross-game (Dota2) test videos.
+    pub dota2: Vec<f64>,
+}
+
+/// Compute both panels' curves.
+pub fn compute(env: &ExpEnv) -> (TransferCurves, TransferCurves) {
+    let n_train_lightor = env.cap(10, 2);
+    let n_train_lstm = env.cap(123, 6);
+    let n_test = env.cap(50, 4);
+    let lol = env.lol(n_train_lstm.max(n_train_lightor) + n_test);
+    let dota = env.dota2(n_test);
+
+    let lol_train: Vec<&SimVideo> = lol.videos[..n_train_lstm.max(n_train_lightor)]
+        .iter()
+        .collect();
+    let lol_test: Vec<&SimVideo> = lol.videos[lol.videos.len() - n_test..].iter().collect();
+    let dota_test: Vec<&SimVideo> = dota.videos.iter().collect();
+
+    // Panel (a): LIGHTOR.
+    let init = train_initializer(&lol_train[..n_train_lightor], FeatureSet::Full);
+    let curve_for = |test: &[&SimVideo]| {
+        let dots: Vec<(Vec<Sec>, &SimVideo)> = test
+            .iter()
+            .map(|sv| {
+                let d = init
+                    .red_dots(&sv.video.chat, sv.video.meta.duration, K_MAX)
+                    .into_iter()
+                    .map(|d| d.at)
+                    .collect();
+                (d, *sv)
+            })
+            .collect();
+        prefix_start_curve(&dots, K_MAX)
+    };
+    let lightor = TransferCurves {
+        lol: curve_for(&lol_test),
+        dota2: curve_for(&dota_test),
+    };
+
+    // Panel (b): Chat-LSTM trained on the big LoL pool.
+    let views: Vec<LabeledChatVideo> = lol_train[..n_train_lstm]
+        .iter()
+        .map(|sv| LabeledChatVideo {
+            chat: &sv.video.chat,
+            duration: sv.video.meta.duration,
+            highlights: &sv.video.highlights,
+        })
+        .collect();
+    let (model, _) = ChatLstm::train(&views, lstm_config(env), env.seed ^ 0xF11);
+    let lstm_curve_for = |test: &[&SimVideo]| {
+        let dots: Vec<(Vec<Sec>, &SimVideo)> = test
+            .iter()
+            .map(|sv| {
+                let d = model.detect(&sv.video.chat, sv.video.meta.duration, K_MAX, 120.0);
+                (d, *sv)
+            })
+            .collect();
+        prefix_start_curve(&dots, K_MAX)
+    };
+    let lstm = TransferCurves {
+        lol: lstm_curve_for(&lol_test),
+        dota2: lstm_curve_for(&dota_test),
+    };
+
+    (lightor, lstm)
+}
+
+/// Render the figure.
+pub fn run(env: &ExpEnv) -> Report {
+    let (lightor, lstm) = compute(env);
+    let mut report = Report::new("Figure 11 — cross-game generalization (LoL → Dota2)");
+    let mut t_a = Table::new(
+        "(a) Lightor trained on LoL",
+        &["K", "LoL test", "Dota2 test"],
+    );
+    let mut t_b = Table::new(
+        "(b) Chat-LSTM trained on LoL",
+        &["K", "LoL test", "Dota2 test"],
+    );
+    for k in 1..=K_MAX {
+        t_a.row(vec![
+            k.to_string(),
+            fmt3(lightor.lol[k - 1]),
+            fmt3(lightor.dota2[k - 1]),
+        ]);
+        t_b.row(vec![
+            k.to_string(),
+            fmt3(lstm.lol[k - 1]),
+            fmt3(lstm.dota2[k - 1]),
+        ]);
+    }
+    report.table(t_a);
+    report.table(t_b);
+    report.note(
+        "paper shape: Lightor's LoL/Dota2 curves stay close; Chat-LSTM's Dota2 curve \
+         drops well below its LoL curve"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn lightor_transfers_lstm_does_not() {
+        let (lightor, lstm) = compute(&ExpEnv::quick());
+        let lightor_gap = avg(&lightor.lol) - avg(&lightor.dota2);
+        let lstm_gap = avg(&lstm.lol) - avg(&lstm.dota2);
+        // LIGHTOR's cross-game drop must be small; the LSTM's must be
+        // clearly larger.
+        assert!(
+            lightor_gap.abs() <= 0.25,
+            "Lightor transfer gap too large: {lightor_gap}"
+        );
+        assert!(
+            lstm_gap > lightor_gap + 0.05,
+            "LSTM gap {lstm_gap} should exceed Lightor gap {lightor_gap}"
+        );
+        // And LIGHTOR on the foreign game still beats the LSTM there.
+        assert!(avg(&lightor.dota2) > avg(&lstm.dota2));
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 2 — analysis of the chat data in one Twitch video.
+//!
+//! (a) Message-count histogram with a smoothed curve around a highlight:
+//!     shows the reaction delay between the highlight start and the chat
+//!     peak (paper measures ≈20 s).
+//! (b) Feature-value distributions of highlight vs non-highlight windows
+//!     (paper example: 109 windows, 13 of them highlights).
+
+use crate::harness::ExpEnv;
+use crate::report::{fmt3, Report, Table};
+use lightor::{sliding_windows, window_peak, InitializerConfig, WindowFeatures};
+use lightor_simkit::{gaussian_smooth, mean, Histogram};
+use lightor_types::TimeRange;
+
+/// Run both panels on the first video of the Dota2 corpus.
+pub fn run(env: &ExpEnv) -> Report {
+    let data = env.dota2(1);
+    let sv = &data.videos[0];
+    let mut report = Report::new("Figure 2 — chat analysis of one Dota2 video");
+
+    // Panel (a): histogram around the first highlight.
+    let h = sv.video.highlights[0];
+    let window = TimeRange::from_secs(h.start().0 - 60.0, h.start().0 + 120.0);
+    let mut hist = Histogram::with_bin_width(window.start.0, window.end.0, 10.0);
+    for m in sv.video.chat.slice(window) {
+        hist.add(m.ts.0);
+    }
+    let smoothed = gaussian_smooth(hist.counts(), 1.0);
+    let mut t_a = Table::new(
+        format!("(a) message counts near highlight {}", h.range),
+        &["bin start (s)", "count", "smoothed"],
+    );
+    for (i, (&c, &s)) in hist.counts().iter().zip(&smoothed).enumerate() {
+        t_a.row(vec![
+            format!("{:.0}", window.start.0 + i as f64 * 10.0),
+            format!("{c:.0}"),
+            format!("{s:.1}"),
+        ]);
+    }
+    report.table(t_a);
+
+    // Measured reaction delay: distance from highlight start to the
+    // response-window peak.
+    let resp = sv.response_ranges[0];
+    let peak = window_peak(&sv.video.chat, resp, 5.0);
+    let delay = peak.0 - h.start().0;
+    report.note(format!(
+        "measured peak delay = {delay:.1} s after the highlight start (paper: ≈20 s)"
+    ));
+
+    // Panel (b): feature distributions over labelled windows.
+    let cfg = InitializerConfig::default();
+    let windows = sliding_windows(
+        &sv.video.chat,
+        sv.video.meta.duration,
+        cfg.window_len,
+        cfg.stride_frac,
+    );
+    let mut hi: Vec<WindowFeatures> = Vec::new();
+    let mut lo: Vec<WindowFeatures> = Vec::new();
+    for w in &windows {
+        let f = WindowFeatures::compute(sv.video.chat.slice(*w));
+        if sv.window_is_highlight(*w) {
+            hi.push(f);
+        } else {
+            lo.push(f);
+        }
+    }
+    let mut t_b = Table::new(
+        format!(
+            "(b) feature means over {} windows ({} highlight, {} non-highlight)",
+            windows.len(),
+            hi.len(),
+            lo.len()
+        ),
+        &["feature", "highlight mean", "non-highlight mean"],
+    );
+    let summarize = |xs: &[WindowFeatures], pick: fn(&WindowFeatures) -> f64| {
+        mean(&xs.iter().map(pick).collect::<Vec<_>>()).unwrap_or(0.0)
+    };
+    for (name, pick) in [
+        ("msg num", (|f: &WindowFeatures| f.msg_num) as fn(&WindowFeatures) -> f64),
+        ("msg len", |f| f.msg_len),
+        ("msg sim", |f| f.msg_sim),
+    ] {
+        t_b.row(vec![
+            name.to_string(),
+            fmt3(summarize(&hi, pick)),
+            fmt3(summarize(&lo, pick)),
+        ]);
+    }
+    report.table(t_b);
+    report.note(
+        "expected contrasts: highlight windows have MORE messages, SHORTER messages, \
+         HIGHER similarity"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_holds() {
+        let report = run(&ExpEnv::quick());
+        assert_eq!(report.tables.len(), 2);
+        // Parse the feature table and assert the paper's contrasts.
+        let t = &report.tables[1];
+        let get = |row: usize, col: usize| t.rows[row][col].parse::<f64>().unwrap();
+        let (hi_num, lo_num) = (get(0, 1), get(0, 2));
+        let (hi_len, lo_len) = (get(1, 1), get(1, 2));
+        let (hi_sim, lo_sim) = (get(2, 1), get(2, 2));
+        assert!(hi_num > lo_num, "msg num contrast: {hi_num} vs {lo_num}");
+        assert!(hi_len < lo_len, "msg len contrast: {hi_len} vs {lo_len}");
+        assert!(hi_sim > lo_sim, "msg sim contrast: {hi_sim} vs {lo_sim}");
+    }
+
+    #[test]
+    fn measured_delay_is_physical() {
+        let report = run(&ExpEnv::quick());
+        let note = &report.notes[0];
+        let delay: f64 = note
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (5.0..=40.0).contains(&delay),
+            "delay {delay} outside plausible band"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 7 — evaluation of the adjustment stage.
+//!
+//! (a) Video Precision@K (start): Toretter (no delay adjustment, <20% in
+//!     the paper) vs LIGHTOR (≈3× better) vs the Ideal line (= Figure 6a's
+//!     full-model chat precision).
+//! (b) The learned constant `c` vs training size. Paper: stable 23–27 s.
+
+use crate::experiments::fig6::ideal_curve;
+use crate::harness::{train_initializer, ExpEnv};
+use crate::metrics::{mean_over_videos, video_precision_start};
+use crate::report::{fmt3, Report, Table};
+use lightor::FeatureSet;
+use lightor_baselines::Toretter;
+use lightor_chatsim::SimVideo;
+
+fn lightor_start_curve(
+    init: &lightor::HighlightInitializer,
+    test: &[&SimVideo],
+    k_max: usize,
+) -> Vec<f64> {
+    (1..=k_max)
+        .map(|k| {
+            let per_video: Vec<f64> = test
+                .iter()
+                .map(|sv| {
+                    let dots = init.red_dots(&sv.video.chat, sv.video.meta.duration, k);
+                    let starts: Vec<_> = dots.iter().map(|d| d.at).collect();
+                    video_precision_start(&starts, sv)
+                })
+                .collect();
+            mean_over_videos(&per_video)
+        })
+        .collect()
+}
+
+fn toretter_start_curve(test: &[&SimVideo], k_max: usize) -> Vec<f64> {
+    let toretter = Toretter::default();
+    (1..=k_max)
+        .map(|k| {
+            let per_video: Vec<f64> = test
+                .iter()
+                .map(|sv| {
+                    let dots =
+                        toretter.detect(&sv.video.chat, sv.video.meta.duration, k);
+                    video_precision_start(&dots, sv)
+                })
+                .collect();
+            mean_over_videos(&per_video)
+        })
+        .collect()
+}
+
+/// Panel (a): adjustment performance against Toretter and the ideal.
+pub fn run_a(env: &ExpEnv) -> Report {
+    let n_train = env.cap(10, 3);
+    let n_test = env.cap(50, 4);
+    let data = env.dota2(n_train + n_test);
+    let train: Vec<&SimVideo> = data.videos[..n_train].iter().collect();
+    let test: Vec<&SimVideo> = data.videos[n_train..].iter().collect();
+    let k_max = 10;
+
+    let init = train_initializer(&train, FeatureSet::Full);
+    let lightor = lightor_start_curve(&init, &test, k_max);
+    let toretter = toretter_start_curve(&test, k_max);
+    let ideal = ideal_curve(env, k_max);
+
+    let mut report = Report::new("Figure 7a — adjustment performance");
+    let mut t = Table::new(
+        format!("Video Precision@K (start), {n_train} train / {n_test} test"),
+        &["K", "Toretter", "Lightor", "Ideal"],
+    );
+    for k in 1..=k_max {
+        t.row(vec![
+            k.to_string(),
+            fmt3(toretter[k - 1]),
+            fmt3(lightor[k - 1]),
+            fmt3(ideal[k - 1]),
+        ]);
+    }
+    report.table(t);
+    report.note(
+        "paper shape: Toretter < 0.2 everywhere; Lightor ≈ 3× Toretter, tracking Ideal"
+            .to_string(),
+    );
+    report
+}
+
+/// Panel (b): stability of the learned constant.
+pub fn run_b(env: &ExpEnv) -> Report {
+    let max_train = env.cap(10, 4);
+    let data = env.dota2(max_train);
+
+    let mut report = Report::new("Figure 7b — learned adjustment constant vs training size");
+    let mut t = Table::new("constant c (seconds)", &["# train videos", "c"]);
+    for n in 1..=max_train {
+        let train: Vec<&SimVideo> = data.videos[..n].iter().collect();
+        let init = train_initializer(&train, FeatureSet::Full);
+        t.row(vec![n.to_string(), format!("{:.0}", init.adjustment())]);
+    }
+    report.table(t);
+    report.note("paper band: 23–27 s across all training sizes".to_string());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lightor_beats_toretter_substantially() {
+        let report = run_a(&ExpEnv::quick());
+        let rows = &report.tables[0].rows;
+        let p = |row: usize, col: usize| rows[row][col].parse::<f64>().unwrap();
+        // Average over K of Lightor vs Toretter: expect a clear multiple.
+        let avg = |col: usize| {
+            rows.iter().enumerate().map(|(r, _)| p(r, col)).sum::<f64>() / rows.len() as f64
+        };
+        let (tor, lig) = (avg(1), avg(2));
+        assert!(
+            lig >= 1.8 * tor.max(0.05),
+            "Lightor {lig} vs Toretter {tor}: expected ≈3× gap"
+        );
+        assert!(lig >= 0.5, "Lightor start precision too low: {lig}");
+    }
+
+    #[test]
+    fn constant_is_stable_across_training_sizes() {
+        let report = run_b(&ExpEnv::quick());
+        let cs: Vec<f64> = report.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        let lo = cs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            hi - lo <= 10.0,
+            "c varies too much across training sizes: {cs:?}"
+        );
+        assert!(
+            (12.0..=35.0).contains(&lo) && (12.0..=35.0).contains(&hi),
+            "c outside physical band: {cs:?}"
+        );
+    }
+}

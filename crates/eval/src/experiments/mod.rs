@@ -1,0 +1,12 @@
+//! One module per paper figure/table. Each exposes a `run(env) -> Report`
+//! (or several, for multi-panel figures).
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,110 @@
+//! The paper's three Precision@K metrics (Section VII-A).
+
+use lightor_chatsim::SimVideo;
+use lightor_types::{Sec, TimeRange};
+
+/// The ±10 s tolerance used by both video metrics ("people typically
+/// cannot tolerate more than 10 s delay").
+pub const GOOD_DOT_TOL: f64 = 10.0;
+
+/// Chat Precision@K: fraction of the k returned sliding windows that are
+/// actually talking about a highlight.
+pub fn chat_precision_at_k(windows: &[TimeRange], video: &SimVideo) -> f64 {
+    if windows.is_empty() {
+        return 0.0;
+    }
+    let hits = windows
+        .iter()
+        .filter(|w| video.window_is_highlight(**w))
+        .count();
+    hits as f64 / windows.len() as f64
+}
+
+/// Video Precision@K (start): a start `x` is correct iff some highlight
+/// `[s, e]` satisfies `x ∈ [s − 10, e]`.
+pub fn video_precision_start(starts: &[Sec], video: &SimVideo) -> f64 {
+    if starts.is_empty() {
+        return 0.0;
+    }
+    let tol = Sec(GOOD_DOT_TOL);
+    let hits = starts
+        .iter()
+        .filter(|&&x| video.video.is_good_dot(x, tol))
+        .count();
+    hits as f64 / starts.len() as f64
+}
+
+/// Video Precision@K (end): an end `y` is correct iff some highlight
+/// `[s, e]` satisfies `y ∈ [s, e + 10]`. Predictions with no extracted
+/// end count as wrong (the k slots are still consumed).
+pub fn video_precision_end(ends: &[Option<Sec>], video: &SimVideo) -> f64 {
+    if ends.is_empty() {
+        return 0.0;
+    }
+    let tol = Sec(GOOD_DOT_TOL);
+    let hits = ends
+        .iter()
+        .filter(|e| {
+            e.is_some_and(|y| {
+                video
+                    .video
+                    .highlights
+                    .iter()
+                    .any(|h| h.accepts_end(y, tol))
+            })
+        })
+        .count();
+    hits as f64 / ends.len() as f64
+}
+
+/// Mean of a per-video metric across a test set.
+pub fn mean_over_videos(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_chatsim::dota2_dataset;
+
+    fn sample() -> SimVideo {
+        dota2_dataset(1, 1).videos.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn chat_precision_counts_overlaps() {
+        let v = sample();
+        let hit = v.response_ranges[0];
+        let miss = TimeRange::from_secs(0.0, 5.0);
+        assert_eq!(chat_precision_at_k(&[hit, miss], &v), 0.5);
+        assert_eq!(chat_precision_at_k(&[], &v), 0.0);
+    }
+
+    #[test]
+    fn start_precision_uses_good_dot_rule() {
+        let v = sample();
+        let h = v.video.highlights[0];
+        let good = Sec(h.start().0 - 5.0);
+        let late = Sec(h.end().0 + 1.0);
+        assert_eq!(video_precision_start(&[good, late], &v), 0.5);
+    }
+
+    #[test]
+    fn end_precision_counts_missing_as_wrong() {
+        let v = sample();
+        let h = v.video.highlights[0];
+        let good = Some(Sec(h.end().0 + 5.0));
+        let missing: Option<Sec> = None;
+        let early = Some(Sec(h.start().0 - 1.0));
+        assert_eq!(video_precision_end(&[good, missing, early], &v), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn mean_over_videos_handles_empty() {
+        assert_eq!(mean_over_videos(&[]), 0.0);
+        assert_eq!(mean_over_videos(&[0.5, 1.0]), 0.75);
+    }
+}

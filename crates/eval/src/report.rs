@@ -1,0 +1,193 @@
+//! Experiment output rendering: aligned text tables and markdown.
+
+use std::fmt::Write as _;
+
+/// One table of results (headers + rows of formatted cells).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cell values, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a caption and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns for terminals.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// A full experiment report: tables plus free-form notes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Experiment name (e.g. "Figure 6a").
+    pub name: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Observations (deltas vs the paper, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a table.
+    pub fn table(&mut self, t: Table) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Terminal rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("==== {} ====\n", self.name);
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.to_text());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "note: {n}");
+            }
+        }
+        out
+    }
+
+    /// Markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.name);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        out
+    }
+}
+
+/// Format a probability/precision with 3 decimals.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a duration compactly.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["K", "P@K"]);
+        t.row(vec!["1".into(), "0.900".into()]);
+        t.row(vec!["10".into(), "0.750".into()]);
+        let text = t.to_text();
+        assert!(text.contains("## Demo"));
+        assert!(text.contains("0.900"));
+        let md = t.to_markdown();
+        assert!(md.contains("| K | P@K |"));
+        assert!(md.contains("| 10 | 0.750 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn report_combines_tables_and_notes() {
+        let mut r = Report::new("Figure X");
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        r.table(t).note("shape holds");
+        let text = r.to_text();
+        assert!(text.contains("==== Figure X ===="));
+        assert!(text.contains("note: shape holds"));
+        assert!(r.to_markdown().contains("> shape holds"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.5), "0.500");
+        assert_eq!(fmt_duration(std::time::Duration::from_millis(5)), "5.0 ms");
+        assert_eq!(fmt_duration(std::time::Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,157 @@
+//! The adjustment stage: learning the reaction-delay constant `c`
+//! (paper Section IV-C2).
+//!
+//! Viewers comment on a highlight only after seeing it, so the chat peak
+//! trails the highlight start. The paper models the relationship as
+//! `time_start = time_peak − c` and learns the constant by maximizing the
+//! number of *good red dots* over the training highlights:
+//!
+//! ```text
+//! argmax_c Σ_i reward(time_peak_i − c, highlight_i)
+//! ```
+//!
+//! where `reward` is 1 iff the dot satisfies the good-dot rule
+//! (`s − tol ≤ r ≤ e`). We grid-search integer `c`, exactly the argmax in
+//! the paper; ties resolve to the smallest `c` (least aggressive shift).
+
+use lightor_types::{Highlight, Sec};
+
+/// One training pair: a detected chat peak and its labelled highlight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdjustExample {
+    /// Message-count peak position inside the highlight's chat window.
+    pub peak: Sec,
+    /// The labelled highlight the peak reacts to.
+    pub highlight: Highlight,
+}
+
+/// The paper's 0/1 reward: is `dot` a good red dot for `h`?
+pub fn reward(dot: Sec, h: &Highlight, tol: Sec) -> f64 {
+    if h.accepts_dot(dot, tol) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Learn the optimal constant `c` over integer candidates `0..=c_max`.
+///
+/// Returns `(c, total_reward)`. The 0/1 reward is flat over an interval
+/// of optimal `c` values; we take the *median* of the maximizing set —
+/// the max-margin choice, so small shifts in test-video delay (or a
+/// different game's highlight lengths) do not immediately push dots out
+/// of the good region. With no examples the fallback is `c = 0`.
+pub fn learn_adjustment(examples: &[AdjustExample], tol: Sec, c_max: f64) -> (f64, f64) {
+    if examples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut best_reward = -1.0;
+    let mut best_cs: Vec<f64> = vec![0.0];
+    let mut c = 0.0;
+    while c <= c_max {
+        let total: f64 = examples
+            .iter()
+            .map(|ex| reward(ex.peak - Sec(c), &ex.highlight, tol))
+            .sum();
+        if total > best_reward {
+            best_reward = total;
+            best_cs = vec![c];
+        } else if total == best_reward {
+            best_cs.push(c);
+        }
+        c += 1.0;
+    }
+    (best_cs[best_cs.len() / 2], best_reward.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ex(peak: f64, start: f64, end: f64) -> AdjustExample {
+        AdjustExample {
+            peak: Sec(peak),
+            highlight: Highlight::from_secs(start, end),
+        }
+    }
+
+    #[test]
+    fn reward_matches_good_dot_rule() {
+        let h = Highlight::from_secs(100.0, 120.0);
+        assert_eq!(reward(Sec(105.0), &h, Sec(10.0)), 1.0);
+        assert_eq!(reward(Sec(90.0), &h, Sec(10.0)), 1.0);
+        assert_eq!(reward(Sec(89.0), &h, Sec(10.0)), 0.0);
+        assert_eq!(reward(Sec(121.0), &h, Sec(10.0)), 0.0);
+    }
+
+    #[test]
+    fn recovers_constant_delay() {
+        // Peaks consistently 24 s after highlight starts; highlights 15 s
+        // long, so the raw peak is *after* the end and unrewarded.
+        let examples: Vec<AdjustExample> = (0..10)
+            .map(|i| {
+                let s = 100.0 + i as f64 * 300.0;
+                ex(s + 24.0, s, s + 15.0)
+            })
+            .collect();
+        let (c, r) = learn_adjustment(&examples, Sec(10.0), 60.0);
+        assert_eq!(r, 10.0);
+        // Any c in [9, 34] is perfect; the max-margin pick is the middle.
+        assert_eq!(c, 22.0);
+    }
+
+    #[test]
+    fn noisy_delays_still_find_consensus() {
+        // Delays 20..28 s with 10 s tolerance: a mid-range c satisfies all.
+        let examples: Vec<AdjustExample> = (0..9)
+            .map(|i| {
+                let s = 200.0 * (i + 1) as f64;
+                ex(s + 20.0 + i as f64, s, s + 12.0)
+            })
+            .collect();
+        let (c, r) = learn_adjustment(&examples, Sec(10.0), 60.0);
+        assert_eq!(r, 9.0, "c={c} should satisfy all examples");
+        assert!((16.0..=30.0).contains(&c), "c={c}");
+    }
+
+    #[test]
+    fn empty_examples_fall_back() {
+        let (c, r) = learn_adjustment(&[], Sec(10.0), 60.0);
+        assert_eq!((c, r), (0.0, 0.0));
+    }
+
+    #[test]
+    fn outlier_example_is_outvoted() {
+        let mut examples: Vec<AdjustExample> = (0..8)
+            .map(|i| {
+                let s = 300.0 * (i + 1) as f64;
+                ex(s + 25.0, s, s + 10.0)
+            })
+            .collect();
+        // One pathological peak long before its highlight.
+        examples.push(ex(50.0, 500.0, 510.0));
+        let (c, r) = learn_adjustment(&examples, Sec(10.0), 60.0);
+        assert!((15.0..=35.0).contains(&c), "c={c}");
+        assert_eq!(r, 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn learned_c_is_in_grid(
+            delays in proptest::collection::vec(5.0..40.0f64, 1..12),
+        ) {
+            let examples: Vec<AdjustExample> = delays
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let s = 200.0 * (i + 1) as f64;
+                    ex(s + d, s, s + 15.0)
+                })
+                .collect();
+            let (c, r) = learn_adjustment(&examples, Sec(10.0), 60.0);
+            prop_assert!((0.0..=60.0).contains(&c));
+            prop_assert!(r >= 1.0, "at least one example satisfiable, got {r}");
+        }
+    }
+}

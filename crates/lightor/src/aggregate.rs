@@ -1,0 +1,108 @@
+//! Boundary aggregation (paper Section V-C, "Aggregation" and
+//! Algorithm 2 lines 6–14).
+//!
+//! * **Type II** — the plays mostly cover the highlight, so after dropping
+//!   plays that end before the red dot, the highlight boundary is the
+//!   per-endpoint *median* (robust to the remaining stragglers).
+//! * **Type I** — the plays are hunting noise; no boundary can be trusted.
+//!   Move the dot backward by `m` and collect fresh data.
+
+use lightor_simkit::median;
+use lightor_types::{PlaySet, Sec};
+
+/// Type II aggregation: median start/end of the plays that do not end
+/// before the dot. `None` when no play survives the pre-filter.
+pub fn aggregate_type2(plays: &PlaySet, dot: Sec) -> Option<(Sec, Sec)> {
+    let survivors: Vec<_> = plays.iter().filter(|p| p.end().0 >= dot.0).collect();
+    if survivors.is_empty() {
+        return None;
+    }
+    let starts: Vec<f64> = survivors.iter().map(|p| p.start().0).collect();
+    let ends: Vec<f64> = survivors.iter().map(|p| p.end().0).collect();
+    let s = median(&starts).expect("non-empty");
+    let e = median(&ends).expect("non-empty");
+    Some((Sec(s), Sec(e.max(s))))
+}
+
+/// Type I aggregation: move the dot backward by `m` (clamped at 0).
+pub fn aggregate_type1(dot: Sec, move_back: f64) -> Sec {
+    Sec((dot.0 - move_back).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::Play;
+    use proptest::prelude::*;
+
+    fn ps(ranges: &[(f64, f64)]) -> PlaySet {
+        ranges.iter().map(|&(s, e)| Play::from_secs(s, e)).collect()
+    }
+
+    #[test]
+    fn medians_of_surviving_plays() {
+        let plays = ps(&[
+            (1995.0, 2018.0),
+            (1997.0, 2020.0),
+            (1999.0, 2022.0),
+            (1950.0, 1980.0), // ends before dot: dropped
+        ]);
+        let (s, e) = aggregate_type2(&plays, Sec(1990.0)).unwrap();
+        assert_eq!(s.0, 1997.0);
+        assert_eq!(e.0, 2020.0);
+    }
+
+    #[test]
+    fn all_dropped_yields_none() {
+        let plays = ps(&[(1900.0, 1950.0), (1910.0, 1960.0)]);
+        assert_eq!(aggregate_type2(&plays, Sec(1990.0)), None);
+        assert_eq!(aggregate_type2(&PlaySet::default(), Sec(0.0)), None);
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let plays = ps(&[
+            (1995.0, 2018.0),
+            (1996.0, 2019.0),
+            (1997.0, 2020.0),
+            (1998.0, 2021.0),
+            (2030.0, 2060.0), // outlier that survived filtering
+        ]);
+        let (s, _) = aggregate_type2(&plays, Sec(1990.0)).unwrap();
+        assert_eq!(s.0, 1997.0, "median should ignore the outlier");
+    }
+
+    #[test]
+    fn type1_moves_backward_and_clamps() {
+        assert_eq!(aggregate_type1(Sec(100.0), 20.0).0, 80.0);
+        assert_eq!(aggregate_type1(Sec(10.0), 20.0).0, 0.0);
+    }
+
+    #[test]
+    fn degenerate_end_is_clamped_to_start() {
+        // A single surviving play with end >= dot but end < its own start
+        // cannot happen (Play normalizes), but mixed medians can produce
+        // e < s when starts and ends come from different plays.
+        let plays = ps(&[(1995.0, 1996.0), (1800.0, 2100.0), (1994.0, 1995.5)]);
+        let (s, e) = aggregate_type2(&plays, Sec(1990.0)).unwrap();
+        assert!(e.0 >= s.0);
+    }
+
+    proptest! {
+        #[test]
+        fn boundary_is_within_play_envelope(
+            ranges in proptest::collection::vec((1900.0..2100.0f64, 5.0..60.0f64), 1..16),
+        ) {
+            let plays: PlaySet = ranges
+                .iter()
+                .map(|&(s, len)| Play::from_secs(s, s + len))
+                .collect();
+            if let Some((s, e)) = aggregate_type2(&plays, Sec(1950.0)) {
+                let min_s = plays.iter().map(|p| p.start().0).fold(f64::INFINITY, f64::min);
+                let max_e = plays.iter().map(|p| p.end().0).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(s.0 >= min_s - 1e-9 && e.0 <= max_e + 1e-9);
+                prop_assert!(s.0 <= e.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Type I / Type II red-dot classification (paper Section V-C,
+//! "Classification", Figure 4).
+//!
+//! The *unknown* geometry — is the dot before or after the end of its
+//! highlight? — correlates strongly with the *observable* positions of the
+//! filtered plays relative to the dot:
+//!
+//! * `# plays after` — start at or after the dot,
+//! * `# plays before` — end before the dot,
+//! * `# plays across` — start before and end at/after the dot.
+//!
+//! Type I dots (dot past the highlight) provoke hunting, so plays pile up
+//! before/across the dot; Type II dots see plays flowing forward from the
+//! dot. A logistic regression on the three (normalized) counts separates
+//! the two at ≈80% accuracy in the paper.
+
+use lightor_mlcore::{LogisticRegression, MinMaxScaler, TrainConfig};
+use lightor_types::{PlaySet, Sec};
+use serde::{Deserialize, Serialize};
+
+/// The relative position of a red dot and its highlight's end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DotType {
+    /// The dot is after the end of the highlight (viewers must hunt
+    /// backward).
+    TypeI,
+    /// The dot is at/before the end of the highlight (viewers watch
+    /// through).
+    TypeII,
+}
+
+/// The three play-position features of Figure 4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlayPositionFeatures {
+    /// Plays starting at or after the red dot.
+    pub after: f64,
+    /// Plays ending before the red dot.
+    pub before: f64,
+    /// Plays straddling the red dot.
+    pub across: f64,
+}
+
+impl PlayPositionFeatures {
+    /// Feature vector: *fractions* of the play set, so the classifier
+    /// generalizes across response counts.
+    pub fn to_vec(self) -> Vec<f64> {
+        let total = (self.after + self.before + self.across).max(1.0);
+        vec![
+            self.after / total,
+            self.before / total,
+            self.across / total,
+        ]
+    }
+}
+
+/// Count the three features over a (filtered) play set.
+pub fn play_position_features(plays: &PlaySet, dot: Sec) -> PlayPositionFeatures {
+    let mut f = PlayPositionFeatures::default();
+    for p in plays.iter() {
+        if p.start().0 >= dot.0 {
+            f.after += 1.0;
+        } else if p.end().0 < dot.0 {
+            f.before += 1.0;
+        } else {
+            f.across += 1.0;
+        }
+    }
+    f
+}
+
+/// The trained Type I/II classifier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TypeClassifier {
+    scaler: MinMaxScaler,
+    model: LogisticRegression,
+}
+
+impl TypeClassifier {
+    /// Train from labelled examples `(features, type)`. Panics unless both
+    /// types are represented.
+    pub fn train(examples: &[(PlayPositionFeatures, DotType)]) -> Self {
+        assert!(!examples.is_empty(), "no training examples");
+        let rows: Vec<Vec<f64>> = examples.iter().map(|(f, _)| f.to_vec()).collect();
+        let labels: Vec<bool> = examples
+            .iter()
+            .map(|(_, t)| *t == DotType::TypeI)
+            .collect();
+        let scaler = MinMaxScaler::fit(&rows);
+        let scaled = scaler.transform_all(&rows);
+        let model = LogisticRegression::fit(&scaled, &labels, &TrainConfig::default());
+        TypeClassifier { scaler, model }
+    }
+
+    /// Classify a dot from its play-position features.
+    pub fn classify(&self, f: &PlayPositionFeatures) -> DotType {
+        let row = self.scaler.transform(&f.to_vec());
+        if self.model.predict(&row) {
+            DotType::TypeI
+        } else {
+            DotType::TypeII
+        }
+    }
+
+    /// P(Type I) — for diagnostics.
+    pub fn prob_type1(&self, f: &PlayPositionFeatures) -> f64 {
+        self.model.predict_proba(&self.scaler.transform(&f.to_vec()))
+    }
+
+    /// A rule-based fallback mirroring Figure 4's logic, used before any
+    /// labelled interaction data exists (cold-start deployments): if at
+    /// least 30% of plays sit before/across the dot, call it Type I.
+    pub fn heuristic(f: &PlayPositionFeatures) -> DotType {
+        let total = f.after + f.before + f.across;
+        if total == 0.0 {
+            return DotType::TypeII;
+        }
+        if (f.before + f.across) / total >= 0.3 {
+            DotType::TypeI
+        } else {
+            DotType::TypeII
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::Play;
+
+    fn features(after: f64, before: f64, across: f64) -> PlayPositionFeatures {
+        PlayPositionFeatures { after, before, across }
+    }
+
+    #[test]
+    fn counting_matches_figure_4() {
+        // Figure 4 Type II example: 3 plays all starting at/after the dot.
+        let dot = Sec(100.0);
+        let ps: PlaySet = vec![
+            Play::from_secs(100.0, 120.0),
+            Play::from_secs(102.0, 118.0),
+            Play::from_secs(105.0, 125.0),
+        ]
+        .into_iter()
+        .collect();
+        let f = play_position_features(&ps, dot);
+        assert_eq!((f.after, f.before, f.across), (3.0, 0.0, 0.0));
+
+        // Figure 4 Type I example: one of each.
+        let ps2: PlaySet = vec![
+            Play::from_secs(101.0, 110.0), // after
+            Play::from_secs(80.0, 95.0),   // before
+            Play::from_secs(90.0, 105.0),  // across
+        ]
+        .into_iter()
+        .collect();
+        let f2 = play_position_features(&ps2, dot);
+        assert_eq!((f2.after, f2.before, f2.across), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn fractions_normalize() {
+        let v = features(2.0, 1.0, 1.0).to_vec();
+        assert_eq!(v, vec![0.5, 0.25, 0.25]);
+        // Zero plays: degenerate but finite.
+        let z = features(0.0, 0.0, 0.0).to_vec();
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn classifier_learns_the_separation() {
+        // Synthetic but structured like the real data: Type II mostly
+        // after-dominant, Type I mixed with heavy before/across.
+        let mut examples = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64;
+            examples.push((features(8.0 + jitter, 0.0, 1.0), DotType::TypeII));
+            examples.push((features(3.0, 3.0 + jitter, 3.0), DotType::TypeI));
+        }
+        let clf = TypeClassifier::train(&examples);
+        assert_eq!(clf.classify(&features(9.0, 0.0, 1.0)), DotType::TypeII);
+        assert_eq!(clf.classify(&features(2.0, 4.0, 4.0)), DotType::TypeI);
+        let p_type1 = clf.prob_type1(&features(2.0, 5.0, 4.0));
+        assert!(p_type1 > 0.5);
+    }
+
+    #[test]
+    fn heuristic_matches_intuition() {
+        assert_eq!(
+            TypeClassifier::heuristic(&features(9.0, 0.0, 1.0)),
+            DotType::TypeII
+        );
+        assert_eq!(
+            TypeClassifier::heuristic(&features(3.0, 3.0, 3.0)),
+            DotType::TypeI
+        );
+        assert_eq!(
+            TypeClassifier::heuristic(&features(0.0, 0.0, 0.0)),
+            DotType::TypeII
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let examples = vec![
+            (features(9.0, 0.0, 1.0), DotType::TypeII),
+            (features(2.0, 4.0, 4.0), DotType::TypeI),
+            (features(8.0, 1.0, 1.0), DotType::TypeII),
+            (features(3.0, 5.0, 2.0), DotType::TypeI),
+        ];
+        let clf = TypeClassifier::train(&examples);
+        let js = serde_json::to_string(&clf).unwrap();
+        let back: TypeClassifier = serde_json::from_str(&js).unwrap();
+        let probe = features(5.0, 2.0, 2.0);
+        assert_eq!(clf.classify(&probe), back.classify(&probe));
+    }
+}

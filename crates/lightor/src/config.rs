@@ -1,0 +1,102 @@
+//! System parameters, with the paper's defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Highlight Initializer parameters (paper Section IV).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InitializerConfig {
+    /// Sliding-window length in seconds. Paper: 25 s (Section VII-A).
+    pub window_len: f64,
+    /// Stride between candidate windows, as a fraction of `window_len`.
+    /// Candidates overlap; Algorithm 1 line 1 resolves overlaps by keeping
+    /// the window with more messages.
+    pub stride_frac: f64,
+    /// Minimum distance between two red dots, δ. Paper: 120 s.
+    pub min_separation: f64,
+    /// Tolerance before the highlight start for a good red dot. Paper:
+    /// 10 s ("people can accept less than 10 s delay").
+    pub good_dot_tol: f64,
+    /// Bin width used for locating the message peak inside a window.
+    pub peak_bin: f64,
+    /// Grid searched when learning the adjustment constant `c` (seconds).
+    pub c_grid_max: f64,
+}
+
+impl Default for InitializerConfig {
+    fn default() -> Self {
+        InitializerConfig {
+            window_len: 25.0,
+            stride_frac: 0.5,
+            min_separation: 120.0,
+            good_dot_tol: 10.0,
+            peak_bin: 5.0,
+            c_grid_max: 60.0,
+        }
+    }
+}
+
+/// Highlight Extractor parameters (paper Section V).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExtractorConfig {
+    /// Plays farther than this from the red dot are out of scope, Δ.
+    /// Paper: 60 s.
+    pub neighborhood: f64,
+    /// Distance filter: a play whose interval is farther than this from
+    /// the dot "typically does not cover the highlight".
+    pub max_dot_distance: f64,
+    /// Too-short plays are interest checks, not highlight watching.
+    pub min_play_len: f64,
+    /// Too-long plays are whole-video watching.
+    pub max_play_len: f64,
+    /// Type I move-back step, m. Paper: 20 s.
+    pub move_back: f64,
+    /// Convergence threshold ε on the red dot position.
+    pub converge_eps: f64,
+    /// Maximum refinement iterations (a safety net; the paper iterates
+    /// "until users reach a consensus", about 4 rounds in Figure 8).
+    pub max_iterations: usize,
+    /// Crowd responses collected per task. Paper: 10.
+    pub responses_per_task: usize,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig {
+            neighborhood: 60.0,
+            max_dot_distance: 45.0,
+            min_play_len: 6.0,
+            max_play_len: 75.0,
+            move_back: 20.0,
+            converge_eps: 3.0,
+            max_iterations: 6,
+            responses_per_task: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let i = InitializerConfig::default();
+        assert_eq!(i.window_len, 25.0);
+        assert_eq!(i.min_separation, 120.0);
+        assert_eq!(i.good_dot_tol, 10.0);
+        let e = ExtractorConfig::default();
+        assert_eq!(e.neighborhood, 60.0);
+        assert_eq!(e.move_back, 20.0);
+        assert_eq!(e.responses_per_task, 10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let i = InitializerConfig::default();
+        let js = serde_json::to_string(&i).unwrap();
+        assert_eq!(serde_json::from_str::<InitializerConfig>(&js).unwrap(), i);
+        let e = ExtractorConfig::default();
+        let js = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<ExtractorConfig>(&js).unwrap(), e);
+    }
+}

@@ -1,0 +1,165 @@
+//! The three general window features (paper Section IV-C2).
+//!
+//! * **Message number** — burst detection; the only feature the naive
+//!   baseline uses.
+//! * **Message length** — average words per message; highlight reactions
+//!   are short ("Kill!", emotes), advertisements and ordinary talk are
+//!   long.
+//! * **Message similarity** — mean cosine similarity of each message's
+//!   binary bag-of-words vector to the window's one-cluster k-means
+//!   center; reactions to the *same* moment look alike, random chatter
+//!   does not.
+
+use lightor_mlcore::kmeans::mean_loo_similarity;
+use lightor_mlcore::text::Vocab;
+use lightor_types::ChatMessage;
+use serde::{Deserialize, Serialize};
+
+/// Raw (unscaled) features of one sliding window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowFeatures {
+    /// Number of messages in the window.
+    pub msg_num: f64,
+    /// Mean words per message (0 for an empty window).
+    pub msg_len: f64,
+    /// Mean cosine similarity to the window's message center (0 for an
+    /// empty window).
+    pub msg_sim: f64,
+}
+
+impl WindowFeatures {
+    /// Compute the features of the messages inside one window.
+    pub fn compute(messages: &[ChatMessage]) -> Self {
+        if messages.is_empty() {
+            return WindowFeatures::default();
+        }
+        let n = messages.len() as f64;
+        let msg_len = messages.iter().map(|m| m.word_count() as f64).sum::<f64>() / n;
+
+        // Window-local vocabulary: similarity is about agreement *within*
+        // this window, not global token frequency. The leave-one-out
+        // center avoids the 1/sqrt(n) self-similarity floor, so this
+        // measures pure agreement (0 = disjoint, 1 = identical) and
+        // yields 0 for windows with fewer than two messages.
+        let vocab = Vocab::build(messages.iter().map(|m| m.text.as_str()));
+        let vectors: Vec<_> = messages.iter().map(|m| vocab.encode(&m.text)).collect();
+        let msg_sim = mean_loo_similarity(&vectors, vocab.len());
+
+        WindowFeatures {
+            msg_num: n,
+            msg_len,
+            msg_sim,
+        }
+    }
+}
+
+/// Which features the model uses — the ablation axis of Figure 6a.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Message number only (the naive signal).
+    Num,
+    /// Number + length.
+    NumLen,
+    /// Number + length + similarity (the full model).
+    Full,
+}
+
+impl FeatureSet {
+    /// Dimensionality of the feature vector.
+    pub fn dim(self) -> usize {
+        match self {
+            FeatureSet::Num => 1,
+            FeatureSet::NumLen => 2,
+            FeatureSet::Full => 3,
+        }
+    }
+
+    /// Project raw features into this set's vector layout.
+    pub fn vectorize(self, f: &WindowFeatures) -> Vec<f64> {
+        match self {
+            FeatureSet::Num => vec![f.msg_num],
+            FeatureSet::NumLen => vec![f.msg_num, f.msg_len],
+            FeatureSet::Full => vec![f.msg_num, f.msg_len, f.msg_sim],
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::Num => "msg num",
+            FeatureSet::NumLen => "msg num + msg len",
+            FeatureSet::Full => "msg num + msg len + msg sim",
+        }
+    }
+
+    /// All sets in ablation order.
+    pub const ALL: [FeatureSet; 3] = [FeatureSet::Num, FeatureSet::NumLen, FeatureSet::Full];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::UserId;
+
+    fn msgs(texts: &[&str]) -> Vec<ChatMessage> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ChatMessage::new(i as f64, UserId(i as u64), *t))
+            .collect()
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        assert_eq!(WindowFeatures::compute(&[]), WindowFeatures::default());
+    }
+
+    #[test]
+    fn counts_and_lengths() {
+        let f = WindowFeatures::compute(&msgs(&["gg", "what a play", "nice one dude"]));
+        assert_eq!(f.msg_num, 3.0);
+        assert!((f.msg_len - (1.0 + 3.0 + 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hype_window_beats_chatter_on_similarity() {
+        let hype = WindowFeatures::compute(&msgs(&["kill kill", "kill", "kill wow", "kill"]));
+        let chatter = WindowFeatures::compute(&msgs(&[
+            "anyone know the song",
+            "pizza time for me",
+            "drafting looks slow today",
+            "where is this tournament",
+        ]));
+        assert!(
+            hype.msg_sim > chatter.msg_sim + 0.2,
+            "hype {} vs chatter {}",
+            hype.msg_sim,
+            chatter.msg_sim
+        );
+        assert!(hype.msg_len < chatter.msg_len);
+    }
+
+    #[test]
+    fn single_message_has_no_similarity_evidence() {
+        let f = WindowFeatures::compute(&msgs(&["hello world"]));
+        assert_eq!(f.msg_sim, 0.0);
+        let g = WindowFeatures::compute(&msgs(&["gg", "gg"]));
+        assert!((g.msg_sim - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_sets_project_correctly() {
+        let f = WindowFeatures {
+            msg_num: 10.0,
+            msg_len: 2.0,
+            msg_sim: 0.7,
+        };
+        assert_eq!(FeatureSet::Num.vectorize(&f), vec![10.0]);
+        assert_eq!(FeatureSet::NumLen.vectorize(&f), vec![10.0, 2.0]);
+        assert_eq!(FeatureSet::Full.vectorize(&f), vec![10.0, 2.0, 0.7]);
+        for s in FeatureSet::ALL {
+            assert_eq!(s.vectorize(&f).len(), s.dim());
+            assert!(!s.label().is_empty());
+        }
+    }
+}

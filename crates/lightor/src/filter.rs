@@ -1,0 +1,182 @@
+//! Play filtering (paper Section V-C, "Filtering").
+//!
+//! Four rules, applied in order:
+//!
+//! 1. **Scope** — only plays overlapping `[dot − Δ, dot + Δ]` belong to
+//!    this red dot at all (Section V-A).
+//! 2. **Distance** — a play whose interval is farther than
+//!    `max_dot_distance` from the dot "typically does not cover the
+//!    highlight".
+//! 3. **Length** — too-short plays are interest checks; too-long plays are
+//!    whole-video watching.
+//! 4. **Graph outliers** — build the play-overlap graph, find the node
+//!    with the largest degree, keep it and its neighbours; everything
+//!    else is an outlier.
+
+use crate::config::ExtractorConfig;
+use lightor_types::{Play, PlaySet, Sec, TimeRange};
+
+/// Apply all four filter rules; the returned set is a subset of `plays`.
+pub fn filter_plays(plays: &PlaySet, dot: Sec, cfg: &ExtractorConfig) -> PlaySet {
+    let scope = TimeRange::new(
+        Sec((dot.0 - cfg.neighborhood).max(0.0)),
+        Sec(dot.0 + cfg.neighborhood),
+    );
+    let candidates: Vec<Play> = plays
+        .iter()
+        .filter(|p| p.range.overlaps(&scope))
+        .filter(|p| p.range.distance_to(dot).0 <= cfg.max_dot_distance)
+        .filter(|p| {
+            let d = p.duration().0;
+            d >= cfg.min_play_len && d <= cfg.max_play_len
+        })
+        .copied()
+        .collect();
+
+    PlaySet::new(remove_graph_outliers(candidates))
+}
+
+/// Keep the max-degree node of the overlap graph and its neighbours
+/// (`Outliers = {v | v ≠ o and e_{v,o} ∉ E}`).
+///
+/// With zero or one candidate the input is returned unchanged; with
+/// several disconnected cliques the largest-degree centre wins, ties
+/// resolving to the earliest-starting node for determinism.
+fn remove_graph_outliers(plays: Vec<Play>) -> Vec<Play> {
+    let n = plays.len();
+    if n <= 1 {
+        return plays;
+    }
+    let mut degree = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if plays[i].range.overlaps(&plays[j].range) {
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+    }
+    let center = (0..n)
+        .max_by(|&a, &b| {
+            degree[a]
+                .cmp(&degree[b])
+                .then(plays[b].start().total_cmp(&plays[a].start()))
+        })
+        .expect("non-empty");
+    plays
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| *i == center || p.range.overlaps(&plays[center].range))
+        .map(|(_, p)| *p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> ExtractorConfig {
+        ExtractorConfig::default()
+    }
+
+    fn plays(ranges: &[(f64, f64)]) -> PlaySet {
+        ranges.iter().map(|&(s, e)| Play::from_secs(s, e)).collect()
+    }
+
+    #[test]
+    fn far_plays_are_removed() {
+        let ps = plays(&[(1990.0, 2010.0), (2300.0, 2320.0)]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.plays[0].start().0, 1990.0);
+    }
+
+    #[test]
+    fn short_and_long_plays_are_removed() {
+        let ps = plays(&[
+            (1995.0, 1998.0),  // 3 s check
+            (1990.0, 2010.0),  // good
+            (1950.0, 2100.0),  // 150 s binge
+            (1992.0, 2012.0),  // good
+        ]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.duration().0 >= 6.0 && p.duration().0 <= 75.0));
+    }
+
+    #[test]
+    fn graph_outlier_is_removed() {
+        // Three mutually overlapping plays around 2000 s plus one isolated
+        // (but in-scope, valid-length) play at 2035 s.
+        let ps = plays(&[
+            (1990.0, 2010.0),
+            (1992.0, 2012.0),
+            (1995.0, 2015.0),
+            (2030.0, 2042.0),
+        ]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|p| p.start().0 < 2020.0));
+    }
+
+    #[test]
+    fn single_play_survives() {
+        let ps = plays(&[(1990.0, 2010.0)]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let out = filter_plays(&PlaySet::default(), Sec(100.0), &cfg());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        // Two disjoint pairs: both centres have degree 1; earliest-start
+        // wins.
+        let ps = plays(&[
+            (1980.0, 1995.0),
+            (1985.0, 2000.0),
+            (2010.0, 2025.0),
+            (2015.0, 2030.0),
+        ]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.start().0 <= 1985.0));
+    }
+
+    #[test]
+    fn scope_boundary_is_inclusive_on_overlap() {
+        // Play overlapping the Δ boundary survives scope but fails the
+        // distance rule if its interval is > max_dot_distance away.
+        let ps = plays(&[(2055.0, 2070.0)]);
+        let out = filter_plays(&ps, Sec(2000.0), &cfg());
+        assert!(out.is_empty(), "distance rule should remove it");
+        let ps2 = plays(&[(2040.0, 2055.0)]);
+        let out2 = filter_plays(&ps2, Sec(2000.0), &cfg());
+        assert_eq!(out2.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn filter_is_a_subset_and_idempotent(
+            ranges in proptest::collection::vec((1900.0..2100.0f64, 1.0..120.0f64), 0..24),
+        ) {
+            let ps: PlaySet = ranges
+                .iter()
+                .map(|&(s, len)| Play::from_secs(s, s + len))
+                .collect();
+            let dot = Sec(2000.0);
+            let once = filter_plays(&ps, dot, &cfg());
+            prop_assert!(once.len() <= ps.len());
+            for p in once.iter() {
+                prop_assert!(ps.iter().any(|q| q == p));
+            }
+            let twice = filter_plays(&once, dot, &cfg());
+            prop_assert_eq!(&once, &twice);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Serializable bundle of every trained artifact — what the platform layer
+//! persists between sessions (Section VI: "the refined results will be
+//! stored in the database continuously").
+
+use crate::extractor::HighlightExtractor;
+use crate::initializer::HighlightInitializer;
+use serde::{Deserialize, Serialize};
+
+/// All trained LIGHTOR models for one deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// The trained Highlight Initializer (scaler + window model + c).
+    pub initializer: HighlightInitializer,
+    /// The trained Highlight Extractor (Type I/II classifier + config).
+    pub extractor: HighlightExtractor,
+    /// Free-form provenance (training games, seeds, sizes).
+    pub provenance: String,
+}
+
+impl ModelBundle {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{DotType, PlayPositionFeatures, TypeClassifier};
+    use crate::config::{ExtractorConfig, InitializerConfig};
+    use crate::features::FeatureSet;
+    use lightor_mlcore::{LogisticRegression, MinMaxScaler};
+
+    fn bundle() -> ModelBundle {
+        let scaler = MinMaxScaler::fit(&[vec![0.0, 0.0, 0.0], vec![10.0, 5.0, 1.0]]);
+        let lr = LogisticRegression::from_parameters(vec![2.0, -1.0, 1.5], -0.5);
+        let initializer = HighlightInitializer::from_parts(
+            InitializerConfig::default(),
+            FeatureSet::Full,
+            scaler,
+            lr,
+            24.0,
+        );
+        let clf = TypeClassifier::train(&[
+            (PlayPositionFeatures { after: 9.0, before: 0.0, across: 1.0 }, DotType::TypeII),
+            (PlayPositionFeatures { after: 2.0, before: 4.0, across: 4.0 }, DotType::TypeI),
+            (PlayPositionFeatures { after: 8.0, before: 1.0, across: 1.0 }, DotType::TypeII),
+            (PlayPositionFeatures { after: 3.0, before: 5.0, across: 2.0 }, DotType::TypeI),
+        ]);
+        let extractor = HighlightExtractor::new(clf, ExtractorConfig::default());
+        ModelBundle {
+            initializer,
+            extractor,
+            provenance: "unit-test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = bundle();
+        let js = b.to_json().unwrap();
+        let back = ModelBundle::from_json(&js).unwrap();
+        assert_eq!(back.provenance, "unit-test");
+        assert_eq!(back.initializer.adjustment(), 24.0);
+        assert_eq!(
+            back.extractor.config(),
+            &ExtractorConfig::default()
+        );
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        assert!(ModelBundle::from_json("{not json").is_err());
+        assert!(ModelBundle::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The end-to-end LIGHTOR workflow (paper Figure 1): chat → red dots →
+//! crowd refinement → extracted highlights.
+
+use crate::extractor::{HighlightExtractor, Refined};
+use crate::initializer::HighlightInitializer;
+use lightor_types::{ChatLog, PlaySet, RedDot, Sec};
+use serde::{Deserialize, Serialize};
+
+/// One extracted highlight: the refined boundary plus provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedHighlight {
+    /// The red dot the Initializer placed.
+    pub initial: RedDot,
+    /// Refined start position.
+    pub start: Sec,
+    /// Refined end position (absent when the crowd never produced a
+    /// usable Type II round).
+    pub end: Option<Sec>,
+    /// Crowd rounds spent refining this dot.
+    pub iterations: usize,
+}
+
+/// The assembled system: a trained Initializer and Extractor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lightor {
+    /// Chat-side component.
+    pub initializer: HighlightInitializer,
+    /// Interaction-side component.
+    pub extractor: HighlightExtractor,
+}
+
+impl Lightor {
+    /// Wire the two trained components together.
+    pub fn new(initializer: HighlightInitializer, extractor: HighlightExtractor) -> Self {
+        Lightor {
+            initializer,
+            extractor,
+        }
+    }
+
+    /// Initializer only: top-k red dots for a video.
+    pub fn red_dots(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<RedDot> {
+        self.initializer.red_dots(chat, duration, k)
+    }
+
+    /// Full workflow for one video.
+    ///
+    /// `collect(dot_index, position)` is one crowd task: it must return
+    /// the play records gathered at `position` for the `dot_index`-th red
+    /// dot. Results are ordered by the initializer's ranking.
+    pub fn extract_highlights(
+        &self,
+        chat: &ChatLog,
+        duration: Sec,
+        k: usize,
+        collect: &mut dyn FnMut(usize, Sec) -> PlaySet,
+    ) -> Vec<ExtractedHighlight> {
+        self.red_dots(chat, duration, k)
+            .into_iter()
+            .enumerate()
+            .map(|(i, dot)| {
+                let refined: Refined =
+                    self.extractor.refine(dot, &mut |pos| collect(i, pos));
+                ExtractedHighlight {
+                    initial: dot,
+                    start: refined.start,
+                    end: refined.end,
+                    iterations: refined.iterations(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{DotType, PlayPositionFeatures, TypeClassifier};
+    use crate::config::{ExtractorConfig, InitializerConfig};
+    use crate::features::FeatureSet;
+    use crate::initializer::TrainingVideo;
+    use lightor_chatsim::dota2_dataset;
+    use lightor_crowdsim::Campaign;
+
+    fn synthetic_classifier() -> TypeClassifier {
+        let mut examples = Vec::new();
+        for i in 0..40 {
+            let j = (i % 7) as f64;
+            examples.push((
+                PlayPositionFeatures {
+                    after: 5.0 + j,
+                    before: if i % 5 == 0 { 1.0 } else { 0.0 },
+                    across: 1.0 + j / 2.0,
+                },
+                DotType::TypeII,
+            ));
+            examples.push((
+                PlayPositionFeatures {
+                    after: 1.0 + j / 3.0,
+                    before: 3.0 + j,
+                    across: 2.0 + j / 2.0,
+                },
+                DotType::TypeI,
+            ));
+        }
+        TypeClassifier::train(&examples)
+    }
+
+    #[test]
+    fn end_to_end_on_simulated_video() {
+        let data = dota2_dataset(3, 77);
+        let views: Vec<TrainingVideo> = data.videos[..2]
+            .iter()
+            .map(|v| TrainingVideo {
+                chat: &v.video.chat,
+                duration: v.video.meta.duration,
+                highlights: &v.video.highlights,
+                label_ranges: &v.response_ranges,
+            })
+            .collect();
+        let init =
+            HighlightInitializer::train(&views, FeatureSet::Full, InitializerConfig::default());
+        let system = Lightor::new(
+            init,
+            HighlightExtractor::new(synthetic_classifier(), ExtractorConfig::default()),
+        );
+
+        let test = &data.videos[2];
+        let mut campaign = Campaign::new(120, 78);
+        let video_ref = &test.video;
+        let mut collect =
+            |_i: usize, pos: Sec| campaign.run_task(video_ref, pos, 10).plays;
+
+        let out = system.extract_highlights(
+            &test.video.chat,
+            test.video.meta.duration,
+            5,
+            &mut collect,
+        );
+        assert_eq!(out.len(), 5);
+        // Every result refined at least one round, and most found an end.
+        assert!(out.iter().all(|h| h.iterations >= 1));
+        let with_end = out.iter().filter(|h| h.end.is_some()).count();
+        assert!(with_end >= 3, "{with_end}/5 dots produced boundaries");
+        // Starts stay within the video.
+        for h in &out {
+            assert!(h.start.0 >= 0.0 && h.start.0 <= test.video.meta.duration.0);
+            if let Some(e) = h.end {
+                assert!(e.0 >= h.start.0 - 1e-9);
+            }
+        }
+    }
+}

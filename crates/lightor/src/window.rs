@@ -1,0 +1,164 @@
+//! Sliding-window generation over a chat log (Algorithm 1, line 1).
+//!
+//! Candidate windows of length `l` are laid out with a stride of
+//! `stride_frac * l`, so neighbouring candidates overlap. "When two
+//! sliding windows have an overlap, we keep the one with more messages" —
+//! resolved greedily from the most populated window down, which anchors
+//! windows on chat bursts instead of an arbitrary grid phase.
+
+use lightor_types::{ChatLog, Sec, TimeRange};
+
+/// Generate the non-overlapping window set for a video.
+///
+/// Returns windows sorted by start time. Windows with zero messages are
+/// kept (they are trivially non-highlights and the classifier needs the
+/// full negative distribution at training time).
+pub fn sliding_windows(
+    chat: &ChatLog,
+    video_len: Sec,
+    window_len: f64,
+    stride_frac: f64,
+) -> Vec<TimeRange> {
+    assert!(window_len > 0.0, "window length must be positive");
+    assert!(
+        (0.0..=1.0).contains(&stride_frac) && stride_frac > 0.0,
+        "stride fraction must be in (0, 1]"
+    );
+    let len = video_len.0;
+    if len <= 0.0 {
+        return Vec::new();
+    }
+    let stride = window_len * stride_frac;
+
+    // Candidate windows with counts.
+    let mut candidates: Vec<(TimeRange, usize)> = Vec::new();
+    let mut t = 0.0;
+    while t < len {
+        let range = TimeRange::from_secs(t, (t + window_len).min(len));
+        let count = chat.count_in(range);
+        candidates.push((range, count));
+        t += stride;
+    }
+
+    // Greedy overlap resolution: most messages first; ties earlier-first
+    // (deterministic).
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        candidates[b]
+            .1
+            .cmp(&candidates[a].1)
+            .then(candidates[a].0.start.total_cmp(&candidates[b].0.start))
+    });
+
+    let mut kept: Vec<TimeRange> = Vec::new();
+    for i in order {
+        let (range, _) = candidates[i];
+        // Touching endpoints (shared boundary instant) are not a real
+        // overlap for window purposes.
+        if kept
+            .iter()
+            .all(|k| k.overlap_len(&range).0 == 0.0)
+        {
+            kept.push(range);
+        }
+    }
+    kept.sort_by(|a, b| a.start.total_cmp(&b.start));
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{ChatMessage, UserId};
+    use proptest::prelude::*;
+
+    fn chat_at(times: &[f64]) -> ChatLog {
+        ChatLog::new(
+            times
+                .iter()
+                .map(|&t| ChatMessage::new(t, UserId(1), "x"))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_video_has_no_windows() {
+        assert!(sliding_windows(&ChatLog::empty(), Sec(0.0), 25.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let chat = chat_at(&[10.0, 12.0, 40.0, 41.0, 42.0, 90.0]);
+        let wins = sliding_windows(&chat, Sec(120.0), 25.0, 0.5);
+        for w in wins.windows(2) {
+            assert!(w[0].start.0 <= w[1].start.0);
+            assert_eq!(w[0].overlap_len(&w[1]).0, 0.0, "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn burst_window_is_kept_over_grid_phase() {
+        // A burst at 30..35 s. The candidate [25, 50] holds all 5 messages;
+        // it must survive overlap resolution over [12.5, 37.5] etc.
+        let chat = chat_at(&[30.0, 31.0, 32.0, 33.0, 34.0]);
+        let wins = sliding_windows(&chat, Sec(100.0), 25.0, 0.5);
+        let best = wins
+            .iter()
+            .max_by_key(|w| chat.count_in(**w))
+            .unwrap();
+        assert_eq!(chat.count_in(*best), 5, "burst split across windows");
+    }
+
+    #[test]
+    fn full_coverage_without_stride_gaps() {
+        // With stride = len the windows tile the video exactly.
+        let chat = chat_at(&[]);
+        let wins = sliding_windows(&chat, Sec(100.0), 25.0, 1.0);
+        assert_eq!(wins.len(), 4);
+        assert_eq!(wins[0], TimeRange::from_secs(0.0, 25.0));
+        assert_eq!(wins[3], TimeRange::from_secs(75.0, 100.0));
+    }
+
+    #[test]
+    fn tail_window_is_clipped() {
+        let wins = sliding_windows(&ChatLog::empty(), Sec(30.0), 25.0, 1.0);
+        assert_eq!(wins.last().unwrap().end.0, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        sliding_windows(&ChatLog::empty(), Sec(10.0), 0.0, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn kept_windows_never_overlap(
+            times in proptest::collection::vec(0.0..500.0f64, 0..100),
+            window in 10.0..40.0f64,
+        ) {
+            let chat = chat_at(&times);
+            let wins = sliding_windows(&chat, Sec(500.0), window, 0.5);
+            for i in 0..wins.len() {
+                for j in (i + 1)..wins.len() {
+                    prop_assert_eq!(wins[i].overlap_len(&wins[j]).0, 0.0);
+                }
+            }
+        }
+
+        #[test]
+        fn every_message_lands_in_some_candidate(
+            times in proptest::collection::vec(0.0..200.0f64, 1..40),
+        ) {
+            // The kept set need not cover every message, but no window may
+            // extend past the video and all have the requested length or
+            // less (tail clipping).
+            let chat = chat_at(&times);
+            let wins = sliding_windows(&chat, Sec(200.0), 25.0, 0.5);
+            for w in &wins {
+                prop_assert!(w.start.0 >= 0.0 && w.end.0 <= 200.0);
+                prop_assert!(w.duration().0 <= 25.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! One-cluster k-means over binary bag-of-words vectors.
+//!
+//! The message-similarity feature (paper Section IV-C2) "applies
+//! one-cluster K-means to find the center of messages" and reports the
+//! average similarity of each message to that center. With a single
+//! cluster, k-means converges in one step: the center is the arithmetic
+//! mean of the vectors. We keep the explicit function anyway so the
+//! feature code reads like the paper.
+
+use crate::text::BowVector;
+
+/// The dense mean vector of a set of binary vectors over a vocabulary of
+/// size `dim`. Returns a zero vector when `vectors` is empty.
+pub fn one_cluster_kmeans(vectors: &[BowVector], dim: usize) -> Vec<f64> {
+    let mut center = vec![0.0; dim];
+    if vectors.is_empty() {
+        return center;
+    }
+    for v in vectors {
+        for &i in v.indices() {
+            if let Some(c) = center.get_mut(i as usize) {
+                *c += 1.0;
+            }
+        }
+    }
+    let n = vectors.len() as f64;
+    for c in &mut center {
+        *c /= n;
+    }
+    center
+}
+
+/// Cosine similarity between a binary vector and a dense center.
+/// Zero when either side has zero norm.
+pub fn cosine_similarity(v: &BowVector, center: &[f64]) -> f64 {
+    let dot = v.dot_dense(center);
+    let nv = v.norm();
+    let nc = center.iter().map(|c| c * c).sum::<f64>().sqrt();
+    if nv == 0.0 || nc == 0.0 {
+        0.0
+    } else {
+        dot / (nv * nc)
+    }
+}
+
+/// Average cosine similarity of each vector to the one-cluster center —
+/// the paper's message-similarity feature for one sliding window.
+pub fn mean_similarity_to_center(vectors: &[BowVector], dim: usize) -> f64 {
+    if vectors.is_empty() {
+        return 0.0;
+    }
+    let center = one_cluster_kmeans(vectors, dim);
+    vectors
+        .iter()
+        .map(|v| cosine_similarity(v, &center))
+        .sum::<f64>()
+        / vectors.len() as f64
+}
+
+/// Leave-one-out variant: each message is compared against the center of
+/// the *other* messages.
+///
+/// The plain center includes the message itself, which puts a `1/sqrt(n)`
+/// floor under every window's similarity — a window of `n` pairwise
+/// disjoint messages scores `1/sqrt(n)` instead of 0, confounding the
+/// similarity feature with the count feature. Excluding self makes the
+/// statistic a pure agreement measure: 0 for disjoint messages, 1 for
+/// identical ones. Returns 0 when fewer than two vectors exist.
+pub fn mean_loo_similarity(vectors: &[BowVector], dim: usize) -> f64 {
+    let n = vectors.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Total token counts over all vectors.
+    let mut total = vec![0.0f64; dim];
+    for v in vectors {
+        for &i in v.indices() {
+            if let Some(t) = total.get_mut(i as usize) {
+                *t += 1.0;
+            }
+        }
+    }
+    let m = (n - 1) as f64;
+    let total_sq: f64 = total.iter().map(|t| t * t).sum();
+    let mut acc = 0.0;
+    for v in vectors {
+        // center_i[w] = (total[w] - x_i[w]) / (n - 1)
+        let mut dot = 0.0;
+        // |total - x_i|^2 = |total|^2 - 2 * <total, x_i> + |x_i|^2
+        let mut total_dot_x = 0.0;
+        for &i in v.indices() {
+            let t = total[i as usize];
+            dot += (t - 1.0) / m;
+            total_dot_x += t;
+        }
+        let nnz = v.indices().len() as f64;
+        let center_norm_sq = (total_sq - 2.0 * total_dot_x + nnz) / (m * m);
+        let denom = nnz.sqrt() * center_norm_sq.max(0.0).sqrt();
+        if denom > 0.0 {
+            acc += dot / denom;
+        }
+    }
+    acc / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::Vocab;
+    use proptest::prelude::*;
+
+    fn encode_all(texts: &[&str]) -> (Vec<BowVector>, usize) {
+        let v = Vocab::build(texts.iter().copied());
+        let encoded = texts.iter().map(|t| v.encode(t)).collect();
+        (encoded, v.len())
+    }
+
+    #[test]
+    fn center_is_mean_of_binary_vectors() {
+        let (vecs, dim) = encode_all(&["a b", "a c"]);
+        let center = one_cluster_kmeans(&vecs, dim);
+        // "a" appears in both messages, "b"/"c" in one each.
+        let mut sorted = center.clone();
+        sorted.sort_by(|x, y| y.total_cmp(x));
+        assert_eq!(sorted, vec![1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_center() {
+        let center = one_cluster_kmeans(&[], 4);
+        assert_eq!(center, vec![0.0; 4]);
+        assert_eq!(mean_similarity_to_center(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn identical_messages_have_similarity_one() {
+        let (vecs, dim) = encode_all(&["gg wp", "gg wp", "gg wp"]);
+        let sim = mean_similarity_to_center(&vecs, dim);
+        assert!((sim - 1.0).abs() < 1e-12, "sim {sim}");
+    }
+
+    #[test]
+    fn disjoint_messages_have_low_similarity() {
+        let (vecs, dim) = encode_all(&["a b", "c d", "e f"]);
+        let sim_disjoint = mean_similarity_to_center(&vecs, dim);
+        let (vecs2, dim2) = encode_all(&["kill kill", "kill wow", "kill gg"]);
+        let sim_overlap = mean_similarity_to_center(&vecs2, dim2);
+        assert!(
+            sim_overlap > sim_disjoint,
+            "overlap {sim_overlap} vs disjoint {sim_disjoint}"
+        );
+    }
+
+    #[test]
+    fn cosine_zero_for_empty_vector() {
+        let v = BowVector::from_indices(vec![]);
+        assert_eq!(cosine_similarity(&v, &[1.0, 1.0]), 0.0);
+        let w = BowVector::from_indices(vec![0]);
+        assert_eq!(cosine_similarity(&w, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn loo_similarity_extremes() {
+        // Identical messages: every LOO center equals the message itself.
+        let (vecs, dim) = encode_all(&["gg wp", "gg wp", "gg wp"]);
+        assert!((mean_loo_similarity(&vecs, dim) - 1.0).abs() < 1e-9);
+        // Pairwise disjoint messages: zero agreement, no 1/sqrt(n) floor.
+        let (vecs2, dim2) = encode_all(&["a b", "c d", "e f"]);
+        assert!(mean_loo_similarity(&vecs2, dim2).abs() < 1e-9);
+        assert!(mean_similarity_to_center(&vecs2, dim2) > 0.3, "plain center has the floor");
+        // Degenerate sizes.
+        assert_eq!(mean_loo_similarity(&[], 4), 0.0);
+        let (single, dim3) = encode_all(&["solo msg"]);
+        assert_eq!(mean_loo_similarity(&single, dim3), 0.0);
+    }
+
+    #[test]
+    fn loo_matches_naive_computation() {
+        let (vecs, dim) = encode_all(&["kill kill gg", "kill wow", "gg wow kill", "pizza time"]);
+        let fast = mean_loo_similarity(&vecs, dim);
+        // Naive: explicit centers.
+        let mut naive = 0.0;
+        for (i, v) in vecs.iter().enumerate() {
+            let others: Vec<_> = vecs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, u)| u.clone())
+                .collect();
+            let center = one_cluster_kmeans(&others, dim);
+            naive += cosine_similarity(v, &center);
+        }
+        naive /= vecs.len() as f64;
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+    }
+
+    proptest! {
+        #[test]
+        fn loo_similarity_in_unit_interval(
+            idx_sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..32, 1..8), 2..12),
+        ) {
+            let vecs: Vec<BowVector> = idx_sets
+                .into_iter()
+                .map(BowVector::from_indices)
+                .collect();
+            let sim = mean_loo_similarity(&vecs, 32);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&sim));
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(
+            idx_sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..32, 1..8), 1..12),
+        ) {
+            let vecs: Vec<BowVector> = idx_sets
+                .into_iter()
+                .map(BowVector::from_indices)
+                .collect();
+            let sim = mean_similarity_to_center(&vecs, 32);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sim));
+        }
+
+        #[test]
+        fn center_entries_are_frequencies(
+            idx_sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..16, 0..6), 1..10),
+        ) {
+            let vecs: Vec<BowVector> = idx_sets
+                .into_iter()
+                .map(BowVector::from_indices)
+                .collect();
+            for c in one_cluster_kmeans(&vecs, 16) {
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Binary logistic regression trained by full-batch gradient descent.
+//!
+//! Two models in the paper use this: the Highlight Initializer's window
+//! scorer over (message number, length, similarity) and the Highlight
+//! Extractor's Type I/II classifier over (plays before, after, across the
+//! red dot). Both are tiny (3 features), so batch gradient descent with an
+//! L2 penalty converges in milliseconds — which is exactly the paper's
+//! "1.06 sec training" headline in Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate for gradient descent.
+    pub learning_rate: f64,
+    /// Maximum number of epochs.
+    pub max_epochs: usize,
+    /// L2 regularization strength (applied to weights, not the bias).
+    pub l2: f64,
+    /// Stop when the gradient's max-norm falls below this.
+    pub tol: f64,
+    /// Reweight classes inversely to frequency. The window-labelling task
+    /// is imbalanced (~13 highlight vs ~96 other windows per video in the
+    /// paper's Figure 2b), so this defaults to on.
+    pub balanced: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.5,
+            max_epochs: 2000,
+            l2: 1e-3,
+            tol: 1e-6,
+            balanced: true,
+        }
+    }
+}
+
+/// A trained binary logistic regression model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fit on `rows` (each of equal width) with boolean labels.
+    ///
+    /// Panics on empty input, inconsistent widths, or a single-class label
+    /// set (the decision boundary would be undefined; callers upstream
+    /// guarantee both classes exist — e.g. every training video has at
+    /// least one highlight window).
+    pub fn fit(rows: &[Vec<f64>], labels: &[bool], cfg: &TrainConfig) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot fit on empty data");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row width");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need both classes to fit");
+
+        // Inverse-frequency class weights normalized to mean 1.
+        let (w_pos, w_neg) = if cfg.balanced {
+            let n = labels.len() as f64;
+            (n / (2.0 * n_pos as f64), n / (2.0 * n_neg as f64))
+        } else {
+            (1.0, 1.0)
+        };
+
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let n = rows.len() as f64;
+
+        for _ in 0..cfg.max_epochs {
+            let mut grad_w = vec![0.0; dim];
+            let mut grad_b = 0.0;
+            for (row, &label) in rows.iter().zip(labels) {
+                let z = bias
+                    + row
+                        .iter()
+                        .zip(&weights)
+                        .map(|(x, w)| x * w)
+                        .sum::<f64>();
+                let p = sigmoid(z);
+                let y = if label { 1.0 } else { 0.0 };
+                let sample_w = if label { w_pos } else { w_neg };
+                let err = sample_w * (p - y);
+                for (g, x) in grad_w.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+                grad_b += err;
+            }
+            let mut max_g: f64 = grad_b.abs() / n;
+            for (g, w) in grad_w.iter_mut().zip(&weights) {
+                *g = *g / n + cfg.l2 * w;
+                max_g = max_g.max(g.abs());
+            }
+            grad_b /= n;
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= cfg.learning_rate * g;
+            }
+            bias -= cfg.learning_rate * grad_b;
+            if max_g < cfg.tol {
+                break;
+            }
+        }
+        LogisticRegression { weights, bias }
+    }
+
+    /// Construct directly from parameters (deserialization, tests).
+    pub fn from_parameters(weights: Vec<f64>, bias: f64) -> Self {
+        LogisticRegression { weights, bias }
+    }
+
+    /// P(label = true | row).
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "row width mismatch");
+        let z = self.bias
+            + row
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Learned feature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn linearly_separable() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // y = x0 > 0.5
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let labels: Vec<bool> = rows.iter().map(|r| r[0] > 0.5).collect();
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (rows, labels) = linearly_separable();
+        let m = LogisticRegression::fit(&rows, &labels, &TrainConfig::default());
+        let acc = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| m.predict(r) == l)
+            .count() as f64
+            / rows.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+        // Feature 0 is predictive, feature 1 is noise.
+        assert!(m.weights()[0].abs() > m.weights()[1].abs());
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_predictive_feature() {
+        let (rows, labels) = linearly_separable();
+        let m = LogisticRegression::fit(&rows, &labels, &TrainConfig::default());
+        let p_lo = m.predict_proba(&[0.0, 0.5]);
+        let p_mid = m.predict_proba(&[0.5, 0.5]);
+        let p_hi = m.predict_proba(&[1.0, 0.5]);
+        assert!(p_lo < p_mid && p_mid < p_hi);
+    }
+
+    #[test]
+    fn balanced_training_handles_imbalance() {
+        // 90% negative; positives live at x > 0.9.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            rows.push(vec![i as f64 / 100.0]);
+            labels.push(false);
+        }
+        for i in 0..10 {
+            rows.push(vec![0.92 + i as f64 / 100.0]);
+            labels.push(true);
+        }
+        let m = LogisticRegression::fit(&rows, &labels, &TrainConfig::default());
+        // A balanced model must still fire on the positive region.
+        assert!(m.predict(&[0.97]));
+        assert!(!m.predict(&[0.2]));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        LogisticRegression::fit(&[vec![1.0]], &[true], &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        LogisticRegression::fit(&[vec![1.0]], &[true, false], &TrainConfig::default());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = LogisticRegression::from_parameters(vec![1.0, -2.0], 0.5);
+        let js = serde_json::to_string(&m).unwrap();
+        let back: LogisticRegression = serde_json::from_str(&js).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.bias(), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn probabilities_in_unit_interval(
+            w in proptest::collection::vec(-10.0..10.0f64, 3),
+            b in -10.0..10.0f64,
+            x in proptest::collection::vec(-10.0..10.0f64, 3),
+        ) {
+            let m = LogisticRegression::from_parameters(w, b);
+            let p = m.predict_proba(&x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn fit_is_deterministic(seed_rows in proptest::collection::vec(0.0..1.0f64, 8..24)) {
+            let rows: Vec<Vec<f64>> = seed_rows.iter().map(|&x| vec![x]).collect();
+            let labels: Vec<bool> = seed_rows.iter().enumerate().map(|(i, &x)| x > 0.5 || i == 0).collect();
+            if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
+                let cfg = TrainConfig { max_epochs: 50, ..TrainConfig::default() };
+                let a = LogisticRegression::fit(&rows, &labels, &cfg);
+                let b = LogisticRegression::fit(&rows, &labels, &cfg);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

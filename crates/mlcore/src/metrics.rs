@@ -1,0 +1,159 @@
+//! Binary classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Fraction of correct predictions; 0 for empty input.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// TP / (TP + FP); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// TP / (TP + FN); 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Build a confusion matrix from paired predictions and labels.
+/// Panics on length mismatch.
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> Confusion {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// Accuracy over paired predictions and labels.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).accuracy()
+}
+
+/// Precision over paired predictions and labels.
+pub fn precision(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).precision()
+}
+
+/// Recall over paired predictions and labels.
+pub fn recall(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).recall()
+}
+
+/// F1 over paired predictions and labels.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, true, false, true];
+        let c = confusion(&pred, &act);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        // All negative predictions on all-negative labels: accuracy 1.
+        assert_eq!(accuracy(&[false, false], &[false, false]), 1.0);
+        assert_eq!(precision(&[false, false], &[false, false]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        confusion(&[true], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_in_unit_interval(
+            pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..64),
+        ) {
+            let (pred, act): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+            let c = confusion(&pred, &act);
+            for m in [c.accuracy(), c.precision(), c.recall(), c.f1()] {
+                prop_assert!((0.0..=1.0).contains(&m));
+            }
+            prop_assert_eq!(c.total(), pred.len());
+        }
+
+        #[test]
+        fn perfect_prediction_is_perfect(labels in proptest::collection::vec(any::<bool>(), 1..64)) {
+            prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+            let c = confusion(&labels, &labels);
+            prop_assert_eq!(c.fp, 0);
+            prop_assert_eq!(c.fn_, 0);
+        }
+    }
+}

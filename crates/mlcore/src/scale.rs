@@ -1,0 +1,150 @@
+//! Per-feature min-max scaling into `[0, 1]`.
+//!
+//! The paper normalizes the three window features "to make these features
+//! generalize well" (Section IV-C2). The scaler is fit on training windows
+//! and applied unchanged to test windows, so values outside the training
+//! range are clamped rather than extrapolated — a window with twice the
+//! largest training message count is "fully bursty", not "200% bursty".
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted min-max scaler over fixed-width feature rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit over `rows`, each of width `dim`. Panics on empty input or
+    /// inconsistent widths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let dim = rows[0].len();
+        assert!(dim > 0, "zero-width rows");
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "inconsistent row width");
+            for (j, &v) in row.iter().enumerate() {
+                assert!(v.is_finite(), "non-finite feature value");
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of features this scaler was fit on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scale one row into `[0, 1]` (clamped outside the fitted range).
+    /// A constant feature (min == max) maps to 0.5.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "row width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let range = self.maxs[j] - self.mins[j];
+                if range <= 0.0 {
+                    0.5
+                } else {
+                    ((v - self.mins[j]) / range).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Scale a batch of rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Fitted per-feature minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted per-feature maxima.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_transform_basic() {
+        let rows = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform(&[0.0, 10.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[10.0, 30.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[5.0, 20.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn out_of_range_is_clamped() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![10.0]]);
+        assert_eq!(s.transform(&[-5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[100.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_half() {
+        let s = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]);
+        assert_eq!(s.transform(&[7.0]), vec![0.5]);
+        assert_eq!(s.transform(&[123.0]), vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let s = MinMaxScaler::fit(&[vec![1.0, 2.0]]);
+        s.transform(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn outputs_always_in_unit_interval(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1e3..1e3f64, 3), 1..32),
+            probe in proptest::collection::vec(-2e3..2e3f64, 3),
+        ) {
+            let s = MinMaxScaler::fit(&rows);
+            for v in s.transform(&probe) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn training_extremes_hit_bounds(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1e3..1e3f64, 2), 2..32),
+        ) {
+            let s = MinMaxScaler::fit(&rows);
+            let scaled = s.transform_all(&rows);
+            for j in 0..2 {
+                let col: Vec<f64> = scaled.iter().map(|r| r[j]).collect();
+                let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                // Either the feature is constant (all 0.5) or spans [0,1].
+                if (s.maxs()[j] - s.mins()[j]) > 0.0 {
+                    prop_assert!(lo.abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+                } else {
+                    prop_assert!(col.iter().all(|&v| v == 0.5));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic dataset splitting.
+//!
+//! The experiments repeatedly carve "10 training videos / 50 test videos"
+//! style splits (Section VII-B) and sweep the training size (Figures 6b,
+//! 7b, 10). Splits are seeded so every experiment is reproducible.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic shuffled permutation of `0..n` under `seed`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Split `0..n` into (train, test) index sets with `n_train` training
+/// items, shuffled under `seed`. Panics when `n_train > n`.
+pub fn train_test_split(n: usize, n_train: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n_train <= n, "n_train {n_train} exceeds dataset size {n}");
+    let idx = permutation(n, seed);
+    let train = idx[..n_train].to_vec();
+    let test = idx[n_train..].to_vec();
+    (train, test)
+}
+
+/// K-fold cross-validation index sets: returns `k` (train, validation)
+/// pairs covering `0..n`. Panics when `k == 0` or `k > n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k > 0 && k <= n, "invalid fold count {k} for {n} items");
+    let idx = permutation(n, seed);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let val: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(60, 10, 7);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 50);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 60);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(train_test_split(20, 5, 42), train_test_split(20, 5, 42));
+        assert_ne!(
+            train_test_split(20, 5, 42).0,
+            train_test_split(20, 5, 43).0
+        );
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold(10, 3, 1);
+        assert_eq!(folds.len(), 3);
+        let mut seen = Vec::new();
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 10);
+            seen.extend(val.iter().copied());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dataset size")]
+    fn oversized_train_panics() {
+        train_test_split(5, 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fold count")]
+    fn zero_folds_panics() {
+        k_fold(5, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn permutation_is_a_bijection(n in 1usize..128, seed in any::<u64>()) {
+            let mut p = permutation(n, seed);
+            p.sort_unstable();
+            prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn folds_are_disjoint(n in 4usize..64, seed in any::<u64>()) {
+            let k = 4;
+            for (train, val) in k_fold(n, k, seed) {
+                let t: HashSet<usize> = train.into_iter().collect();
+                for v in val {
+                    prop_assert!(!t.contains(&v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Text vectorization for chat messages: tokenizer, vocabulary and binary
+//! bag-of-words vectors (paper Section IV-C2, the message-similarity
+//! feature: "We use Bag of Words to represent each message as a binary
+//! vector").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Lowercasing, punctuation-stripping whitespace tokenizer.
+///
+/// Emote tokens like `PogChamp` or `<3` survive as-is (minus the angle
+/// brackets); empty tokens are dropped.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Split `text` into normalized tokens.
+    pub fn tokenize(self, text: &str) -> Vec<String> {
+        text.split_whitespace()
+            .filter_map(|raw| {
+                let tok: String = raw
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .flat_map(|c| c.to_lowercase())
+                    .collect();
+                (!tok.is_empty()).then_some(tok)
+            })
+            .collect()
+    }
+}
+
+/// A token → dense-index vocabulary built over a corpus.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Build from an iterator of texts using [`Tokenizer`].
+    pub fn build<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut v = Vocab::new();
+        let tk = Tokenizer;
+        for text in texts {
+            for tok in tk.tokenize(text) {
+                v.intern(&tok);
+            }
+        }
+        v
+    }
+
+    /// Get or assign the index of `token`.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        let next = self.index.len() as u32;
+        *self.index.entry(token.to_owned()).or_insert(next)
+    }
+
+    /// Look up a token without inserting.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no tokens are interned.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Encode a text into a binary bag-of-words vector over this
+    /// vocabulary (unknown tokens are ignored).
+    pub fn encode(&self, text: &str) -> BowVector {
+        let tk = Tokenizer;
+        let mut idx: Vec<u32> = tk
+            .tokenize(text)
+            .iter()
+            .filter_map(|t| self.get(t))
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        BowVector { indices: idx }
+    }
+}
+
+/// A binary bag-of-words vector, stored sparsely as sorted unique indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BowVector {
+    indices: Vec<u32>,
+}
+
+impl BowVector {
+    /// Construct from raw indices (sorted + deduplicated internally).
+    pub fn from_indices(mut indices: Vec<u32>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        BowVector { indices }
+    }
+
+    /// The sorted unique token indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Number of distinct tokens present.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the vector is all-zero (no known tokens).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Euclidean norm of a binary vector = sqrt(nnz).
+    pub fn norm(&self) -> f64 {
+        (self.indices.len() as f64).sqrt()
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.indices
+            .iter()
+            .map(|&i| dense.get(i as usize).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Dot product with another binary vector (= intersection size).
+    pub fn dot(&self, other: &BowVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += 1.0;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tokenizer_normalizes() {
+        let tk = Tokenizer;
+        assert_eq!(tk.tokenize("What a PLAY!!"), vec!["what", "a", "play"]);
+        assert_eq!(tk.tokenize("PogChamp <3 :-)"), vec!["pogchamp", "3"]);
+        assert!(tk.tokenize("!!! ???").is_empty());
+        assert!(tk.tokenize("").is_empty());
+    }
+
+    #[test]
+    fn vocab_interning_is_stable() {
+        let mut v = Vocab::new();
+        let a = v.intern("kill");
+        let b = v.intern("gg");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("kill"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get("kill"), Some(a));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn encode_ignores_unknown_and_dedups() {
+        let v = Vocab::build(["kill kill gg"]);
+        let enc = v.encode("KILL gg wow");
+        assert_eq!(enc.nnz(), 2); // "wow" unknown, "kill" deduped
+    }
+
+    #[test]
+    fn bow_dot_counts_shared_tokens() {
+        let v = Vocab::build(["a b c d"]);
+        let x = v.encode("a b c");
+        let y = v.encode("b c d");
+        assert_eq!(x.dot(&y), 2.0);
+        assert_eq!(x.dot(&x), 3.0);
+        assert_eq!(x.norm(), 3.0f64.sqrt());
+    }
+
+    #[test]
+    fn bow_dot_dense() {
+        let x = BowVector::from_indices(vec![0, 2]);
+        assert_eq!(x.dot_dense(&[0.5, 9.0, 0.25]), 0.75);
+        // Out-of-range indices contribute zero.
+        let y = BowVector::from_indices(vec![10]);
+        assert_eq!(y.dot_dense(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn from_indices_normalizes() {
+        let x = BowVector::from_indices(vec![3, 1, 3, 2]);
+        assert_eq!(x.indices(), &[1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(
+            a in proptest::collection::vec(0u32..64, 0..16),
+            b in proptest::collection::vec(0u32..64, 0..16),
+        ) {
+            let x = BowVector::from_indices(a);
+            let y = BowVector::from_indices(b);
+            prop_assert_eq!(x.dot(&y), y.dot(&x));
+        }
+
+        #[test]
+        fn dot_bounded_by_nnz(
+            a in proptest::collection::vec(0u32..64, 0..16),
+            b in proptest::collection::vec(0u32..64, 0..16),
+        ) {
+            let x = BowVector::from_indices(a);
+            let y = BowVector::from_indices(b);
+            let d = x.dot(&y);
+            prop_assert!(d <= x.nnz().min(y.nnz()) as f64);
+            prop_assert!(d >= 0.0);
+        }
+
+        #[test]
+        fn tokenize_encode_never_panics(s in "\\PC{0,64}") {
+            let v = Vocab::build([s.as_str()]);
+            let enc = v.encode(&s);
+            prop_assert!(enc.nnz() <= v.len());
+        }
+    }
+}

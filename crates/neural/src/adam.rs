@@ -1,0 +1,98 @@
+//! The Adam optimizer (Kingma & Ba 2015) over flat parameter buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for one parameter tensor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl Adam {
+    /// Optimizer for a tensor of `n` parameters with learning rate `lr`.
+    pub fn new(n: usize, lr: f32) -> Self {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Apply one update step: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    /// Panics if the buffer sizes disagree with construction.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "param size mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mh = self.m[i] / b1t;
+            let vh = self.v[i] / b2t;
+            params[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3).
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn handles_multidimensional_params() {
+        // f(x, y) = x^2 + 10 y^2.
+        let mut p = vec![5.0f32, -4.0];
+        let mut opt = Adam::new(2, 0.2);
+        for _ in 0..600 {
+            let g = vec![2.0 * p[0], 20.0 * p[1]];
+            opt.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 0.05 && p[1].abs() < 0.05, "p = {p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let mut opt = Adam::new(2, 0.1);
+        opt.step(&mut [0.0], &[0.0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_stationary() {
+        let mut p = vec![1.0f32];
+        let mut opt = Adam::new(1, 0.1);
+        opt.step(&mut p, &[0.0]);
+        assert_eq!(p[0], 1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Chat-LSTM: the character-level chat baseline (Fu et al. 2017, as
+//! described in paper Section VII-E).
+//!
+//! "Chat-LSTM is a character-level 3-layer LSTM-RNN model. For each
+//! labeled frame, it treats all chat messages that occur in the next
+//! 7-second sliding window as input." The model classifies frames as
+//! highlight / non-highlight; prediction takes the top-k frames with the
+//! same 120 s separation rule LIGHTOR uses.
+//!
+//! The two properties the paper measures — data appetite (Figure 10) and
+//! cross-game generalization (Figure 11b) — emerge here for the same
+//! structural reasons as in the original: thousands of character-level
+//! parameters need many labelled windows, and the learned character
+//! patterns are game-vocabulary-specific ("pentakill" teaches nothing
+//! about "rampage").
+
+use crate::adam::Adam;
+use crate::lstm::{bce, BinaryHead, LstmStack};
+use crate::tensor::Matrix;
+use lightor_simkit::SeedTree;
+use lightor_types::{ChatLog, Highlight, Sec, TimeRange};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Character vocabulary: `a-z`, `0-9`, space, other.
+pub const CHAR_VOCAB: usize = 38;
+
+fn char_index(c: char) -> usize {
+    match c {
+        'a'..='z' => c as usize - 'a' as usize,
+        '0'..='9' => 26 + (c as usize - '0' as usize),
+        ' ' => 36,
+        _ => 37,
+    }
+}
+
+/// Hyper-parameters. The defaults are the *experiment-scale* settings;
+/// tests use smaller ones via struct update.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChatLstmConfig {
+    /// Character embedding width.
+    pub emb_dim: usize,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers (paper: 3).
+    pub layers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Input truncation (characters).
+    pub max_chars: usize,
+    /// Chat lookahead window per frame (paper: 7 s).
+    pub window: f64,
+    /// Stride between scored frames.
+    pub frame_stride: f64,
+    /// Negative:positive sampling ratio during training.
+    pub neg_per_pos: f64,
+    /// Hard cap on training samples (CPU budget guard).
+    pub max_samples: usize,
+}
+
+impl Default for ChatLstmConfig {
+    fn default() -> Self {
+        ChatLstmConfig {
+            emb_dim: 12,
+            hidden: 32,
+            layers: 3,
+            epochs: 3,
+            lr: 0.01,
+            max_chars: 120,
+            window: 7.0,
+            frame_stride: 5.0,
+            neg_per_pos: 1.5,
+            max_samples: 4000,
+        }
+    }
+}
+
+/// A labelled video from the baseline's perspective: chat plus
+/// frame-level highlight labels.
+#[derive(Clone, Copy, Debug)]
+pub struct LabeledChatVideo<'a> {
+    /// Chat replay.
+    pub chat: &'a ChatLog,
+    /// Video length.
+    pub duration: Sec,
+    /// Ground-truth highlight clips (frame labels derive from these).
+    pub highlights: &'a [Highlight],
+}
+
+/// The trained character-level model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChatLstm {
+    emb: Matrix,
+    stack: LstmStack,
+    head: BinaryHead,
+    cfg: ChatLstmConfig,
+}
+
+/// Character indices of the chat text in `[frame, frame + window]`.
+fn window_chars(chat: &ChatLog, frame: f64, cfg: &ChatLstmConfig) -> Vec<usize> {
+    let range = TimeRange::from_secs(frame, frame + cfg.window);
+    let mut chars = Vec::with_capacity(cfg.max_chars);
+    'outer: for m in chat.slice(range) {
+        for c in m.text.chars().flat_map(char::to_lowercase) {
+            chars.push(char_index(c));
+            if chars.len() >= cfg.max_chars {
+                break 'outer;
+            }
+        }
+        chars.push(char_index(' '));
+        if chars.len() >= cfg.max_chars {
+            break;
+        }
+    }
+    chars
+}
+
+fn frame_is_highlight(highlights: &[Highlight], frame: f64) -> bool {
+    highlights.iter().any(|h| h.range.contains(Sec(frame)))
+}
+
+impl ChatLstm {
+    /// Train on labelled videos; returns the model and the wall-clock
+    /// training time (the Table I column).
+    pub fn train(
+        videos: &[LabeledChatVideo<'_>],
+        cfg: ChatLstmConfig,
+        seed: u64,
+    ) -> (Self, Duration) {
+        let start = Instant::now();
+        let root = SeedTree::new(seed).child("chat-lstm");
+        let mut rng = root.child("init").rng();
+
+        let mut dims = vec![cfg.emb_dim];
+        dims.extend(std::iter::repeat(cfg.hidden).take(cfg.layers.max(1)));
+        let mut model = ChatLstm {
+            emb: Matrix::xavier(CHAR_VOCAB, cfg.emb_dim, &mut rng),
+            stack: LstmStack::new(&dims, &mut rng),
+            head: BinaryHead::new(cfg.hidden, &mut rng),
+            cfg,
+        };
+
+        // Assemble the training frames: all positives, subsampled
+        // negatives.
+        let mut pos: Vec<(usize, f64)> = Vec::new();
+        let mut neg: Vec<(usize, f64)> = Vec::new();
+        for (vi, v) in videos.iter().enumerate() {
+            let mut t = 0.0;
+            while t + cfg.window <= v.duration.0 {
+                if frame_is_highlight(v.highlights, t) {
+                    pos.push((vi, t));
+                } else {
+                    neg.push((vi, t));
+                }
+                t += cfg.frame_stride;
+            }
+        }
+        let mut sample_rng = root.child("sample").rng();
+        neg.shuffle(&mut sample_rng);
+        neg.truncate(((pos.len() as f64) * cfg.neg_per_pos).ceil() as usize);
+        let mut samples: Vec<(usize, f64, f32)> = pos
+            .into_iter()
+            .map(|(v, t)| (v, t, 1.0))
+            .chain(neg.into_iter().map(|(v, t)| (v, t, 0.0)))
+            .collect();
+        samples.shuffle(&mut sample_rng);
+        samples.truncate(cfg.max_samples);
+
+        // One Adam state per parameter tensor.
+        let mut opt_emb = Adam::new(model.emb.as_slice().len(), cfg.lr);
+        let mut opt_layers: Vec<(Adam, Adam, Adam)> = model
+            .stack
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Adam::new(l.w.as_slice().len(), cfg.lr),
+                    Adam::new(l.u.as_slice().len(), cfg.lr),
+                    Adam::new(l.b.len(), cfg.lr),
+                )
+            })
+            .collect();
+        let mut opt_head_w = Adam::new(model.head.w.len(), cfg.lr);
+        let mut opt_head_b = Adam::new(1, cfg.lr);
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            let mut epoch_rng = root.child("epoch").index(epoch as u64).rng();
+            order.shuffle(&mut epoch_rng);
+            for &si in &order {
+                let (vi, t, y) = samples[si];
+                let chars = window_chars(videos[vi].chat, t, &model.cfg);
+                if chars.is_empty() {
+                    continue;
+                }
+                model.train_step(
+                    &chars,
+                    y,
+                    &mut opt_emb,
+                    &mut opt_layers,
+                    &mut opt_head_w,
+                    &mut opt_head_b,
+                );
+            }
+        }
+        (model, start.elapsed())
+    }
+
+    fn train_step(
+        &mut self,
+        chars: &[usize],
+        y: f32,
+        opt_emb: &mut Adam,
+        opt_layers: &mut [(Adam, Adam, Adam)],
+        opt_head_w: &mut Adam,
+        opt_head_b: &mut Adam,
+    ) {
+        // Forward.
+        let xs: Vec<Vec<f32>> = chars.iter().map(|&c| self.emb.row(c).to_vec()).collect();
+        let (hs, caches) = self.stack.forward(&xs);
+        let h_last = hs.last().expect("non-empty sequence");
+        let p = self.head.forward(h_last);
+
+        // Backward.
+        let mut gw_head = vec![0.0f32; self.head.w.len()];
+        let (gb_head, dh_last) = self.head.backward(h_last, p, y, &mut gw_head);
+        let mut dh = vec![vec![0.0f32; self.stack.out_dim()]; xs.len()];
+        *dh.last_mut().expect("non-empty") = dh_last;
+        let mut grads = self.stack.zero_grads();
+        let dxs = self.stack.backward(&caches, &dh, &mut grads);
+
+        // Embedding gradients: scatter dx back to the character rows.
+        let mut gemb = Matrix::zeros(CHAR_VOCAB, self.cfg.emb_dim);
+        for (&c, dx) in chars.iter().zip(&dxs) {
+            for (j, &d) in dx.iter().enumerate() {
+                *gemb.get_mut(c, j) += d;
+            }
+        }
+
+        // Updates.
+        opt_emb.step(self.emb.as_mut_slice(), gemb.as_slice());
+        for ((layer, grad), (ow, ou, ob)) in self
+            .stack
+            .layers
+            .iter_mut()
+            .zip(&grads)
+            .zip(opt_layers.iter_mut())
+        {
+            ow.step(layer.w.as_mut_slice(), grad.w.as_slice());
+            ou.step(layer.u.as_mut_slice(), grad.u.as_slice());
+            ob.step(&mut layer.b, &grad.b);
+        }
+        opt_head_w.step(&mut self.head.w, &gw_head);
+        let mut b = [self.head.b];
+        opt_head_b.step(&mut b, &[gb_head]);
+        self.head.b = b[0];
+    }
+
+    /// P(frame is a highlight) from the next-window chat.
+    pub fn score_frame(&self, chat: &ChatLog, frame: Sec) -> f64 {
+        let chars = window_chars(chat, frame.0, &self.cfg);
+        if chars.is_empty() {
+            return 0.0;
+        }
+        let xs: Vec<Vec<f32>> = chars.iter().map(|&c| self.emb.row(c).to_vec()).collect();
+        let (hs, _) = self.stack.forward(&xs);
+        self.head.forward(hs.last().expect("non-empty")) as f64
+    }
+
+    /// Average training BCE over a probe set — used by tests to verify
+    /// learning actually happened.
+    pub fn loss_on(&self, video: &LabeledChatVideo<'_>, frames: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for &t in frames {
+            let y = if frame_is_highlight(video.highlights, t) { 1.0 } else { 0.0 };
+            let p = self.score_frame(video.chat, Sec(t)) as f32;
+            total += bce(p, y) as f64;
+        }
+        total / frames.len().max(1) as f64
+    }
+
+    /// Top-k frame detections with the paper's 120 s separation rule.
+    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize, min_sep: f64) -> Vec<Sec> {
+        let mut scored: Vec<(f64, f64)> = Vec::new();
+        let mut t = 0.0;
+        while t + self.cfg.window <= duration.0 {
+            scored.push((self.score_frame(chat, Sec(t)), t));
+            t += self.cfg.frame_stride;
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
+        let mut chosen: Vec<Sec> = Vec::with_capacity(k);
+        for (_, pos) in scored {
+            if chosen.iter().all(|c| (c.0 - pos).abs() > min_sep) {
+                chosen.push(Sec(pos));
+                if chosen.len() == k {
+                    break;
+                }
+            }
+        }
+        chosen
+    }
+
+    /// The configuration this model was trained with.
+    pub fn config(&self) -> &ChatLstmConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor_types::{ChatMessage, UserId};
+
+    /// Tiny config so debug-mode tests stay fast.
+    fn tiny() -> ChatLstmConfig {
+        ChatLstmConfig {
+            emb_dim: 6,
+            hidden: 10,
+            layers: 1,
+            epochs: 6,
+            lr: 0.02,
+            max_chars: 40,
+            window: 7.0,
+            frame_stride: 5.0,
+            neg_per_pos: 1.0,
+            max_samples: 400,
+        }
+    }
+
+    /// A toy video: hype chat inside highlights, chatter outside.
+    fn toy_video(n_highlights: usize, seed_off: u64) -> (ChatLog, Vec<Highlight>, Sec) {
+        let duration = 200.0 * (n_highlights as f64 + 1.0);
+        let mut msgs = Vec::new();
+        let mut highlights = Vec::new();
+        for i in 0..n_highlights {
+            let s = 150.0 + 200.0 * i as f64;
+            highlights.push(Highlight::from_secs(s, s + 20.0));
+            // Dense short hype during the highlight.
+            let mut t = s;
+            while t < s + 20.0 {
+                msgs.push(ChatMessage::new(t, UserId(t as u64 + seed_off), "gg wow kill"));
+                t += 1.0;
+            }
+        }
+        // Sparse long chatter elsewhere.
+        let mut t = 0.0;
+        while t < duration {
+            msgs.push(ChatMessage::new(
+                t,
+                UserId(9000 + t as u64),
+                "anyone know what song this is today",
+            ));
+            t += 12.0;
+        }
+        (ChatLog::new(msgs), highlights, Sec(duration))
+    }
+
+    #[test]
+    fn char_vocab_maps_all_chars() {
+        assert_eq!(char_index('a'), 0);
+        assert_eq!(char_index('z'), 25);
+        assert_eq!(char_index('0'), 26);
+        assert_eq!(char_index('9'), 35);
+        assert_eq!(char_index(' '), 36);
+        assert_eq!(char_index('!'), 37);
+        assert_eq!(char_index('字'), 37);
+    }
+
+    #[test]
+    fn window_chars_truncates() {
+        let (chat, _, _) = toy_video(1, 0);
+        let cfg = tiny();
+        let chars = window_chars(&chat, 150.0, &cfg);
+        assert!(!chars.is_empty());
+        assert!(chars.len() <= cfg.max_chars);
+        let empty = window_chars(&ChatLog::empty(), 0.0, &cfg);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn learns_to_separate_hype_from_chatter() {
+        let (chat, highlights, duration) = toy_video(3, 0);
+        let video = LabeledChatVideo {
+            chat: &chat,
+            duration,
+            highlights: &highlights,
+        };
+        let (model, elapsed) = ChatLstm::train(&[video], tiny(), 11);
+        assert!(elapsed.as_nanos() > 0);
+
+        let p_high = model.score_frame(&chat, Sec(155.0));
+        let p_low = model.score_frame(&chat, Sec(50.0));
+        assert!(
+            p_high > p_low + 0.2,
+            "highlight frame {p_high} vs background {p_low}"
+        );
+    }
+
+    #[test]
+    fn detect_finds_highlights_with_separation() {
+        let (chat, highlights, duration) = toy_video(3, 7);
+        let video = LabeledChatVideo {
+            chat: &chat,
+            duration,
+            highlights: &highlights,
+        };
+        let (model, _) = ChatLstm::train(&[video], tiny(), 12);
+        let dots = model.detect(&chat, duration, 3, 120.0);
+        assert_eq!(dots.len(), 3);
+        for i in 0..dots.len() {
+            for j in (i + 1)..dots.len() {
+                assert!((dots[i].0 - dots[j].0).abs() > 120.0);
+            }
+        }
+        // At least 2 of 3 dots near a real highlight (chat is undelayed in
+        // this toy, so the LSTM can hit them).
+        let hits = dots
+            .iter()
+            .filter(|d| {
+                highlights
+                    .iter()
+                    .any(|h| h.accepts_dot(**d, Sec(10.0)))
+            })
+            .count();
+        assert!(hits >= 2, "{hits}/3 hits");
+    }
+
+    #[test]
+    fn empty_chat_scores_zero() {
+        let (chat, highlights, duration) = toy_video(1, 0);
+        let video = LabeledChatVideo {
+            chat: &chat,
+            duration,
+            highlights: &highlights,
+        };
+        let (model, _) = ChatLstm::train(&[video], tiny(), 13);
+        assert_eq!(model.score_frame(&ChatLog::empty(), Sec(0.0)), 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (chat, highlights, duration) = toy_video(2, 0);
+        let video = LabeledChatVideo {
+            chat: &chat,
+            duration,
+            highlights: &highlights,
+        };
+        let cfg = ChatLstmConfig { epochs: 1, ..tiny() };
+        let (a, _) = ChatLstm::train(&[video], cfg, 14);
+        let (b, _) = ChatLstm::train(&[video], cfg, 14);
+        assert_eq!(
+            a.score_frame(&chat, Sec(155.0)),
+            b.score_frame(&chat, Sec(155.0))
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Joint-LSTM: the video+chat baseline (Fu et al. 2017, paper
+//! Section VII-E, Table I).
+//!
+//! "Joint-LSTM is built on top of a video model and Chat-LSTM. The video
+//! model uses a memory-based LSTM-RNN on top of image features extracted
+//! from pre-trained image models." Here the image features are the
+//! synthetic streams from [`crate::visual`] (see the substitution note
+//! there), and the chat side contributes per-frame summary features. Each
+//! training sample is a short sequence of consecutive frames ending at
+//! the labelled frame.
+
+use crate::adam::Adam;
+use crate::lstm::{BinaryHead, LstmStack};
+use crate::visual::VISUAL_DIM;
+use lightor_simkit::SeedTree;
+use lightor_types::{ChatLog, Highlight, Sec, TimeRange};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Chat summary features appended to each visual frame.
+const CHAT_FEATS: usize = 2;
+
+/// Input width per frame.
+pub const JOINT_DIM: usize = VISUAL_DIM + CHAT_FEATS;
+
+/// Hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JointLstmConfig {
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Stacked layers.
+    pub layers: usize,
+    /// Frames per training sequence (1 Hz frames).
+    pub seq_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Stride between labelled frames, seconds.
+    pub frame_stride: f64,
+    /// Chat lookahead for the summary features, seconds.
+    pub chat_window: f64,
+    /// Negative:positive sampling ratio.
+    pub neg_per_pos: f64,
+    /// Hard cap on training samples.
+    pub max_samples: usize,
+}
+
+impl Default for JointLstmConfig {
+    fn default() -> Self {
+        JointLstmConfig {
+            hidden: 24,
+            layers: 2,
+            seq_len: 12,
+            epochs: 4,
+            lr: 0.01,
+            frame_stride: 5.0,
+            chat_window: 7.0,
+            neg_per_pos: 1.5,
+            max_samples: 4000,
+        }
+    }
+}
+
+/// One video as the joint model sees it: frame features + chat + labels.
+#[derive(Clone, Debug)]
+pub struct JointVideo<'a> {
+    /// Synthetic visual features at 1 Hz.
+    pub frames: &'a [[f32; VISUAL_DIM]],
+    /// Chat replay (for the chat summary features).
+    pub chat: &'a ChatLog,
+    /// Video length.
+    pub duration: Sec,
+    /// Ground-truth highlights (frame labels).
+    pub highlights: &'a [Highlight],
+}
+
+/// The trained joint model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JointLstm {
+    stack: LstmStack,
+    head: BinaryHead,
+    cfg: JointLstmConfig,
+}
+
+fn chat_feats(chat: &ChatLog, t: f64, window: f64) -> [f32; CHAT_FEATS] {
+    let range = TimeRange::from_secs(t, t + window);
+    let msgs = chat.slice(range);
+    let n = msgs.len() as f32;
+    let mean_len = if msgs.is_empty() {
+        0.0
+    } else {
+        msgs.iter().map(|m| m.word_count() as f32).sum::<f32>() / n
+    };
+    // Fixed soft scaling keeps inputs O(1); the LSTM learns the rest.
+    [n / 10.0, mean_len / 10.0]
+}
+
+/// The input sequence of `seq_len` frames ending at frame `t` (seconds,
+/// 1 Hz). Sequences touching the video start are front-padded with the
+/// first frame.
+fn input_sequence(v: &JointVideo<'_>, t: f64, cfg: &JointLstmConfig) -> Vec<Vec<f32>> {
+    let end = (t.floor() as i64).clamp(0, v.frames.len() as i64 - 1);
+    (0..cfg.seq_len as i64)
+        .map(|j| {
+            let f = (end - (cfg.seq_len as i64 - 1) + j).max(0) as usize;
+            let mut row = Vec::with_capacity(JOINT_DIM);
+            row.extend_from_slice(&v.frames[f]);
+            row.extend_from_slice(&chat_feats(v.chat, f as f64, cfg.chat_window));
+            row
+        })
+        .collect()
+}
+
+fn frame_is_highlight(highlights: &[Highlight], t: f64) -> bool {
+    highlights.iter().any(|h| h.range.contains(Sec(t)))
+}
+
+impl JointLstm {
+    /// Train on labelled videos; returns the model and wall-clock
+    /// training time (the Table I column).
+    pub fn train(videos: &[JointVideo<'_>], cfg: JointLstmConfig, seed: u64) -> (Self, Duration) {
+        let start = Instant::now();
+        let root = SeedTree::new(seed).child("joint-lstm");
+        let mut rng = root.child("init").rng();
+
+        let mut dims = vec![JOINT_DIM];
+        dims.extend(std::iter::repeat(cfg.hidden).take(cfg.layers.max(1)));
+        let mut model = JointLstm {
+            stack: LstmStack::new(&dims, &mut rng),
+            head: BinaryHead::new(cfg.hidden, &mut rng),
+            cfg,
+        };
+
+        let mut pos: Vec<(usize, f64)> = Vec::new();
+        let mut neg: Vec<(usize, f64)> = Vec::new();
+        for (vi, v) in videos.iter().enumerate() {
+            let mut t = cfg.seq_len as f64;
+            while t < v.duration.0 - 1.0 {
+                if frame_is_highlight(v.highlights, t) {
+                    pos.push((vi, t));
+                } else {
+                    neg.push((vi, t));
+                }
+                t += cfg.frame_stride;
+            }
+        }
+        let mut sample_rng = root.child("sample").rng();
+        neg.shuffle(&mut sample_rng);
+        neg.truncate(((pos.len() as f64) * cfg.neg_per_pos).ceil() as usize);
+        let mut samples: Vec<(usize, f64, f32)> = pos
+            .into_iter()
+            .map(|(v, t)| (v, t, 1.0))
+            .chain(neg.into_iter().map(|(v, t)| (v, t, 0.0)))
+            .collect();
+        samples.shuffle(&mut sample_rng);
+        samples.truncate(cfg.max_samples);
+
+        let mut opt_layers: Vec<(Adam, Adam, Adam)> = model
+            .stack
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Adam::new(l.w.as_slice().len(), cfg.lr),
+                    Adam::new(l.u.as_slice().len(), cfg.lr),
+                    Adam::new(l.b.len(), cfg.lr),
+                )
+            })
+            .collect();
+        let mut opt_head_w = Adam::new(model.head.w.len(), cfg.lr);
+        let mut opt_head_b = Adam::new(1, cfg.lr);
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            let mut epoch_rng = root.child("epoch").index(epoch as u64).rng();
+            order.shuffle(&mut epoch_rng);
+            for &si in &order {
+                let (vi, t, y) = samples[si];
+                let xs = input_sequence(&videos[vi], t, &model.cfg);
+                model.train_step(&xs, y, &mut opt_layers, &mut opt_head_w, &mut opt_head_b);
+            }
+        }
+        (model, start.elapsed())
+    }
+
+    fn train_step(
+        &mut self,
+        xs: &[Vec<f32>],
+        y: f32,
+        opt_layers: &mut [(Adam, Adam, Adam)],
+        opt_head_w: &mut Adam,
+        opt_head_b: &mut Adam,
+    ) {
+        let (hs, caches) = self.stack.forward(xs);
+        let h_last = hs.last().expect("non-empty");
+        let p = self.head.forward(h_last);
+        let mut gw_head = vec![0.0f32; self.head.w.len()];
+        let (gb_head, dh_last) = self.head.backward(h_last, p, y, &mut gw_head);
+        let mut dh = vec![vec![0.0f32; self.stack.out_dim()]; xs.len()];
+        *dh.last_mut().expect("non-empty") = dh_last;
+        let mut grads = self.stack.zero_grads();
+        self.stack.backward(&caches, &dh, &mut grads);
+
+        for ((layer, grad), (ow, ou, ob)) in self
+            .stack
+            .layers
+            .iter_mut()
+            .zip(&grads)
+            .zip(opt_layers.iter_mut())
+        {
+            ow.step(layer.w.as_mut_slice(), grad.w.as_slice());
+            ou.step(layer.u.as_mut_slice(), grad.u.as_slice());
+            ob.step(&mut layer.b, &grad.b);
+        }
+        opt_head_w.step(&mut self.head.w, &gw_head);
+        let mut b = [self.head.b];
+        opt_head_b.step(&mut b, &[gb_head]);
+        self.head.b = b[0];
+    }
+
+    /// P(frame at `t` seconds is a highlight).
+    pub fn score_frame(&self, v: &JointVideo<'_>, t: f64) -> f64 {
+        let xs = input_sequence(v, t, &self.cfg);
+        let (hs, _) = self.stack.forward(&xs);
+        self.head.forward(hs.last().expect("non-empty")) as f64
+    }
+
+    /// Top-k frame detections with `min_sep` separation.
+    pub fn detect(&self, v: &JointVideo<'_>, k: usize, min_sep: f64) -> Vec<Sec> {
+        let mut scored: Vec<(f64, f64)> = Vec::new();
+        let mut t = self.cfg.seq_len as f64;
+        while t < v.duration.0 - 1.0 {
+            scored.push((self.score_frame(v, t), t));
+            t += self.cfg.frame_stride;
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
+        let mut chosen: Vec<Sec> = Vec::with_capacity(k);
+        for (_, pos) in scored {
+            if chosen.iter().all(|c| (c.0 - pos).abs() > min_sep) {
+                chosen.push(Sec(pos));
+                if chosen.len() == k {
+                    break;
+                }
+            }
+        }
+        chosen
+    }
+
+    /// The configuration this model was trained with.
+    pub fn config(&self) -> &JointLstmConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visual::{synthetic_frame_features, VisualConfig};
+    use lightor_types::{ChannelId, GameKind, LabeledVideo, VideoId, VideoMeta};
+
+    fn tiny() -> JointLstmConfig {
+        JointLstmConfig {
+            hidden: 8,
+            layers: 1,
+            seq_len: 6,
+            epochs: 8,
+            lr: 0.02,
+            frame_stride: 5.0,
+            chat_window: 7.0,
+            neg_per_pos: 1.0,
+            max_samples: 300,
+        }
+    }
+
+    fn toy_labeled(game: GameKind) -> LabeledVideo {
+        LabeledVideo {
+            meta: VideoMeta {
+                id: VideoId(0),
+                channel: ChannelId(0),
+                game,
+                duration: Sec(600.0),
+                viewers: 100,
+            },
+            chat: ChatLog::empty(),
+            highlights: vec![
+                Highlight::from_secs(150.0, 170.0),
+                Highlight::from_secs(400.0, 425.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn learns_visual_excitement() {
+        let labeled = toy_labeled(GameKind::Dota2);
+        let frames = synthetic_frame_features(&labeled, &VisualConfig::default(), 5);
+        let jv = JointVideo {
+            frames: &frames,
+            chat: &labeled.chat,
+            duration: labeled.meta.duration,
+            highlights: &labeled.highlights,
+        };
+        let (model, elapsed) = JointLstm::train(std::slice::from_ref(&jv), tiny(), 21);
+        assert!(elapsed.as_nanos() > 0);
+
+        let p_in = model.score_frame(&jv, 160.0);
+        let p_out = model.score_frame(&jv, 300.0);
+        assert!(p_in > p_out + 0.2, "in {p_in} vs out {p_out}");
+    }
+
+    #[test]
+    fn detect_respects_separation_and_finds_highlights() {
+        let labeled = toy_labeled(GameKind::Dota2);
+        let frames = synthetic_frame_features(&labeled, &VisualConfig::default(), 6);
+        let jv = JointVideo {
+            frames: &frames,
+            chat: &labeled.chat,
+            duration: labeled.meta.duration,
+            highlights: &labeled.highlights,
+        };
+        let (model, _) = JointLstm::train(std::slice::from_ref(&jv), tiny(), 22);
+        let dots = model.detect(&jv, 2, 120.0);
+        assert_eq!(dots.len(), 2);
+        assert!((dots[0].0 - dots[1].0).abs() > 120.0);
+        let hits = dots
+            .iter()
+            .filter(|d| {
+                labeled
+                    .highlights
+                    .iter()
+                    .any(|h| h.range.distance_to(**d).0 <= 15.0)
+            })
+            .count();
+        assert!(hits >= 1, "{hits}/2 near highlights");
+    }
+
+    #[test]
+    fn cross_game_transfer_degrades() {
+        // Train on LoL-loaded features, evaluate margin on Dota2-loaded
+        // features: the excitement dimension rotates, so the score margin
+        // between highlight and background frames must shrink.
+        let lol = toy_labeled(GameKind::Lol);
+        let lol_frames = synthetic_frame_features(&lol, &VisualConfig::default(), 7);
+        let jv_lol = JointVideo {
+            frames: &lol_frames,
+            chat: &lol.chat,
+            duration: lol.meta.duration,
+            highlights: &lol.highlights,
+        };
+        let (model, _) = JointLstm::train(std::slice::from_ref(&jv_lol), tiny(), 23);
+
+        let dota = toy_labeled(GameKind::Dota2);
+        let dota_frames = synthetic_frame_features(&dota, &VisualConfig::default(), 8);
+        let jv_dota = JointVideo {
+            frames: &dota_frames,
+            chat: &dota.chat,
+            duration: dota.meta.duration,
+            highlights: &dota.highlights,
+        };
+
+        let margin_lol = model.score_frame(&jv_lol, 160.0) - model.score_frame(&jv_lol, 300.0);
+        let margin_dota =
+            model.score_frame(&jv_dota, 160.0) - model.score_frame(&jv_dota, 300.0);
+        assert!(
+            margin_dota < margin_lol,
+            "transfer margin {margin_dota} should shrink vs in-game {margin_lol}"
+        );
+    }
+
+    #[test]
+    fn input_sequence_pads_at_video_start() {
+        let labeled = toy_labeled(GameKind::Dota2);
+        let frames = synthetic_frame_features(&labeled, &VisualConfig::default(), 9);
+        let jv = JointVideo {
+            frames: &frames,
+            chat: &labeled.chat,
+            duration: labeled.meta.duration,
+            highlights: &labeled.highlights,
+        };
+        let cfg = tiny();
+        let xs = input_sequence(&jv, 2.0, &cfg);
+        assert_eq!(xs.len(), cfg.seq_len);
+        assert_eq!(xs[0].len(), JOINT_DIM);
+        // Front frames repeat frame 0.
+        assert_eq!(xs[0], xs[1]);
+    }
+
+    use lightor_types::ChatLog;
+}

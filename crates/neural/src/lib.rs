@@ -1,0 +1,37 @@
+//! From-scratch neural substrate for the paper's deep-learning baselines
+//! (Fu et al., EMNLP 2017: Chat-LSTM and Joint-LSTM).
+//!
+//! The paper compares LIGHTOR against a character-level 3-layer LSTM over
+//! chat (Chat-LSTM) and a joint video+chat model (Joint-LSTM) trained on
+//! 4×V100 GPUs in PyTorch. Neither PyTorch nor GPUs are available to this
+//! reproduction, so this crate implements the training stack directly:
+//!
+//! * [`tensor`] — a minimal row-major `f32` matrix,
+//! * [`lstm`] — an LSTM layer with full backpropagation-through-time,
+//!   verified against numerical gradients,
+//! * [`adam`] — the Adam optimizer,
+//! * [`chat_lstm`] — the character-level chat baseline,
+//! * [`visual`] — *synthetic* per-frame visual features standing in for
+//!   CNN image embeddings (see DESIGN.md for the substitution argument),
+//! * [`joint_lstm`] — the joint video+chat baseline.
+//!
+//! Scale is reduced (hidden ≈ 32 vs hundreds) but the comparison the
+//! paper makes — training-data appetite, training time, and cross-game
+//! generalization — is preserved because those are properties of the
+//! model *class*, not its width.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod chat_lstm;
+pub mod joint_lstm;
+pub mod lstm;
+pub mod tensor;
+pub mod visual;
+
+pub use adam::Adam;
+pub use chat_lstm::{ChatLstm, ChatLstmConfig, LabeledChatVideo};
+pub use joint_lstm::{JointLstm, JointLstmConfig};
+pub use lstm::{BinaryHead, Lstm, LstmStack};
+pub use tensor::Matrix;
+pub use visual::{synthetic_frame_features, VisualConfig, VISUAL_DIM};

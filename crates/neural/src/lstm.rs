@@ -1,0 +1,495 @@
+//! LSTM layer, stacked LSTM, token embedding and sigmoid head, with full
+//! backpropagation-through-time. Gradients are verified against central
+//! finite differences in the test module.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// One LSTM layer. Gate order in the stacked weight matrices is
+/// `[input, forget, cell, output]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lstm {
+    n_in: usize,
+    n_h: usize,
+    /// Input weights, `4h × n_in`.
+    pub w: Matrix,
+    /// Recurrent weights, `4h × n_h`.
+    pub u: Matrix,
+    /// Gate biases, `4h` (forget-gate slice initialized to 1).
+    pub b: Vec<f32>,
+}
+
+/// Everything the backward pass needs about one timestep.
+#[derive(Clone, Debug)]
+pub struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tc: Vec<f32>,
+}
+
+/// Gradient accumulators mirroring [`Lstm`]'s parameters.
+#[derive(Clone, Debug)]
+pub struct LstmGrads {
+    /// d/dW.
+    pub w: Matrix,
+    /// d/dU.
+    pub u: Matrix,
+    /// d/db.
+    pub b: Vec<f32>,
+}
+
+impl Lstm {
+    /// Xavier-initialized layer; forget-gate bias starts at 1 so early
+    /// training does not forget everything.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_h: usize, rng: &mut R) -> Self {
+        let mut b = vec![0.0; 4 * n_h];
+        b[n_h..2 * n_h].iter_mut().for_each(|v| *v = 1.0);
+        Lstm {
+            n_in,
+            n_h,
+            w: Matrix::xavier(4 * n_h, n_in, rng),
+            u: Matrix::xavier(4 * n_h, n_h, rng),
+            b,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.n_h
+    }
+
+    /// Input width.
+    pub fn input(&self) -> usize {
+        self.n_in
+    }
+
+    /// Zeroed gradient accumulators for this layer.
+    pub fn zero_grads(&self) -> LstmGrads {
+        LstmGrads {
+            w: Matrix::zeros(4 * self.n_h, self.n_in),
+            u: Matrix::zeros(4 * self.n_h, self.n_h),
+            b: vec![0.0; 4 * self.n_h],
+        }
+    }
+
+    /// Run the layer over a sequence, returning the hidden states and the
+    /// caches for BPTT.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, Vec<StepCache>) {
+        let h = self.n_h;
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut caches = Vec::with_capacity(xs.len());
+
+        for x in xs {
+            assert_eq!(x.len(), self.n_in, "input width mismatch");
+            let mut z = self.b.clone();
+            self.w.matvec_acc(x, &mut z);
+            self.u.matvec_acc(&h_prev, &mut z);
+
+            let mut i = vec![0.0f32; h];
+            let mut f = vec![0.0f32; h];
+            let mut g = vec![0.0f32; h];
+            let mut o = vec![0.0f32; h];
+            let mut c = vec![0.0f32; h];
+            let mut tc = vec![0.0f32; h];
+            let mut h_t = vec![0.0f32; h];
+            for j in 0..h {
+                i[j] = sigmoid(z[j]);
+                f[j] = sigmoid(z[h + j]);
+                g[j] = z[2 * h + j].tanh();
+                o[j] = sigmoid(z[3 * h + j]);
+                c[j] = f[j] * c_prev[j] + i[j] * g[j];
+                tc[j] = c[j].tanh();
+                h_t[j] = o[j] * tc[j];
+            }
+            caches.push(StepCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                tc,
+            });
+            c_prev = c;
+            h_prev = h_t.clone();
+            hs.push(h_t);
+        }
+        (hs, caches)
+    }
+
+    /// BPTT. `dh[t]` holds dL/dh_t contributions from above (the head
+    /// and/or the next layer); returns dL/dx_t per step and accumulates
+    /// parameter gradients into `grads`.
+    pub fn backward(
+        &self,
+        caches: &[StepCache],
+        dh: &[Vec<f32>],
+        grads: &mut LstmGrads,
+    ) -> Vec<Vec<f32>> {
+        let h = self.n_h;
+        let t_len = caches.len();
+        assert_eq!(dh.len(), t_len, "dh length mismatch");
+        let mut dxs = vec![vec![0.0f32; self.n_in]; t_len];
+        let mut dh_next = vec![0.0f32; h];
+        let mut dc_next = vec![0.0f32; h];
+
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let mut dz = vec![0.0f32; 4 * h];
+            for j in 0..h {
+                let dht = dh[t][j] + dh_next[j];
+                let tc = cache.tc[j];
+                let o = cache.o[j];
+                let dc = dht * o * (1.0 - tc * tc) + dc_next[j];
+                let i = cache.i[j];
+                let f = cache.f[j];
+                let g = cache.g[j];
+                let do_ = dht * tc;
+                let di = dc * g;
+                let df = dc * cache.c_prev[j];
+                let dg = dc * i;
+                dz[j] = di * i * (1.0 - i);
+                dz[h + j] = df * f * (1.0 - f);
+                dz[2 * h + j] = dg * (1.0 - g * g);
+                dz[3 * h + j] = do_ * o * (1.0 - o);
+                dc_next[j] = dc * f;
+            }
+            grads.w.outer_acc(&dz, &cache.x, 1.0);
+            grads.u.outer_acc(&dz, &cache.h_prev, 1.0);
+            for (gb, d) in grads.b.iter_mut().zip(&dz) {
+                *gb += d;
+            }
+            self.w.t_matvec_acc(&dz, &mut dxs[t]);
+            dh_next.iter_mut().for_each(|v| *v = 0.0);
+            self.u.t_matvec_acc(&dz, &mut dh_next);
+        }
+        dxs
+    }
+}
+
+/// A stack of LSTM layers (the paper's Chat-LSTM uses 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmStack {
+    /// The layers, bottom first.
+    pub layers: Vec<Lstm>,
+}
+
+impl LstmStack {
+    /// Build a stack: `dims = [input, h1, h2, ...]`.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let layers = dims
+            .windows(2)
+            .map(|w| Lstm::new(w[0], w[1], rng))
+            .collect();
+        LstmStack { layers }
+    }
+
+    /// Hidden width of the top layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").hidden()
+    }
+
+    /// Forward through all layers; returns the top layer's hidden
+    /// sequence and per-layer caches.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, Vec<Vec<StepCache>>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut seq: Vec<Vec<f32>> = xs.to_vec();
+        for layer in &self.layers {
+            let (hs, cache) = layer.forward(&seq);
+            caches.push(cache);
+            seq = hs;
+        }
+        (seq, caches)
+    }
+
+    /// Backward through all layers; `dh_top[t]` is dL/dh of the top layer.
+    /// Accumulates into `grads` (one per layer) and returns dL/dx.
+    pub fn backward(
+        &self,
+        caches: &[Vec<StepCache>],
+        dh_top: &[Vec<f32>],
+        grads: &mut [LstmGrads],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(grads.len(), self.layers.len());
+        let mut dh: Vec<Vec<f32>> = dh_top.to_vec();
+        for (layer, (cache, grad)) in self
+            .layers
+            .iter()
+            .zip(caches.iter().zip(grads.iter_mut()))
+            .rev()
+        {
+            dh = layer.backward(cache, &dh, grad);
+        }
+        dh
+    }
+
+    /// Zeroed per-layer gradient accumulators.
+    pub fn zero_grads(&self) -> Vec<LstmGrads> {
+        self.layers.iter().map(Lstm::zero_grads).collect()
+    }
+}
+
+/// Sigmoid readout over the final hidden state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BinaryHead {
+    /// Readout weights.
+    pub w: Vec<f32>,
+    /// Readout bias.
+    pub b: f32,
+}
+
+impl BinaryHead {
+    /// Xavier-ish initialization.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (n_in + 1) as f32).sqrt();
+        BinaryHead {
+            w: (0..n_in).map(|_| rng.gen_range(-bound..bound)).collect(),
+            b: 0.0,
+        }
+    }
+
+    /// P(positive | h).
+    pub fn forward(&self, h: &[f32]) -> f32 {
+        assert_eq!(h.len(), self.w.len());
+        let z: f32 = self.b + self.w.iter().zip(h).map(|(w, x)| w * x).sum::<f32>();
+        sigmoid(z)
+    }
+
+    /// BCE gradient at `(p, y)`: accumulates dL/dw into `gw`, returns
+    /// `(dL/db, dL/dh)`.
+    pub fn backward(&self, h: &[f32], p: f32, y: f32, gw: &mut [f32]) -> (f32, Vec<f32>) {
+        let dlogit = p - y;
+        for (g, x) in gw.iter_mut().zip(h) {
+            *g += dlogit * x;
+        }
+        let dh = self.w.iter().map(|w| dlogit * w).collect();
+        (dlogit, dh)
+    }
+}
+
+/// Binary cross-entropy, clamped for numerical safety.
+pub fn bce(p: f32, y: f32) -> f32 {
+    let p = p.clamp(1e-7, 1.0 - 1e-7);
+    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn loss_of(lstm: &Lstm, head: &BinaryHead, xs: &[Vec<f32>], y: f32) -> f32 {
+        let (hs, _) = lstm.forward(xs);
+        bce(head.forward(hs.last().unwrap()), y)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32 * 0.1; 3]).collect();
+        let (hs, caches) = lstm.forward(&xs);
+        assert_eq!(hs.len(), 5);
+        assert_eq!(hs[0].len(), 4);
+        assert_eq!(caches.len(), 5);
+        // Hidden values bounded by tanh×sigmoid.
+        assert!(hs.iter().flatten().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradient_check_lstm_weights() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let head = BinaryHead::new(4, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..6)
+            .map(|i| vec![(i as f32 * 0.37).sin(), 0.2, -0.4 + i as f32 * 0.1])
+            .collect();
+        let y = 1.0;
+
+        // Analytic gradients.
+        let (hs, caches) = lstm.forward(&xs);
+        let p = head.forward(hs.last().unwrap());
+        let mut gw_head = vec![0.0f32; 4];
+        let (_, dh_last) = head.backward(hs.last().unwrap(), p, y, &mut gw_head);
+        let mut dh = vec![vec![0.0f32; 4]; xs.len()];
+        *dh.last_mut().unwrap() = dh_last;
+        let mut grads = lstm.zero_grads();
+        lstm.backward(&caches, &dh, &mut grads);
+
+        // Numerical check on a sample of W, U, b entries.
+        let eps = 1e-3f32;
+        let probes: Vec<(usize, usize)> = vec![(0, 0), (3, 2), (7, 1), (12, 0), (15, 2)];
+        for &(r, c) in &probes {
+            let orig = lstm.w.get(r, c);
+            *lstm.w.get_mut(r, c) = orig + eps;
+            let lp = loss_of(&lstm, &head, &xs, y);
+            *lstm.w.get_mut(r, c) = orig - eps;
+            let lm = loss_of(&lstm, &head, &xs, y);
+            *lstm.w.get_mut(r, c) = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.w.get(r, c);
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(ana.abs()).max(1e-2),
+                "W[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &(r, c) in &[(1usize, 1usize), (9, 3), (14, 0)] {
+            let orig = lstm.u.get(r, c);
+            *lstm.u.get_mut(r, c) = orig + eps;
+            let lp = loss_of(&lstm, &head, &xs, y);
+            *lstm.u.get_mut(r, c) = orig - eps;
+            let lm = loss_of(&lstm, &head, &xs, y);
+            *lstm.u.get_mut(r, c) = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.u.get(r, c);
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(ana.abs()).max(1e-2),
+                "U[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &j in &[0usize, 5, 10, 15] {
+            let orig = lstm.b[j];
+            lstm.b[j] = orig + eps;
+            let lp = loss_of(&lstm, &head, &xs, y);
+            lstm.b[j] = orig - eps;
+            let lm = loss_of(&lstm, &head, &xs, y);
+            lstm.b[j] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.b[j];
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(ana.abs()).max(1e-2),
+                "b[{j}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_stack_input() {
+        // dL/dx through a 2-layer stack must match finite differences.
+        let mut rng = Rng64::seed_from_u64(3);
+        let stack = LstmStack::new(&[2, 3, 3], &mut rng);
+        let head = BinaryHead::new(3, &mut rng);
+        let mut xs: Vec<Vec<f32>> = (0..4).map(|i| vec![0.3 - i as f32 * 0.1, 0.5]).collect();
+        let y = 0.0;
+
+        let loss = |stack: &LstmStack, xs: &[Vec<f32>]| {
+            let (hs, _) = stack.forward(xs);
+            bce(head.forward(hs.last().unwrap()), y)
+        };
+
+        let (hs, caches) = stack.forward(&xs);
+        let p = head.forward(hs.last().unwrap());
+        let mut gw = vec![0.0f32; 3];
+        let (_, dh_last) = head.backward(hs.last().unwrap(), p, y, &mut gw);
+        let mut dh = vec![vec![0.0f32; 3]; xs.len()];
+        *dh.last_mut().unwrap() = dh_last;
+        let mut grads = stack.zero_grads();
+        let dxs = stack.backward(&caches, &dh, &mut grads);
+
+        let eps = 1e-3f32;
+        for t in 0..xs.len() {
+            for d in 0..2 {
+                let orig = xs[t][d];
+                xs[t][d] = orig + eps;
+                let lp = loss(&stack, &xs);
+                xs[t][d] = orig - eps;
+                let lm = loss(&stack, &xs);
+                xs[t][d] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = dxs[t][d];
+                assert!(
+                    (num - ana).abs() < 2e-2 * num.abs().max(ana.abs()).max(1e-2),
+                    "dx[{t}][{d}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_learns_a_toy_sequence_task() {
+        // Label = does the sequence sum exceed 0? Trainable in a few
+        // hundred Adam steps.
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut stack = LstmStack::new(&[1, 6], &mut rng);
+        let mut head = BinaryHead::new(6, &mut rng);
+        let mut opts: Vec<crate::adam::Adam> = vec![
+            crate::adam::Adam::new(stack.layers[0].w.as_slice().len(), 0.02),
+            crate::adam::Adam::new(stack.layers[0].u.as_slice().len(), 0.02),
+            crate::adam::Adam::new(stack.layers[0].b.len(), 0.02),
+            crate::adam::Adam::new(head.w.len(), 0.02),
+            crate::adam::Adam::new(1, 0.02),
+        ];
+
+        let make_seq = |seed: u64| -> (Vec<Vec<f32>>, f32) {
+            let mut r = Rng64::seed_from_u64(seed);
+            let xs: Vec<Vec<f32>> = (0..6)
+                .map(|_| vec![rand::Rng::gen_range(&mut r, -1.0..1.0f32)])
+                .collect();
+            let sum: f32 = xs.iter().map(|v| v[0]).sum();
+            (xs, if sum > 0.0 { 1.0 } else { 0.0 })
+        };
+
+        for epoch in 0..60 {
+            for s in 0..40u64 {
+                let (xs, y) = make_seq(epoch * 1000 + s);
+                let (hs, caches) = stack.forward(&xs);
+                let p = head.forward(hs.last().unwrap());
+                let mut gw_head = vec![0.0f32; 6];
+                let (gb_head, dh_last) =
+                    head.backward(hs.last().unwrap(), p, y, &mut gw_head);
+                let mut dh = vec![vec![0.0f32; 6]; xs.len()];
+                *dh.last_mut().unwrap() = dh_last;
+                let mut grads = stack.zero_grads();
+                stack.backward(&caches, &dh, &mut grads);
+
+                opts[0].step(stack.layers[0].w.as_mut_slice(), grads[0].w.as_slice());
+                opts[1].step(stack.layers[0].u.as_mut_slice(), grads[0].u.as_slice());
+                opts[2].step(&mut stack.layers[0].b, &grads[0].b);
+                opts[3].step(&mut head.w, &gw_head);
+                let mut b = [head.b];
+                opts[4].step(&mut b, &[gb_head]);
+                head.b = b[0];
+            }
+        }
+
+        let mut correct = 0;
+        for s in 0..100u64 {
+            let (xs, y) = make_seq(999_000 + s);
+            let (hs, _) = stack.forward(&xs);
+            let p = head.forward(hs.last().unwrap());
+            if (p > 0.5) == (y > 0.5) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 85, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn bce_is_safe_at_extremes() {
+        assert!(bce(0.0, 1.0).is_finite());
+        assert!(bce(1.0, 0.0).is_finite());
+        assert!(bce(0.5, 1.0) > 0.0);
+    }
+}

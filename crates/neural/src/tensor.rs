@@ -1,0 +1,187 @@
+//! A minimal row-major `f32` matrix — just enough linear algebra for LSTM
+//! training on CPU.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
+        }
+    }
+
+    /// Build from an explicit row-major buffer. Panics on size mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat parameter buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat parameter buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y += self · x` (matrix-vector). Panics on dimension mismatch.
+    pub fn matvec_acc(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec input dim");
+        assert_eq!(y.len(), self.rows, "matvec output dim");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] += acc;
+        }
+    }
+
+    /// `y += selfᵀ · x` (transposed matrix-vector) — used for gradient
+    /// flow back to layer inputs.
+    pub fn t_matvec_acc(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "t_matvec input dim");
+        assert_eq!(y.len(), self.cols, "t_matvec output dim");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let xr = x[r];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += a * xr;
+            }
+        }
+    }
+
+    /// `self += alpha · (a ⊗ b)` (rank-1 accumulate) — weight gradients.
+    pub fn outer_acc(&mut self, a: &[f32], b: &[f32], alpha: f32) {
+        assert_eq!(a.len(), self.rows, "outer rows");
+        assert_eq!(b.len(), self.cols, "outer cols");
+        for r in 0..self.rows {
+            let ar = a[r] * alpha;
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, bc) in row.iter_mut().zip(b) {
+                *w += ar * bc;
+            }
+        }
+    }
+
+    /// Set every element to zero (gradient reset between steps).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 2];
+        m.matvec_acc(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![-2.0, -2.0]);
+        // Accumulates rather than overwrites.
+        m.matvec_acc(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![-4.0, -4.0]);
+    }
+
+    #[test]
+    fn t_matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 3];
+        m.t_matvec_acc(&[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.outer_acc(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(m.as_slice(), &[1.5, 2.0, 3.0, 4.0]);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = Matrix::xavier(8, 8, &mut rng);
+        let bound = (6.0 / 16.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(m, Matrix::xavier(8, 8, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_validates() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        *m.get_mut(1, 2) = 5.0;
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+    }
+}

@@ -1,0 +1,438 @@
+//! The web-service core (paper Section VI-A, Figure 5).
+//!
+//! Request flow: a viewer opens a recorded video → the service looks the
+//! chat up in the store (crawling on miss) → the Highlight Initializer
+//! places red dots → the front end renders them → viewer interactions
+//! stream back in → periodic refinement rounds run the Extractor's
+//! filter/classify/aggregate step over the plays accumulated per dot and
+//! persist the updated positions.
+//!
+//! The service is thread-safe: interaction logging and refinement hold a
+//! single `parking_lot` mutex over the mutable state (the workloads here
+//! are small; contention is not the bottleneck being studied).
+
+use crate::crawler::Crawler;
+use crate::store::{ChatStore, KvStore};
+use lightor::{
+    aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType,
+    ModelBundle,
+};
+use lightor_chatsim::SimPlatform;
+use lightor_types::{Play, RedDot, Sec, Session, VideoId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Red dots per video.
+    pub top_k: usize,
+    /// Minimum buffered plays before a dot runs a refinement round.
+    pub min_plays_per_round: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            top_k: 5,
+            min_plays_per_round: 8,
+        }
+    }
+}
+
+/// Persistent per-dot refinement state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DotState {
+    /// The dot as the Initializer placed it.
+    pub initial: RedDot,
+    /// Current (refined) position.
+    pub current: Sec,
+    /// Extracted end boundary, once a Type II round succeeded.
+    pub end: Option<Sec>,
+    /// Start of the previous Type II boundary (convergence detection).
+    pub last_type2_start: Option<Sec>,
+    /// Refinement rounds run so far.
+    pub rounds: usize,
+    /// Whether the position has stopped moving.
+    pub converged: bool,
+    /// Plays accumulated since the last round (not persisted).
+    #[serde(skip)]
+    pending: Vec<Play>,
+}
+
+/// Refinement state of one video.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct VideoState {
+    /// Per-dot state, in initializer rank order.
+    pub dots: Vec<DotState>,
+}
+
+struct Inner {
+    chat_store: ChatStore,
+    kv: KvStore,
+    videos: HashMap<VideoId, VideoState>,
+}
+
+/// The LIGHTOR web service.
+pub struct LightorService {
+    models: ModelBundle,
+    cfg: ServiceConfig,
+    platform: SimPlatform,
+    inner: Mutex<Inner>,
+}
+
+impl LightorService {
+    /// Open the service with storage under `dir`, trained `models`, and a
+    /// platform to crawl from. Previously persisted dot states are
+    /// reloaded from the KV store.
+    pub fn open(
+        dir: &Path,
+        models: ModelBundle,
+        platform: SimPlatform,
+        cfg: ServiceConfig,
+    ) -> std::io::Result<Self> {
+        let chat_store = ChatStore::open(dir.join("chat"))?;
+        let kv = KvStore::open(dir.join("state.json"))?;
+        let mut videos = HashMap::new();
+        for key in kv.keys_with_prefix("video:") {
+            if let (Some(id_str), Some(state)) =
+                (key.strip_prefix("video:"), kv.get::<VideoState>(&key))
+            {
+                if let Ok(id) = id_str.parse::<u64>() {
+                    videos.insert(VideoId(id), state);
+                }
+            }
+        }
+        Ok(LightorService {
+            models,
+            cfg,
+            platform,
+            inner: Mutex::new(Inner {
+                chat_store,
+                kv,
+                videos,
+            }),
+        })
+    }
+
+    /// Handle a "viewer opened video X" request: returns the current red
+    /// dots, crawling chat and initializing dots on first sight.
+    /// `Ok(None)` means the platform does not know the video.
+    pub fn open_video(&self, video: VideoId) -> std::io::Result<Option<Vec<RedDot>>> {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.videos.get(&video) {
+            return Ok(Some(
+                state
+                    .dots
+                    .iter()
+                    .map(|d| RedDot::new(d.current, d.initial.score))
+                    .collect(),
+            ));
+        }
+
+        // First sight: crawl on miss, then initialize.
+        let crawler = Crawler::new(&self.platform);
+        if !crawler.crawl_video(video, &mut inner.chat_store)? {
+            return Ok(None);
+        }
+        let chat = inner
+            .chat_store
+            .get_chat(video)?
+            .expect("just crawled");
+        let duration = self
+            .platform
+            .video_meta(video)
+            .map(|m| m.duration)
+            .unwrap_or_else(|| chat.last_ts().unwrap_or(Sec::ZERO));
+        let dots = self
+            .models
+            .initializer
+            .red_dots(&chat, duration, self.cfg.top_k);
+        let state = VideoState {
+            dots: dots
+                .iter()
+                .map(|&d| DotState {
+                    initial: d,
+                    current: d.at,
+                    end: None,
+                    last_type2_start: None,
+                    rounds: 0,
+                    converged: false,
+                    pending: Vec::new(),
+                })
+                .collect(),
+        };
+        Self::persist(&mut inner, video, &state)?;
+        inner.videos.insert(video, state);
+        Ok(Some(dots))
+    }
+
+    /// Log one viewer session: its plays are buffered against the nearest
+    /// red dot (within the extractor's Δ neighbourhood).
+    pub fn log_session(&self, video: VideoId, session: &Session) {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.videos.get_mut(&video) else {
+            return;
+        };
+        let delta = self.models.extractor.config().neighborhood;
+        for play in session.plays() {
+            let nearest = state
+                .dots
+                .iter_mut()
+                .min_by(|a, b| {
+                    play.range
+                        .distance_to(a.current)
+                        .total_cmp(&play.range.distance_to(b.current))
+                });
+            if let Some(dot) = nearest {
+                if play.range.distance_to(dot.current).0 <= delta {
+                    dot.pending.push(play);
+                }
+            }
+        }
+    }
+
+    /// Run one refinement round on every dot of `video` that has enough
+    /// buffered plays. Returns the number of dots updated.
+    pub fn refine_video(&self, video: VideoId) -> std::io::Result<usize> {
+        let mut inner = self.inner.lock();
+        let Some(mut state) = inner.videos.get(&video).cloned() else {
+            return Ok(0);
+        };
+        let ex_cfg = *self.models.extractor.config();
+        let classifier = self.models.extractor.classifier();
+        let mut updated = 0;
+
+        for dot in &mut state.dots {
+            if dot.converged || dot.pending.len() < self.cfg.min_plays_per_round {
+                continue;
+            }
+            let raw: lightor_types::PlaySet =
+                lightor_types::PlaySet::new(std::mem::take(&mut dot.pending));
+            let filtered = filter_plays(&raw, dot.current, &ex_cfg);
+            let next = if filtered.is_empty() {
+                aggregate_type1(dot.current, ex_cfg.move_back)
+            } else {
+                let feats = play_position_features(&filtered, dot.current);
+                match classifier.classify(&feats) {
+                    DotType::TypeII => match aggregate_type2(&filtered, dot.current) {
+                        Some((s, e)) => {
+                            dot.end = Some(e);
+                            // Two agreeing Type II boundaries = converged,
+                            // even across a misclassified round.
+                            if dot
+                                .last_type2_start
+                                .is_some_and(|p| (p.0 - s.0).abs() < ex_cfg.converge_eps)
+                            {
+                                dot.converged = true;
+                            }
+                            dot.last_type2_start = Some(s);
+                            s
+                        }
+                        None => aggregate_type1(dot.current, ex_cfg.move_back),
+                    },
+                    DotType::TypeI => aggregate_type1(dot.current, ex_cfg.move_back),
+                }
+            };
+            let moved = (next.0 - dot.current.0).abs();
+            dot.current = next;
+            dot.rounds += 1;
+            if moved < ex_cfg.converge_eps && dot.end.is_some() {
+                dot.converged = true;
+            }
+            updated += 1;
+        }
+
+        if updated > 0 {
+            Self::persist(&mut inner, video, &state)?;
+        }
+        inner.videos.insert(video, state);
+        Ok(updated)
+    }
+
+    /// Snapshot of a video's refinement state.
+    pub fn video_state(&self, video: VideoId) -> Option<VideoState> {
+        self.inner.lock().videos.get(&video).cloned()
+    }
+
+    /// Number of videos with chat stored.
+    pub fn stored_videos(&self) -> usize {
+        self.inner.lock().chat_store.video_count()
+    }
+
+    fn persist(inner: &mut Inner, video: VideoId, state: &VideoState) -> std::io::Result<()> {
+        inner.kv.put(&format!("video:{}", video.0), state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightor::{
+        ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer,
+        InitializerConfig, PlayPositionFeatures, TrainingVideo, TypeClassifier,
+    };
+    use lightor_chatsim::dota2_dataset;
+    use lightor_crowdsim::Campaign;
+    use lightor_types::GameKind;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "lightor-service-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn models() -> ModelBundle {
+        let data = dota2_dataset(2, 91);
+        let views: Vec<TrainingVideo> = data
+            .videos
+            .iter()
+            .map(|v| TrainingVideo {
+                chat: &v.video.chat,
+                duration: v.video.meta.duration,
+                highlights: &v.video.highlights,
+                label_ranges: &v.response_ranges,
+            })
+            .collect();
+        let initializer =
+            HighlightInitializer::train(&views, FeatureSet::Full, InitializerConfig::default());
+        let mut examples = Vec::new();
+        for i in 0..30 {
+            let j = (i % 7) as f64;
+            examples.push((
+                PlayPositionFeatures { after: 5.0 + j, before: 0.0, across: 1.0 + j / 2.0 },
+                DotType::TypeII,
+            ));
+            examples.push((
+                PlayPositionFeatures { after: 1.0, before: 3.0 + j, across: 2.0 },
+                DotType::TypeI,
+            ));
+        }
+        let extractor = HighlightExtractor::new(
+            TypeClassifier::train(&examples),
+            ExtractorConfig::default(),
+        );
+        ModelBundle {
+            initializer,
+            extractor,
+            provenance: "service-test".into(),
+        }
+    }
+
+    fn service(dir: &Path) -> LightorService {
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        LightorService::open(dir, models(), platform, ServiceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn open_video_crawls_and_initializes() {
+        let dir = TempDir::new("open");
+        let svc = service(&dir.0);
+        let vid = {
+            let p = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+            p.recent_videos(p.channels()[0].id)[0]
+        };
+        let dots = svc.open_video(vid).unwrap().unwrap();
+        assert!(!dots.is_empty());
+        assert_eq!(svc.stored_videos(), 1);
+        // Second open returns the same dots without recrawl.
+        let again = svc.open_video(vid).unwrap().unwrap();
+        assert_eq!(dots.len(), again.len());
+        assert_eq!(svc.stored_videos(), 1);
+        // Unknown video.
+        assert!(svc.open_video(VideoId(999_999)).unwrap().is_none());
+    }
+
+    #[test]
+    fn interactions_refine_dots() {
+        let dir = TempDir::new("refine");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+        let truth = platform.ground_truth(vid).unwrap().clone();
+
+        let dots = svc.open_video(vid).unwrap().unwrap();
+        let mut campaign = Campaign::new(150, 93);
+        // Three rounds of viewers + refinement.
+        for _ in 0..3 {
+            for dot in &dots {
+                let result = campaign.run_task(&truth.video, dot.at, 12);
+                for session in &result.sessions {
+                    svc.log_session(vid, session);
+                }
+            }
+            svc.refine_video(vid).unwrap();
+        }
+        let state = svc.video_state(vid).unwrap();
+        assert!(state.dots.iter().any(|d| d.rounds > 0));
+        assert!(
+            state.dots.iter().any(|d| d.end.is_some()),
+            "no dot extracted an end boundary"
+        );
+    }
+
+    #[test]
+    fn state_persists_across_restart() {
+        let dir = TempDir::new("restart");
+        let vid;
+        {
+            let svc = service(&dir.0);
+            let p = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+            vid = p.recent_videos(p.channels()[0].id)[0];
+            svc.open_video(vid).unwrap().unwrap();
+        }
+        // Reopen: the dot state must come back from the KV store.
+        let svc2 = service(&dir.0);
+        let state = svc2.video_state(vid).expect("state survived restart");
+        assert!(!state.dots.is_empty());
+    }
+
+    #[test]
+    fn concurrent_session_logging_is_safe() {
+        let dir = TempDir::new("concurrent");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+        let truth = platform.ground_truth(vid).unwrap().clone();
+        let dots = svc.open_video(vid).unwrap().unwrap();
+
+        let mut campaign = Campaign::new(64, 94);
+        let sessions: Vec<_> = (0..4)
+            .flat_map(|_| campaign.run_task(&truth.video, dots[0].at, 16).sessions)
+            .collect();
+
+        crossbeam::scope(|scope| {
+            for chunk in sessions.chunks(16) {
+                let svc = &svc;
+                scope.spawn(move |_| {
+                    for s in chunk {
+                        svc.log_session(vid, s);
+                    }
+                });
+            }
+        })
+        .unwrap();
+
+        // All buffered plays are attributable to dots; refinement runs.
+        let updated = svc.refine_video(vid).unwrap();
+        assert!(updated >= 1, "no dot had enough plays after 64 sessions");
+    }
+}

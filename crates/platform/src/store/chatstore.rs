@@ -1,0 +1,201 @@
+//! Per-video chat storage on top of the segment log.
+//!
+//! One log record = one video's full chat replay (crawls are per-video,
+//! so batching amortizes framing overhead). The in-memory index maps
+//! `VideoId → RecordId` and is rebuilt by scanning the log on open —
+//! recovery is the scan.
+//!
+//! Record payload layout (all LE):
+//! `[video_id: u64][n: u32] n × ([ts: f64][user: u64][len: u16][utf8 text])`
+
+use super::log::{RecordId, SegmentLog};
+use bytes::{Buf, BufMut, BytesMut};
+use lightor_types::{ChatLog, ChatMessage, Sec, UserId, VideoId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Durable chat storage with a per-video index.
+#[derive(Debug)]
+pub struct ChatStore {
+    log: SegmentLog,
+    index: HashMap<VideoId, RecordId>,
+}
+
+fn encode(video: VideoId, chat: &ChatLog) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(video.0);
+    buf.put_u32_le(chat.len() as u32);
+    for m in chat.messages() {
+        buf.put_f64_le(m.ts.0);
+        buf.put_u64_le(m.user.0);
+        let text = m.text.as_bytes();
+        let len = text.len().min(u16::MAX as usize);
+        buf.put_u16_le(len as u16);
+        buf.put_slice(&text[..len]);
+    }
+    buf.to_vec()
+}
+
+fn decode(mut payload: &[u8]) -> Option<(VideoId, ChatLog)> {
+    if payload.remaining() < 12 {
+        return None;
+    }
+    let video = VideoId(payload.get_u64_le());
+    let n = payload.get_u32_le() as usize;
+    let mut messages = Vec::with_capacity(n);
+    for _ in 0..n {
+        if payload.remaining() < 18 {
+            return None;
+        }
+        let ts = payload.get_f64_le();
+        let user = payload.get_u64_le();
+        let len = payload.get_u16_le() as usize;
+        if payload.remaining() < len {
+            return None;
+        }
+        let text = String::from_utf8_lossy(&payload[..len]).into_owned();
+        payload.advance(len);
+        messages.push(ChatMessage::new(Sec(ts), UserId(user), text));
+    }
+    Some((video, ChatLog::new(messages)))
+}
+
+impl ChatStore {
+    /// Open (or create) a store in `dir`, rebuilding the index by scan.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let log = SegmentLog::open(dir, 8 << 20)?;
+        let mut index = HashMap::new();
+        for (id, payload) in log.scan()? {
+            if let Some((video, _)) = decode(&payload) {
+                // Later records win: re-crawls overwrite.
+                index.insert(video, id);
+            }
+        }
+        Ok(ChatStore { log, index })
+    }
+
+    /// Store (or replace) a video's chat replay.
+    pub fn put_chat(&mut self, video: VideoId, chat: &ChatLog) -> std::io::Result<()> {
+        let id = self.log.append(&encode(video, chat))?;
+        self.log.sync()?;
+        self.index.insert(video, id);
+        Ok(())
+    }
+
+    /// Fetch a video's chat replay, if crawled.
+    pub fn get_chat(&self, video: VideoId) -> std::io::Result<Option<ChatLog>> {
+        let Some(&id) = self.index.get(&video) else {
+            return Ok(None);
+        };
+        let payload = self.log.read(id)?;
+        Ok(decode(&payload).map(|(_, chat)| chat))
+    }
+
+    /// Whether a video's chat is already stored.
+    pub fn contains(&self, video: VideoId) -> bool {
+        self.index.contains_key(&video)
+    }
+
+    /// Number of distinct videos stored.
+    pub fn video_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "lightor-chatstore-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_chat() -> ChatLog {
+        ChatLog::new(vec![
+            ChatMessage::new(1.5, UserId(7), "first message"),
+            ChatMessage::new(3.25, UserId(8), "second 消息 with unicode"),
+            ChatMessage::new(9.0, UserId::BOT, "spam spam"),
+        ])
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let dir = TempDir::new("rt");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let chat = sample_chat();
+        store.put_chat(VideoId(42), &chat).unwrap();
+        let back = store.get_chat(VideoId(42)).unwrap().unwrap();
+        assert_eq!(back, chat);
+        assert!(store.contains(VideoId(42)));
+        assert!(!store.contains(VideoId(43)));
+        assert!(store.get_chat(VideoId(43)).unwrap().is_none());
+    }
+
+    #[test]
+    fn reopen_recovers_index() {
+        let dir = TempDir::new("recover");
+        {
+            let mut store = ChatStore::open(&dir.0).unwrap();
+            store.put_chat(VideoId(1), &sample_chat()).unwrap();
+            store.put_chat(VideoId(2), &ChatLog::empty()).unwrap();
+        }
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 2);
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
+        assert_eq!(store.get_chat(VideoId(2)).unwrap().unwrap(), ChatLog::empty());
+    }
+
+    #[test]
+    fn recrawl_overwrites() {
+        let dir = TempDir::new("overwrite");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        store.put_chat(VideoId(1), &ChatLog::empty()).unwrap();
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
+        assert_eq!(store.video_count(), 1);
+
+        // The overwrite must also win across a reopen (later record wins).
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let chat = sample_chat();
+        let full = encode(VideoId(5), &chat);
+        assert!(decode(&full).is_some());
+        assert!(decode(&full[..full.len() - 3]).is_none());
+        assert!(decode(&full[..4]).is_none());
+        assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn long_messages_are_truncated_not_corrupted() {
+        let dir = TempDir::new("long");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let long_text = "x".repeat(70_000);
+        let chat = ChatLog::new(vec![ChatMessage::new(0.0, UserId(1), long_text)]);
+        store.put_chat(VideoId(9), &chat).unwrap();
+        let back = store.get_chat(VideoId(9)).unwrap().unwrap();
+        assert_eq!(back.messages()[0].text.len(), u16::MAX as usize);
+    }
+}

@@ -1,0 +1,167 @@
+//! A small JSON key-value store with atomic snapshot persistence — holds
+//! trained model bundles and the continuously refined red-dot state
+//! ("the refined results will be stored in the database continuously",
+//! Section VI-A).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// String-keyed JSON store persisted as one snapshot file.
+#[derive(Debug)]
+pub struct KvStore {
+    path: PathBuf,
+    map: BTreeMap<String, serde_json::Value>,
+}
+
+impl KvStore {
+    /// Open (or create) the store at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let map = match fs::read(&path) {
+            Ok(bytes) => serde_json::from_slice(&bytes).unwrap_or_default(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(KvStore { path, map })
+    }
+
+    /// Insert or replace a value; persists immediately.
+    pub fn put<T: Serialize>(&mut self, key: &str, value: &T) -> std::io::Result<()> {
+        let v = serde_json::to_value(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.map.insert(key.to_owned(), v);
+        self.flush()
+    }
+
+    /// Fetch and deserialize a value.
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        self.map
+            .get(key)
+            .and_then(|v| serde_json::from_value(v.clone()).ok())
+    }
+
+    /// Remove a key; persists immediately. Returns whether it existed.
+    pub fn remove(&mut self, key: &str) -> std::io::Result<bool> {
+        let existed = self.map.remove(key).is_some();
+        if existed {
+            self.flush()?;
+        }
+        Ok(existed)
+    }
+
+    /// All keys with the given prefix, sorted.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.map
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Write the snapshot atomically (temp file + rename).
+    fn flush(&self) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        let bytes = serde_json::to_vec_pretty(&self.map)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    struct TempFile(PathBuf);
+    impl TempFile {
+        fn new(tag: &str) -> Self {
+            TempFile(std::env::temp_dir().join(format!(
+                "lightor-kv-{tag}-{}-{}.json",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            )))
+        }
+    }
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+            let _ = fs::remove_file(self.0.with_extension("tmp"));
+        }
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Dot {
+        at: f64,
+        score: f64,
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let f = TempFile::new("pgr");
+        let mut kv = KvStore::open(&f.0).unwrap();
+        kv.put("dot:1", &Dot { at: 100.0, score: 0.9 }).unwrap();
+        assert_eq!(kv.get::<Dot>("dot:1"), Some(Dot { at: 100.0, score: 0.9 }));
+        assert_eq!(kv.get::<Dot>("dot:2"), None);
+        assert!(kv.remove("dot:1").unwrap());
+        assert!(!kv.remove("dot:1").unwrap());
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let f = TempFile::new("persist");
+        {
+            let mut kv = KvStore::open(&f.0).unwrap();
+            kv.put("model", &"weights".to_owned()).unwrap();
+        }
+        let kv = KvStore::open(&f.0).unwrap();
+        assert_eq!(kv.get::<String>("model"), Some("weights".to_owned()));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let f = TempFile::new("prefix");
+        let mut kv = KvStore::open(&f.0).unwrap();
+        kv.put("dots:v1:0", &1.0).unwrap();
+        kv.put("dots:v1:1", &2.0).unwrap();
+        kv.put("dots:v2:0", &3.0).unwrap();
+        kv.put("model:main", &4.0).unwrap();
+        assert_eq!(kv.keys_with_prefix("dots:v1:").len(), 2);
+        assert_eq!(kv.keys_with_prefix("dots:").len(), 3);
+        assert_eq!(kv.keys_with_prefix("zzz").len(), 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_empty() {
+        let f = TempFile::new("corrupt");
+        fs::write(&f.0, b"{definitely not json").unwrap();
+        let kv = KvStore::open(&f.0).unwrap();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_yields_none() {
+        let f = TempFile::new("mismatch");
+        let mut kv = KvStore::open(&f.0).unwrap();
+        kv.put("k", &"string".to_owned()).unwrap();
+        assert_eq!(kv.get::<f64>("k"), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! Embedded storage: segment log, chat store, KV snapshot store.
+
+mod chatstore;
+mod kv;
+mod log;
+
+pub use chatstore::ChatStore;
+pub use kv::KvStore;
+pub use log::{RecordId, SegmentLog};
+
+/// CRC-32 (IEEE) over a byte slice — integrity check for log records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table-driven IEEE CRC-32; table built on first use.
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

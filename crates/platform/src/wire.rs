@@ -1,0 +1,180 @@
+//! Wire DTOs for the browser-extension front end (paper Figure 5).
+//!
+//! The extension speaks JSON to the back end: it sends the video id on
+//! page load, receives the red dots to render, and streams interaction
+//! events back. These types pin that contract.
+
+use lightor_types::{Interaction, RedDot, Sec, Session, UserId, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// `GET /video/{id}/dots` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DotsResponse {
+    /// The requested video.
+    pub video: u64,
+    /// Dots to draw on the progress bar.
+    pub dots: Vec<DotDto>,
+}
+
+/// One red dot on the progress bar.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DotDto {
+    /// Position in seconds.
+    pub at_seconds: f64,
+    /// Model confidence (0..1), usable for dot styling.
+    pub score: f64,
+}
+
+impl From<RedDot> for DotDto {
+    fn from(d: RedDot) -> Self {
+        DotDto {
+            at_seconds: d.at.0,
+            score: d.score,
+        }
+    }
+}
+
+impl From<DotDto> for RedDot {
+    fn from(d: DotDto) -> Self {
+        RedDot::new(d.at_seconds, d.score)
+    }
+}
+
+/// One player event as the extension reports it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum EventDto {
+    /// Playback started.
+    Play {
+        /// Position in seconds.
+        at: f64,
+    },
+    /// Playback paused.
+    Pause {
+        /// Position in seconds.
+        at: f64,
+    },
+    /// Progress bar dragged.
+    Seek {
+        /// Position before the drag.
+        from: f64,
+        /// Position after the drag.
+        to: f64,
+    },
+    /// Player closed.
+    Leave {
+        /// Position in seconds.
+        at: f64,
+    },
+}
+
+impl From<Interaction> for EventDto {
+    fn from(i: Interaction) -> Self {
+        match i {
+            Interaction::Play { video_ts } => EventDto::Play { at: video_ts.0 },
+            Interaction::Pause { video_ts } => EventDto::Pause { at: video_ts.0 },
+            Interaction::SeekForward { from, to } | Interaction::SeekBackward { from, to } => {
+                EventDto::Seek {
+                    from: from.0,
+                    to: to.0,
+                }
+            }
+            Interaction::Leave { video_ts } => EventDto::Leave { at: video_ts.0 },
+        }
+    }
+}
+
+impl From<EventDto> for Interaction {
+    fn from(e: EventDto) -> Self {
+        match e {
+            EventDto::Play { at } => Interaction::Play { video_ts: Sec(at) },
+            EventDto::Pause { at } => Interaction::Pause { video_ts: Sec(at) },
+            EventDto::Seek { from, to } => {
+                if to >= from {
+                    Interaction::SeekForward {
+                        from: Sec(from),
+                        to: Sec(to),
+                    }
+                } else {
+                    Interaction::SeekBackward {
+                        from: Sec(from),
+                        to: Sec(to),
+                    }
+                }
+            }
+            EventDto::Leave { at } => Interaction::Leave { video_ts: Sec(at) },
+        }
+    }
+}
+
+/// `POST /video/{id}/session` request body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionUpload {
+    /// The video being watched.
+    pub video: u64,
+    /// Anonymous client id.
+    pub client: u64,
+    /// Ordered player events.
+    pub events: Vec<EventDto>,
+}
+
+impl SessionUpload {
+    /// Convert into the domain session type.
+    pub fn into_session(self) -> (VideoId, Session) {
+        (
+            VideoId(self.video),
+            Session::new(
+                UserId(self.client),
+                self.events.into_iter().map(Interaction::from).collect(),
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_round_trip() {
+        let dot = RedDot::new(123.5, 0.87);
+        let dto: DotDto = dot.into();
+        let back: RedDot = dto.into();
+        assert_eq!(dot, back);
+        let js = serde_json::to_string(&dto).unwrap();
+        assert!(js.contains("123.5"));
+    }
+
+    #[test]
+    fn seek_direction_is_inferred() {
+        let fwd: Interaction = EventDto::Seek { from: 10.0, to: 50.0 }.into();
+        assert!(matches!(fwd, Interaction::SeekForward { .. }));
+        let back: Interaction = EventDto::Seek { from: 50.0, to: 10.0 }.into();
+        assert!(matches!(back, Interaction::SeekBackward { .. }));
+    }
+
+    #[test]
+    fn session_upload_converts() {
+        let upload = SessionUpload {
+            video: 7,
+            client: 99,
+            events: vec![
+                EventDto::Play { at: 100.0 },
+                EventDto::Seek { from: 110.0, to: 90.0 },
+                EventDto::Pause { at: 120.0 },
+            ],
+        };
+        let js = serde_json::to_string(&upload).unwrap();
+        let parsed: SessionUpload = serde_json::from_str(&js).unwrap();
+        let (vid, session) = parsed.into_session();
+        assert_eq!(vid, VideoId(7));
+        assert_eq!(session.user, UserId(99));
+        assert_eq!(session.plays().len(), 2);
+    }
+
+    #[test]
+    fn event_json_is_tagged() {
+        let js = serde_json::to_string(&EventDto::Play { at: 1.0 }).unwrap();
+        assert!(js.contains("\"type\":\"play\""), "{js}");
+    }
+}

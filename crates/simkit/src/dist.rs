@@ -1,0 +1,215 @@
+//! Sampling helpers on top of `rand_distr`: truncated normals and
+//! (optionally time-varying) Poisson event processes.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Normal};
+
+/// A normal distribution truncated to `[lo, hi]` by rejection sampling.
+///
+/// Used for viewer reaction delays and play offsets, which are bell-shaped
+/// but physically bounded (a reaction delay cannot be negative).
+#[derive(Clone, Copy, Debug)]
+pub struct TruncNormal {
+    normal: Normal<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncNormal {
+    /// Build a truncated normal. Panics if `std <= 0`, `lo >= hi`, or the
+    /// window `[lo, hi]` is more than 8 standard deviations away from the
+    /// mean (rejection would practically never terminate).
+    pub fn new(mean: f64, std: f64, lo: f64, hi: f64) -> Self {
+        assert!(std > 0.0, "std must be positive");
+        assert!(lo < hi, "lo must be < hi");
+        assert!(
+            mean - 8.0 * std <= hi && mean + 8.0 * std >= lo,
+            "truncation window [{lo}, {hi}] unreachable from N({mean}, {std})"
+        );
+        TruncNormal {
+            normal: Normal::new(mean, std).expect("validated parameters"),
+            lo,
+            hi,
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Rejection sampling; the assertion in `new` bounds the expected
+        // number of iterations. Clamp is the fallback for pathological
+        // parameter combinations (window far in one tail).
+        for _ in 0..256 {
+            let x = self.normal.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.normal.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// A (piecewise-constant-rate) Poisson event process over `[0, horizon)`.
+///
+/// Chat arrival in a live stream is bursty: a low background rate plus
+/// short high-rate windows after in-game events. We generate arrivals by
+/// exponential inter-arrival sampling with the rate in force at the current
+/// time, which is exact for piecewise-constant rates when bursts are added
+/// as separate processes (how `chatsim` uses this).
+#[derive(Clone, Copy, Debug)]
+pub struct PoissonProcess {
+    /// Events per second.
+    pub rate: f64,
+}
+
+impl PoissonProcess {
+    /// A process with `rate` events per second. Panics if rate is negative
+    /// or non-finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
+        PoissonProcess { rate }
+    }
+
+    /// Sample all event times in `[start, end)`.
+    pub fn sample_times<R: Rng + ?Sized>(&self, start: f64, end: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.rate <= 0.0 || end <= start {
+            return out;
+        }
+        let exp = Exp::new(self.rate).expect("positive rate");
+        let mut t = start + exp.sample(rng);
+        while t < end {
+            out.push(t);
+            t += exp.sample(rng);
+        }
+        out
+    }
+
+    /// Expected number of events in a window of `len` seconds.
+    pub fn expected_count(&self, len: f64) -> f64 {
+        self.rate * len
+    }
+}
+
+/// Sample an integer uniformly from `[lo, hi]` (inclusive).
+pub fn uniform_int<R: Rng + ?Sized>(rng: &mut R, lo: i64, hi: i64) -> i64 {
+    assert!(lo <= hi);
+    rng.gen_range(lo..=hi)
+}
+
+/// Sample uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi, "uniform range must be non-empty");
+    rng.gen_range(lo..hi)
+}
+
+/// Bernoulli draw with probability `p` (clamped into `[0, 1]`).
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Sample a log-uniform value in `[lo, hi]`: uniform in log-space.
+///
+/// Used for channel popularity, which spans orders of magnitude.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo);
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedTree;
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let d = TruncNormal::new(20.0, 10.0, 0.0, 30.0);
+        let mut rng = SeedTree::new(1).rng();
+        for _ in 0..2000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=30.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn trunc_normal_mean_is_close() {
+        let d = TruncNormal::new(10.0, 2.0, 0.0, 20.0);
+        let mut rng = SeedTree::new(2).rng();
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be positive")]
+    fn trunc_normal_rejects_bad_std() {
+        TruncNormal::new(0.0, 0.0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn trunc_normal_rejects_unreachable_window() {
+        TruncNormal::new(0.0, 1.0, 100.0, 101.0);
+    }
+
+    #[test]
+    fn poisson_process_count_matches_rate() {
+        let p = PoissonProcess::new(2.0);
+        let mut rng = SeedTree::new(3).rng();
+        let times = p.sample_times(0.0, 1000.0, &mut rng);
+        let n = times.len() as f64;
+        // Expect 2000 ± a few sigma (sigma ≈ 45).
+        assert!((n - 2000.0).abs() < 200.0, "count {n}");
+        // Sorted and in-range.
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| (0.0..1000.0).contains(&t)));
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_empty() {
+        let p = PoissonProcess::new(0.0);
+        let mut rng = SeedTree::new(4).rng();
+        assert!(p.sample_times(0.0, 100.0, &mut rng).is_empty());
+        assert_eq!(p.expected_count(50.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_empty_window() {
+        let p = PoissonProcess::new(5.0);
+        let mut rng = SeedTree::new(5).rng();
+        assert!(p.sample_times(10.0, 10.0, &mut rng).is_empty());
+        assert!(p.sample_times(10.0, 5.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn helpers_in_range() {
+        let mut rng = SeedTree::new(6).rng();
+        for _ in 0..500 {
+            let u = uniform(&mut rng, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&u));
+            let i = uniform_int(&mut rng, -2, 2);
+            assert!((-2..=2).contains(&i));
+            let l = log_uniform(&mut rng, 10.0, 1000.0);
+            assert!((10.0..=1000.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut rng = SeedTree::new(7).rng();
+        let heads = (0..4000).filter(|_| coin(&mut rng, 0.25)).count();
+        assert!((heads as f64 - 1000.0).abs() < 150.0, "heads {heads}");
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn log_uniform_covers_orders_of_magnitude() {
+        let mut rng = SeedTree::new(8).rng();
+        let lo_decade = (0..2000)
+            .map(|_| log_uniform(&mut rng, 1.0, 1000.0))
+            .filter(|&x| x < 10.0)
+            .count();
+        // Uniform in log-space: each decade gets ~1/3 of the mass.
+        assert!((lo_decade as f64 - 666.0).abs() < 120.0, "{lo_decade}");
+    }
+}

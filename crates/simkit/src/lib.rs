@@ -1,0 +1,26 @@
+//! Deterministic simulation substrate for the LIGHTOR reproduction.
+//!
+//! Everything stochastic in this workspace (chat generation, viewer
+//! behaviour, model initialization) draws randomness through [`SeedTree`],
+//! a hierarchical deterministic seed derivation scheme: the same root seed
+//! always reproduces the same experiment, and sibling components get
+//! statistically independent streams.
+//!
+//! The `stats` module provides the numerical machinery the paper's methods
+//! and baselines rely on: descriptive statistics, binned histograms,
+//! smoothing kernels, peak/turning-point detection and empirical CDFs.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{PoissonProcess, TruncNormal};
+pub use rng::{SeedTree, SimRng};
+pub use stats::cdf::Ecdf;
+pub use stats::descriptive::{self, mean, median, quantile, std_dev, variance};
+pub use stats::histogram::Histogram;
+pub use stats::online::OnlineStats;
+pub use stats::peaks::{argmax, local_maxima, peaks_min_separation, turning_points};
+pub use stats::smoothing::{gaussian_smooth, moving_average};

@@ -1,0 +1,150 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Section VII-D of the paper plots the CDF of chat messages per hour and
+//! of viewer counts across recorded videos to argue LIGHTOR's
+//! applicability; [`Ecdf`] is that plot's data structure.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (order irrelevant; NaNs rejected).
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
+        xs.sort_by(|a, b| a.total_cmp(b));
+        Ecdf { sorted: xs }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`: fraction of the sample at or below `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X >= x)`: fraction of the sample at or above `x`.
+    pub fn fraction_ge(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile of the sample (nearest-rank). `None` when empty or
+    /// `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// The (x, F(x)) step points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Evaluate the CDF at a fixed grid of `x` values (for table output).
+    pub fn evaluate_at(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fractions() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(2.0), 0.5);
+        assert_eq!(e.fraction_le(10.0), 1.0);
+        assert_eq!(e.fraction_ge(3.0), 0.5);
+        assert_eq!(e.fraction_ge(0.0), 1.0);
+        assert_eq!(e.fraction_ge(4.5), 0.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_le(1.0), 0.0);
+        assert_eq!(e.fraction_ge(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.2), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+        assert_eq!(e.quantile(1.1), None);
+    }
+
+    #[test]
+    fn points_step_up_to_one() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(xs in proptest::collection::vec(-100.0..100.0f64, 1..64)) {
+            let e = Ecdf::new(xs);
+            let mut prev = 0.0;
+            for x in (-110..=110).map(|i| i as f64) {
+                let f = e.fraction_le(x);
+                prop_assert!(f >= prev - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prev = f;
+            }
+        }
+
+        #[test]
+        fn le_and_ge_cover(xs in proptest::collection::vec(-100.0..100.0f64, 1..64), x in -100.0..100.0f64) {
+            let e = Ecdf::new(xs.clone());
+            let exact = xs.iter().filter(|&&v| v == x).count() as f64 / xs.len() as f64;
+            let lhs = e.fraction_le(x) + e.fraction_ge(x);
+            prop_assert!((lhs - (1.0 + exact)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! The Highlight Extractor aggregates play boundaries with the *median*
+//! because it is robust to outliers (paper Section V-A); the experiment
+//! harness reports means and quantiles throughout.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two central order statistics for even length);
+/// `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        Some(v[n / 2])
+    } else {
+        Some((v[n / 2 - 1] + v[n / 2]) * 0.5)
+    }
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`; `None` for an empty
+/// slice. `q = 0.5` agrees with [`median`].
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Minimum by total order; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(|a, b| a.total_cmp(b))
+}
+
+/// Maximum by total order; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), median(&xs));
+        assert_eq!(quantile(&xs, 1.5), None);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // The design rationale for median aggregation in the Extractor.
+        let clean = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let dirty = [10.0, 11.0, 12.0, 13.0, 1e6];
+        assert_eq!(median(&clean), Some(12.0));
+        assert_eq!(median(&dirty), Some(12.0));
+        assert!(mean(&dirty).unwrap() > 1000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn median_between_min_and_max(xs in proptest::collection::vec(-1e6..1e6f64, 1..64)) {
+            let m = median(&xs).unwrap();
+            prop_assert!(m >= min(&xs).unwrap() && m <= max(&xs).unwrap());
+        }
+
+        #[test]
+        fn quantiles_are_monotone(xs in proptest::collection::vec(-1e6..1e6f64, 1..64)) {
+            let q25 = quantile(&xs, 0.25).unwrap();
+            let q50 = quantile(&xs, 0.50).unwrap();
+            let q75 = quantile(&xs, 0.75).unwrap();
+            prop_assert!(q25 <= q50 && q50 <= q75);
+        }
+
+        #[test]
+        fn mean_shift_invariance(xs in proptest::collection::vec(-1e3..1e3f64, 1..32), c in -100.0..100.0f64) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+            let lhs = mean(&shifted).unwrap();
+            let rhs = mean(&xs).unwrap() + c;
+            prop_assert!((lhs - rhs).abs() < 1e-6);
+        }
+    }
+}

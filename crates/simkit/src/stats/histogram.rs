@@ -1,0 +1,238 @@
+//! Uniform-bin histograms over a fixed interval.
+//!
+//! The naive highlight detector (paper Figure 2a), SocialSkip and Moocer
+//! all operate on binned time-series of events; this type is their shared
+//! representation.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with `bins` equal-width bins covering `[lo, hi)`.
+///
+/// Values are `f64` weights, so the same type serves message counts
+/// (weight 1 per message) and SocialSkip's signed ±1 interest votes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+}
+
+impl Histogram {
+    /// An all-zero histogram. Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "empty histogram domain");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+        }
+    }
+
+    /// Build with a fixed bin width; the last bin may extend past `hi`.
+    pub fn with_bin_width(lo: f64, hi: f64, width: f64) -> Self {
+        assert!(width > 0.0);
+        let bins = (((hi - lo) / width).ceil() as usize).max(1);
+        Histogram::new(lo, lo + bins as f64 * width, bins)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Lower bound of the domain.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the domain.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Index of the bin containing `x`, if in range. The upper edge `hi`
+    /// is folded into the last bin so closed domains are convenient.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if !x.is_finite() || x < self.lo || x > self.hi {
+            return None;
+        }
+        let idx = ((x - self.lo) / self.bin_width()) as usize;
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Add weight 1 at `x` (ignored when out of range).
+    pub fn add(&mut self, x: f64) {
+        self.add_weighted(x, 1.0);
+    }
+
+    /// Add `w` at `x` (ignored when out of range).
+    pub fn add_weighted(&mut self, x: f64, w: f64) {
+        if let Some(i) = self.bin_index(x) {
+            self.counts[i] += w;
+        }
+    }
+
+    /// Add `w` spread uniformly across the bins overlapped by `[a, b]`,
+    /// proportional to overlap. Used by Moocer to credit play ranges.
+    pub fn add_range(&mut self, a: f64, b: f64, w_per_sec: f64) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let width = self.bin_width();
+        for (i, c) in self.counts.iter_mut().enumerate() {
+            let bin_lo = self.lo + i as f64 * width;
+            let bin_hi = bin_lo + width;
+            let ov = (b.min(bin_hi) - a.max(bin_lo)).max(0.0);
+            *c += ov * w_per_sec;
+        }
+    }
+
+    /// The raw bin weights.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Center position of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin weights normalized to a probability density (integrates to 1).
+    /// Returns zeros when the histogram is empty.
+    pub fn density(&self) -> Vec<f64> {
+        let total = self.total();
+        if total <= 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = total * self.bin_width();
+        self.counts.iter().map(|c| c / norm).collect()
+    }
+
+    /// Index of the highest bin (first on ties); `None` if all zero.
+    pub fn peak_bin(&self) -> Option<usize> {
+        let (idx, &val) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        (val > 0.0).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_places_in_correct_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.5);
+        h.add(9.99);
+        h.add(10.0); // upper edge folds into last bin
+        h.add(-0.1); // ignored
+        h.add(10.1); // ignored
+        assert_eq!(h.counts()[0], 2.0);
+        assert_eq!(h.counts()[9], 2.0);
+        assert_eq!(h.total(), 4.0);
+    }
+
+    #[test]
+    fn bin_width_and_centers() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.bin_width(), 10.0);
+        assert_eq!(h.bin_center(0), 5.0);
+        assert_eq!(h.bin_center(9), 95.0);
+    }
+
+    #[test]
+    fn with_bin_width_covers_domain() {
+        let h = Histogram::with_bin_width(0.0, 95.0, 10.0);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.hi(), 100.0);
+    }
+
+    #[test]
+    fn add_range_distributes_proportionally() {
+        let mut h = Histogram::new(0.0, 30.0, 3);
+        h.add_range(5.0, 25.0, 1.0);
+        assert_eq!(h.counts()[0], 5.0);
+        assert_eq!(h.counts()[1], 10.0);
+        assert_eq!(h.counts()[2], 5.0);
+    }
+
+    #[test]
+    fn add_range_swapped_endpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add_range(8.0, 2.0, 1.0);
+        assert_eq!(h.counts()[0], 3.0);
+        assert_eq!(h.counts()[1], 3.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..20 {
+            h.add(i as f64 * 0.5);
+        }
+        let sum: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_of_empty_histogram_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.density().iter().all(|&d| d == 0.0));
+        assert_eq!(h.peak_bin(), None);
+    }
+
+    #[test]
+    fn peak_bin_finds_max() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.add_weighted(0.5, 1.0);
+        h.add_weighted(2.5, 5.0);
+        assert_eq!(h.peak_bin(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn mass_is_conserved(points in proptest::collection::vec(0.0..100.0f64, 0..200)) {
+            let mut h = Histogram::new(0.0, 100.0, 17);
+            for &p in &points {
+                h.add(p);
+            }
+            prop_assert!((h.total() - points.len() as f64).abs() < 1e-9);
+        }
+
+        #[test]
+        fn bin_index_round_trips(x in 0.0..100.0f64) {
+            let h = Histogram::new(0.0, 100.0, 23);
+            let i = h.bin_index(x).unwrap();
+            let c = h.bin_center(i);
+            prop_assert!((x - c).abs() <= h.bin_width() / 2.0 + 1e-9);
+        }
+
+        #[test]
+        fn add_range_mass_equals_length(a in 0.0..100.0f64, b in 0.0..100.0f64) {
+            let mut h = Histogram::new(0.0, 100.0, 20);
+            h.add_range(a, b, 1.0);
+            prop_assert!((h.total() - (a - b).abs()).abs() < 1e-6);
+        }
+    }
+}

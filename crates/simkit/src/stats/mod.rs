@@ -1,0 +1,10 @@
+//! Numerical statistics used by the generators, the LIGHTOR core and the
+//! baselines: descriptive summaries, binned histograms, smoothing kernels,
+//! peak detection and empirical CDFs.
+
+pub mod cdf;
+pub mod descriptive;
+pub mod histogram;
+pub mod online;
+pub mod peaks;
+pub mod smoothing;

@@ -1,0 +1,147 @@
+//! Streaming mean/variance (Welford), used by the platform layer to keep
+//! running statistics over interaction streams without buffering them.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online accumulator for count, mean and variance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::descriptive;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), Some(5.0));
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), Some(3.0));
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concatenation(
+            xs in proptest::collection::vec(-100.0..100.0f64, 1..32),
+            ys in proptest::collection::vec(-100.0..100.0f64, 1..32),
+        ) {
+            let mut a = OnlineStats::new();
+            for &x in &xs { a.push(x); }
+            let mut b = OnlineStats::new();
+            for &y in &ys { b.push(y); }
+            a.merge(&b);
+
+            let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert!((a.mean().unwrap() - descriptive::mean(&all).unwrap()).abs() < 1e-9);
+            prop_assert!((a.variance().unwrap() - descriptive::variance(&all).unwrap()).abs() < 1e-7);
+            prop_assert_eq!(a.count(), all.len() as u64);
+        }
+    }
+}

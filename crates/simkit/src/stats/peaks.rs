@@ -1,0 +1,180 @@
+//! Peak and turning-point detection on smoothed series.
+//!
+//! The Highlight Initializer finds the message-count peak inside each
+//! predicted window; SocialSkip and Moocer find local maxima of their
+//! interest curves; Moocer additionally walks outward to *turning points*
+//! to decide highlight boundaries.
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+/// Indices of strict local maxima; plateaus report their first index.
+///
+/// An index `i` is a local maximum when `xs[i]` is greater than the nearest
+/// differing neighbour on each side (edges count as lower). A constant
+/// series has no local maxima.
+pub fn local_maxima(xs: &[f64]) -> Vec<usize> {
+    let n = xs.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Find plateau [i, j).
+        let mut j = i + 1;
+        while j < n && xs[j] == xs[i] {
+            j += 1;
+        }
+        let left_lower = i == 0 || xs[i - 1] < xs[i];
+        let right_lower = j == n || xs[j] < xs[i];
+        // Edge plateaus only count when they strictly dominate the one
+        // existing side; an all-constant series has no maxima.
+        let is_peak = match (i == 0, j == n) {
+            (true, true) => false,
+            (true, false) => right_lower,
+            (false, true) => left_lower,
+            (false, false) => left_lower && right_lower,
+        };
+        if is_peak {
+            out.push(i);
+        }
+        i = j;
+    }
+    out
+}
+
+/// Local maxima, greedily filtered so that selected peaks are at least
+/// `min_sep` indices apart, preferring higher peaks.
+///
+/// This is the same separation rule the Initializer applies to red dots
+/// (paper Section IV-A: no two dots within δ).
+pub fn peaks_min_separation(xs: &[f64], min_sep: usize) -> Vec<usize> {
+    let mut candidates = local_maxima(xs);
+    // Highest first; stable on ties by index.
+    candidates.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b)));
+    let mut chosen: Vec<usize> = Vec::new();
+    for c in candidates {
+        if chosen.iter().all(|&p| c.abs_diff(p) >= min_sep) {
+            chosen.push(c);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// The nearest indices left and right of `peak` where the series stops
+/// falling (first derivative changes sign), i.e. Moocer's turning points.
+/// Returns `(left, right)`; either side defaults to the series edge.
+pub fn turning_points(xs: &[f64], peak: usize) -> (usize, usize) {
+    assert!(peak < xs.len(), "peak index out of bounds");
+    let mut left = peak;
+    while left > 0 && xs[left - 1] < xs[left] {
+        left -= 1;
+    }
+    let mut right = peak;
+    while right + 1 < xs.len() && xs[right + 1] < xs[right] {
+        right += 1;
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn local_maxima_simple() {
+        //                0    1    2    3    4    5    6
+        let xs = [0.0, 2.0, 1.0, 3.0, 0.0, 1.0, 0.5];
+        assert_eq!(local_maxima(&xs), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn local_maxima_plateau() {
+        let xs = [0.0, 2.0, 2.0, 2.0, 1.0];
+        assert_eq!(local_maxima(&xs), vec![1]);
+    }
+
+    #[test]
+    fn local_maxima_edges() {
+        assert_eq!(local_maxima(&[3.0, 1.0, 2.0]), vec![0, 2]);
+        assert_eq!(local_maxima(&[1.0, 1.0, 1.0]), Vec::<usize>::new());
+        assert_eq!(local_maxima(&[1.0]), Vec::<usize>::new());
+        assert_eq!(local_maxima(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn separation_prefers_higher_peaks() {
+        //            0    1    2    3    4    5    6    7    8
+        let xs = [0.0, 5.0, 0.0, 4.0, 0.0, 0.0, 0.0, 3.0, 0.0];
+        // peaks at 1 (5.0), 3 (4.0), 7 (3.0); min_sep 3 drops index 3.
+        assert_eq!(peaks_min_separation(&xs, 3), vec![1, 7]);
+        // min_sep 1 keeps everything.
+        assert_eq!(peaks_min_separation(&xs, 1), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn turning_points_walk_to_valleys() {
+        //            0    1    2    3    4    5    6
+        let xs = [5.0, 1.0, 2.0, 6.0, 3.0, 2.0, 4.0];
+        assert_eq!(turning_points(&xs, 3), (1, 5));
+    }
+
+    #[test]
+    fn turning_points_at_edges() {
+        let xs = [3.0, 2.0, 1.0];
+        assert_eq!(turning_points(&xs, 0), (0, 2));
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(turning_points(&ys, 2), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn turning_points_bounds_check() {
+        turning_points(&[1.0], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn maxima_are_at_least_neighbour_high(xs in proptest::collection::vec(0.0..10.0f64, 2..64)) {
+            for &i in &local_maxima(&xs) {
+                if i > 0 {
+                    prop_assert!(xs[i - 1] <= xs[i]);
+                }
+                if i + 1 < xs.len() {
+                    prop_assert!(xs[i + 1] <= xs[i]);
+                }
+            }
+        }
+
+        #[test]
+        fn separated_peaks_respect_min_sep(
+            xs in proptest::collection::vec(0.0..10.0f64, 2..64),
+            sep in 1usize..10,
+        ) {
+            let peaks = peaks_min_separation(&xs, sep);
+            for w in peaks.windows(2) {
+                prop_assert!(w[1] - w[0] >= sep);
+            }
+        }
+
+        #[test]
+        fn turning_points_bracket_peak(xs in proptest::collection::vec(0.0..10.0f64, 1..64)) {
+            if let Some(p) = argmax(&xs) {
+                let (l, r) = turning_points(&xs, p);
+                prop_assert!(l <= p && p <= r);
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Curve smoothing for binned event series.
+//!
+//! Both baselines (SocialSkip, Moocer) and the paper's own Figure 2a smooth
+//! the raw histogram before peak detection; otherwise every chat flurry of
+//! two messages becomes a local maximum.
+
+/// Centered moving average with window `2*radius + 1`, edges averaged over
+/// the available neighbourhood (no padding bias).
+pub fn moving_average(xs: &[f64], radius: usize) -> Vec<f64> {
+    if xs.is_empty() || radius == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums give O(n) smoothing regardless of radius.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius + 1).min(n);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Gaussian kernel smoothing with standard deviation `sigma` (in bins).
+/// The kernel is truncated at 3 sigma and renormalized at the edges so the
+/// smoothed series preserves total mass up to numerical error.
+pub fn gaussian_smooth(xs: &[f64], sigma: f64) -> Vec<f64> {
+    if xs.is_empty() || sigma <= 0.0 {
+        return xs.to_vec();
+    }
+    let radius = (3.0 * sigma).ceil() as usize;
+    let kernel: Vec<f64> = (0..=radius)
+        .map(|d| (-0.5 * (d as f64 / sigma).powi(2)).exp())
+        .collect();
+    let n = xs.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius).min(n - 1);
+        for j in lo..=hi {
+            let w = kernel[i.abs_diff(j)];
+            acc += xs[j] * w;
+            norm += w;
+        }
+        out[i] = acc / norm;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moving_average_flattens_spike() {
+        let xs = [0.0, 0.0, 9.0, 0.0, 0.0];
+        let sm = moving_average(&xs, 1);
+        assert_eq!(sm, vec![0.0, 3.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_average_radius_zero_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn moving_average_constant_is_unchanged() {
+        let xs = [4.0; 10];
+        assert!(moving_average(&xs, 3).iter().all(|&x| (x - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn gaussian_preserves_constant() {
+        let xs = [2.0; 16];
+        let sm = gaussian_smooth(&xs, 2.0);
+        assert!(sm.iter().all(|&x| (x - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn gaussian_peak_stays_at_peak() {
+        let mut xs = vec![0.0; 21];
+        xs[10] = 10.0;
+        let sm = gaussian_smooth(&xs, 1.5);
+        let max_i = sm
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_i, 10);
+        assert!(sm[10] < 10.0);
+        assert!(sm[8] > 0.0);
+    }
+
+    #[test]
+    fn gaussian_sigma_zero_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(gaussian_smooth(&xs, 0.0), xs.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn smoothing_stays_within_bounds(
+            xs in proptest::collection::vec(0.0..100.0f64, 1..64),
+            radius in 0usize..8,
+        ) {
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for &y in &moving_average(&xs, radius) {
+                prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+            }
+            for &y in &gaussian_smooth(&xs, radius as f64) {
+                prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn moving_average_equals_naive(
+            xs in proptest::collection::vec(-10.0..10.0f64, 1..40),
+            radius in 1usize..6,
+        ) {
+            let fast = moving_average(&xs, radius);
+            for i in 0..xs.len() {
+                let lo = i.saturating_sub(radius);
+                let hi = (i + radius + 1).min(xs.len());
+                let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                prop_assert!((fast[i] - naive).abs() < 1e-9);
+            }
+        }
+    }
+}

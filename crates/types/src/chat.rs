@@ -1,0 +1,196 @@
+//! Time-stamped live-chat messages and ordered chat logs.
+
+use crate::time::{Sec, TimeRange};
+use serde::{Deserialize, Serialize};
+
+/// An opaque identifier for a platform user (chat author or viewer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// Identifier used for synthetic bot accounts.
+    pub const BOT: UserId = UserId(u64::MAX);
+}
+
+/// One chat message posted while the live stream was running.
+///
+/// The timestamp is relative to the start of the recorded video, which is
+/// how live-streaming platforms archive chat replays.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// When the message was posted, in video time.
+    pub ts: Sec,
+    /// Author of the message.
+    pub user: UserId,
+    /// Message text (words and emote tokens separated by spaces).
+    pub text: String,
+}
+
+impl ChatMessage {
+    /// Construct a message.
+    pub fn new(ts: impl Into<Sec>, user: UserId, text: impl Into<String>) -> Self {
+        ChatMessage {
+            ts: ts.into(),
+            user,
+            text: text.into(),
+        }
+    }
+
+    /// Number of whitespace-separated words — the paper's message length.
+    pub fn word_count(&self) -> usize {
+        self.text.split_whitespace().count()
+    }
+}
+
+/// A chronologically ordered log of chat messages for one video.
+///
+/// The log is the Highlight Initializer's only input. It maintains the
+/// ordering invariant on construction so window slicing can use binary
+/// search.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChatLog {
+    messages: Vec<ChatMessage>,
+}
+
+impl ChatLog {
+    /// Build a log from messages, sorting them by timestamp.
+    pub fn new(mut messages: Vec<ChatMessage>) -> Self {
+        messages.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        ChatLog { messages }
+    }
+
+    /// An empty log.
+    pub fn empty() -> Self {
+        ChatLog { messages: Vec::new() }
+    }
+
+    /// Append one message, keeping the log sorted.
+    pub fn push(&mut self, msg: ChatMessage) {
+        let pos = self
+            .messages
+            .partition_point(|m| m.ts.total_cmp(&msg.ts).is_le());
+        self.messages.insert(pos, msg);
+    }
+
+    /// All messages in timestamp order.
+    pub fn messages(&self) -> &[ChatMessage] {
+        &self.messages
+    }
+
+    /// Number of messages in the log.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if the log holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Messages with `range.start <= ts <= range.end`.
+    pub fn slice(&self, range: TimeRange) -> &[ChatMessage] {
+        let lo = self
+            .messages
+            .partition_point(|m| m.ts.0 < range.start.0);
+        let hi = self
+            .messages
+            .partition_point(|m| m.ts.0 <= range.end.0);
+        &self.messages[lo..hi]
+    }
+
+    /// Number of messages inside `range`.
+    pub fn count_in(&self, range: TimeRange) -> usize {
+        self.slice(range).len()
+    }
+
+    /// Timestamp of the last message, if any.
+    pub fn last_ts(&self) -> Option<Sec> {
+        self.messages.last().map(|m| m.ts)
+    }
+
+    /// Average messages per hour over `video_len`.
+    ///
+    /// This is the applicability statistic from Section VII-D: LIGHTOR wants
+    /// at least 500 chat messages per hour.
+    pub fn rate_per_hour(&self, video_len: Sec) -> f64 {
+        if video_len.0 <= 0.0 {
+            return 0.0;
+        }
+        self.messages.len() as f64 / (video_len.0 / 3600.0)
+    }
+
+    /// Consume the log, returning the underlying messages.
+    pub fn into_messages(self) -> Vec<ChatMessage> {
+        self.messages
+    }
+}
+
+impl FromIterator<ChatMessage> for ChatLog {
+    fn from_iter<T: IntoIterator<Item = ChatMessage>>(iter: T) -> Self {
+        ChatLog::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(ts: f64, text: &str) -> ChatMessage {
+        ChatMessage::new(ts, UserId(1), text)
+    }
+
+    #[test]
+    fn log_sorts_on_construction() {
+        let log = ChatLog::new(vec![msg(5.0, "b"), msg(1.0, "a"), msg(3.0, "c")]);
+        let ts: Vec<f64> = log.messages().iter().map(|m| m.ts.0).collect();
+        assert_eq!(ts, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut log = ChatLog::new(vec![msg(1.0, "a"), msg(5.0, "c")]);
+        log.push(msg(3.0, "b"));
+        let ts: Vec<f64> = log.messages().iter().map(|m| m.ts.0).collect();
+        assert_eq!(ts, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn slice_is_inclusive_on_both_ends() {
+        let log = ChatLog::new((0..10).map(|i| msg(i as f64, "x")).collect());
+        let s = log.slice(TimeRange::from_secs(2.0, 5.0));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.first().unwrap().ts.0, 2.0);
+        assert_eq!(s.last().unwrap().ts.0, 5.0);
+    }
+
+    #[test]
+    fn slice_outside_is_empty() {
+        let log = ChatLog::new(vec![msg(1.0, "a")]);
+        assert!(log.slice(TimeRange::from_secs(2.0, 3.0)).is_empty());
+        assert_eq!(log.count_in(TimeRange::from_secs(0.0, 10.0)), 1);
+    }
+
+    #[test]
+    fn word_count_counts_tokens() {
+        assert_eq!(msg(0.0, "what a play").word_count(), 3);
+        assert_eq!(msg(0.0, "  Kappa   PogChamp ").word_count(), 2);
+        assert_eq!(msg(0.0, "").word_count(), 0);
+    }
+
+    #[test]
+    fn rate_per_hour() {
+        let log = ChatLog::new((0..600).map(|i| msg(i as f64, "x")).collect());
+        let rate = log.rate_per_hour(Sec::from_hours(0.5));
+        assert!((rate - 1200.0).abs() < 1e-9);
+        assert_eq!(ChatLog::empty().rate_per_hour(Sec::ZERO), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects_sorted() {
+        let log: ChatLog = vec![msg(2.0, "b"), msg(1.0, "a")].into_iter().collect();
+        assert_eq!(log.messages()[0].ts.0, 1.0);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last_ts().unwrap().0, 2.0);
+    }
+}

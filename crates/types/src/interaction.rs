@@ -1,0 +1,305 @@
+//! Viewer interaction data: raw player events, sessions, and the derived
+//! play records that the Highlight Extractor consumes.
+
+use crate::chat::UserId;
+use crate::time::{Sec, TimeRange};
+use serde::{Deserialize, Serialize};
+
+/// A raw event emitted by the video player while a viewer watches.
+///
+/// `video_ts` is always a position in *video* time; the wall-clock ordering
+/// of events within a session is their vector order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Interaction {
+    /// Playback started (or resumed) at this video position.
+    Play {
+        /// Position where playback started.
+        video_ts: Sec,
+    },
+    /// Playback paused at this video position.
+    Pause {
+        /// Position where playback stopped.
+        video_ts: Sec,
+    },
+    /// The viewer dragged the progress bar forward.
+    SeekForward {
+        /// Playhead position before the drag.
+        from: Sec,
+        /// Playhead position after the drag.
+        to: Sec,
+    },
+    /// The viewer dragged the progress bar backward.
+    SeekBackward {
+        /// Playhead position before the drag.
+        from: Sec,
+        /// Playhead position after the drag.
+        to: Sec,
+    },
+    /// The viewer closed the player at this position.
+    Leave {
+        /// Position when the tab closed.
+        video_ts: Sec,
+    },
+}
+
+impl Interaction {
+    /// The video position after this event takes effect.
+    pub fn position_after(&self) -> Sec {
+        match *self {
+            Interaction::Play { video_ts }
+            | Interaction::Pause { video_ts }
+            | Interaction::Leave { video_ts } => video_ts,
+            Interaction::SeekForward { to, .. } | Interaction::SeekBackward { to, .. } => to,
+        }
+    }
+}
+
+/// One viewer's interaction trace for one video (ordered events).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// The viewer.
+    pub user: UserId,
+    /// Player events in wall-clock order.
+    pub events: Vec<Interaction>,
+}
+
+impl Session {
+    /// Create a session for `user` from ordered events.
+    pub fn new(user: UserId, events: Vec<Interaction>) -> Self {
+        Session { user, events }
+    }
+
+    /// Derive play records: maximal contiguous watched stretches.
+    ///
+    /// A play starts at a `Play` event (or at the landing point of a seek
+    /// while playing) and ends at the next `Pause`, seek, or `Leave`.
+    /// Zero-length or backwards stretches are dropped — they carry no
+    /// information about what the viewer actually watched.
+    pub fn plays(&self) -> Vec<Play> {
+        let mut plays = Vec::new();
+        let mut playing_from: Option<Sec> = None;
+        for ev in &self.events {
+            match *ev {
+                Interaction::Play { video_ts } => {
+                    // A second Play while playing restarts the stretch.
+                    playing_from = Some(video_ts);
+                }
+                Interaction::Pause { video_ts } | Interaction::Leave { video_ts } => {
+                    if let Some(s) = playing_from.take() {
+                        if video_ts.0 > s.0 {
+                            plays.push(Play::new(self.user, s, video_ts));
+                        }
+                    }
+                }
+                Interaction::SeekForward { from, to } | Interaction::SeekBackward { from, to } => {
+                    if let Some(s) = playing_from.take() {
+                        if from.0 > s.0 {
+                            plays.push(Play::new(self.user, s, from));
+                        }
+                        // Seeking while playing continues playback at `to`.
+                        playing_from = Some(to);
+                    }
+                }
+            }
+        }
+        // An unterminated trailing stretch is ignored: we never observed its end.
+        plays
+    }
+}
+
+/// A play record `⟨user, play(s, e)⟩`: the viewer watched `[s, e]`
+/// contiguously (paper Section V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Play {
+    /// Who watched.
+    pub user: UserId,
+    /// The contiguously watched interval.
+    pub range: TimeRange,
+}
+
+impl Play {
+    /// Construct a play record; endpoints are normalized to `start <= end`.
+    pub fn new(user: UserId, start: Sec, end: Sec) -> Self {
+        Play {
+            user,
+            range: TimeRange::new(start, end),
+        }
+    }
+
+    /// Construct from raw seconds with an anonymous user.
+    pub fn from_secs(start: f64, end: f64) -> Self {
+        Play::new(UserId(0), Sec(start), Sec(end))
+    }
+
+    /// Watched duration.
+    pub fn duration(&self) -> Sec {
+        self.range.duration()
+    }
+
+    /// Start position.
+    pub fn start(&self) -> Sec {
+        self.range.start
+    }
+
+    /// End position.
+    pub fn end(&self) -> Sec {
+        self.range.end
+    }
+}
+
+/// A set of play records collected around one red dot.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlaySet {
+    /// The records, in no particular order.
+    pub plays: Vec<Play>,
+}
+
+impl PlaySet {
+    /// Wrap a vector of plays.
+    pub fn new(plays: Vec<Play>) -> Self {
+        PlaySet { plays }
+    }
+
+    /// Number of plays.
+    pub fn len(&self) -> usize {
+        self.plays.len()
+    }
+
+    /// True if there are no plays.
+    pub fn is_empty(&self) -> bool {
+        self.plays.is_empty()
+    }
+
+    /// Merge another set into this one.
+    pub fn extend(&mut self, other: PlaySet) {
+        self.plays.extend(other.plays);
+    }
+
+    /// Iterate over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &Play> {
+        self.plays.iter()
+    }
+}
+
+impl FromIterator<Play> for PlaySet {
+    fn from_iter<T: IntoIterator<Item = Play>>(iter: T) -> Self {
+        PlaySet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(events: Vec<Interaction>) -> Session {
+        Session::new(UserId(7), events)
+    }
+
+    #[test]
+    fn simple_play_pause() {
+        let s = session(vec![
+            Interaction::Play { video_ts: Sec(100.0) },
+            Interaction::Pause { video_ts: Sec(120.0) },
+        ]);
+        let plays = s.plays();
+        assert_eq!(plays.len(), 1);
+        assert_eq!(plays[0].range, TimeRange::from_secs(100.0, 120.0));
+        assert_eq!(plays[0].user, UserId(7));
+    }
+
+    #[test]
+    fn seek_splits_plays() {
+        let s = session(vec![
+            Interaction::Play { video_ts: Sec(100.0) },
+            Interaction::SeekForward { from: Sec(110.0), to: Sec(200.0) },
+            Interaction::Leave { video_ts: Sec(230.0) },
+        ]);
+        let plays = s.plays();
+        assert_eq!(plays.len(), 2);
+        assert_eq!(plays[0].range, TimeRange::from_secs(100.0, 110.0));
+        assert_eq!(plays[1].range, TimeRange::from_secs(200.0, 230.0));
+    }
+
+    #[test]
+    fn seek_backward_splits_plays() {
+        let s = session(vec![
+            Interaction::Play { video_ts: Sec(100.0) },
+            Interaction::SeekBackward { from: Sec(130.0), to: Sec(90.0) },
+            Interaction::Pause { video_ts: Sec(125.0) },
+        ]);
+        let plays = s.plays();
+        assert_eq!(plays.len(), 2);
+        assert_eq!(plays[0].range, TimeRange::from_secs(100.0, 130.0));
+        assert_eq!(plays[1].range, TimeRange::from_secs(90.0, 125.0));
+    }
+
+    #[test]
+    fn unterminated_play_is_dropped() {
+        let s = session(vec![Interaction::Play { video_ts: Sec(50.0) }]);
+        assert!(s.plays().is_empty());
+    }
+
+    #[test]
+    fn zero_length_play_is_dropped() {
+        let s = session(vec![
+            Interaction::Play { video_ts: Sec(50.0) },
+            Interaction::Pause { video_ts: Sec(50.0) },
+        ]);
+        assert!(s.plays().is_empty());
+    }
+
+    #[test]
+    fn pause_without_play_is_ignored() {
+        let s = session(vec![
+            Interaction::Pause { video_ts: Sec(10.0) },
+            Interaction::Play { video_ts: Sec(20.0) },
+            Interaction::Pause { video_ts: Sec(30.0) },
+        ]);
+        let plays = s.plays();
+        assert_eq!(plays.len(), 1);
+        assert_eq!(plays[0].range, TimeRange::from_secs(20.0, 30.0));
+    }
+
+    #[test]
+    fn seek_while_paused_does_not_create_play() {
+        let s = session(vec![
+            Interaction::SeekForward { from: Sec(0.0), to: Sec(100.0) },
+            Interaction::Play { video_ts: Sec(100.0) },
+            Interaction::Pause { video_ts: Sec(110.0) },
+        ]);
+        let plays = s.plays();
+        assert_eq!(plays.len(), 1);
+        assert_eq!(plays[0].range, TimeRange::from_secs(100.0, 110.0));
+    }
+
+    #[test]
+    fn position_after() {
+        assert_eq!(Interaction::Play { video_ts: Sec(5.0) }.position_after().0, 5.0);
+        assert_eq!(
+            Interaction::SeekForward { from: Sec(1.0), to: Sec(9.0) }
+                .position_after()
+                .0,
+            9.0
+        );
+    }
+
+    #[test]
+    fn playset_collects() {
+        let ps: PlaySet = vec![Play::from_secs(0.0, 5.0), Play::from_secs(5.0, 9.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(ps.len(), 2);
+        assert!(!ps.is_empty());
+        let mut a = PlaySet::default();
+        a.extend(ps);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn play_normalizes_endpoints() {
+        let p = Play::new(UserId(0), Sec(10.0), Sec(5.0));
+        assert_eq!(p.start().0, 5.0);
+        assert_eq!(p.end().0, 10.0);
+        assert_eq!(p.duration().0, 5.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared domain model for the LIGHTOR reproduction.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`Sec`] / [`TimeRange`] — video time in seconds and closed intervals,
+//! * [`ChatMessage`] / [`ChatLog`] — time-stamped live-chat messages,
+//! * [`Highlight`] / [`RedDot`] — ground-truth clips and approximate markers,
+//! * [`Play`] / [`Interaction`] / [`Session`] — viewer interaction data,
+//! * [`VideoMeta`] / [`LabeledVideo`] — videos and labelled dataset units.
+//!
+//! The types are deliberately plain (no behaviour beyond geometry and
+//! bookkeeping) so that simulators, the LIGHTOR core, the baselines and the
+//! platform layer can exchange data without depending on each other.
+
+#![warn(missing_docs)]
+
+mod chat;
+mod interaction;
+mod time;
+mod video;
+
+pub use chat::{ChatLog, ChatMessage, UserId};
+pub use interaction::{Interaction, Play, PlaySet, Session};
+pub use time::{Sec, TimeRange};
+pub use video::{
+    ChannelId, GameKind, Highlight, LabeledVideo, RedDot, VideoId, VideoMeta,
+};

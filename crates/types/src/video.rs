@@ -1,0 +1,239 @@
+//! Videos, channels, ground-truth highlights and red-dot markers.
+
+use crate::chat::ChatLog;
+use crate::time::{Sec, TimeRange};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a recorded video.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VideoId(pub u64);
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Opaque identifier of a broadcaster channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ChannelId(pub u64);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The game being streamed. The paper evaluates on two titles whose chat
+/// behaves differently (personal channels vs championship broadcasts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GameKind {
+    /// Dota 2, crawled from Twitch personal channels.
+    Dota2,
+    /// League of Legends, from the NALCS championship series.
+    Lol,
+}
+
+impl GameKind {
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GameKind::Dota2 => "Dota2",
+            GameKind::Lol => "LoL",
+        }
+    }
+}
+
+impl fmt::Display for GameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Descriptive metadata of a recorded live video.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VideoMeta {
+    /// The video's identifier.
+    pub id: VideoId,
+    /// The channel that broadcast it.
+    pub channel: ChannelId,
+    /// Which game was played.
+    pub game: GameKind,
+    /// Total length of the recording.
+    pub duration: Sec,
+    /// Number of unique viewers of the recording (Section VII-D statistic).
+    pub viewers: u32,
+}
+
+/// A ground-truth highlight: a labelled `[start, end]` clip.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Highlight {
+    /// The labelled clip boundary.
+    pub range: TimeRange,
+}
+
+impl Highlight {
+    /// Construct from raw seconds.
+    pub fn from_secs(start: f64, end: f64) -> Self {
+        Highlight {
+            range: TimeRange::from_secs(start, end),
+        }
+    }
+
+    /// Start of the highlight.
+    pub fn start(&self) -> Sec {
+        self.range.start
+    }
+
+    /// End of the highlight.
+    pub fn end(&self) -> Sec {
+        self.range.end
+    }
+
+    /// The paper's "good red dot" rule (Section IV-A): a dot `r` is good for
+    /// this highlight when `s - tol <= r <= e`, i.e. it is not after the end
+    /// and at most `tol` (10 s by default) before the start.
+    pub fn accepts_dot(&self, dot: Sec, tol: Sec) -> bool {
+        self.range.start.0 - tol.0 <= dot.0 && dot.0 <= self.range.end.0
+    }
+
+    /// The matching rule for an extracted *end* position (Section VII-A,
+    /// Video Precision@K (end)): `s <= y <= e + tol`.
+    pub fn accepts_end(&self, end: Sec, tol: Sec) -> bool {
+        self.range.start.0 <= end.0 && end.0 <= self.range.end.0 + tol.0
+    }
+}
+
+/// A red dot: LIGHTOR's approximate highlight marker shown on the progress
+/// bar. Produced by the Highlight Initializer, refined by the Extractor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RedDot {
+    /// Position of the dot on the progress bar.
+    pub at: Sec,
+    /// The model's confidence that a highlight is nearby (the logistic
+    /// regression probability of the originating chat window).
+    pub score: f64,
+}
+
+impl RedDot {
+    /// Construct a dot at `at` with prediction confidence `score`.
+    pub fn new(at: impl Into<Sec>, score: f64) -> Self {
+        RedDot { at: at.into(), score }
+    }
+}
+
+/// One labelled dataset unit: a video, its chat replay and its ground-truth
+/// highlight annotations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabeledVideo {
+    /// Video metadata.
+    pub meta: VideoMeta,
+    /// Full chat replay.
+    pub chat: ChatLog,
+    /// Ground-truth highlights, sorted by start time, pairwise disjoint.
+    pub highlights: Vec<Highlight>,
+}
+
+impl LabeledVideo {
+    /// The highlight containing or closest to `t`, with its distance.
+    pub fn nearest_highlight(&self, t: Sec) -> Option<(&Highlight, Sec)> {
+        self.highlights
+            .iter()
+            .map(|h| (h, h.range.distance_to(t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// True if any ground-truth highlight accepts `dot` as a good red dot.
+    pub fn is_good_dot(&self, dot: Sec, tol: Sec) -> bool {
+        self.highlights.iter().any(|h| h.accepts_dot(dot, tol))
+    }
+
+    /// Chat messages per hour for this video.
+    pub fn chat_rate(&self) -> f64 {
+        self.chat.rate_per_hour(self.meta.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::{ChatMessage, UserId};
+
+    fn video_with_highlights(hs: Vec<Highlight>) -> LabeledVideo {
+        LabeledVideo {
+            meta: VideoMeta {
+                id: VideoId(1),
+                channel: ChannelId(1),
+                game: GameKind::Dota2,
+                duration: Sec::from_hours(1.0),
+                viewers: 1000,
+            },
+            chat: ChatLog::new(vec![ChatMessage::new(10.0, UserId(1), "hi")]),
+            highlights: hs,
+        }
+    }
+
+    #[test]
+    fn good_dot_rule_matches_paper_example() {
+        // Paper Section III: highlight h = [1990, 2005]; 2000 is good, 2100 bad.
+        let h = Highlight::from_secs(1990.0, 2005.0);
+        let tol = Sec(10.0);
+        assert!(h.accepts_dot(Sec(2000.0), tol));
+        assert!(!h.accepts_dot(Sec(2100.0), tol));
+        // Boundaries: r = s - 10 is good, r = e is good, r = e + eps is not.
+        assert!(h.accepts_dot(Sec(1980.0), tol));
+        assert!(h.accepts_dot(Sec(2005.0), tol));
+        assert!(!h.accepts_dot(Sec(2005.1), tol));
+        assert!(!h.accepts_dot(Sec(1979.9), tol));
+    }
+
+    #[test]
+    fn end_rule() {
+        let h = Highlight::from_secs(100.0, 120.0);
+        let tol = Sec(10.0);
+        assert!(h.accepts_end(Sec(100.0), tol));
+        assert!(h.accepts_end(Sec(130.0), tol));
+        assert!(!h.accepts_end(Sec(130.1), tol));
+        assert!(!h.accepts_end(Sec(99.9), tol));
+    }
+
+    #[test]
+    fn nearest_highlight_picks_closest() {
+        let v = video_with_highlights(vec![
+            Highlight::from_secs(100.0, 120.0),
+            Highlight::from_secs(500.0, 520.0),
+        ]);
+        let (h, d) = v.nearest_highlight(Sec(480.0)).unwrap();
+        assert_eq!(h.start().0, 500.0);
+        assert_eq!(d.0, 20.0);
+        let (h2, d2) = v.nearest_highlight(Sec(110.0)).unwrap();
+        assert_eq!(h2.start().0, 100.0);
+        assert_eq!(d2.0, 0.0);
+    }
+
+    #[test]
+    fn is_good_dot_over_all_highlights() {
+        let v = video_with_highlights(vec![
+            Highlight::from_secs(100.0, 120.0),
+            Highlight::from_secs(500.0, 520.0),
+        ]);
+        assert!(v.is_good_dot(Sec(95.0), Sec(10.0)));
+        assert!(v.is_good_dot(Sec(510.0), Sec(10.0)));
+        assert!(!v.is_good_dot(Sec(300.0), Sec(10.0)));
+    }
+
+    #[test]
+    fn game_names() {
+        assert_eq!(GameKind::Dota2.name(), "Dota2");
+        assert_eq!(GameKind::Lol.to_string(), "LoL");
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(VideoId(3).to_string(), "v3");
+        assert_eq!(ChannelId(9).to_string(), "ch9");
+    }
+}

@@ -1,0 +1,70 @@
+//! Platform-operator scenario (Section VI-B): crawl the top channels,
+//! batch-extract highlight candidates for every recorded video, and
+//! summarize quality against ground truth.
+//!
+//! ```text
+//! cargo run --release --example batch_pipeline
+//! ```
+
+use lightor::FeatureSet;
+use lightor_chatsim::{dota2_dataset, SimPlatform};
+use lightor_eval::harness::train_initializer;
+use lightor_eval::metrics::video_precision_start;
+use lightor_platform::{ChatStore, Crawler};
+use lightor_simkit::OnlineStats;
+use lightor_types::{GameKind, Sec};
+
+fn main() -> std::io::Result<()> {
+    // Train once on a handful of labelled videos.
+    let labelled = dota2_dataset(3, 81);
+    let train: Vec<_> = labelled.videos.iter().collect();
+    let initializer = train_initializer(&train, FeatureSet::Full);
+    println!(
+        "trained on {} videos, c = {:.0} s",
+        train.len(),
+        initializer.adjustment()
+    );
+
+    // Crawl the platform into the chat store (the operator's nightly job).
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 5, 8, 82);
+    let dir = std::env::temp_dir().join(format!("lightor-batch-{}", std::process::id()));
+    let mut store = ChatStore::open(dir.join("chat"))?;
+    let crawler = Crawler::new(&platform);
+    let channels: Vec<_> = platform.channels().iter().map(|c| c.id).collect();
+    let stats = crawler.offline_pass(&channels, &mut store)?;
+    println!(
+        "crawl: {} videos, {} messages ({} skipped)",
+        stats.crawled, stats.messages, stats.skipped
+    );
+
+    // Batch-extract top-5 candidates per video; measure against the
+    // simulator's ground truth.
+    let mut precision = OnlineStats::new();
+    let mut skipped_low_rate = 0;
+    for sv in platform.all_videos() {
+        let chat = store.get_chat(sv.video.meta.id)?.expect("crawled");
+        // The Section VII-D applicability rule: skip videos under 500
+        // messages/hour — LIGHTOR abstains rather than guessing.
+        if chat.rate_per_hour(sv.video.meta.duration) < 500.0 {
+            skipped_low_rate += 1;
+            continue;
+        }
+        let dots = initializer.red_dots(&chat, sv.video.meta.duration, 5);
+        let starts: Vec<Sec> = dots.iter().map(|d| d.at).collect();
+        precision.push(video_precision_start(&starts, sv));
+    }
+    println!(
+        "\nbatch results over {} videos ({} skipped as low-rate):",
+        precision.count(),
+        skipped_low_rate
+    );
+    println!(
+        "  P@5(start): mean {:.3}, min {:.3}, max {:.3}",
+        precision.mean().unwrap_or(0.0),
+        precision.min().unwrap_or(0.0),
+        precision.max().unwrap_or(0.0)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

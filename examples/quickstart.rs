@@ -1,0 +1,85 @@
+//! Quickstart: train LIGHTOR on one labelled video, extract highlights
+//! from an unseen video with a simulated crowd, print the results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lightor::{
+    ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer,
+    InitializerConfig, Lightor, TrainingVideo,
+};
+use lightor_chatsim::dota2_dataset;
+use lightor_crowdsim::Campaign;
+use lightor_eval::harness::train_type_classifier;
+use lightor_types::Sec;
+
+fn main() {
+    // 1. Data. Two simulated Dota2 videos with ground-truth highlights:
+    //    one for training (the paper labels exactly one video), one to
+    //    extract from.
+    let data = dota2_dataset(2, 42);
+    let train = &data.videos[0];
+    let target = &data.videos[1];
+    println!(
+        "training video: {} messages, {} labelled highlights",
+        train.video.chat.len(),
+        train.video.highlights.len()
+    );
+
+    // 2. Train the Highlight Initializer (window model + adjustment c).
+    let initializer = HighlightInitializer::train(
+        &[TrainingVideo {
+            chat: &train.video.chat,
+            duration: train.video.meta.duration,
+            highlights: &train.video.highlights,
+            label_ranges: &train.response_ranges,
+        }],
+        FeatureSet::Full,
+        InitializerConfig::default(),
+    );
+    println!("learned reaction-delay constant c = {:.0} s", initializer.adjustment());
+
+    // 3. Train the Type I/II classifier from crowd interactions on the
+    //    training video (one AMT-style campaign).
+    let mut campaign = Campaign::new(492, 43);
+    let (classifier, acc) =
+        train_type_classifier(&[train], &mut campaign, 4, 44);
+    println!("type classifier hold-out accuracy = {acc:.2} (paper: ~0.80)");
+
+    // 4. Wire the system and run the full workflow on the unseen video.
+    let system = Lightor::new(
+        initializer,
+        HighlightExtractor::new(classifier, ExtractorConfig::default()),
+    );
+    let video = &target.video;
+    let mut collect = |_dot_idx: usize, pos: Sec| campaign.run_task(video, pos, 10).plays;
+    let highlights =
+        system.extract_highlights(&video.chat, video.meta.duration, 5, &mut collect);
+
+    // 5. Report, with ground truth for reference (a real deployment has
+    //    none, of course).
+    println!("\nextracted top-5 highlights of {}:", video.meta.id);
+    for (i, h) in highlights.iter().enumerate() {
+        let verdict = if video.is_good_dot(h.start, Sec(10.0)) { "hit " } else { "miss" };
+        match h.end {
+            Some(e) => println!(
+                "  #{} [{:7.1} .. {:7.1}]  ({} crowd rounds, {verdict})",
+                i + 1,
+                h.start.0,
+                e.0,
+                h.iterations
+            ),
+            None => println!(
+                "  #{} start {:7.1}, end unresolved ({} rounds, {verdict})",
+                i + 1,
+                h.start.0,
+                h.iterations
+            ),
+        }
+    }
+    println!("\nground truth for comparison:");
+    for h in &video.highlights {
+        println!("     {}", h.range);
+    }
+}

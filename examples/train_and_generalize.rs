@@ -1,0 +1,41 @@
+//! The generalization story (Section VII-E, Figure 11a): train LIGHTOR's
+//! three general features on one game, apply the model unchanged to
+//! another game.
+//!
+//! ```text
+//! cargo run --release --example train_and_generalize
+//! ```
+
+use lightor::FeatureSet;
+use lightor_chatsim::{dota2_dataset, lol_dataset};
+use lightor_eval::harness::train_initializer;
+use lightor_eval::metrics::video_precision_start;
+use lightor_types::Sec;
+
+fn main() {
+    // Train on LoL championship broadcasts...
+    let lol = lol_dataset(8, 91);
+    let train: Vec<_> = lol.videos[..4].iter().collect();
+    let init = train_initializer(&train, FeatureSet::Full);
+    println!("trained on {} LoL videos (c = {:.0} s)", train.len(), init.adjustment());
+
+    // ...and evaluate on both games without retraining anything.
+    for (label, videos) in [
+        ("LoL   (same game)", &lol.videos[4..]),
+        ("Dota2 (cross game)", &dota2_dataset(4, 92).videos[..]),
+    ] {
+        let mut per_video = Vec::new();
+        for sv in videos {
+            let dots = init.red_dots(&sv.video.chat, sv.video.meta.duration, 5);
+            let starts: Vec<Sec> = dots.iter().map(|d| d.at).collect();
+            per_video.push(video_precision_start(&starts, sv));
+        }
+        let mean = per_video.iter().sum::<f64>() / per_video.len() as f64;
+        println!("  {label}: P@5(start) = {mean:.3} over {} videos", per_video.len());
+    }
+
+    println!(
+        "\nThe three features (message number / length / similarity) are \
+         game-agnostic,\nso the cross-game drop is small — the paper's Figure 11a."
+    );
+}

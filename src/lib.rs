@@ -1,0 +1,15 @@
+//! Root meta-crate for the LIGHTOR reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use a single dependency. See README.md for the tour.
+
+pub use lightor;
+pub use lightor_baselines as baselines;
+pub use lightor_chatsim as chatsim;
+pub use lightor_crowdsim as crowdsim;
+pub use lightor_eval as eval;
+pub use lightor_mlcore as mlcore;
+pub use lightor_neural as neural;
+pub use lightor_platform as platform;
+pub use lightor_simkit as simkit;
+pub use lightor_types as types;

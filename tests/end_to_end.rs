@@ -1,0 +1,109 @@
+//! Cross-crate integration tests: the full LIGHTOR workflow against the
+//! simulators, asserting the paper's headline behaviours end to end.
+
+use lightor::{
+    ExtractorConfig, FeatureSet, HighlightExtractor, Lightor, ModelBundle,
+};
+use lightor_chatsim::{dota2_dataset, SimVideo};
+use lightor_crowdsim::Campaign;
+use lightor_eval::harness::{train_initializer, train_type_classifier};
+use lightor_eval::metrics::{video_precision_end, video_precision_start};
+use lightor_types::Sec;
+
+fn build_system(train: &[&SimVideo], seed: u64) -> (Lightor, Campaign) {
+    let initializer = train_initializer(train, FeatureSet::Full);
+    let mut campaign = Campaign::new(492, seed);
+    let (classifier, _) = train_type_classifier(train, &mut campaign, 4, seed ^ 1);
+    let system = Lightor::new(
+        initializer,
+        HighlightExtractor::new(classifier, ExtractorConfig::default()),
+    );
+    (system, campaign)
+}
+
+#[test]
+fn full_workflow_reaches_usable_precision() {
+    let data = dota2_dataset(5, 1001);
+    let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
+    let (system, mut campaign) = build_system(&train, 1002);
+
+    let mut start_ps = Vec::new();
+    let mut end_ps = Vec::new();
+    for sv in &data.videos[2..] {
+        let video = &sv.video;
+        let mut collect = |_i: usize, pos: Sec| campaign.run_task(video, pos, 10).plays;
+        let out = system.extract_highlights(&video.chat, video.meta.duration, 5, &mut collect);
+        assert_eq!(out.len(), 5);
+        let starts: Vec<Sec> = out.iter().map(|h| h.start).collect();
+        let ends: Vec<Option<Sec>> = out.iter().map(|h| h.end).collect();
+        start_ps.push(video_precision_start(&starts, sv));
+        end_ps.push(video_precision_end(&ends, sv));
+    }
+    let mean_start = start_ps.iter().sum::<f64>() / start_ps.len() as f64;
+    let mean_end = end_ps.iter().sum::<f64>() / end_ps.len() as f64;
+    // Paper headline: "very high precision (up to 70%-90%)".
+    assert!(mean_start >= 0.65, "end-to-end P@5(start) = {mean_start}");
+    assert!(mean_end >= 0.5, "end-to-end P@5(end) = {mean_end}");
+}
+
+#[test]
+fn workflow_is_deterministic_under_fixed_seeds() {
+    let data = dota2_dataset(3, 1003);
+    let train: Vec<&SimVideo> = data.videos[..1].iter().collect();
+
+    let run = || {
+        let (system, mut campaign) = build_system(&train, 1004);
+        let sv = &data.videos[2];
+        let video = &sv.video;
+        let mut collect = |_i: usize, pos: Sec| campaign.run_task(video, pos, 10).plays;
+        system.extract_highlights(&video.chat, video.meta.duration, 5, &mut collect)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds must reproduce identical extractions");
+}
+
+#[test]
+fn extracted_boundaries_are_ordered_and_in_video() {
+    let data = dota2_dataset(3, 1005);
+    let train: Vec<&SimVideo> = data.videos[..1].iter().collect();
+    let (system, mut campaign) = build_system(&train, 1006);
+
+    let sv = &data.videos[1];
+    let video = &sv.video;
+    let mut collect = |_i: usize, pos: Sec| campaign.run_task(video, pos, 10).plays;
+    let out = system.extract_highlights(&video.chat, video.meta.duration, 8, &mut collect);
+    for h in &out {
+        assert!(h.start.0 >= 0.0 && h.start.0 <= video.meta.duration.0);
+        if let Some(e) = h.end {
+            assert!(e.0 >= h.start.0 - 1e-9, "end {e} before start {}", h.start);
+            assert!(e.0 <= video.meta.duration.0 + 1e-9);
+        }
+        assert!(h.iterations >= 1);
+    }
+}
+
+#[test]
+fn model_bundle_round_trips_through_json() {
+    let data = dota2_dataset(2, 1007);
+    let train: Vec<&SimVideo> = data.videos[..1].iter().collect();
+    let (system, _campaign) = build_system(&train, 1008);
+
+    let bundle = ModelBundle {
+        initializer: system.initializer.clone(),
+        extractor: system.extractor.clone(),
+        provenance: "integration".into(),
+    };
+    let json = bundle.to_json().unwrap();
+    let back = ModelBundle::from_json(&json).unwrap();
+
+    // The deserialized model must make identical predictions.
+    let sv = &data.videos[1];
+    let a = bundle
+        .initializer
+        .red_dots(&sv.video.chat, sv.video.meta.duration, 5);
+    let b = back
+        .initializer
+        .red_dots(&sv.video.chat, sv.video.meta.duration, 5);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,50 @@
+//! The paper's qualitative claims, asserted as executable shape tests at
+//! quick scale. Each test names the figure/table it guards.
+
+use lightor_eval::experiments::{fig11, fig3, fig8, fig9, table1};
+use lightor_eval::ExpEnv;
+
+#[test]
+fn figure3_type1_uniformish_type2_normalish() {
+    let ((m1, s1), (m2, s2)) = fig3::summary(&ExpEnv::quick());
+    // Type I spreads far wider than Type II...
+    assert!(s1 > 1.3 * s2, "spread: Type I {s1} vs Type II {s2}");
+    // ...and Type II is centred a few seconds after the highlight start.
+    assert!((-2.0..=14.0).contains(&m2), "Type II mean {m2}");
+    // Type I's mean sits within its wide scatter (no strong bias).
+    assert!(m1.abs() < s1, "Type I mean {m1} vs std {s1}");
+}
+
+#[test]
+fn figure8_iteration_improves_lightor_only() {
+    let r = fig8::compute(&ExpEnv::quick());
+    let first = r.lightor_start[0];
+    let last = *r.lightor_start.last().unwrap();
+    assert!(last >= first, "start precision must not regress: {first} -> {last}");
+    assert!(last > r.socialskip.0 + 0.1);
+    assert!(last > r.moocer.0 + 0.1);
+    assert!(*r.lightor_end.last().unwrap() > r.socialskip.1 + 0.1);
+}
+
+#[test]
+fn figure9_applicability_fractions() {
+    let r = fig9::compute(&ExpEnv::quick());
+    assert!(r.frac_chat_ok >= 0.75 && r.frac_chat_ok < 1.0);
+    assert_eq!(r.frac_viewers_ok, 1.0);
+}
+
+#[test]
+fn figure11_transfer_gap_ordering() {
+    let (lightor, lstm) = fig11::compute(&ExpEnv::quick());
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let lightor_gap = avg(&lightor.lol) - avg(&lightor.dota2);
+    let lstm_gap = avg(&lstm.lol) - avg(&lstm.dota2);
+    assert!(lstm_gap > lightor_gap, "LSTM gap {lstm_gap} vs Lightor gap {lightor_gap}");
+}
+
+#[test]
+fn table1_lightor_wins_and_trains_faster() {
+    let r = table1::compute(&ExpEnv::quick());
+    assert!(r.lightor.0 > r.joint.0, "start precision ordering");
+    assert!(r.joint_train > r.lightor_train, "training time ordering");
+}

@@ -1,0 +1,71 @@
+//! Property tests over the simulators, at the workspace level: the
+//! generated worlds must satisfy the invariants every downstream
+//! component assumes.
+
+use lightor_chatsim::{dota2_dataset, lol_dataset};
+use lightor_crowdsim::{simulate_session, SessionParams, Worker, WorkerStyle};
+use lightor_types::{Sec, UserId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generated_videos_are_internally_consistent(seed in 0u64..5000) {
+        let data = dota2_dataset(1, seed);
+        let sv = &data.videos[0];
+        let dur = sv.video.meta.duration.0;
+
+        // Chat inside the video, sorted.
+        let msgs = sv.video.chat.messages();
+        prop_assert!(msgs.windows(2).all(|w| w[0].ts.0 <= w[1].ts.0));
+        prop_assert!(msgs.iter().all(|m| (0.0..=dur).contains(&m.ts.0)));
+
+        // Highlights sorted, disjoint, inside the video, length-bounded.
+        for w in sv.video.highlights.windows(2) {
+            prop_assert!(w[0].end().0 <= w[1].start().0);
+        }
+        for h in &sv.video.highlights {
+            prop_assert!(h.start().0 >= 0.0 && h.end().0 <= dur);
+            let len = h.range.duration().0;
+            prop_assert!((1.0..=50.0).contains(&len), "len {}", len);
+        }
+
+        // Response ranges: one per highlight, starting after its start.
+        prop_assert_eq!(sv.response_ranges.len(), sv.video.highlights.len());
+        for (h, r) in sv.video.highlights.iter().zip(&sv.response_ranges) {
+            prop_assert!(r.start.0 >= h.start().0);
+        }
+    }
+
+    #[test]
+    fn sessions_never_leave_the_video(seed in 0u64..5000, dot in 120.0..3000.0f64) {
+        let data = lol_dataset(1, seed % 97);
+        let video = &data.videos[0].video;
+        let dot = Sec(dot.min(video.meta.duration.0 - 1.0));
+        let params = SessionParams::default();
+        for (i, style) in [
+            WorkerStyle::Engaged,
+            WorkerStyle::Impatient,
+            WorkerStyle::Seeker,
+            WorkerStyle::Binger,
+            WorkerStyle::Random,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let worker = Worker {
+                id: UserId(i as u64),
+                style,
+                patience: 4.0 + (seed % 10) as f64,
+                hold: 1.0 + (seed % 8) as f64,
+            };
+            let mut rng = lightor_simkit::SeedTree::new(seed).index(i as u64).rng();
+            let session = simulate_session(video, dot, &worker, &params, &mut rng);
+            for play in session.plays() {
+                prop_assert!(play.start().0 >= 0.0);
+                prop_assert!(play.end().0 <= video.meta.duration.0 + 1e-9);
+            }
+        }
+    }
+}

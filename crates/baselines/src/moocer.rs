@@ -53,12 +53,7 @@ impl Moocer {
     }
 
     /// The extracted highlight nearest to `dot` (Figure 8 protocol).
-    pub fn extract_near(
-        &self,
-        sessions: &[Session],
-        duration: Sec,
-        dot: Sec,
-    ) -> Option<TimeRange> {
+    pub fn extract_near(&self, sessions: &[Session], duration: Sec, dot: Sec) -> Option<TimeRange> {
         self.extract(sessions, duration)
             .into_iter()
             .min_by(|a, b| a.distance_to(dot).total_cmp(&b.distance_to(dot)))
@@ -77,8 +72,12 @@ mod tests {
                 Session::new(
                     UserId(i as u64),
                     vec![
-                        Interaction::Play { video_ts: Sec(start + jitter) },
-                        Interaction::Pause { video_ts: Sec(end + jitter) },
+                        Interaction::Play {
+                            video_ts: Sec(start + jitter),
+                        },
+                        Interaction::Pause {
+                            video_ts: Sec(end + jitter),
+                        },
                     ],
                 )
             })

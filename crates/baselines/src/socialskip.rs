@@ -74,18 +74,10 @@ impl SocialSkip {
 
     /// The extracted highlight nearest to `dot` — how the Figure 8
     /// comparison queries the baseline per red dot.
-    pub fn extract_near(
-        &self,
-        sessions: &[Session],
-        duration: Sec,
-        dot: Sec,
-    ) -> Option<TimeRange> {
+    pub fn extract_near(&self, sessions: &[Session], duration: Sec, dot: Sec) -> Option<TimeRange> {
         self.extract(sessions, duration)
             .into_iter()
-            .min_by(|a, b| {
-                a.distance_to(dot)
-                    .total_cmp(&b.distance_to(dot))
-            })
+            .min_by(|a, b| a.distance_to(dot).total_cmp(&b.distance_to(dot)))
     }
 }
 
@@ -100,12 +92,16 @@ mod tests {
                 Session::new(
                     UserId(i as u64),
                     vec![
-                        Interaction::Play { video_ts: Sec(target + 30.0) },
+                        Interaction::Play {
+                            video_ts: Sec(target + 30.0),
+                        },
                         Interaction::SeekBackward {
                             from: Sec(target + 20.0),
                             to: Sec(target - 5.0),
                         },
-                        Interaction::Pause { video_ts: Sec(target + 15.0) },
+                        Interaction::Pause {
+                            video_ts: Sec(target + 15.0),
+                        },
                     ],
                 )
             })
@@ -134,9 +130,16 @@ mod tests {
             sessions.push(Session::new(
                 UserId(100 + i),
                 vec![
-                    Interaction::Play { video_ts: Sec(690.0) },
-                    Interaction::SeekForward { from: Sec(700.0), to: Sec(760.0) },
-                    Interaction::Pause { video_ts: Sec(770.0) },
+                    Interaction::Play {
+                        video_ts: Sec(690.0),
+                    },
+                    Interaction::SeekForward {
+                        from: Sec(700.0),
+                        to: Sec(760.0),
+                    },
+                    Interaction::Pause {
+                        video_ts: Sec(770.0),
+                    },
                 ],
             ));
         }
@@ -161,8 +164,12 @@ mod tests {
         let sessions = vec![Session::new(
             UserId(0),
             vec![
-                Interaction::Play { video_ts: Sec(10.0) },
-                Interaction::Pause { video_ts: Sec(50.0) },
+                Interaction::Play {
+                    video_ts: Sec(10.0),
+                },
+                Interaction::Pause {
+                    video_ts: Sec(50.0),
+                },
             ],
         )];
         let ss = SocialSkip::default();

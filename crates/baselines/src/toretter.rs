@@ -140,7 +140,11 @@ mod tests {
         // Figure 7a punishes.
         let chat = chat_with_burst(1000.0, 40, 3000.0);
         let dots = Toretter::default().detect(&chat, Sec(3000.0), 1);
-        assert!(dots[0].0 >= 995.0, "dot {} should sit at the burst", dots[0]);
+        assert!(
+            dots[0].0 >= 995.0,
+            "dot {} should sit at the burst",
+            dots[0]
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ fn bench_table1_end_to_end(c: &mut Criterion) {
     let env = ExpEnv::quick();
     let mut g = c.benchmark_group("table1_end_to_end");
     g.sample_size(10);
-    g.bench_function("lightor_vs_joint_lstm", |b| b.iter(|| table1::compute(&env)));
+    g.bench_function("lightor_vs_joint_lstm", |b| {
+        b.iter(|| table1::compute(&env))
+    });
     g.finish();
 }
 

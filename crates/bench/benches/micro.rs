@@ -2,7 +2,7 @@
 //! filtering, storage encode/decode, and the chat generator itself.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use lightor::{filter_plays, sliding_windows, ExtractorConfig, WindowFeatures};
+use lightor::{filter_plays, sliding_windows, ExtractorConfig, TokenizedChat, WindowFeatures};
 use lightor_bench::{bench_dataset, bench_initializer};
 use lightor_chatsim::{ChatGenerator, GameProfile, VideoGenerator};
 use lightor_simkit::SeedTree;
@@ -11,15 +11,27 @@ use lightor_types::{ChannelId, Play, PlaySet, Sec, VideoId};
 fn bench_window_features(c: &mut Criterion) {
     let data = bench_dataset();
     let sv = &data.videos[0];
-    let windows = sliding_windows(&sv.video.chat, sv.video.meta.duration, 25.0, 0.5);
+    let chat = &sv.video.chat;
+    let windows = sliding_windows(chat, sv.video.meta.duration, 25.0, 0.5);
+    let corpus = TokenizedChat::build(chat);
     let mut g = c.benchmark_group("window_features");
     g.throughput(Throughput::Elements(windows.len() as u64));
+    // Naive reference: re-tokenize + dense center per window.
     g.bench_function("all_windows", |b| {
         b.iter(|| {
             for w in &windows {
-                black_box(WindowFeatures::compute(sv.video.chat.slice(*w)));
+                black_box(WindowFeatures::compute(chat.slice(*w)));
             }
         })
+    });
+    // Incremental rolling pass over the tokenize-once corpus (single
+    // chunk: isolates the algorithmic win from thread fan-out).
+    g.bench_function("all_windows_incremental", |b| {
+        b.iter(|| black_box(corpus.featurize_windows_chunked(&windows, 5.0, 1)))
+    });
+    // Corpus construction itself (amortized once per video).
+    g.bench_function("corpus_build", |b| {
+        b.iter(|| black_box(TokenizedChat::build(chat)))
     });
     g.finish();
 }
@@ -32,6 +44,16 @@ fn bench_score_video(c: &mut Criterion) {
         b.iter(|| {
             black_box(init.red_dots(&sv.video.chat, sv.video.meta.duration, 10));
         })
+    });
+    c.bench_function("initializer_score_full_video_naive", |b| {
+        b.iter(|| {
+            black_box(init.score_windows_naive(&sv.video.chat, sv.video.meta.duration));
+        })
+    });
+    // Production shape: corpus built once, scored per request.
+    let corpus = TokenizedChat::build(&sv.video.chat);
+    c.bench_function("initializer_score_prebuilt_corpus", |b| {
+        b.iter(|| black_box(init.score_corpus(&corpus, sv.video.meta.duration)));
     });
 }
 

@@ -91,8 +91,7 @@ impl SimPlatform {
                 // paper's 100-viewer observation.
                 spec.background_rate =
                     log_uniform(&mut vrng, VIDEO_RATE_RANGE.0, VIDEO_RATE_RANGE.1) * popularity;
-                spec.meta.viewers =
-                    ((spec.meta.viewers as f64 * popularity) as u32).max(120);
+                spec.meta.viewers = ((spec.meta.viewers as f64 * popularity) as u32).max(120);
                 let mut crng = v_node.child("chat").rng();
                 let sim = cg.generate(&spec, &mut crng);
                 videos.insert(vid, sim);
@@ -185,7 +184,11 @@ mod tests {
         // Paper Figure 9b: every crawled video has >100 viewers.
         let p = SimPlatform::top_channels(GameKind::Dota2, 10, 20, 22);
         for v in p.all_videos() {
-            assert!(v.video.meta.viewers >= 100, "viewers {}", v.video.meta.viewers);
+            assert!(
+                v.video.meta.viewers >= 100,
+                "viewers {}",
+                v.video.meta.viewers
+            );
         }
     }
 
@@ -230,10 +233,7 @@ mod tests {
         assert_eq!(ids_a, ids_b);
         for ch in a.channels() {
             for vid in a.recent_videos(ch.id) {
-                assert_eq!(
-                    a.fetch_chat(*vid).unwrap(),
-                    b.fetch_chat(*vid).unwrap()
-                );
+                assert_eq!(a.fetch_chat(*vid).unwrap(), b.fetch_chat(*vid).unwrap());
             }
         }
     }

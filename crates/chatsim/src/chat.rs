@@ -69,8 +69,7 @@ impl ChatGenerator {
         let dur = spec.meta.duration.0;
 
         self.background(spec, &mut messages, rng);
-        let (response_ranges, reaction_delays) =
-            self.reaction_bursts(spec, &mut messages, rng);
+        let (response_ranges, reaction_delays) = self.reaction_bursts(spec, &mut messages, rng);
         self.bot_bursts(spec, &mut messages, rng);
         self.offtopic_bursts(spec, &mut messages, rng);
 
@@ -177,8 +176,7 @@ impl ChatGenerator {
             let start = uniform(rng, 0.0, (dur - 30.0).max(1.0));
             let len = uniform(rng, 8.0, 18.0);
             let rate = uniform(rng, 0.9, 2.2);
-            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng)
-            {
+            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng) {
                 out.push(ChatMessage::new(
                     t,
                     UserId::BOT,
@@ -196,8 +194,7 @@ impl ChatGenerator {
             let start = uniform(rng, 0.0, (dur - 40.0).max(1.0));
             let len = uniform(rng, 15.0, 30.0);
             let rate = spec.background_rate * uniform(rng, 2.5, 5.0);
-            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng)
-            {
+            for t in PoissonProcess::new(rate).sample_times(start, (start + len).min(dur), rng) {
                 let user = self.random_user(rng);
                 out.push(ChatMessage::new(
                     t,
@@ -305,10 +302,7 @@ mod tests {
         let mut burst_len = Vec::new();
         let mut other_len = Vec::new();
         for m in chat.messages() {
-            let in_burst = sv
-                .response_ranges
-                .iter()
-                .any(|w| w.contains(m.ts));
+            let in_burst = sv.response_ranges.iter().any(|w| w.contains(m.ts));
             if in_burst {
                 burst_len.push(m.word_count() as f64);
             } else {

@@ -22,52 +22,252 @@ use rand::Rng;
 
 /// Emotes shared by every stream.
 const EMOTES: &[&str] = &[
-    "PogChamp", "Kreygasm", "LUL", "OMEGALUL", "monkaS", "EZ", "Clap", "KEKW", "Pog",
-    "PepeHands", "5Head", "Jebaited", "GIGACHAD",
+    "PogChamp",
+    "Kreygasm",
+    "LUL",
+    "OMEGALUL",
+    "monkaS",
+    "EZ",
+    "Clap",
+    "KEKW",
+    "Pog",
+    "PepeHands",
+    "5Head",
+    "Jebaited",
+    "GIGACHAD",
 ];
 
 /// Short hype exclamations shared by every game.
 const HYPE_COMMON: &[&str] = &[
-    "wow", "omg", "gg", "wtf", "insane", "clutch", "lol", "no way", "sick", "what a play",
-    "unreal", "holy",
+    "wow",
+    "omg",
+    "gg",
+    "wtf",
+    "insane",
+    "clutch",
+    "lol",
+    "no way",
+    "sick",
+    "what a play",
+    "unreal",
+    "holy",
 ];
 
 /// Dota2-specific hype tokens.
 const HYPE_DOTA2: &[&str] = &[
-    "rampage", "ultrakill", "black hole", "echo slam", "divine rapier", "aegis", "roshan",
-    "buyback", "megacreeps", "chrono", "ravage",
+    "rampage",
+    "ultrakill",
+    "black hole",
+    "echo slam",
+    "divine rapier",
+    "aegis",
+    "roshan",
+    "buyback",
+    "megacreeps",
+    "chrono",
+    "ravage",
 ];
 
 /// LoL-specific hype tokens.
 const HYPE_LOL: &[&str] = &[
-    "pentakill", "quadra", "baron steal", "ace", "backdoor", "elder steal", "flash ult",
-    "outplayed", "1v5", "nexus race",
+    "pentakill",
+    "quadra",
+    "baron steal",
+    "ace",
+    "backdoor",
+    "elder steal",
+    "flash ult",
+    "outplayed",
+    "1v5",
+    "nexus race",
 ];
 
 /// Broad background vocabulary (game talk, small talk). Wide on purpose:
 /// ordinary chatter must be lexically scattered so the similarity
 /// feature separates it from focused reaction bursts.
 const BACKGROUND: &[&str] = &[
-    "the", "a", "this", "that", "stream", "game", "team", "player", "build", "item", "why",
-    "how", "when", "today", "tomorrow", "really", "think", "draft", "pick", "ban", "mid",
-    "lane", "jungle", "support", "carry", "farm", "gold", "level", "early", "late", "push",
-    "fight", "objective", "map", "vision", "ward", "chat", "anyone", "watching", "from",
-    "where", "what", "again", "still", "music", "song", "food", "pizza", "coffee", "work",
-    "school", "weekend", "favorite", "best", "worst", "ever", "never", "always", "maybe",
-    "probably", "definitely", "guys", "hello", "everyone", "good", "bad", "nice", "fine",
-    "yesterday", "tonight", "morning", "evening", "minute", "hour", "second", "match",
-    "series", "finals", "group", "stage", "bracket", "winner", "loser", "score", "point",
-    "damage", "heal", "tank", "range", "melee", "spell", "cooldown", "mana", "health",
-    "buff", "nerf", "patch", "meta", "version", "update", "server", "lag", "ping", "fps",
-    "camera", "replay", "clip", "channel", "subscribe", "follow", "prime", "emote",
-    "keyboard", "mouse", "headset", "chair", "desk", "setup", "monitor", "screen",
-    "brother", "sister", "friend", "roommate", "dog", "cat", "homework", "exam", "class",
-    "job", "boss", "meeting", "vacation", "holiday", "birthday", "party", "movie",
-    "series2", "episode", "season", "book", "story", "news", "weather", "rain", "snow",
-    "summer", "winter", "spring", "autumn", "city", "country", "travel", "flight",
-    "train", "bus", "car", "bike", "walk", "run", "gym", "sleep", "tired", "awake",
-    "hungry", "thirsty", "water", "tea", "juice", "soda", "burger", "pasta", "salad",
-    "chicken", "noodles", "rice", "bread", "cheese", "sauce", "spicy", "sweet", "sour",
+    "the",
+    "a",
+    "this",
+    "that",
+    "stream",
+    "game",
+    "team",
+    "player",
+    "build",
+    "item",
+    "why",
+    "how",
+    "when",
+    "today",
+    "tomorrow",
+    "really",
+    "think",
+    "draft",
+    "pick",
+    "ban",
+    "mid",
+    "lane",
+    "jungle",
+    "support",
+    "carry",
+    "farm",
+    "gold",
+    "level",
+    "early",
+    "late",
+    "push",
+    "fight",
+    "objective",
+    "map",
+    "vision",
+    "ward",
+    "chat",
+    "anyone",
+    "watching",
+    "from",
+    "where",
+    "what",
+    "again",
+    "still",
+    "music",
+    "song",
+    "food",
+    "pizza",
+    "coffee",
+    "work",
+    "school",
+    "weekend",
+    "favorite",
+    "best",
+    "worst",
+    "ever",
+    "never",
+    "always",
+    "maybe",
+    "probably",
+    "definitely",
+    "guys",
+    "hello",
+    "everyone",
+    "good",
+    "bad",
+    "nice",
+    "fine",
+    "yesterday",
+    "tonight",
+    "morning",
+    "evening",
+    "minute",
+    "hour",
+    "second",
+    "match",
+    "series",
+    "finals",
+    "group",
+    "stage",
+    "bracket",
+    "winner",
+    "loser",
+    "score",
+    "point",
+    "damage",
+    "heal",
+    "tank",
+    "range",
+    "melee",
+    "spell",
+    "cooldown",
+    "mana",
+    "health",
+    "buff",
+    "nerf",
+    "patch",
+    "meta",
+    "version",
+    "update",
+    "server",
+    "lag",
+    "ping",
+    "fps",
+    "camera",
+    "replay",
+    "clip",
+    "channel",
+    "subscribe",
+    "follow",
+    "prime",
+    "emote",
+    "keyboard",
+    "mouse",
+    "headset",
+    "chair",
+    "desk",
+    "setup",
+    "monitor",
+    "screen",
+    "brother",
+    "sister",
+    "friend",
+    "roommate",
+    "dog",
+    "cat",
+    "homework",
+    "exam",
+    "class",
+    "job",
+    "boss",
+    "meeting",
+    "vacation",
+    "holiday",
+    "birthday",
+    "party",
+    "movie",
+    "series2",
+    "episode",
+    "season",
+    "book",
+    "story",
+    "news",
+    "weather",
+    "rain",
+    "snow",
+    "summer",
+    "winter",
+    "spring",
+    "autumn",
+    "city",
+    "country",
+    "travel",
+    "flight",
+    "train",
+    "bus",
+    "car",
+    "bike",
+    "walk",
+    "run",
+    "gym",
+    "sleep",
+    "tired",
+    "awake",
+    "hungry",
+    "thirsty",
+    "water",
+    "tea",
+    "juice",
+    "soda",
+    "burger",
+    "pasta",
+    "salad",
+    "chicken",
+    "noodles",
+    "rice",
+    "bread",
+    "cheese",
+    "sauce",
+    "spicy",
+    "sweet",
+    "sour",
 ];
 
 /// Advertisement templates bots cycle through (near-identical, long).

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn highlight_counts_are_plausible() {
         let videos = gen_videos(GameProfile::dota2(), 40, 5);
-        let mean = videos.iter().map(|v| v.highlights.len() as f64).sum::<f64>()
+        let mean = videos
+            .iter()
+            .map(|v| v.highlights.len() as f64)
+            .sum::<f64>()
             / videos.len() as f64;
         // Poisson(10) clamped ≥5, capped by capacity: mean should be near 10.
         assert!((7.0..=13.0).contains(&mean), "mean highlights {mean}");

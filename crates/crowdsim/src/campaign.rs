@@ -77,8 +77,7 @@ impl Campaign {
         let mut plays: Vec<Play> = Vec::new();
         for (slot, &wi) in idx[..n].iter().enumerate() {
             let mut rng = task_node.child("worker").index(slot as u64).rng();
-            let session =
-                simulate_session(video, dot, &self.workers[wi], &self.params, &mut rng);
+            let session = simulate_session(video, dot, &self.workers[wi], &self.params, &mut rng);
             plays.extend(session.plays());
             sessions.push(session);
         }
@@ -102,9 +101,7 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightor_types::{
-        ChannelId, ChatLog, GameKind, Highlight, VideoId, VideoMeta,
-    };
+    use lightor_types::{ChannelId, ChatLog, GameKind, Highlight, VideoId, VideoMeta};
 
     fn test_video() -> LabeledVideo {
         LabeledVideo {
@@ -144,9 +141,12 @@ mod tests {
         let mut c = Campaign::new(100, 3);
         let v = test_video();
         let r = c.run_task(&v, Sec(1995.0), 20);
-        let users: std::collections::HashSet<_> =
-            r.sessions.iter().map(|s| s.user).collect();
-        assert_eq!(users.len(), 20, "workers must be sampled without replacement");
+        let users: std::collections::HashSet<_> = r.sessions.iter().map(|s| s.user).collect();
+        assert_eq!(
+            users.len(),
+            20,
+            "workers must be sampled without replacement"
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ fn watch_through(
         // Got bored before the highlight arrived; bail.
         let stop = (p0 + worker.patience).min(dur);
         if coin(rng, 0.5) {
-            ev.push(Interaction::Leave { video_ts: Sec(stop) });
+            ev.push(Interaction::Leave {
+                video_ts: Sec(stop),
+            });
         } else {
             ev.push(Interaction::SeekForward {
                 from: Sec(stop),
@@ -245,8 +247,7 @@ fn random_browse(
 ) {
     let n = 1 + usize::from(coin(rng, 0.5));
     for _ in 0..n {
-        let at = (dot.0 + uniform(rng, -params.noise_offset, params.noise_offset))
-            .clamp(0.0, dur);
+        let at = (dot.0 + uniform(rng, -params.noise_offset, params.noise_offset)).clamp(0.0, dur);
         let len = uniform(rng, params.check_len.0, params.check_len.1 + 3.0);
         ev.push(Interaction::Play { video_ts: Sec(at) });
         ev.push(Interaction::Pause {
@@ -262,7 +263,9 @@ fn random_browse(
 fn binge(ev: &mut Vec<Interaction>, dot: Sec, dur: f64, rng: &mut SimRng) {
     let start = (dot.0 - uniform(rng, 20.0, 50.0)).max(0.0);
     let end = (dot.0 + uniform(rng, 85.0, 150.0)).min(dur);
-    ev.push(Interaction::Play { video_ts: Sec(start) });
+    ev.push(Interaction::Play {
+        video_ts: Sec(start),
+    });
     ev.push(Interaction::Leave { video_ts: Sec(end) });
 }
 
@@ -411,11 +414,13 @@ mod tests {
             patience: 5.0,
             hold: 3.0,
         };
-        let params = SessionParams { noise_play_prob: 0.0, ..Default::default() };
+        let params = SessionParams {
+            noise_play_prob: 0.0,
+            ..Default::default()
+        };
         let mut rng = SeedTree::new(6).rng();
         for _ in 0..50 {
-            let plays =
-                simulate_session(&v, Sec(2035.0), &w, &params, &mut rng).plays();
+            let plays = simulate_session(&v, Sec(2035.0), &w, &params, &mut rng).plays();
             for p in plays {
                 assert!(
                     p.range.overlap_len(&h.range).0 < 1.0,
@@ -435,11 +440,18 @@ mod tests {
             patience: 8.0,
             hold: 4.0,
         };
-        let params = SessionParams { noise_play_prob: 0.0, ..Default::default() };
+        let params = SessionParams {
+            noise_play_prob: 0.0,
+            ..Default::default()
+        };
         let mut rng = SeedTree::new(7).rng();
         let plays = simulate_session(&v, Sec(2000.0), &w, &params, &mut rng).plays();
         assert_eq!(plays.len(), 1);
-        assert!(plays[0].duration().0 > 80.0, "binge too short: {}", plays[0].range);
+        assert!(
+            plays[0].duration().0 > 80.0,
+            "binge too short: {}",
+            plays[0].range
+        );
     }
 
     #[test]

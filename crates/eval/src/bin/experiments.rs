@@ -25,7 +25,11 @@ fn main() {
         ];
     }
 
-    let env = if quick { ExpEnv::quick() } else { ExpEnv::full() };
+    let env = if quick {
+        ExpEnv::quick()
+    } else {
+        ExpEnv::full()
+    };
     let mut reports: Vec<Report> = Vec::new();
     for name in which {
         let started = std::time::Instant::now();

@@ -56,16 +56,10 @@ pub fn prefix_start_curve(dots_per_video: &[(Vec<Sec>, &SimVideo)], k_max: usize
 /// videos of `train_pool`.
 fn lightor_curve(train_pool: &[&SimVideo], n_train: usize, test: &[&SimVideo]) -> Vec<f64> {
     let init = train_initializer(&train_pool[..n_train], FeatureSet::Full);
-    let dots: Vec<(Vec<Sec>, &SimVideo)> = test
-        .iter()
-        .map(|sv| {
-            let d = init
-                .red_dots(&sv.video.chat, sv.video.meta.duration, K_MAX)
-                .into_iter()
-                .map(|d| d.at)
-                .collect();
-            (d, *sv)
-        })
+    let dots: Vec<(Vec<Sec>, &SimVideo)> = crate::harness::par_red_dots(&init, test, K_MAX)
+        .into_iter()
+        .zip(test)
+        .map(|(dots, sv)| (dots.into_iter().map(|d| d.at).collect(), *sv))
         .collect();
     prefix_start_curve(&dots, K_MAX)
 }

@@ -42,16 +42,10 @@ pub fn compute(env: &ExpEnv) -> (TransferCurves, TransferCurves) {
     // Panel (a): LIGHTOR.
     let init = train_initializer(&lol_train[..n_train_lightor], FeatureSet::Full);
     let curve_for = |test: &[&SimVideo]| {
-        let dots: Vec<(Vec<Sec>, &SimVideo)> = test
-            .iter()
-            .map(|sv| {
-                let d = init
-                    .red_dots(&sv.video.chat, sv.video.meta.duration, K_MAX)
-                    .into_iter()
-                    .map(|d| d.at)
-                    .collect();
-                (d, *sv)
-            })
+        let dots: Vec<(Vec<Sec>, &SimVideo)> = crate::harness::par_red_dots(&init, test, K_MAX)
+            .into_iter()
+            .zip(test)
+            .map(|(dots, sv)| (dots.into_iter().map(|d| d.at).collect(), *sv))
             .collect();
         prefix_start_curve(&dots, K_MAX)
     };

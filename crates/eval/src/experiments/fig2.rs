@@ -79,7 +79,10 @@ pub fn run(env: &ExpEnv) -> Report {
         mean(&xs.iter().map(pick).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     for (name, pick) in [
-        ("msg num", (|f: &WindowFeatures| f.msg_num) as fn(&WindowFeatures) -> f64),
+        (
+            "msg num",
+            (|f: &WindowFeatures| f.msg_num) as fn(&WindowFeatures) -> f64,
+        ),
         ("msg len", |f| f.msg_len),
         ("msg sim", |f| f.msg_sim),
     ] {

@@ -17,7 +17,7 @@ use lightor_types::Sec;
 /// Offsets of filtered play starts relative to the true highlight start.
 fn collect_offsets(env: &ExpEnv, type1: bool) -> Vec<f64> {
     let data = env.dota2(env.cap(7, 3));
-    let mut campaign = Campaign::new(492, env.seed ^ 0xF16_3);
+    let mut campaign = Campaign::new(492, env.seed ^ 0xF163);
     let mut rng = SeedTree::new(env.seed).child("fig3-dots").rng();
     let cfg = ExtractorConfig::default();
     let mut offsets = Vec::new();

@@ -18,16 +18,24 @@ fn precision_curve(
     test: &[&SimVideo],
     k_max: usize,
 ) -> Vec<f64> {
+    // One scoring pass per video, then prefix-truncate: the greedy
+    // top-k selection is k-independent, so `top_k_windows(k)` equals
+    // the first k entries of `top_k_windows(k_max)`.
+    let all_top: Vec<Vec<_>> = test
+        .iter()
+        .map(|sv| {
+            init.top_k_windows(&sv.video.chat, sv.video.meta.duration, k_max)
+                .iter()
+                .map(|w| w.range)
+                .collect()
+        })
+        .collect();
     (1..=k_max)
         .map(|k| {
-            let per_video: Vec<f64> = test
+            let per_video: Vec<f64> = all_top
                 .iter()
-                .map(|sv| {
-                    let top =
-                        init.top_k_windows(&sv.video.chat, sv.video.meta.duration, k);
-                    let ranges: Vec<_> = top.iter().map(|w| w.range).collect();
-                    chat_precision_at_k(&ranges, sv)
-                })
+                .zip(test)
+                .map(|(ranges, sv)| chat_precision_at_k(&ranges[..k.min(ranges.len())], sv))
                 .collect();
             mean_over_videos(&per_video)
         })

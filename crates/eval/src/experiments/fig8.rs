@@ -54,24 +54,31 @@ pub fn compute(env: &ExpEnv) -> Fig8Result {
     let test: Vec<&SimVideo> = data.videos[n_train..].iter().collect();
 
     let init = train_initializer(&train, FeatureSet::Full);
-    let mut campaign = Campaign::new(492, env.seed ^ 0xF18_8);
-    let (classifier, _acc) =
-        train_type_classifier(&train, &mut campaign, 3, env.seed ^ 0xC1F);
+    let mut campaign = Campaign::new(492, env.seed ^ 0xF188);
+    let (classifier, _acc) = train_type_classifier(&train, &mut campaign, 3, env.seed ^ 0xC1F);
     let ex_cfg = ExtractorConfig::default();
 
-    // Initial dots.
-    let mut tracks: Vec<DotTrack> = Vec::new();
-    for (vi, sv) in test.iter().enumerate() {
-        for dot in init.red_dots(&sv.video.chat, sv.video.meta.duration, DOTS_PER_VIDEO) {
-            tracks.push(DotTrack {
-                video: vi,
-                current: dot.at,
-                end: None,
-                last_t2: None,
-                frozen: false,
-            });
+    // Initial dots — scored once per video, reused for both the
+    // refinement tracks and the baseline comparison below.
+    let initial_dots: Vec<(usize, Sec)> = {
+        let mut v = Vec::new();
+        for (vi, sv) in test.iter().enumerate() {
+            for dot in init.red_dots(&sv.video.chat, sv.video.meta.duration, DOTS_PER_VIDEO) {
+                v.push((vi, dot.at));
+            }
         }
-    }
+        v
+    };
+    let mut tracks: Vec<DotTrack> = initial_dots
+        .iter()
+        .map(|&(vi, at)| DotTrack {
+            video: vi,
+            current: at,
+            end: None,
+            last_t2: None,
+            frozen: false,
+        })
+        .collect();
 
     let mut lightor_start = Vec::with_capacity(ITERATIONS);
     let mut lightor_end = Vec::with_capacity(ITERATIONS);
@@ -83,8 +90,7 @@ pub fn compute(env: &ExpEnv) -> Fig8Result {
                 continue;
             }
             let sv = test[track.video];
-            let result =
-                campaign.run_task(&sv.video, track.current, ex_cfg.responses_per_task);
+            let result = campaign.run_task(&sv.video, track.current, ex_cfg.responses_per_task);
             if iter == 0 {
                 first_iter_sessions[track.video].extend(result.sessions.iter().cloned());
             }
@@ -95,18 +101,14 @@ pub fn compute(env: &ExpEnv) -> Fig8Result {
         lightor_end.push(e);
     }
 
-    // Baselines on iteration-1 interaction data.
-    let initial_dots: Vec<(usize, Sec)> = {
-        let mut v = Vec::new();
-        for (vi, sv) in test.iter().enumerate() {
-            for dot in init.red_dots(&sv.video.chat, sv.video.meta.duration, DOTS_PER_VIDEO)
-            {
-                v.push((vi, dot.at));
-            }
-        }
-        v
-    };
-    let socialskip = baseline_precision(&SocialSkipAdapter, &initial_dots, &test, &first_iter_sessions);
+    // Baselines on iteration-1 interaction data, seeded from the same
+    // initial dots the refinement tracks started at.
+    let socialskip = baseline_precision(
+        &SocialSkipAdapter,
+        &initial_dots,
+        &test,
+        &first_iter_sessions,
+    );
     let moocer = baseline_precision(&MoocerAdapter, &initial_dots, &test, &first_iter_sessions);
 
     Fig8Result {
@@ -181,12 +183,7 @@ fn precision_now(tracks: &[DotTrack], test: &[&SimVideo]) -> (f64, f64) {
 }
 
 trait BaselineAdapter {
-    fn extract_near(
-        &self,
-        sessions: &[Session],
-        duration: Sec,
-        dot: Sec,
-    ) -> Option<(Sec, Sec)>;
+    fn extract_near(&self, sessions: &[Session], duration: Sec, dot: Sec) -> Option<(Sec, Sec)>;
 }
 
 struct SocialSkipAdapter;

@@ -14,9 +14,7 @@
 //! claim.
 
 use crate::harness::{train_initializer, train_type_classifier, ExpEnv};
-use crate::metrics::{
-    mean_over_videos, video_precision_end, video_precision_start,
-};
+use crate::metrics::{mean_over_videos, video_precision_end, video_precision_start};
 use crate::report::{fmt3, fmt_duration, Report, Table};
 use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor};
 use lightor_chatsim::SimVideo;
@@ -79,12 +77,15 @@ pub fn compute(env: &ExpEnv) -> Table1Result {
         let mut starts = Vec::with_capacity(dots.len());
         let mut ends = Vec::with_capacity(dots.len());
         for dot in dots {
-            let refined = extractor
-                .refine(dot, &mut |pos: Sec| {
-                    campaign
-                        .run_task(&sv.video, pos, ExtractorConfig::default().responses_per_task)
-                        .plays
-                });
+            let refined = extractor.refine(dot, &mut |pos: Sec| {
+                campaign
+                    .run_task(
+                        &sv.video,
+                        pos,
+                        ExtractorConfig::default().responses_per_task,
+                    )
+                    .plays
+            });
             starts.push(refined.start);
             ends.push(refined.end);
         }

@@ -9,7 +9,8 @@ use lightor_chatsim::{dota2_dataset, lol_dataset, Dataset, SimVideo};
 use lightor_crowdsim::Campaign;
 use lightor_simkit::dist::uniform;
 use lightor_simkit::SeedTree;
-use lightor_types::{Sec, PlaySet};
+use lightor_types::{PlaySet, RedDot, Sec};
+use rayon::prelude::*;
 
 /// Experiment environment: master seed plus a `quick` switch that shrinks
 /// dataset sizes (used by unit tests and criterion benches; the
@@ -78,6 +79,22 @@ pub fn train_initializer(videos: &[&SimVideo], feature_set: FeatureSet) -> Highl
     HighlightInitializer::train(&views, feature_set, InitializerConfig::default())
 }
 
+/// Score every test video's top-k red dots, fanning out across videos.
+///
+/// Scoring is read-only on the model, so videos parallelize trivially;
+/// results are returned in `videos` order and are identical to a
+/// sequential loop for any thread count.
+pub fn par_red_dots(
+    init: &HighlightInitializer,
+    videos: &[&SimVideo],
+    k: usize,
+) -> Vec<Vec<RedDot>> {
+    videos
+        .par_iter()
+        .map(|sv| init.red_dots(&sv.video.chat, sv.video.meta.duration, k))
+        .collect()
+}
+
 /// Train the Type I/II classifier from crowd data, the way a deployment
 /// would: place dots at *known* geometries around training-video
 /// highlights, run crowd tasks, featurize the filtered plays, fit.
@@ -111,14 +128,12 @@ pub fn train_type_classifier(
             ];
             for (pos, label) in placements {
                 let dot = Sec(pos);
-                let plays: PlaySet =
-                    campaign.run_task(&v.video, dot, cfg.responses_per_task).plays;
+                let plays: PlaySet = campaign
+                    .run_task(&v.video, dot, cfg.responses_per_task)
+                    .plays;
                 let filtered = lightor::filter_plays(&plays, dot, &cfg);
                 if !filtered.is_empty() {
-                    examples.push((
-                        lightor::play_position_features(&filtered, dot),
-                        label,
-                    ));
+                    examples.push((lightor::play_position_features(&filtered, dot), label));
                 }
             }
         }

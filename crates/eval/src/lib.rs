@@ -19,7 +19,5 @@ pub mod metrics;
 pub mod report;
 
 pub use harness::{train_initializer, train_type_classifier, ExpEnv};
-pub use metrics::{
-    chat_precision_at_k, video_precision_end, video_precision_start, GOOD_DOT_TOL,
-};
+pub use metrics::{chat_precision_at_k, video_precision_end, video_precision_start, GOOD_DOT_TOL};
 pub use report::{Report, Table};

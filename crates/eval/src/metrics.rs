@@ -44,15 +44,7 @@ pub fn video_precision_end(ends: &[Option<Sec>], video: &SimVideo) -> f64 {
     let tol = Sec(GOOD_DOT_TOL);
     let hits = ends
         .iter()
-        .filter(|e| {
-            e.is_some_and(|y| {
-                video
-                    .video
-                    .highlights
-                    .iter()
-                    .any(|h| h.accepts_end(y, tol))
-            })
-        })
+        .filter(|e| e.is_some_and(|y| video.video.highlights.iter().any(|h| h.accepts_end(y, tol))))
         .count();
     hits as f64 / ends.len() as f64
 }

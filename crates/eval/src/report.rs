@@ -49,7 +49,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row));
         }
@@ -64,7 +68,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

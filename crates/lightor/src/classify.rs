@@ -45,11 +45,7 @@ impl PlayPositionFeatures {
     /// generalizes across response counts.
     pub fn to_vec(self) -> Vec<f64> {
         let total = (self.after + self.before + self.across).max(1.0);
-        vec![
-            self.after / total,
-            self.before / total,
-            self.across / total,
-        ]
+        vec![self.after / total, self.before / total, self.across / total]
     }
 }
 
@@ -81,10 +77,7 @@ impl TypeClassifier {
     pub fn train(examples: &[(PlayPositionFeatures, DotType)]) -> Self {
         assert!(!examples.is_empty(), "no training examples");
         let rows: Vec<Vec<f64>> = examples.iter().map(|(f, _)| f.to_vec()).collect();
-        let labels: Vec<bool> = examples
-            .iter()
-            .map(|(_, t)| *t == DotType::TypeI)
-            .collect();
+        let labels: Vec<bool> = examples.iter().map(|(_, t)| *t == DotType::TypeI).collect();
         let scaler = MinMaxScaler::fit(&rows);
         let scaled = scaler.transform_all(&rows);
         let model = LogisticRegression::fit(&scaled, &labels, &TrainConfig::default());
@@ -103,7 +96,8 @@ impl TypeClassifier {
 
     /// P(Type I) — for diagnostics.
     pub fn prob_type1(&self, f: &PlayPositionFeatures) -> f64 {
-        self.model.predict_proba(&self.scaler.transform(&f.to_vec()))
+        self.model
+            .predict_proba(&self.scaler.transform(&f.to_vec()))
     }
 
     /// A rule-based fallback mirroring Figure 4's logic, used before any
@@ -128,7 +122,11 @@ mod tests {
     use lightor_types::Play;
 
     fn features(after: f64, before: f64, across: f64) -> PlayPositionFeatures {
-        PlayPositionFeatures { after, before, across }
+        PlayPositionFeatures {
+            after,
+            before,
+            across,
+        }
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Tokenize-once chat corpus and the incremental window featurizer.
+//!
+//! The Highlight Initializer must featurize every sliding window of
+//! every video. The naive path ([`WindowFeatures::compute`]) re-tokenizes
+//! each message once per overlapping window and allocates a dense center
+//! vector per window; at corpus scale that dominates the whole pipeline.
+//! This module makes featurization incremental:
+//!
+//! * [`TokenizedChat`] — built **once** per [`ChatLog`]: a corpus-level
+//!   [`Vocab`], every message interned to a [`BowVector`], cached word
+//!   counts, and prefix sums over word counts. Index-aligned with
+//!   `ChatLog::messages()`.
+//! * [`TokenizedChat::featurize_windows`] — slides over a sorted window
+//!   list with two monotone message pointers, maintaining a sparse
+//!   token-count window ([`LooWindow`]) by adding entering messages and
+//!   removing leaving ones. `msg_num`/`msg_len` come from pointer
+//!   arithmetic and prefix sums in O(1); `msg_sim` reuses the rolling
+//!   counts; the message peak is computed from the same pass. Windows
+//!   are fanned out across threads in contiguous chunks, so results are
+//!   byte-identical to the sequential order regardless of thread count.
+//!
+//! Equivalence with the naive path is exact, not approximate: every
+//! aggregate that depends on summation order is accumulated in integers
+//! (see [`lightor_mlcore::kmeans`]), so the property tests in this
+//! module assert *bit-identical* features, and `red_dots` output is
+//! unchanged whichever path scored the windows.
+
+use crate::features::WindowFeatures;
+use lightor_mlcore::text::{BowVector, Vocab};
+use lightor_mlcore::LooWindow;
+use lightor_types::{ChatLog, Sec, TimeRange};
+use rayon::prelude::*;
+
+/// A chat log tokenized exactly once, with the aggregates window
+/// featurization needs.
+#[derive(Clone, Debug, Default)]
+pub struct TokenizedChat {
+    vocab: Vocab,
+    vectors: Vec<BowVector>,
+    word_counts: Vec<u32>,
+    /// Prefix sums of `word_counts`; `word_prefix[i]` = words in
+    /// messages `0..i`. Length `n + 1`.
+    word_prefix: Vec<u64>,
+    /// Message timestamps (sorted, mirrors `ChatLog` order).
+    ts: Vec<f64>,
+}
+
+impl TokenizedChat {
+    /// Tokenize and index a chat log. One pass: each message is
+    /// tokenized exactly once, interning into the corpus vocabulary and
+    /// producing its binary bag-of-words vector.
+    pub fn build(chat: &ChatLog) -> Self {
+        let n = chat.len();
+        let mut vocab = Vocab::new();
+        let mut vectors = Vec::with_capacity(n);
+        let mut word_counts = Vec::with_capacity(n);
+        let mut word_prefix = Vec::with_capacity(n + 1);
+        let mut ts = Vec::with_capacity(n);
+        word_prefix.push(0u64);
+        for m in chat.messages() {
+            vectors.push(vocab.intern_text(&m.text));
+            let wc = m.word_count() as u32;
+            word_counts.push(wc);
+            word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
+            ts.push(m.ts.0);
+        }
+        TokenizedChat {
+            vocab,
+            vectors,
+            word_counts,
+            word_prefix,
+            ts,
+        }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the corpus holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The corpus-level vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Message vectors, index-aligned with `ChatLog::messages()`.
+    pub fn vectors(&self) -> &[BowVector] {
+        &self.vectors
+    }
+
+    /// Message timestamps, index-aligned with `ChatLog::messages()`.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// Cached per-message word counts.
+    pub fn word_counts(&self) -> &[u32] {
+        &self.word_counts
+    }
+
+    /// Message index range `[lo, hi)` covered by a closed time range
+    /// (same inclusive-endpoints semantics as [`ChatLog::slice`]).
+    pub fn msg_range(&self, range: TimeRange) -> (usize, usize) {
+        let lo = self.ts.partition_point(|&t| t < range.start.0);
+        let hi = self.ts.partition_point(|&t| t <= range.end.0);
+        (lo, hi)
+    }
+
+    /// Total words in messages `lo..hi` — O(1) via prefix sums.
+    pub fn words_in(&self, lo: usize, hi: usize) -> u64 {
+        self.word_prefix[hi] - self.word_prefix[lo]
+    }
+
+    /// Featurize every window (and locate its message peak) with the
+    /// incremental rolling pass, fanned out across threads in
+    /// contiguous chunks. Output is index-aligned with `windows` and
+    /// byte-identical to the sequential pass for any thread count.
+    ///
+    /// `peak_bin` is the histogram bin width used for peak location
+    /// (see [`crate::initializer::window_peak`]).
+    pub fn featurize_windows(&self, windows: &[TimeRange], peak_bin: f64) -> Vec<FeaturizedWindow> {
+        let threads = rayon::current_num_threads();
+        self.featurize_windows_chunked(windows, peak_bin, threads)
+    }
+
+    /// [`TokenizedChat::featurize_windows`] with an explicit chunk
+    /// count — exposed so tests can prove thread-count independence.
+    pub fn featurize_windows_chunked(
+        &self,
+        windows: &[TimeRange],
+        peak_bin: f64,
+        chunks: usize,
+    ) -> Vec<FeaturizedWindow> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let chunk_len = windows.len().div_ceil(chunks.max(1));
+        let nested: Vec<Vec<FeaturizedWindow>> = windows
+            .par_chunks(chunk_len)
+            .map(|span| self.featurize_span(span, peak_bin))
+            .collect();
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Sequential rolling pass over one contiguous span of windows.
+    fn featurize_span(&self, windows: &[TimeRange], peak_bin: f64) -> Vec<FeaturizedWindow> {
+        let mut roll = RollingWindow::new(self);
+        let mut peak_bins: Vec<u32> = Vec::new();
+        windows
+            .iter()
+            .map(|&range| {
+                let (lo, hi) = self.msg_range(range);
+                roll.slide_to(lo, hi);
+                FeaturizedWindow {
+                    range,
+                    features: roll.features(),
+                    peak: self.peak_in(range, lo, hi, peak_bin, &mut peak_bins),
+                }
+            })
+            .collect()
+    }
+
+    /// Message-count peak inside `range` for messages `lo..hi`,
+    /// mirroring the `Histogram`-based [`crate::initializer::window_peak`]
+    /// arithmetic exactly, but reusing `bins` as scratch (no per-window
+    /// allocation).
+    fn peak_in(
+        &self,
+        range: TimeRange,
+        lo: usize,
+        hi: usize,
+        bin: f64,
+        bins: &mut Vec<u32>,
+    ) -> Sec {
+        if lo == hi {
+            return range.midpoint();
+        }
+        let (start, end) = (range.start.0, range.end.0);
+        // Same domain construction as Histogram::with_bin_width: the
+        // last bin may extend past `end`.
+        let n_bins = (((end - start) / bin).ceil() as usize).max(1);
+        let hist_hi = start + n_bins as f64 * bin;
+        let width = (hist_hi - start) / n_bins as f64;
+        bins.clear();
+        bins.resize(n_bins, 0);
+        for &t in &self.ts[lo..hi] {
+            if t.is_finite() && t >= start && t <= hist_hi {
+                let idx = (((t - start) / width) as usize).min(n_bins - 1);
+                bins[idx] += 1;
+            }
+        }
+        // Histogram::peak_bin keeps the *last* bin on ties (iterator
+        // `max_by` semantics); `>=` reproduces that.
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &c) in bins.iter().enumerate() {
+            if best.is_none_or(|(_, bc)| c >= bc) {
+                best = Some((i, c));
+            }
+        }
+        match best {
+            Some((i, c)) if c > 0 => Sec((start + (i as f64 + 0.5) * width).clamp(start, end)),
+            _ => range.midpoint(),
+        }
+    }
+}
+
+/// One featurized sliding window: features plus the message peak found
+/// in the same rolling pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeaturizedWindow {
+    /// The window interval.
+    pub range: TimeRange,
+    /// Raw (unscaled) window features.
+    pub features: WindowFeatures,
+    /// Message-count peak position inside the window.
+    pub peak: Sec,
+}
+
+/// The sparse rolling state: current message span `[lo, hi)` plus the
+/// incremental token counts feeding the leave-one-out similarity.
+struct RollingWindow<'a> {
+    corpus: &'a TokenizedChat,
+    loo: LooWindow,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> RollingWindow<'a> {
+    fn new(corpus: &'a TokenizedChat) -> Self {
+        RollingWindow {
+            corpus,
+            loo: LooWindow::new(corpus.vocab.len()),
+            lo: 0,
+            hi: 0,
+        }
+    }
+
+    /// Move the window to `[lo, hi)`, incrementally adding entering
+    /// messages and removing leaving ones. Handles arbitrary movement
+    /// (both directions), amortized O(messages touched).
+    fn slide_to(&mut self, lo: usize, hi: usize) {
+        let vectors = &self.corpus.vectors;
+        // Disjoint jump: drop everything, rebuild from empty — cheaper
+        // than walking out and back in.
+        if lo >= self.hi || hi <= self.lo {
+            for v in &vectors[self.lo..self.hi] {
+                self.loo.remove(v);
+            }
+            self.lo = lo;
+            self.hi = lo;
+        }
+        while self.lo > lo {
+            self.lo -= 1;
+            self.loo.add(&vectors[self.lo]);
+        }
+        while self.lo < lo {
+            self.loo.remove(&vectors[self.lo]);
+            self.lo += 1;
+        }
+        while self.hi > hi {
+            self.hi -= 1;
+            self.loo.remove(&vectors[self.hi]);
+        }
+        while self.hi < hi {
+            self.loo.add(&vectors[self.hi]);
+            self.hi += 1;
+        }
+    }
+
+    /// Features of the current window — `msg_num` from the span width,
+    /// `msg_len` from prefix sums, `msg_sim` from the rolling counts.
+    fn features(&self) -> WindowFeatures {
+        let n = self.hi - self.lo;
+        if n == 0 {
+            return WindowFeatures::default();
+        }
+        let words = self.corpus.words_in(self.lo, self.hi);
+        let msg_sim = self
+            .loo
+            .mean_loo(self.corpus.vectors[self.lo..self.hi].iter());
+        WindowFeatures {
+            msg_num: n as f64,
+            msg_len: words as f64 / n as f64,
+            msg_sim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initializer::window_peak;
+    use crate::window::sliding_windows;
+    use lightor_types::{ChatMessage, UserId};
+    use proptest::prelude::*;
+
+    fn chat(messages: &[(f64, &str)]) -> ChatLog {
+        ChatLog::new(
+            messages
+                .iter()
+                .map(|&(t, s)| ChatMessage::new(t, UserId(1), s))
+                .collect(),
+        )
+    }
+
+    fn naive_features(chat: &ChatLog, w: TimeRange) -> WindowFeatures {
+        WindowFeatures::compute(chat.slice(w))
+    }
+
+    #[test]
+    fn corpus_indexes_align_with_chat() {
+        let c = chat(&[(1.0, "gg wp"), (2.0, "kill"), (30.0, "what a play")]);
+        let tc = TokenizedChat::build(&c);
+        assert_eq!(tc.len(), 3);
+        assert_eq!(tc.word_counts(), &[2, 1, 3]);
+        assert_eq!(tc.words_in(0, 3), 6);
+        assert_eq!(tc.words_in(1, 2), 1);
+        assert_eq!(tc.msg_range(TimeRange::from_secs(0.0, 2.0)), (0, 2));
+        assert_eq!(tc.msg_range(TimeRange::from_secs(2.0, 40.0)), (1, 3));
+        assert_eq!(tc.vocab().len(), 6); // gg wp kill what a play
+    }
+
+    #[test]
+    fn features_match_naive_on_fixed_windows() {
+        let c = chat(&[
+            (1.0, "kill kill"),
+            (2.0, "kill"),
+            (3.0, "kill wow"),
+            (10.0, "anyone know the song"),
+            (11.0, "pizza time"),
+            (26.0, "gg"),
+        ]);
+        let tc = TokenizedChat::build(&c);
+        let windows = [
+            TimeRange::from_secs(0.0, 5.0),
+            TimeRange::from_secs(5.0, 15.0),
+            TimeRange::from_secs(15.0, 25.0), // empty
+            TimeRange::from_secs(25.0, 30.0), // single message
+        ];
+        let fast = tc.featurize_windows_chunked(&windows, 5.0, 1);
+        for (f, w) in fast.iter().zip(&windows) {
+            assert_eq!(f.features, naive_features(&c, *w), "window {w}");
+            assert_eq!(f.peak, window_peak(&c, *w, 5.0), "peak {w}");
+        }
+    }
+
+    #[test]
+    fn rolling_handles_backward_and_disjoint_motion() {
+        let c = chat(&[
+            (1.0, "a b"),
+            (2.0, "b c"),
+            (3.0, "c d"),
+            (4.0, "d e"),
+            (50.0, "x y z"),
+        ]);
+        let tc = TokenizedChat::build(&c);
+        // Deliberately unsorted window sequence: forward, backward,
+        // disjoint jump.
+        let windows = [
+            TimeRange::from_secs(1.0, 3.0),
+            TimeRange::from_secs(0.0, 4.0),
+            TimeRange::from_secs(2.0, 3.0),
+            TimeRange::from_secs(45.0, 55.0),
+            TimeRange::from_secs(0.0, 60.0),
+        ];
+        let fast = tc.featurize_windows_chunked(&windows, 5.0, 1);
+        for (f, w) in fast.iter().zip(&windows) {
+            assert_eq!(f.features, naive_features(&c, *w), "window {w}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_equals_naive_on_random_logs(
+            times in proptest::collection::vec(0.0..300.0f64, 0..120),
+            seed in 0u64..1000,
+        ) {
+            // Random messages built from a tiny token pool so windows
+            // share vocabulary (the interesting case for msg_sim).
+            let pool = ["gg", "kill", "wow", "nice", "play", "pog", "lol"];
+            let texts: Vec<String> = times
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let k = 1 + ((seed as usize + i * 7) % 4);
+                    (0..k)
+                        .map(|j| pool[(i * 3 + j * 5 + seed as usize) % pool.len()])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let c = ChatLog::new(
+                times
+                    .iter()
+                    .zip(&texts)
+                    .map(|(&t, s)| ChatMessage::new(t, UserId(1), s.as_str()))
+                    .collect(),
+            );
+            let tc = TokenizedChat::build(&c);
+            let windows = sliding_windows(&c, lightor_types::Sec(300.0), 25.0, 0.5);
+            let fast = tc.featurize_windows_chunked(&windows, 5.0, 1);
+            prop_assert_eq!(fast.len(), windows.len());
+            for (f, w) in fast.iter().zip(&windows) {
+                let naive = naive_features(&c, *w);
+                // Integer accumulation makes the match exact, not just
+                // within 1e-9.
+                prop_assert_eq!(f.features, naive, "window {}", w);
+                prop_assert_eq!(f.peak, window_peak(&c, *w, 5.0), "peak {}", w);
+            }
+        }
+
+        #[test]
+        fn chunking_never_changes_results(
+            times in proptest::collection::vec(0.0..200.0f64, 0..80),
+        ) {
+            let c = ChatLog::new(
+                times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        ChatMessage::new(t, UserId(i as u64), if i % 2 == 0 { "gg wp" } else { "kill it now" })
+                    })
+                    .collect(),
+            );
+            let tc = TokenizedChat::build(&c);
+            let windows = sliding_windows(&c, lightor_types::Sec(200.0), 25.0, 0.5);
+            let reference = tc.featurize_windows_chunked(&windows, 5.0, 1);
+            for chunks in [2, 3, 5, 8, 64] {
+                let chunked = tc.featurize_windows_chunked(&windows, 5.0, chunks);
+                prop_assert_eq!(&chunked, &reference, "chunks = {}", chunks);
+            }
+        }
+    }
+}

@@ -80,11 +80,7 @@ impl HighlightExtractor {
     /// Refine one red dot. `collect` is called once per iteration with
     /// the dot position for that round and must return that round's play
     /// records (a fresh crowd task).
-    pub fn refine(
-        &self,
-        dot: RedDot,
-        collect: &mut dyn FnMut(Sec) -> PlaySet,
-    ) -> Refined {
+    pub fn refine(&self, dot: RedDot, collect: &mut dyn FnMut(Sec) -> PlaySet) -> Refined {
         let mut current = dot.at;
         let mut history: Vec<IterationRecord> = Vec::new();
         let mut last_boundary: Option<(Sec, Sec)> = None;
@@ -246,7 +242,10 @@ mod tests {
         let ex = extractor();
         let mut crowd = |_dot: Sec| PlaySet::default();
         let refined = ex.refine(RedDot::new(500.0, 0.5), &mut crowd);
-        assert_eq!(refined.iterations(), ExtractorConfig::default().max_iterations);
+        assert_eq!(
+            refined.iterations(),
+            ExtractorConfig::default().max_iterations
+        );
         assert!(refined.end.is_none());
         // Moved back m per iteration.
         assert!(

@@ -95,14 +95,16 @@ mod tests {
     #[test]
     fn short_and_long_plays_are_removed() {
         let ps = plays(&[
-            (1995.0, 1998.0),  // 3 s check
-            (1990.0, 2010.0),  // good
-            (1950.0, 2100.0),  // 150 s binge
-            (1992.0, 2012.0),  // good
+            (1995.0, 1998.0), // 3 s check
+            (1990.0, 2010.0), // good
+            (1950.0, 2100.0), // 150 s binge
+            (1992.0, 2012.0), // good
         ]);
         let out = filter_plays(&ps, Sec(2000.0), &cfg());
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|p| p.duration().0 >= 6.0 && p.duration().0 <= 75.0));
+        assert!(out
+            .iter()
+            .all(|p| p.duration().0 >= 6.0 && p.duration().0 <= 75.0));
     }
 
     #[test]

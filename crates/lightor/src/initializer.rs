@@ -13,11 +13,13 @@
 
 use crate::adjust::{learn_adjustment, AdjustExample};
 use crate::config::InitializerConfig;
+use crate::corpus::{FeaturizedWindow, TokenizedChat};
 use crate::features::{FeatureSet, WindowFeatures};
-use crate::window::sliding_windows;
+use crate::window::{sliding_windows, sliding_windows_from_ts};
 use lightor_mlcore::{LogisticRegression, MinMaxScaler, TrainConfig};
 use lightor_simkit::Histogram;
 use lightor_types::{ChatLog, Highlight, RedDot, Sec, TimeRange};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One labelled training video.
@@ -62,8 +64,10 @@ pub struct HighlightInitializer {
 }
 
 /// Locate the message-count peak inside `range` using `bin`-second bins;
-/// ties resolve to the earliest bin. Falls back to the range midpoint when
-/// the window is empty.
+/// ties resolve to the **latest** bin (`Histogram::peak_bin` semantics,
+/// which the incremental `TokenizedChat` peak pass reproduces exactly —
+/// keep the two in lockstep). Falls back to the range midpoint when the
+/// window is empty.
 pub fn window_peak(chat: &ChatLog, range: TimeRange, bin: f64) -> Sec {
     let msgs = chat.slice(range);
     if msgs.is_empty() {
@@ -91,33 +95,65 @@ impl HighlightInitializer {
     ) -> Self {
         assert!(!videos.is_empty(), "need at least one training video");
 
+        // Featurize videos in parallel; each worker runs the sequential
+        // rolling pass over its video so per-video results (and their
+        // concatenation order below) are identical to a serial run.
+        struct PerVideo {
+            rows: Vec<Vec<f64>>,
+            labels: Vec<bool>,
+            adjust: Vec<AdjustExample>,
+        }
+        let per_video: Vec<PerVideo> = videos
+            .par_iter()
+            .map(|v| {
+                let corpus = TokenizedChat::build(v.chat);
+                let windows = sliding_windows_from_ts(
+                    corpus.timestamps(),
+                    v.duration,
+                    cfg.window_len,
+                    cfg.stride_frac,
+                );
+                let feats = corpus.featurize_windows_chunked(&windows, cfg.peak_bin, 1);
+                let mut rows = Vec::with_capacity(feats.len());
+                let mut labels = Vec::with_capacity(feats.len());
+                for f in &feats {
+                    rows.push(feature_set.vectorize(&f.features));
+                    labels.push(v.label_ranges.iter().any(|r| r.overlaps(&f.range)));
+                }
+
+                // Adjustment examples: for each labelled highlight, the
+                // kept window with the most messages among those
+                // overlapping its response region — the same window
+                // prediction would surface. The peak comes from the same
+                // rolling pass that produced the features.
+                let mut adjust = Vec::new();
+                for (h, label) in v.highlights.iter().zip(v.label_ranges) {
+                    let best = feats
+                        .iter()
+                        .filter(|f| f.range.overlaps(label))
+                        .max_by_key(|f| f.features.msg_num as usize);
+                    if let Some(f) = best {
+                        adjust.push(AdjustExample {
+                            peak: f.peak,
+                            highlight: *h,
+                        });
+                    }
+                }
+                PerVideo {
+                    rows,
+                    labels,
+                    adjust,
+                }
+            })
+            .collect();
+
         let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut labels: Vec<bool> = Vec::new();
         let mut adjust_examples: Vec<AdjustExample> = Vec::new();
-
-        for v in videos {
-            let windows = sliding_windows(v.chat, v.duration, cfg.window_len, cfg.stride_frac);
-            for w in &windows {
-                let feats = WindowFeatures::compute(v.chat.slice(*w));
-                rows.push(feature_set.vectorize(&feats));
-                labels.push(v.label_ranges.iter().any(|r| r.overlaps(w)));
-            }
-
-            // Adjustment examples: for each labelled highlight, the kept
-            // window with the most messages among those overlapping its
-            // response region — the same window prediction would surface.
-            for (h, label) in v.highlights.iter().zip(v.label_ranges) {
-                let best = windows
-                    .iter()
-                    .filter(|w| w.overlaps(label))
-                    .max_by_key(|w| v.chat.count_in(**w));
-                if let Some(w) = best {
-                    adjust_examples.push(AdjustExample {
-                        peak: window_peak(v.chat, *w, cfg.peak_bin),
-                        highlight: *h,
-                    });
-                }
-            }
+        for pv in per_video {
+            rows.extend(pv.rows);
+            labels.extend(pv.labels);
+            adjust_examples.extend(pv.adjust);
         }
 
         let scaler = MinMaxScaler::fit(&rows);
@@ -135,19 +171,61 @@ impl HighlightInitializer {
     }
 
     /// Score every window of a video, most probable first.
+    ///
+    /// Builds the tokenize-once corpus internally; callers scoring the
+    /// same chat repeatedly should build a [`TokenizedChat`] themselves
+    /// and use [`HighlightInitializer::score_corpus`].
     pub fn score_windows(&self, chat: &ChatLog, duration: Sec) -> Vec<ScoredWindow> {
-        let windows =
-            sliding_windows(chat, duration, self.cfg.window_len, self.cfg.stride_frac);
-        let mut scored: Vec<ScoredWindow> = windows
+        self.score_corpus(&TokenizedChat::build(chat), duration)
+    }
+
+    /// Score every window of a pre-tokenized video, most probable first.
+    ///
+    /// The fast path: incremental rolling featurization fanned out
+    /// across threads, peaks from the same pass, then the (cheap)
+    /// logistic scoring. Output is byte-identical to
+    /// [`HighlightInitializer::score_windows_naive`].
+    pub fn score_corpus(&self, corpus: &TokenizedChat, duration: Sec) -> Vec<ScoredWindow> {
+        let windows = sliding_windows_from_ts(
+            corpus.timestamps(),
+            duration,
+            self.cfg.window_len,
+            self.cfg.stride_frac,
+        );
+        let feats = corpus.featurize_windows(&windows, self.cfg.peak_bin);
+        self.score_featurized(feats)
+    }
+
+    /// Reference implementation of [`HighlightInitializer::score_windows`]:
+    /// per-window naive featurization ([`WindowFeatures::compute`]) and
+    /// per-window peak histograms. Kept as the equivalence oracle for
+    /// the incremental path (property-tested to produce identical
+    /// output) and as the baseline side of the featurization benches.
+    pub fn score_windows_naive(&self, chat: &ChatLog, duration: Sec) -> Vec<ScoredWindow> {
+        let windows = sliding_windows(chat, duration, self.cfg.window_len, self.cfg.stride_frac);
+        let feats = windows
             .into_iter()
-            .map(|range| {
-                let features = WindowFeatures::compute(chat.slice(range));
-                let row = self.scaler.transform(&self.feature_set.vectorize(&features));
+            .map(|range| FeaturizedWindow {
+                range,
+                features: WindowFeatures::compute(chat.slice(range)),
+                peak: window_peak(chat, range, self.cfg.peak_bin),
+            })
+            .collect();
+        self.score_featurized(feats)
+    }
+
+    fn score_featurized(&self, feats: Vec<FeaturizedWindow>) -> Vec<ScoredWindow> {
+        let mut scored: Vec<ScoredWindow> = feats
+            .into_iter()
+            .map(|f| {
+                let row = self
+                    .scaler
+                    .transform(&self.feature_set.vectorize(&f.features));
                 ScoredWindow {
-                    range,
+                    range: f.range,
                     prob: self.model.predict_proba(&row),
-                    peak: window_peak(chat, range, self.cfg.peak_bin),
-                    features,
+                    peak: f.peak,
+                    features: f.features,
                 }
             })
             .collect();
@@ -244,8 +322,7 @@ mod tests {
 
     fn trained(n_train: usize, seed: u64) -> (HighlightInitializer, lightor_chatsim::Dataset) {
         let data = dota2_dataset(n_train + 2, seed);
-        let views: Vec<TrainingVideo> =
-            data.videos[..n_train].iter().map(training_view).collect();
+        let views: Vec<TrainingVideo> = data.videos[..n_train].iter().map(training_view).collect();
         let init =
             HighlightInitializer::train(&views, FeatureSet::Full, InitializerConfig::default());
         (init, data)
@@ -343,6 +420,47 @@ mod tests {
             .filter(|w| test.window_is_highlight(w.range))
             .count();
         assert!(hits >= 3, "1-video model got {hits}/5");
+    }
+
+    #[test]
+    fn fast_path_matches_naive_reference_exactly() {
+        // The incremental corpus path must be *bit-identical* to the
+        // retained naive reference — scored windows carry the features,
+        // peaks and probabilities, and `red_dots` is a deterministic
+        // function of them, so equality here proves the end-to-end
+        // output is unchanged through either path.
+        let (init, data) = trained(2, 48);
+        for sv in &data.videos {
+            let chat = &sv.video.chat;
+            let dur = sv.video.meta.duration;
+            let fast = init.score_windows(chat, dur);
+            let naive = init.score_windows_naive(chat, dur);
+            assert_eq!(fast, naive, "scored windows diverge");
+            assert!(!fast.is_empty());
+        }
+    }
+
+    #[test]
+    fn scoring_is_thread_count_independent() {
+        let (init, data) = trained(2, 49);
+        let sv = &data.videos[2];
+        let tc = TokenizedChat::build(&sv.video.chat);
+        let windows = sliding_windows_from_ts(
+            tc.timestamps(),
+            sv.video.meta.duration,
+            init.config().window_len,
+            init.config().stride_frac,
+        );
+        let base = tc.featurize_windows_chunked(&windows, init.config().peak_bin, 1);
+        for chunks in [2, 4, 7, 16] {
+            let alt = tc.featurize_windows_chunked(&windows, init.config().peak_bin, chunks);
+            assert_eq!(alt, base, "chunks = {chunks}");
+        }
+        // And the public scoring API (which picks its own chunking from
+        // the thread pool) agrees with the single-chunk pass.
+        let scored = init.score_corpus(&tc, sv.video.meta.duration);
+        let naive = init.score_windows_naive(&sv.video.chat, sv.video.meta.duration);
+        assert_eq!(scored, naive);
     }
 
     #[test]

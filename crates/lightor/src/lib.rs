@@ -29,6 +29,7 @@ pub mod adjust;
 pub mod aggregate;
 pub mod classify;
 pub mod config;
+pub mod corpus;
 pub mod extractor;
 pub mod features;
 pub mod filter;
@@ -41,10 +42,11 @@ pub use adjust::learn_adjustment;
 pub use aggregate::{aggregate_type1, aggregate_type2};
 pub use classify::{play_position_features, DotType, PlayPositionFeatures, TypeClassifier};
 pub use config::{ExtractorConfig, InitializerConfig};
+pub use corpus::{FeaturizedWindow, TokenizedChat};
 pub use extractor::{HighlightExtractor, IterationRecord, Refined};
 pub use features::{FeatureSet, WindowFeatures};
 pub use filter::filter_plays;
 pub use initializer::{window_peak, HighlightInitializer, ScoredWindow, TrainingVideo};
 pub use model::ModelBundle;
 pub use pipeline::{ExtractedHighlight, Lightor};
-pub use window::sliding_windows;
+pub use window::{sliding_windows, sliding_windows_from_ts};

@@ -48,10 +48,38 @@ mod tests {
             24.0,
         );
         let clf = TypeClassifier::train(&[
-            (PlayPositionFeatures { after: 9.0, before: 0.0, across: 1.0 }, DotType::TypeII),
-            (PlayPositionFeatures { after: 2.0, before: 4.0, across: 4.0 }, DotType::TypeI),
-            (PlayPositionFeatures { after: 8.0, before: 1.0, across: 1.0 }, DotType::TypeII),
-            (PlayPositionFeatures { after: 3.0, before: 5.0, across: 2.0 }, DotType::TypeI),
+            (
+                PlayPositionFeatures {
+                    after: 9.0,
+                    before: 0.0,
+                    across: 1.0,
+                },
+                DotType::TypeII,
+            ),
+            (
+                PlayPositionFeatures {
+                    after: 2.0,
+                    before: 4.0,
+                    across: 4.0,
+                },
+                DotType::TypeI,
+            ),
+            (
+                PlayPositionFeatures {
+                    after: 8.0,
+                    before: 1.0,
+                    across: 1.0,
+                },
+                DotType::TypeII,
+            ),
+            (
+                PlayPositionFeatures {
+                    after: 3.0,
+                    before: 5.0,
+                    across: 2.0,
+                },
+                DotType::TypeI,
+            ),
         ]);
         let extractor = HighlightExtractor::new(clf, ExtractorConfig::default());
         ModelBundle {
@@ -68,10 +96,7 @@ mod tests {
         let back = ModelBundle::from_json(&js).unwrap();
         assert_eq!(back.provenance, "unit-test");
         assert_eq!(back.initializer.adjustment(), 24.0);
-        assert_eq!(
-            back.extractor.config(),
-            &ExtractorConfig::default()
-        );
+        assert_eq!(back.extractor.config(), &ExtractorConfig::default());
     }
 
     #[test]

@@ -59,8 +59,7 @@ impl Lightor {
             .into_iter()
             .enumerate()
             .map(|(i, dot)| {
-                let refined: Refined =
-                    self.extractor.refine(dot, &mut |pos| collect(i, pos));
+                let refined: Refined = self.extractor.refine(dot, &mut |pos| collect(i, pos));
                 ExtractedHighlight {
                     initial: dot,
                     start: refined.start,
@@ -128,15 +127,10 @@ mod tests {
         let test = &data.videos[2];
         let mut campaign = Campaign::new(120, 78);
         let video_ref = &test.video;
-        let mut collect =
-            |_i: usize, pos: Sec| campaign.run_task(video_ref, pos, 10).plays;
+        let mut collect = |_i: usize, pos: Sec| campaign.run_task(video_ref, pos, 10).plays;
 
-        let out = system.extract_highlights(
-            &test.video.chat,
-            test.video.meta.duration,
-            5,
-            &mut collect,
-        );
+        let out =
+            system.extract_highlights(&test.video.chat, test.video.meta.duration, 5, &mut collect);
         assert_eq!(out.len(), 5);
         // Every result refined at least one round, and most found an end.
         assert!(out.iter().all(|h| h.iterations >= 1));

@@ -7,6 +7,7 @@
 //! windows on chat bursts instead of an arbitrary grid phase.
 
 use lightor_types::{ChatLog, Sec, TimeRange};
+use std::collections::BTreeMap;
 
 /// Generate the non-overlapping window set for a video.
 ///
@@ -15,6 +16,28 @@ use lightor_types::{ChatLog, Sec, TimeRange};
 /// full negative distribution at training time).
 pub fn sliding_windows(
     chat: &ChatLog,
+    video_len: Sec,
+    window_len: f64,
+    stride_frac: f64,
+) -> Vec<TimeRange> {
+    // One O(n) timestamp copy buys two-pointer candidate counting below;
+    // callers holding a `TokenizedChat` skip it via
+    // [`sliding_windows_from_ts`].
+    let ts: Vec<f64> = chat.messages().iter().map(|m| m.ts.0).collect();
+    sliding_windows_from_ts(&ts, video_len, window_len, stride_frac)
+}
+
+/// [`sliding_windows`] over a pre-extracted sorted timestamp slice
+/// (e.g. `TokenizedChat::timestamps()`).
+///
+/// Candidate message counts use two monotone pointers (O(1) amortized
+/// per candidate instead of a binary search each), and greedy overlap
+/// resolution maintains the kept set as a start-ordered interval map:
+/// a candidate can only overlap its predecessor or successor there, so
+/// each acceptance check is O(log kept) instead of O(kept) — long
+/// videos stay near O(n log n) overall.
+pub fn sliding_windows_from_ts(
+    ts: &[f64],
     video_len: Sec,
     window_len: f64,
     stride_frac: f64,
@@ -30,13 +53,25 @@ pub fn sliding_windows(
     }
     let stride = window_len * stride_frac;
 
-    // Candidate windows with counts.
+    // Candidate windows with counts. Successive candidates move both
+    // endpoints forward, so two monotone pointers replace per-candidate
+    // binary searches: `lo` = first message with ts >= start, `hi` =
+    // first with ts > end (inclusive-end slice semantics).
     let mut candidates: Vec<(TimeRange, usize)> = Vec::new();
+    let (mut lo, mut hi) = (0usize, 0usize);
     let mut t = 0.0;
     while t < len {
         let range = TimeRange::from_secs(t, (t + window_len).min(len));
-        let count = chat.count_in(range);
-        candidates.push((range, count));
+        while lo < ts.len() && ts[lo] < range.start.0 {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < ts.len() && ts[hi] <= range.end.0 {
+            hi += 1;
+        }
+        candidates.push((range, hi - lo));
         t += stride;
     }
 
@@ -50,20 +85,29 @@ pub fn sliding_windows(
             .then(candidates[a].0.start.total_cmp(&candidates[b].0.start))
     });
 
-    let mut kept: Vec<TimeRange> = Vec::new();
+    // Kept windows are pairwise disjoint, so ordering them by start in a
+    // BTreeMap (start-bits key: starts are non-negative finite, where
+    // IEEE bit order equals numeric order) means a candidate can only
+    // overlap the nearest kept window on each side. Touching endpoints
+    // (shared boundary instant) are not a real overlap, hence the strict
+    // comparisons.
+    let mut kept: BTreeMap<u64, TimeRange> = BTreeMap::new();
     for i in order {
         let (range, _) = candidates[i];
-        // Touching endpoints (shared boundary instant) are not a real
-        // overlap for window purposes.
-        if kept
-            .iter()
-            .all(|k| k.overlap_len(&range).0 == 0.0)
-        {
-            kept.push(range);
+        let key = range.start.0.to_bits();
+        let pred_overlaps = kept
+            .range(..=key)
+            .next_back()
+            .is_some_and(|(_, k)| k.end.0 > range.start.0);
+        let succ_overlaps = kept
+            .range(key..)
+            .next()
+            .is_some_and(|(_, k)| k.start.0 < range.end.0);
+        if !pred_overlaps && !succ_overlaps {
+            kept.insert(key, range);
         }
     }
-    kept.sort_by(|a, b| a.start.total_cmp(&b.start));
-    kept
+    kept.into_values().collect()
 }
 
 #[cfg(test)]
@@ -102,10 +146,7 @@ mod tests {
         // it must survive overlap resolution over [12.5, 37.5] etc.
         let chat = chat_at(&[30.0, 31.0, 32.0, 33.0, 34.0]);
         let wins = sliding_windows(&chat, Sec(100.0), 25.0, 0.5);
-        let best = wins
-            .iter()
-            .max_by_key(|w| chat.count_in(**w))
-            .unwrap();
+        let best = wins.iter().max_by_key(|w| chat.count_in(**w)).unwrap();
         assert_eq!(chat.count_in(*best), 5, "burst split across windows");
     }
 

@@ -71,36 +71,136 @@ pub fn mean_loo_similarity(vectors: &[BowVector], dim: usize) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    // Total token counts over all vectors.
-    let mut total = vec![0.0f64; dim];
+    // Total token counts over all vectors. All aggregates are kept as
+    // integers so the result is independent of summation order — this is
+    // what lets the incremental [`LooWindow`] reproduce this function
+    // bit-for-bit while iterating tokens in a different order.
+    let mut total = vec![0u32; dim];
     for v in vectors {
         for &i in v.indices() {
             if let Some(t) = total.get_mut(i as usize) {
-                *t += 1.0;
+                *t += 1;
             }
         }
     }
-    let m = (n - 1) as f64;
-    let total_sq: f64 = total.iter().map(|t| t * t).sum();
+    let total_sq: u64 = total.iter().map(|&t| u64::from(t) * u64::from(t)).sum();
     let mut acc = 0.0;
     for v in vectors {
-        // center_i[w] = (total[w] - x_i[w]) / (n - 1)
-        let mut dot = 0.0;
-        // |total - x_i|^2 = |total|^2 - 2 * <total, x_i> + |x_i|^2
-        let mut total_dot_x = 0.0;
-        for &i in v.indices() {
-            let t = total[i as usize];
-            dot += (t - 1.0) / m;
-            total_dot_x += t;
-        }
-        let nnz = v.indices().len() as f64;
-        let center_norm_sq = (total_sq - 2.0 * total_dot_x + nnz) / (m * m);
-        let denom = nnz.sqrt() * center_norm_sq.max(0.0).sqrt();
-        if denom > 0.0 {
-            acc += dot / denom;
-        }
+        acc += loo_term(&total, total_sq, n, v);
     }
     acc / n as f64
+}
+
+/// One message's leave-one-out cosine similarity against the center of
+/// the other `n - 1` messages, given the window's total token counts.
+///
+/// `center_i[w] = (total[w] - x_i[w]) / (n - 1)`, and
+/// `|total - x_i|^2 = |total|^2 - 2 * <total, x_i> + |x_i|^2` (binary
+/// `x_i`). Every aggregate is an exact integer; floats appear only in
+/// the final division and square roots, so any code path that feeds the
+/// same `total`/`total_sq` produces the identical `f64`.
+fn loo_term(total: &[u32], total_sq: u64, n: usize, v: &BowVector) -> f64 {
+    let m = (n - 1) as f64;
+    let mut dot_num: u64 = 0; // Σ (total[w] - 1) over v's tokens
+    let mut total_dot_x: u64 = 0; // Σ total[w] over v's tokens
+    for &i in v.indices() {
+        let t = u64::from(total.get(i as usize).copied().unwrap_or(0));
+        dot_num += t.saturating_sub(1);
+        total_dot_x += t;
+    }
+    let nnz = v.indices().len() as u64;
+    // total_sq + nnz >= 2 * total_dot_x because it equals |total - x_i|^2
+    // plus non-negative cross terms; the subtraction cannot underflow.
+    let center_norm_num = (total_sq + nnz) - 2 * total_dot_x;
+    let center_norm_sq = center_norm_num as f64 / (m * m);
+    let denom = (nnz as f64).sqrt() * center_norm_sq.sqrt();
+    if denom > 0.0 {
+        (dot_num as f64 / m) / denom
+    } else {
+        0.0
+    }
+}
+
+/// Incrementally-maintained leave-one-out similarity state for a sliding
+/// window over a fixed corpus vocabulary.
+///
+/// Keeps the per-token membership counts and `Σ counts²` up to date as
+/// messages enter and leave the window, so evaluating a window costs
+/// O(Σ nnz of its messages) with **zero** allocations — no per-window
+/// dense center vector, no re-tokenization. [`LooWindow::mean_loo`]
+/// reproduces [`mean_loo_similarity`] bit-for-bit (see the integer
+/// accumulation note there).
+#[derive(Clone, Debug)]
+pub struct LooWindow {
+    counts: Vec<u32>,
+    total_sq: u64,
+    n: usize,
+}
+
+impl LooWindow {
+    /// Empty window state over a vocabulary of `dim` tokens.
+    pub fn new(dim: usize) -> Self {
+        LooWindow {
+            counts: vec![0; dim],
+            total_sq: 0,
+            n: 0,
+        }
+    }
+
+    /// Number of vectors currently in the window.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no vectors are in the window.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add one message's vector to the window.
+    pub fn add(&mut self, v: &BowVector) {
+        for &i in v.indices() {
+            if let Some(c) = self.counts.get_mut(i as usize) {
+                // (c+1)² - c² = 2c + 1
+                self.total_sq += 2 * u64::from(*c) + 1;
+                *c += 1;
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Remove one message's vector from the window (it must have been
+    /// added earlier).
+    pub fn remove(&mut self, v: &BowVector) {
+        for &i in v.indices() {
+            if let Some(c) = self.counts.get_mut(i as usize) {
+                // A hard assert: a zero count here means the caller is
+                // removing a vector that was never added, and wrapping
+                // total_sq would silently poison every later mean_loo.
+                assert!(*c > 0, "removing a vector that was never added");
+                // c² - (c-1)² = 2c - 1
+                self.total_sq -= 2 * u64::from(*c) - 1;
+                *c -= 1;
+            }
+        }
+        self.n -= 1;
+    }
+
+    /// Mean leave-one-out similarity of the window's current members.
+    ///
+    /// `members` must yield exactly the vectors previously added (in
+    /// window order, to match the accumulation order of the batch
+    /// function). Returns 0 with fewer than two members.
+    pub fn mean_loo<'a>(&self, members: impl Iterator<Item = &'a BowVector>) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for v in members {
+            acc += loo_term(&self.counts, self.total_sq, self.n, v);
+        }
+        acc / self.n as f64
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +267,10 @@ mod tests {
         // Pairwise disjoint messages: zero agreement, no 1/sqrt(n) floor.
         let (vecs2, dim2) = encode_all(&["a b", "c d", "e f"]);
         assert!(mean_loo_similarity(&vecs2, dim2).abs() < 1e-9);
-        assert!(mean_similarity_to_center(&vecs2, dim2) > 0.3, "plain center has the floor");
+        assert!(
+            mean_similarity_to_center(&vecs2, dim2) > 0.3,
+            "plain center has the floor"
+        );
         // Degenerate sizes.
         assert_eq!(mean_loo_similarity(&[], 4), 0.0);
         let (single, dim3) = encode_all(&["solo msg"]);

@@ -25,7 +25,7 @@ pub mod scale;
 pub mod split;
 pub mod text;
 
-pub use kmeans::{cosine_similarity, mean_loo_similarity, one_cluster_kmeans};
+pub use kmeans::{cosine_similarity, mean_loo_similarity, one_cluster_kmeans, LooWindow};
 pub use logreg::{LogisticRegression, TrainConfig};
 pub use metrics::{accuracy, confusion, f1_score, precision, recall, Confusion};
 pub use scale::MinMaxScaler;

@@ -65,7 +65,10 @@ impl LogisticRegression {
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         assert!(!rows.is_empty(), "cannot fit on empty data");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row width");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "inconsistent row width"
+        );
         let n_pos = labels.iter().filter(|&&l| l).count();
         let n_neg = labels.len() - n_pos;
         assert!(n_pos > 0 && n_neg > 0, "need both classes to fit");
@@ -86,12 +89,7 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0; dim];
             let mut grad_b = 0.0;
             for (row, &label) in rows.iter().zip(labels) {
-                let z = bias
-                    + row
-                        .iter()
-                        .zip(&weights)
-                        .map(|(x, w)| x * w)
-                        .sum::<f64>();
+                let z = bias + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>();
                 let p = sigmoid(z);
                 let y = if label { 1.0 } else { 0.0 };
                 let sample_w = if label { w_pos } else { w_neg };

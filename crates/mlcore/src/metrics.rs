@@ -109,7 +109,15 @@ mod tests {
         let pred = [true, true, false, false, true];
         let act = [true, false, true, false, true];
         let c = confusion(&pred, &act);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert_eq!(c.total(), 5);
         assert!((c.accuracy() - 0.6).abs() < 1e-12);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);

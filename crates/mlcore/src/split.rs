@@ -59,10 +59,7 @@ mod tests {
     #[test]
     fn split_is_deterministic() {
         assert_eq!(train_test_split(20, 5, 42), train_test_split(20, 5, 42));
-        assert_ne!(
-            train_test_split(20, 5, 42).0,
-            train_test_split(20, 5, 43).0
-        );
+        assert_ne!(train_test_split(20, 5, 42).0, train_test_split(20, 5, 43).0);
     }
 
     #[test]

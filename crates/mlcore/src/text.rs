@@ -16,16 +16,26 @@ pub struct Tokenizer;
 impl Tokenizer {
     /// Split `text` into normalized tokens.
     pub fn tokenize(self, text: &str) -> Vec<String> {
-        text.split_whitespace()
-            .filter_map(|raw| {
-                let tok: String = raw
-                    .chars()
-                    .filter(|c| c.is_alphanumeric())
-                    .flat_map(|c| c.to_lowercase())
-                    .collect();
-                (!tok.is_empty()).then_some(tok)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_token(text, |tok| out.push(tok.to_owned()));
+        out
+    }
+
+    /// Visit each normalized token without allocating per token: a
+    /// single scratch buffer is reused across the whole text. This is
+    /// the hot-path entry used by [`Vocab`] so corpus construction
+    /// tokenizes each message exactly once with no `Vec<String>`.
+    pub fn for_each_token(self, text: &str, mut f: impl FnMut(&str)) {
+        let mut buf = String::new();
+        for raw in text.split_whitespace() {
+            buf.clear();
+            for c in raw.chars().filter(|c| c.is_alphanumeric()) {
+                buf.extend(c.to_lowercase());
+            }
+            if !buf.is_empty() {
+                f(&buf);
+            }
+        }
     }
 }
 
@@ -46,9 +56,9 @@ impl Vocab {
         let mut v = Vocab::new();
         let tk = Tokenizer;
         for text in texts {
-            for tok in tk.tokenize(text) {
-                v.intern(&tok);
-            }
+            tk.for_each_token(text, |tok| {
+                v.intern(tok);
+            });
         }
         v
     }
@@ -77,12 +87,24 @@ impl Vocab {
     /// Encode a text into a binary bag-of-words vector over this
     /// vocabulary (unknown tokens are ignored).
     pub fn encode(&self, text: &str) -> BowVector {
-        let tk = Tokenizer;
-        let mut idx: Vec<u32> = tk
-            .tokenize(text)
-            .iter()
-            .filter_map(|t| self.get(t))
-            .collect();
+        let mut idx: Vec<u32> = Vec::new();
+        Tokenizer.for_each_token(text, |t| {
+            if let Some(i) = self.get(t) {
+                idx.push(i);
+            }
+        });
+        idx.sort_unstable();
+        idx.dedup();
+        BowVector { indices: idx }
+    }
+
+    /// Intern every token of `text` and encode it in the same pass —
+    /// the tokenize-once entry point for corpus construction. Unlike
+    /// [`Vocab::encode`], unknown tokens extend the vocabulary instead
+    /// of being dropped.
+    pub fn intern_text(&mut self, text: &str) -> BowVector {
+        let mut idx: Vec<u32> = Vec::new();
+        Tokenizer.for_each_token(text, |t| idx.push(self.intern(t)));
         idx.sort_unstable();
         idx.dedup();
         BowVector { indices: idx }

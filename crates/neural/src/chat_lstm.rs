@@ -135,7 +135,7 @@ impl ChatLstm {
         let mut rng = root.child("init").rng();
 
         let mut dims = vec![cfg.emb_dim];
-        dims.extend(std::iter::repeat(cfg.hidden).take(cfg.layers.max(1)));
+        dims.extend(std::iter::repeat_n(cfg.hidden, cfg.layers.max(1)));
         let mut model = ChatLstm {
             emb: Matrix::xavier(CHAR_VOCAB, cfg.emb_dim, &mut rng),
             stack: LstmStack::new(&dims, &mut rng),
@@ -275,7 +275,11 @@ impl ChatLstm {
     pub fn loss_on(&self, video: &LabeledChatVideo<'_>, frames: &[f64]) -> f64 {
         let mut total = 0.0;
         for &t in frames {
-            let y = if frame_is_highlight(video.highlights, t) { 1.0 } else { 0.0 };
+            let y = if frame_is_highlight(video.highlights, t) {
+                1.0
+            } else {
+                0.0
+            };
             let p = self.score_frame(video.chat, Sec(t)) as f32;
             total += bce(p, y) as f64;
         }
@@ -341,7 +345,11 @@ mod tests {
             // Dense short hype during the highlight.
             let mut t = s;
             while t < s + 20.0 {
-                msgs.push(ChatMessage::new(t, UserId(t as u64 + seed_off), "gg wow kill"));
+                msgs.push(ChatMessage::new(
+                    t,
+                    UserId(t as u64 + seed_off),
+                    "gg wow kill",
+                ));
                 t += 1.0;
             }
         }
@@ -419,11 +427,7 @@ mod tests {
         // this toy, so the LSTM can hit them).
         let hits = dots
             .iter()
-            .filter(|d| {
-                highlights
-                    .iter()
-                    .any(|h| h.accepts_dot(**d, Sec(10.0)))
-            })
+            .filter(|d| highlights.iter().any(|h| h.accepts_dot(**d, Sec(10.0))))
             .count();
         assert!(hits >= 2, "{hits}/3 hits");
     }
@@ -448,7 +452,10 @@ mod tests {
             duration,
             highlights: &highlights,
         };
-        let cfg = ChatLstmConfig { epochs: 1, ..tiny() };
+        let cfg = ChatLstmConfig {
+            epochs: 1,
+            ..tiny()
+        };
         let (a, _) = ChatLstm::train(&[video], cfg, 14);
         let (b, _) = ChatLstm::train(&[video], cfg, 14);
         assert_eq!(

@@ -126,7 +126,7 @@ impl JointLstm {
         let mut rng = root.child("init").rng();
 
         let mut dims = vec![JOINT_DIM];
-        dims.extend(std::iter::repeat(cfg.hidden).take(cfg.layers.max(1)));
+        dims.extend(std::iter::repeat_n(cfg.hidden, cfg.layers.max(1)));
         let mut model = JointLstm {
             stack: LstmStack::new(&dims, &mut rng),
             head: BinaryHead::new(cfg.hidden, &mut rng),
@@ -360,8 +360,7 @@ mod tests {
         };
 
         let margin_lol = model.score_frame(&jv_lol, 160.0) - model.score_frame(&jv_lol, 300.0);
-        let margin_dota =
-            model.score_frame(&jv_dota, 160.0) - model.score_frame(&jv_dota, 300.0);
+        let margin_dota = model.score_frame(&jv_dota, 160.0) - model.score_frame(&jv_dota, 300.0);
         assert!(
             margin_dota < margin_lol,
             "transfer margin {margin_dota} should shrink vs in-game {margin_lol}"

@@ -457,8 +457,7 @@ mod tests {
                 let (hs, caches) = stack.forward(&xs);
                 let p = head.forward(hs.last().unwrap());
                 let mut gw_head = vec![0.0f32; 6];
-                let (gb_head, dh_last) =
-                    head.backward(hs.last().unwrap(), p, y, &mut gw_head);
+                let (gb_head, dh_last) = head.backward(hs.last().unwrap(), p, y, &mut gw_head);
                 let mut dh = vec![vec![0.0f32; 6]; xs.len()];
                 *dh.last_mut().unwrap() = dh_last;
                 let mut grads = stack.zero_grads();

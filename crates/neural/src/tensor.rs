@@ -84,13 +84,13 @@ impl Matrix {
     pub fn matvec_acc(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec input dim");
         assert_eq!(y.len(), self.rows, "matvec output dim");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 
@@ -99,9 +99,8 @@ impl Matrix {
     pub fn t_matvec_acc(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "t_matvec input dim");
         assert_eq!(y.len(), self.cols, "t_matvec output dim");
-        for r in 0..self.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let row = self.row(r);
-            let xr = x[r];
             for (yc, a) in y.iter_mut().zip(row) {
                 *yc += a * xr;
             }
@@ -112,8 +111,8 @@ impl Matrix {
     pub fn outer_acc(&mut self, a: &[f32], b: &[f32], alpha: f32) {
         assert_eq!(a.len(), self.rows, "outer rows");
         assert_eq!(b.len(), self.cols, "outer cols");
-        for r in 0..self.rows {
-            let ar = a[r] * alpha;
+        for (r, &av) in a.iter().enumerate() {
+            let ar = av * alpha;
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (w, bc) in row.iter_mut().zip(b) {
                 *w += ar * bc;

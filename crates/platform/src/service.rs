@@ -14,8 +14,7 @@
 use crate::crawler::Crawler;
 use crate::store::{ChatStore, KvStore};
 use lightor::{
-    aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType,
-    ModelBundle,
+    aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, ModelBundle,
 };
 use lightor_chatsim::SimPlatform;
 use lightor_types::{Play, RedDot, Sec, Session, VideoId};
@@ -137,10 +136,7 @@ impl LightorService {
         if !crawler.crawl_video(video, &mut inner.chat_store)? {
             return Ok(None);
         }
-        let chat = inner
-            .chat_store
-            .get_chat(video)?
-            .expect("just crawled");
+        let chat = inner.chat_store.get_chat(video)?.expect("just crawled");
         let duration = self
             .platform
             .video_meta(video)
@@ -178,14 +174,11 @@ impl LightorService {
         };
         let delta = self.models.extractor.config().neighborhood;
         for play in session.plays() {
-            let nearest = state
-                .dots
-                .iter_mut()
-                .min_by(|a, b| {
-                    play.range
-                        .distance_to(a.current)
-                        .total_cmp(&play.range.distance_to(b.current))
-                });
+            let nearest = state.dots.iter_mut().min_by(|a, b| {
+                play.range
+                    .distance_to(a.current)
+                    .total_cmp(&play.range.distance_to(b.current))
+            });
             if let Some(dot) = nearest {
                 if play.range.distance_to(dot.current).0 <= delta {
                     dot.pending.push(play);
@@ -271,8 +264,8 @@ impl LightorService {
 mod tests {
     use super::*;
     use lightor::{
-        ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer,
-        InitializerConfig, PlayPositionFeatures, TrainingVideo, TypeClassifier,
+        ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer, InitializerConfig,
+        PlayPositionFeatures, TrainingVideo, TypeClassifier,
     };
     use lightor_chatsim::dota2_dataset;
     use lightor_crowdsim::Campaign;
@@ -318,18 +311,24 @@ mod tests {
         for i in 0..30 {
             let j = (i % 7) as f64;
             examples.push((
-                PlayPositionFeatures { after: 5.0 + j, before: 0.0, across: 1.0 + j / 2.0 },
+                PlayPositionFeatures {
+                    after: 5.0 + j,
+                    before: 0.0,
+                    across: 1.0 + j / 2.0,
+                },
                 DotType::TypeII,
             ));
             examples.push((
-                PlayPositionFeatures { after: 1.0, before: 3.0 + j, across: 2.0 },
+                PlayPositionFeatures {
+                    after: 1.0,
+                    before: 3.0 + j,
+                    across: 2.0,
+                },
                 DotType::TypeI,
             ));
         }
-        let extractor = HighlightExtractor::new(
-            TypeClassifier::train(&examples),
-            ExtractorConfig::default(),
-        );
+        let extractor =
+            HighlightExtractor::new(TypeClassifier::train(&examples), ExtractorConfig::default());
         ModelBundle {
             initializer,
             extractor,
@@ -419,17 +418,16 @@ mod tests {
             .flat_map(|_| campaign.run_task(&truth.video, dots[0].at, 16).sessions)
             .collect();
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in sessions.chunks(16) {
                 let svc = &svc;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for s in chunk {
                         svc.log_session(vid, s);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
 
         // All buffered plays are attributable to dots; refinement runs.
         let updated = svc.refine_video(vid).unwrap();

@@ -160,7 +160,10 @@ mod tests {
         let store = ChatStore::open(&dir.0).unwrap();
         assert_eq!(store.video_count(), 2);
         assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
-        assert_eq!(store.get_chat(VideoId(2)).unwrap().unwrap(), ChatLog::empty());
+        assert_eq!(
+            store.get_chat(VideoId(2)).unwrap().unwrap(),
+            ChatLog::empty()
+        );
     }
 
     #[test]

@@ -116,8 +116,21 @@ mod tests {
     fn put_get_remove() {
         let f = TempFile::new("pgr");
         let mut kv = KvStore::open(&f.0).unwrap();
-        kv.put("dot:1", &Dot { at: 100.0, score: 0.9 }).unwrap();
-        assert_eq!(kv.get::<Dot>("dot:1"), Some(Dot { at: 100.0, score: 0.9 }));
+        kv.put(
+            "dot:1",
+            &Dot {
+                at: 100.0,
+                score: 0.9,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            kv.get::<Dot>("dot:1"),
+            Some(Dot {
+                at: 100.0,
+                score: 0.9
+            })
+        );
         assert_eq!(kv.get::<Dot>("dot:2"), None);
         assert!(kv.remove("dot:1").unwrap());
         assert!(!kv.remove("dot:1").unwrap());

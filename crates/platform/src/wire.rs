@@ -147,9 +147,17 @@ mod tests {
 
     #[test]
     fn seek_direction_is_inferred() {
-        let fwd: Interaction = EventDto::Seek { from: 10.0, to: 50.0 }.into();
+        let fwd: Interaction = EventDto::Seek {
+            from: 10.0,
+            to: 50.0,
+        }
+        .into();
         assert!(matches!(fwd, Interaction::SeekForward { .. }));
-        let back: Interaction = EventDto::Seek { from: 50.0, to: 10.0 }.into();
+        let back: Interaction = EventDto::Seek {
+            from: 50.0,
+            to: 10.0,
+        }
+        .into();
         assert!(matches!(back, Interaction::SeekBackward { .. }));
     }
 
@@ -160,7 +168,10 @@ mod tests {
             client: 99,
             events: vec![
                 EventDto::Play { at: 100.0 },
-                EventDto::Seek { from: 110.0, to: 90.0 },
+                EventDto::Seek {
+                    from: 110.0,
+                    to: 90.0,
+                },
                 EventDto::Pause { at: 120.0 },
             ],
         };

@@ -83,8 +83,16 @@ mod tests {
     fn same_path_same_stream() {
         let a = SeedTree::new(42).child("chat").index(3);
         let b = SeedTree::new(42).child("chat").index(3);
-        let xs: Vec<u32> = a.rng().sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u32> = b.rng().sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u32> = a
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u32> = b
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
@@ -115,8 +123,7 @@ mod tests {
         seeds.dedup();
         assert_eq!(seeds.len(), 64);
         // Top bytes should vary, not just low bits.
-        let top: std::collections::HashSet<u8> =
-            seeds.iter().map(|s| (s >> 56) as u8).collect();
+        let top: std::collections::HashSet<u8> = seeds.iter().map(|s| (s >> 56) as u8).collect();
         assert!(top.len() > 16, "top bytes too clustered: {}", top.len());
     }
 }

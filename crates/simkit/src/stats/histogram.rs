@@ -117,7 +117,9 @@ impl Histogram {
         self.counts.iter().map(|c| c / norm).collect()
     }
 
-    /// Index of the highest bin (first on ties); `None` if all zero.
+    /// Index of the highest bin; `None` if all zero. Ties resolve to the
+    /// **last** tied bin (`Iterator::max_by` keeps the latest maximum) —
+    /// relied upon by the incremental peak pass in `lightor::corpus`.
     pub fn peak_bin(&self) -> Option<usize> {
         let (idx, &val) = self
             .counts

@@ -62,7 +62,9 @@ impl ChatLog {
 
     /// An empty log.
     pub fn empty() -> Self {
-        ChatLog { messages: Vec::new() }
+        ChatLog {
+            messages: Vec::new(),
+        }
     }
 
     /// Append one message, keeping the log sorted.
@@ -90,12 +92,8 @@ impl ChatLog {
 
     /// Messages with `range.start <= ts <= range.end`.
     pub fn slice(&self, range: TimeRange) -> &[ChatMessage] {
-        let lo = self
-            .messages
-            .partition_point(|m| m.ts.0 < range.start.0);
-        let hi = self
-            .messages
-            .partition_point(|m| m.ts.0 <= range.end.0);
+        let lo = self.messages.partition_point(|m| m.ts.0 < range.start.0);
+        let hi = self.messages.partition_point(|m| m.ts.0 <= range.end.0);
         &self.messages[lo..hi]
     }
 

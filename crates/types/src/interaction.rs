@@ -198,8 +198,12 @@ mod tests {
     #[test]
     fn simple_play_pause() {
         let s = session(vec![
-            Interaction::Play { video_ts: Sec(100.0) },
-            Interaction::Pause { video_ts: Sec(120.0) },
+            Interaction::Play {
+                video_ts: Sec(100.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(120.0),
+            },
         ]);
         let plays = s.plays();
         assert_eq!(plays.len(), 1);
@@ -210,9 +214,16 @@ mod tests {
     #[test]
     fn seek_splits_plays() {
         let s = session(vec![
-            Interaction::Play { video_ts: Sec(100.0) },
-            Interaction::SeekForward { from: Sec(110.0), to: Sec(200.0) },
-            Interaction::Leave { video_ts: Sec(230.0) },
+            Interaction::Play {
+                video_ts: Sec(100.0),
+            },
+            Interaction::SeekForward {
+                from: Sec(110.0),
+                to: Sec(200.0),
+            },
+            Interaction::Leave {
+                video_ts: Sec(230.0),
+            },
         ]);
         let plays = s.plays();
         assert_eq!(plays.len(), 2);
@@ -223,9 +234,16 @@ mod tests {
     #[test]
     fn seek_backward_splits_plays() {
         let s = session(vec![
-            Interaction::Play { video_ts: Sec(100.0) },
-            Interaction::SeekBackward { from: Sec(130.0), to: Sec(90.0) },
-            Interaction::Pause { video_ts: Sec(125.0) },
+            Interaction::Play {
+                video_ts: Sec(100.0),
+            },
+            Interaction::SeekBackward {
+                from: Sec(130.0),
+                to: Sec(90.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(125.0),
+            },
         ]);
         let plays = s.plays();
         assert_eq!(plays.len(), 2);
@@ -235,15 +253,21 @@ mod tests {
 
     #[test]
     fn unterminated_play_is_dropped() {
-        let s = session(vec![Interaction::Play { video_ts: Sec(50.0) }]);
+        let s = session(vec![Interaction::Play {
+            video_ts: Sec(50.0),
+        }]);
         assert!(s.plays().is_empty());
     }
 
     #[test]
     fn zero_length_play_is_dropped() {
         let s = session(vec![
-            Interaction::Play { video_ts: Sec(50.0) },
-            Interaction::Pause { video_ts: Sec(50.0) },
+            Interaction::Play {
+                video_ts: Sec(50.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(50.0),
+            },
         ]);
         assert!(s.plays().is_empty());
     }
@@ -251,9 +275,15 @@ mod tests {
     #[test]
     fn pause_without_play_is_ignored() {
         let s = session(vec![
-            Interaction::Pause { video_ts: Sec(10.0) },
-            Interaction::Play { video_ts: Sec(20.0) },
-            Interaction::Pause { video_ts: Sec(30.0) },
+            Interaction::Pause {
+                video_ts: Sec(10.0),
+            },
+            Interaction::Play {
+                video_ts: Sec(20.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(30.0),
+            },
         ]);
         let plays = s.plays();
         assert_eq!(plays.len(), 1);
@@ -263,9 +293,16 @@ mod tests {
     #[test]
     fn seek_while_paused_does_not_create_play() {
         let s = session(vec![
-            Interaction::SeekForward { from: Sec(0.0), to: Sec(100.0) },
-            Interaction::Play { video_ts: Sec(100.0) },
-            Interaction::Pause { video_ts: Sec(110.0) },
+            Interaction::SeekForward {
+                from: Sec(0.0),
+                to: Sec(100.0),
+            },
+            Interaction::Play {
+                video_ts: Sec(100.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(110.0),
+            },
         ]);
         let plays = s.plays();
         assert_eq!(plays.len(), 1);
@@ -274,11 +311,17 @@ mod tests {
 
     #[test]
     fn position_after() {
-        assert_eq!(Interaction::Play { video_ts: Sec(5.0) }.position_after().0, 5.0);
         assert_eq!(
-            Interaction::SeekForward { from: Sec(1.0), to: Sec(9.0) }
-                .position_after()
-                .0,
+            Interaction::Play { video_ts: Sec(5.0) }.position_after().0,
+            5.0
+        );
+        assert_eq!(
+            Interaction::SeekForward {
+                from: Sec(1.0),
+                to: Sec(9.0)
+            }
+            .position_after()
+            .0,
             9.0
         );
     }

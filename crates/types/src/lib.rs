@@ -22,6 +22,4 @@ mod video;
 pub use chat::{ChatLog, ChatMessage, UserId};
 pub use interaction::{Interaction, Play, PlaySet, Session};
 pub use time::{Sec, TimeRange};
-pub use video::{
-    ChannelId, GameKind, Highlight, LabeledVideo, RedDot, VideoId, VideoMeta,
-};
+pub use video::{ChannelId, GameKind, Highlight, LabeledVideo, RedDot, VideoId, VideoMeta};

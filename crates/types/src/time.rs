@@ -168,7 +168,10 @@ impl TimeRange {
         if start.total_cmp(&end).is_le() {
             TimeRange { start, end }
         } else {
-            TimeRange { start: end, end: start }
+            TimeRange {
+                start: end,
+                end: start,
+            }
         }
     }
 
@@ -218,7 +221,7 @@ impl TimeRange {
     pub fn intersect(&self, other: &TimeRange) -> Option<TimeRange> {
         let lo = self.start.max(other.start);
         let hi = self.end.min(other.end);
-        (lo.0 <= hi.0).then(|| TimeRange { start: lo, end: hi })
+        (lo.0 <= hi.0).then_some(TimeRange { start: lo, end: hi })
     }
 
     /// Translate both endpoints by `delta` (negative moves earlier).

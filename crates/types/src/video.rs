@@ -121,7 +121,10 @@ pub struct RedDot {
 impl RedDot {
     /// Construct a dot at `at` with prediction confidence `score`.
     pub fn new(at: impl Into<Sec>, score: f64) -> Self {
-        RedDot { at: at.into(), score }
+        RedDot {
+            at: at.into(),
+            score,
+        }
     }
 }
 

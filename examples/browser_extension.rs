@@ -71,7 +71,10 @@ fn main() -> std::io::Result<()> {
             }
         }
         let refined = svc.refine_video(vid)?;
-        println!("round {}: {uploads} session uploads, {refined} dots refined", round + 1);
+        println!(
+            "round {}: {uploads} session uploads, {refined} dots refined",
+            round + 1
+        );
     }
 
     // Final state, as the next page load would see it.
@@ -83,7 +86,9 @@ fn main() -> std::io::Result<()> {
             i + 1,
             d.initial.at.0,
             d.current.0,
-            d.end.map(|e| format!("{:.1}", e.0)).unwrap_or_else(|| "-".into()),
+            d.end
+                .map(|e| format!("{:.1}", e.0))
+                .unwrap_or_else(|| "-".into()),
             d.rounds,
             d.converged
         );

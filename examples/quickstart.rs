@@ -6,8 +6,8 @@
 //! ```
 
 use lightor::{
-    ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer,
-    InitializerConfig, Lightor, TrainingVideo,
+    ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer, InitializerConfig,
+    Lightor, TrainingVideo,
 };
 use lightor_chatsim::dota2_dataset;
 use lightor_crowdsim::Campaign;
@@ -38,13 +38,15 @@ fn main() {
         FeatureSet::Full,
         InitializerConfig::default(),
     );
-    println!("learned reaction-delay constant c = {:.0} s", initializer.adjustment());
+    println!(
+        "learned reaction-delay constant c = {:.0} s",
+        initializer.adjustment()
+    );
 
     // 3. Train the Type I/II classifier from crowd interactions on the
     //    training video (one AMT-style campaign).
     let mut campaign = Campaign::new(492, 43);
-    let (classifier, acc) =
-        train_type_classifier(&[train], &mut campaign, 4, 44);
+    let (classifier, acc) = train_type_classifier(&[train], &mut campaign, 4, 44);
     println!("type classifier hold-out accuracy = {acc:.2} (paper: ~0.80)");
 
     // 4. Wire the system and run the full workflow on the unseen video.
@@ -54,14 +56,17 @@ fn main() {
     );
     let video = &target.video;
     let mut collect = |_dot_idx: usize, pos: Sec| campaign.run_task(video, pos, 10).plays;
-    let highlights =
-        system.extract_highlights(&video.chat, video.meta.duration, 5, &mut collect);
+    let highlights = system.extract_highlights(&video.chat, video.meta.duration, 5, &mut collect);
 
     // 5. Report, with ground truth for reference (a real deployment has
     //    none, of course).
     println!("\nextracted top-5 highlights of {}:", video.meta.id);
     for (i, h) in highlights.iter().enumerate() {
-        let verdict = if video.is_good_dot(h.start, Sec(10.0)) { "hit " } else { "miss" };
+        let verdict = if video.is_good_dot(h.start, Sec(10.0)) {
+            "hit "
+        } else {
+            "miss"
+        };
         match h.end {
             Some(e) => println!(
                 "  #{} [{:7.1} .. {:7.1}]  ({} crowd rounds, {verdict})",

@@ -17,7 +17,11 @@ fn main() {
     let lol = lol_dataset(8, 91);
     let train: Vec<_> = lol.videos[..4].iter().collect();
     let init = train_initializer(&train, FeatureSet::Full);
-    println!("trained on {} LoL videos (c = {:.0} s)", train.len(), init.adjustment());
+    println!(
+        "trained on {} LoL videos (c = {:.0} s)",
+        train.len(),
+        init.adjustment()
+    );
 
     // ...and evaluate on both games without retraining anything.
     for (label, videos) in [
@@ -31,7 +35,10 @@ fn main() {
             per_video.push(video_precision_start(&starts, sv));
         }
         let mean = per_video.iter().sum::<f64>() / per_video.len() as f64;
-        println!("  {label}: P@5(start) = {mean:.3} over {} videos", per_video.len());
+        println!(
+            "  {label}: P@5(start) = {mean:.3} over {} videos",
+            per_video.len()
+        );
     }
 
     println!(

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full LIGHTOR workflow against the
 //! simulators, asserting the paper's headline behaviours end to end.
 
-use lightor::{
-    ExtractorConfig, FeatureSet, HighlightExtractor, Lightor, ModelBundle,
-};
+use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, Lightor, ModelBundle};
 use lightor_chatsim::{dota2_dataset, SimVideo};
 use lightor_crowdsim::Campaign;
 use lightor_eval::harness::{train_initializer, train_type_classifier};

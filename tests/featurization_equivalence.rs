@@ -1,0 +1,47 @@
+//! Equivalence guarantees for the incremental featurization engine:
+//! the fast corpus path must reproduce the retained naive reference
+//! exactly. (The thread-count sweep lives in its own test binary,
+//! `tests/thread_determinism.rs`, because it mutates the process
+//! environment and must not share a process with tests that read it.)
+
+use lightor::TokenizedChat;
+use lightor_types::{ChatLog, ChatMessage, Sec, TimeRange, UserId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corpus_features_match_naive_on_random_chat(
+        times in proptest::collection::vec(0.0..600.0f64, 0..150),
+        seed in 0u64..500,
+    ) {
+        let pool = ["gg", "wp", "kill", "wow", "pog", "nice", "play", "lol", "ez"];
+        let chat = ChatLog::new(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let k = 1 + ((seed as usize + i) % 5);
+                    let text = (0..k)
+                        .map(|j| pool[(i * 7 + j * 3 + seed as usize) % pool.len()])
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    ChatMessage::new(t, UserId(i as u64), text)
+                })
+                .collect(),
+        );
+        let corpus = TokenizedChat::build(&chat);
+        let windows = lightor::sliding_windows(&chat, Sec(600.0), 25.0, 0.5);
+        for f in corpus.featurize_windows(&windows, 5.0) {
+            let naive = lightor::WindowFeatures::compute(chat.slice(f.range));
+            prop_assert_eq!(f.features, naive);
+            let peak = lightor::window_peak(&chat, f.range, 5.0);
+            prop_assert_eq!(f.peak, peak);
+        }
+        // Spot-check an arbitrary (non-grid) window too.
+        let w = TimeRange::from_secs(13.0, 47.5);
+        let fw = corpus.featurize_windows(&[w], 5.0);
+        prop_assert_eq!(fw[0].features, lightor::WindowFeatures::compute(chat.slice(w)));
+    }
+}

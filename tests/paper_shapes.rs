@@ -20,7 +20,10 @@ fn figure8_iteration_improves_lightor_only() {
     let r = fig8::compute(&ExpEnv::quick());
     let first = r.lightor_start[0];
     let last = *r.lightor_start.last().unwrap();
-    assert!(last >= first, "start precision must not regress: {first} -> {last}");
+    assert!(
+        last >= first,
+        "start precision must not regress: {first} -> {last}"
+    );
     assert!(last > r.socialskip.0 + 0.1);
     assert!(last > r.moocer.0 + 0.1);
     assert!(*r.lightor_end.last().unwrap() > r.socialskip.1 + 0.1);
@@ -39,7 +42,10 @@ fn figure11_transfer_gap_ordering() {
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let lightor_gap = avg(&lightor.lol) - avg(&lightor.dota2);
     let lstm_gap = avg(&lstm.lol) - avg(&lstm.dota2);
-    assert!(lstm_gap > lightor_gap, "LSTM gap {lstm_gap} vs Lightor gap {lightor_gap}");
+    assert!(
+        lstm_gap > lightor_gap,
+        "LSTM gap {lstm_gap} vs Lightor gap {lightor_gap}"
+    );
 }
 
 #[test]

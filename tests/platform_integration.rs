@@ -81,7 +81,10 @@ fn service_lifecycle_with_real_crowd() {
 
     let state = svc.video_state(vid).unwrap();
     let refined = state.dots.iter().filter(|d| d.rounds > 0).count();
-    assert!(refined >= dots.len() / 2, "only {refined} dots saw refinement");
+    assert!(
+        refined >= dots.len() / 2,
+        "only {refined} dots saw refinement"
+    );
     let with_end = state.dots.iter().filter(|d| d.end.is_some()).count();
     assert!(with_end >= 1, "no boundary extracted after 3 rounds");
 
@@ -121,13 +124,8 @@ fn service_state_survives_restart_and_continues() {
 
     // Phase 2: reopen; persisted positions must match, and the service
     // can keep refining.
-    let svc2 = LightorService::open(
-        &dir.0,
-        models(2005),
-        platform,
-        ServiceConfig::default(),
-    )
-    .unwrap();
+    let svc2 =
+        LightorService::open(&dir.0, models(2005), platform, ServiceConfig::default()).unwrap();
     let after = svc2.video_state(vid).unwrap();
     let pos_before: Vec<f64> = before.dots.iter().map(|d| d.current.0).collect();
     let pos_after: Vec<f64> = after.dots.iter().map(|d| d.current.0).collect();

@@ -1,0 +1,164 @@
+//! Minimal offline replacement for `rand_distr`: Normal (Box–Muller),
+//! Exp (inverse CDF) and Poisson (Knuth for small means, normal
+//! approximation for large).
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::RngCore;
+
+/// Parameter validation error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform draw in `(0, 1]` — safe for `ln`.
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Build; errors when parameters are non-finite or `std_dev < 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("invalid Normal parameters"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one value per draw keeps the sampler stateless.
+        let u1 = unit_open(rng);
+        let u2: f64 = Standard.sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp<F> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    /// Build; errors when `lambda <= 0` or non-finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("invalid Exp rate"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson<F> {
+    mean: F,
+}
+
+impl Poisson<f64> {
+    /// Build; errors when `mean <= 0` or non-finite.
+    pub fn new(mean: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(Error("invalid Poisson mean"));
+        }
+        Ok(Poisson { mean })
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 30.0 {
+            // Knuth: multiply uniforms until below e^-mean.
+            let limit = (-self.mean).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= unit_open(rng);
+                if p <= limit {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation, adequate for simulation workloads.
+            let n = Normal {
+                mean: self.mean,
+                std_dev: self.mean.sqrt(),
+            };
+            n.sample(rng).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for target in [3.0, 80.0] {
+            let d = Poisson::new(target).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - target).abs() < target.sqrt() * 0.15,
+                "target {target} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

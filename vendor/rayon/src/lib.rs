@@ -1,0 +1,208 @@
+//! Minimal offline replacement for `rayon`, covering the shapes this
+//! workspace uses: `par_iter()` / `par_chunks()` on slices followed by
+//! `map(...)` and an order-preserving `collect()`.
+//!
+//! Execution model: eager, not work-stealing. The input is split into
+//! one contiguous span per worker thread (`std::thread::scope`), each
+//! worker maps its span, and the spans are stitched back together in
+//! input order — so results are **always** in the sequential order and
+//! independent of thread count. `RAYON_NUM_THREADS` caps the worker
+//! count like the real crate.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A pending parallel iterator over slice elements.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A pending parallel iterator over contiguous slice chunks.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element.
+    pub fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Map each chunk.
+    pub fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, T, R, F> ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Run the map and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items = self.inner.items;
+        let f = self.f;
+        // The closure receives `&'a T` (not a reborrow), matching rayon.
+        let mapped = parallel_map_indices(items.len(), |i| f(&items[i]));
+        mapped.into_iter().collect()
+    }
+}
+
+impl<'a, T, R, F> ParMap<ParChunks<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Run the map and collect chunk results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items = self.inner.items;
+        let size = self.inner.size.max(1);
+        let f = self.f;
+        let n_chunks = items.len().div_ceil(size);
+        let mapped = parallel_map_indices(n_chunks, |i| {
+            let lo = i * size;
+            let hi = (lo + size).min(items.len());
+            f(&items[lo..hi])
+        });
+        mapped.into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map over an index range.
+pub fn parallel_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    (lo..hi).map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// `par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over contiguous chunks.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        ParChunks { items: self, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let xs: Vec<u32> = (0..103).collect();
+        let sums: Vec<Vec<u32>> = xs.par_chunks(10).map(|c| c.to_vec()).collect();
+        let flat: Vec<u32> = sums.into_iter().flatten().collect();
+        assert_eq!(flat, xs);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = vec![];
+        let out: Vec<u32> = xs.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! Minimal hand-rolled replacement for the real `serde_derive`.
+//!
+//! The workspace vendors a small serde whose `Serialize`/`Deserialize`
+//! traits are defined over a self-describing [`Value`] tree, so the derive
+//! only has to generate straightforward field-by-field conversions. The
+//! parser below walks the raw `TokenStream` (no `syn`/`quote` in this
+//! offline environment) and supports exactly the shapes the workspace
+//! uses: named-field structs, tuple structs, unit enums, and data enums —
+//! plus the `#[serde(skip)]`, `#[serde(transparent)]` and
+//! `#[serde(tag = "...", rename_all = "snake_case")]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Collect leading attributes starting at `i`; returns the serde attr
+/// bodies (inner text of `#[serde(...)]`) and the index past the attrs.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut serde_attrs = Vec::new();
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(first) = inner.first() {
+                    if is_ident(first, "serde") {
+                        if let Some(TokenTree::Group(body)) = inner.get(1) {
+                            serde_attrs.push(body.stream().to_string());
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (serde_attrs, i)
+}
+
+fn parse_container_attrs(attr_bodies: &[String]) -> ContainerAttrs {
+    let mut out = ContainerAttrs::default();
+    for body in attr_bodies {
+        if body.contains("transparent") {
+            out.transparent = true;
+        }
+        if body.contains("rename_all") && body.contains("snake_case") {
+            out.rename_all_snake = true;
+        }
+        if let Some(pos) = body.find("tag") {
+            // body looks like: tag = "type" , rename_all = "snake_case"
+            let rest = &body[pos..];
+            if let Some(q0) = rest.find('"') {
+                let after = &rest[q0 + 1..];
+                if let Some(q1) = after.find('"') {
+                    out.tag = Some(after[..q1].to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type, stopping at a top-level comma (angle brackets
+/// tracked manually since they are not token groups).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, ni) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(t) if is_punct(t, ':')),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+        let skip = attrs.iter().any(|a| a.contains("skip"));
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, ni) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let next = skip_type(&tokens, i);
+        if next > i {
+            n += 1;
+        }
+        i = next + 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, ni) = take_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
+                i += 1;
+                VariantKind::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (attr_bodies, mut i) = take_attrs(&tokens, 0);
+    let attrs = parse_container_attrs(&attr_bodies);
+    i = skip_vis(&tokens, i);
+    let is_enum = match tokens.get(i) {
+        Some(t) if is_ident(t, "struct") => false,
+        Some(t) if is_ident(t, "enum") => true,
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive stub: expected type body for `{name}`, got {other:?}"),
+    };
+    let shape = if is_enum {
+        Shape::Enum(parse_variants(body.stream()))
+    } else if body.delimiter() == Delimiter::Brace {
+        Shape::NamedStruct(parse_named_fields(body.stream()))
+    } else {
+        Shape::TupleStruct(count_tuple_fields(body.stream()))
+    };
+    Input { name, attrs, shape }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_wire_name(input: &Input, v: &Variant) -> String {
+    if input.attrs.rename_all_snake {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__m)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(input, v);
+                let arm = match (&v.kind, &input.attrs.tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{0} => ::serde::Value::Str(::std::string::String::from(\"{wire}\")),\n",
+                        v.name
+                    ),
+                    (VariantKind::Unit, Some(tag)) => format!(
+                        "{name}::{0} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{tag}\"), \
+                          ::serde::Value::Str(::std::string::String::from(\"{wire}\")))]),\n",
+                        v.name
+                    ),
+                    (VariantKind::Named(fields), tag) => {
+                        let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                        let mut pushes = String::new();
+                        if let Some(tag) = tag {
+                            pushes.push_str(&format!(
+                                "__m.push((::std::string::String::from(\"{tag}\"), \
+                                 ::serde::Value::Str(::std::string::String::from(\"{wire}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__m.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        let inner = format!(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{pushes}"
+                        );
+                        if tag.is_some() {
+                            format!(
+                                "{name}::{0} {{ {1} }} => {{ {inner} ::serde::Value::Map(__m) }}\n",
+                                v.name,
+                                pat.join(", ")
+                            )
+                        } else {
+                            format!(
+                                "{name}::{0} {{ {1} }} => {{ {inner} \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{wire}\"), \
+                                 ::serde::Value::Map(__m))]) }}\n",
+                                v.name,
+                                pat.join(", ")
+                            )
+                        }
+                    }
+                    (VariantKind::Tuple(1), None) => format!(
+                        "{name}::{0}(__x) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{wire}\"), \
+                         ::serde::Serialize::to_value(__x))]),\n",
+                        v.name
+                    ),
+                    (VariantKind::Tuple(_), _) => panic!(
+                        "serde_derive stub: unsupported tuple enum variant {}::{}",
+                        name, v.name
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),\n", f.name)
+                    } else {
+                        format!("{0}: ::serde::get_field(__v, \"{0}\")?,\n", f.name)
+                    }
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(::serde::seq_item(__v, {i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            if let Some(tag) = &input.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = variant_wire_name(input, v);
+                    let arm = match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        ),
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(__v, \"{f}\")?,\n"))
+                                .collect();
+                            format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{0} {{\n{inits}}}),\n",
+                                v.name
+                            )
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive stub: unsupported tuple variant {}::{}",
+                            name, v.name
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let __tag: ::std::string::String = ::serde::get_field(__v, \"{tag}\")?;\n\
+                      match __tag.as_str() {{\n{arms}\
+                      __other => ::std::result::Result::Err(::serde::Error::custom(\
+                      ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = variant_wire_name(input, v);
+                    let arm = match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        ),
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(__inner, \"{f}\")?,\n"))
+                                .collect();
+                            format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{0} {{\n{inits}}}),\n",
+                                v.name
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{0}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n",
+                            v.name
+                        ),
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive stub: unsupported tuple variant {}::{}",
+                            name, v.name
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let (__vname, __inner) = ::serde::variant_parts(__v)?;\n\
+                     match __vname {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}

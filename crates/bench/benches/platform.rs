@@ -1,0 +1,138 @@
+//! Serving-path benches: record decode, warm vs cold service scoring,
+//! and crowd-task simulation.
+//!
+//! These are the targets whose medians get recorded in
+//! `BENCH_platform.json` (run with `CRITERION_JSON=BENCH_platform.json`),
+//! starting the serving-path perf trajectory:
+//!
+//! * `chatstore_decode` — zero-copy v2 view decode vs the legacy v1
+//!   owned-`String` path on the bench corpus;
+//! * `service_open_video_warm` — warm `open_video` (state-map hit) and
+//!   warm vs cold `rescore_video` (corpus-cache hit vs re-tokenize);
+//! * `campaign_run_task` — one crowd task / one batched round, at one
+//!   forced worker thread and at the environment's thread count (the
+//!   two series expose the multi-core speedup on multi-core hosts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lightor_bench::{bench_dataset, bench_models};
+use lightor_chatsim::SimPlatform;
+use lightor_crowdsim::Campaign;
+use lightor_platform::store::format;
+use lightor_platform::{LightorService, ServiceConfig};
+use lightor_types::{
+    ChannelId, ChatLog, GameKind, Highlight, LabeledVideo, Sec, VideoId, VideoMeta,
+};
+use std::sync::Arc;
+
+fn bench_chatstore_decode(c: &mut Criterion) {
+    let data = bench_dataset();
+    let chat = &data.videos[0].video.chat;
+    let v2: Arc<[u8]> = format::encode_v2(VideoId(1), chat).into();
+    let v1 = format::encode_v1(VideoId(1), chat);
+
+    let mut g = c.benchmark_group("chatstore_decode");
+    g.throughput(Throughput::Elements(chat.len() as u64));
+    // The serving path: v2 → zero-copy view, O(1) allocations.
+    g.bench_function("v2_view", |b| {
+        b.iter(|| black_box(format::decode_v2(&v2).expect("valid v2")))
+    });
+    // The legacy path: v1 → one owned String per message.
+    g.bench_function("v1_owned", |b| {
+        b.iter(|| black_box(format::decode_v1_owned(&v1).expect("valid v1")))
+    });
+    g.bench_function("encode_v2", |b| {
+        b.iter(|| black_box(format::encode_v2(VideoId(1), chat)))
+    });
+    g.finish();
+}
+
+fn bench_service_open_video_warm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lightor-bench-svc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = bench_dataset();
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+    let svc = LightorService::open(
+        &dir,
+        bench_models(&data),
+        platform,
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let k = ServiceConfig::default().top_k;
+    // Cold open once: crawl + tokenize + score.
+    svc.open_video(vid).unwrap().unwrap();
+
+    let mut g = c.benchmark_group("service_open_video_warm");
+    // Warm viewer request: state-map hit, no storage or model work.
+    g.bench_function("warm_open", |b| {
+        b.iter(|| black_box(svc.open_video(vid).unwrap().unwrap()))
+    });
+    // Warm re-score: corpus-cache hit — scoring without re-tokenizing.
+    g.bench_function("warm_rescore", |b| {
+        b.iter(|| black_box(svc.rescore_video(vid, k).unwrap().unwrap()))
+    });
+    // Cold re-score: cache dropped each iteration — pays store read +
+    // tokenization + scoring; the ratio to the warm rows is the cache win.
+    g.bench_function("cold_rescore", |b| {
+        b.iter(|| {
+            svc.clear_corpus_cache();
+            black_box(svc.rescore_video(vid, k).unwrap().unwrap())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn crowd_video() -> LabeledVideo {
+    LabeledVideo {
+        meta: VideoMeta {
+            id: VideoId(0),
+            channel: ChannelId(0),
+            game: GameKind::Dota2,
+            duration: Sec(3600.0),
+            viewers: 500,
+        },
+        chat: ChatLog::empty(),
+        highlights: vec![
+            Highlight::from_secs(700.0, 716.0),
+            Highlight::from_secs(1990.0, 2005.0),
+        ],
+    }
+}
+
+fn bench_campaign_run_task(c: &mut Criterion) {
+    let video = crowd_video();
+    let dots = [Sec(1992.0), Sec(2000.0), Sec(2035.0), Sec(705.0)];
+
+    // Forcing the worker count through the rayon stub's env knob is
+    // safe here: no parallel region is live between benches, and the
+    // bench binary itself is single-threaded.
+    for (label, threads) in [("threads_1", Some("1")), ("threads_auto", None)] {
+        match threads {
+            Some(n) => std::env::set_var("RAYON_NUM_THREADS", n),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        let mut g = c.benchmark_group(&format!("campaign_run_task/{label}"));
+        let mut campaign = Campaign::new(492, 0xBE7C);
+        g.bench_function("one_task_16", |b| {
+            b.iter(|| black_box(campaign.run_task(&video, dots[0], 16)))
+        });
+        let tasks: Vec<(&LabeledVideo, Sec)> = dots.iter().map(|&d| (&video, d)).collect();
+        g.bench_function("round_4x16", |b| {
+            b.iter(|| black_box(campaign.run_tasks(&tasks, 16)))
+        });
+        g.finish();
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+criterion_group!(
+    benches,
+    bench_chatstore_decode,
+    bench_service_open_video_warm,
+    bench_campaign_run_task,
+);
+criterion_main!(benches);

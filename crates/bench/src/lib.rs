@@ -1,7 +1,10 @@
 //! Shared fixtures for the criterion benches: pre-generated datasets and
 //! pre-trained models so the benches measure algorithm cost, not setup.
 
-use lightor::{FeatureSet, HighlightInitializer};
+use lightor::{
+    DotType, ExtractorConfig, FeatureSet, HighlightExtractor, HighlightInitializer, ModelBundle,
+    PlayPositionFeatures, TypeClassifier,
+};
 use lightor_chatsim::{dota2_dataset, Dataset, SimVideo};
 use lightor_eval::harness::train_initializer;
 
@@ -14,4 +17,37 @@ pub fn bench_dataset() -> Dataset {
 pub fn bench_initializer(data: &Dataset) -> HighlightInitializer {
     let train: Vec<&SimVideo> = data.videos[..2].iter().collect();
     train_initializer(&train, FeatureSet::Full)
+}
+
+/// A full model bundle (initializer + a synthetic type classifier) for
+/// service-level benches, mirroring the service unit-test fixture.
+pub fn bench_models(data: &Dataset) -> ModelBundle {
+    let initializer = bench_initializer(data);
+    let mut examples = Vec::new();
+    for i in 0..30 {
+        let j = (i % 7) as f64;
+        examples.push((
+            PlayPositionFeatures {
+                after: 5.0 + j,
+                before: 0.0,
+                across: 1.0 + j / 2.0,
+            },
+            DotType::TypeII,
+        ));
+        examples.push((
+            PlayPositionFeatures {
+                after: 1.0,
+                before: 3.0 + j,
+                across: 2.0,
+            },
+            DotType::TypeI,
+        ));
+    }
+    let extractor =
+        HighlightExtractor::new(TypeClassifier::train(&examples), ExtractorConfig::default());
+    ModelBundle {
+        initializer,
+        extractor,
+        provenance: "bench".into(),
+    }
 }

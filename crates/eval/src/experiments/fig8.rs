@@ -85,12 +85,22 @@ pub fn compute(env: &ExpEnv) -> Fig8Result {
     let mut first_iter_sessions: Vec<Vec<Session>> = vec![Vec::new(); test.len()];
 
     for iter in 0..ITERATIONS {
-        for track in &mut tracks {
-            if track.frozen {
-                continue;
-            }
-            let sv = test[track.video];
-            let result = campaign.run_task(&sv.video, track.current, ex_cfg.responses_per_task);
+        // One crowd round = one task per live dot, published as a batch
+        // so sessions across all videos fan out over one thread pool
+        // (results identical to per-track `run_task` calls in order).
+        let live: Vec<usize> = tracks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.frozen)
+            .map(|(i, _)| i)
+            .collect();
+        let batch: Vec<(&lightor_types::LabeledVideo, Sec)> = live
+            .iter()
+            .map(|&i| (&test[tracks[i].video].video, tracks[i].current))
+            .collect();
+        let results = campaign.run_tasks(&batch, ex_cfg.responses_per_task);
+        for (&ti, result) in live.iter().zip(&results) {
+            let track = &mut tracks[ti];
             if iter == 0 {
                 first_iter_sessions[track.video].extend(result.sessions.iter().cloned());
             }

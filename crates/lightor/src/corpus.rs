@@ -28,7 +28,7 @@
 use crate::features::WindowFeatures;
 use lightor_mlcore::text::{BowVector, Vocab};
 use lightor_mlcore::LooWindow;
-use lightor_types::{ChatLog, Sec, TimeRange};
+use lightor_types::{ChatLog, ChatLogView, Sec, TimeRange};
 use rayon::prelude::*;
 
 /// A chat log tokenized exactly once, with the aggregates window
@@ -50,19 +50,45 @@ impl TokenizedChat {
     /// tokenized exactly once, interning into the corpus vocabulary and
     /// producing its binary bag-of-words vector.
     pub fn build(chat: &ChatLog) -> Self {
-        let n = chat.len();
+        Self::build_from_iter(
+            chat.len(),
+            chat.messages().iter().map(|m| (m.ts.0, m.text.as_str())),
+        )
+    }
+
+    /// Tokenize straight out of a zero-copy [`ChatLogView`] — the
+    /// serving path's cold start. Message texts are interned directly
+    /// from the view's shared buffer, skipping the per-message `String`
+    /// materialization an owned [`ChatLog`] would cost.
+    pub fn build_from_view(view: &ChatLogView) -> Self {
+        Self::build_from_iter(view.len(), view.iter().map(|m| (m.ts.0, m.text)))
+    }
+
+    /// Tokenize from any `(timestamp, text)` stream. Messages must
+    /// arrive in non-decreasing timestamp order (both [`ChatLog`] and
+    /// store-written views guarantee this).
+    pub fn build_from_iter<S, I>(n_hint: usize, messages: I) -> Self
+    where
+        S: AsRef<str>,
+        I: Iterator<Item = (f64, S)>,
+    {
         let mut vocab = Vocab::new();
-        let mut vectors = Vec::with_capacity(n);
-        let mut word_counts = Vec::with_capacity(n);
-        let mut word_prefix = Vec::with_capacity(n + 1);
-        let mut ts = Vec::with_capacity(n);
+        let mut vectors = Vec::with_capacity(n_hint);
+        let mut word_counts = Vec::with_capacity(n_hint);
+        let mut word_prefix = Vec::with_capacity(n_hint + 1);
+        let mut ts = Vec::with_capacity(n_hint);
         word_prefix.push(0u64);
-        for m in chat.messages() {
-            vectors.push(vocab.intern_text(&m.text));
-            let wc = m.word_count() as u32;
+        for (t, text) in messages {
+            let text = text.as_ref();
+            vectors.push(vocab.intern_text(text));
+            let wc = text.split_whitespace().count() as u32;
             word_counts.push(wc);
             word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
-            ts.push(m.ts.0);
+            debug_assert!(
+                ts.last().is_none_or(|&prev| prev <= t),
+                "messages must be timestamp-sorted"
+            );
+            ts.push(t);
         }
         TokenizedChat {
             vocab,
@@ -298,6 +324,24 @@ mod tests {
     use crate::window::sliding_windows;
     use lightor_types::{ChatMessage, UserId};
     use proptest::prelude::*;
+
+    #[test]
+    fn build_from_view_matches_build() {
+        let c = chat(&[
+            (1.0, "gg wp"),
+            (2.5, "what a play"),
+            (2.5, ""),
+            (9.0, "消息 ✓ pog"),
+        ]);
+        let view = ChatLogView::from_chat_log(&c);
+        let from_log = TokenizedChat::build(&c);
+        let from_view = TokenizedChat::build_from_view(&view);
+        assert_eq!(from_view.len(), from_log.len());
+        assert_eq!(from_view.timestamps(), from_log.timestamps());
+        assert_eq!(from_view.word_counts(), from_log.word_counts());
+        assert_eq!(from_view.vectors(), from_log.vectors());
+        assert_eq!(from_view.vocab().len(), from_log.vocab().len());
+    }
 
     fn chat(messages: &[(f64, &str)]) -> ChatLog {
         ChatLog::new(

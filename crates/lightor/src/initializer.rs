@@ -239,9 +239,24 @@ impl HighlightInitializer {
 
     /// Top-k windows subject to the δ separation rule on their (adjusted)
     /// dot positions — Algorithm 1's `Top` with "no too-close highlights".
+    ///
+    /// Builds the corpus internally; repeated calls on the same chat
+    /// should prefer [`HighlightInitializer::top_k_windows_corpus`].
     pub fn top_k_windows(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<ScoredWindow> {
+        self.top_k_windows_corpus(&TokenizedChat::build(chat), duration, k)
+    }
+
+    /// [`HighlightInitializer::top_k_windows`] over a pre-tokenized
+    /// corpus — the serving path's hook: a cached [`TokenizedChat`]
+    /// makes warm re-scores skip tokenization entirely.
+    pub fn top_k_windows_corpus(
+        &self,
+        corpus: &TokenizedChat,
+        duration: Sec,
+        k: usize,
+    ) -> Vec<ScoredWindow> {
         let mut chosen: Vec<ScoredWindow> = Vec::with_capacity(k);
-        for w in self.score_windows(chat, duration) {
+        for w in self.score_corpus(corpus, duration) {
             let dot = self.dot_for(&w);
             if chosen
                 .iter()
@@ -257,8 +272,16 @@ impl HighlightInitializer {
     }
 
     /// Algorithm 1 end-to-end: the top-k red dots of a video.
+    ///
+    /// Builds the corpus internally; repeated calls on the same chat
+    /// should prefer [`HighlightInitializer::red_dots_corpus`].
     pub fn red_dots(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<RedDot> {
-        self.top_k_windows(chat, duration, k)
+        self.red_dots_corpus(&TokenizedChat::build(chat), duration, k)
+    }
+
+    /// [`HighlightInitializer::red_dots`] over a pre-tokenized corpus.
+    pub fn red_dots_corpus(&self, corpus: &TokenizedChat, duration: Sec, k: usize) -> Vec<RedDot> {
+        self.top_k_windows_corpus(corpus, duration, k)
             .into_iter()
             .map(|w| RedDot::new(self.dot_for(&w).max(Sec::ZERO), w.prob))
             .collect()

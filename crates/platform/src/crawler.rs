@@ -34,13 +34,15 @@ impl<'a> Crawler<'a> {
     }
 
     /// Offline pass: crawl every not-yet-stored video of the given
-    /// channels.
+    /// channels. The whole pass is written as one batch with a single
+    /// durability `sync` ([`ChatStore::put_chats`]).
     pub fn offline_pass(
         &self,
         channels: &[ChannelId],
         store: &mut ChatStore,
     ) -> std::io::Result<CrawlStats> {
         let mut stats = CrawlStats::default();
+        let mut batch = Vec::new();
         for &ch in channels {
             for &vid in self.platform.recent_videos(ch) {
                 if store.contains(vid) {
@@ -48,12 +50,13 @@ impl<'a> Crawler<'a> {
                     continue;
                 }
                 if let Some(chat) = self.platform.fetch_chat(vid) {
-                    store.put_chat(vid, chat)?;
+                    batch.push((vid, chat));
                     stats.crawled += 1;
                     stats.messages += chat.len();
                 }
             }
         }
+        store.put_chats(batch)?;
         Ok(stats)
     }
 

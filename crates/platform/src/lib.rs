@@ -17,11 +17,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod crawler;
 pub mod service;
 pub mod store;
 pub mod wire;
 
+pub use cache::LruCache;
 pub use crawler::{CrawlStats, Crawler};
-pub use service::{LightorService, ServiceConfig, VideoState};
+pub use service::{LightorService, ServiceConfig, ServiceStats, VideoState};
 pub use store::{ChatStore, KvStore, SegmentLog};

@@ -7,21 +7,38 @@
 //! filter/classify/aggregate step over the plays accumulated per dot and
 //! persist the updated positions.
 //!
-//! The service is thread-safe: interaction logging and refinement hold a
-//! single `parking_lot` mutex over the mutable state (the workloads here
-//! are small; contention is not the bottleneck being studied).
+//! # Concurrency
+//!
+//! The hot path is sharded so concurrent viewers don't serialize:
+//!
+//! * per-video refinement state lives behind its own
+//!   `Arc<Mutex<VideoState>>`, reached through an `RwLock`'d map —
+//!   sessions and refinement rounds on *different* videos proceed in
+//!   parallel, and the map's write lock is only taken on first sight
+//!   of a video;
+//! * the storage pair (chat log + KV snapshots) sits behind a single
+//!   mutex, touched only on cold opens and state persistence;
+//! * per-video `Arc<TokenizedChat>` corpora are LRU-cached, so warm
+//!   re-scores ([`LightorService::rescore_video`]) never re-tokenize.
+//!
+//! Lock order is strictly `videos map → per-video state → stores`;
+//! the corpus cache is a leaf lock. No path acquires them in any other
+//! order, which rules out deadlock.
 
+use crate::cache::LruCache;
 use crate::crawler::Crawler;
 use crate::store::{ChatStore, KvStore};
 use lightor::{
     aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, ModelBundle,
+    TokenizedChat,
 };
 use lightor_chatsim::SimPlatform;
 use lightor_types::{Play, RedDot, Sec, Session, VideoId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -30,6 +47,8 @@ pub struct ServiceConfig {
     pub top_k: usize,
     /// Minimum buffered plays before a dot runs a refinement round.
     pub min_plays_per_round: usize,
+    /// Per-video tokenized corpora kept hot (LRU).
+    pub corpus_cache_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +56,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             top_k: 5,
             min_plays_per_round: 8,
+            corpus_cache_cap: 32,
         }
     }
 }
@@ -68,10 +88,29 @@ pub struct VideoState {
     pub dots: Vec<DotState>,
 }
 
-struct Inner {
-    chat_store: ChatStore,
+/// Point-in-time serving counters (see [`LightorService::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Videos with chat stored.
+    pub stored_videos: usize,
+    /// Videos with live refinement state.
+    pub tracked_videos: usize,
+    /// Corpus-cache hits (warm scores that skipped tokenization).
+    pub corpus_cache_hits: u64,
+    /// Corpus-cache misses (tokenization runs).
+    pub corpus_cache_misses: u64,
+    /// Chat-record cache hits in the store.
+    pub record_cache_hits: u64,
+    /// Chat-record cache misses in the store.
+    pub record_cache_misses: u64,
+    /// Legacy v1 records flagged as truncated at open.
+    pub v1_truncated_records: usize,
+}
+
+/// The storage pair: cold-open and persistence only.
+struct Stores {
+    chat: ChatStore,
     kv: KvStore,
-    videos: HashMap<VideoId, VideoState>,
 }
 
 /// The LIGHTOR web service.
@@ -79,7 +118,9 @@ pub struct LightorService {
     models: ModelBundle,
     cfg: ServiceConfig,
     platform: SimPlatform,
-    inner: Mutex<Inner>,
+    stores: Mutex<Stores>,
+    videos: RwLock<HashMap<VideoId, Arc<Mutex<VideoState>>>>,
+    corpora: Mutex<LruCache<VideoId, Arc<TokenizedChat>>>,
 }
 
 impl LightorService {
@@ -92,7 +133,7 @@ impl LightorService {
         platform: SimPlatform,
         cfg: ServiceConfig,
     ) -> std::io::Result<Self> {
-        let chat_store = ChatStore::open(dir.join("chat"))?;
+        let chat = ChatStore::open(dir.join("chat"))?;
         let kv = KvStore::open(dir.join("state.json"))?;
         let mut videos = HashMap::new();
         for key in kv.keys_with_prefix("video:") {
@@ -100,19 +141,20 @@ impl LightorService {
                 (key.strip_prefix("video:"), kv.get::<VideoState>(&key))
             {
                 if let Ok(id) = id_str.parse::<u64>() {
-                    videos.insert(VideoId(id), state);
+                    videos.insert(VideoId(id), Arc::new(Mutex::new(state)));
                 }
             }
         }
         Ok(LightorService {
             models,
-            cfg,
+            cfg: ServiceConfig {
+                corpus_cache_cap: cfg.corpus_cache_cap.max(1),
+                ..cfg
+            },
             platform,
-            inner: Mutex::new(Inner {
-                chat_store,
-                kv,
-                videos,
-            }),
+            stores: Mutex::new(Stores { chat, kv }),
+            videos: RwLock::new(videos),
+            corpora: Mutex::new(LruCache::new(cfg.corpus_cache_cap.max(1))),
         })
     }
 
@@ -120,32 +162,36 @@ impl LightorService {
     /// dots, crawling chat and initializing dots on first sight.
     /// `Ok(None)` means the platform does not know the video.
     pub fn open_video(&self, video: VideoId) -> std::io::Result<Option<Vec<RedDot>>> {
-        let mut inner = self.inner.lock();
-        if let Some(state) = inner.videos.get(&video) {
-            return Ok(Some(
-                state
-                    .dots
-                    .iter()
-                    .map(|d| RedDot::new(d.current, d.initial.score))
-                    .collect(),
-            ));
+        // Warm path: state exists, no storage or model work at all.
+        if let Some(state) = self.videos.read().get(&video).cloned() {
+            return Ok(Some(Self::current_dots(&state.lock())));
         }
 
-        // First sight: crawl on miss, then initialize.
-        let crawler = Crawler::new(&self.platform);
-        if !crawler.crawl_video(video, &mut inner.chat_store)? {
-            return Ok(None);
+        // First sight: crawl on miss, tokenize (into the corpus cache),
+        // initialize. The stores lock is scoped to the crawl/read and the
+        // persist; scoring runs without any service-wide lock held.
+        let duration;
+        let corpus;
+        {
+            let mut stores = self.stores.lock();
+            let crawler = Crawler::new(&self.platform);
+            if !crawler.crawl_video(video, &mut stores.chat)? {
+                return Ok(None);
+            }
+            let view = stores.chat.get_chat_view(video)?.expect("just crawled");
+            duration = self
+                .platform
+                .video_meta(video)
+                .map(|m| m.duration)
+                .unwrap_or_else(|| view.last_ts().unwrap_or(Sec::ZERO));
+            drop(stores);
+            corpus = Arc::new(TokenizedChat::build_from_view(&view));
+            self.corpora.lock().insert(video, corpus.clone());
         }
-        let chat = inner.chat_store.get_chat(video)?.expect("just crawled");
-        let duration = self
-            .platform
-            .video_meta(video)
-            .map(|m| m.duration)
-            .unwrap_or_else(|| chat.last_ts().unwrap_or(Sec::ZERO));
         let dots = self
             .models
             .initializer
-            .red_dots(&chat, duration, self.cfg.top_k);
+            .red_dots_corpus(&corpus, duration, self.cfg.top_k);
         let state = VideoState {
             dots: dots
                 .iter()
@@ -160,18 +206,67 @@ impl LightorService {
                 })
                 .collect(),
         };
-        Self::persist(&mut inner, video, &state)?;
-        inner.videos.insert(video, state);
+        // Publish, then persist under the published state's own lock so
+        // a racing refinement round cannot be overwritten by this
+        // fresh-init snapshot. If another thread won the publish race,
+        // serve (and never persist over) its state.
+        let mut map = self.videos.write();
+        if let Some(existing) = map.get(&video).cloned() {
+            drop(map);
+            return Ok(Some(Self::current_dots(&existing.lock())));
+        }
+        let state_arc = Arc::new(Mutex::new(state));
+        map.insert(video, state_arc.clone());
+        let published = state_arc.lock();
+        drop(map);
+        self.persist(video, &published)?;
         Ok(Some(dots))
     }
 
+    /// Re-run the Initializer for an already-stored video (model refresh,
+    /// changed `k`, …) without touching refinement state. Warm calls hit
+    /// the corpus cache and never re-tokenize; `Ok(None)` when the video
+    /// has no stored chat.
+    pub fn rescore_video(&self, video: VideoId, k: usize) -> std::io::Result<Option<Vec<RedDot>>> {
+        let Some((corpus, duration)) = self.corpus_for(video)? else {
+            return Ok(None);
+        };
+        Ok(Some(
+            self.models
+                .initializer
+                .red_dots_corpus(&corpus, duration, k),
+        ))
+    }
+
+    /// The cached corpus for a stored video, tokenizing on first use.
+    fn corpus_for(&self, video: VideoId) -> std::io::Result<Option<(Arc<TokenizedChat>, Sec)>> {
+        let meta_duration = self.platform.video_meta(video).map(|m| m.duration);
+        if let Some(corpus) = self.corpora.lock().get(&video) {
+            let duration = meta_duration
+                .unwrap_or_else(|| Sec(corpus.timestamps().last().copied().unwrap_or(0.0)));
+            return Ok(Some((corpus, duration)));
+        }
+        let view = {
+            let stores = self.stores.lock();
+            match stores.chat.get_chat_view(video)? {
+                Some(v) => v,
+                None => return Ok(None),
+            }
+        };
+        let duration = meta_duration.unwrap_or_else(|| view.last_ts().unwrap_or(Sec::ZERO));
+        let corpus = Arc::new(TokenizedChat::build_from_view(&view));
+        self.corpora.lock().insert(video, corpus.clone());
+        Ok(Some((corpus, duration)))
+    }
+
     /// Log one viewer session: its plays are buffered against the nearest
-    /// red dot (within the extractor's Δ neighbourhood).
+    /// red dot (within the extractor's Δ neighbourhood). Only the one
+    /// video's state locks; other videos stay fully concurrent.
     pub fn log_session(&self, video: VideoId, session: &Session) {
-        let mut inner = self.inner.lock();
-        let Some(state) = inner.videos.get_mut(&video) else {
+        let Some(state) = self.videos.read().get(&video).cloned() else {
             return;
         };
+        let mut state = state.lock();
         let delta = self.models.extractor.config().neighborhood;
         for play in session.plays() {
             let nearest = state.dots.iter_mut().min_by(|a, b| {
@@ -188,14 +283,15 @@ impl LightorService {
     }
 
     /// Run one refinement round on every dot of `video` that has enough
-    /// buffered plays. Returns the number of dots updated.
+    /// buffered plays. Returns the number of dots updated. Holds only
+    /// that video's state lock while computing.
     pub fn refine_video(&self, video: VideoId) -> std::io::Result<usize> {
-        let mut inner = self.inner.lock();
-        let Some(mut state) = inner.videos.get(&video).cloned() else {
+        let Some(state_arc) = self.videos.read().get(&video).cloned() else {
             return Ok(0);
         };
         let ex_cfg = *self.models.extractor.config();
         let classifier = self.models.extractor.classifier();
+        let mut state = state_arc.lock();
         let mut updated = 0;
 
         for dot in &mut state.dots {
@@ -239,24 +335,73 @@ impl LightorService {
         }
 
         if updated > 0 {
-            Self::persist(&mut inner, video, &state)?;
+            // Persist while still holding the per-video lock so a
+            // concurrent round cannot interleave a stale snapshot
+            // (lock order: per-video state → stores).
+            self.persist(video, &state)?;
         }
-        inner.videos.insert(video, state);
         Ok(updated)
     }
 
     /// Snapshot of a video's refinement state.
     pub fn video_state(&self, video: VideoId) -> Option<VideoState> {
-        self.inner.lock().videos.get(&video).cloned()
+        self.videos
+            .read()
+            .get(&video)
+            .map(|state| state.lock().clone())
     }
 
     /// Number of videos with chat stored.
     pub fn stored_videos(&self) -> usize {
-        self.inner.lock().chat_store.video_count()
+        self.stores.lock().chat.video_count()
     }
 
-    fn persist(inner: &mut Inner, video: VideoId, state: &VideoState) -> std::io::Result<()> {
-        inner.kv.put(&format!("video:{}", video.0), state)
+    /// Serving counters: store/caches state for dashboards and tests.
+    pub fn stats(&self) -> ServiceStats {
+        let (record_hits, record_misses, stored, v1_truncated) = {
+            let stores = self.stores.lock();
+            let (h, m) = stores.chat.cache_stats();
+            (
+                h,
+                m,
+                stores.chat.video_count(),
+                stores.chat.v1_truncated_records(),
+            )
+        };
+        let (corpus_hits, corpus_misses) = {
+            let corpora = self.corpora.lock();
+            (corpora.hits(), corpora.misses())
+        };
+        ServiceStats {
+            stored_videos: stored,
+            tracked_videos: self.videos.read().len(),
+            corpus_cache_hits: corpus_hits,
+            corpus_cache_misses: corpus_misses,
+            record_cache_hits: record_hits,
+            record_cache_misses: record_misses,
+            v1_truncated_records: v1_truncated,
+        }
+    }
+
+    /// Drop every cached corpus (benchmark/test hook for measuring cold
+    /// re-tokenization; hit/miss counters are kept).
+    pub fn clear_corpus_cache(&self) {
+        self.corpora.lock().clear();
+    }
+
+    fn current_dots(state: &VideoState) -> Vec<RedDot> {
+        state
+            .dots
+            .iter()
+            .map(|d| RedDot::new(d.current, d.initial.score))
+            .collect()
+    }
+
+    fn persist(&self, video: VideoId, state: &VideoState) -> std::io::Result<()> {
+        self.stores
+            .lock()
+            .kv
+            .put(&format!("video:{}", video.0), state)
     }
 }
 
@@ -432,5 +577,71 @@ mod tests {
         // All buffered plays are attributable to dots; refinement runs.
         let updated = svc.refine_video(vid).unwrap();
         assert!(updated >= 1, "no dot had enough plays after 64 sessions");
+    }
+
+    #[test]
+    fn warm_rescore_hits_corpus_cache() {
+        let dir = TempDir::new("rescore");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+
+        let dots = svc.open_video(vid).unwrap().unwrap();
+        let before = svc.stats();
+        // Rescoring with the service's own k must reproduce the initial
+        // placement — and must not tokenize again.
+        let rescored = svc
+            .rescore_video(vid, ServiceConfig::default().top_k)
+            .unwrap()
+            .unwrap();
+        assert_eq!(rescored, dots);
+        let after = svc.stats();
+        assert_eq!(after.corpus_cache_hits, before.corpus_cache_hits + 1);
+        assert_eq!(after.corpus_cache_misses, before.corpus_cache_misses);
+
+        // Cold rescore (cache dropped): same answer, one more miss.
+        svc.clear_corpus_cache();
+        let cold = svc
+            .rescore_video(vid, ServiceConfig::default().top_k)
+            .unwrap()
+            .unwrap();
+        assert_eq!(cold, dots);
+        assert_eq!(
+            svc.stats().corpus_cache_misses,
+            after.corpus_cache_misses + 1
+        );
+        // Unknown video.
+        assert!(svc.rescore_video(VideoId(999_999), 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn concurrent_open_different_videos() {
+        // Sharded locks: opens and refinement on distinct videos must be
+        // safe (and not serialize through one service-wide mutex).
+        let dir = TempDir::new("shards");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vids: Vec<VideoId> = platform
+            .channels()
+            .iter()
+            .flat_map(|c| platform.recent_videos(c.id).to_vec())
+            .collect();
+        assert!(vids.len() >= 4);
+
+        std::thread::scope(|scope| {
+            for &vid in &vids {
+                let svc = &svc;
+                scope.spawn(move || {
+                    let dots = svc.open_video(vid).unwrap().unwrap();
+                    assert!(!dots.is_empty());
+                    // Racing double-open must agree with itself.
+                    let again = svc.open_video(vid).unwrap().unwrap();
+                    assert_eq!(dots, again);
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.tracked_videos, vids.len());
+        assert_eq!(stats.stored_videos, vids.len());
     }
 }

@@ -3,92 +3,152 @@
 //! One log record = one video's full chat replay (crawls are per-video,
 //! so batching amortizes framing overhead). The in-memory index maps
 //! `VideoId → RecordId` and is rebuilt by scanning the log on open —
-//! recovery is the scan.
+//! recovery is the scan (torn tail records are truncated by
+//! [`SegmentLog::open`], and the scan itself skips anything that fails
+//! CRC or record-level validation).
 //!
-//! Record payload layout (all LE):
-//! `[video_id: u64][n: u32] n × ([ts: f64][user: u64][len: u16][utf8 text])`
+//! # Record formats
+//!
+//! Records are self-describing and two formats coexist in one log (see
+//! [`format`](super::format) for the byte-level layouts):
+//!
+//! * **v2 (current)** — columnar: a magic/version header, then parallel
+//!   `ts`/`user`/`text_end` arrays and one contiguous UTF-8 blob. Text
+//!   offsets are `u32`, so nothing is silently truncated, and a record
+//!   decodes into a zero-copy [`ChatLogView`] with O(1) allocations.
+//!   All new writes use v2.
+//! * **v1 (legacy)** — row-oriented with `u16` text lengths. Decode
+//!   only; records whose text hits the 65 535-byte v1 ceiling are
+//!   counted in [`ChatStore::v1_truncated_records`] and reported once
+//!   per open, because the original bytes are unrecoverable.
+//!
+//! # Read path
+//!
+//! [`ChatStore::get_chat_view`] is the fast path: a read-through LRU
+//! cache of decoded views sits in front of the log, so repeated opens
+//! of a hot video cost a hash lookup plus an `Arc` bump. The owned
+//! [`ChatStore::get_chat`] materializes from the same view. Writes go
+//! through [`ChatStore::put_chat`], or [`ChatStore::put_chats`] to
+//! batch many videos into one `sync`.
 
+use super::format::{self, Format};
 use super::log::{RecordId, SegmentLog};
-use bytes::{Buf, BufMut, BytesMut};
-use lightor_types::{ChatLog, ChatMessage, Sec, UserId, VideoId};
+use crate::cache::LruCache;
+use lightor_types::{ChatLog, ChatLogView, VideoId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-/// Durable chat storage with a per-video index.
+/// Decoded-record cache size: hot working set of a serving node; at
+/// ~100 KB per decoded replay this bounds cache memory to a few MB.
+const RECORD_CACHE_CAP: usize = 64;
+
+/// Durable chat storage with a per-video index and a read-through
+/// record cache.
 #[derive(Debug)]
 pub struct ChatStore {
     log: SegmentLog,
     index: HashMap<VideoId, RecordId>,
-}
-
-fn encode(video: VideoId, chat: &ChatLog) -> Vec<u8> {
-    let mut buf = BytesMut::new();
-    buf.put_u64_le(video.0);
-    buf.put_u32_le(chat.len() as u32);
-    for m in chat.messages() {
-        buf.put_f64_le(m.ts.0);
-        buf.put_u64_le(m.user.0);
-        let text = m.text.as_bytes();
-        let len = text.len().min(u16::MAX as usize);
-        buf.put_u16_le(len as u16);
-        buf.put_slice(&text[..len]);
-    }
-    buf.to_vec()
-}
-
-fn decode(mut payload: &[u8]) -> Option<(VideoId, ChatLog)> {
-    if payload.remaining() < 12 {
-        return None;
-    }
-    let video = VideoId(payload.get_u64_le());
-    let n = payload.get_u32_le() as usize;
-    let mut messages = Vec::with_capacity(n);
-    for _ in 0..n {
-        if payload.remaining() < 18 {
-            return None;
-        }
-        let ts = payload.get_f64_le();
-        let user = payload.get_u64_le();
-        let len = payload.get_u16_le() as usize;
-        if payload.remaining() < len {
-            return None;
-        }
-        let text = String::from_utf8_lossy(&payload[..len]).into_owned();
-        payload.advance(len);
-        messages.push(ChatMessage::new(Sec(ts), UserId(user), text));
-    }
-    Some((video, ChatLog::new(messages)))
+    /// Decoded views by video; interior mutability so reads stay `&self`.
+    cache: Mutex<LruCache<VideoId, ChatLogView>>,
+    v1_records: usize,
+    v1_truncated: usize,
 }
 
 impl ChatStore {
     /// Open (or create) a store in `dir`, rebuilding the index by scan.
+    ///
+    /// The scan sniffs each record's format without materializing
+    /// messages. Legacy v1 records keep working (later records win, so
+    /// re-crawled videos pick up v2 on their next write); v1 records
+    /// that hit the old format's 65 535-byte text ceiling are counted
+    /// and reported — the truncated bytes are gone, so the only fix is
+    /// a re-crawl.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let log = SegmentLog::open(dir, 8 << 20)?;
         let mut index = HashMap::new();
-        for (id, payload) in log.scan()? {
-            if let Some((video, _)) = decode(&payload) {
+        let mut v1_records = 0usize;
+        let mut v1_truncated = 0usize;
+        log.scan_with(|id, payload| {
+            if let Some(info) = format::sniff(payload) {
+                if info.format == Format::V1 {
+                    v1_records += 1;
+                    v1_truncated += usize::from(info.truncated);
+                }
                 // Later records win: re-crawls overwrite.
-                index.insert(video, id);
+                index.insert(info.video, id);
             }
+        })?;
+        if v1_truncated > 0 {
+            eprintln!(
+                "chatstore: {v1_truncated} legacy v1 record(s) hit the u16 text ceiling; \
+                 their texts were truncated at write time — re-crawl to recover"
+            );
         }
-        Ok(ChatStore { log, index })
+        Ok(ChatStore {
+            log,
+            index,
+            cache: Mutex::new(LruCache::new(RECORD_CACHE_CAP)),
+            v1_records,
+            v1_truncated,
+        })
     }
 
     /// Store (or replace) a video's chat replay.
     pub fn put_chat(&mut self, video: VideoId, chat: &ChatLog) -> std::io::Result<()> {
-        let id = self.log.append(&encode(video, chat))?;
+        let id = self.log.append(&format::encode_v2(video, chat))?;
         self.log.sync()?;
         self.index.insert(video, id);
+        self.cache.lock().remove(&video);
         Ok(())
     }
 
-    /// Fetch a video's chat replay, if crawled.
-    pub fn get_chat(&self, video: VideoId) -> std::io::Result<Option<ChatLog>> {
+    /// Batch append: store many replays with a **single** `sync` at the
+    /// end, amortizing the durability barrier across the batch (the
+    /// offline crawler's shape). Returns the number of records written.
+    pub fn put_chats<'a, I>(&mut self, items: I) -> std::io::Result<usize>
+    where
+        I: IntoIterator<Item = (VideoId, &'a ChatLog)>,
+    {
+        let mut written = 0usize;
+        let mut cache = self.cache.lock();
+        for (video, chat) in items {
+            let id = self.log.append(&format::encode_v2(video, chat))?;
+            self.index.insert(video, id);
+            cache.remove(&video);
+            written += 1;
+        }
+        drop(cache);
+        if written > 0 {
+            self.log.sync()?;
+        }
+        Ok(written)
+    }
+
+    /// Fetch a video's chat replay as a zero-copy view, if crawled.
+    ///
+    /// The fast path: a cache hit is a hash lookup plus an `Arc` bump;
+    /// a miss reads one record and decodes with O(1) allocations (v2)
+    /// or materializes once (legacy v1).
+    pub fn get_chat_view(&self, video: VideoId) -> std::io::Result<Option<ChatLogView>> {
         let Some(&id) = self.index.get(&video) else {
             return Ok(None);
         };
-        let payload = self.log.read(id)?;
-        Ok(decode(&payload).map(|(_, chat)| chat))
+        if let Some(view) = self.cache.lock().get(&video) {
+            return Ok(Some(view));
+        }
+        let payload: Arc<[u8]> = self.log.read(id)?.into();
+        let Some((_, view, _)) = format::decode(&payload) else {
+            return Ok(None);
+        };
+        self.cache.lock().insert(video, view.clone());
+        Ok(Some(view))
+    }
+
+    /// Fetch a video's chat replay as an owned [`ChatLog`], if crawled.
+    pub fn get_chat(&self, video: VideoId) -> std::io::Result<Option<ChatLog>> {
+        Ok(self.get_chat_view(video)?.map(|v| v.to_chat_log()))
     }
 
     /// Whether a video's chat is already stored.
@@ -100,12 +160,32 @@ impl ChatStore {
     pub fn video_count(&self) -> usize {
         self.index.len()
     }
+
+    /// Legacy v1 records still live in the log (they upgrade to v2 on
+    /// their next re-crawl).
+    pub fn v1_records(&self) -> usize {
+        self.v1_records
+    }
+
+    /// v1 records flagged as truncation victims at open.
+    pub fn v1_truncated_records(&self) -> usize {
+        self.v1_truncated
+    }
+
+    /// Record-cache `(hits, misses)` counters since open.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock();
+        (cache.hits(), cache.misses())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightor_types::{ChatMessage, UserId};
+    use proptest::prelude::*;
     use std::fs;
+    use std::io::Write as _;
 
     struct TempDir(PathBuf);
     impl TempDir {
@@ -136,6 +216,15 @@ mod tests {
         ])
     }
 
+    /// Append a raw (already encoded) record the way `put_chat` would,
+    /// bypassing the v2 encoder — fabricates legacy logs for migration
+    /// tests.
+    fn put_raw(store: &mut ChatStore, video: VideoId, payload: &[u8]) {
+        let id = store.log.append(payload).unwrap();
+        store.log.sync().unwrap();
+        store.index.insert(video, id);
+    }
+
     #[test]
     fn put_get_round_trip() {
         let dir = TempDir::new("rt");
@@ -147,6 +236,9 @@ mod tests {
         assert!(store.contains(VideoId(42)));
         assert!(!store.contains(VideoId(43)));
         assert!(store.get_chat(VideoId(43)).unwrap().is_none());
+        // The view path agrees and is zero-copy v2.
+        let view = store.get_chat_view(VideoId(42)).unwrap().unwrap();
+        assert_eq!(view, chat);
     }
 
     #[test]
@@ -164,6 +256,7 @@ mod tests {
             store.get_chat(VideoId(2)).unwrap().unwrap(),
             ChatLog::empty()
         );
+        assert_eq!(store.v1_records(), 0);
     }
 
     #[test]
@@ -182,23 +275,150 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_truncation() {
-        let chat = sample_chat();
-        let full = encode(VideoId(5), &chat);
-        assert!(decode(&full).is_some());
-        assert!(decode(&full[..full.len() - 3]).is_none());
-        assert!(decode(&full[..4]).is_none());
-        assert!(decode(&[]).is_none());
+    fn put_chats_batches_with_one_sync() {
+        let dir = TempDir::new("batch");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let a = sample_chat();
+        let b = ChatLog::empty();
+        let n = store
+            .put_chats([(VideoId(1), &a), (VideoId(2), &b), (VideoId(1), &a)])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(store.video_count(), 2);
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), a);
+        assert_eq!(store.get_chat(VideoId(2)).unwrap().unwrap(), b);
+        // Batch contents survive a reopen (the single sync covered all).
+        drop(store);
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 2);
+        assert_eq!(store.put_chats(std::iter::empty()).ok(), Some(0));
     }
 
     #[test]
-    fn long_messages_are_truncated_not_corrupted() {
+    fn record_cache_serves_repeat_reads() {
+        let dir = TempDir::new("cache");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        let first = store.get_chat_view(VideoId(1)).unwrap().unwrap();
+        let second = store.get_chat_view(VideoId(1)).unwrap().unwrap();
+        // Cache hit: both views share one payload buffer.
+        assert!(Arc::ptr_eq(first.buffer(), second.buffer()));
+        let (hits, misses) = store.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // A re-put invalidates the cached view.
+        store.put_chat(VideoId(1), &ChatLog::empty()).unwrap();
+        let fresh = store.get_chat_view(VideoId(1)).unwrap().unwrap();
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn long_messages_survive_v2_intact() {
+        // The v1 defect (silent u16 truncation) is fixed by v2's u32
+        // offsets: the full text round-trips.
         let dir = TempDir::new("long");
         let mut store = ChatStore::open(&dir.0).unwrap();
         let long_text = "x".repeat(70_000);
-        let chat = ChatLog::new(vec![ChatMessage::new(0.0, UserId(1), long_text)]);
+        let chat = ChatLog::new(vec![ChatMessage::new(0.0, UserId(1), long_text.clone())]);
         store.put_chat(VideoId(9), &chat).unwrap();
         let back = store.get_chat(VideoId(9)).unwrap().unwrap();
-        assert_eq!(back.messages()[0].text.len(), u16::MAX as usize);
+        assert_eq!(back.messages()[0].text, long_text);
+    }
+
+    #[test]
+    fn v1_to_v2_mixed_log_recovers_on_reopen() {
+        let dir = TempDir::new("mixed");
+        let old = sample_chat();
+        let new = ChatLog::new(vec![ChatMessage::new(4.0, UserId(2), "fresh crawl")]);
+        {
+            let mut store = ChatStore::open(&dir.0).unwrap();
+            // A legacy log: two v1 records, one of them truncated.
+            put_raw(&mut store, VideoId(1), &format::encode_v1(VideoId(1), &old));
+            let long = ChatLog::new(vec![ChatMessage::new(0.0, UserId(3), "y".repeat(70_000))]);
+            put_raw(
+                &mut store,
+                VideoId(2),
+                &format::encode_v1(VideoId(2), &long),
+            );
+            // An upgrade recrawls video 2 with v2 and adds video 3.
+            store.put_chat(VideoId(2), &new).unwrap();
+            store.put_chat(VideoId(3), &new).unwrap();
+        }
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 3);
+        // v1 records decode through the same API...
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), old);
+        // ...the recrawled v2 record wins over the truncated v1 one...
+        assert_eq!(store.get_chat(VideoId(2)).unwrap().unwrap(), new);
+        assert_eq!(store.get_chat(VideoId(3)).unwrap().unwrap(), new);
+        // ...and the legacy/truncation counters report the migration state.
+        assert_eq!(store.v1_records(), 2);
+        assert_eq!(store.v1_truncated_records(), 1);
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped_on_reopen() {
+        // Crash mid-append: the chat-store level view of SegmentLog's
+        // torn-tail recovery. Good records survive, the torn one is
+        // truncated away, and the store keeps accepting writes.
+        let dir = TempDir::new("torn");
+        {
+            let mut store = ChatStore::open(&dir.0).unwrap();
+            store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        }
+        // Append half a record by hand: a frame header promising more
+        // bytes than were written.
+        let seg = dir.0.join("segment-000000.log");
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        let garbage = [0xFFu8, 0xFF, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78, 0xAB];
+        f.write_all(&garbage).unwrap();
+        drop(f);
+
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 1);
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
+        // Appending after recovery still works and survives reopen.
+        store.put_chat(VideoId(2), &ChatLog::empty()).unwrap();
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 2);
+    }
+
+    /// Unicode palette for the round-trip property: ASCII, combining
+    /// and multi-byte characters, an emoji, a space, and NUL.
+    const CHARS: &[char] = &[
+        'a', 'Z', '0', ' ', 'é', 'ß', '消', '息', '✓', '🎉', '\u{0}', '\n',
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn v2_round_trip_arbitrary_unicode(
+            msgs in proptest::collection::vec(
+                (0.0..86_400.0f64, 0u64..1000, proptest::collection::vec(0usize..12, 0..16)),
+                0..40,
+            ),
+        ) {
+            // 0..16-char texts (including empty) over the unicode palette;
+            // 0..40 messages (including the empty log).
+            let chat = ChatLog::new(
+                msgs.iter()
+                    .map(|(ts, user, idx)| {
+                        let text: String = idx.iter().map(|&i| CHARS[i % CHARS.len()]).collect();
+                        ChatMessage::new(*ts, UserId(*user), text)
+                    })
+                    .collect(),
+            );
+            let payload: Arc<[u8]> = format::encode_v2(VideoId(77), &chat).into();
+            let (video, view) = format::decode_v2(&payload).expect("encoder output must decode");
+            prop_assert_eq!(video, VideoId(77));
+            prop_assert!(view == chat, "view/log mismatch");
+            prop_assert_eq!(view.to_chat_log(), chat);
+            // And the store round-trips it through disk.
+            let dir = TempDir::new("prop");
+            let mut store = ChatStore::open(&dir.0).unwrap();
+            store.put_chat(VideoId(77), &view.to_chat_log()).unwrap();
+            prop_assert_eq!(store.get_chat(VideoId(77)).unwrap().unwrap(), view.to_chat_log());
+        }
     }
 }

@@ -1,0 +1,358 @@
+//! The chat record codec: versioned payload formats for [`super::ChatStore`].
+//!
+//! Two formats coexist in one log (records are self-describing, so logs
+//! written by older builds keep working after an upgrade):
+//!
+//! **v1 (legacy, row-oriented)** — no header, one framed row per message:
+//!
+//! ```text
+//! [video_id: u64][n: u32] n × ([ts: f64][user: u64][len: u16][utf8 text])
+//! ```
+//!
+//! Decoding allocates one `String` per message, and the `u16` length
+//! field silently truncated texts longer than 65 535 bytes at encode
+//! time. v1 is *decode-only* in production; [`encode_v1`] is retained
+//! for migration tests and as the benchmark baseline. The v1 decode
+//! path flags records that contain a maximum-length text as suspected
+//! truncation victims so stores can surface the data loss.
+//!
+//! **v2 (current, columnar)** — a header followed by parallel arrays and
+//! one contiguous text blob (all little-endian):
+//!
+//! ```text
+//! [magic: u32 = "LCv2"][version: u16 = 2][flags: u16 = 0]
+//! [video_id: u64][n: u32]
+//! [ts: f64 × n][user: u64 × n][text_end: u32 × n]
+//! [blob_len: u32][utf8 blob]
+//! ```
+//!
+//! `text_end[i]` is the cumulative end offset of message `i`'s text in
+//! the blob (u32, so texts up to 4 GiB aggregate — no silent `u16`
+//! truncation). A v2 record decodes into a zero-copy
+//! [`ChatLogView`] with O(1) allocations: the view `Arc`s the payload
+//! buffer and reads the arrays in place.
+//!
+//! Format detection ([`sniff`] / [`decode`]) tries v2 first — magic,
+//! version, and an exact length equation must all hold — then falls
+//! back to a strict v1 walk that must consume the payload exactly.
+//! A false positive would need a v1 video id whose low bytes equal the
+//! magic *and* a byte stream satisfying the v2 length equation, which
+//! the strict checks make practically impossible.
+
+use bytes::{Buf, BufMut, BytesMut};
+use lightor_types::{ChatLog, ChatLogView, ChatMessage, ColumnarLayout, Sec, UserId, VideoId};
+use std::sync::Arc;
+
+/// v2 header magic: `b"LCv2"` read as a little-endian u32.
+pub const V2_MAGIC: u32 = u32::from_le_bytes(*b"LCv2");
+/// Current record format version.
+pub const V2_VERSION: u16 = 2;
+/// Byte length of the fixed v2 header (magic + version + flags + video + n).
+const V2_HEADER: usize = 4 + 2 + 2 + 8 + 4;
+
+/// Which codec a record was written with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Legacy row-oriented records (owned-`String` decode).
+    V1,
+    /// Columnar zero-copy records.
+    V2,
+}
+
+/// Cheap per-record metadata extracted without materializing messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordInfo {
+    /// The video the record stores.
+    pub video: VideoId,
+    /// Codec the record was written with.
+    pub format: Format,
+    /// v1 only: the record holds a maximum-length (65 535-byte) text,
+    /// i.e. it was very likely truncated by the v1 encoder.
+    pub truncated: bool,
+}
+
+/// Encode a chat replay with the current (v2, columnar) format.
+pub fn encode_v2(video: VideoId, chat: &ChatLog) -> Vec<u8> {
+    let n = chat.len();
+    let blob_len: usize = chat.messages().iter().map(|m| m.text.len()).sum();
+    let mut buf = BytesMut::with_capacity(V2_HEADER + 20 * n + 4 + blob_len);
+    buf.put_u32_le(V2_MAGIC);
+    buf.put_u16_le(V2_VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u64_le(video.0);
+    buf.put_u32_le(n as u32);
+    for m in chat.messages() {
+        buf.put_f64_le(m.ts.0);
+    }
+    for m in chat.messages() {
+        buf.put_u64_le(m.user.0);
+    }
+    let mut end = 0u32;
+    for m in chat.messages() {
+        end += m.text.len() as u32;
+        buf.put_u32_le(end);
+    }
+    buf.put_u32_le(blob_len as u32);
+    for m in chat.messages() {
+        buf.put_slice(m.text.as_bytes());
+    }
+    buf.to_vec()
+}
+
+/// Encode with the legacy v1 format. Texts longer than 65 535 bytes are
+/// truncated (the defect that motivated v2) — kept only so migration
+/// tests and benchmarks can fabricate old logs.
+pub fn encode_v1(video: VideoId, chat: &ChatLog) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(video.0);
+    buf.put_u32_le(chat.len() as u32);
+    for m in chat.messages() {
+        buf.put_f64_le(m.ts.0);
+        buf.put_u64_le(m.user.0);
+        let text = m.text.as_bytes();
+        let len = text.len().min(u16::MAX as usize);
+        buf.put_u16_le(len as u16);
+        buf.put_slice(&text[..len]);
+    }
+    buf.to_vec()
+}
+
+/// Compute the v2 layout of `payload` if (and only if) it is a valid v2
+/// record. Pure offset arithmetic — no per-message work.
+fn v2_layout(payload: &[u8]) -> Option<(VideoId, ColumnarLayout)> {
+    if payload.len() < V2_HEADER + 4 {
+        return None;
+    }
+    let mut p = payload;
+    if p.get_u32_le() != V2_MAGIC || p.get_u16_le() != V2_VERSION {
+        return None;
+    }
+    let _flags = p.get_u16_le();
+    let video = VideoId(p.get_u64_le());
+    let n = p.get_u32_le() as usize;
+    let ts_off = V2_HEADER;
+    let user_off = ts_off.checked_add(n.checked_mul(8)?)?;
+    let ends_off = user_off.checked_add(n.checked_mul(8)?)?;
+    let blob_len_off = ends_off.checked_add(n.checked_mul(4)?)?;
+    let text_off = blob_len_off.checked_add(4)?;
+    if text_off > payload.len() {
+        return None;
+    }
+    let text_len = read_u32_at(payload, blob_len_off) as usize;
+    // Exact length equation: nothing may trail the blob.
+    if text_off.checked_add(text_len)? != payload.len() {
+        return None;
+    }
+    Some((
+        video,
+        ColumnarLayout {
+            n,
+            ts_off,
+            user_off,
+            ends_off,
+            text_off,
+            text_len,
+        },
+    ))
+}
+
+fn read_u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("bounds checked"))
+}
+
+/// Decode a v2 record into a zero-copy view sharing `payload`.
+pub fn decode_v2(payload: &Arc<[u8]>) -> Option<(VideoId, ChatLogView)> {
+    let (video, layout) = v2_layout(payload)?;
+    let view = ChatLogView::new(payload.clone(), layout)?;
+    Some((video, view))
+}
+
+/// The legacy owned-`String` v1 decode (also the benchmark baseline).
+/// Strict: the payload must be consumed exactly.
+pub fn decode_v1_owned(mut payload: &[u8]) -> Option<(VideoId, ChatLog, bool)> {
+    if payload.remaining() < 12 {
+        return None;
+    }
+    let video = VideoId(payload.get_u64_le());
+    let n = payload.get_u32_le() as usize;
+    let mut truncated = false;
+    let mut messages = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        if payload.remaining() < 18 {
+            return None;
+        }
+        let ts = payload.get_f64_le();
+        let user = payload.get_u64_le();
+        let len = payload.get_u16_le() as usize;
+        if payload.remaining() < len {
+            return None;
+        }
+        truncated |= len == u16::MAX as usize;
+        let text = String::from_utf8_lossy(&payload[..len]).into_owned();
+        payload.advance(len);
+        messages.push(ChatMessage::new(Sec(ts), UserId(user), text));
+    }
+    if payload.remaining() > 0 {
+        return None;
+    }
+    Some((video, ChatLog::new(messages), truncated))
+}
+
+/// Walk a v1 record without allocating message strings; returns the
+/// video id and whether any text hit the v1 length ceiling.
+fn v1_walk(mut payload: &[u8]) -> Option<(VideoId, bool)> {
+    if payload.remaining() < 12 {
+        return None;
+    }
+    let video = VideoId(payload.get_u64_le());
+    let n = payload.get_u32_le() as usize;
+    let mut truncated = false;
+    for _ in 0..n {
+        if payload.remaining() < 18 {
+            return None;
+        }
+        payload.advance(16); // ts + user
+        let len = payload.get_u16_le() as usize;
+        if payload.remaining() < len {
+            return None;
+        }
+        truncated |= len == u16::MAX as usize;
+        payload.advance(len);
+    }
+    if payload.remaining() > 0 {
+        return None;
+    }
+    Some((video, truncated))
+}
+
+/// Identify a record and extract its metadata without materializing
+/// messages — the index-rebuild path (`ChatStore::open`) runs this over
+/// every record, so it must not allocate per message.
+pub fn sniff(payload: &[u8]) -> Option<RecordInfo> {
+    if let Some((video, _)) = v2_layout(payload) {
+        return Some(RecordInfo {
+            video,
+            format: Format::V2,
+            truncated: false,
+        });
+    }
+    v1_walk(payload).map(|(video, truncated)| RecordInfo {
+        video,
+        format: Format::V1,
+        truncated,
+    })
+}
+
+/// Decode a record of either format into a [`ChatLogView`].
+///
+/// v2 records share `payload` zero-copy; v1 records are materialized
+/// once and re-columnarized (the price of the migration path).
+pub fn decode(payload: &Arc<[u8]>) -> Option<(VideoId, ChatLogView, Format)> {
+    if let Some((video, view)) = decode_v2(payload) {
+        return Some((video, view, Format::V2));
+    }
+    let (video, chat, _) = decode_v1_owned(payload)?;
+    Some((video, ChatLogView::from_chat_log(&chat), Format::V1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chat() -> ChatLog {
+        ChatLog::new(vec![
+            ChatMessage::new(1.5, UserId(7), "first message"),
+            ChatMessage::new(3.25, UserId(8), "second 消息 with unicode"),
+            ChatMessage::new(9.0, UserId::BOT, "spam spam"),
+        ])
+    }
+
+    #[test]
+    fn v2_round_trip_zero_copy() {
+        let chat = sample_chat();
+        let payload: Arc<[u8]> = encode_v2(VideoId(42), &chat).into();
+        let (video, view) = decode_v2(&payload).expect("valid v2");
+        assert_eq!(video, VideoId(42));
+        assert_eq!(view, chat);
+        // Zero-copy: the view shares the payload allocation.
+        assert!(Arc::ptr_eq(view.buffer(), &payload));
+    }
+
+    #[test]
+    fn v2_empty_log() {
+        let payload: Arc<[u8]> = encode_v2(VideoId(1), &ChatLog::empty()).into();
+        let (video, view) = decode_v2(&payload).unwrap();
+        assert_eq!(video, VideoId(1));
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn sniff_identifies_both_formats() {
+        let chat = sample_chat();
+        let v2 = encode_v2(VideoId(5), &chat);
+        let v1 = encode_v1(VideoId(6), &chat);
+        assert_eq!(
+            sniff(&v2),
+            Some(RecordInfo {
+                video: VideoId(5),
+                format: Format::V2,
+                truncated: false
+            })
+        );
+        assert_eq!(
+            sniff(&v1),
+            Some(RecordInfo {
+                video: VideoId(6),
+                format: Format::V1,
+                truncated: false
+            })
+        );
+        assert_eq!(sniff(&[]), None);
+        assert_eq!(sniff(&v2[..v2.len() - 1]), None);
+    }
+
+    #[test]
+    fn v1_truncation_is_flagged() {
+        let long = "x".repeat(70_000);
+        let chat = ChatLog::new(vec![ChatMessage::new(0.0, UserId(1), long)]);
+        let v1 = encode_v1(VideoId(9), &chat);
+        let info = sniff(&v1).unwrap();
+        assert!(info.truncated, "max-length v1 text must be flagged");
+        let (_, decoded, truncated) = decode_v1_owned(&v1).unwrap();
+        assert!(truncated);
+        assert_eq!(decoded.messages()[0].text.len(), u16::MAX as usize);
+        // v2 keeps the full text.
+        let payload: Arc<[u8]> = encode_v2(VideoId(9), &chat).into();
+        let (_, view) = decode_v2(&payload).unwrap();
+        assert_eq!(view.text(0).len(), 70_000);
+    }
+
+    #[test]
+    fn decode_handles_either_format() {
+        let chat = sample_chat();
+        for (payload, fmt) in [
+            (encode_v2(VideoId(3), &chat), Format::V2),
+            (encode_v1(VideoId(3), &chat), Format::V1),
+        ] {
+            let arc: Arc<[u8]> = payload.into();
+            let (video, view, format) = decode(&arc).expect("decodable");
+            assert_eq!(video, VideoId(3));
+            assert_eq!(format, fmt);
+            assert_eq!(view, chat);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let chat = sample_chat();
+        let v2 = encode_v2(VideoId(5), &chat);
+        for cut in [1, 3, v2.len() - 1] {
+            let arc: Arc<[u8]> = v2[..v2.len() - cut].to_vec().into();
+            assert!(decode(&arc).is_none(), "cut {cut} bytes");
+        }
+        let v1 = encode_v1(VideoId(5), &chat);
+        assert!(decode_v1_owned(&v1[..v1.len() - 3]).is_none());
+        assert!(decode_v1_owned(&v1[..4]).is_none());
+        assert!(decode_v1_owned(&[]).is_none());
+    }
+}

@@ -158,9 +158,11 @@ impl SegmentLog {
         Ok(payload)
     }
 
-    /// Iterate every valid record in log order as `(id, payload)`.
-    pub fn scan(&self) -> std::io::Result<Vec<(RecordId, Vec<u8>)>> {
-        let mut out = Vec::new();
+    /// Visit every valid record in log order as `(id, payload)` without
+    /// copying payloads — each callback borrows straight from the
+    /// segment read buffer. Index-rebuild scans (which only *sniff*
+    /// records) should use this instead of [`SegmentLog::scan`].
+    pub fn scan_with(&self, mut visit: impl FnMut(RecordId, &[u8])) -> std::io::Result<()> {
         for seg in 0..=self.active {
             let path = segment_path(&self.dir, seg);
             if !path.exists() {
@@ -177,16 +179,24 @@ impl SegmentLog {
                 if end > buf.len() || crc32(&buf[pos + HEADER..end]) != crc {
                     break;
                 }
-                out.push((
+                visit(
                     RecordId {
                         segment: seg,
                         offset: pos as u64,
                     },
-                    buf[pos + HEADER..end].to_vec(),
-                ));
+                    &buf[pos + HEADER..end],
+                );
                 pos = end;
             }
         }
+        Ok(())
+    }
+
+    /// Iterate every valid record in log order as owned `(id, payload)`
+    /// pairs (a copying convenience over [`SegmentLog::scan_with`]).
+    pub fn scan(&self) -> std::io::Result<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_with(|id, payload| out.push((id, payload.to_vec())))?;
         Ok(out)
     }
 

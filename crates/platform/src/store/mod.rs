@@ -1,6 +1,7 @@
 //! Embedded storage: segment log, chat store, KV snapshot store.
 
 mod chatstore;
+pub mod format;
 mod kv;
 mod log;
 

@@ -107,6 +107,39 @@ impl From<EventDto> for Interaction {
     }
 }
 
+/// `GET /stats` response: serving counters for dashboards.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Videos with chat stored.
+    pub stored_videos: usize,
+    /// Videos with live refinement state.
+    pub tracked_videos: usize,
+    /// Warm scores served without re-tokenizing.
+    pub corpus_cache_hits: u64,
+    /// Tokenization runs (cold scores).
+    pub corpus_cache_misses: u64,
+    /// Chat records served from the decoded-record cache.
+    pub record_cache_hits: u64,
+    /// Chat records decoded from the log.
+    pub record_cache_misses: u64,
+    /// Legacy records that lost text to the v1 format's u16 ceiling.
+    pub v1_truncated_records: usize,
+}
+
+impl From<crate::service::ServiceStats> for StatsResponse {
+    fn from(s: crate::service::ServiceStats) -> Self {
+        StatsResponse {
+            stored_videos: s.stored_videos,
+            tracked_videos: s.tracked_videos,
+            corpus_cache_hits: s.corpus_cache_hits,
+            corpus_cache_misses: s.corpus_cache_misses,
+            record_cache_hits: s.record_cache_hits,
+            record_cache_misses: s.record_cache_misses,
+            v1_truncated_records: s.v1_truncated_records,
+        }
+    }
+}
+
 /// `POST /video/{id}/session` request body.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SessionUpload {
@@ -181,6 +214,25 @@ mod tests {
         assert_eq!(vid, VideoId(7));
         assert_eq!(session.user, UserId(99));
         assert_eq!(session.plays().len(), 2);
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let stats = crate::service::ServiceStats {
+            stored_videos: 3,
+            tracked_videos: 2,
+            corpus_cache_hits: 10,
+            corpus_cache_misses: 3,
+            record_cache_hits: 7,
+            record_cache_misses: 4,
+            v1_truncated_records: 1,
+        };
+        let dto: StatsResponse = stats.into();
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: StatsResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
+        assert_eq!(back.stored_videos, 3);
+        assert_eq!(back.corpus_cache_hits, 10);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Zero-copy columnar views over chat replays.
+//!
+//! A [`ChatLogView`] is the read side of the platform's columnar record
+//! format: one shared byte buffer (`Arc<[u8]>`) holding parallel
+//! timestamp / user / text-offset arrays plus a single contiguous UTF-8
+//! text blob, described by a [`ColumnarLayout`]. Decoding a stored chat
+//! into a view costs O(1) allocations — the view *borrows* the payload
+//! via the `Arc` instead of materializing one owned `String` per
+//! message — while still exposing per-message access, iteration, and
+//! on-demand materialization into an owned [`ChatLog`].
+//!
+//! Invariants are checked once at construction ([`ChatLogView::new`]):
+//! every section lies inside the buffer, text end-offsets are monotone,
+//! and the last end-offset equals the blob length. After that, all
+//! accessors are infallible and allocation-free (text access returns
+//! `Cow::Borrowed` for valid UTF-8, falling back to a lossy owned copy
+//! for corrupt bytes, mirroring the v1 decode behaviour).
+
+use crate::chat::{ChatLog, ChatMessage, UserId};
+use crate::time::Sec;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Section placement of one columnar chat record inside its buffer.
+///
+/// All offsets are byte offsets into the shared buffer; the arrays are
+/// little-endian and index-aligned (entry `i` of each array describes
+/// message `i`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnarLayout {
+    /// Number of messages.
+    pub n: usize,
+    /// Offset of the `f64` timestamp array (8·n bytes).
+    pub ts_off: usize,
+    /// Offset of the `u64` user-id array (8·n bytes).
+    pub user_off: usize,
+    /// Offset of the `u32` cumulative text end-offset array (4·n bytes).
+    /// Entry `i` is the end of message `i`'s text inside the blob; its
+    /// start is entry `i-1` (or 0 for the first message).
+    pub ends_off: usize,
+    /// Offset of the UTF-8 text blob.
+    pub text_off: usize,
+    /// Byte length of the text blob.
+    pub text_len: usize,
+}
+
+/// A zero-copy view of one video's chat replay.
+///
+/// Cheap to clone (an `Arc` bump plus a few words), `Send + Sync`, and
+/// safe to cache — the underlying buffer is immutable.
+#[derive(Clone, Debug)]
+pub struct ChatLogView {
+    buf: Arc<[u8]>,
+    layout: ColumnarLayout,
+}
+
+/// One message as seen through a [`ChatLogView`] — text borrows the
+/// view's buffer when it is valid UTF-8.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChatMessageRef<'a> {
+    /// When the message was posted, in video time.
+    pub ts: Sec,
+    /// Author of the message.
+    pub user: UserId,
+    /// Message text.
+    pub text: Cow<'a, str>,
+}
+
+fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
+}
+
+impl ChatLogView {
+    /// Wrap a buffer, validating the layout. Returns `None` when any
+    /// section falls outside the buffer, the end-offset array is not
+    /// monotone, or the final end-offset disagrees with `text_len`.
+    pub fn new(buf: Arc<[u8]>, layout: ColumnarLayout) -> Option<Self> {
+        let n = layout.n;
+        let sect = |off: usize, len: usize| {
+            off.checked_add(len)
+                .is_some_and(|end| end <= buf.len())
+                .then_some(())
+        };
+        sect(layout.ts_off, n.checked_mul(8)?)?;
+        sect(layout.user_off, n.checked_mul(8)?)?;
+        sect(layout.ends_off, n.checked_mul(4)?)?;
+        sect(layout.text_off, layout.text_len)?;
+        let mut prev = 0u32;
+        for i in 0..n {
+            let end = read_u32(&buf, layout.ends_off + 4 * i);
+            if end < prev {
+                return None;
+            }
+            prev = end;
+        }
+        if prev as usize != layout.text_len {
+            return None;
+        }
+        Some(ChatLogView { buf, layout })
+    }
+
+    /// Build an owned columnar view from a [`ChatLog`] (used for the v1
+    /// migration path and for tests; O(total text) one-time cost).
+    pub fn from_chat_log(chat: &ChatLog) -> Self {
+        let n = chat.len();
+        let text_len: usize = chat.messages().iter().map(|m| m.text.len()).sum();
+        let ts_off = 0;
+        let user_off = ts_off + 8 * n;
+        let ends_off = user_off + 8 * n;
+        let text_off = ends_off + 4 * n;
+        let mut buf = Vec::with_capacity(text_off + text_len);
+        for m in chat.messages() {
+            buf.extend_from_slice(&m.ts.0.to_le_bytes());
+        }
+        for m in chat.messages() {
+            buf.extend_from_slice(&m.user.0.to_le_bytes());
+        }
+        let mut end = 0u32;
+        for m in chat.messages() {
+            end += m.text.len() as u32;
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        for m in chat.messages() {
+            buf.extend_from_slice(m.text.as_bytes());
+        }
+        let layout = ColumnarLayout {
+            n,
+            ts_off,
+            user_off,
+            ends_off,
+            text_off,
+            text_len,
+        };
+        ChatLogView::new(buf.into(), layout).expect("self-built layout is valid")
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.layout.n
+    }
+
+    /// True when the view holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.layout.n == 0
+    }
+
+    /// Timestamp of message `i`.
+    pub fn ts(&self, i: usize) -> Sec {
+        assert!(i < self.layout.n, "message index out of range");
+        Sec(f64::from_le_bytes(
+            self.buf[self.layout.ts_off + 8 * i..self.layout.ts_off + 8 * i + 8]
+                .try_into()
+                .expect("bounds checked"),
+        ))
+    }
+
+    /// Author of message `i`.
+    pub fn user(&self, i: usize) -> UserId {
+        assert!(i < self.layout.n, "message index out of range");
+        UserId(read_u64(&self.buf, self.layout.user_off + 8 * i))
+    }
+
+    /// Text of message `i` — borrowed when valid UTF-8.
+    pub fn text(&self, i: usize) -> Cow<'_, str> {
+        assert!(i < self.layout.n, "message index out of range");
+        let start = if i == 0 {
+            0
+        } else {
+            read_u32(&self.buf, self.layout.ends_off + 4 * (i - 1)) as usize
+        };
+        let end = read_u32(&self.buf, self.layout.ends_off + 4 * i) as usize;
+        String::from_utf8_lossy(&self.buf[self.layout.text_off + start..self.layout.text_off + end])
+    }
+
+    /// Message `i` as a borrowing reference.
+    pub fn get(&self, i: usize) -> ChatMessageRef<'_> {
+        ChatMessageRef {
+            ts: self.ts(i),
+            user: self.user(i),
+            text: self.text(i),
+        }
+    }
+
+    /// Iterate messages in stored (timestamp) order.
+    pub fn iter(&self) -> impl Iterator<Item = ChatMessageRef<'_>> + '_ {
+        (0..self.layout.n).map(move |i| self.get(i))
+    }
+
+    /// Timestamp of the last message, if any.
+    pub fn last_ts(&self) -> Option<Sec> {
+        self.layout.n.checked_sub(1).map(|i| self.ts(i))
+    }
+
+    /// Materialize into an owned [`ChatLog`] (allocates per message).
+    pub fn to_chat_log(&self) -> ChatLog {
+        ChatLog::new(
+            self.iter()
+                .map(|m| ChatMessage::new(m.ts, m.user, m.text.into_owned()))
+                .collect(),
+        )
+    }
+
+    /// The shared payload buffer the view borrows.
+    pub fn buffer(&self) -> &Arc<[u8]> {
+        &self.buf
+    }
+}
+
+impl PartialEq<ChatLog> for ChatLogView {
+    fn eq(&self, other: &ChatLog) -> bool {
+        self.len() == other.len()
+            && self.iter().zip(other.messages()).all(|(a, b)| {
+                a.ts.0.to_bits() == b.ts.0.to_bits() && a.user == b.user && a.text == b.text
+            })
+    }
+}
+
+impl PartialEq<ChatLogView> for ChatLog {
+    fn eq(&self, other: &ChatLogView) -> bool {
+        other == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChatLog {
+        ChatLog::new(vec![
+            ChatMessage::new(1.5, UserId(7), "first"),
+            ChatMessage::new(3.25, UserId(8), "第二 unicode ✓"),
+            ChatMessage::new(3.25, UserId(9), ""),
+            ChatMessage::new(9.0, UserId::BOT, "spam spam"),
+        ])
+    }
+
+    #[test]
+    fn from_chat_log_round_trip() {
+        let chat = sample();
+        let view = ChatLogView::from_chat_log(&chat);
+        assert_eq!(view.len(), 4);
+        assert_eq!(view, chat);
+        assert_eq!(view.to_chat_log(), chat);
+        assert_eq!(view.last_ts(), chat.last_ts());
+        assert_eq!(view.text(1), "第二 unicode ✓");
+        assert_eq!(view.text(2), "");
+        assert!(matches!(view.text(0), Cow::Borrowed("first")));
+    }
+
+    #[test]
+    fn empty_view() {
+        let chat = ChatLog::empty();
+        let view = ChatLogView::from_chat_log(&chat);
+        assert!(view.is_empty());
+        assert_eq!(view.last_ts(), None);
+        assert_eq!(view.to_chat_log(), chat);
+    }
+
+    #[test]
+    fn bad_layouts_are_rejected() {
+        let view = ChatLogView::from_chat_log(&sample());
+        let buf = view.buffer().clone();
+        let good = view.layout;
+        // Section out of bounds.
+        assert!(ChatLogView::new(
+            buf.clone(),
+            ColumnarLayout {
+                text_len: good.text_len + 1,
+                ..good
+            }
+        )
+        .is_none());
+        assert!(ChatLogView::new(
+            buf.clone(),
+            ColumnarLayout {
+                n: good.n + 1000,
+                ..good
+            }
+        )
+        .is_none());
+        // Non-monotone ends: swap two end entries.
+        let mut raw = buf.to_vec();
+        let a = good.ends_off;
+        let b = good.ends_off + 4;
+        for k in 0..4 {
+            raw.swap(a + k, b + k);
+        }
+        assert!(ChatLogView::new(raw.into(), good).is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossy_not_fatal() {
+        let view = ChatLogView::from_chat_log(&sample());
+        let mut raw = view.buffer().to_vec();
+        // Corrupt the first text byte.
+        raw[view.layout.text_off] = 0xFF;
+        let corrupt = ChatLogView::new(raw.into(), view.layout).unwrap();
+        let text = corrupt.text(0);
+        assert!(text.contains('\u{FFFD}'), "lossy replacement expected");
+    }
+
+    #[test]
+    fn clone_shares_buffer() {
+        let view = ChatLogView::from_chat_log(&sample());
+        let clone = view.clone();
+        assert!(Arc::ptr_eq(view.buffer(), clone.buffer()));
+        assert_eq!(clone, sample());
+    }
+}

@@ -4,6 +4,7 @@
 //!
 //! * [`Sec`] / [`TimeRange`] — video time in seconds and closed intervals,
 //! * [`ChatMessage`] / [`ChatLog`] — time-stamped live-chat messages,
+//! * [`ChatLogView`] — zero-copy columnar view over a stored chat replay,
 //! * [`Highlight`] / [`RedDot`] — ground-truth clips and approximate markers,
 //! * [`Play`] / [`Interaction`] / [`Session`] — viewer interaction data,
 //! * [`VideoMeta`] / [`LabeledVideo`] — videos and labelled dataset units.
@@ -15,11 +16,13 @@
 #![warn(missing_docs)]
 
 mod chat;
+mod chat_view;
 mod interaction;
 mod time;
 mod video;
 
 pub use chat::{ChatLog, ChatMessage, UserId};
+pub use chat_view::{ChatLogView, ChatMessageRef, ColumnarLayout};
 pub use interaction::{Interaction, Play, PlaySet, Session};
 pub use time::{Sec, TimeRange};
 pub use video::{ChannelId, GameKind, Highlight, LabeledVideo, RedDot, VideoId, VideoMeta};

@@ -1,0 +1,71 @@
+//! Worker-thread-count independence of the crowd-simulation layer,
+//! driven through the rayon stub's `RAYON_NUM_THREADS` knob — the
+//! crowd-side mirror of `tests/thread_determinism.rs`.
+//!
+//! Like that test, this lives in its own integration-test binary on
+//! purpose: it mutates the process environment, and `std::env::set_var`
+//! racing a concurrent `std::env::var` (which the rayon stub performs
+//! on every parallel call) is undefined behaviour on glibc. A single
+//! `#[test]` per binary means nothing else reads the variable while it
+//! is being written.
+
+use lightor_crowdsim::Campaign;
+use lightor_types::{
+    ChannelId, ChatLog, GameKind, Highlight, LabeledVideo, Sec, Session, VideoId, VideoMeta,
+};
+
+fn test_video() -> LabeledVideo {
+    LabeledVideo {
+        meta: VideoMeta {
+            id: VideoId(0),
+            channel: ChannelId(0),
+            game: GameKind::Dota2,
+            duration: Sec(3600.0),
+            viewers: 500,
+        },
+        chat: ChatLog::empty(),
+        highlights: vec![
+            Highlight::from_secs(700.0, 716.0),
+            Highlight::from_secs(1990.0, 2005.0),
+        ],
+    }
+}
+
+/// One full crowd workload: a few `run_task` rounds plus a batched
+/// `run_tasks` round, concatenating every session produced.
+fn run_workload(video: &LabeledVideo) -> Vec<Session> {
+    let mut campaign = Campaign::new(200, 0xC0FFEE);
+    let mut sessions: Vec<Session> = Vec::new();
+    for dot in [Sec(1992.0), Sec(2035.0), Sec(705.0)] {
+        sessions.extend(campaign.run_task(video, dot, 12).sessions);
+    }
+    let batch: Vec<(&LabeledVideo, Sec)> = [Sec(1990.0), Sec(2000.0), Sec(730.0)]
+        .iter()
+        .map(|&d| (video, d))
+        .collect();
+    for result in campaign.run_tasks(&batch, 16) {
+        sessions.extend(result.sessions);
+    }
+    sessions
+}
+
+#[test]
+fn crowd_sessions_identical_across_thread_counts() {
+    let video = test_video();
+
+    // Baseline with whatever the environment provides.
+    let reference = run_workload(&video);
+    assert_eq!(reference.len(), 3 * 12 + 3 * 16);
+
+    // Force different worker counts through the rayon stub's env knob:
+    // every session (events, users, ordering) must be byte-identical.
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let swept = run_workload(&video);
+        assert_eq!(
+            swept, reference,
+            "thread count {threads} changed crowd-simulation output"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

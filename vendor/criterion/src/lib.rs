@@ -6,8 +6,72 @@
 //! is reached, reporting mean and best ns/iter (plus throughput when
 //! configured). Good enough for before/after comparisons on the same
 //! machine, which is all this workspace needs.
+//!
+//! Two environment knobs support CI smoke runs:
+//!
+//! * `CRITERION_QUICK=1` — shrink sample counts and time budgets so a
+//!   whole bench binary finishes in seconds;
+//! * `CRITERION_JSON=<path>` — after all groups run, write every
+//!   benchmark's median/best ns-per-iter to `<path>` as JSON (the
+//!   workspace records serving-path medians in `BENCH_platform.json`
+//!   this way, giving PRs a perf trajectory to compare against).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, retained for the optional JSON report.
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    name: String,
+    median_ns: f64,
+    best_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Write the collected results as JSON to `$CRITERION_JSON`, if set.
+/// Called by `criterion_main!` after every group has run; harmless (and
+/// silent) when the variable is absent.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}}}{}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.best_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    } else {
+        println!("criterion: wrote {} result(s) to {path}", results.len());
+    }
+}
 
 pub use std::hint::black_box;
 
@@ -28,9 +92,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 50,
-            measure_budget: Duration::from_secs(3),
+        if quick_mode() {
+            Criterion {
+                sample_size: 10,
+                measure_budget: Duration::from_millis(300),
+            }
+        } else {
+            Criterion {
+                sample_size: 50,
+                measure_budget: Duration::from_secs(3),
+            }
         }
     }
 }
@@ -181,6 +252,14 @@ fn run_bench<F>(
         fmt_ns(best),
         rate.unwrap_or_default()
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median,
+            best_ns: best,
+        });
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -206,12 +285,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Mirror of `criterion_main!`.
+/// Mirror of `criterion_main!`. Additionally flushes the optional JSON
+/// report (`$CRITERION_JSON`) once every group has run.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:ident),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

@@ -12,6 +12,11 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads to use.
+///
+/// The `RAYON_NUM_THREADS` override is re-read on every call (tests use
+/// it as a live knob), but the machine's own parallelism is cached:
+/// `available_parallelism()` performs syscalls/cgroup reads on Linux,
+/// which would otherwise dominate short parallel regions.
 pub fn current_num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
@@ -20,9 +25,12 @@ pub fn current_num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// A pending parallel iterator over slice elements.

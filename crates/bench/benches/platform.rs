@@ -11,17 +11,25 @@
 //!   warm vs cold `rescore_video` (corpus-cache hit vs re-tokenize);
 //! * `campaign_run_task` — one crowd task / one batched round, at one
 //!   forced worker thread and at the environment's thread count (the
-//!   two series expose the multi-core speedup on multi-core hosts).
+//!   two series expose the multi-core speedup on multi-core hosts);
+//! * `kv_put_throughput` — a WAL-amortized `KvStore::put` at 1k
+//!   resident keys vs the pre-shard design's whole-store JSON rewrite
+//!   (replicated inline as the baseline);
+//! * `segmentlog_compact` — one steady-state re-crawl cycle: overwrite
+//!   a stored replay, then compact the chat log back to zero dead
+//!   bytes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lightor_bench::{bench_dataset, bench_models};
 use lightor_chatsim::SimPlatform;
 use lightor_crowdsim::Campaign;
 use lightor_platform::store::format;
-use lightor_platform::{LightorService, ServiceConfig};
+use lightor_platform::{ChatStore, KvStore, LightorService, ServiceConfig};
 use lightor_types::{
-    ChannelId, ChatLog, GameKind, Highlight, LabeledVideo, Sec, VideoId, VideoMeta,
+    ChannelId, ChatLog, ChatMessage, GameKind, Highlight, LabeledVideo, Sec, UserId, VideoId,
+    VideoMeta,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn bench_chatstore_decode(c: &mut Criterion) {
@@ -86,6 +94,91 @@ fn bench_service_open_video_warm(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A refined-dot-state-shaped value: what the service persists per
+/// video on every refinement round.
+fn dot_state_value() -> Vec<(f64, f64, u64)> {
+    (0..5).map(|i| (700.0 + i as f64, 0.9, 3u64)).collect()
+}
+
+fn bench_kv_put_throughput(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lightor-bench-kv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let value = dot_state_value();
+
+    let mut g = c.benchmark_group("kv_put_throughput");
+    // The new write path: one framed WAL append + fsync per put, shard
+    // snapshot rewrites amortized by the op threshold.
+    let mut kv = KvStore::open(dir.join("sharded")).unwrap();
+    for i in 0..1000 {
+        kv.put(&format!("video:{i}"), &value).unwrap();
+    }
+    let mut i = 0usize;
+    g.bench_function("wal_put_1k_keys", |b| {
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            kv.put(&format!("video:{i}"), &value).unwrap();
+        })
+    });
+
+    // The pre-shard design, replicated inline: every put re-serialized
+    // the whole store as pretty JSON and rewrote one snapshot file.
+    let mut map: BTreeMap<String, serde_json::Value> = (0..1000)
+        .map(|i| (format!("video:{i}"), serde_json::to_value(&value).unwrap()))
+        .collect();
+    let snap = dir.join("monolithic.json");
+    let tmp = dir.join("monolithic.tmp");
+    let mut j = 0usize;
+    g.bench_function("full_rewrite_put_1k_keys", |b| {
+        b.iter(|| {
+            j = (j + 1) % 1000;
+            map.insert(format!("video:{j}"), serde_json::to_value(&value).unwrap());
+            let bytes = serde_json::to_vec_pretty(&map).unwrap();
+            std::fs::write(&tmp, bytes).unwrap();
+            std::fs::rename(&tmp, &snap).unwrap();
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_segmentlog_compact(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lightor-bench-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 32 stored replays of 64 messages each; every iteration re-crawls
+    // one video (orphaning its old record) and compacts the whole log.
+    let chat = ChatLog::new(
+        (0..64)
+            .map(|i| {
+                ChatMessage::new(
+                    i as f64 * 1.5,
+                    UserId(i as u64),
+                    format!("message {i} with some realistic chat text 消息"),
+                )
+            })
+            .collect(),
+    );
+    let mut store = ChatStore::open(&dir).unwrap();
+    for vid in 0..32u64 {
+        store.put_chat(VideoId(vid), &chat).unwrap();
+    }
+
+    let mut g = c.benchmark_group("segmentlog_compact");
+    g.throughput(Throughput::Elements(32));
+    let mut i = 0u64;
+    g.bench_function("recrawl_then_compact_32_videos", |b| {
+        b.iter(|| {
+            i = (i + 1) % 32;
+            store.put_chat(VideoId(i), &chat).unwrap();
+            black_box(store.compact().unwrap())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn crowd_video() -> LabeledVideo {
     LabeledVideo {
         meta: VideoMeta {
@@ -134,5 +227,7 @@ criterion_group!(
     bench_chatstore_decode,
     bench_service_open_video_warm,
     bench_campaign_run_task,
+    bench_kv_put_throughput,
+    bench_segmentlog_compact,
 );
 criterion_main!(benches);

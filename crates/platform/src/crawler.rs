@@ -5,10 +5,22 @@
 //! messages will be crawled accordingly. The online crawling will crawl
 //! the chat messages on the fly... triggered if the chat messages of a
 //! video do not exist in the database."
+//!
+//! Re-crawls ([`Crawler::recrawl_pass`]) refresh *already stored*
+//! videos (moderation edits, late chat arrivals), overwriting their
+//! records in the store. Each overwrite orphans the previous record, so
+//! the pass finishes by asking the store to compact once the dead
+//! fraction crosses a threshold — reclaim is amortized across passes
+//! instead of paid on every one.
 
-use crate::store::ChatStore;
+use crate::store::{ChatStore, CompactStats};
 use lightor_chatsim::SimPlatform;
 use lightor_types::{ChannelId, VideoId};
+
+/// Dead fraction of the chat log at which a re-crawl pass compacts.
+const RECRAWL_COMPACT_RATIO: f64 = 0.3;
+/// Dead-byte floor below which a re-crawl pass never compacts.
+const RECRAWL_COMPACT_MIN_BYTES: u64 = 64 << 10;
 
 /// Outcome counters for a crawl pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,6 +31,9 @@ pub struct CrawlStats {
     pub skipped: usize,
     /// Total chat messages fetched.
     pub messages: usize,
+    /// Bytes reclaimed by the compaction a re-crawl pass triggered
+    /// (zero when the pass stayed under the dead-byte thresholds).
+    pub reclaimed_bytes: u64,
 }
 
 /// Crawls chat replays from the (simulated) platform into a [`ChatStore`].
@@ -57,6 +72,36 @@ impl<'a> Crawler<'a> {
             }
         }
         store.put_chats(batch)?;
+        Ok(stats)
+    }
+
+    /// Re-crawl pass: fetch *every* known video of the given channels
+    /// again, overwriting stored replays, then reclaim the dead bytes
+    /// the overwrites left behind (compaction runs only past the
+    /// dead-ratio/byte thresholds; see [`ChatStore::maybe_compact`]).
+    pub fn recrawl_pass(
+        &self,
+        channels: &[ChannelId],
+        store: &mut ChatStore,
+    ) -> std::io::Result<CrawlStats> {
+        let mut stats = CrawlStats::default();
+        let mut batch = Vec::new();
+        for &ch in channels {
+            for &vid in self.platform.recent_videos(ch) {
+                if let Some(chat) = self.platform.fetch_chat(vid) {
+                    batch.push((vid, chat));
+                    stats.crawled += 1;
+                    stats.messages += chat.len();
+                }
+            }
+        }
+        store.put_chats(batch)?;
+        if let Some(CompactStats {
+            reclaimed_bytes, ..
+        }) = store.maybe_compact(RECRAWL_COMPACT_RATIO, RECRAWL_COMPACT_MIN_BYTES)?
+        {
+            stats.reclaimed_bytes = reclaimed_bytes;
+        }
         Ok(stats)
     }
 
@@ -120,6 +165,42 @@ mod tests {
         let second = crawler.offline_pass(&channels, &mut store).unwrap();
         assert_eq!(second.crawled, 0);
         assert_eq!(second.skipped, 12);
+    }
+
+    #[test]
+    fn recrawl_pass_overwrites_and_reclaims() {
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 3, 64);
+        let dir = TempDir::new("recrawl");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let crawler = Crawler::new(&platform);
+        let channels: Vec<ChannelId> = platform.channels().iter().map(|c| c.id).collect();
+
+        crawler.offline_pass(&channels, &mut store).unwrap();
+        let stored = store.video_count();
+        assert_eq!(store.dead_bytes(), 0);
+
+        // Each re-crawl overwrites every record; by the second pass the
+        // dead fraction is ≥ 2/3 and compaction must have fired (real
+        // chats here are well past the 64 KiB floor).
+        crawler.recrawl_pass(&channels, &mut store).unwrap();
+        let second = crawler.recrawl_pass(&channels, &mut store).unwrap();
+        assert_eq!(second.crawled, stored);
+        assert!(
+            second.reclaimed_bytes > 0,
+            "re-crawl pass did not compact (dead={} total={})",
+            store.dead_bytes(),
+            store.total_bytes()
+        );
+        assert_eq!(store.video_count(), stored);
+        // Live reads intact after reclaim.
+        for &ch in &channels {
+            for &vid in platform.recent_videos(ch) {
+                assert_eq!(
+                    &store.get_chat(vid).unwrap().unwrap(),
+                    platform.fetch_chat(vid).unwrap()
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! server-side machinery, which this crate provides:
 //!
 //! * [`store`] — an embedded storage layer: a CRC-checked append-only
-//!   segment log ([`store::SegmentLog`]), a per-video chat store with
-//!   crash recovery by segment scan ([`store::ChatStore`]), and an
-//!   atomic-snapshot KV store for models and red dots
+//!   segment log with compaction ([`store::SegmentLog`]), a per-video
+//!   chat store with crash recovery by segment scan and dead-byte
+//!   reclaim ([`store::ChatStore`]), and a prefix-sharded,
+//!   WAL-fronted KV store for models and red dots
 //!   ([`store::KvStore`]);
 //! * [`crawler`] — the offline/online chat crawler that pulls replays
 //!   from the (simulated) platform into the chat store;
@@ -26,4 +27,4 @@ pub mod wire;
 pub use cache::LruCache;
 pub use crawler::{CrawlStats, Crawler};
 pub use service::{LightorService, ServiceConfig, ServiceStats, VideoState};
-pub use store::{ChatStore, KvStore, SegmentLog};
+pub use store::{ChatStore, CompactStats, KvConfig, KvStats, KvStore, SegmentLog};

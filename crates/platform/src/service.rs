@@ -105,6 +105,16 @@ pub struct ServiceStats {
     pub record_cache_misses: u64,
     /// Legacy v1 records flagged as truncated at open.
     pub v1_truncated_records: usize,
+    /// Bytes currently pending in the KV write-ahead log.
+    pub kv_wal_bytes: u64,
+    /// KV WAL appends since open (every persisted refinement is one).
+    pub kv_wal_appends: u64,
+    /// KV shard snapshot rewrites since open (amortized persistence).
+    pub kv_shard_rewrites: u64,
+    /// Chat-log bytes dead (orphaned by re-crawls, not yet compacted).
+    pub chat_dead_bytes: u64,
+    /// Chat-log bytes reclaimed by compactions since open.
+    pub chat_reclaimed_bytes: u64,
 }
 
 /// The storage pair: cold-open and persistence only.
@@ -134,7 +144,18 @@ impl LightorService {
         cfg: ServiceConfig,
     ) -> std::io::Result<Self> {
         let chat = ChatStore::open(dir.join("chat"))?;
-        let kv = KvStore::open(dir.join("state.json"))?;
+        // Older deployments kept one monolithic `state.json`; hand it to
+        // the KV store under the new name and let it migrate the file
+        // into the sharded layout.
+        let state_dir = dir.join("state");
+        let legacy = dir.join("state.json");
+        if legacy.is_file() && !state_dir.exists() {
+            std::fs::rename(&legacy, &state_dir)?;
+            // Make the rename itself crash-durable before the KV store
+            // starts migrating the file's contents.
+            crate::store::sync_dir(dir)?;
+        }
+        let kv = KvStore::open(state_dir)?;
         let mut videos = HashMap::new();
         for key in kv.keys_with_prefix("video:") {
             if let (Some(id_str), Some(state)) =
@@ -358,7 +379,7 @@ impl LightorService {
 
     /// Serving counters: store/caches state for dashboards and tests.
     pub fn stats(&self) -> ServiceStats {
-        let (record_hits, record_misses, stored, v1_truncated) = {
+        let (record_hits, record_misses, stored, v1_truncated, kv, dead, reclaimed) = {
             let stores = self.stores.lock();
             let (h, m) = stores.chat.cache_stats();
             (
@@ -366,6 +387,9 @@ impl LightorService {
                 m,
                 stores.chat.video_count(),
                 stores.chat.v1_truncated_records(),
+                stores.kv.stats(),
+                stores.chat.dead_bytes(),
+                stores.chat.reclaimed_bytes(),
             )
         };
         let (corpus_hits, corpus_misses) = {
@@ -380,7 +404,23 @@ impl LightorService {
             record_cache_hits: record_hits,
             record_cache_misses: record_misses,
             v1_truncated_records: v1_truncated,
+            kv_wal_bytes: kv.wal_bytes,
+            kv_wal_appends: kv.wal_appends,
+            kv_shard_rewrites: kv.shard_rewrites,
+            chat_dead_bytes: dead,
+            chat_reclaimed_bytes: reclaimed,
         }
+    }
+
+    /// Maintenance hook: compact the chat log (reclaiming bytes orphaned
+    /// by re-crawls) and force the KV store's pending WAL into shard
+    /// snapshots. Safe to call any time; returns the chat compaction
+    /// outcome.
+    pub fn compact_storage(&self) -> std::io::Result<crate::store::CompactStats> {
+        let mut stores = self.stores.lock();
+        let stats = stores.chat.compact()?;
+        stores.kv.snapshot()?;
+        Ok(stats)
     }
 
     /// Drop every cached corpus (benchmark/test hook for measuring cold

@@ -2,10 +2,21 @@
 //!
 //! One log record = one video's full chat replay (crawls are per-video,
 //! so batching amortizes framing overhead). The in-memory index maps
-//! `VideoId → RecordId` and is rebuilt by scanning the log on open —
-//! recovery is the scan (torn tail records are truncated by
-//! [`SegmentLog::open`], and the scan itself skips anything that fails
-//! CRC or record-level validation).
+//! `VideoId → (RecordId, framed size)` and is rebuilt by scanning the
+//! log on open — recovery is the scan (torn tail records are truncated
+//! by [`SegmentLog::open`], and the scan itself skips anything that
+//! fails CRC or record-level validation).
+//!
+//! # Compaction
+//!
+//! Re-crawls overwrite by appending, so each one orphans the video's
+//! previous record. The index's size column keeps a live-byte tally,
+//! making [`ChatStore::dead_bytes`] O(1); [`ChatStore::compact`]
+//! rewrites the live set into fresh segments (via
+//! [`SegmentLog::compact`]) and remaps the index, and
+//! [`ChatStore::maybe_compact`] gates that work behind dead-ratio/byte
+//! thresholds so callers (the crawler's re-crawl pass) can invoke it
+//! unconditionally.
 //!
 //! # Record formats
 //!
@@ -36,7 +47,7 @@ use super::log::{RecordId, SegmentLog};
 use crate::cache::LruCache;
 use lightor_types::{ChatLog, ChatLogView, VideoId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -44,14 +55,40 @@ use std::sync::Arc;
 /// ~100 KB per decoded replay this bounds cache memory to a few MB.
 const RECORD_CACHE_CAP: usize = 64;
 
+/// Frame overhead the log adds per record (length + CRC header).
+const FRAME_OVERHEAD: u64 = 8;
+
+/// One live record in the index: where it is and how big it is on disk
+/// (framed), so dead bytes can be computed without rescanning the log.
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    id: RecordId,
+    framed_bytes: u64,
+}
+
+/// What one [`ChatStore::compact`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Bytes given back to the filesystem.
+    pub reclaimed_bytes: u64,
+    /// Dead records dropped.
+    pub dropped_records: usize,
+    /// Live records carried over.
+    pub live_records: usize,
+}
+
 /// Durable chat storage with a per-video index and a read-through
 /// record cache.
 #[derive(Debug)]
 pub struct ChatStore {
     log: SegmentLog,
-    index: HashMap<VideoId, RecordId>,
+    index: HashMap<VideoId, IndexEntry>,
     /// Decoded views by video; interior mutability so reads stay `&self`.
     cache: Mutex<LruCache<VideoId, ChatLogView>>,
+    /// Framed bytes of all live records (index entries).
+    live_bytes: u64,
+    /// Cumulative bytes reclaimed by compactions since open.
+    reclaimed_bytes: u64,
     v1_records: usize,
     v1_truncated: usize,
 }
@@ -67,7 +104,7 @@ impl ChatStore {
     /// a re-crawl.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let log = SegmentLog::open(dir, 8 << 20)?;
-        let mut index = HashMap::new();
+        let mut index: HashMap<VideoId, IndexEntry> = HashMap::new();
         let mut v1_records = 0usize;
         let mut v1_truncated = 0usize;
         log.scan_with(|id, payload| {
@@ -77,7 +114,13 @@ impl ChatStore {
                     v1_truncated += usize::from(info.truncated);
                 }
                 // Later records win: re-crawls overwrite.
-                index.insert(info.video, id);
+                index.insert(
+                    info.video,
+                    IndexEntry {
+                        id,
+                        framed_bytes: payload.len() as u64 + FRAME_OVERHEAD,
+                    },
+                );
             }
         })?;
         if v1_truncated > 0 {
@@ -86,20 +129,40 @@ impl ChatStore {
                  their texts were truncated at write time — re-crawl to recover"
             );
         }
+        let live_bytes = index.values().map(|e| e.framed_bytes).sum();
         Ok(ChatStore {
             log,
             index,
             cache: Mutex::new(LruCache::new(RECORD_CACHE_CAP)),
+            live_bytes,
+            reclaimed_bytes: 0,
             v1_records,
             v1_truncated,
         })
     }
 
+    /// Point a video's index entry at a fresh record, keeping the
+    /// live-byte tally consistent (a replaced record becomes dead).
+    fn index_insert(&mut self, video: VideoId, id: RecordId, payload_len: usize) {
+        let framed = payload_len as u64 + FRAME_OVERHEAD;
+        if let Some(old) = self.index.insert(
+            video,
+            IndexEntry {
+                id,
+                framed_bytes: framed,
+            },
+        ) {
+            self.live_bytes -= old.framed_bytes;
+        }
+        self.live_bytes += framed;
+    }
+
     /// Store (or replace) a video's chat replay.
     pub fn put_chat(&mut self, video: VideoId, chat: &ChatLog) -> std::io::Result<()> {
-        let id = self.log.append(&format::encode_v2(video, chat))?;
+        let payload = format::encode_v2(video, chat);
+        let id = self.log.append(&payload)?;
         self.log.sync()?;
-        self.index.insert(video, id);
+        self.index_insert(video, id, payload.len());
         self.cache.lock().remove(&video);
         Ok(())
     }
@@ -112,14 +175,13 @@ impl ChatStore {
         I: IntoIterator<Item = (VideoId, &'a ChatLog)>,
     {
         let mut written = 0usize;
-        let mut cache = self.cache.lock();
         for (video, chat) in items {
-            let id = self.log.append(&format::encode_v2(video, chat))?;
-            self.index.insert(video, id);
-            cache.remove(&video);
+            let payload = format::encode_v2(video, chat);
+            let id = self.log.append(&payload)?;
+            self.index_insert(video, id, payload.len());
+            self.cache.lock().remove(&video);
             written += 1;
         }
-        drop(cache);
         if written > 0 {
             self.log.sync()?;
         }
@@ -132,9 +194,10 @@ impl ChatStore {
     /// a miss reads one record and decodes with O(1) allocations (v2)
     /// or materializes once (legacy v1).
     pub fn get_chat_view(&self, video: VideoId) -> std::io::Result<Option<ChatLogView>> {
-        let Some(&id) = self.index.get(&video) else {
+        let Some(entry) = self.index.get(&video) else {
             return Ok(None);
         };
+        let id = entry.id;
         if let Some(view) = self.cache.lock().get(&video) {
             return Ok(Some(view));
         }
@@ -176,6 +239,60 @@ impl ChatStore {
     pub fn cache_stats(&self) -> (u64, u64) {
         let cache = self.cache.lock();
         (cache.hits(), cache.misses())
+    }
+
+    /// Total on-disk bytes of the backing log.
+    pub fn total_bytes(&self) -> u64 {
+        self.log.total_bytes()
+    }
+
+    /// Bytes occupied by records no index entry points at (re-crawled
+    /// videos orphan their previous record; torn tails, skipped frames).
+    pub fn dead_bytes(&self) -> u64 {
+        self.log.total_bytes().saturating_sub(self.live_bytes)
+    }
+
+    /// Cumulative bytes reclaimed by compactions since open.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_bytes
+    }
+
+    /// Rewrite every live record into fresh segments, drop the dead
+    /// ones, and remap the index. Live replays read back byte-for-byte
+    /// identical afterwards (the cache stays valid — it is keyed by
+    /// video, and payloads are unchanged).
+    pub fn compact(&mut self) -> std::io::Result<CompactStats> {
+        let live: HashSet<RecordId> = self.index.values().map(|e| e.id).collect();
+        let outcome = self.log.compact(&live)?;
+        for entry in self.index.values_mut() {
+            entry.id = *outcome
+                .remap
+                .get(&entry.id)
+                .expect("compaction must remap every live record");
+        }
+        self.reclaimed_bytes += outcome.bytes_reclaimed();
+        Ok(CompactStats {
+            reclaimed_bytes: outcome.bytes_reclaimed(),
+            dropped_records: outcome.dropped_records,
+            live_records: self.index.len(),
+        })
+    }
+
+    /// Compact only when at least `min_dead_bytes` are dead *and* the
+    /// dead fraction exceeds `min_dead_ratio` — the crawler's re-crawl
+    /// path calls this after overwriting stored videos so reclaim work
+    /// is amortized instead of running on every pass.
+    pub fn maybe_compact(
+        &mut self,
+        min_dead_ratio: f64,
+        min_dead_bytes: u64,
+    ) -> std::io::Result<Option<CompactStats>> {
+        let total = self.total_bytes();
+        let dead = self.dead_bytes();
+        if total == 0 || dead < min_dead_bytes || (dead as f64) < min_dead_ratio * total as f64 {
+            return Ok(None);
+        }
+        self.compact().map(Some)
     }
 }
 
@@ -222,7 +339,7 @@ mod tests {
     fn put_raw(store: &mut ChatStore, video: VideoId, payload: &[u8]) {
         let id = store.log.append(payload).unwrap();
         store.log.sync().unwrap();
-        store.index.insert(video, id);
+        store.index_insert(video, id, payload.len());
     }
 
     #[test]
@@ -383,6 +500,60 @@ mod tests {
         assert_eq!(store.video_count(), 2);
     }
 
+    #[test]
+    fn recrawl_accumulates_dead_bytes_and_compact_reclaims() {
+        let dir = TempDir::new("compact");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let chat = sample_chat();
+        for vid in 1..=4u64 {
+            store.put_chat(VideoId(vid), &chat).unwrap();
+        }
+        assert_eq!(store.dead_bytes(), 0);
+        // Re-crawl every video twice: 2/3 of the log is now dead.
+        for _ in 0..2 {
+            for vid in 1..=4u64 {
+                store.put_chat(VideoId(vid), &chat).unwrap();
+            }
+        }
+        let dead = store.dead_bytes();
+        assert!(dead * 3 >= store.total_bytes() * 2 - 8, "dead={dead}");
+
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.live_records, 4);
+        assert_eq!(stats.dropped_records, 8);
+        assert_eq!(stats.reclaimed_bytes, dead);
+        assert_eq!(store.dead_bytes(), 0);
+        assert_eq!(store.reclaimed_bytes(), dead);
+
+        // All live reads intact, through compaction AND a reopen.
+        for vid in 1..=4u64 {
+            assert_eq!(store.get_chat(VideoId(vid)).unwrap().unwrap(), chat);
+        }
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.video_count(), 4);
+        assert_eq!(store.dead_bytes(), 0);
+        for vid in 1..=4u64 {
+            assert_eq!(store.get_chat(VideoId(vid)).unwrap().unwrap(), chat);
+        }
+    }
+
+    #[test]
+    fn maybe_compact_respects_thresholds() {
+        let dir = TempDir::new("maybe");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        // Nothing dead → no compaction.
+        assert!(store.maybe_compact(0.25, 1).unwrap().is_none());
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        // Half the log is dead but under the byte floor → still no-op.
+        assert!(store.maybe_compact(0.25, 1 << 30).unwrap().is_none());
+        // Over both thresholds → compacts.
+        let stats = store.maybe_compact(0.25, 1).unwrap().unwrap();
+        assert_eq!(stats.dropped_records, 1);
+        assert_eq!(store.dead_bytes(), 0);
+    }
+
     /// Unicode palette for the round-trip property: ASCII, combining
     /// and multi-byte characters, an emoji, a space, and NUL.
     const CHARS: &[char] = &[
@@ -419,6 +590,55 @@ mod tests {
             let mut store = ChatStore::open(&dir.0).unwrap();
             store.put_chat(VideoId(77), &view.to_chat_log()).unwrap();
             prop_assert_eq!(store.get_chat(VideoId(77)).unwrap().unwrap(), view.to_chat_log());
+        }
+
+        #[test]
+        fn compaction_preserves_live_records_across_interleavings(
+            // A random interleaving of appends and re-crawls over a small
+            // video-id space: (video 0..6, chat variant 0..8) per op.
+            ops in proptest::collection::vec((0u64..6, 0usize..8), 1..32),
+            compact_at in proptest::collection::vec(0usize..32, 0..3),
+        ) {
+            fn variant_chat(v: usize) -> ChatLog {
+                ChatLog::new(
+                    (0..v + 1)
+                        .map(|i| {
+                            ChatMessage::new(
+                                i as f64 * 2.5,
+                                UserId(i as u64),
+                                format!("variant-{v} message-{i} 消息✓"),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+            let dir = TempDir::new("prop-compact");
+            let mut store = ChatStore::open(&dir.0).unwrap();
+            // The oracle: what each video's chat must read back as.
+            let mut expect: std::collections::HashMap<VideoId, ChatLog> =
+                std::collections::HashMap::new();
+            for (i, &(vid, variant)) in ops.iter().enumerate() {
+                let chat = variant_chat(variant);
+                store.put_chat(VideoId(vid), &chat).unwrap();
+                expect.insert(VideoId(vid), chat);
+                if compact_at.contains(&i) {
+                    store.compact().unwrap();
+                    prop_assert_eq!(store.dead_bytes(), 0);
+                }
+            }
+            store.compact().unwrap();
+            prop_assert_eq!(store.video_count(), expect.len());
+            // Every live record survives byte-for-byte: the decoded log
+            // must equal the last chat written for that video...
+            for (vid, chat) in &expect {
+                prop_assert_eq!(&store.get_chat(*vid).unwrap().unwrap(), chat);
+            }
+            // ...including after an index rebuild from the compacted log.
+            drop(store);
+            let store = ChatStore::open(&dir.0).unwrap();
+            for (vid, chat) in &expect {
+                prop_assert_eq!(&store.get_chat(*vid).unwrap().unwrap(), chat);
+            }
         }
     }
 }

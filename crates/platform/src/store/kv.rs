@@ -1,55 +1,346 @@
-//! A small JSON key-value store with atomic snapshot persistence — holds
-//! trained model bundles and the continuously refined red-dot state
-//! ("the refined results will be stored in the database continuously",
+//! A sharded JSON key-value store with a write-ahead log — holds trained
+//! model bundles and the continuously refined red-dot state ("the
+//! refined results will be stored in the database continuously",
 //! Section VI-A).
+//!
+//! # On-disk layout
+//!
+//! The store is a directory:
+//!
+//! ```text
+//! <dir>/shard-00.json .. shard-07.json   per-shard snapshots (pretty JSON maps)
+//! <dir>/wal.log                          write-ahead log (framed JSON ops)
+//! ```
+//!
+//! Keys are routed to a shard by hashing their *prefix segment* (the
+//! part up to and including the first `:`, e.g. `video:` for
+//! `video:42`), so one logical namespace stays together and a `put`
+//! only ever dirties one shard.
+//!
+//! # Write path
+//!
+//! Every `put`/`remove` appends one CRC-framed op to the WAL and
+//! `fsync`s it — durability is per-operation, but the cost is O(op),
+//! not O(store). Snapshots are amortized: once the WAL accumulates
+//! [`KvConfig::snapshot_every_ops`] ops (or `snapshot_every_bytes`
+//! bytes), the dirty shards are rewritten atomically (temp file +
+//! `sync_all` + rename + parent-directory fsync) and the WAL is
+//! truncated. The old design rewrote the whole store on every `put`.
+//!
+//! # Recovery
+//!
+//! `open` loads every shard snapshot *strictly* — a corrupt shard is an
+//! [`InvalidData`](std::io::ErrorKind::InvalidData) error, never a
+//! silently empty store — then replays the WAL on top. A torn WAL tail
+//! (crash mid-append) is detected by the length/CRC framing and
+//! truncated away; everything before it is applied and re-marked dirty
+//! so the next snapshot persists it. Orphaned `*.tmp` files from a
+//! crash mid-snapshot are removed.
+//!
+//! A legacy monolithic snapshot (a single JSON file at the store path,
+//! the pre-shard layout) is migrated on open: parsed strictly, staged
+//! aside as `<dir>.migrating`, split into shards, and only deleted
+//! once the sharded layout is durably written — a crash anywhere in
+//! between resumes from the staged copy on the next open.
 
+use super::{crc32, sync_dir};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::fs;
-use std::path::PathBuf;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
-/// String-keyed JSON store persisted as one snapshot file.
+/// Number of snapshot shards (prefix-hashed).
+pub const SHARD_COUNT: usize = 8;
+
+/// WAL frame header: `[len: u32 LE][crc32(payload): u32 LE]`.
+const WAL_HEADER: usize = 8;
+
+/// Snapshot/WAL tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Snapshot once this many ops are pending in the WAL.
+    pub snapshot_every_ops: u64,
+    /// Snapshot once the WAL grows past this many bytes.
+    pub snapshot_every_bytes: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            snapshot_every_ops: 256,
+            snapshot_every_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Point-in-time persistence counters (see [`KvStore::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Bytes currently pending in the WAL (since the last snapshot).
+    pub wal_bytes: u64,
+    /// Ops currently pending in the WAL (since the last snapshot).
+    pub wal_pending_ops: u64,
+    /// WAL appends since open.
+    pub wal_appends: u64,
+    /// Shard snapshot rewrites since open.
+    pub shard_rewrites: u64,
+}
+
+/// String-keyed JSON store persisted as sharded snapshots plus a WAL.
 #[derive(Debug)]
 pub struct KvStore {
-    path: PathBuf,
+    dir: PathBuf,
+    cfg: KvConfig,
     map: BTreeMap<String, serde_json::Value>,
+    dirty: [bool; SHARD_COUNT],
+    wal: File,
+    wal_bytes: u64,
+    wal_pending_ops: u64,
+    wal_appends: u64,
+    shard_rewrites: u64,
+}
+
+/// Shard a key by its prefix segment (up to and including the first
+/// `:`, or the whole key when it has none).
+fn shard_of(key: &str) -> usize {
+    let prefix = match key.find(':') {
+        Some(i) => &key[..=i],
+        None => key,
+    };
+    crc32(prefix.as_bytes()) as usize % SHARD_COUNT
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.json"))
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+fn invalid_data(msg: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Where a legacy monolithic snapshot is staged during migration
+/// (`<dir>.migrating`): the original bytes must survive until the
+/// sharded layout is durably written.
+fn migrating_path(dir: &Path) -> PathBuf {
+    let mut os = dir.as_os_str().to_owned();
+    os.push(".migrating");
+    PathBuf::from(os)
+}
+
+/// `fsync` `path`'s parent directory (no-op when it has none).
+fn sync_parent(path: &Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => sync_dir(p),
+        _ => Ok(()),
+    }
 }
 
 impl KvStore {
-    /// Open (or create) the store at `path`.
+    /// Open (or create) the store at `path` with default tuning.
+    ///
+    /// A pre-shard monolithic snapshot file at `path` is migrated to
+    /// the directory layout; a corrupt snapshot (legacy or shard) is an
+    /// `InvalidData` error, never a silently empty store.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let path = path.into();
-        let map = match fs::read(&path) {
-            Ok(bytes) => serde_json::from_slice(&bytes).unwrap_or_default(),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
-            Err(e) => return Err(e),
+        Self::open_with(path, KvConfig::default())
+    }
+
+    /// Open (or create) the store at `path` with explicit tuning.
+    pub fn open_with(path: impl Into<PathBuf>, cfg: KvConfig) -> std::io::Result<Self> {
+        let dir = path.into();
+        // A legacy monolithic snapshot is *staged aside*, not deleted:
+        // its bytes are the only durable copy of the store until the
+        // sharded layout is written and synced at the end of this open.
+        // A crash mid-migration leaves the staged file, and the next
+        // open resumes from it.
+        let staged = migrating_path(&dir);
+        let legacy = if fs::metadata(&dir).is_ok_and(|m| m.is_file()) {
+            // Parse before renaming so a corrupt file errors out
+            // untouched, in place, for forensics.
+            let map = Self::read_legacy(&dir)?;
+            fs::rename(&dir, &staged)?;
+            sync_parent(&dir)?;
+            Some(map)
+        } else if staged.is_file() {
+            Some(Self::read_legacy(&staged)?)
+        } else {
+            None
         };
-        Ok(KvStore { path, map })
+        fs::create_dir_all(&dir)?;
+
+        // A crash mid-snapshot can leave temp files behind; they were
+        // never renamed into place, so they are dead weight.
+        for entry in fs::read_dir(&dir)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "tmp") {
+                fs::remove_file(&p)?;
+            }
+        }
+
+        let mut map = BTreeMap::new();
+        let mut dirty = [false; SHARD_COUNT];
+        for (shard, flag) in dirty.iter_mut().enumerate() {
+            let p = shard_path(&dir, shard);
+            match fs::read(&p) {
+                Ok(bytes) => {
+                    let part: BTreeMap<String, serde_json::Value> = serde_json::from_slice(&bytes)
+                        .map_err(|e| {
+                            invalid_data(format!("corrupt shard snapshot {}: {e:?}", p.display()))
+                        })?;
+                    map.extend(part);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            // A migrated legacy store must land in the shard files even
+            // if no further write ever happens.
+            *flag = legacy.is_some();
+        }
+        let migrated = legacy.is_some();
+        if let Some(legacy_map) = legacy {
+            map.extend(legacy_map);
+        }
+
+        // Replay the WAL on top of the snapshots. A torn tail is
+        // truncated; complete ops are applied and their shards re-marked
+        // dirty so the next snapshot persists them.
+        let wp = wal_path(&dir);
+        let mut wal_bytes = 0u64;
+        let mut wal_pending_ops = 0u64;
+        if let Ok(buf) = fs::read(&wp) {
+            let (valid, ops) = Self::replay_wal(&buf, &mut map, &mut dirty)?;
+            if valid < buf.len() as u64 {
+                let f = OpenOptions::new().write(true).open(&wp)?;
+                f.set_len(valid)?;
+                f.sync_all()?;
+            }
+            wal_bytes = valid;
+            wal_pending_ops = ops;
+        }
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false) // replay already trimmed the torn tail
+            .open(&wp)?;
+        wal.seek(SeekFrom::Start(wal_bytes))?;
+        // "WAL-durable on return" needs the store directory itself (and
+        // the fresh wal.log's entry in it) to survive a crash, not just
+        // the file's data blocks.
+        sync_dir(&dir)?;
+        sync_parent(&dir)?;
+
+        let mut store = KvStore {
+            dir,
+            cfg,
+            map,
+            dirty,
+            wal,
+            wal_bytes,
+            wal_pending_ops,
+            wal_appends: 0,
+            shard_rewrites: 0,
+        };
+        // Migration writes through immediately, and only then retires
+        // the staged legacy file — the point of no return comes after
+        // the sharded copy is durable.
+        if migrated {
+            store.snapshot()?;
+            fs::remove_file(&staged)?;
+            sync_parent(&staged)?;
+        }
+        Ok(store)
     }
 
-    /// Insert or replace a value; persists immediately.
+    /// Parse a legacy monolithic snapshot file strictly.
+    fn read_legacy(path: &Path) -> std::io::Result<BTreeMap<String, serde_json::Value>> {
+        let bytes = fs::read(path)?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| invalid_data(format!("corrupt legacy snapshot {}: {e:?}", path.display())))
+    }
+
+    /// Apply every complete WAL frame to `map`; returns the byte length
+    /// of the valid prefix and the number of ops applied. A frame whose
+    /// length or CRC does not check out ends the replay (crash mid-
+    /// append); a frame that parses but is not a known op is corruption
+    /// and errors out.
+    fn replay_wal(
+        buf: &[u8],
+        map: &mut BTreeMap<String, serde_json::Value>,
+        dirty: &mut [bool; SHARD_COUNT],
+    ) -> std::io::Result<(u64, u64)> {
+        let mut pos = 0usize;
+        let mut ops = 0u64;
+        while pos + WAL_HEADER <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            let end = pos + WAL_HEADER + len;
+            if end > buf.len() || crc32(&buf[pos + WAL_HEADER..end]) != crc {
+                break;
+            }
+            let op: serde_json::Value = serde_json::from_slice(&buf[pos + WAL_HEADER..end])
+                .map_err(|e| invalid_data(format!("corrupt WAL op: {e:?}")))?;
+            match &op {
+                serde_json::Value::Seq(items) => match items.as_slice() {
+                    [serde_json::Value::Str(tag), serde_json::Value::Str(key), value]
+                        if tag == "p" =>
+                    {
+                        dirty[shard_of(key)] = true;
+                        map.insert(key.clone(), value.clone());
+                    }
+                    [serde_json::Value::Str(tag), serde_json::Value::Str(key)] if tag == "r" => {
+                        dirty[shard_of(key)] = true;
+                        map.remove(key);
+                    }
+                    _ => return Err(invalid_data("unknown WAL op shape")),
+                },
+                _ => return Err(invalid_data("WAL op is not a sequence")),
+            }
+            ops += 1;
+            pos = end;
+        }
+        Ok((pos as u64, ops))
+    }
+
+    /// Insert or replace a value; the op is WAL-durable on return.
     pub fn put<T: Serialize>(&mut self, key: &str, value: &T) -> std::io::Result<()> {
-        let v = serde_json::to_value(value)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let v = serde_json::to_value(value).map_err(|e| invalid_data(format!("{e:?}")))?;
+        // Print the op straight from borrows — no clone of the value
+        // tree just to frame it.
+        let key_json = serde_json::to_string(key).map_err(|e| invalid_data(format!("{e:?}")))?;
+        let payload = format!("[\"p\",{key_json},{}]", serde_json::value_to_string(&v));
+        self.append_wal(payload.as_bytes())?;
+        self.dirty[shard_of(key)] = true;
         self.map.insert(key.to_owned(), v);
-        self.flush()
+        self.maybe_snapshot()
     }
 
-    /// Fetch and deserialize a value.
+    /// Fetch and deserialize a value (borrowed-tree decode, no clone of
+    /// the stored `Value`).
     pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
         self.map
             .get(key)
-            .and_then(|v| serde_json::from_value(v.clone()).ok())
+            .and_then(|v| serde_json::from_value_ref(v).ok())
     }
 
-    /// Remove a key; persists immediately. Returns whether it existed.
+    /// Remove a key; the op is WAL-durable on return. Returns whether it
+    /// existed.
     pub fn remove(&mut self, key: &str) -> std::io::Result<bool> {
-        let existed = self.map.remove(key).is_some();
-        if existed {
-            self.flush()?;
+        if !self.map.contains_key(key) {
+            return Ok(false);
         }
-        Ok(existed)
+        let key_json = serde_json::to_string(key).map_err(|e| invalid_data(format!("{e:?}")))?;
+        self.append_wal(format!("[\"r\",{key_json}]").as_bytes())?;
+        self.dirty[shard_of(key)] = true;
+        self.map.remove(key);
+        self.maybe_snapshot()?;
+        Ok(true)
     }
 
     /// All keys with the given prefix, sorted.
@@ -71,13 +362,98 @@ impl KvStore {
         self.map.is_empty()
     }
 
-    /// Write the snapshot atomically (temp file + rename).
-    fn flush(&self) -> std::io::Result<()> {
-        let tmp = self.path.with_extension("tmp");
-        let bytes = serde_json::to_vec_pretty(&self.map)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, &self.path)
+    /// Persistence counters.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            wal_bytes: self.wal_bytes,
+            wal_pending_ops: self.wal_pending_ops,
+            wal_appends: self.wal_appends,
+            shard_rewrites: self.shard_rewrites,
+        }
+    }
+
+    /// Append one framed op to the WAL and fsync it.
+    fn append_wal(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut frame = Vec::with_capacity(WAL_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        // A previously failed append can leave partial bytes past the
+        // durable prefix; start every frame at the tracked offset and
+        // trim on failure, so garbage never sits *before* a frame we
+        // later acknowledge (replay stops at the first bad frame).
+        self.wal.seek(SeekFrom::Start(self.wal_bytes))?;
+        if let Err(e) = self
+            .wal
+            .write_all(&frame)
+            .and_then(|()| self.wal.sync_data())
+        {
+            let _ = self.wal.set_len(self.wal_bytes);
+            return Err(e);
+        }
+        self.wal_bytes += frame.len() as u64;
+        self.wal_pending_ops += 1;
+        self.wal_appends += 1;
+        Ok(())
+    }
+
+    fn maybe_snapshot(&mut self) -> std::io::Result<()> {
+        if self.wal_pending_ops >= self.cfg.snapshot_every_ops
+            || self.wal_bytes >= self.cfg.snapshot_every_bytes
+        {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite every dirty shard snapshot atomically, then truncate the
+    /// WAL. Public so callers (service shutdown, benches) can force the
+    /// amortized work to a known point.
+    pub fn snapshot(&mut self) -> std::io::Result<()> {
+        // One partitioning pass over the map — one shard hash per key —
+        // instead of a full rescan per dirty shard. A dirty shard with
+        // no surviving keys still gets written: its empty snapshot must
+        // overwrite whatever stale file is on disk.
+        let mut parts: [Option<Vec<(&String, &serde_json::Value)>>; SHARD_COUNT] =
+            std::array::from_fn(|shard| self.dirty[shard].then(Vec::new));
+        for (k, v) in &self.map {
+            if let Some(part) = &mut parts[shard_of(k)] {
+                part.push((k, v));
+            }
+        }
+        let mut renamed = false;
+        for (shard, part) in parts.into_iter().enumerate() {
+            let Some(part) = part else {
+                continue;
+            };
+            let owned: BTreeMap<String, serde_json::Value> = part
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let bytes =
+                serde_json::to_vec_pretty(&owned).map_err(|e| invalid_data(format!("{e:?}")))?;
+            let path = shard_path(&self.dir, shard);
+            let tmp = path.with_extension("json.tmp");
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?; // the snapshot's data must hit disk before the rename publishes it
+            drop(f);
+            fs::rename(&tmp, &path)?;
+            renamed = true;
+            self.dirty[shard] = false;
+            self.shard_rewrites += 1;
+        }
+        if renamed {
+            sync_dir(&self.dir)?;
+        }
+        // The shards now cover everything: retire the WAL. If we crash
+        // between the renames and this truncate, replay is idempotent.
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.sync_all()?;
+        self.wal_bytes = 0;
+        self.wal_pending_ops = 0;
+        Ok(())
     }
 }
 
@@ -86,11 +462,11 @@ mod tests {
     use super::*;
     use serde::Deserialize;
 
-    struct TempFile(PathBuf);
-    impl TempFile {
+    struct TempDir(PathBuf);
+    impl TempDir {
         fn new(tag: &str) -> Self {
-            TempFile(std::env::temp_dir().join(format!(
-                "lightor-kv-{tag}-{}-{}.json",
+            TempDir(std::env::temp_dir().join(format!(
+                "lightor-kv-{tag}-{}-{}",
                 std::process::id(),
                 std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
@@ -99,10 +475,11 @@ mod tests {
             )))
         }
     }
-    impl Drop for TempFile {
+    impl Drop for TempDir {
         fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
             let _ = fs::remove_file(&self.0);
-            let _ = fs::remove_file(self.0.with_extension("tmp"));
+            let _ = fs::remove_file(migrating_path(&self.0));
         }
     }
 
@@ -114,8 +491,8 @@ mod tests {
 
     #[test]
     fn put_get_remove() {
-        let f = TempFile::new("pgr");
-        let mut kv = KvStore::open(&f.0).unwrap();
+        let d = TempDir::new("pgr");
+        let mut kv = KvStore::open(&d.0).unwrap();
         kv.put(
             "dot:1",
             &Dot {
@@ -138,21 +515,25 @@ mod tests {
     }
 
     #[test]
-    fn persists_across_reopen() {
-        let f = TempFile::new("persist");
+    fn persists_across_reopen_via_wal() {
+        let d = TempDir::new("persist");
         {
-            let mut kv = KvStore::open(&f.0).unwrap();
+            let mut kv = KvStore::open(&d.0).unwrap();
             kv.put("model", &"weights".to_owned()).unwrap();
+            // No snapshot happened (threshold is 256 ops): the value
+            // lives only in the WAL at this point.
+            assert_eq!(kv.stats().shard_rewrites, 0);
+            assert_eq!(kv.stats().wal_pending_ops, 1);
         }
-        let kv = KvStore::open(&f.0).unwrap();
+        let kv = KvStore::open(&d.0).unwrap();
         assert_eq!(kv.get::<String>("model"), Some("weights".to_owned()));
         assert_eq!(kv.len(), 1);
     }
 
     #[test]
     fn prefix_listing() {
-        let f = TempFile::new("prefix");
-        let mut kv = KvStore::open(&f.0).unwrap();
+        let d = TempDir::new("prefix");
+        let mut kv = KvStore::open(&d.0).unwrap();
         kv.put("dots:v1:0", &1.0).unwrap();
         kv.put("dots:v1:1", &2.0).unwrap();
         kv.put("dots:v2:0", &3.0).unwrap();
@@ -163,17 +544,201 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_degrades_to_empty() {
-        let f = TempFile::new("corrupt");
-        fs::write(&f.0, b"{definitely not json").unwrap();
-        let kv = KvStore::open(&f.0).unwrap();
-        assert!(kv.is_empty());
+    fn corrupt_legacy_snapshot_is_an_error() {
+        // The old behavior silently replaced a corrupt store with an
+        // empty one — the data-loss bug this store exists to fix.
+        let d = TempDir::new("corrupt-legacy");
+        fs::write(&d.0, b"{definitely not json").unwrap();
+        let err = KvStore::open(&d.0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The corrupt file is left in place for forensics.
+        assert!(d.0.is_file());
+    }
+
+    #[test]
+    fn corrupt_shard_snapshot_is_an_error() {
+        let d = TempDir::new("corrupt-shard");
+        {
+            let mut kv = KvStore::open(&d.0).unwrap();
+            kv.put("video:1", &1.0).unwrap();
+            kv.snapshot().unwrap();
+        }
+        // Mangle whichever shard holds the key.
+        let shard = shard_path(&d.0, shard_of("video:1"));
+        fs::write(&shard, b"[1, 2, oops").unwrap();
+        let err = KvStore::open(&d.0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn legacy_monolithic_file_migrates_to_shards() {
+        let d = TempDir::new("migrate");
+        let legacy = serde_json::to_vec_pretty(
+            &[
+                ("video:1".to_owned(), serde_json::Value::F64(1.5)),
+                ("model:main".to_owned(), serde_json::Value::U64(9)),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<String, serde_json::Value>>(),
+        )
+        .unwrap();
+        fs::write(&d.0, legacy).unwrap();
+        {
+            let kv = KvStore::open(&d.0).unwrap();
+            assert_eq!(kv.get::<f64>("video:1"), Some(1.5));
+            assert_eq!(kv.get::<u64>("model:main"), Some(9));
+            // The migration snapshotted immediately: the data is durable
+            // in the new layout even if nothing else is ever written.
+            assert!(kv.stats().shard_rewrites > 0);
+        }
+        assert!(d.0.is_dir());
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get::<f64>("video:1"), Some(1.5));
+    }
+
+    #[test]
+    fn crashed_migration_resumes_from_staged_file() {
+        // A kill after the legacy file was staged aside but before the
+        // sharded layout was durably written must not lose the store:
+        // the next open resumes from `<dir>.migrating`.
+        let d = TempDir::new("migrate-crash");
+        let legacy = serde_json::to_vec_pretty(
+            &[("video:7".to_owned(), serde_json::Value::F64(7.5))]
+                .into_iter()
+                .collect::<BTreeMap<String, serde_json::Value>>(),
+        )
+        .unwrap();
+        fs::write(migrating_path(&d.0), legacy).unwrap();
+        // The crash also left a half-made store dir with one empty shard.
+        fs::create_dir_all(&d.0).unwrap();
+        fs::write(shard_path(&d.0, 0), b"{}").unwrap();
+
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.get::<f64>("video:7"), Some(7.5));
+        assert!(
+            !migrating_path(&d.0).exists(),
+            "staged file must be retired only after a completed migration"
+        );
+        // And the migrated state is durable in the new layout.
+        drop(kv);
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.get::<f64>("video:7"), Some(7.5));
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated() {
+        let d = TempDir::new("torn-wal");
+        {
+            let mut kv = KvStore::open(&d.0).unwrap();
+            kv.put("a", &1.0).unwrap();
+            kv.put("b", &2.0).unwrap();
+        }
+        // Crash mid-append: garbage half-frame at the WAL tail.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(wal_path(&d.0))
+            .unwrap();
+        f.write_all(&[0xFF, 0xFF, 0x00, 0x00, 0x12]).unwrap();
+        drop(f);
+
+        let mut kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.get::<f64>("a"), Some(1.0));
+        assert_eq!(kv.get::<f64>("b"), Some(2.0));
+        // The store keeps accepting writes after recovery.
+        kv.put("c", &3.0).unwrap();
+        drop(kv);
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.len(), 3);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_removed_on_open() {
+        let d = TempDir::new("orphan");
+        {
+            let mut kv = KvStore::open(&d.0).unwrap();
+            kv.put("k", &1.0).unwrap();
+        }
+        let orphan = d.0.join("shard-03.json.tmp");
+        fs::write(&orphan, b"half a snapsh").unwrap();
+        let kv = KvStore::open(&d.0).unwrap();
+        assert!(!orphan.exists(), "stale tmp file survived open");
+        assert_eq!(kv.get::<f64>("k"), Some(1.0));
+    }
+
+    #[test]
+    fn kill_between_append_and_snapshot_replays_wal() {
+        let d = TempDir::new("kill");
+        {
+            // Snapshot at every 4th op: two full snapshot cycles, then
+            // three ops stranded in the WAL when the "process dies".
+            let cfg = KvConfig {
+                snapshot_every_ops: 4,
+                snapshot_every_bytes: u64::MAX,
+            };
+            let mut kv = KvStore::open_with(&d.0, cfg).unwrap();
+            for i in 0..11 {
+                kv.put(&format!("video:{i}"), &(i as f64)).unwrap();
+            }
+            assert_eq!(kv.stats().wal_pending_ops, 3);
+            // Simulate a kill: drop without snapshotting.
+        }
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.len(), 11);
+        for i in 0..11 {
+            assert_eq!(kv.get::<f64>(&format!("video:{i}")), Some(i as f64));
+        }
+        // The replayed ops are still pending: a snapshot must persist
+        // them before the WAL can be retired.
+        assert_eq!(kv.stats().wal_pending_ops, 3);
+    }
+
+    #[test]
+    fn snapshot_threshold_rewrites_only_dirty_shards() {
+        let d = TempDir::new("threshold");
+        let cfg = KvConfig {
+            snapshot_every_ops: 3,
+            snapshot_every_bytes: u64::MAX,
+        };
+        let mut kv = KvStore::open_with(&d.0, cfg).unwrap();
+        // Three puts under one prefix → one shard dirty → threshold
+        // fires → exactly one shard rewritten, WAL reset.
+        kv.put("video:1", &1.0).unwrap();
+        kv.put("video:2", &2.0).unwrap();
+        kv.put("video:3", &3.0).unwrap();
+        let s = kv.stats();
+        assert_eq!(s.shard_rewrites, 1);
+        assert_eq!(s.wal_pending_ops, 0);
+        assert_eq!(s.wal_bytes, 0);
+        assert_eq!(s.wal_appends, 3);
+        // And the shard file alone (no WAL) round-trips the data.
+        drop(kv);
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.len(), 3);
+        assert_eq!(kv.get::<f64>("video:2"), Some(2.0));
+    }
+
+    #[test]
+    fn removes_survive_snapshot_and_replay() {
+        let d = TempDir::new("remove");
+        {
+            let mut kv = KvStore::open(&d.0).unwrap();
+            kv.put("a", &1.0).unwrap();
+            kv.put("b", &2.0).unwrap();
+            kv.snapshot().unwrap();
+            // This remove lives only in the WAL.
+            kv.remove("a").unwrap();
+        }
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.get::<f64>("a"), None);
+        assert_eq!(kv.get::<f64>("b"), Some(2.0));
+        assert_eq!(kv.len(), 1);
     }
 
     #[test]
     fn type_mismatch_yields_none() {
-        let f = TempFile::new("mismatch");
-        let mut kv = KvStore::open(&f.0).unwrap();
+        let d = TempDir::new("mismatch");
+        let mut kv = KvStore::open(&d.0).unwrap();
         kv.put("k", &"string".to_owned()).unwrap();
         assert_eq!(kv.get::<f64>("k"), None);
     }

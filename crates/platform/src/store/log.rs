@@ -3,9 +3,16 @@
 //! Record layout on disk: `[len: u32 LE][crc32(payload): u32 LE][payload]`.
 //! Segments roll over at a configurable size; a torn final record (partial
 //! write at crash) is detected by length/CRC and truncated away on open.
+//!
+//! Logical overwrites (a caller appending a fresh record and forgetting
+//! the old `RecordId`) leave dead bytes behind; [`SegmentLog::compact`]
+//! rewrites the caller's live set into fresh segments and deletes the
+//! old files. Segment numbering keeps climbing across compactions, so
+//! `RecordId`s never alias.
 
-use super::crc32;
+use super::{crc32, sync_dir};
 use bytes::{Buf, BufMut, BytesMut};
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -27,6 +34,28 @@ pub struct SegmentLog {
     active: u32,
     active_file: File,
     active_len: u64,
+    /// Total on-disk bytes across all segments (valid prefixes).
+    total_bytes: u64,
+}
+
+/// What one [`SegmentLog::compact`] run did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Old address → new address for every surviving record.
+    pub remap: HashMap<RecordId, RecordId>,
+    /// Log size before compaction.
+    pub bytes_before: u64,
+    /// Log size after compaction.
+    pub bytes_after: u64,
+    /// Records dropped (dead at compaction time).
+    pub dropped_records: usize,
+}
+
+impl CompactionOutcome {
+    /// Bytes the compaction gave back to the filesystem.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
 }
 
 const HEADER: usize = 8;
@@ -59,6 +88,14 @@ impl SegmentLog {
         } else {
             0
         };
+        // Only the active (last-written) segment can carry a torn tail,
+        // so older segments contribute their full on-disk size.
+        let mut total_bytes = valid_len;
+        for &seg in &segments {
+            if seg != active {
+                total_bytes += fs::metadata(segment_path(&dir, seg))?.len();
+            }
+        }
         let active_file = OpenOptions::new()
             .create(true)
             .read(true)
@@ -75,6 +112,7 @@ impl SegmentLog {
             active,
             active_file: f,
             active_len: valid_len,
+            total_bytes,
         })
     }
 
@@ -115,6 +153,7 @@ impl SegmentLog {
         frame.put_slice(payload);
         self.active_file.write_all(&frame)?;
         self.active_len += frame.len() as u64;
+        self.total_bytes += frame.len() as u64;
         Ok(id)
     }
 
@@ -203,6 +242,85 @@ impl SegmentLog {
     /// Current active segment number.
     pub fn active_segment(&self) -> u32 {
         self.active
+    }
+
+    /// Total on-disk bytes across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Rewrite the records in `live` into fresh segments and delete the
+    /// old files, reclaiming dead bytes. Returns the old → new address
+    /// remap, which the caller must apply to its index.
+    ///
+    /// Crash safety: live records are copied and synced into *new*
+    /// segments (numbered after the current active one) before any old
+    /// file is deleted. A crash mid-copy leaves both generations on
+    /// disk; index-rebuild scans run in segment order, so the new
+    /// (higher-numbered) copies win exactly like re-crawl overwrites
+    /// do. A crash mid-delete just leaves some dead segments for the
+    /// next compaction.
+    pub fn compact(&mut self, live: &HashSet<RecordId>) -> std::io::Result<CompactionOutcome> {
+        let bytes_before = self.total_bytes;
+        let mut old_segments: Vec<u32> = fs::read_dir(&self.dir)?
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                name.strip_prefix("segment-")?
+                    .strip_suffix(".log")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        old_segments.sort_unstable();
+
+        // Open a fresh tail after the current active segment, then copy
+        // the live set across in log order (preserving relative record
+        // order within and across segments).
+        self.sync()?;
+        self.roll()?;
+        self.total_bytes = 0;
+        let mut remap = HashMap::with_capacity(live.len());
+        let mut dropped = 0usize;
+        for &seg in &old_segments {
+            let mut buf = Vec::new();
+            File::open(segment_path(&self.dir, seg))?.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            while pos + HEADER <= buf.len() {
+                let mut hdr = &buf[pos..pos + HEADER];
+                let len = hdr.get_u32_le() as usize;
+                let crc = hdr.get_u32_le();
+                let end = pos + HEADER + len;
+                if end > buf.len() || crc32(&buf[pos + HEADER..end]) != crc {
+                    break;
+                }
+                let id = RecordId {
+                    segment: seg,
+                    offset: pos as u64,
+                };
+                if live.contains(&id) {
+                    let new_id = self.append(&buf[pos + HEADER..end])?;
+                    remap.insert(id, new_id);
+                } else {
+                    dropped += 1;
+                }
+                pos = end;
+            }
+        }
+        // Durability barrier before the point of no return: the copies
+        // must be on disk before the originals go away.
+        self.sync()?;
+        sync_dir(&self.dir)?;
+        for &seg in &old_segments {
+            fs::remove_file(segment_path(&self.dir, seg))?;
+        }
+        sync_dir(&self.dir)?;
+
+        Ok(CompactionOutcome {
+            remap,
+            bytes_before,
+            bytes_after: self.total_bytes,
+            dropped_records: dropped,
+        })
     }
 }
 
@@ -314,5 +432,63 @@ mod tests {
         let dir = TempDir::new("empty");
         let log = SegmentLog::open(&dir.0, 1 << 20).unwrap();
         assert!(log.scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn compact_reclaims_dead_bytes_and_remaps() {
+        let dir = TempDir::new("compact");
+        let mut log = SegmentLog::open(&dir.0, 128).unwrap();
+        // Ten records; only every third survives.
+        let ids: Vec<RecordId> = (0..10)
+            .map(|i| {
+                log.append(format!("record-{i:02}-padding-padding").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        let live: HashSet<RecordId> = ids.iter().copied().step_by(3).collect();
+        let before = log.total_bytes();
+
+        let outcome = log.compact(&live).unwrap();
+        assert_eq!(outcome.bytes_before, before);
+        assert_eq!(outcome.remap.len(), 4);
+        assert_eq!(outcome.dropped_records, 6);
+        assert!(outcome.bytes_reclaimed() >= before / 2);
+        assert_eq!(log.total_bytes(), outcome.bytes_after);
+
+        // Every live record reads back byte-for-byte at its new address.
+        for (i, old) in ids.iter().enumerate().step_by(3) {
+            let new_id = outcome.remap[old];
+            assert_eq!(
+                log.read(new_id).unwrap(),
+                format!("record-{i:02}-padding-padding").as_bytes()
+            );
+        }
+        // Appends keep working, and everything survives a reopen.
+        let extra = log.append(b"post-compaction").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let log = SegmentLog::open(&dir.0, 128).unwrap();
+        assert_eq!(log.read(extra).unwrap(), b"post-compaction");
+        assert_eq!(log.scan().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn compact_with_everything_live_is_lossless() {
+        let dir = TempDir::new("compact-all");
+        let mut log = SegmentLog::open(&dir.0, 1 << 20).unwrap();
+        let ids: Vec<RecordId> = (0..5)
+            .map(|i| log.append(format!("keep-{i}").as_bytes()).unwrap())
+            .collect();
+        let live: HashSet<RecordId> = ids.iter().copied().collect();
+        let outcome = log.compact(&live).unwrap();
+        assert_eq!(outcome.dropped_records, 0);
+        // Same payload bytes → same framed size.
+        assert_eq!(outcome.bytes_before, outcome.bytes_after);
+        for (i, old) in ids.iter().enumerate() {
+            assert_eq!(
+                log.read(outcome.remap[old]).unwrap(),
+                format!("keep-{i}").as_bytes()
+            );
+        }
     }
 }

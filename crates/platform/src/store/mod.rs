@@ -1,13 +1,36 @@
-//! Embedded storage: segment log, chat store, KV snapshot store.
+//! Embedded storage: segment log, chat store, sharded KV store.
+//!
+//! Three layers, each crash-safe on its own terms:
+//!
+//! * [`SegmentLog`] — a CRC-framed append-only log split across
+//!   size-bounded segments. Torn tails are truncated on open;
+//!   [`SegmentLog::compact`] rewrites live records into fresh segments
+//!   and deletes the old ones, reclaiming bytes left behind by
+//!   overwrites.
+//! * [`ChatStore`] — per-video chat replays on the segment log, with a
+//!   scan-built index, a read-through decoded-record cache, and
+//!   live/dead byte accounting that drives [`ChatStore::compact`]
+//!   (re-crawled videos orphan their previous records).
+//! * [`KvStore`] — the refined red-dot / model state: prefix-sharded
+//!   JSON snapshots fronted by an fsynced write-ahead log. Puts are
+//!   O(op); snapshot rewrites are amortized by op/byte thresholds; a
+//!   corrupt snapshot is an error, never a silently empty store.
 
 mod chatstore;
 pub mod format;
 mod kv;
 mod log;
 
-pub use chatstore::ChatStore;
-pub use kv::KvStore;
-pub use log::{RecordId, SegmentLog};
+pub use chatstore::{ChatStore, CompactStats};
+pub use kv::{KvConfig, KvStats, KvStore, SHARD_COUNT};
+pub use log::{CompactionOutcome, RecordId, SegmentLog};
+
+/// `fsync` a directory so just-renamed/created/deleted entries inside
+/// it survive a crash (file-level fsync alone does not cover the
+/// directory entry).
+pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
 
 /// CRC-32 (IEEE) over a byte slice — integrity check for log records.
 pub fn crc32(bytes: &[u8]) -> u32 {

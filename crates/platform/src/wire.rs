@@ -124,6 +124,17 @@ pub struct StatsResponse {
     pub record_cache_misses: u64,
     /// Legacy records that lost text to the v1 format's u16 ceiling.
     pub v1_truncated_records: usize,
+    /// Bytes pending in the KV write-ahead log (durable, not yet
+    /// folded into shard snapshots).
+    pub kv_wal_bytes: u64,
+    /// KV WAL appends since open.
+    pub kv_wal_appends: u64,
+    /// KV shard snapshot rewrites since open.
+    pub kv_shard_rewrites: u64,
+    /// Chat-log bytes orphaned by re-crawls, not yet compacted.
+    pub chat_dead_bytes: u64,
+    /// Chat-log bytes reclaimed by compactions since open.
+    pub chat_reclaimed_bytes: u64,
 }
 
 impl From<crate::service::ServiceStats> for StatsResponse {
@@ -136,6 +147,11 @@ impl From<crate::service::ServiceStats> for StatsResponse {
             record_cache_hits: s.record_cache_hits,
             record_cache_misses: s.record_cache_misses,
             v1_truncated_records: s.v1_truncated_records,
+            kv_wal_bytes: s.kv_wal_bytes,
+            kv_wal_appends: s.kv_wal_appends,
+            kv_shard_rewrites: s.kv_shard_rewrites,
+            chat_dead_bytes: s.chat_dead_bytes,
+            chat_reclaimed_bytes: s.chat_reclaimed_bytes,
         }
     }
 }
@@ -226,6 +242,11 @@ mod tests {
             record_cache_hits: 7,
             record_cache_misses: 4,
             v1_truncated_records: 1,
+            kv_wal_bytes: 512,
+            kv_wal_appends: 21,
+            kv_shard_rewrites: 2,
+            chat_dead_bytes: 4096,
+            chat_reclaimed_bytes: 8192,
         };
         let dto: StatsResponse = stats.into();
         let js = serde_json::to_string(&dto).unwrap();
@@ -233,6 +254,9 @@ mod tests {
         assert_eq!(dto, back);
         assert_eq!(back.stored_videos, 3);
         assert_eq!(back.corpus_cache_hits, 10);
+        assert_eq!(back.kv_wal_appends, 21);
+        assert_eq!(back.kv_shard_rewrites, 2);
+        assert_eq!(back.chat_reclaimed_bytes, 8192);
     }
 
     #[test]

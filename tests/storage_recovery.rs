@@ -1,0 +1,216 @@
+//! Crash recovery and storage maintenance across the deployment stack:
+//! legacy-layout migration, WAL-only durability through a service
+//! restart, and dead-byte reclaim driven from the service and crawler.
+
+use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
+use lightor_chatsim::{dota2_dataset, SimPlatform};
+use lightor_crowdsim::Campaign;
+use lightor_eval::harness::{train_initializer, train_type_classifier};
+use lightor_platform::{ChatStore, Crawler, LightorService, ServiceConfig};
+use lightor_types::{ChannelId, GameKind};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "lightor-recovery-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn models(seed: u64) -> ModelBundle {
+    let data = dota2_dataset(2, seed);
+    let train: Vec<_> = data.videos.iter().collect();
+    let initializer = train_initializer(&train, FeatureSet::Full);
+    let mut campaign = Campaign::new(200, seed ^ 9);
+    let (classifier, _) = train_type_classifier(&train, &mut campaign, 3, seed ^ 10);
+    ModelBundle {
+        initializer,
+        extractor: HighlightExtractor::new(classifier, ExtractorConfig::default()),
+        provenance: format!("recovery seed {seed}"),
+    }
+}
+
+/// A service directory written by the pre-shard layout (one monolithic
+/// `state.json`) must migrate on open: same states, new layout, and the
+/// legacy file gone.
+#[test]
+fn legacy_monolithic_state_migrates_on_service_open() {
+    let dir = TempDir::new("migrate");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3001);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+
+    // Phase 1: run a service, then demote its state dir to the legacy
+    // single-file layout by concatenating the shard snapshots.
+    let state_before = {
+        let svc = LightorService::open(
+            &dir.0,
+            models(3002),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.open_video(vid).unwrap().unwrap();
+        svc.video_state(vid).unwrap()
+    };
+    let state_dir = dir.0.join("state");
+    let mut merged: std::collections::BTreeMap<String, serde_json::Value> =
+        std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(&state_dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "json") {
+            let part: std::collections::BTreeMap<String, serde_json::Value> =
+                serde_json::from_slice(&std::fs::read(&p).unwrap()).unwrap();
+            merged.extend(part);
+        }
+    }
+    assert!(
+        !merged.is_empty() || {
+            // State may still be WAL-only; fold the live state in directly.
+            merged.insert(
+                format!("video:{}", vid.0),
+                serde_json::to_value(&state_before).unwrap(),
+            );
+            true
+        }
+    );
+    std::fs::remove_dir_all(&state_dir).unwrap();
+    std::fs::write(
+        dir.0.join("state.json"),
+        serde_json::to_vec_pretty(&merged).unwrap(),
+    )
+    .unwrap();
+
+    // Phase 2: the next open migrates and serves the same state.
+    let svc =
+        LightorService::open(&dir.0, models(3002), platform, ServiceConfig::default()).unwrap();
+    let state_after = svc.video_state(vid).expect("state survived migration");
+    assert_eq!(state_before, state_after);
+    assert!(
+        !dir.0.join("state.json").exists(),
+        "legacy file not retired"
+    );
+    assert!(dir.0.join("state").is_dir(), "sharded layout not created");
+}
+
+/// Refinement state persisted only to the WAL (no snapshot ever forced)
+/// must survive a hard restart, and the persistence counters must show
+/// the write path is WAL appends, not whole-store rewrites.
+#[test]
+fn wal_only_state_survives_restart() {
+    let dir = TempDir::new("wal-restart");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3003);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+    let truth = platform.ground_truth(vid).unwrap().clone();
+
+    let before = {
+        let svc = LightorService::open(
+            &dir.0,
+            models(3004),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.open_video(vid).unwrap().unwrap();
+        let mut crowd = Campaign::new(100, 3005);
+        for d in svc.video_state(vid).unwrap().dots {
+            for session in crowd.run_task(&truth.video, d.current, 12).sessions {
+                svc.log_session(vid, &session);
+            }
+        }
+        svc.refine_video(vid).unwrap();
+        let stats = svc.stats();
+        assert!(stats.kv_wal_appends >= 2, "open + refine must both persist");
+        assert_eq!(
+            stats.kv_shard_rewrites, 0,
+            "puts must not trigger whole-shard rewrites below the threshold"
+        );
+        svc.video_state(vid).unwrap()
+        // Dropped here without any snapshot: the state lives in the WAL.
+    };
+
+    let svc2 =
+        LightorService::open(&dir.0, models(3004), platform, ServiceConfig::default()).unwrap();
+    assert_eq!(svc2.video_state(vid).unwrap(), before);
+}
+
+/// `compact_storage` folds the WAL into shard snapshots and compacts
+/// the chat log; the new counters surface all of it.
+#[test]
+fn compact_storage_snapshots_kv_and_reports_counters() {
+    let dir = TempDir::new("compact");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 3006);
+    let svc = LightorService::open(
+        &dir.0,
+        models(3007),
+        platform.clone(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    for c in platform.channels() {
+        for &vid in platform.recent_videos(c.id) {
+            svc.open_video(vid).unwrap().unwrap();
+        }
+    }
+    let before = svc.stats();
+    assert!(before.kv_wal_bytes > 0, "opens must be pending in the WAL");
+    assert_eq!(before.chat_dead_bytes, 0, "fresh crawls leave nothing dead");
+
+    let stats = svc.compact_storage().unwrap();
+    assert_eq!(stats.live_records, before.stored_videos);
+    let after = svc.stats();
+    assert_eq!(after.kv_wal_bytes, 0, "snapshot must retire the WAL");
+    assert!(after.kv_shard_rewrites > 0);
+    assert_eq!(after.chat_dead_bytes, 0);
+}
+
+/// The crawler's re-crawl path accumulates dead bytes in the chat log
+/// and reclaims ≥ 50% of them once past the thresholds, with every live
+/// replay intact (the acceptance-criteria workload at store level).
+#[test]
+fn recrawl_workload_reclaims_half_of_dead_bytes() {
+    let dir = TempDir::new("recrawl");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 3, 3008);
+    let mut store = ChatStore::open(dir.0.join("chat")).unwrap();
+    let crawler = Crawler::new(&platform);
+    let channels: Vec<ChannelId> = platform.channels().iter().map(|c| c.id).collect();
+    crawler.offline_pass(&channels, &mut store).unwrap();
+
+    // Two refresh generations without reclaim would leave 2/3 dead;
+    // run them through the re-crawl path and measure what came back.
+    let mut reclaimed = 0u64;
+    for _ in 0..2 {
+        reclaimed += crawler
+            .recrawl_pass(&channels, &mut store)
+            .unwrap()
+            .reclaimed_bytes;
+    }
+    let dead_seen = reclaimed + store.dead_bytes();
+    assert!(dead_seen > 0, "re-crawls must orphan bytes");
+    assert!(
+        reclaimed * 2 >= dead_seen,
+        "reclaimed {reclaimed} of {dead_seen} dead bytes (< 50%)"
+    );
+    for &ch in &channels {
+        for &vid in platform.recent_videos(ch) {
+            assert_eq!(
+                &store.get_chat(vid).unwrap().unwrap(),
+                platform.fetch_chat(vid).unwrap(),
+                "live replay damaged by compaction"
+            );
+        }
+    }
+}

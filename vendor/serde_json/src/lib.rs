@@ -49,6 +49,25 @@ pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
     T::from_value(&value)
 }
 
+/// Print a *borrowed* [`Value`] tree as compact JSON.
+///
+/// `to_string(&value)` round-trips through `Serialize::to_value`,
+/// which clones the whole tree; this prints in place.
+pub fn value_to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Convert a *borrowed* [`Value`] tree into a deserializable type.
+///
+/// The vendored serde deserializes from `&Value` natively, so callers
+/// that keep a `Value` tree around (e.g. a KV store's in-memory map)
+/// can decode without cloning the tree first.
+pub fn from_value_ref<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
 /// Parse a JSON string into a deserializable type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
     let value = parse(s)?;

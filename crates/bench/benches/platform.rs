@@ -17,7 +17,12 @@
 //!   (replicated inline as the baseline);
 //! * `segmentlog_compact` — one steady-state re-crawl cycle: overwrite
 //!   a stored replay, then compact the chat log back to zero dead
-//!   bytes.
+//!   bytes;
+//! * `http_serve` — the network edge over a real loopback socket: one
+//!   keep-alive client doing warm `GET /video/{id}/dots` and
+//!   `POST /sessions` round trips against the `lightor_server` front
+//!   end (median_ns is the p50 request latency; requests/sec is its
+//!   reciprocal).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lightor_bench::{bench_dataset, bench_models};
@@ -25,6 +30,7 @@ use lightor_chatsim::SimPlatform;
 use lightor_crowdsim::Campaign;
 use lightor_platform::store::format;
 use lightor_platform::{ChatStore, KvStore, LightorService, ServiceConfig};
+use lightor_server::{HttpClient, HttpServer, ServerConfig};
 use lightor_types::{
     ChannelId, ChatLog, ChatMessage, GameKind, Highlight, LabeledVideo, Sec, UserId, VideoId,
     VideoMeta,
@@ -179,6 +185,75 @@ fn bench_segmentlog_compact(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_http_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lightor-bench-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = bench_dataset();
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+    let truth = platform.ground_truth(vid).unwrap().clone();
+    let svc = Arc::new(
+        LightorService::open(
+            &dir,
+            bench_models(&data),
+            platform,
+            ServiceConfig::default(),
+        )
+        .unwrap(),
+    );
+    let server = HttpServer::bind(("127.0.0.1", 0), svc, ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Warm the state map and corpus cache: the bench measures the
+    // serving path, not the first crawl.
+    let dots_path = format!("/video/{}/dots", vid.0);
+    assert_eq!(client.get(&dots_path).unwrap().status, 200);
+
+    // One realistic session upload, serialized once.
+    let session = Campaign::new(64, 0xBE7C)
+        .run_task(
+            &truth.video,
+            Sec(truth.video.highlights[0].range.start.0),
+            1,
+        )
+        .sessions
+        .remove(0);
+    let upload = lightor_platform::wire::SessionUpload {
+        video: vid.0,
+        client: session.user.0,
+        events: session
+            .events
+            .iter()
+            .map(|&e| lightor_platform::wire::EventDto::from(e))
+            .collect(),
+    };
+    let session_json = serde_json::to_string(&upload).unwrap();
+
+    let mut g = c.benchmark_group("http_serve");
+    g.throughput(Throughput::Elements(1));
+    // Warm page load: state-map hit + JSON + one socket round trip.
+    g.bench_function("get_dots_warm", |b| {
+        b.iter(|| {
+            let resp = client.get(&dots_path).unwrap();
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+    // Implicit-feedback ingestion: parse + validate + buffer + refine.
+    g.bench_function("post_session", |b| {
+        b.iter(|| {
+            let resp = client.post_json("/sessions", &session_json).unwrap();
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+    g.finish();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn crowd_video() -> LabeledVideo {
     LabeledVideo {
         meta: VideoMeta {
@@ -229,5 +304,6 @@ criterion_group!(
     bench_campaign_run_task,
     bench_kv_put_throughput,
     bench_segmentlog_compact,
+    bench_http_serve,
 );
 criterion_main!(benches);

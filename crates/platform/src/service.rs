@@ -283,12 +283,15 @@ impl LightorService {
     /// Log one viewer session: its plays are buffered against the nearest
     /// red dot (within the extractor's Δ neighbourhood). Only the one
     /// video's state locks; other videos stay fully concurrent.
-    pub fn log_session(&self, video: VideoId, session: &Session) {
-        let Some(state) = self.videos.read().get(&video).cloned() else {
-            return;
-        };
+    ///
+    /// Returns how many plays were buffered, or `None` when the video is
+    /// not tracked (no one has fetched its dots yet) — the HTTP edge
+    /// turns that into a 422 instead of silently dropping the upload.
+    pub fn log_session(&self, video: VideoId, session: &Session) -> Option<usize> {
+        let state = self.videos.read().get(&video).cloned()?;
         let mut state = state.lock();
         let delta = self.models.extractor.config().neighborhood;
+        let mut buffered = 0;
         for play in session.plays() {
             let nearest = state.dots.iter_mut().min_by(|a, b| {
                 play.range
@@ -298,9 +301,11 @@ impl LightorService {
             if let Some(dot) = nearest {
                 if play.range.distance_to(dot.current).0 <= delta {
                     dot.pending.push(play);
+                    buffered += 1;
                 }
             }
         }
+        Some(buffered)
     }
 
     /// Run one refinement round on every dot of `video` that has enough
@@ -375,6 +380,12 @@ impl LightorService {
     /// Number of videos with chat stored.
     pub fn stored_videos(&self) -> usize {
         self.stores.lock().chat.video_count()
+    }
+
+    /// The service's tuning knobs (the HTTP edge reads `top_k` as the
+    /// default for re-score requests without an explicit `k`).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
     }
 
     /// Serving counters: store/caches state for dashboards and tests.

@@ -107,8 +107,28 @@ impl From<EventDto> for Interaction {
     }
 }
 
+/// Per-route HTTP serving counters, as `GET /stats` reports them.
+///
+/// One entry per route the front end exposes (plus a catch-all
+/// `"other"` bucket for unroutable requests). Latency fields are
+/// cumulative so dashboards can derive rates and means from any two
+/// snapshots.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteStatsDto {
+    /// Route template, e.g. `"GET /video/{id}/dots"`.
+    pub route: String,
+    /// Requests routed here since the server started.
+    pub requests: u64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: u64,
+    /// Total handler latency, microseconds (cumulative).
+    pub latency_total_us: u64,
+    /// Largest single-request handler latency, microseconds.
+    pub latency_max_us: u64,
+}
+
 /// `GET /stats` response: serving counters for dashboards.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Videos with chat stored.
     pub stored_videos: usize,
@@ -135,6 +155,9 @@ pub struct StatsResponse {
     pub chat_dead_bytes: u64,
     /// Chat-log bytes reclaimed by compactions since open.
     pub chat_reclaimed_bytes: u64,
+    /// Per-route HTTP counters, when an HTTP front end is serving.
+    /// Empty for embedded (in-process) deployments.
+    pub http: Vec<RouteStatsDto>,
 }
 
 impl From<crate::service::ServiceStats> for StatsResponse {
@@ -152,9 +175,104 @@ impl From<crate::service::ServiceStats> for StatsResponse {
             kv_shard_rewrites: s.kv_shard_rewrites,
             chat_dead_bytes: s.chat_dead_bytes,
             chat_reclaimed_bytes: s.chat_reclaimed_bytes,
+            http: Vec::new(),
         }
     }
 }
+
+/// `POST /video/{id}/rescore` request body (optional: an empty body
+/// means "the service's configured k").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RescoreRequest {
+    /// How many red dots to place.
+    pub k: usize,
+}
+
+/// `POST /admin/compact` response.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompactResponse {
+    /// Bytes given back to the filesystem.
+    pub reclaimed_bytes: u64,
+    /// Dead records dropped.
+    pub dropped_records: usize,
+    /// Live records carried over.
+    pub live_records: usize,
+}
+
+impl From<crate::store::CompactStats> for CompactResponse {
+    fn from(s: crate::store::CompactStats) -> Self {
+        CompactResponse {
+            reclaimed_bytes: s.reclaimed_bytes,
+            dropped_records: s.dropped_records,
+            live_records: s.live_records,
+        }
+    }
+}
+
+/// Why a [`SessionUpload`] was rejected (a 422-style semantic error:
+/// the JSON was well-formed, the content is garbage).
+///
+/// The paper's pipeline filters *abnormal* viewer behaviour
+/// statistically (Section V-B), but non-finite or negative timestamps
+/// are not behaviour at all — they are client bugs, and letting them
+/// into the play buffers would poison every downstream aggregate
+/// (`f64` comparisons against NaN are always false, so a single NaN
+/// play survives every filter). They are rejected at the wire edge.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UploadError {
+    /// An event carries a NaN or infinite timestamp.
+    NonFiniteTimestamp {
+        /// Index of the offending event in `events`.
+        event: usize,
+    },
+    /// An event carries a negative timestamp (video time starts at 0).
+    NegativeTimestamp {
+        /// Index of the offending event in `events`.
+        event: usize,
+    },
+    /// The session has no events — nothing to learn from.
+    NoEvents,
+    /// The server does not track this video (fetch its dots first).
+    ///
+    /// Never produced by [`SessionUpload::validate`] (the DTO cannot
+    /// know the catalog); the serving layer raises it when the lookup
+    /// misses.
+    UnknownVideo {
+        /// The id the client sent.
+        video: u64,
+    },
+}
+
+impl UploadError {
+    /// Stable machine-readable code for error payloads.
+    pub fn code(&self) -> &'static str {
+        match self {
+            UploadError::NonFiniteTimestamp { .. } => "non_finite_timestamp",
+            UploadError::NegativeTimestamp { .. } => "negative_timestamp",
+            UploadError::NoEvents => "no_events",
+            UploadError::UnknownVideo { .. } => "unknown_video",
+        }
+    }
+}
+
+impl std::fmt::Display for UploadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UploadError::NonFiniteTimestamp { event } => {
+                write!(f, "event {event} has a NaN or infinite timestamp")
+            }
+            UploadError::NegativeTimestamp { event } => {
+                write!(f, "event {event} has a negative timestamp")
+            }
+            UploadError::NoEvents => write!(f, "session carries no events"),
+            UploadError::UnknownVideo { video } => {
+                write!(f, "video {video} is not tracked; fetch its dots first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
 
 /// `POST /video/{id}/session` request body.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -168,8 +286,52 @@ pub struct SessionUpload {
 }
 
 impl SessionUpload {
-    /// Convert into the domain session type.
+    /// Check every event timestamp is finite and non-negative.
+    ///
+    /// Returns the first offending event, in upload order, so clients
+    /// get an actionable pointer instead of a blanket rejection.
+    pub fn validate(&self) -> Result<(), UploadError> {
+        if self.events.is_empty() {
+            return Err(UploadError::NoEvents);
+        }
+        for (event, e) in self.events.iter().enumerate() {
+            let ts: &[f64] = match e {
+                EventDto::Play { at } | EventDto::Pause { at } | EventDto::Leave { at } => {
+                    std::slice::from_ref(at)
+                }
+                EventDto::Seek { from, to } => &[*from, *to],
+            };
+            for &t in ts {
+                if !t.is_finite() {
+                    return Err(UploadError::NonFiniteTimestamp { event });
+                }
+                if t < 0.0 {
+                    return Err(UploadError::NegativeTimestamp { event });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate, then convert into the domain session type.
+    ///
+    /// This is the ingestion path: garbage timestamps come back as a
+    /// typed [`UploadError`] (a 422 at the HTTP edge) instead of
+    /// poisoning the play buffers.
+    pub fn try_into_session(self) -> Result<(VideoId, Session), UploadError> {
+        self.validate()?;
+        Ok(self.into_session_unchecked())
+    }
+
+    /// Convert into the domain session type without validating.
+    ///
+    /// Trusted-caller convenience (simulators, tests); network input
+    /// must go through [`SessionUpload::try_into_session`].
     pub fn into_session(self) -> (VideoId, Session) {
+        self.into_session_unchecked()
+    }
+
+    fn into_session_unchecked(self) -> (VideoId, Session) {
         (
             VideoId(self.video),
             Session::new(
@@ -263,5 +425,128 @@ mod tests {
     fn event_json_is_tagged() {
         let js = serde_json::to_string(&EventDto::Play { at: 1.0 }).unwrap();
         assert!(js.contains("\"type\":\"play\""), "{js}");
+    }
+
+    fn upload(events: Vec<EventDto>) -> SessionUpload {
+        SessionUpload {
+            video: 7,
+            client: 99,
+            events,
+        }
+    }
+
+    #[test]
+    fn bad_payload_matrix_is_rejected_with_typed_errors() {
+        // (events, expected code, offending index) — every way a client
+        // can hand us garbage timestamps, plus the empty session.
+        let cases: Vec<(Vec<EventDto>, &str, Option<usize>)> = vec![
+            (vec![], "no_events", None),
+            (
+                vec![EventDto::Play { at: f64::NAN }],
+                "non_finite_timestamp",
+                Some(0),
+            ),
+            (
+                vec![
+                    EventDto::Play { at: 1.0 },
+                    EventDto::Pause { at: f64::INFINITY },
+                ],
+                "non_finite_timestamp",
+                Some(1),
+            ),
+            (
+                vec![EventDto::Leave {
+                    at: f64::NEG_INFINITY,
+                }],
+                "non_finite_timestamp",
+                Some(0),
+            ),
+            (
+                vec![
+                    EventDto::Play { at: 5.0 },
+                    EventDto::Seek {
+                        from: 5.0,
+                        to: f64::NAN,
+                    },
+                ],
+                "non_finite_timestamp",
+                Some(1),
+            ),
+            (
+                vec![EventDto::Play { at: -0.5 }],
+                "negative_timestamp",
+                Some(0),
+            ),
+            (
+                vec![
+                    EventDto::Play { at: 0.0 },
+                    EventDto::Seek {
+                        from: -3.0,
+                        to: 9.0,
+                    },
+                ],
+                "negative_timestamp",
+                Some(1),
+            ),
+            (
+                vec![EventDto::Pause { at: -1e9 }],
+                "negative_timestamp",
+                Some(0),
+            ),
+        ];
+        for (events, code, index) in cases {
+            let up = upload(events);
+            let err = up.validate().expect_err(code);
+            assert_eq!(err.code(), code, "{err}");
+            match (&err, index) {
+                (UploadError::NonFiniteTimestamp { event }, Some(i))
+                | (UploadError::NegativeTimestamp { event }, Some(i)) => {
+                    assert_eq!(*event, i, "{err}")
+                }
+                (UploadError::NoEvents, None) => {}
+                other => panic!("unexpected error shape: {other:?}"),
+            }
+            // try_into_session must agree with validate.
+            assert_eq!(up.try_into_session().unwrap_err().code(), code);
+        }
+    }
+
+    #[test]
+    fn good_payload_passes_validation() {
+        let up = upload(vec![
+            EventDto::Play { at: 0.0 },
+            EventDto::Seek {
+                from: 10.0,
+                to: 700.5,
+            },
+            EventDto::Pause { at: 725.0 },
+            EventDto::Leave { at: 725.0 },
+        ]);
+        up.validate().unwrap();
+        let (vid, session) = up.try_into_session().unwrap();
+        assert_eq!(vid, VideoId(7));
+        assert_eq!(session.events.len(), 4);
+    }
+
+    #[test]
+    fn upload_error_display_and_codes_are_stable() {
+        let e = UploadError::UnknownVideo { video: 42 };
+        assert_eq!(e.code(), "unknown_video");
+        assert!(e.to_string().contains("42"));
+        assert!(UploadError::NoEvents.to_string().contains("no events"));
+    }
+
+    #[test]
+    fn route_stats_round_trip() {
+        let dto = RouteStatsDto {
+            route: "GET /video/{id}/dots".into(),
+            requests: 12,
+            errors: 1,
+            latency_total_us: 3400,
+            latency_max_us: 900,
+        };
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: RouteStatsDto = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
     }
 }

@@ -1,0 +1,115 @@
+//! `lightor-serve` — run the paper's web service end to end from one
+//! command: train models on simulated labelled data, open the durable
+//! service, and serve the browser-extension routes over HTTP.
+//!
+//! ```text
+//! lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N]
+//! ```
+//!
+//! Defaults: port 7878, a fresh temp data dir, 4 workers. Prints one
+//! `listening on http://…` line once the socket is bound (smoke tests
+//! wait for it), then serves until killed.
+
+use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
+use lightor_chatsim::{dota2_dataset, SimPlatform};
+use lightor_crowdsim::Campaign;
+use lightor_eval::harness::{train_initializer, train_type_classifier};
+use lightor_platform::{LightorService, ServiceConfig};
+use lightor_server::{HttpServer, ServerConfig};
+use lightor_types::GameKind;
+use std::sync::Arc;
+
+struct Args {
+    port: u16,
+    data_dir: Option<std::path::PathBuf>,
+    workers: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 7878,
+        data_dir: None,
+        workers: 4,
+        seed: 71,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> std::io::Result<()> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lightor-serve: {e}");
+            eprintln!("usage: lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N]");
+            std::process::exit(2);
+        }
+    };
+
+    // Offline phase: train the Initializer and the play-position type
+    // classifier on simulated labelled videos (same recipe as the
+    // browser-extension example).
+    eprintln!("training models (seed {})...", args.seed);
+    let labelled = dota2_dataset(1, args.seed);
+    let train: Vec<_> = labelled.videos.iter().collect();
+    let mut campaign = Campaign::new(300, args.seed ^ 1);
+    let initializer = train_initializer(&train, FeatureSet::Full);
+    let (classifier, _) = train_type_classifier(&train, &mut campaign, 4, args.seed ^ 2);
+    let models = ModelBundle {
+        initializer,
+        extractor: HighlightExtractor::new(classifier, ExtractorConfig::default()),
+        provenance: format!("lightor-serve seed {}", args.seed),
+    };
+
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 3, 4, args.seed ^ 3);
+    let data_dir = args.data_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("lightor-serve-{}", std::process::id()))
+    });
+    let svc = Arc::new(LightorService::open(
+        &data_dir,
+        models,
+        platform,
+        ServiceConfig::default(),
+    )?);
+
+    let server = HttpServer::bind(
+        ("127.0.0.1", args.port),
+        svc,
+        ServerConfig {
+            workers: args.workers.max(1),
+            ..ServerConfig::default()
+        },
+    )?;
+    // The readiness line smoke tests grep for.
+    println!("lightor-serve listening on http://{}", server.local_addr());
+    eprintln!("data dir: {}", data_dir.display());
+
+    // Serve until killed (std-only: no signal handling; the process
+    // owner — CI, an operator, a supervisor — terminates us).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,176 @@
+//! A tiny std-only HTTP/1.1 client for the integration tests, benches,
+//! and the browser-extension example.
+//!
+//! One [`HttpClient`] is one keep-alive TCP connection: every request
+//! reuses the stream until the server answers `Connection: close` (the
+//! caller can check [`ClientResponse::closed`] and reconnect).
+//! [`HttpClient::send_raw`] writes arbitrary bytes, which is how the
+//! malformed-input tests provoke 400/413/431 responses.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers: lowercased names, response order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on non-UTF-8; responses here are JSON
+    /// or plain text).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+
+    /// Deserialize the JSON body into a wire DTO.
+    pub fn json<T: serde::Deserialize>(&self) -> serde_json::Result<T> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// True when the server signalled it will close the connection.
+    pub fn closed(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One keep-alive connection to the server.
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response (keep-alive residue).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` with sane test timeouts (10 s reads).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(json.as_bytes()))
+    }
+
+    /// Send one request and read its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: lightor\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut raw = head.into_bytes();
+        raw.extend_from_slice(body);
+        self.send_raw(&raw)
+    }
+
+    /// Write raw bytes (possibly a malformed request) and read one
+    /// response back.
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<ClientResponse> {
+        self.stream.write_all(raw)?;
+        self.read_response()
+    }
+
+    /// The underlying stream, for tests that need to write a partial
+    /// request without reading a response yet.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut chunk = [0u8; 16 * 1024];
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line: {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "unparseable Content-Length in response",
+                        )
+                    })?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

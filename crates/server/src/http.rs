@@ -1,0 +1,494 @@
+//! Incremental HTTP/1.1 request parsing and response writing (std-only).
+//!
+//! The parser is push-based: the connection loop feeds it raw socket
+//! bytes ([`RequestParser::extend`]) and polls [`RequestParser::try_next`],
+//! which yields a complete [`Request`], `None` ("need more bytes"), or a
+//! typed [`HttpError`] that maps straight to a status code:
+//!
+//! * `400` — malformed request line, header, or `Content-Length`;
+//! * `413` — declared body larger than the configured cap;
+//! * `431` — head (request line + headers) larger than the cap;
+//! * `501` — transfer encodings this server does not speak (chunked).
+//!
+//! Framing is strict `Content-Length`; pipelined bytes after one
+//! request's body are kept in the buffer for the next `try_next` call,
+//! which is what keep-alive needs.
+
+use std::io::Write;
+
+/// Parser limits: how much head and body one request may carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Request line + headers cap, bytes (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Body cap, bytes (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Maximum number of header lines a request may carry.
+const MAX_HEADERS: usize = 100;
+
+/// A parse-level failure, mapped to its HTTP status code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — the request is syntactically broken.
+    BadRequest(&'static str),
+    /// 413 — the declared body exceeds the cap.
+    BodyTooLarge,
+    /// 431 — the head exceeds the cap (or too many headers).
+    HeadersTooLarge,
+    /// 501 — a transfer encoding this server does not implement.
+    NotImplemented(&'static str),
+}
+
+impl HttpError {
+    /// The status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::BodyTooLarge => 413,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::NotImplemented(_) => 501,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(m) | HttpError::NotImplemented(m) => m,
+            HttpError::BodyTooLarge => "request body exceeds the configured limit",
+            HttpError::HeadersTooLarge => "request head exceeds the configured limit",
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, query string stripped.
+    pub path: String,
+    /// Header list: lowercased names, trimmed values, request order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental request parser over a growable byte buffer.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            limits,
+        }
+    }
+
+    /// Feed raw socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no unconsumed bytes are buffered (nothing in flight).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Try to parse one complete request off the front of the buffer.
+    ///
+    /// `Ok(None)` means "incomplete — feed more bytes". Errors are
+    /// terminal for the connection: the buffer state is unspecified
+    /// afterwards and the caller should answer and close.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_len) = find_head_end(&self.buf) else {
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_len > self.limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let (method, path, version_11) = parse_request_line(request_line)?;
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadRequest("header line without a colon"))?;
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(HttpError::BadRequest("malformed header name"));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if header_value(&headers, "transfer-encoding").is_some() {
+            return Err(HttpError::NotImplemented(
+                "transfer encodings are not supported; send Content-Length",
+            ));
+        }
+        // RFC 7230 §3.3.2: conflicting Content-Length values are a
+        // smuggling vector (a proxy may frame by one, us by another) —
+        // reject duplicates outright unless they agree.
+        let mut content_length = 0usize;
+        let mut seen_length: Option<usize> = None;
+        for (name, value) in &headers {
+            if name == "content-length" {
+                let parsed = value
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?;
+                if seen_length.is_some_and(|prev| prev != parsed) {
+                    return Err(HttpError::BadRequest("conflicting Content-Length headers"));
+                }
+                seen_length = Some(parsed);
+                content_length = parsed;
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge);
+        }
+        // Head ends with "\r\n\r\n": the body starts 4 bytes past it.
+        let body_start = head_len + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None);
+        }
+
+        let keep_alive = {
+            let conn = header_value(&headers, "connection").map(|v| v.to_ascii_lowercase());
+            match conn.as_deref() {
+                Some(v) if v.contains("close") => false,
+                Some(v) if v.contains("keep-alive") => true,
+                _ => version_11,
+            }
+        };
+        let method = method.to_string();
+        let path = path.to_string();
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep pipelined bytes for the next request.
+        self.buf.drain(..body_start + content_length);
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Split `METHOD SP PATH SP VERSION`; returns (method, path-sans-query,
+/// is-HTTP/1.1).
+fn parse_request_line(line: &str) -> Result<(&str, &str, bool), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest("malformed request line"));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("request target must be a path"));
+    }
+    let version_11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Ok((method, path, version_11))
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize onto the socket.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// An `application/json` response from any wire DTO.
+    pub fn json<T: serde::Serialize>(status: u16, value: &T) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::to_vec(value).expect("wire DTOs always serialize"),
+        }
+    }
+
+    /// The standard error body: `{"error":{"code":…,"message":…}}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        // Built as a Value tree so string escaping is serde_json's,
+        // not a second hand-rolled escaper that can drift.
+        let body = serde_json::Value::Map(vec![(
+            "error".to_string(),
+            serde_json::Value::Map(vec![
+                ("code".to_string(), serde_json::Value::Str(code.to_string())),
+                (
+                    "message".to_string(),
+                    serde_json::Value::Str(message.to_string()),
+                ),
+            ]),
+        )]);
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::value_to_string(&body).into_bytes(),
+        }
+    }
+
+    /// Serialize head + body in one write. `keep_alive` decides the
+    /// `Connection` header and must match what the connection loop
+    /// actually does afterwards.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                self.status,
+                reason(self.status),
+                self.content_type,
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(raw);
+        p.try_next()
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse_one(b"GET /video/7/dots?x=1 HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/video/7/dots");
+        assert_eq!(req.header("host"), Some("h"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_and_keeps_pipelined_bytes() {
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(b"POST /sessions HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n");
+        let first = p.try_next().unwrap().unwrap();
+        assert_eq!(first.body, b"abcd");
+        let second = p.try_next().unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn incremental_feeding_yields_one_request() {
+        let raw = b"POST /sessions HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut p = RequestParser::new(Limits::default());
+        for chunk in raw.chunks(7) {
+            p.extend(chunk);
+        }
+        // Everything buffered now; a single poll must yield the request.
+        let req = p.try_next().unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+
+        // And byte-by-byte: Incomplete until the last byte.
+        let mut p = RequestParser::new(Limits::default());
+        for &b in &raw[..raw.len() - 1] {
+            p.extend(&[b]);
+            assert!(p.try_next().unwrap().is_none());
+        }
+        p.extend(&raw[raw.len() - 1..]);
+        assert!(p.try_next().unwrap().is_some());
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_400() {
+        for raw in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            b"get /lower HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            match parse_one(raw) {
+                Err(e) => assert_eq!(e.status(), 400, "{:?} for {:?}", e, raw),
+                other => panic!("expected 400 for {raw:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_maps_to_431() {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        });
+        p.extend(b"GET /x HTTP/1.1\r\nX-Big: ");
+        p.extend(&[b'a'; 100]);
+        assert_eq!(p.try_next(), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn oversized_body_maps_to_413() {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        });
+        p.extend(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(p.try_next(), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_map_to_400() {
+        // Disagreeing duplicates: the smuggling vector — reject.
+        let err =
+            parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 100\r\n\r\nAAAAA")
+                .unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Agreeing duplicates are tolerated (same framing either way).
+        let req =
+            parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nAAAAA")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.body, b"AAAAA");
+        // A comma-folded list is unparseable as one integer — reject.
+        let err = parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nAAAAA").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn error_body_is_escaped_json() {
+        let resp = Response::error(400, "bad_request", "a \"quoted\"\nmessage");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(
+            body,
+            r#"{"error":{"code":"bad_request","message":"a \"quoted\"\nmessage"}}"#
+        );
+    }
+
+    #[test]
+    fn chunked_maps_to_501() {
+        let err = parse_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse_one(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_one(b"GET /x HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive);
+        let old_ka = parse_one(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out, true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 2\r\n"), "{s}");
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nok"), "{s}");
+    }
+}

@@ -1,0 +1,64 @@
+//! The network edge of the paper's deployment (Section VI, Figure 5):
+//! a hand-rolled, std-only, multi-threaded HTTP/1.1 front end over
+//! `lightor_platform`'s wire DTOs and [`LightorService`].
+//!
+//! # The Figure 5 loop, route by route
+//!
+//! The paper ships LIGHTOR as a browser extension talking to a web
+//! service. Every arrow in that loop is one route here:
+//!
+//! * **"viewer opens a recorded video"** → `GET /video/{id}/dots`.
+//!   The extension extracts the video id on page load and fetches the
+//!   red dots to draw on the progress bar ([`wire::DotsResponse`]).
+//!   First sight of a video crawls its chat replay and runs the
+//!   Highlight Initializer; later requests serve the *refined*
+//!   positions, so the dots viewers see improve as the crowd watches.
+//! * **"interactions stream back"** → `POST /sessions`. The extension
+//!   uploads one [`wire::SessionUpload`] per viewing session (play /
+//!   pause / seek / leave events). The service buffers the derived
+//!   plays against the nearest dot and runs a refinement round — the
+//!   implicit-crowdsourcing step that turns passive viewers into
+//!   labellers. Garbage payloads (NaN/negative timestamps, unknown
+//!   videos) are rejected with a typed 422 ([`wire::UploadError`]).
+//! * **"model refresh"** → `POST /video/{id}/rescore`: re-run the
+//!   Initializer at a chosen `k` without touching refinement state.
+//! * **operations** → `GET /stats` (service + per-route HTTP counters,
+//!   [`wire::StatsResponse`]), `POST /admin/compact` (reclaim storage,
+//!   [`wire::CompactResponse`]), `GET /healthz` (liveness).
+//!
+//! # Architecture
+//!
+//! std-only by design — no async runtime, no HTTP dependency, and the
+//! vendored registry stubs stay stubs:
+//!
+//! * [`pool`] — a bounded fixed-size worker pool (the accept backlog);
+//! * [`http`] — incremental HTTP/1.1 parsing (header/body limits →
+//!   400/413/431/501) and response framing;
+//! * [`router`] — the route table above, over [`LightorService`];
+//! * [`metrics`] — per-route request/error/latency counters, merged
+//!   into `GET /stats`;
+//! * [`server`] — listener + keep-alive connection loop + graceful
+//!   drain on shutdown;
+//! * [`client`] — a tiny keep-alive client driving the integration
+//!   tests, the loopback benches, and `examples/browser_extension.rs`.
+//!
+//! The `lightor-serve` binary wires a simulated platform behind the
+//! server so the whole loop runs from one command.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{HttpError, Limits, Request, RequestParser, Response};
+pub use lightor_platform::wire;
+pub use lightor_platform::LightorService;
+pub use metrics::{HttpMetrics, RouteKey, ROUTE_NAMES};
+pub use pool::ThreadPool;
+pub use router::{Route, RouteError, SessionAccepted};
+pub use server::{HttpServer, ServerConfig};

@@ -1,0 +1,117 @@
+//! Per-route serving counters, merged into `GET /stats`.
+//!
+//! Lock-free: each route keeps four atomics (requests, errors,
+//! cumulative latency, max latency), bumped once per response on the
+//! worker thread and snapshotted into [`RouteStatsDto`] rows when
+//! `/stats` is served. Unroutable traffic (404s, parse errors, 503
+//! load-sheds) lands in the `"other"` bucket so nothing is invisible.
+
+use lightor_platform::wire::RouteStatsDto;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The fixed route set the server exposes (plus the catch-all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteKey {
+    /// `GET /healthz`
+    Healthz = 0,
+    /// `GET /video/{id}/dots`
+    Dots = 1,
+    /// `POST /video/{id}/rescore`
+    Rescore = 2,
+    /// `POST /sessions`
+    Sessions = 3,
+    /// `GET /stats`
+    Stats = 4,
+    /// `POST /admin/compact`
+    Compact = 5,
+    /// Anything unroutable: 404/405, parse errors, load-sheds.
+    Other = 6,
+}
+
+/// Route templates, indexed by [`RouteKey`].
+pub const ROUTE_NAMES: [&str; 7] = [
+    "GET /healthz",
+    "GET /video/{id}/dots",
+    "POST /video/{id}/rescore",
+    "POST /sessions",
+    "GET /stats",
+    "POST /admin/compact",
+    "other",
+];
+
+#[derive(Default)]
+struct RouteCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_total_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+/// All routes' counters; shared across worker threads.
+#[derive(Default)]
+pub struct HttpMetrics {
+    routes: [RouteCounters; 7],
+}
+
+impl HttpMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one response on `route` with its status and handler latency.
+    pub fn record(&self, route: RouteKey, status: u16, elapsed: Duration) {
+        let c = &self.routes[route as usize];
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.latency_total_us.fetch_add(us, Ordering::Relaxed);
+        c.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Requests recorded on one route so far.
+    pub fn requests(&self, route: RouteKey) -> u64 {
+        self.routes[route as usize].requests.load(Ordering::Relaxed)
+    }
+
+    /// One [`RouteStatsDto`] row per route, in [`ROUTE_NAMES`] order.
+    pub fn snapshot(&self) -> Vec<RouteStatsDto> {
+        self.routes
+            .iter()
+            .zip(ROUTE_NAMES)
+            .map(|(c, route)| RouteStatsDto {
+                route: route.to_string(),
+                requests: c.requests.load(Ordering::Relaxed),
+                errors: c.errors.load(Ordering::Relaxed),
+                latency_total_us: c.latency_total_us.load(Ordering::Relaxed),
+                latency_max_us: c.latency_max_us.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_per_route() {
+        let m = HttpMetrics::new();
+        m.record(RouteKey::Dots, 200, Duration::from_micros(120));
+        m.record(RouteKey::Dots, 404, Duration::from_micros(80));
+        m.record(RouteKey::Sessions, 200, Duration::from_micros(300));
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), ROUTE_NAMES.len());
+        let dots = &snap[RouteKey::Dots as usize];
+        assert_eq!(dots.route, "GET /video/{id}/dots");
+        assert_eq!(dots.requests, 2);
+        assert_eq!(dots.errors, 1);
+        assert_eq!(dots.latency_total_us, 200);
+        assert_eq!(dots.latency_max_us, 120);
+        assert_eq!(snap[RouteKey::Sessions as usize].requests, 1);
+        assert_eq!(snap[RouteKey::Healthz as usize].requests, 0);
+    }
+}

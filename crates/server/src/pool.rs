@@ -1,0 +1,315 @@
+//! A bounded, fixed-size worker thread pool (std-only).
+//!
+//! This is the server's accept backlog *and* a general-purpose pool for
+//! `'static` jobs: `N` long-lived workers pull boxed closures from a
+//! queue whose depth is capped up front. Admission is a two-step
+//! reserve/submit protocol ([`ThreadPool::try_acquire`] →
+//! [`Permit::submit`]) so callers holding a resource they may still
+//! need on rejection — the HTTP acceptor holds the client's
+//! `TcpStream` — can learn "queue full" *before* moving the resource
+//! into a closure, and answer 503 themselves.
+//!
+//! Shutdown is graceful by construction: [`ThreadPool::shutdown`]
+//! closes admission, lets the workers drain everything already queued,
+//! and joins them. A panicking job takes neither the worker nor the
+//! pool down; it is caught, counted, and the worker returns to the
+//! queue.
+//!
+//! The `rayon` stub deliberately does **not** route its parallel
+//! regions through this pool — see the module docs in
+//! `vendor/rayon/src/lib.rs` for why (nested regions would deadlock a
+//! fixed pool without work-stealing, and the stub's borrowed closures
+//! would need lifetime-erasing `unsafe` to cross a `'static` queue).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state behind the pool's one lock.
+struct State {
+    queue: VecDeque<Job>,
+    /// Permits handed out but not yet submitted; they hold queue slots.
+    reserved: usize,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job lands in the queue (or shutdown starts).
+    work_ready: Condvar,
+    queue_cap: usize,
+    /// Jobs that panicked (caught; the worker survives).
+    panics: AtomicU64,
+}
+
+/// A fixed-size worker pool over a bounded job queue.
+///
+/// `shutdown` takes `&self`, so a pool can be shared (`Arc`) between
+/// the thread that feeds it and the one that eventually drains it.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    worker_count: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A reserved queue slot: submitting is infallible once you hold one.
+///
+/// Dropping a permit without submitting releases the slot.
+pub struct Permit<'a> {
+    shared: &'a Shared,
+    submitted: bool,
+}
+
+impl ThreadPool {
+    /// Start `workers` threads over a queue of at most `queue_cap`
+    /// pending jobs. Both are clamped to ≥ 1.
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                reserved: 0,
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            panics: AtomicU64::new(0),
+        });
+        let worker_count = workers.max(1);
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            worker_count,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Reserve a queue slot. `None` when the queue (queued + reserved)
+    /// is at capacity or the pool is shutting down — the caller still
+    /// holds whatever it meant to move into the job and can shed load.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutting_down || state.queue.len() + state.reserved >= self.shared.queue_cap {
+            return None;
+        }
+        state.reserved += 1;
+        Some(Permit {
+            shared: &self.shared,
+            submitted: false,
+        })
+    }
+
+    /// Reserve-and-submit in one call; `false` means the job was
+    /// rejected (queue full or shutting down) and never ran.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match self.try_acquire() {
+            Some(permit) => {
+                permit.submit(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Jobs currently queued (not yet picked up).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Jobs that panicked since the pool started (all caught).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: refuse new permits, drain everything already
+    /// queued — including jobs submitted through permits acquired
+    /// before the shutdown — and join the workers. Blocks until all
+    /// in-flight work has finished (so it also waits for outstanding
+    /// permits to be submitted or dropped). Idempotent; later calls
+    /// return immediately.
+    ///
+    /// Must not be called from inside a pool job (a worker cannot join
+    /// itself).
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            self.workers.lock().expect("pool lock").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Permit<'_> {
+    /// Put `job` on the queue; a worker will run it — even if
+    /// `shutdown` started after this permit was acquired (workers
+    /// drain outstanding permits before exiting).
+    pub fn submit(mut self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        state.reserved -= 1;
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.submitted = true;
+        // notify_all: during shutdown every idle worker re-evaluates
+        // its exit condition (`reserved` just changed), and one of
+        // them takes the job.
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if !self.submitted {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.reserved -= 1;
+            drop(state);
+            // A released slot changes the workers' shutdown exit
+            // condition too.
+            self.shared.work_ready.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                // Exit only once shutdown has started AND no permit is
+                // outstanding: a held [`Permit`] promises its holder an
+                // infallible `submit`, so someone must stay to run it.
+                if state.shutting_down && state.reserved == 0 {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool lock");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_shutdown_drains() {
+        let pool = ThreadPool::new(3, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let counter = counter.clone();
+            assert!(pool.try_execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn queue_is_bounded_and_permits_release_on_drop() {
+        // One worker, blocked; queue of 2 fills after two submissions.
+        let pool = ThreadPool::new(1, 2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        assert!(pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }));
+        // Make sure the worker took the blocking job off the queue.
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker started");
+        assert!(pool.try_execute(|| {}));
+        assert!(pool.try_execute(|| {}));
+        // Queue full now (2 queued, worker busy).
+        assert!(pool.try_acquire().is_none());
+        // An unsubmitted permit must give its slot back.
+        {
+            let ran_before = pool.try_acquire();
+            assert!(ran_before.is_none());
+        }
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1, 8);
+        assert!(pool.try_execute(|| panic!("job panic")));
+        let (tx, rx) = mpsc::channel::<()>();
+        assert!(pool.try_execute(move || tx.send(()).unwrap()));
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("worker survived the panic");
+        assert_eq!(pool.panics(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn permit_acquired_before_shutdown_still_runs_its_job() {
+        let pool = Arc::new(ThreadPool::new(2, 8));
+        let permit_taken = Arc::new(std::sync::Barrier::new(2));
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let submitter = {
+            let pool = pool.clone();
+            let permit_taken = permit_taken.clone();
+            std::thread::spawn(move || {
+                let permit = pool.try_acquire().expect("pool is idle");
+                permit_taken.wait();
+                // Give shutdown() a head start before submitting.
+                std::thread::sleep(Duration::from_millis(100));
+                permit.submit(move || done_tx.send(()).unwrap());
+            })
+        };
+        permit_taken.wait();
+        // Shutdown races the held permit; the job must still run.
+        pool.shutdown();
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("job submitted through a pre-shutdown permit ran");
+        submitter.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_jobs_and_is_idempotent() {
+        let pool = ThreadPool::new(2, 8);
+        pool.shutdown();
+        assert!(!pool.try_execute(|| {}));
+        assert!(pool.try_acquire().is_none());
+        pool.shutdown(); // second call is a no-op
+    }
+}

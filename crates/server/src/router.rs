@@ -1,0 +1,259 @@
+//! Route table and handlers: HTTP verbs/paths → `LightorService` calls
+//! via the `wire` DTOs.
+//!
+//! | Route | Wire type | Service call |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness probe |
+//! | `GET /video/{id}/dots` | [`DotsResponse`] | `open_video` |
+//! | `POST /video/{id}/rescore` | [`RescoreRequest`] → [`DotsResponse`] | `rescore_video` |
+//! | `POST /sessions` | [`SessionUpload`] → [`SessionAccepted`] | `log_session` + `refine_video` |
+//! | `GET /stats` | [`StatsResponse`] | `stats` + HTTP counters |
+//! | `POST /admin/compact` | [`CompactResponse`] | `compact_storage` |
+//!
+//! Semantic failures answer with the standard error body
+//! (`{"error":{"code":…,"message":…}}`): `404` for videos the platform
+//! does not know, `422` for well-formed-but-garbage uploads
+//! ([`UploadError`]), `400` for unparseable JSON or ids, `500` for
+//! storage errors.
+
+use crate::http::{Request, Response};
+use crate::metrics::{HttpMetrics, RouteKey};
+use lightor_platform::wire::{
+    CompactResponse, DotsResponse, RescoreRequest, SessionUpload, StatsResponse, UploadError,
+};
+use lightor_platform::LightorService;
+use lightor_types::VideoId;
+use serde::{Deserialize, Serialize};
+
+/// A resolved route, ids parsed out of the path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /video/{id}/dots`
+    Dots(u64),
+    /// `POST /video/{id}/rescore`
+    Rescore(u64),
+    /// `POST /sessions`
+    Sessions,
+    /// `GET /stats`
+    Stats,
+    /// `POST /admin/compact`
+    Compact,
+}
+
+impl Route {
+    /// The metrics bucket this route reports under.
+    pub fn key(self) -> RouteKey {
+        match self {
+            Route::Healthz => RouteKey::Healthz,
+            Route::Dots(_) => RouteKey::Dots,
+            Route::Rescore(_) => RouteKey::Rescore,
+            Route::Sessions => RouteKey::Sessions,
+            Route::Stats => RouteKey::Stats,
+            Route::Compact => RouteKey::Compact,
+        }
+    }
+}
+
+/// `POST /sessions` success body.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionAccepted {
+    /// The video the session was logged against.
+    pub video: u64,
+    /// Plays buffered against red dots (within the Δ neighbourhood).
+    pub plays_buffered: usize,
+    /// Dots whose position a refinement round just updated.
+    pub dots_refined: usize,
+}
+
+/// Why a request did not resolve to a route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// No route owns this path → 404.
+    NotFound,
+    /// The path exists but not with this method → 405.
+    MethodNotAllowed,
+    /// A path id segment is not a u64 → 400.
+    BadId,
+}
+
+impl RouteError {
+    /// The response this routing failure answers with.
+    pub fn response(self) -> Response {
+        match self {
+            RouteError::NotFound => Response::error(404, "not_found", "no such route"),
+            RouteError::MethodNotAllowed => Response::error(
+                405,
+                "method_not_allowed",
+                "method not allowed on this route",
+            ),
+            RouteError::BadId => Response::error(400, "bad_id", "video id must be an integer"),
+        }
+    }
+}
+
+/// Resolve `method` + `path` to a route.
+pub fn resolve(method: &str, path: &str) -> Result<Route, RouteError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let route = match segments.as_slice() {
+        ["healthz"] => (Route::Healthz, "GET"),
+        ["stats"] => (Route::Stats, "GET"),
+        ["sessions"] => (Route::Sessions, "POST"),
+        ["admin", "compact"] => (Route::Compact, "POST"),
+        ["video", id, "dots"] => (Route::Dots(parse_id(id)?), "GET"),
+        ["video", id, "rescore"] => (Route::Rescore(parse_id(id)?), "POST"),
+        _ => return Err(RouteError::NotFound),
+    };
+    if method != route.1 {
+        return Err(RouteError::MethodNotAllowed);
+    }
+    Ok(route.0)
+}
+
+fn parse_id(id: &str) -> Result<u64, RouteError> {
+    id.parse::<u64>().map_err(|_| RouteError::BadId)
+}
+
+/// Dispatch one parsed request. Always returns a response; the
+/// [`RouteKey`] says which metrics bucket it belongs to.
+pub fn dispatch(
+    svc: &LightorService,
+    metrics: &HttpMetrics,
+    req: &Request,
+) -> (RouteKey, Response) {
+    let route = match resolve(&req.method, &req.path) {
+        Ok(r) => r,
+        Err(e) => return (RouteKey::Other, e.response()),
+    };
+    let response = match route {
+        Route::Healthz => Response::text(200, "ok"),
+        Route::Dots(id) => handle_dots(svc, id),
+        Route::Rescore(id) => handle_rescore(svc, id, &req.body),
+        Route::Sessions => handle_sessions(svc, &req.body),
+        Route::Stats => handle_stats(svc, metrics),
+        Route::Compact => handle_compact(svc),
+    };
+    (route.key(), response)
+}
+
+fn handle_dots(svc: &LightorService, id: u64) -> Response {
+    match svc.open_video(VideoId(id)) {
+        Ok(Some(dots)) => Response::json(
+            200,
+            &DotsResponse {
+                video: id,
+                dots: dots.into_iter().map(Into::into).collect(),
+            },
+        ),
+        Ok(None) => Response::error(
+            404,
+            "unknown_video",
+            "the platform does not know this video",
+        ),
+        Err(e) => storage_error(&e),
+    }
+}
+
+fn handle_rescore(svc: &LightorService, id: u64, body: &[u8]) -> Response {
+    let k = if body.is_empty() {
+        svc.config().top_k
+    } else {
+        match serde_json::from_slice::<RescoreRequest>(body) {
+            Ok(r) => r.k,
+            Err(_) => {
+                return Response::error(400, "bad_json", "body must be {\"k\": <usize>} or empty")
+            }
+        }
+    };
+    if k == 0 {
+        return Response::error(422, "bad_k", "k must be at least 1");
+    }
+    match svc.rescore_video(VideoId(id), k) {
+        Ok(Some(dots)) => Response::json(
+            200,
+            &DotsResponse {
+                video: id,
+                dots: dots.into_iter().map(Into::into).collect(),
+            },
+        ),
+        Ok(None) => Response::error(404, "unknown_video", "no chat stored for this video"),
+        Err(e) => storage_error(&e),
+    }
+}
+
+fn handle_sessions(svc: &LightorService, body: &[u8]) -> Response {
+    let upload: SessionUpload = match serde_json::from_slice(body) {
+        Ok(u) => u,
+        Err(_) => return Response::error(400, "bad_json", "body must be a SessionUpload"),
+    };
+    let (video, session) = match upload.try_into_session() {
+        Ok(pair) => pair,
+        Err(e) => return Response::error(422, e.code(), &e.to_string()),
+    };
+    let Some(plays_buffered) = svc.log_session(video, &session) else {
+        let e = UploadError::UnknownVideo { video: video.0 };
+        return Response::error(422, e.code(), &e.to_string());
+    };
+    match svc.refine_video(video) {
+        Ok(dots_refined) => Response::json(
+            200,
+            &SessionAccepted {
+                video: video.0,
+                plays_buffered,
+                dots_refined,
+            },
+        ),
+        Err(e) => storage_error(&e),
+    }
+}
+
+fn handle_stats(svc: &LightorService, metrics: &HttpMetrics) -> Response {
+    let mut stats = StatsResponse::from(svc.stats());
+    stats.http = metrics.snapshot();
+    Response::json(200, &stats)
+}
+
+fn handle_compact(svc: &LightorService) -> Response {
+    match svc.compact_storage() {
+        Ok(stats) => Response::json(200, &CompactResponse::from(stats)),
+        Err(e) => storage_error(&e),
+    }
+}
+
+fn storage_error(e: &std::io::Error) -> Response {
+    Response::error(500, "storage_error", &e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(resolve("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(resolve("GET", "/stats"), Ok(Route::Stats));
+        assert_eq!(resolve("POST", "/sessions"), Ok(Route::Sessions));
+        assert_eq!(resolve("POST", "/admin/compact"), Ok(Route::Compact));
+        assert_eq!(resolve("GET", "/video/42/dots"), Ok(Route::Dots(42)));
+        assert_eq!(resolve("POST", "/video/7/rescore"), Ok(Route::Rescore(7)));
+        // Trailing slash tolerated (empty segments are dropped).
+        assert_eq!(resolve("GET", "/healthz/"), Ok(Route::Healthz));
+    }
+
+    #[test]
+    fn routing_failures_are_typed() {
+        assert_eq!(resolve("GET", "/nope"), Err(RouteError::NotFound));
+        assert_eq!(resolve("GET", "/video/42"), Err(RouteError::NotFound));
+        assert_eq!(
+            resolve("POST", "/healthz"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            resolve("GET", "/video/7/rescore"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(resolve("GET", "/video/abc/dots"), Err(RouteError::BadId));
+        assert_eq!(resolve("GET", "/video/-3/dots"), Err(RouteError::BadId));
+    }
+}

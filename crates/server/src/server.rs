@@ -1,0 +1,279 @@
+//! The listener + connection machinery: `std::net::TcpListener`, a
+//! fixed worker pool, keep-alive connections, and graceful shutdown.
+//!
+//! One acceptor thread owns the listener. Each accepted connection is
+//! admitted through the pool's bounded queue ([`crate::pool`]); when
+//! the queue is full the acceptor answers `503` inline and closes —
+//! load is shed at the door instead of queueing unboundedly.
+//!
+//! A worker runs the whole life of its connection: feed socket bytes to
+//! the incremental parser, dispatch complete requests through the
+//! router, write responses, repeat while keep-alive holds. Reads use a
+//! short poll timeout so idle connections notice the shutdown flag
+//! quickly.
+//!
+//! [`HttpServer::shutdown`] is the graceful path: stop accepting (the
+//! acceptor is woken by a self-connect), then drain — workers finish
+//! the request currently in flight (including one whose bytes are
+//! still arriving, up to a drain grace period) before closing their
+//! connections, and the pool joins every worker.
+
+use crate::http::{Limits, RequestParser, Response};
+use crate::metrics::{HttpMetrics, RouteKey};
+use crate::pool::ThreadPool;
+use crate::router;
+use lightor_platform::LightorService;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Bounded accept backlog: connections queued past the busy
+    /// workers before the acceptor sheds load with `503`.
+    pub backlog: usize,
+    /// Parser limits (431/413 thresholds).
+    pub limits: Limits,
+    /// Idle keep-alive timeout: a connection with no request in flight
+    /// for this long is closed.
+    pub keep_alive: Duration,
+    /// How long shutdown waits for a partially received request to
+    /// finish arriving before the connection is dropped.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 64,
+            limits: Limits::default(),
+            keep_alive: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How often a worker wakes from a blocked read to check the shutdown
+/// flag and the idle deadline.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Shared connection context.
+struct Ctx {
+    svc: Arc<LightorService>,
+    metrics: Arc<HttpMetrics>,
+    shutdown: AtomicBool,
+    cfg: ServerConfig,
+}
+
+/// A running HTTP front end over one [`LightorService`].
+pub struct HttpServer {
+    ctx: Arc<Ctx>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    pool: Arc<ThreadPool>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (port 0 picks a free port) and start serving `svc`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        svc: Arc<LightorService>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            svc,
+            metrics: Arc::new(HttpMetrics::new()),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let pool = Arc::new(ThreadPool::new(cfg.workers, cfg.backlog));
+        let acceptor = {
+            let ctx = ctx.clone();
+            let pool = pool.clone();
+            std::thread::Builder::new()
+                .name("http-acceptor".into())
+                .spawn(move || accept_loop(listener, &ctx, &pool))?
+        };
+        Ok(HttpServer {
+            ctx,
+            addr: local,
+            acceptor: Some(acceptor),
+            pool,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The per-route counters (also served by `GET /stats`).
+    pub fn metrics(&self) -> Arc<HttpMetrics> {
+        self.ctx.metrics.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight connections,
+    /// join every thread. Blocks until the server is fully down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Drains queued connections and joins workers (workers see the
+        // shutdown flag and close after the in-flight request).
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: &Arc<Ctx>, pool: &ThreadPool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match pool.try_acquire() {
+                    Some(permit) => {
+                        let ctx = ctx.clone();
+                        permit.submit(move || serve_connection(stream, &ctx));
+                    }
+                    None => shed_load(stream, ctx),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Persistent accept errors (EMFILE under fd
+                // exhaustion, ENFILE, …) fail instantly; without a
+                // pause this thread would hot-spin a core exactly
+                // when the server is already overloaded.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Answer `503` and close — the bounded backlog is full.
+fn shed_load(mut stream: TcpStream, ctx: &Ctx) {
+    let resp = Response::error(503, "overloaded", "server backlog is full; retry");
+    let _ = resp.write_to(&mut stream, false);
+    let _ = stream.shutdown(Shutdown::Both);
+    ctx.metrics.record(RouteKey::Other, 503, Duration::ZERO);
+}
+
+/// Run one connection to completion: parse → dispatch → respond, while
+/// keep-alive holds and the server is not draining.
+fn serve_connection(stream: TcpStream, ctx: &Ctx) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut parser = RequestParser::new(ctx.cfg.limits);
+    let mut read_buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    // Set once the shutdown flag is observed with bytes still in
+    // flight: the worker keeps reading until the request completes or
+    // this deadline passes.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        match parser.try_next() {
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                let (key, response) = router::dispatch(&ctx.svc, &ctx.metrics, &req);
+                let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
+                let keep_alive = req.keep_alive && !shutting_down;
+                // Record before writing: once a client holds the
+                // response, its request is visible in /stats.
+                ctx.metrics.record(key, response.status, started.elapsed());
+                let wrote = response.write_to(&mut stream, keep_alive);
+                if wrote.is_err() || !keep_alive {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                last_activity = Instant::now();
+                continue;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Parse-level failure: answer with its status and close
+                // (the framing is unrecoverable).
+                let response = Response::error(
+                    e.status(),
+                    match e.status() {
+                        413 => "body_too_large",
+                        431 => "headers_too_large",
+                        501 => "not_implemented",
+                        _ => "bad_request",
+                    },
+                    e.message(),
+                );
+                let _ = response.write_to(&mut stream, false);
+                ctx.metrics
+                    .record(RouteKey::Other, e.status(), Duration::ZERO);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+
+        // No complete request buffered: decide whether to keep waiting.
+        let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
+        if shutting_down {
+            if parser.is_empty() {
+                // Nothing in flight — close immediately.
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + ctx.cfg.drain_grace);
+            if Instant::now() > deadline {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        } else if last_activity.elapsed() > ctx.cfg.keep_alive {
+            // Idle keep-alive expiry — and, because `last_activity`
+            // only resets when a *response* completes, also the
+            // overall deadline for one request to finish arriving.
+            // A slowloris client dribbling a byte at a time cannot
+            // hold the worker past this window.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+
+        match stream.read(&mut read_buf) {
+            Ok(0) => {
+                // Peer closed.
+                return;
+            }
+            Ok(n) => {
+                parser.extend(&read_buf[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

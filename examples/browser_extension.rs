@@ -1,7 +1,9 @@
-//! The Section VI deployment: a web-service back end serving a browser
-//! extension. The extension sends a video id, receives red dots to draw,
-//! and streams interaction events back as JSON; extraction rounds refine
-//! the dots continuously and every artifact is persisted.
+//! The Section VI deployment, end to end over real TCP sockets: the
+//! web-service back end runs behind the hand-rolled HTTP/1.1 front end
+//! (`lightor_server`), and this process plays the browser extension —
+//! it fetches red dots on "page load", streams viewer sessions back as
+//! JSON uploads, and re-fetches the dots to watch refinement move them
+//! (paper Figure 5).
 //!
 //! ```text
 //! cargo run --release --example browser_extension
@@ -11,9 +13,11 @@ use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
 use lightor_chatsim::{dota2_dataset, SimPlatform};
 use lightor_crowdsim::Campaign;
 use lightor_eval::harness::{train_initializer, train_type_classifier};
-use lightor_platform::wire::{DotsResponse, EventDto, SessionUpload};
+use lightor_platform::wire::{DotsResponse, EventDto, SessionUpload, StatsResponse};
 use lightor_platform::{LightorService, ServiceConfig};
-use lightor_types::GameKind;
+use lightor_server::{HttpClient, HttpServer, ServerConfig, SessionAccepted};
+use lightor_types::{GameKind, Sec};
+use std::sync::Arc;
 
 fn main() -> std::io::Result<()> {
     // Back-end setup: train models offline (one labelled video), then
@@ -31,69 +35,94 @@ fn main() -> std::io::Result<()> {
 
     let platform = SimPlatform::top_channels(GameKind::Dota2, 3, 4, 74);
     let dir = std::env::temp_dir().join(format!("lightor-extension-{}", std::process::id()));
-    let svc = LightorService::open(&dir, models, platform.clone(), ServiceConfig::default())?;
+    let svc = Arc::new(LightorService::open(
+        &dir,
+        models,
+        platform.clone(),
+        ServiceConfig::default(),
+    )?);
+
+    // Bring the network edge up on a loopback port.
+    let server = HttpServer::bind(("127.0.0.1", 0), svc, ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("server listening on http://{addr}\n");
 
     // A user opens a recorded video page: the extension extracts the
-    // video id and asks the back end for dots.
+    // video id and GETs the red dots over the wire.
     let vid = platform.recent_videos(platform.channels()[0].id)[1];
-    let dots = svc.open_video(vid)?.expect("video exists on the platform");
-    let response = DotsResponse {
-        video: vid.0,
-        dots: dots.iter().map(|&d| d.into()).collect(),
-    };
+    let mut client = HttpClient::connect(addr)?;
+    let resp = client.get(&format!("/video/{}/dots", vid.0))?;
+    let dots: DotsResponse = resp.json().expect("dots JSON");
     println!(
-        "GET /video/{}/dots ->\n{}\n",
+        "GET /video/{}/dots -> {}\n{}\n",
         vid.0,
-        serde_json::to_string_pretty(&response).unwrap()
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
     );
 
-    // Viewers watch around the dots; the extension streams sessions back.
-    // (Simulated here by the crowd model; a real extension posts the same
-    // JSON payloads.)
+    // Viewers watch around the dots; the extension POSTs each session
+    // back as JSON. Every upload may trigger a refinement round.
     let truth = platform.ground_truth(vid).unwrap().clone();
     let mut viewers = Campaign::new(200, 75);
     for round in 0..3 {
         let mut uploads = 0;
-        for dot in &dots {
-            let task = viewers.run_task(&truth.video, dot.at, 12);
+        let mut refined = 0;
+        for dot in &dots.dots {
+            let task = viewers.run_task(&truth.video, Sec(dot.at_seconds), 12);
             for session in task.sessions {
                 let upload = SessionUpload {
                     video: vid.0,
                     client: session.user.0,
                     events: session.events.iter().map(|&e| EventDto::from(e)).collect(),
                 };
-                // Serialize/deserialize across the "wire", then ingest.
-                let json = serde_json::to_string(&upload).unwrap();
-                let parsed: SessionUpload = serde_json::from_str(&json).unwrap();
-                let (video, session) = parsed.into_session();
-                svc.log_session(video, &session);
+                let resp =
+                    client.post_json("/sessions", &serde_json::to_string(&upload).unwrap())?;
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                let accepted: SessionAccepted = resp.json().expect("session JSON");
                 uploads += 1;
+                refined += accepted.dots_refined;
             }
         }
-        let refined = svc.refine_video(vid)?;
         println!(
-            "round {}: {uploads} session uploads, {refined} dots refined",
+            "round {}: {uploads} session uploads over POST /sessions, {refined} dot refinements",
             round + 1
         );
     }
 
-    // Final state, as the next page load would see it.
-    let state = svc.video_state(vid).expect("state exists");
-    println!("\nfinal red-dot state for {}:", vid);
-    for (i, d) in state.dots.iter().enumerate() {
+    // The next page load sees the refined positions.
+    let after: DotsResponse = client
+        .get(&format!("/video/{}/dots", vid.0))?
+        .json()
+        .unwrap();
+    println!("\nred dots before refinement -> after (re-fetched over the wire):");
+    for (i, (b, a)) in dots.dots.iter().zip(&after.dots).enumerate() {
         println!(
-            "  dot {}: {:7.1}s -> {:7.1}s  end={} rounds={} converged={}",
+            "  dot {}: {:7.1}s -> {:7.1}s{}",
             i + 1,
-            d.initial.at.0,
-            d.current.0,
-            d.end
-                .map(|e| format!("{:.1}", e.0))
-                .unwrap_or_else(|| "-".into()),
-            d.rounds,
-            d.converged
+            b.at_seconds,
+            a.at_seconds,
+            if (b.at_seconds - a.at_seconds).abs() > 1e-9 {
+                "  (moved)"
+            } else {
+                ""
+            }
         );
     }
 
+    // Operations: per-route counters ride along in GET /stats.
+    let stats: StatsResponse = client.get("/stats")?.json().unwrap();
+    println!("\nGET /stats -> per-route counters:");
+    for row in stats.http.iter().filter(|r| r.requests > 0) {
+        println!(
+            "  {:26} {:4} requests, {:2} errors, mean {:6.1} µs",
+            row.route,
+            row.requests,
+            row.errors,
+            row.latency_total_us as f64 / row.requests as f64
+        );
+    }
+
+    server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -11,5 +11,6 @@ pub use lightor_eval as eval;
 pub use lightor_mlcore as mlcore;
 pub use lightor_neural as neural;
 pub use lightor_platform as platform;
+pub use lightor_server as server;
 pub use lightor_simkit as simkit;
 pub use lightor_types as types;

@@ -8,6 +8,36 @@
 //! input order — so results are **always** in the sequential order and
 //! independent of thread count. `RAYON_NUM_THREADS` caps the worker
 //! count like the real crate.
+//!
+//! # Why this does NOT reuse `lightor_server::pool::ThreadPool`
+//!
+//! The workspace now has a general bounded worker pool (built for the
+//! HTTP front end's accept backlog), and re-pointing this stub's
+//! per-call `thread::scope` spawn at it looks like an obvious win for
+//! small fan-outs. It was considered and rejected, for two reasons
+//! that only a real work-stealing scheduler fixes:
+//!
+//! 1. **Nested parallel regions deadlock a fixed pool.** Regions here
+//!    nest: `lightor_eval::harness::par_red_dots` fans out over videos
+//!    and each video's `HighlightInitializer` scoring fans out again
+//!    over window chunks. On a fixed N-worker pool, N outer closures
+//!    occupy every worker while blocking on inner closures that can
+//!    never be scheduled. Real rayon escapes this because a blocked
+//!    worker *steals* and runs its own children; a queue-only pool
+//!    cannot without reimplementing that scheduler.
+//! 2. **Borrowed closures cannot cross a `'static` queue safely.**
+//!    This stub's closures borrow the caller's stack (slices, `&f`),
+//!    which `thread::scope` makes sound. A long-lived pool queue
+//!    requires `'static` jobs, so shipping borrows through it would
+//!    need lifetime-erasing `unsafe` plus a completion latch — the
+//!    exact machinery `thread::scope` already provides, minus the
+//!    proof obligations.
+//!
+//! So per-call scoped spawn stays. The measured break-even is
+//! unchanged: fan-outs of a few hundred microseconds and up win
+//! (`initializer_score_full_video`), and the serving path's small
+//! fan-outs (`campaign_run_task` at ~5 µs) stay near-flat on 1 CPU —
+//! acceptable until a registry-access build swaps in real rayon.
 
 use std::num::NonZeroUsize;
 

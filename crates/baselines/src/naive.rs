@@ -6,7 +6,7 @@
 //! adjustment stages fix.
 
 use lightor_simkit::{peaks_min_separation, Histogram};
-use lightor_types::{ChatLog, Sec};
+use lightor_types::{ChatLogView, Sec};
 
 /// Count-peak red-dot placement.
 #[derive(Clone, Copy, Debug)]
@@ -28,13 +28,13 @@ impl Default for NaiveCount {
 
 impl NaiveCount {
     /// Top-k message-count peaks, separated by at least δ, highest first.
-    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<Sec> {
+    pub fn detect(&self, chat: &ChatLogView, duration: Sec, k: usize) -> Vec<Sec> {
         if duration.0 <= 0.0 || chat.is_empty() {
             return Vec::new();
         }
         let mut hist = Histogram::with_bin_width(0.0, duration.0, self.bin);
-        for m in chat.messages() {
-            hist.add(m.ts.0);
+        for i in 0..chat.len() {
+            hist.add(chat.ts(i).0);
         }
         let counts = hist.counts();
         let sep_bins = (self.min_separation / self.bin).ceil() as usize;
@@ -53,7 +53,7 @@ mod tests {
     use super::*;
     use lightor_types::{ChatMessage, UserId};
 
-    fn chat_with_bursts(bursts: &[(f64, usize)], duration: f64) -> ChatLog {
+    fn chat_with_bursts(bursts: &[(f64, usize)], duration: f64) -> ChatLogView {
         let mut msgs = Vec::new();
         for &(at, n) in bursts {
             for i in 0..n {
@@ -70,7 +70,7 @@ mod tests {
             msgs.push(ChatMessage::new(t, UserId(999), "bg"));
             t += 20.0;
         }
-        ChatLog::new(msgs)
+        ChatLogView::from_messages(msgs)
     }
 
     #[test]
@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let n = NaiveCount::default();
-        assert!(n.detect(&ChatLog::empty(), Sec(100.0), 3).is_empty());
+        assert!(n.detect(&ChatLogView::empty(), Sec(100.0), 3).is_empty());
         let chat = chat_with_bursts(&[(10.0, 5)], 100.0);
         assert!(n.detect(&chat, Sec(0.0), 3).is_empty());
     }

@@ -11,7 +11,7 @@
 //! higher precision.
 
 use lightor_simkit::{mean, std_dev, Histogram};
-use lightor_types::{ChatLog, Sec};
+use lightor_types::{ChatLogView, Sec};
 
 /// Statistical burst alarm detector.
 #[derive(Clone, Copy, Debug)]
@@ -45,13 +45,13 @@ pub struct Alarm {
 
 impl Toretter {
     /// All alarms over a video, most significant first.
-    pub fn alarms(&self, chat: &ChatLog, duration: Sec) -> Vec<Alarm> {
+    pub fn alarms(&self, chat: &ChatLogView, duration: Sec) -> Vec<Alarm> {
         if duration.0 <= 0.0 || chat.is_empty() {
             return Vec::new();
         }
         let mut hist = Histogram::with_bin_width(0.0, duration.0, self.window);
-        for m in chat.messages() {
-            hist.add(m.ts.0);
+        for i in 0..chat.len() {
+            hist.add(chat.ts(i).0);
         }
         let counts = hist.counts();
         let mu = mean(counts).unwrap_or(0.0);
@@ -73,7 +73,7 @@ impl Toretter {
     }
 
     /// Top-k alarm positions with δ separation — Toretter's "red dots".
-    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<Sec> {
+    pub fn detect(&self, chat: &ChatLogView, duration: Sec, k: usize) -> Vec<Sec> {
         let mut chosen: Vec<Sec> = Vec::with_capacity(k);
         for a in self.alarms(chat, duration) {
             if chosen
@@ -95,7 +95,7 @@ mod tests {
     use super::*;
     use lightor_types::{ChatMessage, UserId};
 
-    fn chat_with_burst(burst_at: f64, burst_n: usize, duration: f64) -> ChatLog {
+    fn chat_with_burst(burst_at: f64, burst_n: usize, duration: f64) -> ChatLogView {
         let mut msgs = Vec::new();
         let mut t = 0.0;
         while t < duration {
@@ -109,7 +109,7 @@ mod tests {
                 "burst",
             ));
         }
-        ChatLog::new(msgs)
+        ChatLogView::from_messages(msgs)
     }
 
     #[test]
@@ -149,9 +149,15 @@ mod tests {
 
     #[test]
     fn separation_is_enforced() {
-        let mut msgs = chat_with_burst(1000.0, 40, 3000.0).into_messages();
-        msgs.extend(chat_with_burst(1060.0, 35, 3000.0).into_messages());
-        let chat = ChatLog::new(msgs);
+        let mut msgs = chat_with_burst(1000.0, 40, 3000.0)
+            .to_chat_log()
+            .into_messages();
+        msgs.extend(
+            chat_with_burst(1060.0, 35, 3000.0)
+                .to_chat_log()
+                .into_messages(),
+        );
+        let chat = ChatLogView::from_messages(msgs);
         let dots = Toretter::default().detect(&chat, Sec(3000.0), 5);
         for i in 0..dots.len() {
             for j in (i + 1)..dots.len() {
@@ -163,6 +169,6 @@ mod tests {
     #[test]
     fn empty_chat_is_empty() {
         let t = Toretter::default();
-        assert!(t.alarms(&ChatLog::empty(), Sec(100.0)).is_empty());
+        assert!(t.alarms(&ChatLogView::empty(), Sec(100.0)).is_empty());
     }
 }

@@ -11,9 +11,10 @@ use lightor_types::{ChannelId, Play, PlaySet, Sec, VideoId};
 fn bench_window_features(c: &mut Criterion) {
     let data = bench_dataset();
     let sv = &data.videos[0];
-    let chat = &sv.video.chat;
+    let chat = sv.video.chat.to_chat_log();
+    let chat = &chat;
     let windows = sliding_windows(chat, sv.video.meta.duration, 25.0, 0.5);
-    let corpus = TokenizedChat::build(chat);
+    let corpus = TokenizedChat::build_from_view(&sv.video.chat);
     let mut g = c.benchmark_group("window_features");
     g.throughput(Throughput::Elements(windows.len() as u64));
     // Naive reference: re-tokenize + dense center per window.
@@ -40,6 +41,7 @@ fn bench_score_video(c: &mut Criterion) {
     let data = bench_dataset();
     let init = bench_initializer(&data);
     let sv = &data.videos[3];
+    let owned = sv.video.chat.to_chat_log();
     c.bench_function("initializer_score_full_video", |b| {
         b.iter(|| {
             black_box(init.red_dots(&sv.video.chat, sv.video.meta.duration, 10));
@@ -47,11 +49,11 @@ fn bench_score_video(c: &mut Criterion) {
     });
     c.bench_function("initializer_score_full_video_naive", |b| {
         b.iter(|| {
-            black_box(init.score_windows_naive(&sv.video.chat, sv.video.meta.duration));
+            black_box(init.score_windows_naive(&owned, sv.video.meta.duration));
         })
     });
     // Production shape: corpus built once, scored per request.
-    let corpus = TokenizedChat::build(&sv.video.chat);
+    let corpus = TokenizedChat::build_from_view(&sv.video.chat);
     c.bench_function("initializer_score_prebuilt_corpus", |b| {
         b.iter(|| black_box(init.score_corpus(&corpus, sv.video.meta.duration)));
     });
@@ -72,18 +74,30 @@ fn bench_filter_plays(c: &mut Criterion) {
 }
 
 fn bench_chat_generation(c: &mut Criterion) {
-    let profile = GameProfile::dota2();
+    let profile = std::sync::Arc::new(GameProfile::dota2());
     let vg = VideoGenerator::new(profile.clone());
     let cg = ChatGenerator::new(profile);
+    let root = SeedTree::new(7);
+    let spec = {
+        let mut vrng = root.child("v").rng();
+        vg.generate(VideoId(0), ChannelId(0), &mut vrng)
+    };
     let mut g = c.benchmark_group("chat_generation");
     g.sample_size(10);
+    // The bump-buffer fast path: compiled-lexicon writers straight into
+    // a columnar ChatLogView.
     g.bench_function("one_video", |b| {
         b.iter(|| {
-            let root = SeedTree::new(7);
-            let mut vrng = root.child("v").rng();
-            let spec = vg.generate(VideoId(0), ChannelId(0), &mut vrng);
             let mut crng = root.child("c").rng();
-            black_box(cg.generate(&spec, &mut crng))
+            black_box(cg.generate(spec.clone(), &mut crng))
+        })
+    });
+    // The pre-refactor reference: one String per message + owned
+    // ChatLog sort + columnarization (bit-identical output).
+    g.bench_function("one_video_reference", |b| {
+        b.iter(|| {
+            let mut crng = root.child("c").rng();
+            black_box(cg.generate_reference(spec.clone(), &mut crng))
         })
     });
     g.finish();
@@ -93,6 +107,7 @@ fn bench_chat_store(c: &mut Criterion) {
     use lightor_platform::ChatStore;
     let data = bench_dataset();
     let chat = &data.videos[0].video.chat;
+    let chat_owned = chat.to_chat_log();
     let dir = std::env::temp_dir().join(format!("lightor-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut store = ChatStore::open(&dir).unwrap();
@@ -103,10 +118,10 @@ fn bench_chat_store(c: &mut Criterion) {
     g.bench_function("put_full_video", |b| {
         b.iter(|| {
             vid += 1;
-            store.put_chat(VideoId(vid), chat).unwrap();
+            store.put_chat_view(VideoId(vid), chat).unwrap();
         })
     });
-    store.put_chat(VideoId(0), chat).unwrap();
+    store.put_chat(VideoId(0), &chat_owned).unwrap();
     g.bench_function("get_full_video", |b| {
         b.iter(|| black_box(store.get_chat(VideoId(0)).unwrap()))
     });

@@ -22,7 +22,15 @@
 //!   keep-alive client doing warm `GET /video/{id}/dots` and
 //!   `POST /sessions` round trips against the `lightor_server` front
 //!   end (median_ns is the p50 request latency; requests/sec is its
-//!   reciprocal).
+//!   reciprocal);
+//! * `chat_generation` — one video's chat replay: the bump-buffer
+//!   fast path (compiled-lexicon pools straight into a columnar
+//!   `ChatLogView`) vs the owned-`String`-per-message reference sink
+//!   over the identical draw stream;
+//! * `dataset_build` — an 8-video labelled corpus end to end (specs +
+//!   chat + labels) at one forced worker thread and at the
+//!   environment's thread count (the rayon fan-out win shows on
+//!   multi-core hosts).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lightor_bench::{bench_dataset, bench_models};
@@ -32,17 +40,18 @@ use lightor_platform::store::format;
 use lightor_platform::{ChatStore, KvStore, LightorService, ServiceConfig};
 use lightor_server::{HttpClient, HttpServer, ServerConfig};
 use lightor_types::{
-    ChannelId, ChatLog, ChatMessage, GameKind, Highlight, LabeledVideo, Sec, UserId, VideoId,
-    VideoMeta,
+    ChannelId, ChatLog, ChatLogView, ChatMessage, GameKind, Highlight, LabeledVideo, Sec, UserId,
+    VideoId, VideoMeta,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn bench_chatstore_decode(c: &mut Criterion) {
     let data = bench_dataset();
-    let chat = &data.videos[0].video.chat;
-    let v2: Arc<[u8]> = format::encode_v2(VideoId(1), chat).into();
-    let v1 = format::encode_v1(VideoId(1), chat);
+    let view = &data.videos[0].video.chat;
+    let chat = view.to_chat_log();
+    let v2: Arc<[u8]> = format::encode_v2_view(VideoId(1), view).into();
+    let v1 = format::encode_v1(VideoId(1), &chat);
 
     let mut g = c.benchmark_group("chatstore_decode");
     g.throughput(Throughput::Elements(chat.len() as u64));
@@ -55,7 +64,11 @@ fn bench_chatstore_decode(c: &mut Criterion) {
         b.iter(|| black_box(format::decode_v1_owned(&v1).expect("valid v1")))
     });
     g.bench_function("encode_v2", |b| {
-        b.iter(|| black_box(format::encode_v2(VideoId(1), chat)))
+        b.iter(|| black_box(format::encode_v2(VideoId(1), &chat)))
+    });
+    // The view-native encoder: section copies, no per-message walk.
+    g.bench_function("encode_v2_view", |b| {
+        b.iter(|| black_box(format::encode_v2_view(VideoId(1), view)))
     });
     g.finish();
 }
@@ -263,7 +276,7 @@ fn crowd_video() -> LabeledVideo {
             duration: Sec(3600.0),
             viewers: 500,
         },
-        chat: ChatLog::empty(),
+        chat: ChatLogView::empty(),
         highlights: vec![
             Highlight::from_secs(700.0, 716.0),
             Highlight::from_secs(1990.0, 2005.0),
@@ -297,6 +310,63 @@ fn bench_campaign_run_task(c: &mut Criterion) {
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 
+fn bench_chat_generation(c: &mut Criterion) {
+    use lightor_chatsim::{ChatGenerator, GameProfile, VideoGenerator};
+    use lightor_simkit::SeedTree;
+
+    let profile = Arc::new(GameProfile::dota2());
+    let vg = VideoGenerator::new(profile.clone());
+    let cg = ChatGenerator::new(profile);
+    let root = SeedTree::new(7);
+    let spec = {
+        let mut vrng = root.child("v").rng();
+        vg.generate(VideoId(0), ChannelId(0), &mut vrng)
+    };
+    let mut g = c.benchmark_group("chat_generation");
+    g.sample_size(10);
+    // Bump-buffer fast path: compiled-lexicon writers emitting the
+    // columnar ChatLogView directly.
+    g.bench_function("one_video", |b| {
+        b.iter(|| {
+            let mut crng = root.child("c").rng();
+            black_box(cg.generate(spec.clone(), &mut crng))
+        })
+    });
+    // Pre-refactor reference: one String per message, owned ChatLog,
+    // then columnarization. Output is bit-identical; only cost differs.
+    g.bench_function("one_video_reference", |b| {
+        b.iter(|| {
+            let mut crng = root.child("c").rng();
+            black_box(cg.generate_reference(spec.clone(), &mut crng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    use lightor_chatsim::Dataset;
+
+    // A small corpus (8 videos ≈ one quick-scale experiment's worth of
+    // setup) at one forced worker thread and at the environment's
+    // thread count — the two series expose the fan-out win on
+    // multi-core hosts while threads_1 tracks the pure per-video cost.
+    const N_VIDEOS: usize = 8;
+    for (label, threads) in [("threads_1", Some("1")), ("threads_auto", None)] {
+        match threads {
+            Some(n) => std::env::set_var("RAYON_NUM_THREADS", n),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        let mut g = c.benchmark_group(&format!("dataset_build/{label}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(N_VIDEOS as u64));
+        g.bench_function("dota2_8_videos", |b| {
+            b.iter(|| black_box(Dataset::generate(GameKind::Dota2, N_VIDEOS, 0xBE7C)))
+        });
+        g.finish();
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
 criterion_group!(
     benches,
     bench_chatstore_decode,
@@ -305,5 +375,7 @@ criterion_group!(
     bench_kv_put_throughput,
     bench_segmentlog_compact,
     bench_http_serve,
+    bench_chat_generation,
+    bench_dataset_build,
 );
 criterion_main!(benches);

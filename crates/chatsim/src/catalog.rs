@@ -11,9 +11,11 @@ use crate::game::GameProfile;
 use crate::video::VideoGenerator;
 use lightor_simkit::dist::log_uniform;
 use lightor_simkit::SeedTree;
-use lightor_types::{ChannelId, ChatLog, GameKind, VideoId, VideoMeta};
+use lightor_types::{ChannelId, ChatLogView, GameKind, VideoId, VideoMeta};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A broadcaster channel with a popularity multiplier.
 ///
@@ -52,22 +54,27 @@ const VIDEO_RATE_RANGE: (f64, f64) = (0.07, 0.60);
 impl SimPlatform {
     /// Build a platform with `n_channels` top channels of `game`, each
     /// holding `videos_per_channel` recorded videos.
+    /// Video generation (the expensive part) fans out over rayon; each
+    /// video derives its RNG from its own `SeedTree` node, so the
+    /// catalog is bit-identical for any thread count.
     pub fn top_channels(
         game: GameKind,
         n_channels: usize,
         videos_per_channel: usize,
         seed: u64,
     ) -> Self {
-        let profile = GameProfile::for_game(game);
+        let profile = Arc::new(GameProfile::for_game(game));
         let vg = VideoGenerator::new(profile.clone());
         let cg = ChatGenerator::new(profile);
         let root = SeedTree::new(seed).child("platform");
 
+        // Channels (and their popularity draws) are cheap and ordered;
+        // lay out every (video id, channel, popularity, seed node) job
+        // first, then generate the videos in parallel.
         let mut channels = Vec::with_capacity(n_channels);
-        let mut videos = HashMap::new();
-        let mut by_channel: HashMap<ChannelId, Vec<VideoId>> = HashMap::new();
+        let mut jobs: Vec<(VideoId, ChannelId, f64, SeedTree)> =
+            Vec::with_capacity(n_channels * videos_per_channel);
         let mut next_video = 0u64;
-
         for c in 0..n_channels {
             let ch_node = root.child("channel").index(c as u64);
             let mut ch_rng = ch_node.rng();
@@ -77,14 +84,24 @@ impl SimPlatform {
                 game,
                 popularity,
             };
-
-            let mut ids = Vec::with_capacity(videos_per_channel);
             for v in 0..videos_per_channel {
                 let vid = VideoId(next_video);
                 next_video += 1;
-                let v_node = ch_node.child("video").index(v as u64);
+                jobs.push((
+                    vid,
+                    channel.id,
+                    popularity,
+                    ch_node.child("video").index(v as u64),
+                ));
+            }
+            channels.push(channel);
+        }
+
+        let sims: Vec<SimVideo> = jobs
+            .par_iter()
+            .map(|&(vid, ch, popularity, v_node)| {
                 let mut vrng = v_node.child("spec").rng();
-                let mut spec = vg.generate(vid, channel.id, &mut vrng);
+                let mut spec = vg.generate(vid, ch, &mut vrng);
                 // Catalog videos draw their chat intensity from the wide
                 // per-video range, scaled by channel popularity; audience
                 // scales with popularity too, floored well above the
@@ -93,12 +110,16 @@ impl SimPlatform {
                     log_uniform(&mut vrng, VIDEO_RATE_RANGE.0, VIDEO_RATE_RANGE.1) * popularity;
                 spec.meta.viewers = ((spec.meta.viewers as f64 * popularity) as u32).max(120);
                 let mut crng = v_node.child("chat").rng();
-                let sim = cg.generate(&spec, &mut crng);
-                videos.insert(vid, sim);
-                ids.push(vid);
-            }
-            by_channel.insert(channel.id, ids);
-            channels.push(channel);
+                cg.generate(spec, &mut crng)
+            })
+            .collect();
+
+        let mut videos = HashMap::with_capacity(sims.len());
+        let mut by_channel: HashMap<ChannelId, Vec<VideoId>> = HashMap::new();
+        for sim in sims {
+            let (vid, ch) = (sim.video.meta.id, sim.video.meta.channel);
+            by_channel.entry(ch).or_default().push(vid);
+            videos.insert(vid, sim);
         }
 
         SimPlatform {
@@ -127,8 +148,9 @@ impl SimPlatform {
     }
 
     /// "Crawl" the chat replay of a video (what the Section VI web crawler
-    /// fetches through platform APIs).
-    pub fn fetch_chat(&self, id: VideoId) -> Option<&ChatLog> {
+    /// fetches through platform APIs). Zero-copy: the returned view
+    /// borrows the generator's columnar buffer.
+    pub fn fetch_chat(&self, id: VideoId) -> Option<&ChatLogView> {
         self.videos.get(&id).map(|v| &v.video.chat)
     }
 

@@ -1,10 +1,18 @@
 //! Assembled labelled datasets mirroring the paper's two corpora.
+//!
+//! Corpus construction fans out over videos with rayon: every video owns
+//! an independent [`SeedTree`] node (`seed/dataset/game/index`), so the
+//! parallel build is **bit-identical** to the serial one for any thread
+//! count (`tests/dataset_determinism.rs` sweeps `RAYON_NUM_THREADS`),
+//! and sub-sampling stays prefix-stable.
 
 use crate::chat::{ChatGenerator, SimVideo};
 use crate::game::GameProfile;
 use crate::video::VideoGenerator;
 use lightor_simkit::SeedTree;
 use lightor_types::{ChannelId, GameKind, VideoId};
+use rayon::prelude::*;
+use std::sync::Arc;
 
 /// A labelled video corpus for one game.
 #[derive(Clone, Debug)]
@@ -16,32 +24,48 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Generate a dataset of `n` videos for `game` under `seed`.
+    /// Generate a dataset of `n` videos for `game` under `seed`,
+    /// fanning video generation out across worker threads.
     ///
     /// Each video gets an independent RNG stream derived from
     /// `seed/game/index`, so sub-sampling a dataset (e.g. 10 of 60 videos)
-    /// yields the same videos as generating the smaller dataset directly.
+    /// yields the same videos as generating the smaller dataset directly,
+    /// and output is identical to [`Dataset::generate_serial`] for any
+    /// thread count.
     pub fn generate(game: GameKind, n: usize, seed: u64) -> Self {
-        let profile = GameProfile::for_game(game);
+        let (vg, cg, root) = Self::generators(game, seed);
+        let indices: Vec<u64> = (0..n as u64).collect();
+        let videos = indices
+            .par_iter()
+            .map(|&i| Self::generate_one(&vg, &cg, &root, i))
+            .collect();
+        Dataset { game, videos }
+    }
+
+    /// [`Dataset::generate`] without the thread fan-out — the reference
+    /// path the parallel build is asserted against.
+    pub fn generate_serial(game: GameKind, n: usize, seed: u64) -> Self {
+        let (vg, cg, root) = Self::generators(game, seed);
+        let videos = (0..n as u64)
+            .map(|i| Self::generate_one(&vg, &cg, &root, i))
+            .collect();
+        Dataset { game, videos }
+    }
+
+    fn generators(game: GameKind, seed: u64) -> (VideoGenerator, ChatGenerator, SeedTree) {
+        let profile = Arc::new(GameProfile::for_game(game));
         let vg = VideoGenerator::new(profile.clone());
         let cg = ChatGenerator::new(profile);
         let root = SeedTree::new(seed).child("dataset").child(game.name());
+        (vg, cg, root)
+    }
 
-        let videos = (0..n)
-            .map(|i| {
-                let node = root.index(i as u64);
-                let mut vrng = node.child("spec").rng();
-                let spec = vg.generate(
-                    VideoId(i as u64),
-                    ChannelId(1000 + i as u64 % 10),
-                    &mut vrng,
-                );
-                let mut crng = node.child("chat").rng();
-                cg.generate(&spec, &mut crng)
-            })
-            .collect();
-
-        Dataset { game, videos }
+    fn generate_one(vg: &VideoGenerator, cg: &ChatGenerator, root: &SeedTree, i: u64) -> SimVideo {
+        let node = root.index(i);
+        let mut vrng = node.child("spec").rng();
+        let spec = vg.generate(VideoId(i), ChannelId(1000 + i % 10), &mut vrng);
+        let mut crng = node.child("chat").rng();
+        cg.generate(spec, &mut crng)
     }
 
     /// Number of videos.
@@ -107,6 +131,18 @@ mod tests {
         );
         assert_eq!(d.game, GameKind::Dota2);
         assert_eq!(l.game, GameKind::Lol);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_build() {
+        let par = Dataset::generate(GameKind::Dota2, 4, 77);
+        let ser = Dataset::generate_serial(GameKind::Dota2, 4, 77);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.videos.iter().zip(&ser.videos) {
+            assert_eq!(a.video.chat, b.video.chat);
+            assert_eq!(a.video.highlights, b.video.highlights);
+            assert_eq!(a.response_ranges, b.response_ranges);
+        }
     }
 
     #[test]

@@ -10,16 +10,42 @@
 //!   statistics the paper reports in Section VII-A;
 //! * [`lexicon`] — vocabularies for background chatter, highlight hype
 //!   (short, repetitive, emote-heavy), advertisement bots (long,
-//!   near-identical) and off-topic bursts (short but lexically diverse);
+//!   near-identical) and off-topic bursts (short but lexically diverse),
+//!   compiled once into a [`lexicon::CompiledLexicon`]: one interned
+//!   fragment blob plus per-class sampling tables (cumulative-weight for
+//!   the hype mix), with writer methods that append message text into a
+//!   caller-owned buffer — zero per-message allocations;
 //! * [`VideoGenerator`] / [`ChatGenerator`] — sample a video's ground-truth
 //!   highlights, then synthesize its chat replay: background Poisson
 //!   chatter plus a delayed *reaction burst* after each highlight, plus the
-//!   two noise-burst families the paper's features must defeat;
+//!   two noise-burst families the paper's features must defeat. The chat
+//!   generator emits the columnar
+//!   [`ChatLogView`](lightor_types::ChatLogView) directly through a
+//!   per-video bump buffer;
 //! * [`catalog`] — channels, popularity and recent-video listings for the
 //!   Section VII-D applicability study and the platform crawler;
-//! * [`dataset`] — the assembled Dota2/LoL labelled datasets.
+//! * [`dataset`] — the assembled Dota2/LoL labelled datasets, built in
+//!   parallel across videos.
 //!
-//! Everything is deterministic given a [`SeedTree`](lightor_simkit::SeedTree).
+//! # Determinism contract
+//!
+//! Everything is deterministic given a
+//! [`SeedTree`](lightor_simkit::SeedTree): every video derives an
+//! independent RNG stream from its own seed node, so parallel corpus
+//! construction is bit-identical to a serial build for any thread count
+//! (`RAYON_NUM_THREADS` swept in `tests/dataset_determinism.rs`), and
+//! the allocation-free fast path is pinned bit-for-bit against the
+//! retained owned-`String` materialization of the same sampler
+//! ([`ChatGenerator::generate_reference`]) — the zero-copy rewrite
+//! changes cost, never content.
+//!
+//! **Seed-compat note (PR 5):** the *draw sequence* changed relative to
+//! earlier PRs — direct gap-constrained highlight placement,
+//! count-then-uniform Poisson arrivals, multiply-mapped lexicon picks,
+//! and precomposed message pools — so corpora for a fixed seed differ
+//! from PR ≤ 4 (same distributions throughout, exactly so for highlight
+//! placement, arrivals and bot texts; the sampled text pools are a
+//! large finite table documented in [`lexicon`]). See CHANGES.md.
 
 #![warn(missing_docs)]
 

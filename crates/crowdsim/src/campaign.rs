@@ -209,7 +209,7 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightor_types::{ChannelId, ChatLog, GameKind, Highlight, VideoId, VideoMeta};
+    use lightor_types::{ChannelId, ChatLogView, GameKind, Highlight, VideoId, VideoMeta};
 
     fn test_video() -> LabeledVideo {
         LabeledVideo {
@@ -220,7 +220,7 @@ mod tests {
                 duration: Sec(3600.0),
                 viewers: 500,
             },
-            chat: ChatLog::empty(),
+            chat: ChatLogView::empty(),
             highlights: vec![Highlight::from_secs(1990.0, 2005.0)],
         }
     }

@@ -274,7 +274,7 @@ mod tests {
     use super::*;
     use crate::worker::sample_pool;
     use lightor_simkit::{mean, std_dev, SeedTree};
-    use lightor_types::{ChannelId, ChatLog, GameKind, UserId, VideoId, VideoMeta};
+    use lightor_types::{ChannelId, ChatLogView, GameKind, UserId, VideoId, VideoMeta};
 
     fn test_video(highlights: Vec<Highlight>) -> LabeledVideo {
         LabeledVideo {
@@ -285,7 +285,7 @@ mod tests {
                 duration: Sec(3600.0),
                 viewers: 1000,
             },
-            chat: ChatLog::empty(),
+            chat: ChatLogView::empty(),
             highlights,
         }
     }

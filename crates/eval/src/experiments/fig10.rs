@@ -80,7 +80,7 @@ fn lstm_curve(
             highlights: &sv.video.highlights,
         })
         .collect();
-    let (model, _) = ChatLstm::train(&views, lstm_config(env), env.seed ^ 0xF10);
+    let (model, _) = ChatLstm::train(&views, lstm_config(env), env.seed ^ 0xF20);
     let dots: Vec<(Vec<Sec>, &SimVideo)> = test
         .iter()
         .map(|sv| {

@@ -27,9 +27,9 @@ pub struct TransferCurves {
 
 /// Compute both panels' curves.
 pub fn compute(env: &ExpEnv) -> (TransferCurves, TransferCurves) {
-    let n_train_lightor = env.cap(10, 2);
+    let n_train_lightor = env.cap(10, 3);
     let n_train_lstm = env.cap(123, 6);
-    let n_test = env.cap(50, 4);
+    let n_test = env.cap(50, 6);
     let lol = env.lol(n_train_lstm.max(n_train_lightor) + n_test);
     let dota = env.dota2(n_test);
 
@@ -63,7 +63,7 @@ pub fn compute(env: &ExpEnv) -> (TransferCurves, TransferCurves) {
             highlights: &sv.video.highlights,
         })
         .collect();
-    let (model, _) = ChatLstm::train(&views, lstm_config(env), env.seed ^ 0xF11);
+    let (model, _) = ChatLstm::train(&views, lstm_config(env), env.seed ^ 0xF22);
     let lstm_curve_for = |test: &[&SimVideo]| {
         let dots: Vec<(Vec<Sec>, &SimVideo)> = test
             .iter()

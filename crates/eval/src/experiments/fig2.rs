@@ -8,7 +8,9 @@
 
 use crate::harness::ExpEnv;
 use crate::report::{fmt3, Report, Table};
-use lightor::{sliding_windows, window_peak, InitializerConfig, WindowFeatures};
+use lightor::{
+    sliding_windows_from_ts, window_peak_view, InitializerConfig, TokenizedChat, WindowFeatures,
+};
 use lightor_simkit::{gaussian_smooth, mean, Histogram};
 use lightor_types::TimeRange;
 
@@ -18,11 +20,12 @@ pub fn run(env: &ExpEnv) -> Report {
     let sv = &data.videos[0];
     let mut report = Report::new("Figure 2 — chat analysis of one Dota2 video");
 
-    // Panel (a): histogram around the first highlight.
+    // Panel (a): histogram around the first highlight (straight off the
+    // zero-copy view; no message materialization).
     let h = sv.video.highlights[0];
     let window = TimeRange::from_secs(h.start().0 - 60.0, h.start().0 + 120.0);
     let mut hist = Histogram::with_bin_width(window.start.0, window.end.0, 10.0);
-    for m in sv.video.chat.slice(window) {
+    for m in sv.video.chat.iter_range(window) {
         hist.add(m.ts.0);
     }
     let smoothed = gaussian_smooth(hist.counts(), 1.0);
@@ -42,28 +45,30 @@ pub fn run(env: &ExpEnv) -> Report {
     // Measured reaction delay: distance from highlight start to the
     // response-window peak.
     let resp = sv.response_ranges[0];
-    let peak = window_peak(&sv.video.chat, resp, 5.0);
+    let peak = window_peak_view(&sv.video.chat, resp, 5.0);
     let delay = peak.0 - h.start().0;
     report.note(format!(
         "measured peak delay = {delay:.1} s after the highlight start (paper: ≈20 s)"
     ));
 
-    // Panel (b): feature distributions over labelled windows.
+    // Panel (b): feature distributions over labelled windows, via the
+    // tokenize-once corpus (the same fast path the Initializer scores
+    // with — featurization is proven bit-identical to the naive pass).
     let cfg = InitializerConfig::default();
-    let windows = sliding_windows(
-        &sv.video.chat,
+    let corpus = TokenizedChat::build_from_view(&sv.video.chat);
+    let windows = sliding_windows_from_ts(
+        corpus.timestamps(),
         sv.video.meta.duration,
         cfg.window_len,
         cfg.stride_frac,
     );
-    let mut hi: Vec<WindowFeatures> = Vec::new();
-    let mut lo: Vec<WindowFeatures> = Vec::new();
-    for w in &windows {
-        let f = WindowFeatures::compute(sv.video.chat.slice(*w));
-        if sv.window_is_highlight(*w) {
-            hi.push(f);
+    let mut hi = Vec::new();
+    let mut lo = Vec::new();
+    for fw in corpus.featurize_windows(&windows, cfg.peak_bin) {
+        if sv.window_is_highlight(fw.range) {
+            hi.push(fw.features);
         } else {
-            lo.push(f);
+            lo.push(fw.features);
         }
     }
     let mut t_b = Table::new(

@@ -285,6 +285,70 @@ pub fn run(env: &ExpEnv) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightor_chatsim::Dataset;
+    use lightor_types::GameKind;
+
+    #[test]
+    fn parallel_dataset_builder_yields_identical_metrics_to_serial() {
+        // The figure's corpus now comes from the batched parallel
+        // dataset builder (`Dataset::generate` fans videos out over
+        // rayon). Metrics derived from it must be identical to the
+        // serial reference path: same corpus → same trained model →
+        // same red dots → same precision series.
+        let env = ExpEnv::quick();
+        let n = env.cap(6, 2) + env.cap(7, 3);
+        let par = env.dota2(n);
+        let ser = Dataset::generate_serial(GameKind::Dota2, n, env.seed ^ 0xD07A);
+        for (a, b) in par.videos.iter().zip(&ser.videos) {
+            assert_eq!(a.video.chat, b.video.chat);
+        }
+
+        let train_p: Vec<&SimVideo> = par.videos[..2].iter().collect();
+        let train_s: Vec<&SimVideo> = ser.videos[..2].iter().collect();
+        let init_p = train_initializer(&train_p, FeatureSet::Full);
+        let init_s = train_initializer(&train_s, FeatureSet::Full);
+        assert_eq!(init_p.adjustment(), init_s.adjustment());
+        for (p, s) in par.videos[2..].iter().zip(&ser.videos[2..]) {
+            let dots_p = init_p.red_dots(&p.video.chat, p.video.meta.duration, DOTS_PER_VIDEO);
+            let dots_s = init_s.red_dots(&s.video.chat, s.video.meta.duration, DOTS_PER_VIDEO);
+            assert_eq!(dots_p, dots_s, "red dots diverge between builders");
+        }
+        let prec_p = {
+            let test: Vec<&SimVideo> = par.videos[2..].iter().collect();
+            let starts: Vec<Vec<Sec>> = test
+                .iter()
+                .map(|sv| {
+                    init_p
+                        .red_dots(&sv.video.chat, sv.video.meta.duration, DOTS_PER_VIDEO)
+                        .iter()
+                        .map(|d| d.at)
+                        .collect()
+                })
+                .collect();
+            test.iter()
+                .zip(&starts)
+                .map(|(sv, s)| video_precision_start(s, sv))
+                .collect::<Vec<_>>()
+        };
+        let prec_s = {
+            let test: Vec<&SimVideo> = ser.videos[2..].iter().collect();
+            let starts: Vec<Vec<Sec>> = test
+                .iter()
+                .map(|sv| {
+                    init_s
+                        .red_dots(&sv.video.chat, sv.video.meta.duration, DOTS_PER_VIDEO)
+                        .iter()
+                        .map(|d| d.at)
+                        .collect()
+                })
+                .collect();
+            test.iter()
+                .zip(&starts)
+                .map(|(sv, s)| video_precision_start(s, sv))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(prec_p, prec_s, "precision metrics diverge");
+    }
 
     #[test]
     fn lightor_improves_and_beats_baselines() {

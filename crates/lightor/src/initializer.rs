@@ -18,7 +18,7 @@ use crate::features::{FeatureSet, WindowFeatures};
 use crate::window::{sliding_windows, sliding_windows_from_ts};
 use lightor_mlcore::{LogisticRegression, MinMaxScaler, TrainConfig};
 use lightor_simkit::Histogram;
-use lightor_types::{ChatLog, Highlight, RedDot, Sec, TimeRange};
+use lightor_types::{ChatLog, ChatLogView, Highlight, RedDot, Sec, TimeRange};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -28,10 +28,15 @@ use serde::{Deserialize, Serialize};
 /// "viewers are talking about highlight *i*" — index-aligned with
 /// `highlights`. (The simulator exports its reaction-burst windows as
 /// these labels.)
+///
+/// The chat arrives as a zero-copy [`ChatLogView`]: training tokenizes
+/// straight out of the columnar buffer
+/// ([`TokenizedChat::build_from_view`]), so the train path holds no
+/// owned per-message `String`s end to end.
 #[derive(Clone, Copy, Debug)]
 pub struct TrainingVideo<'a> {
-    /// The video's chat replay.
-    pub chat: &'a ChatLog,
+    /// The video's chat replay (zero-copy columnar view).
+    pub chat: &'a ChatLogView,
     /// Total video length.
     pub duration: Sec,
     /// Ground-truth highlight clips.
@@ -70,12 +75,22 @@ pub struct HighlightInitializer {
 /// window is empty.
 pub fn window_peak(chat: &ChatLog, range: TimeRange, bin: f64) -> Sec {
     let msgs = chat.slice(range);
-    if msgs.is_empty() {
+    peak_of_ts(msgs.iter().map(|m| m.ts.0), msgs.len(), range, bin)
+}
+
+/// [`window_peak`] over a zero-copy [`ChatLogView`].
+pub fn window_peak_view(chat: &ChatLogView, range: TimeRange, bin: f64) -> Sec {
+    let (lo, hi) = chat.msg_range(range);
+    peak_of_ts((lo..hi).map(|i| chat.ts(i).0), hi - lo, range, bin)
+}
+
+fn peak_of_ts(ts: impl Iterator<Item = f64>, n: usize, range: TimeRange, bin: f64) -> Sec {
+    if n == 0 {
         return range.midpoint();
     }
     let mut hist = Histogram::with_bin_width(range.start.0, range.end.0, bin);
-    for m in msgs {
-        hist.add(m.ts.0);
+    for t in ts {
+        hist.add(t);
     }
     match hist.peak_bin() {
         Some(i) => Sec(hist.bin_center(i).clamp(range.start.0, range.end.0)),
@@ -106,7 +121,7 @@ impl HighlightInitializer {
         let per_video: Vec<PerVideo> = videos
             .par_iter()
             .map(|v| {
-                let corpus = TokenizedChat::build(v.chat);
+                let corpus = TokenizedChat::build_from_view(v.chat);
                 let windows = sliding_windows_from_ts(
                     corpus.timestamps(),
                     v.duration,
@@ -172,11 +187,11 @@ impl HighlightInitializer {
 
     /// Score every window of a video, most probable first.
     ///
-    /// Builds the tokenize-once corpus internally; callers scoring the
-    /// same chat repeatedly should build a [`TokenizedChat`] themselves
-    /// and use [`HighlightInitializer::score_corpus`].
-    pub fn score_windows(&self, chat: &ChatLog, duration: Sec) -> Vec<ScoredWindow> {
-        self.score_corpus(&TokenizedChat::build(chat), duration)
+    /// Tokenizes straight out of the zero-copy view; callers scoring
+    /// the same chat repeatedly should build a [`TokenizedChat`]
+    /// themselves and use [`HighlightInitializer::score_corpus`].
+    pub fn score_windows(&self, chat: &ChatLogView, duration: Sec) -> Vec<ScoredWindow> {
+        self.score_corpus(&TokenizedChat::build_from_view(chat), duration)
     }
 
     /// Score every window of a pre-tokenized video, most probable first.
@@ -242,8 +257,8 @@ impl HighlightInitializer {
     ///
     /// Builds the corpus internally; repeated calls on the same chat
     /// should prefer [`HighlightInitializer::top_k_windows_corpus`].
-    pub fn top_k_windows(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<ScoredWindow> {
-        self.top_k_windows_corpus(&TokenizedChat::build(chat), duration, k)
+    pub fn top_k_windows(&self, chat: &ChatLogView, duration: Sec, k: usize) -> Vec<ScoredWindow> {
+        self.top_k_windows_corpus(&TokenizedChat::build_from_view(chat), duration, k)
     }
 
     /// [`HighlightInitializer::top_k_windows`] over a pre-tokenized
@@ -275,8 +290,8 @@ impl HighlightInitializer {
     ///
     /// Builds the corpus internally; repeated calls on the same chat
     /// should prefer [`HighlightInitializer::red_dots_corpus`].
-    pub fn red_dots(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<RedDot> {
-        self.red_dots_corpus(&TokenizedChat::build(chat), duration, k)
+    pub fn red_dots(&self, chat: &ChatLogView, duration: Sec, k: usize) -> Vec<RedDot> {
+        self.red_dots_corpus(&TokenizedChat::build_from_view(chat), duration, k)
     }
 
     /// [`HighlightInitializer::red_dots`] over a pre-tokenized corpus.
@@ -457,7 +472,7 @@ mod tests {
             let chat = &sv.video.chat;
             let dur = sv.video.meta.duration;
             let fast = init.score_windows(chat, dur);
-            let naive = init.score_windows_naive(chat, dur);
+            let naive = init.score_windows_naive(&chat.to_chat_log(), dur);
             assert_eq!(fast, naive, "scored windows diverge");
             assert!(!fast.is_empty());
         }
@@ -467,7 +482,7 @@ mod tests {
     fn scoring_is_thread_count_independent() {
         let (init, data) = trained(2, 49);
         let sv = &data.videos[2];
-        let tc = TokenizedChat::build(&sv.video.chat);
+        let tc = TokenizedChat::build_from_view(&sv.video.chat);
         let windows = sliding_windows_from_ts(
             tc.timestamps(),
             sv.video.meta.duration,
@@ -482,7 +497,7 @@ mod tests {
         // And the public scoring API (which picks its own chunking from
         // the thread pool) agrees with the single-chunk pass.
         let scored = init.score_corpus(&tc, sv.video.meta.duration);
-        let naive = init.score_windows_naive(&sv.video.chat, sv.video.meta.duration);
+        let naive = init.score_windows_naive(&sv.video.chat.to_chat_log(), sv.video.meta.duration);
         assert_eq!(scored, naive);
     }
 

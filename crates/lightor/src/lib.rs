@@ -46,7 +46,9 @@ pub use corpus::{FeaturizedWindow, TokenizedChat};
 pub use extractor::{HighlightExtractor, IterationRecord, Refined};
 pub use features::{FeatureSet, WindowFeatures};
 pub use filter::filter_plays;
-pub use initializer::{window_peak, HighlightInitializer, ScoredWindow, TrainingVideo};
+pub use initializer::{
+    window_peak, window_peak_view, HighlightInitializer, ScoredWindow, TrainingVideo,
+};
 pub use model::ModelBundle;
 pub use pipeline::{ExtractedHighlight, Lightor};
 pub use window::{sliding_windows, sliding_windows_from_ts};

@@ -3,7 +3,7 @@
 
 use crate::extractor::{HighlightExtractor, Refined};
 use crate::initializer::HighlightInitializer;
-use lightor_types::{ChatLog, PlaySet, RedDot, Sec};
+use lightor_types::{ChatLogView, PlaySet, RedDot, Sec};
 use serde::{Deserialize, Serialize};
 
 /// One extracted highlight: the refined boundary plus provenance.
@@ -39,7 +39,7 @@ impl Lightor {
     }
 
     /// Initializer only: top-k red dots for a video.
-    pub fn red_dots(&self, chat: &ChatLog, duration: Sec, k: usize) -> Vec<RedDot> {
+    pub fn red_dots(&self, chat: &ChatLogView, duration: Sec, k: usize) -> Vec<RedDot> {
         self.initializer.red_dots(chat, duration, k)
     }
 
@@ -50,7 +50,7 @@ impl Lightor {
     /// dot. Results are ordered by the initializer's ranking.
     pub fn extract_highlights(
         &self,
-        chat: &ChatLog,
+        chat: &ChatLogView,
         duration: Sec,
         k: usize,
         collect: &mut dyn FnMut(usize, Sec) -> PlaySet,

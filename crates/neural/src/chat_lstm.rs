@@ -18,7 +18,7 @@ use crate::adam::Adam;
 use crate::lstm::{bce, BinaryHead, LstmStack};
 use crate::tensor::Matrix;
 use lightor_simkit::SeedTree;
-use lightor_types::{ChatLog, Highlight, Sec, TimeRange};
+use lightor_types::{ChatLogView, Highlight, Sec, TimeRange};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -82,8 +82,8 @@ impl Default for ChatLstmConfig {
 /// frame-level highlight labels.
 #[derive(Clone, Copy, Debug)]
 pub struct LabeledChatVideo<'a> {
-    /// Chat replay.
-    pub chat: &'a ChatLog,
+    /// Chat replay (zero-copy columnar view).
+    pub chat: &'a ChatLogView,
     /// Video length.
     pub duration: Sec,
     /// Ground-truth highlight clips (frame labels derive from these).
@@ -100,10 +100,10 @@ pub struct ChatLstm {
 }
 
 /// Character indices of the chat text in `[frame, frame + window]`.
-fn window_chars(chat: &ChatLog, frame: f64, cfg: &ChatLstmConfig) -> Vec<usize> {
+fn window_chars(chat: &ChatLogView, frame: f64, cfg: &ChatLstmConfig) -> Vec<usize> {
     let range = TimeRange::from_secs(frame, frame + cfg.window);
     let mut chars = Vec::with_capacity(cfg.max_chars);
-    'outer: for m in chat.slice(range) {
+    'outer: for m in chat.iter_range(range) {
         for c in m.text.chars().flat_map(char::to_lowercase) {
             chars.push(char_index(c));
             if chars.len() >= cfg.max_chars {
@@ -260,7 +260,7 @@ impl ChatLstm {
     }
 
     /// P(frame is a highlight) from the next-window chat.
-    pub fn score_frame(&self, chat: &ChatLog, frame: Sec) -> f64 {
+    pub fn score_frame(&self, chat: &ChatLogView, frame: Sec) -> f64 {
         let chars = window_chars(chat, frame.0, &self.cfg);
         if chars.is_empty() {
             return 0.0;
@@ -287,7 +287,7 @@ impl ChatLstm {
     }
 
     /// Top-k frame detections with the paper's 120 s separation rule.
-    pub fn detect(&self, chat: &ChatLog, duration: Sec, k: usize, min_sep: f64) -> Vec<Sec> {
+    pub fn detect(&self, chat: &ChatLogView, duration: Sec, k: usize, min_sep: f64) -> Vec<Sec> {
         let mut scored: Vec<(f64, f64)> = Vec::new();
         let mut t = 0.0;
         while t + self.cfg.window <= duration.0 {
@@ -335,7 +335,7 @@ mod tests {
     }
 
     /// A toy video: hype chat inside highlights, chatter outside.
-    fn toy_video(n_highlights: usize, seed_off: u64) -> (ChatLog, Vec<Highlight>, Sec) {
+    fn toy_video(n_highlights: usize, seed_off: u64) -> (ChatLogView, Vec<Highlight>, Sec) {
         let duration = 200.0 * (n_highlights as f64 + 1.0);
         let mut msgs = Vec::new();
         let mut highlights = Vec::new();
@@ -363,7 +363,7 @@ mod tests {
             ));
             t += 12.0;
         }
-        (ChatLog::new(msgs), highlights, Sec(duration))
+        (ChatLogView::from_messages(msgs), highlights, Sec(duration))
     }
 
     #[test]
@@ -384,7 +384,7 @@ mod tests {
         let chars = window_chars(&chat, 150.0, &cfg);
         assert!(!chars.is_empty());
         assert!(chars.len() <= cfg.max_chars);
-        let empty = window_chars(&ChatLog::empty(), 0.0, &cfg);
+        let empty = window_chars(&ChatLogView::empty(), 0.0, &cfg);
         assert!(empty.is_empty());
     }
 
@@ -441,7 +441,7 @@ mod tests {
             highlights: &highlights,
         };
         let (model, _) = ChatLstm::train(&[video], tiny(), 13);
-        assert_eq!(model.score_frame(&ChatLog::empty(), Sec(0.0)), 0.0);
+        assert_eq!(model.score_frame(&ChatLogView::empty(), Sec(0.0)), 0.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::adam::Adam;
 use crate::lstm::{BinaryHead, LstmStack};
 use crate::visual::VISUAL_DIM;
 use lightor_simkit::SeedTree;
-use lightor_types::{ChatLog, Highlight, Sec, TimeRange};
+use lightor_types::{ChatLogView, Highlight, Sec, TimeRange};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -68,8 +68,8 @@ impl Default for JointLstmConfig {
 pub struct JointVideo<'a> {
     /// Synthetic visual features at 1 Hz.
     pub frames: &'a [[f32; VISUAL_DIM]],
-    /// Chat replay (for the chat summary features).
-    pub chat: &'a ChatLog,
+    /// Chat replay (for the chat summary features; zero-copy view).
+    pub chat: &'a ChatLogView,
     /// Video length.
     pub duration: Sec,
     /// Ground-truth highlights (frame labels).
@@ -84,14 +84,17 @@ pub struct JointLstm {
     cfg: JointLstmConfig,
 }
 
-fn chat_feats(chat: &ChatLog, t: f64, window: f64) -> [f32; CHAT_FEATS] {
+fn chat_feats(chat: &ChatLogView, t: f64, window: f64) -> [f32; CHAT_FEATS] {
     let range = TimeRange::from_secs(t, t + window);
-    let msgs = chat.slice(range);
-    let n = msgs.len() as f32;
-    let mean_len = if msgs.is_empty() {
+    let (lo, hi) = chat.msg_range(range);
+    let n = (hi - lo) as f32;
+    let mean_len = if lo == hi {
         0.0
     } else {
-        msgs.iter().map(|m| m.word_count() as f32).sum::<f32>() / n
+        (lo..hi)
+            .map(|i| chat.get(i).word_count() as f32)
+            .sum::<f32>()
+            / n
     };
     // Fixed soft scaling keeps inputs O(1); the LSTM learns the rest.
     [n / 10.0, mean_len / 10.0]
@@ -283,7 +286,7 @@ mod tests {
                 duration: Sec(600.0),
                 viewers: 100,
             },
-            chat: ChatLog::empty(),
+            chat: ChatLogView::empty(),
             highlights: vec![
                 Highlight::from_secs(150.0, 170.0),
                 Highlight::from_secs(400.0, 425.0),
@@ -384,6 +387,4 @@ mod tests {
         // Front frames repeat frame 0.
         assert_eq!(xs[0], xs[1]);
     }
-
-    use lightor_types::ChatLog;
 }

@@ -125,7 +125,7 @@ pub fn synthetic_frame_features(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightor_types::{ChannelId, ChatLog, Highlight, Sec, VideoId, VideoMeta};
+    use lightor_types::{ChannelId, ChatLogView, Highlight, Sec, VideoId, VideoMeta};
 
     fn video(game: GameKind) -> LabeledVideo {
         LabeledVideo {
@@ -136,7 +136,7 @@ mod tests {
                 duration: Sec(600.0),
                 viewers: 100,
             },
-            chat: ChatLog::empty(),
+            chat: ChatLogView::empty(),
             highlights: vec![Highlight::from_secs(100.0, 120.0)],
         }
     }

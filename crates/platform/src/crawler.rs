@@ -113,7 +113,7 @@ impl<'a> Crawler<'a> {
         }
         match self.platform.fetch_chat(video) {
             Some(chat) => {
-                store.put_chat(video, chat)?;
+                store.put_chat_view(video, chat)?;
                 Ok(true)
             }
             None => Ok(false),

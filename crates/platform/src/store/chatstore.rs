@@ -157,9 +157,22 @@ impl ChatStore {
         self.live_bytes += framed;
     }
 
-    /// Store (or replace) a video's chat replay.
+    /// Store (or replace) a video's chat replay from an owned log.
     pub fn put_chat(&mut self, video: VideoId, chat: &ChatLog) -> std::io::Result<()> {
-        let payload = format::encode_v2(video, chat);
+        self.put_one_synced(format::encode_v2(video, chat), video)
+    }
+
+    /// Store (or replace) a video's chat replay from a zero-copy view —
+    /// the crawler's path: the view is already columnar, so encoding is
+    /// section copies with no per-message materialization.
+    pub fn put_chat_view(&mut self, video: VideoId, chat: &ChatLogView) -> std::io::Result<()> {
+        self.put_one_synced(format::encode_v2_view(video, chat), video)
+    }
+
+    /// Append one record and make it durable *before* publishing it in
+    /// the index: a failed sync must leave readers on the previous
+    /// durable record, never serving bytes a crash could lose.
+    fn put_one_synced(&mut self, payload: Vec<u8>, video: VideoId) -> std::io::Result<()> {
         let id = self.log.append(&payload)?;
         self.log.sync()?;
         self.index_insert(video, id, payload.len());
@@ -172,20 +185,24 @@ impl ChatStore {
     /// offline crawler's shape). Returns the number of records written.
     pub fn put_chats<'a, I>(&mut self, items: I) -> std::io::Result<usize>
     where
-        I: IntoIterator<Item = (VideoId, &'a ChatLog)>,
+        I: IntoIterator<Item = (VideoId, &'a ChatLogView)>,
     {
         let mut written = 0usize;
         for (video, chat) in items {
-            let payload = format::encode_v2(video, chat);
-            let id = self.log.append(&payload)?;
-            self.index_insert(video, id, payload.len());
-            self.cache.lock().remove(&video);
+            self.put_payload(format::encode_v2_view(video, chat), video)?;
             written += 1;
         }
         if written > 0 {
             self.log.sync()?;
         }
         Ok(written)
+    }
+
+    fn put_payload(&mut self, payload: Vec<u8>, video: VideoId) -> std::io::Result<()> {
+        let id = self.log.append(&payload)?;
+        self.index_insert(video, id, payload.len());
+        self.cache.lock().remove(&video);
+        Ok(())
     }
 
     /// Fetch a video's chat replay as a zero-copy view, if crawled.
@@ -395,8 +412,8 @@ mod tests {
     fn put_chats_batches_with_one_sync() {
         let dir = TempDir::new("batch");
         let mut store = ChatStore::open(&dir.0).unwrap();
-        let a = sample_chat();
-        let b = ChatLog::empty();
+        let a = ChatLogView::from_chat_log(&sample_chat());
+        let b = ChatLogView::empty();
         let n = store
             .put_chats([(VideoId(1), &a), (VideoId(2), &b), (VideoId(1), &a)])
             .unwrap();

@@ -99,6 +99,30 @@ pub fn encode_v2(video: VideoId, chat: &ChatLog) -> Vec<u8> {
     buf.to_vec()
 }
 
+/// Encode a zero-copy view with the current (v2, columnar) format.
+///
+/// The view is already columnar, so this is header + four raw section
+/// copies — no per-message walk, no UTF-8 revalidation, no `String`s.
+/// This is the crawler's hot path now that generators emit views
+/// directly. (Unlike a `to_chat_log()` round trip, invalid UTF-8 bytes
+/// are preserved verbatim rather than lossy-replaced.)
+pub fn encode_v2_view(video: VideoId, chat: &ChatLogView) -> Vec<u8> {
+    let n = chat.len();
+    let text = chat.text_section();
+    let mut buf = BytesMut::with_capacity(V2_HEADER + 20 * n + 4 + text.len());
+    buf.put_u32_le(V2_MAGIC);
+    buf.put_u16_le(V2_VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u64_le(video.0);
+    buf.put_u32_le(n as u32);
+    buf.put_slice(chat.ts_section());
+    buf.put_slice(chat.user_section());
+    buf.put_slice(chat.ends_section());
+    buf.put_u32_le(text.len() as u32);
+    buf.put_slice(text);
+    buf.to_vec()
+}
+
 /// Encode with the legacy v1 format. Texts longer than 65 535 bytes are
 /// truncated (the defect that motivated v2) — kept only so migration
 /// tests and benchmarks can fabricate old logs.
@@ -276,6 +300,24 @@ mod tests {
         assert_eq!(view, chat);
         // Zero-copy: the view shares the payload allocation.
         assert!(Arc::ptr_eq(view.buffer(), &payload));
+    }
+
+    #[test]
+    fn v2_view_encode_matches_chat_log_encode() {
+        let chat = sample_chat();
+        let view = ChatLogView::from_chat_log(&chat);
+        // Byte-for-byte the same record either way in.
+        assert_eq!(
+            encode_v2_view(VideoId(42), &view),
+            encode_v2(VideoId(42), &chat)
+        );
+        let payload: Arc<[u8]> = encode_v2_view(VideoId(42), &view).into();
+        let (video, back) = decode_v2(&payload).expect("valid v2");
+        assert_eq!(video, VideoId(42));
+        assert_eq!(back, chat);
+        // Empty view round-trips too.
+        let empty: Arc<[u8]> = encode_v2_view(VideoId(7), &ChatLogView::empty()).into();
+        assert!(decode_v2(&empty).unwrap().1.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Videos, channels, ground-truth highlights and red-dot markers.
 
-use crate::chat::ChatLog;
+use crate::chat_view::ChatLogView;
 use crate::time::{Sec, TimeRange};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -130,12 +130,18 @@ impl RedDot {
 
 /// One labelled dataset unit: a video, its chat replay and its ground-truth
 /// highlight annotations.
+///
+/// The chat is a zero-copy [`ChatLogView`]: generators and the storage
+/// layer both produce the columnar form directly, so the training path
+/// never materializes per-message `String`s. Callers needing an owned
+/// log (rare; mostly legacy codecs and tests) use
+/// [`ChatLogView::to_chat_log`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LabeledVideo {
     /// Video metadata.
     pub meta: VideoMeta,
-    /// Full chat replay.
-    pub chat: ChatLog,
+    /// Full chat replay (zero-copy columnar view).
+    pub chat: ChatLogView,
     /// Ground-truth highlights, sorted by start time, pairwise disjoint.
     pub highlights: Vec<Highlight>,
 }
@@ -174,7 +180,7 @@ mod tests {
                 duration: Sec::from_hours(1.0),
                 viewers: 1000,
             },
-            chat: ChatLog::new(vec![ChatMessage::new(10.0, UserId(1), "hi")]),
+            chat: ChatLogView::from_messages(vec![ChatMessage::new(10.0, UserId(1), "hi")]),
             highlights: hs,
         }
     }

@@ -38,11 +38,13 @@ fn main() -> std::io::Result<()> {
     );
 
     // Batch-extract top-5 candidates per video; measure against the
-    // simulator's ground truth.
+    // simulator's ground truth. Store reads are zero-copy views, and
+    // scoring tokenizes straight out of them — no per-message Strings
+    // anywhere on this loop.
     let mut precision = OnlineStats::new();
     let mut skipped_low_rate = 0;
     for sv in platform.all_videos() {
-        let chat = store.get_chat(sv.video.meta.id)?.expect("crawled");
+        let chat = store.get_chat_view(sv.video.meta.id)?.expect("crawled");
         // The Section VII-D applicability rule: skip videos under 500
         // messages/hour — LIGHTOR abstains rather than guessing.
         if chat.rate_per_hour(sv.video.meta.duration) < 500.0 {

@@ -11,7 +11,7 @@
 
 use lightor_crowdsim::Campaign;
 use lightor_types::{
-    ChannelId, ChatLog, GameKind, Highlight, LabeledVideo, Sec, Session, VideoId, VideoMeta,
+    ChannelId, ChatLogView, GameKind, Highlight, LabeledVideo, Sec, Session, VideoId, VideoMeta,
 };
 
 fn test_video() -> LabeledVideo {
@@ -23,7 +23,7 @@ fn test_video() -> LabeledVideo {
             duration: Sec(3600.0),
             viewers: 500,
         },
-        chat: ChatLog::empty(),
+        chat: ChatLogView::empty(),
         highlights: vec![
             Highlight::from_secs(700.0, 716.0),
             Highlight::from_secs(1990.0, 2005.0),

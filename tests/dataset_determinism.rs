@@ -1,0 +1,110 @@
+//! Thread-count independence and seed-compat pinning of dataset
+//! construction, driven through the rayon stub's `RAYON_NUM_THREADS`
+//! knob.
+//!
+//! Like `tests/thread_determinism.rs`, this lives in its own
+//! integration-test binary on purpose: it mutates the process
+//! environment, and `std::env::set_var` racing a concurrent
+//! `std::env::var` (which the rayon stub performs on every parallel
+//! call) is undefined behaviour on glibc. A single `#[test]` per binary
+//! means nothing else reads the variable while it is being written.
+
+use lightor_chatsim::{dota2_dataset, lol_dataset, ChatGenerator, Dataset, VideoGenerator};
+use lightor_chatsim::{GameProfile, SimPlatform, SimVideo};
+use lightor_simkit::SeedTree;
+use lightor_types::{ChannelId, GameKind, VideoId};
+use std::sync::Arc;
+
+/// Deep corpus equality: every message's timestamp bits, user and text,
+/// plus the labels the trainer consumes.
+fn assert_corpora_identical(a: &[SimVideo], b: &[SimVideo], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: video count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.video.chat, y.video.chat, "{what}: video {i} chat");
+        assert_eq!(
+            x.video.highlights, y.video.highlights,
+            "{what}: video {i} highlights"
+        );
+        assert_eq!(
+            x.response_ranges, y.response_ranges,
+            "{what}: video {i} response ranges"
+        );
+        assert_eq!(
+            x.reaction_delays, y.reaction_delays,
+            "{what}: video {i} delays"
+        );
+    }
+}
+
+#[test]
+fn generated_corpora_identical_across_thread_counts() {
+    const SEED: u64 = 0xDA7A5E7;
+
+    // Baseline with whatever the environment provides.
+    let dota = dota2_dataset(6, SEED);
+    let lol = lol_dataset(4, SEED ^ 1);
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 3, SEED ^ 2);
+
+    // Sweep worker counts through the rayon stub's env knob: corpora
+    // must be byte-identical — the per-video SeedTree streams make the
+    // parallel build order-free.
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let dota_t = dota2_dataset(6, SEED);
+        let lol_t = lol_dataset(4, SEED ^ 1);
+        assert_corpora_identical(
+            &dota_t.videos,
+            &dota.videos,
+            &format!("dota2 @ {threads} threads"),
+        );
+        assert_corpora_identical(
+            &lol_t.videos,
+            &lol.videos,
+            &format!("lol @ {threads} threads"),
+        );
+
+        // The catalog/platform build fans out the same way.
+        let platform_t = SimPlatform::top_channels(GameKind::Dota2, 2, 3, SEED ^ 2);
+        assert_eq!(platform_t.video_count(), platform.video_count());
+        for ch in platform.channels() {
+            for vid in platform.recent_videos(ch.id) {
+                assert_eq!(
+                    platform_t.fetch_chat(*vid).unwrap(),
+                    platform.fetch_chat(*vid).unwrap(),
+                    "platform video {vid} @ {threads} threads"
+                );
+            }
+        }
+    }
+
+    // Pin single-threaded output: with one worker, the parallel
+    // builder, the serial builder, and the retained owned-String
+    // reference generator (the pre-refactor cost model over the same
+    // sampler) must all agree bit-for-bit for the reference seed —
+    // proving the bump-buffer fast path changes cost, not content.
+    // (The sampler itself is PR 5's: the draw-stream change vs PR ≤ 4
+    // is documented in CHANGES.md.)
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let fast = dota2_dataset(3, SEED);
+    let serial = Dataset::generate_serial(GameKind::Dota2, 3, SEED);
+    assert_corpora_identical(&fast.videos, &serial.videos, "parallel vs serial");
+
+    let profile = Arc::new(GameProfile::dota2());
+    let vg = VideoGenerator::new(profile.clone());
+    let cg = ChatGenerator::new(profile);
+    let root = SeedTree::new(SEED)
+        .child("dataset")
+        .child(GameKind::Dota2.name());
+    let reference: Vec<SimVideo> = (0..3u64)
+        .map(|i| {
+            let node = root.index(i);
+            let mut vrng = node.child("spec").rng();
+            let spec = vg.generate(VideoId(i), ChannelId(1000 + i % 10), &mut vrng);
+            let mut crng = node.child("chat").rng();
+            cg.generate_reference(spec, &mut crng)
+        })
+        .collect();
+    assert_corpora_identical(&fast.videos, &reference, "fast vs pre-refactor reference");
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

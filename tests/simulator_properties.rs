@@ -16,10 +16,18 @@ proptest! {
         let sv = &data.videos[0];
         let dur = sv.video.meta.duration.0;
 
-        // Chat inside the video, sorted.
-        let msgs = sv.video.chat.messages();
-        prop_assert!(msgs.windows(2).all(|w| w[0].ts.0 <= w[1].ts.0));
-        prop_assert!(msgs.iter().all(|m| (0.0..=dur).contains(&m.ts.0)));
+        // Every timestamp is finite, non-negative, inside the video,
+        // and the view is non-decreasing (the incremental featurizer's
+        // binary searches and the columnar codec both assume this).
+        let chat = &sv.video.chat;
+        for i in 0..chat.len() {
+            let t = chat.ts(i).0;
+            prop_assert!(t.is_finite(), "non-finite timestamp {t}");
+            prop_assert!((0.0..=dur).contains(&t), "timestamp {t} outside [0, {dur}]");
+            if i > 0 {
+                prop_assert!(chat.ts(i - 1).0 <= t, "timestamps decrease at {i}");
+            }
+        }
 
         // Highlights sorted, disjoint, inside the video, length-bounded.
         for w in sv.video.highlights.windows(2) {
@@ -36,6 +44,42 @@ proptest! {
         for (h, r) in sv.video.highlights.iter().zip(&sv.response_ranges) {
             prop_assert!(r.start.0 >= h.start().0);
         }
+    }
+
+    #[test]
+    fn reaction_bursts_exceed_background_rate(seed in 0u64..2000) {
+        // The highlight-window chat-rate contrast is the signal every
+        // downstream feature depends on: if a rewrite of the generator
+        // ever flattened the bursts, windows would stop being
+        // separable. Require most bursts visibly above the whole-video
+        // average rate, and the mean burst rate well above it.
+        let data = dota2_dataset(1, seed % 997);
+        let sv = &data.videos[0];
+        let chat = &sv.video.chat;
+        let dur = sv.video.meta.duration.0;
+        let avg_rate = chat.len() as f64 / dur;
+        prop_assert!(avg_rate > 0.0);
+
+        let mut elevated = 0usize;
+        let mut rate_sum = 0.0;
+        for w in &sv.response_ranges {
+            let rate = chat.count_in(*w) as f64 / w.duration().0.max(1e-9);
+            rate_sum += rate;
+            if rate > 1.5 * avg_rate {
+                elevated += 1;
+            }
+        }
+        let n = sv.response_ranges.len();
+        prop_assert!(n > 0);
+        prop_assert!(
+            elevated * 10 >= n * 7,
+            "only {elevated}/{n} bursts above 1.5x the average rate"
+        );
+        prop_assert!(
+            rate_sum / n as f64 > 2.0 * avg_rate,
+            "mean burst rate {} vs average {avg_rate}",
+            rate_sum / n as f64
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn red_dots_identical_across_thread_counts() {
     std::env::remove_var("RAYON_NUM_THREADS");
 
     // And the naive reference path agrees end to end.
-    let naive_scored = init.score_windows_naive(chat, dur);
+    let naive_scored = init.score_windows_naive(&chat.to_chat_log(), dur);
     let fast_scored = init.score_windows(chat, dur);
     assert_eq!(fast_scored, naive_scored);
 }

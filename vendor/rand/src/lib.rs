@@ -15,12 +15,14 @@ pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 
     /// The next 32 uniformly random bits.
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
@@ -66,6 +68,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = (self.s[0].wrapping_add(self.s[3]))
                 .rotate_left(23)
@@ -97,24 +100,28 @@ pub mod distributions {
     pub struct Standard;
 
     impl Distribution<u64> for Standard {
+        #[inline]
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
             rng.next_u64()
         }
     }
 
     impl Distribution<u32> for Standard {
+        #[inline]
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
             rng.next_u32()
         }
     }
 
     impl Distribution<bool> for Standard {
+        #[inline]
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
             rng.next_u64() & 1 == 1
         }
     }
 
     impl Distribution<f64> for Standard {
+        #[inline]
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
             // 53 mantissa bits → uniform in [0, 1).
             (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -122,6 +129,7 @@ pub mod distributions {
     }
 
     impl Distribution<f32> for Standard {
+        #[inline]
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
             (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
         }
@@ -156,19 +164,42 @@ pub trait SampleUniform: Sized {
     fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
+/// Shared integer-draw core: `draw % span` with `span` as u128.
+///
+/// The hot case — `span` fits in u64, i.e. every range except the full
+/// 128-bit-wide `i64`/`u64` spans — runs in pure 64-bit arithmetic:
+/// `x % s` for `x: u64, s: u64` is identical whether computed in u64 or
+/// u128, so this changes no draw values, only the cost (u128 modulo is
+/// several times a u64 `div`; `gen_range` is the single hottest RNG op
+/// in the simulators).
+#[inline]
+fn draw_mod_span<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    let x = rng.next_u64();
+    if let Ok(s) = u64::try_from(span) {
+        (x % s) as u128
+    } else {
+        // span > u64::MAX (e.g. i64::MIN..=i64::MAX): one u64 never
+        // reaches the modulus, so the draw passes through unchanged —
+        // same result the u128 modulo produced.
+        x as u128
+    }
+}
+
 macro_rules! impl_sample_uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
+            #[inline]
             fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo < hi, "gen_range: empty range");
                 let span = (hi as i128 - lo as i128) as u128;
-                let draw = ((rng.next_u64() as u128) % span) as i128;
+                let draw = draw_mod_span(rng, span) as i128;
                 (lo as i128 + draw) as $t
             }
+            #[inline]
             fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo <= hi, "gen_range: empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let draw = ((rng.next_u64() as u128) % span) as i128;
+                let draw = draw_mod_span(rng, span) as i128;
                 (lo as i128 + draw) as $t
             }
         }
@@ -179,11 +210,13 @@ impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! impl_sample_uniform_float {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
+            #[inline]
             fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo < hi, "gen_range: empty range");
                 let u: $t = Standard.sample(rng);
                 lo + u * (hi - lo)
             }
+            #[inline]
             fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo <= hi, "gen_range: empty range");
                 let u: $t = Standard.sample(rng);
@@ -201,12 +234,14 @@ pub trait SampleRange<T> {
 }
 
 impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         T::sample_half_open(rng, self.start, self.end)
     }
 }
 
 impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         T::sample_inclusive(rng, *self.start(), *self.end())
     }
@@ -216,6 +251,7 @@ impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
 /// [`RngCore`].
 pub trait Rng: RngCore {
     /// Sample via the [`Standard`] distribution.
+    #[inline]
     fn gen<T>(&mut self) -> T
     where
         Standard: Distribution<T>,
@@ -224,11 +260,13 @@ pub trait Rng: RngCore {
     }
 
     /// Uniform draw from a range.
+    #[inline]
     fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
         range.sample_from(self)
     }
 
     /// Bernoulli draw.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
         let u: f64 = Standard.sample(self);
@@ -236,6 +274,7 @@ pub trait Rng: RngCore {
     }
 
     /// Draw from an arbitrary distribution.
+    #[inline]
     fn sample<T, D: Distribution<T>>(&mut self, dist: D) -> T {
         dist.sample(self)
     }
@@ -273,6 +312,7 @@ pub mod seq {
     impl<T> SliceRandom for [T] {
         type Item = T;
 
+        #[inline]
         fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
             if self.is_empty() {
                 None

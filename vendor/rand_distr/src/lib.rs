@@ -19,6 +19,7 @@ impl std::fmt::Display for Error {
 impl std::error::Error for Error {}
 
 /// Uniform draw in `(0, 1]` — safe for `ln`.
+#[inline]
 fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -41,6 +42,7 @@ impl Normal<f64> {
 }
 
 impl Distribution<f64> for Normal<f64> {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // Box–Muller; one value per draw keeps the sampler stateless.
         let u1 = unit_open(rng);
@@ -67,6 +69,7 @@ impl Exp<f64> {
 }
 
 impl Distribution<f64> for Exp<f64> {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         -unit_open(rng).ln() / self.lambda
     }

@@ -23,6 +23,10 @@
 //!   `POST /sessions` round trips against the `lightor_server` front
 //!   end (median_ns is the p50 request latency; requests/sec is its
 //!   reciprocal);
+//! * `router_proxy` — the same warm dots GET measured directly against
+//!   one backend and again through a `lightor-router` in front of it;
+//!   the `via_router` / `direct` ratio is the proxy hop's overhead
+//!   (budget: ≤ 2×);
 //! * `chat_generation` — one video's chat replay: the bump-buffer
 //!   fast path (compiled-lexicon pools straight into a columnar
 //!   `ChatLogView`) vs the owned-`String`-per-message reference sink
@@ -38,6 +42,7 @@ use lightor_chatsim::SimPlatform;
 use lightor_crowdsim::Campaign;
 use lightor_platform::store::format;
 use lightor_platform::{ChatStore, KvStore, LightorService, ServiceConfig};
+use lightor_server::cluster::{ClusterConfig, RouterServer};
 use lightor_server::{HttpClient, HttpServer, ServerConfig};
 use lightor_types::{
     ChannelId, ChatLog, ChatLogView, ChatMessage, GameKind, Highlight, LabeledVideo, Sec, UserId,
@@ -267,6 +272,64 @@ fn bench_http_serve(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_router_proxy(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lightor-bench-router-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = bench_dataset();
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+    let svc = Arc::new(
+        LightorService::open(
+            &dir,
+            bench_models(&data),
+            platform,
+            ServiceConfig::default(),
+        )
+        .unwrap(),
+    );
+    let backend = HttpServer::bind(("127.0.0.1", 0), svc, ServerConfig::default()).unwrap();
+    let router = RouterServer::bind(
+        ("127.0.0.1", 0),
+        ClusterConfig::new(vec![backend.local_addr()]),
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    let mut direct = HttpClient::connect(backend.local_addr()).unwrap();
+    let mut via_router = HttpClient::connect(router.local_addr()).unwrap();
+    let dots_path = format!("/video/{}/dots", vid.0);
+    // Warm both paths: the shard's state map plus the router's pooled
+    // keep-alive connection to the backend.
+    assert_eq!(direct.get(&dots_path).unwrap().status, 200);
+    assert_eq!(via_router.get(&dots_path).unwrap().status, 200);
+
+    // Same warm GET measured with and without the extra hop — the gap
+    // is the router's proxy overhead (parse + shard + forward + relay),
+    // budgeted at ≤ 2× the direct p50.
+    let mut g = c.benchmark_group("router_proxy");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let resp = direct.get(&dots_path).unwrap();
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+    g.bench_function("via_router", |b| {
+        b.iter(|| {
+            let resp = via_router.get(&dots_path).unwrap();
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+    g.finish();
+    router.shutdown();
+    backend.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn crowd_video() -> LabeledVideo {
     LabeledVideo {
         meta: VideoMeta {
@@ -375,6 +438,7 @@ criterion_group!(
     bench_kv_put_throughput,
     bench_segmentlog_compact,
     bench_http_serve,
+    bench_router_proxy,
     bench_chat_generation,
     bench_dataset_build,
 );

@@ -27,4 +27,7 @@ pub mod wire;
 pub use cache::LruCache;
 pub use crawler::{CrawlStats, Crawler};
 pub use service::{LightorService, ServiceConfig, ServiceStats, VideoState};
-pub use store::{ChatStore, CompactStats, KvConfig, KvStats, KvStore, SegmentLog};
+pub use store::{
+    ChatStore, CompactStats, Fault, FaultInjector, FaultKind, KvConfig, KvStats, KvStore,
+    SegmentLog,
+};

@@ -27,7 +27,7 @@
 
 use crate::cache::LruCache;
 use crate::crawler::Crawler;
-use crate::store::{ChatStore, KvStore};
+use crate::store::{ChatStore, FaultInjector, KvStore};
 use lightor::{
     aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, ModelBundle,
     TokenizedChat,
@@ -38,6 +38,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Service tuning knobs.
@@ -115,6 +116,9 @@ pub struct ServiceStats {
     pub chat_dead_bytes: u64,
     /// Chat-log bytes reclaimed by compactions since open.
     pub chat_reclaimed_bytes: u64,
+    /// Whether the service is in degraded read-only mode (storage I/O
+    /// failed; warm reads keep working, writes are refused).
+    pub degraded: bool,
 }
 
 /// The storage pair: cold-open and persistence only.
@@ -131,6 +135,12 @@ pub struct LightorService {
     stores: Mutex<Stores>,
     videos: RwLock<HashMap<VideoId, Arc<Mutex<VideoState>>>>,
     corpora: Mutex<LruCache<VideoId, Arc<TokenizedChat>>>,
+    /// One injector shared by both stores — the chaos/recovery tests'
+    /// handle into the storage I/O of a live service.
+    fault: FaultInjector,
+    /// Set when persistence hits an I/O error: warm reads keep working,
+    /// writes are refused until storage recovers (successful compact).
+    degraded: AtomicBool,
 }
 
 impl LightorService {
@@ -143,7 +153,7 @@ impl LightorService {
         platform: SimPlatform,
         cfg: ServiceConfig,
     ) -> std::io::Result<Self> {
-        let chat = ChatStore::open(dir.join("chat"))?;
+        let mut chat = ChatStore::open(dir.join("chat"))?;
         // Older deployments kept one monolithic `state.json`; hand it to
         // the KV store under the new name and let it migrate the file
         // into the sharded layout.
@@ -155,7 +165,12 @@ impl LightorService {
             // starts migrating the file's contents.
             crate::store::sync_dir(dir)?;
         }
-        let kv = KvStore::open(state_dir)?;
+        let mut kv = KvStore::open(state_dir)?;
+        // Both stores share one injector so a test can arm chat-log and
+        // KV faults through a single handle on the live service.
+        let fault = FaultInjector::new();
+        chat.set_fault_injector(fault.clone());
+        kv.set_fault_injector(fault.clone());
         let mut videos = HashMap::new();
         for key in kv.keys_with_prefix("video:") {
             if let (Some(id_str), Some(state)) =
@@ -176,6 +191,8 @@ impl LightorService {
             stores: Mutex::new(Stores { chat, kv }),
             videos: RwLock::new(videos),
             corpora: Mutex::new(LruCache::new(cfg.corpus_cache_cap.max(1))),
+            fault,
+            degraded: AtomicBool::new(false),
         })
     }
 
@@ -369,6 +386,30 @@ impl LightorService {
         Ok(updated)
     }
 
+    /// The current red dots of a video that is already tracked in
+    /// memory — the warm read that must keep working in degraded mode
+    /// (it touches no storage). `None` when the video is not tracked.
+    pub fn cached_dots(&self, video: VideoId) -> Option<Vec<RedDot>> {
+        let state = self.videos.read().get(&video).cloned()?;
+        let dots = Self::current_dots(&state.lock());
+        Some(dots)
+    }
+
+    /// Whether the service is in degraded read-only mode: a persistence
+    /// I/O error was observed and storage has not recovered since. Warm
+    /// reads stay correct (state is in memory); writes would lose data
+    /// on a crash, so the HTTP edge refuses them with 503.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The fault injector shared by both stores — the chaos/recovery
+    /// tests' handle into the live service's storage I/O. No-op unless
+    /// faults are armed.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
     /// Snapshot of a video's refinement state.
     pub fn video_state(&self, video: VideoId) -> Option<VideoState> {
         self.videos
@@ -420,6 +461,7 @@ impl LightorService {
             kv_shard_rewrites: kv.shard_rewrites,
             chat_dead_bytes: dead,
             chat_reclaimed_bytes: reclaimed,
+            degraded: self.is_degraded(),
         }
     }
 
@@ -431,6 +473,9 @@ impl LightorService {
         let mut stores = self.stores.lock();
         let stats = stores.chat.compact()?;
         stores.kv.snapshot()?;
+        // Storage just proved it can write and sync again: leave
+        // degraded mode (entered when a persist hit an I/O error).
+        self.degraded.store(false, Ordering::Relaxed);
         Ok(stats)
     }
 
@@ -449,10 +494,19 @@ impl LightorService {
     }
 
     fn persist(&self, video: VideoId, state: &VideoState) -> std::io::Result<()> {
-        self.stores
+        let result = self
+            .stores
             .lock()
             .kv
-            .put(&format!("video:{}", video.0), state)
+            .put(&format!("video:{}", video.0), state);
+        if result.is_err() {
+            // Refinement state could not be made durable: flip into
+            // read-only mode so the HTTP edge stops acknowledging
+            // writes it cannot keep. The in-memory state stays valid
+            // for warm reads.
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+        result
     }
 }
 

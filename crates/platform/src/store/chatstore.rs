@@ -44,6 +44,7 @@
 
 use super::format::{self, Format};
 use super::log::{RecordId, SegmentLog};
+use super::FaultInjector;
 use crate::cache::LruCache;
 use lightor_types::{ChatLog, ChatLogView, VideoId};
 use parking_lot::Mutex;
@@ -250,6 +251,16 @@ impl ChatStore {
     /// v1 records flagged as truncation victims at open.
     pub fn v1_truncated_records(&self) -> usize {
         self.v1_truncated
+    }
+
+    /// The backing log's fault injector (no-op unless faults are armed).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        self.log.fault_injector()
+    }
+
+    /// Route the backing log's instrumented I/O through `injector`.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.log.set_fault_injector(injector);
     }
 
     /// Record-cache `(hits, misses)` counters since open.

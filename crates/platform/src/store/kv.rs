@@ -43,12 +43,12 @@
 //! once the sharded layout is durably written — a crash anywhere in
 //! between resumes from the staged copy on the next open.
 
-use super::{crc32, sync_dir};
+use super::{crc32, sync_dir, FaultInjector};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Number of snapshot shards (prefix-hashed).
@@ -100,6 +100,7 @@ pub struct KvStore {
     wal_pending_ops: u64,
     wal_appends: u64,
     shard_rewrites: u64,
+    fault: FaultInjector,
 }
 
 /// Shard a key by its prefix segment (up to and including the first
@@ -246,6 +247,7 @@ impl KvStore {
             wal_pending_ops,
             wal_appends: 0,
             shard_rewrites: 0,
+            fault: FaultInjector::new(),
         };
         // Migration writes through immediately, and only then retires
         // the staged legacy file — the point of no return comes after
@@ -362,6 +364,17 @@ impl KvStore {
         self.map.is_empty()
     }
 
+    /// The store's fault injector (no-op unless faults are armed).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// Route this store's instrumented I/O through `injector` (shared
+    /// with other stores / test code).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = injector;
+    }
+
     /// Persistence counters.
     pub fn stats(&self) -> KvStats {
         KvStats {
@@ -384,11 +397,11 @@ impl KvStore {
         // later acknowledge (replay stops at the first bad frame).
         self.wal.seek(SeekFrom::Start(self.wal_bytes))?;
         if let Err(e) = self
-            .wal
-            .write_all(&frame)
-            .and_then(|()| self.wal.sync_data())
+            .fault
+            .write_all("kv.wal.write", &mut self.wal, &frame)
+            .and_then(|()| self.fault.sync_data("kv.wal.sync", &self.wal))
         {
-            let _ = self.wal.set_len(self.wal_bytes);
+            let _ = self.fault.set_len("kv.wal.trim", &self.wal, self.wal_bytes);
             return Err(e);
         }
         self.wal_bytes += frame.len() as u64;
@@ -435,8 +448,10 @@ impl KvStore {
             let path = shard_path(&self.dir, shard);
             let tmp = path.with_extension("json.tmp");
             let mut f = File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?; // the snapshot's data must hit disk before the rename publishes it
+            self.fault.write_all("kv.shard.write", &mut f, &bytes)?;
+            // The snapshot's data must hit disk before the rename
+            // publishes it.
+            self.fault.sync_all("kv.shard.sync", &f)?;
             drop(f);
             fs::rename(&tmp, &path)?;
             renamed = true;
@@ -461,6 +476,7 @@ impl KvStore {
 mod tests {
     use super::*;
     use serde::Deserialize;
+    use std::io::Write;
 
     struct TempDir(PathBuf);
     impl TempDir {

@@ -10,7 +10,7 @@
 //! old files. Segment numbering keeps climbing across compactions, so
 //! `RecordId`s never alias.
 
-use super::{crc32, sync_dir};
+use super::{crc32, sync_dir, FaultInjector};
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
@@ -36,6 +36,7 @@ pub struct SegmentLog {
     active_len: u64,
     /// Total on-disk bytes across all segments (valid prefixes).
     total_bytes: u64,
+    fault: FaultInjector,
 }
 
 /// What one [`SegmentLog::compact`] run did.
@@ -113,6 +114,7 @@ impl SegmentLog {
             active_file: f,
             active_len: valid_len,
             total_bytes,
+            fault: FaultInjector::new(),
         })
     }
 
@@ -151,7 +153,8 @@ impl SegmentLog {
         frame.put_u32_le(payload.len() as u32);
         frame.put_u32_le(crc32(payload));
         frame.put_slice(payload);
-        self.active_file.write_all(&frame)?;
+        self.fault
+            .write_all("log.append.write", &mut self.active_file, &frame)?;
         self.active_len += frame.len() as u64;
         self.total_bytes += frame.len() as u64;
         Ok(id)
@@ -160,7 +163,17 @@ impl SegmentLog {
     /// Force buffered data to the OS.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.active_file.flush()?;
-        self.active_file.sync_data()
+        self.fault.sync_data("log.sync", &self.active_file)
+    }
+
+    /// The log's fault injector (no-op unless faults are armed).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// Route this log's instrumented I/O through `injector`.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = injector;
     }
 
     fn roll(&mut self) -> std::io::Result<()> {
@@ -188,6 +201,9 @@ impl SegmentLog {
         let crc = h.get_u32_le();
         let mut payload = vec![0u8; len];
         f.read_exact(&mut payload)?;
+        // Short-read faults shrink the payload here; the CRC check
+        // below is what turns that into a typed error.
+        self.fault.post_read("log.read", &mut payload)?;
         if crc32(&payload) != crc {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,

@@ -17,11 +17,13 @@
 //!   corrupt snapshot is an error, never a silently empty store.
 
 mod chatstore;
+mod fault;
 pub mod format;
 mod kv;
 mod log;
 
 pub use chatstore::{ChatStore, CompactStats};
+pub use fault::{Fault, FaultInjector, FaultKind};
 pub use kv::{KvConfig, KvStats, KvStore, SHARD_COUNT};
 pub use log::{CompactionOutcome, RecordId, SegmentLog};
 

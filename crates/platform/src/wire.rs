@@ -155,6 +155,13 @@ pub struct StatsResponse {
     pub chat_dead_bytes: u64,
     /// Chat-log bytes reclaimed by compactions since open.
     pub chat_reclaimed_bytes: u64,
+    /// Whether the backend is in degraded read-only mode (storage I/O
+    /// failed; warm reads keep working, writes are refused with 503).
+    pub degraded: bool,
+    /// Listener `accept()` failures since the server started (resource
+    /// exhaustion, interrupted syscalls) — nonzero means the accept
+    /// loop has been shedding connections.
+    pub accept_errors: u64,
     /// Per-route HTTP counters, when an HTTP front end is serving.
     /// Empty for embedded (in-process) deployments.
     pub http: Vec<RouteStatsDto>,
@@ -175,9 +182,71 @@ impl From<crate::service::ServiceStats> for StatsResponse {
             kv_shard_rewrites: s.kv_shard_rewrites,
             chat_dead_bytes: s.chat_dead_bytes,
             chat_reclaimed_bytes: s.chat_reclaimed_bytes,
+            degraded: s.degraded,
+            accept_errors: 0,
             http: Vec::new(),
         }
     }
+}
+
+/// One backend shard as the router's `GET /stats` reports it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackendStatsDto {
+    /// The backend's address, e.g. `"127.0.0.1:7879"`.
+    pub addr: String,
+    /// Health-state name: `"healthy"`, `"suspect"`, `"down"`, or
+    /// `"recovering"`.
+    pub health: String,
+    /// Requests the router proxied to this backend.
+    pub proxied: u64,
+    /// Proxied requests that failed at the transport level (after
+    /// retries, where eligible).
+    pub proxy_errors: u64,
+    /// Retry attempts spent on this backend (beyond first tries).
+    pub retries: u64,
+    /// Active health probes that failed.
+    pub probe_failures: u64,
+    /// Times the circuit breaker tripped this backend into `down`.
+    pub breaker_trips: u64,
+    /// The backend's own `/stats`, when it answered the aggregation
+    /// sweep; `None` for a shard that is down.
+    pub stats: Option<StatsResponse>,
+}
+
+/// Router `GET /stats` response: per-shard health and counters plus
+/// each live backend's own stats.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterStatsResponse {
+    /// Requests the router accepted (all routes).
+    pub requests: u64,
+    /// Responses the router answered 5xx (shard down, retries
+    /// exhausted, backend transport failure).
+    pub errors_5xx: u64,
+    /// Listener `accept()` failures at the router itself.
+    pub accept_errors: u64,
+    /// One entry per configured backend, in ring order.
+    pub backends: Vec<BackendStatsDto>,
+}
+
+/// One backend's health as the router's `GET /healthz` reports it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackendHealthDto {
+    /// The backend's address.
+    pub addr: String,
+    /// Health-state name: `"healthy"`, `"suspect"`, `"down"`, or
+    /// `"recovering"`.
+    pub health: String,
+}
+
+/// Router `GET /healthz` response: overall status plus per-shard
+/// health. The router itself is `"ok"` as long as it can answer;
+/// `degraded` flags that at least one shard is not healthy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterHealthzResponse {
+    /// `"ok"` when every shard is healthy, `"degraded"` otherwise.
+    pub status: String,
+    /// Per-shard health, in ring order.
+    pub backends: Vec<BackendHealthDto>,
 }
 
 /// `POST /video/{id}/rescore` request body (optional: an empty body
@@ -409,6 +478,7 @@ mod tests {
             kv_shard_rewrites: 2,
             chat_dead_bytes: 4096,
             chat_reclaimed_bytes: 8192,
+            degraded: true,
         };
         let dto: StatsResponse = stats.into();
         let js = serde_json::to_string(&dto).unwrap();
@@ -419,6 +489,71 @@ mod tests {
         assert_eq!(back.kv_wal_appends, 21);
         assert_eq!(back.kv_shard_rewrites, 2);
         assert_eq!(back.chat_reclaimed_bytes, 8192);
+        assert!(back.degraded);
+        assert_eq!(back.accept_errors, 0);
+    }
+
+    #[test]
+    fn router_stats_round_trip() {
+        let dto = RouterStatsResponse {
+            requests: 100,
+            errors_5xx: 3,
+            accept_errors: 1,
+            backends: vec![
+                BackendStatsDto {
+                    addr: "127.0.0.1:7879".into(),
+                    health: "healthy".into(),
+                    proxied: 60,
+                    proxy_errors: 0,
+                    retries: 2,
+                    probe_failures: 0,
+                    breaker_trips: 0,
+                    stats: Some(
+                        crate::service::ServiceStats {
+                            stored_videos: 1,
+                            ..Default::default()
+                        }
+                        .into(),
+                    ),
+                },
+                BackendStatsDto {
+                    addr: "127.0.0.1:7880".into(),
+                    health: "down".into(),
+                    proxied: 40,
+                    proxy_errors: 3,
+                    retries: 6,
+                    probe_failures: 9,
+                    breaker_trips: 1,
+                    stats: None,
+                },
+            ],
+        };
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: RouterStatsResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
+        assert!(back.backends[0].stats.is_some());
+        assert!(back.backends[1].stats.is_none(), "down shard has no stats");
+    }
+
+    #[test]
+    fn router_healthz_round_trip() {
+        let dto = RouterHealthzResponse {
+            status: "degraded".into(),
+            backends: vec![
+                BackendHealthDto {
+                    addr: "127.0.0.1:7879".into(),
+                    health: "healthy".into(),
+                },
+                BackendHealthDto {
+                    addr: "127.0.0.1:7880".into(),
+                    health: "suspect".into(),
+                },
+            ],
+        };
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: RouterHealthzResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
+        assert!(js.contains("\"suspect\""), "{js}");
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! service, and serve the browser-extension routes over HTTP.
 //!
 //! ```text
-//! lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N]
+//! lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N] [--quick]
 //! ```
 //!
-//! Defaults: port 7878, a fresh temp data dir, 4 workers. Prints one
+//! Defaults: port 7878, a fresh temp data dir, 4 workers. `--quick`
+//! shrinks the training corpus and simulated platform so a backend
+//! boots in a fraction of the time — for smoke tests and the chaos
+//! harness, which start several backends per run. Prints one
 //! `listening on http://…` line once the socket is bound (smoke tests
-//! wait for it), then serves until killed.
+//! wait for it) and one `catalog: <id> <id> …` line listing the
+//! simulated platform's video ids (the chaos harness shards load by
+//! them), then serves until killed.
 
 use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
 use lightor_chatsim::{dota2_dataset, SimPlatform};
@@ -24,6 +29,7 @@ struct Args {
     data_dir: Option<std::path::PathBuf>,
     workers: usize,
     seed: u64,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         data_dir: None,
         workers: 4,
         seed: 71,
+        quick: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--quick" => args.quick = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -75,7 +83,8 @@ fn main() -> std::io::Result<()> {
     eprintln!("training models (seed {})...", args.seed);
     let labelled = dota2_dataset(1, args.seed);
     let train: Vec<_> = labelled.videos.iter().collect();
-    let mut campaign = Campaign::new(300, args.seed ^ 1);
+    let workers_budget = if args.quick { 60 } else { 300 };
+    let mut campaign = Campaign::new(workers_budget, args.seed ^ 1);
     let initializer = train_initializer(&train, FeatureSet::Full);
     let (classifier, _) = train_type_classifier(&train, &mut campaign, 4, args.seed ^ 2);
     let models = ModelBundle {
@@ -84,7 +93,10 @@ fn main() -> std::io::Result<()> {
         provenance: format!("lightor-serve seed {}", args.seed),
     };
 
-    let platform = SimPlatform::top_channels(GameKind::Dota2, 3, 4, args.seed ^ 3);
+    let (channels, per_channel) = if args.quick { (2, 2) } else { (3, 4) };
+    let platform = SimPlatform::top_channels(GameKind::Dota2, channels, per_channel, args.seed ^ 3);
+    let mut catalog: Vec<u64> = platform.all_videos().map(|v| v.video.meta.id.0).collect();
+    catalog.sort_unstable();
     let data_dir = args.data_dir.unwrap_or_else(|| {
         std::env::temp_dir().join(format!("lightor-serve-{}", std::process::id()))
     });
@@ -105,6 +117,16 @@ fn main() -> std::io::Result<()> {
     )?;
     // The readiness line smoke tests grep for.
     println!("lightor-serve listening on http://{}", server.local_addr());
+    // The video ids this backend's simulated platform knows — the
+    // chaos harness and cluster smoke test drive load against these.
+    println!(
+        "catalog: {}",
+        catalog
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     eprintln!("data dir: {}", data_dir.display());
 
     // Serve until killed (std-only: no signal handling; the process

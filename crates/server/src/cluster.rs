@@ -1,0 +1,669 @@
+//! Cluster mode: a health-checked routing tier in front of N
+//! `lightor-serve` backends.
+//!
+//! The router owns no data. It consistent-hashes video ids onto
+//! backends ([`Ring`]) and proxies the single-node route table
+//! unchanged, so the browser extension talks to one address whether
+//! LIGHTOR runs as one process or a sharded fleet:
+//!
+//! * `GET /video/{id}/dots`, `POST /video/{id}/rescore`,
+//!   `POST /sessions` → the shard owning the video id (`/sessions`
+//!   bodies carry the id; the router parses the upload to place it);
+//! * `POST /admin/compact` → broadcast to every shard, responses
+//!   summed;
+//! * `GET /healthz`, `GET /stats` → answered by the router itself with
+//!   per-shard health and aggregated backend stats
+//!   ([`wire::RouterHealthzResponse`], [`wire::RouterStatsResponse`]).
+//!
+//! # Failure policy
+//!
+//! Every proxied request runs under a deadline. Idempotent GETs may
+//! retry on *transport* errors only (see
+//! [`ClientError::is_transport`]), with jittered exponential backoff,
+//! bounded by [`RetryPolicy`] and by a cluster-wide [`RetryBudget`] so
+//! a down shard cannot amplify load. Writes never retry: they go out
+//! on a fresh connection (never a pooled keep-alive one, whose silent
+//! death after the bytes left would make "did it apply?" ambiguous and
+//! tempt a replay), so the common failure — connect refused, shard
+//! down — happens *before* the request is sent and is provably
+//! side-effect-free.
+//!
+//! Request outcomes and active `GET /healthz` probes both feed each
+//! backend's [`BackendHealth`] state machine, which doubles as a
+//! circuit breaker: enough consecutive failures trip the shard to
+//! `down`, after which requests fast-fail `503` with a `Retry-After`
+//! tracking the next probe, and probes back off exponentially.
+
+use crate::client::{ClientError, ClientResponse, HttpClient, RelayResponse};
+use crate::health::{BackendHealth, HealthPolicy, HealthState};
+use crate::http::{Request, Response};
+use crate::metrics::{HttpMetrics, RouteKey};
+use crate::retry::{RetryBudget, RetryPolicy, XorShift64};
+use crate::router::{resolve, Route};
+use crate::server::Handler;
+use lightor_platform::wire::{
+    BackendHealthDto, BackendStatsDto, CompactResponse, RouterHealthzResponse, RouterStatsResponse,
+    SessionUpload, StatsResponse,
+};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Backend addresses, in ring order.
+    pub backends: Vec<SocketAddr>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// TCP connect timeout towards a backend.
+    pub connect_timeout: Duration,
+    /// End-to-end deadline per proxied request (spans all retries).
+    pub request_timeout: Duration,
+    /// Deadline for one active health probe.
+    pub probe_timeout: Duration,
+    /// Health state-machine thresholds and probe cadence.
+    pub health: HealthPolicy,
+    /// Retry shape for idempotent GETs.
+    pub retry: RetryPolicy,
+}
+
+impl ClusterConfig {
+    /// Defaults for a given backend set.
+    pub fn new(backends: Vec<SocketAddr>) -> Self {
+        ClusterConfig {
+            backends,
+            vnodes: 64,
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+            probe_timeout: Duration::from_millis(500),
+            health: HealthPolicy::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One backend's connection pool, health, and counters.
+struct Backend {
+    addr: SocketAddr,
+    health: Mutex<BackendHealth>,
+    /// One pooled keep-alive connection for GETs and stats sweeps.
+    /// Writes bypass the pool on purpose (see the module docs).
+    conn: Mutex<Option<HttpClient>>,
+    proxied: AtomicU64,
+    proxy_errors: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// FNV-1a, for hashing backend addresses onto the ring.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — scrambles sequential video ids so shard
+/// assignment is uniform even for ids 0,1,2,…
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring: `vnodes` points per backend, sorted. A key
+/// maps to the first point clockwise from its hash. Adding or removing
+/// one backend moves only ~1/N of the key space.
+struct Ring {
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    fn build(backends: &[SocketAddr], vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for (idx, addr) in backends.iter().enumerate() {
+            let base = fnv1a64(addr.to_string().as_bytes());
+            for v in 0..vnodes as u64 {
+                points.push((splitmix64(base ^ splitmix64(v)), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The backend owning `video`.
+    fn owner(&self, video: u64) -> usize {
+        let key = splitmix64(video);
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+}
+
+/// The routing tier: ring + per-backend state + retry budget. Serves
+/// HTTP through its [`Handler`] impl (see [`RouterServer`]).
+pub struct Cluster {
+    backends: Vec<Backend>,
+    ring: Ring,
+    cfg: ClusterConfig,
+    budget: RetryBudget,
+    rng: Mutex<XorShift64>,
+    requests: AtomicU64,
+    errors_5xx: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Cluster {
+    /// Build the ring and per-backend state. Panics on an empty
+    /// backend list (a router with nothing behind it is a config bug).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(!cfg.backends.is_empty(), "cluster needs at least 1 backend");
+        let now = Instant::now();
+        let backends = cfg
+            .backends
+            .iter()
+            .map(|&addr| Backend {
+                addr,
+                health: Mutex::new(BackendHealth::new(cfg.health, now)),
+                conn: Mutex::new(None),
+                proxied: AtomicU64::new(0),
+                proxy_errors: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+            })
+            .collect();
+        let ring = Ring::build(&cfg.backends, cfg.vnodes.max(1));
+        Cluster {
+            backends,
+            ring,
+            budget: RetryBudget::default(),
+            rng: Mutex::new(XorShift64::new(0x1D0_71E5)),
+            requests: AtomicU64::new(0),
+            errors_5xx: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    /// Index of the backend owning `video` (exposed for tests and the
+    /// chaos harness, which must know which shard to kill).
+    pub fn shard_for(&self, video: u64) -> usize {
+        self.ring.owner(video)
+    }
+
+    /// Address of backend `idx`.
+    pub fn backend_addr(&self, idx: usize) -> SocketAddr {
+        self.backends[idx].addr
+    }
+
+    /// Current health state of backend `idx`.
+    pub fn backend_health(&self, idx: usize) -> HealthState {
+        self.lock_health(&self.backends[idx]).state()
+    }
+
+    fn lock_health<'a>(&self, b: &'a Backend) -> std::sync::MutexGuard<'a, BackendHealth> {
+        b.health.lock().expect("health lock poisoned")
+    }
+
+    fn mark_success(&self, b: &Backend) {
+        self.lock_health(b).record_success(Instant::now());
+    }
+
+    fn mark_failure(&self, b: &Backend, probe: bool) {
+        // Lock order: rng before health, everywhere.
+        let mut rng = self.rng.lock().expect("rng lock poisoned");
+        let mut h = self.lock_health(b);
+        if probe {
+            h.record_probe_failure(Instant::now(), &mut rng);
+        } else {
+            h.record_failure(Instant::now(), &mut rng);
+        }
+    }
+
+    /// `Some(503)` when the shard is down; `None` when it may be tried.
+    fn gate(&self, b: &Backend) -> Option<Response> {
+        let h = self.lock_health(b);
+        if h.is_available() {
+            return None;
+        }
+        let secs = h.retry_after_secs(Instant::now());
+        Some(
+            Response::error(503, "shard_down", "the shard owning this video is down")
+                .with_header("Retry-After", secs.to_string()),
+        )
+    }
+
+    /// One proxied exchange on the pooled connection (creating it on
+    /// demand). The connection goes back to the pool only after a
+    /// fully parsed, keep-alive response; every error path drops it.
+    fn exchange(
+        &self,
+        b: &Backend,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        deadline: Instant,
+    ) -> Result<ClientResponse, ClientError> {
+        let pooled = b.conn.lock().expect("conn lock poisoned").take();
+        let mut conn = match pooled {
+            Some(c) => c,
+            None => HttpClient::connect_with(
+                b.addr,
+                self.cfg.connect_timeout,
+                self.cfg.request_timeout,
+            )?,
+        };
+        let resp = conn.request_deadline(method, path, body, deadline)?;
+        if !resp.closed() {
+            let mut slot = b.conn.lock().expect("conn lock poisoned");
+            if slot.is_none() {
+                *slot = Some(conn);
+            }
+        }
+        Ok(resp)
+    }
+
+    /// The relay twin of [`Cluster::exchange`]: same pooling rules, but
+    /// the response comes back as raw wire bytes for verbatim relay —
+    /// no per-header parse, no head re-serialization. This is the
+    /// proxied-GET hot path.
+    fn relay_exchange(
+        &self,
+        b: &Backend,
+        path: &str,
+        deadline: Instant,
+    ) -> Result<RelayResponse, ClientError> {
+        let pooled = b.conn.lock().expect("conn lock poisoned").take();
+        let mut conn = match pooled {
+            Some(c) => c,
+            None => HttpClient::connect_with(
+                b.addr,
+                self.cfg.connect_timeout,
+                self.cfg.request_timeout,
+            )?,
+        };
+        let resp = conn.request_relay("GET", path, None, deadline)?;
+        if !resp.closed {
+            let mut slot = b.conn.lock().expect("conn lock poisoned");
+            if slot.is_none() {
+                *slot = Some(conn);
+            }
+        }
+        Ok(resp)
+    }
+
+    /// Proxy an idempotent GET to backend `idx`: pooled connection,
+    /// per-request deadline, budgeted jittered retries on transport
+    /// errors, verbatim relay of the backend's bytes.
+    fn proxy_get(&self, idx: usize, path: &str) -> Response {
+        let b = &self.backends[idx];
+        if let Some(resp) = self.gate(b) {
+            return resp;
+        }
+        b.proxied.fetch_add(1, Ordering::Relaxed);
+        self.budget.record_attempt();
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.relay_exchange(b, path, deadline) {
+                Ok(resp) => {
+                    self.mark_success(b);
+                    return Response::relay(resp.status, resp.raw);
+                }
+                Err(e) => {
+                    self.mark_failure(b, false);
+                    let backoff = {
+                        let mut rng = self.rng.lock().expect("rng lock poisoned");
+                        self.cfg.retry.backoff(attempt, &mut rng)
+                    };
+                    let out_of_time = Instant::now() + backoff >= deadline;
+                    if !e.is_transport()
+                        || attempt >= self.cfg.retry.max_attempts
+                        || out_of_time
+                        || self.lock_health(b).state() == HealthState::Down
+                        || !self.budget.try_withdraw()
+                    {
+                        b.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                        return Response::error(502, "bad_gateway", &e.to_string());
+                    }
+                    b.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// Proxy a write to backend `idx`: fresh connection, one attempt,
+    /// never retried (see the module docs). `Err` carries the ready
+    /// client-facing failure (shard down, bad gateway).
+    fn write_once(&self, idx: usize, path: &str, body: &[u8]) -> Result<RelayResponse, Response> {
+        let b = &self.backends[idx];
+        if let Some(resp) = self.gate(b) {
+            return Err(resp);
+        }
+        b.proxied.fetch_add(1, Ordering::Relaxed);
+        self.budget.record_attempt();
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let result =
+            HttpClient::connect_with(b.addr, self.cfg.connect_timeout, self.cfg.request_timeout)
+                .and_then(|mut conn| conn.request_relay("POST", path, Some(body), deadline));
+        match result {
+            Ok(resp) => {
+                self.mark_success(b);
+                Ok(resp)
+            }
+            Err(e) => {
+                self.mark_failure(b, false);
+                b.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                Err(Response::error(502, "bad_gateway", &e.to_string()))
+            }
+        }
+    }
+
+    /// [`Cluster::write_once`] relayed straight to the client.
+    fn proxy_write(&self, idx: usize, path: &str, body: &[u8]) -> Response {
+        match self.write_once(idx, path, body) {
+            Ok(resp) => Response::relay(resp.status, resp.raw),
+            Err(resp) => resp,
+        }
+    }
+
+    /// `POST /sessions`: the video id lives in the body, so parse the
+    /// upload (which also rejects garbage before it crosses the wire
+    /// again) and route to the owning shard with the original bytes.
+    fn route_session(&self, body: &[u8]) -> Response {
+        let upload: SessionUpload = match serde_json::from_slice(body) {
+            Ok(u) => u,
+            Err(_) => return Response::error(400, "bad_json", "body must be a SessionUpload"),
+        };
+        self.proxy_write(self.shard_for(upload.video), "/sessions", body)
+    }
+
+    /// `POST /admin/compact`: broadcast to every shard; sums the
+    /// per-shard results. Any failed shard fails the broadcast (the
+    /// caller must know compaction did not complete everywhere).
+    fn broadcast_compact(&self) -> Response {
+        let mut total = CompactResponse {
+            reclaimed_bytes: 0,
+            dropped_records: 0,
+            live_records: 0,
+        };
+        for idx in 0..self.backends.len() {
+            let resp = match self.write_once(idx, "/admin/compact", &[]) {
+                Ok(resp) => resp,
+                Err(resp) => return resp,
+            };
+            if resp.status != 200 {
+                return Response::relay(resp.status, resp.raw);
+            }
+            match serde_json::from_slice::<CompactResponse>(resp.body()) {
+                Ok(r) => {
+                    total.reclaimed_bytes += r.reclaimed_bytes;
+                    total.dropped_records += r.dropped_records;
+                    total.live_records += r.live_records;
+                }
+                Err(_) => {
+                    return Response::error(
+                        502,
+                        "bad_gateway",
+                        "backend returned an unparseable compact response",
+                    )
+                }
+            }
+        }
+        Response::json(200, &total)
+    }
+
+    /// Router `GET /healthz`: per-shard health, overall status.
+    fn healthz(&self) -> Response {
+        let backends: Vec<BackendHealthDto> = self
+            .backends
+            .iter()
+            .map(|b| BackendHealthDto {
+                addr: b.addr.to_string(),
+                health: self.lock_health(b).state().name().to_string(),
+            })
+            .collect();
+        let all_healthy = backends.iter().all(|b| b.health == "healthy");
+        Response::json(
+            200,
+            &RouterHealthzResponse {
+                status: if all_healthy { "ok" } else { "degraded" }.to_string(),
+                backends,
+            },
+        )
+    }
+
+    /// Router `GET /stats`: router counters plus a best-effort sweep of
+    /// each live backend's own `/stats`.
+    fn stats(&self, metrics: &HttpMetrics) -> Response {
+        let backends: Vec<BackendStatsDto> = self
+            .backends
+            .iter()
+            .map(|b| {
+                let (health, available) = {
+                    let h = self.lock_health(b);
+                    (h.state().name().to_string(), h.is_available())
+                };
+                let stats: Option<StatsResponse> = if available {
+                    let deadline = Instant::now() + self.cfg.probe_timeout;
+                    self.exchange(b, "GET", "/stats", None, deadline)
+                        .ok()
+                        .filter(|r| r.status == 200)
+                        .and_then(|r| r.json().ok())
+                } else {
+                    None
+                };
+                let h = self.lock_health(b);
+                BackendStatsDto {
+                    addr: b.addr.to_string(),
+                    health,
+                    proxied: b.proxied.load(Ordering::Relaxed),
+                    proxy_errors: b.proxy_errors.load(Ordering::Relaxed),
+                    retries: b.retries.load(Ordering::Relaxed),
+                    probe_failures: h.probe_failures(),
+                    breaker_trips: h.breaker_trips(),
+                    stats,
+                }
+            })
+            .collect();
+        Response::json(
+            200,
+            &RouterStatsResponse {
+                requests: self.requests.load(Ordering::Relaxed),
+                errors_5xx: self.errors_5xx.load(Ordering::Relaxed),
+                accept_errors: metrics.accept_errors(),
+                backends,
+            },
+        )
+    }
+
+    /// One probe sweep at `now`: actively probe every backend whose
+    /// probe is due. Returns how many probes ran.
+    fn probe_due_backends(&self) -> usize {
+        let mut probed = 0;
+        for b in &self.backends {
+            if !self.lock_health(b).probe_due(Instant::now()) {
+                continue;
+            }
+            probed += 1;
+            let deadline = Instant::now() + self.cfg.probe_timeout;
+            let ok =
+                HttpClient::connect_with(b.addr, self.cfg.probe_timeout, self.cfg.probe_timeout)
+                    .and_then(|mut conn| conn.request_deadline("GET", "/healthz", None, deadline))
+                    .map(|resp| resp.status == 200)
+                    .unwrap_or(false);
+            if ok {
+                self.mark_success(b);
+            } else {
+                self.mark_failure(b, true);
+            }
+        }
+        probed
+    }
+
+    /// The prober loop: sweep due probes until shutdown.
+    fn probe_loop(self: &Arc<Self>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            self.probe_due_backends();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Handler for Cluster {
+    fn handle(&self, req: &Request, metrics: &HttpMetrics) -> (RouteKey, Response) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let route = match resolve(&req.method, &req.path) {
+            Ok(r) => r,
+            Err(e) => return (RouteKey::Other, e.response()),
+        };
+        let response = match route {
+            Route::Healthz => self.healthz(),
+            Route::Stats => self.stats(metrics),
+            Route::Dots(id) => self.proxy_get(self.shard_for(id), &req.path),
+            Route::Rescore(id) => self.proxy_write(self.shard_for(id), &req.path, &req.body),
+            Route::Sessions => self.route_session(&req.body),
+            Route::Compact => self.broadcast_compact(),
+        };
+        if response.status >= 500 {
+            self.errors_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        (route.key(), response)
+    }
+}
+
+/// A running router: an [`HttpServer`] serving a [`Cluster`] handler,
+/// plus the background prober thread.
+pub struct RouterServer {
+    server: Option<crate::server::HttpServer>,
+    cluster: Arc<Cluster>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// Bind `addr` and start routing to `cfg.backends`.
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        cfg: ClusterConfig,
+        server_cfg: crate::server::ServerConfig,
+    ) -> std::io::Result<Self> {
+        let cluster = Arc::new(Cluster::new(cfg));
+        let server = crate::server::HttpServer::bind_handler(addr, cluster.clone(), server_cfg)?;
+        let prober = {
+            let cluster = cluster.clone();
+            std::thread::Builder::new()
+                .name("router-prober".into())
+                .spawn(move || cluster.probe_loop())?
+        };
+        Ok(RouterServer {
+            server: Some(server),
+            cluster,
+            prober: Some(prober),
+        })
+    }
+
+    /// The router's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("server running").local_addr()
+    }
+
+    /// The cluster behind this server (ring lookups, health peeks).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Graceful shutdown: stop the prober, drain the HTTP server.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.cluster.shutdown.store(true, Ordering::SeqCst);
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+        if let Some(s) = self.server.take() {
+            s.shutdown();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 7900 + i).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let ring = Ring::build(&addrs(3), 64);
+        assert_eq!(ring.points.len(), 3 * 64);
+        for video in 0..1000u64 {
+            let a = ring.owner(video);
+            assert_eq!(a, ring.owner(video), "owner must be stable");
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_backends() {
+        let ring = Ring::build(&addrs(3), 64);
+        let mut counts = [0usize; 3];
+        for video in 0..3000u64 {
+            counts[ring.owner(video)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Perfect balance is 1000; vnode hashing should land well
+            // within 2:1 of it.
+            assert!((500..=2000).contains(&c), "backend {i} owns {c} of 3000");
+        }
+    }
+
+    #[test]
+    fn ring_reshuffles_minimally_when_a_backend_joins() {
+        let three = Ring::build(&addrs(3), 64);
+        let four = Ring::build(&addrs(4), 64);
+        let moved = (0..3000u64)
+            .filter(|&v| {
+                let before = three.owner(v);
+                let after = four.owner(v);
+                before != after && after != 3
+            })
+            .count();
+        // Keys may move *to* the new backend (~1/4 of them); moving
+        // between the surviving three means the hash is not consistent.
+        assert!(moved < 150, "{moved} of 3000 keys moved between survivors");
+    }
+
+    #[test]
+    fn cluster_routes_videos_like_the_ring() {
+        let cluster = Cluster::new(ClusterConfig::new(addrs(3)));
+        let ring = Ring::build(&addrs(3), 64);
+        for video in 0..100 {
+            assert_eq!(cluster.shard_for(video), ring.owner(video));
+        }
+        assert_eq!(cluster.backend_addr(0), addrs(3)[0]);
+        assert_eq!(cluster.backend_health(0), HealthState::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 backend")]
+    fn empty_backend_list_is_a_config_bug() {
+        let _ = Cluster::new(ClusterConfig::new(Vec::new()));
+    }
+}

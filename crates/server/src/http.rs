@@ -144,7 +144,7 @@ impl RequestParser {
         let request_line = lines.next().unwrap_or("");
         let (method, path, version_11) = parse_request_line(request_line)?;
 
-        let mut headers = Vec::new();
+        let mut headers = Vec::with_capacity(8);
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -158,7 +158,9 @@ impl RequestParser {
             if name.is_empty() || name.contains(' ') || name.contains('\t') {
                 return Err(HttpError::BadRequest("malformed header name"));
             }
-            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            let mut name = name.to_string();
+            name.make_ascii_lowercase();
+            headers.push((name, value.trim().to_string()));
         }
 
         if header_value(&headers, "transfer-encoding").is_some() {
@@ -192,13 +194,12 @@ impl RequestParser {
             return Ok(None);
         }
 
-        let keep_alive = {
-            let conn = header_value(&headers, "connection").map(|v| v.to_ascii_lowercase());
-            match conn.as_deref() {
-                Some(v) if v.contains("close") => false,
-                Some(v) if v.contains("keep-alive") => true,
-                _ => version_11,
-            }
+        // Header values kept their original case; match Connection
+        // tokens case-insensitively without allocating.
+        let keep_alive = match header_value(&headers, "connection") {
+            Some(v) if contains_ignore_case(v, "close") => false,
+            Some(v) if contains_ignore_case(v, "keep-alive") => true,
+            _ => version_11,
         };
         let method = method.to_string();
         let path = path.to_string();
@@ -218,6 +219,15 @@ impl RequestParser {
 /// Offset of the `\r\n\r\n` head terminator, if present.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// ASCII case-insensitive substring search (header token lists are
+/// short; the quadratic worst case cannot bite).
+fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
+    haystack
+        .as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
 }
 
 fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -263,6 +273,7 @@ pub fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -273,9 +284,16 @@ pub fn reason(status: u16) -> &'static str {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    content_type: &'static str,
+    content_type: String,
+    /// Extra headers beyond the framing set (e.g. `Retry-After`).
+    headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// A complete pre-serialized response (head + body) relayed
+    /// verbatim from a backend — the router's hot path. When set,
+    /// `write_to` sends these bytes untouched instead of composing a
+    /// head from the fields above.
+    relay: Option<Vec<u8>>,
 }
 
 impl Response {
@@ -283,8 +301,10 @@ impl Response {
     pub fn text(status: u16, body: &str) -> Self {
         Response {
             status,
-            content_type: "text/plain; charset=utf-8",
+            content_type: "text/plain; charset=utf-8".to_string(),
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            relay: None,
         }
     }
 
@@ -292,9 +312,43 @@ impl Response {
     pub fn json<T: serde::Serialize>(status: u16, value: &T) -> Self {
         Response {
             status,
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
             body: serde_json::to_vec(value).expect("wire DTOs always serialize"),
+            relay: None,
         }
+    }
+
+    /// A response with explicit content type and raw body bytes — the
+    /// proxy passthrough path (no re-serialization of backend bodies).
+    pub fn raw(status: u16, content_type: impl Into<String>, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: content_type.into(),
+            headers: Vec::new(),
+            body,
+            relay: None,
+        }
+    }
+
+    /// A backend response relayed verbatim: `raw` is the complete wire
+    /// bytes (status line through body) exactly as the backend sent
+    /// them, and `status` is carried alongside for error accounting.
+    /// Skips the router-side head re-serialization entirely.
+    pub fn relay(status: u16, raw: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            relay: Some(raw),
+        }
+    }
+
+    /// Attach one extra response header (e.g. `Retry-After`).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// The standard error body: `{"error":{"code":…,"message":…}}`.
@@ -313,8 +367,10 @@ impl Response {
         )]);
         Response {
             status,
-            content_type: "application/json",
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
             body: serde_json::value_to_string(&body).into_bytes(),
+            relay: None,
         }
     }
 
@@ -322,10 +378,18 @@ impl Response {
     /// `Connection` header and must match what the connection loop
     /// actually does afterwards.
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        if let Some(raw) = &self.relay {
+            // Relayed verbatim, including the backend's own Connection
+            // header. The connection loop still applies its own
+            // keep-alive decision afterwards; RFC 7230 §6.5 permits a
+            // server to close a connection it advertised as persistent,
+            // so the rare mismatch stays within spec.
+            return w.write_all(raw);
+        }
         let mut out = Vec::with_capacity(self.body.len() + 128);
         out.extend_from_slice(
             format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
                 self.status,
                 reason(self.status),
                 self.content_type,
@@ -334,6 +398,10 @@ impl Response {
             )
             .as_bytes(),
         );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
         w.write_all(&out)
     }
@@ -479,6 +547,21 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn extra_headers_and_raw_bodies_serialize() {
+        let mut out = Vec::new();
+        Response::raw(503, "application/json", b"{}".to_vec())
+            .with_header("Retry-After", "2")
+            .write_to(&mut out, false)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 2\r\n"), "{s}");
+        assert!(s.contains("Content-Type: application/json\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\n{}"), "{s}");
+        assert_eq!(reason(502), "Bad Gateway");
     }
 
     #[test]

@@ -44,21 +44,65 @@
 //!
 //! The `lightor-serve` binary wires a simulated platform behind the
 //! server so the whole loop runs from one command.
+//!
+//! # Cluster topology
+//!
+//! One process only goes so far; the fault-tolerant rung shards the
+//! catalog across N `lightor-serve` backends behind `lightor-router`:
+//!
+//! ```text
+//!   extension ──▶ lightor-router ──▶ lightor-serve (shard 0)
+//!                   │  consistent     lightor-serve (shard 1)
+//!                   │  hash on          …
+//!                   └─ video id      lightor-serve (shard N-1)
+//! ```
+//!
+//! * [`cluster`] — the [`Cluster`] ring (FNV-1a keys on a SplitMix64
+//!   vnode ring, 64 vnodes per backend) plus [`RouterServer`], a thin
+//!   [`Handler`] that owns per-backend connection pools. Video routes
+//!   proxy to the owning shard; `/stats` fans out and aggregates;
+//!   `POST /admin/compact` broadcasts. Proxied responses are *relayed*
+//!   — the backend's bytes are forwarded verbatim after a minimal head
+//!   scan (status, `Content-Length`, `Connection`), so the proxy hop
+//!   adds no parse/rebuild work on the hot path.
+//! * [`health`] — per-backend probe state machine
+//!   (healthy → suspect → down → recovering) driven by a background
+//!   `GET /healthz` prober with jittered exponential backoff. Down
+//!   shards fast-fail `503` + `Retry-After` instead of eating a
+//!   connect timeout per request.
+//! * [`retry`] — [`RetryPolicy`] (per-request deadline, bounded
+//!   attempts, jittered backoff) and a global [`RetryBudget`] so a
+//!   flapping shard can't amplify load. Only idempotent GETs are
+//!   retried; writes never re-run on a fresh connection, because an
+//!   acknowledged-but-disconnected `POST /sessions` may already have
+//!   refined the model.
+//!
+//! The `lightor-router` binary wires these together
+//! (`--backend host:port` per shard). Backends stay plain
+//! `lightor-serve` processes — killing one degrades exactly its key
+//! range while the survivors keep answering, which is what the chaos
+//! test (`tests/cluster_chaos.rs`) and the CI cluster smoke assert.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
+pub mod health;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod retry;
 pub mod router;
 pub mod server;
 
-pub use client::{ClientResponse, HttpClient};
+pub use client::{ClientError, ClientResponse, HttpClient};
+pub use cluster::{Cluster, ClusterConfig, RouterServer};
+pub use health::{BackendHealth, HealthPolicy, HealthState};
 pub use http::{HttpError, Limits, Request, RequestParser, Response};
 pub use lightor_platform::wire;
 pub use lightor_platform::LightorService;
 pub use metrics::{HttpMetrics, RouteKey, ROUTE_NAMES};
 pub use pool::ThreadPool;
+pub use retry::{RetryBudget, RetryPolicy, XorShift64};
 pub use router::{Route, RouteError, SessionAccepted};
-pub use server::{HttpServer, ServerConfig};
+pub use server::{Handler, HttpServer, ServerConfig};

@@ -52,12 +52,25 @@ struct RouteCounters {
 #[derive(Default)]
 pub struct HttpMetrics {
     routes: [RouteCounters; 7],
+    accept_errors: AtomicU64,
 }
 
 impl HttpMetrics {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record one failed `accept()` on the listener. Accept failures
+    /// (EMFILE, ENFILE, …) never reach a route, so without this counter
+    /// they would be invisible in `/stats`.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed `accept()` calls so far.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
     }
 
     /// Record one response on `route` with its status and handler latency.
@@ -113,5 +126,15 @@ mod tests {
         assert_eq!(dots.latency_max_us, 120);
         assert_eq!(snap[RouteKey::Sessions as usize].requests, 1);
         assert_eq!(snap[RouteKey::Healthz as usize].requests, 0);
+    }
+
+    #[test]
+    fn accept_errors_count_separately_from_routes() {
+        let m = HttpMetrics::new();
+        assert_eq!(m.accept_errors(), 0);
+        m.record_accept_error();
+        m.record_accept_error();
+        assert_eq!(m.accept_errors(), 2);
+        assert!(m.snapshot().iter().all(|r| r.requests == 0));
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::http::{Request, Response};
 use crate::metrics::{HttpMetrics, RouteKey};
+use crate::server::Handler;
 use lightor_platform::wire::{
     CompactResponse, DotsResponse, RescoreRequest, SessionUpload, StatsResponse, UploadError,
 };
@@ -129,15 +130,57 @@ pub fn dispatch(
     let response = match route {
         Route::Healthz => Response::text(200, "ok"),
         Route::Dots(id) => handle_dots(svc, id),
-        Route::Rescore(id) => handle_rescore(svc, id, &req.body),
-        Route::Sessions => handle_sessions(svc, &req.body),
+        Route::Rescore(id) => gate_write(svc).unwrap_or_else(|| handle_rescore(svc, id, &req.body)),
+        Route::Sessions => gate_write(svc).unwrap_or_else(|| handle_sessions(svc, &req.body)),
         Route::Stats => handle_stats(svc, metrics),
+        // Compaction stays allowed while degraded: it is the repair
+        // path — a successful compaction rewrites storage and clears
+        // the degraded flag.
         Route::Compact => handle_compact(svc),
     };
     (route.key(), response)
 }
 
+impl Handler for LightorService {
+    fn handle(&self, req: &Request, metrics: &HttpMetrics) -> (RouteKey, Response) {
+        dispatch(self, metrics, req)
+    }
+}
+
+/// `Some(503)` when the service is degraded (persistence failed) and
+/// must refuse writes, `None` when the write may proceed.
+fn gate_write(svc: &LightorService) -> Option<Response> {
+    svc.is_degraded().then(|| {
+        Response::error(
+            503,
+            "degraded",
+            "storage is degraded (read-only); writes refused until compaction succeeds",
+        )
+        .with_header("Retry-After", "1")
+    })
+}
+
 fn handle_dots(svc: &LightorService, id: u64) -> Response {
+    if svc.is_degraded() {
+        // Read-only mode: serve what memory already holds, never touch
+        // the failing store. Cold videos would need a crawl + persist,
+        // which is exactly what cannot run right now.
+        return match svc.cached_dots(VideoId(id)) {
+            Some(dots) => Response::json(
+                200,
+                &DotsResponse {
+                    video: id,
+                    dots: dots.into_iter().map(Into::into).collect(),
+                },
+            ),
+            None => Response::error(
+                503,
+                "degraded",
+                "storage is degraded; this video is not in memory",
+            )
+            .with_header("Retry-After", "1"),
+        };
+    }
     match svc.open_video(VideoId(id)) {
         Ok(Some(dots)) => Response::json(
             200,
@@ -211,6 +254,7 @@ fn handle_sessions(svc: &LightorService, body: &[u8]) -> Response {
 fn handle_stats(svc: &LightorService, metrics: &HttpMetrics) -> Response {
     let mut stats = StatsResponse::from(svc.stats());
     stats.http = metrics.snapshot();
+    stats.accept_errors = metrics.accept_errors();
     Response::json(200, &stats)
 }
 

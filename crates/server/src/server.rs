@@ -18,10 +18,9 @@
 //! still arriving, up to a drain grace period) before closing their
 //! connections, and the pool joins every worker.
 
-use crate::http::{Limits, RequestParser, Response};
+use crate::http::{Limits, Request, RequestParser, Response};
 use crate::metrics::{HttpMetrics, RouteKey};
 use crate::pool::ThreadPool;
-use crate::router;
 use lightor_platform::LightorService;
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -63,9 +62,22 @@ impl Default for ServerConfig {
 /// flag and the idle deadline.
 const READ_POLL: Duration = Duration::from_millis(25);
 
+/// What an [`HttpServer`] serves: one parsed request in, one response
+/// out, tagged with the metrics bucket it belongs to.
+///
+/// [`LightorService`] implements this with the standard route table
+/// ([`crate::router`]); the cluster router ([`crate::cluster`])
+/// implements it with proxy logic — both reuse the same listener,
+/// worker-pool, keep-alive, and graceful-drain machinery underneath.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one complete request. `metrics` is the server's own
+    /// counter set, passed in so `/stats`-style routes can merge it.
+    fn handle(&self, req: &Request, metrics: &HttpMetrics) -> (RouteKey, Response);
+}
+
 /// Shared connection context.
 struct Ctx {
-    svc: Arc<LightorService>,
+    handler: Arc<dyn Handler>,
     metrics: Arc<HttpMetrics>,
     shutdown: AtomicBool,
     cfg: ServerConfig,
@@ -80,16 +92,27 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
-    /// Bind `addr` (port 0 picks a free port) and start serving `svc`.
+    /// Bind `addr` (port 0 picks a free port) and start serving `svc`
+    /// with the standard route table.
     pub fn bind(
         addr: impl ToSocketAddrs,
         svc: Arc<LightorService>,
         cfg: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_handler(addr, svc, cfg)
+    }
+
+    /// Bind `addr` and serve an arbitrary [`Handler`] — the seam the
+    /// cluster router uses to get a full HTTP front end for free.
+    pub fn bind_handler(
+        addr: impl ToSocketAddrs,
+        handler: Arc<impl Handler>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let ctx = Arc::new(Ctx {
-            svc,
+            handler,
             metrics: Arc::new(HttpMetrics::new()),
             shutdown: AtomicBool::new(false),
             cfg,
@@ -167,6 +190,9 @@ fn accept_loop(listener: TcpListener, ctx: &Arc<Ctx>, pool: &ThreadPool) {
                 if ctx.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // Surface the failure in /stats — a silent accept loop
+                // hides fd exhaustion until clients notice.
+                ctx.metrics.record_accept_error();
                 // Persistent accept errors (EMFILE under fd
                 // exhaustion, ENFILE, …) fail instantly; without a
                 // pause this thread would hot-spin a core exactly
@@ -203,7 +229,7 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
         match parser.try_next() {
             Ok(Some(req)) => {
                 let started = Instant::now();
-                let (key, response) = router::dispatch(&ctx.svc, &ctx.metrics, &req);
+                let (key, response) = ctx.handler.handle(&req, &ctx.metrics);
                 let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
                 let keep_alive = req.keep_alive && !shutting_down;
                 // Record before writing: once a client holds the

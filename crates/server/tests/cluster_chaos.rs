@@ -1,0 +1,306 @@
+//! Chaos test: real `lightor-serve` backend *processes* behind a real
+//! `lightor-router` process, with one backend SIGKILLed and restarted
+//! mid-load.
+//!
+//! Asserts the fault-tolerance contract end to end:
+//!
+//! * refined red dots acknowledged before the kill survive the
+//!   failover (same data dir + WAL replay on restart);
+//! * GETs to healthy shards never see a 5xx while the victim is down;
+//! * the router's `/healthz` walks the victim down and back to healthy.
+
+use lightor_platform::wire::{DotsResponse, EventDto, RouterHealthzResponse, SessionUpload};
+use lightor_server::cluster::{Cluster, ClusterConfig};
+use lightor_server::router::SessionAccepted;
+use lightor_server::HttpClient;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "lightor-chaos-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A child process killed on drop (tests must never leak servers).
+struct Proc(Child);
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn a process and read its stdout until `parse` extracts a value
+/// from some line; the rest of the stream is drained in the background.
+fn spawn_and_parse<T>(
+    mut cmd: Command,
+    deadline: Duration,
+    parse: impl Fn(&str) -> Option<T>,
+) -> (Proc, T) {
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let start = Instant::now();
+    let mut parsed = None;
+    for line in &mut lines {
+        let line = line.expect("read child stdout");
+        if let Some(v) = parse(&line) {
+            parsed = Some(v);
+            break;
+        }
+        assert!(start.elapsed() < deadline, "child never printed its banner");
+    }
+    // Keep draining so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (Proc(child), parsed.expect("child exited before its banner"))
+}
+
+/// Boot one backend; returns (process, bound addr, catalog video ids).
+fn spawn_backend(dir: &std::path::Path, seed: u64, port: u16) -> (Proc, SocketAddr, Vec<u64>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lightor-serve"));
+    cmd.args([
+        "--quick",
+        "--port",
+        &port.to_string(),
+        "--seed",
+        &seed.to_string(),
+        "--data-dir",
+    ])
+    .arg(dir);
+    // The backend prints `listening on http://ADDR` then `catalog: …`;
+    // parse both (they arrive in order).
+    let (proc_, (addr, catalog)) = spawn_and_parse(cmd, Duration::from_secs(120), {
+        let addr = std::cell::Cell::new(None::<SocketAddr>);
+        move |line| {
+            if let Some(rest) = line.strip_prefix("lightor-serve listening on http://") {
+                addr.set(Some(rest.trim().parse().expect("addr")));
+                return None;
+            }
+            let ids = line.strip_prefix("catalog: ")?;
+            let catalog: Vec<u64> = ids
+                .split_whitespace()
+                .map(|s| s.parse().expect("catalog id"))
+                .collect();
+            Some((addr.get().expect("listening line before catalog"), catalog))
+        }
+    });
+    (proc_, addr, catalog)
+}
+
+/// Boot the router over `backends`; returns (process, bound addr).
+fn spawn_router(backends: &[SocketAddr]) -> (Proc, SocketAddr) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lightor-router"));
+    cmd.args(["--port", "0", "--request-timeout-ms", "5000"]);
+    for b in backends {
+        cmd.args(["--backend", &b.to_string()]);
+    }
+    spawn_and_parse(cmd, Duration::from_secs(60), |line| {
+        line.strip_prefix("lightor-router listening on http://")
+            .map(|rest| rest.trim().parse().expect("addr"))
+    })
+}
+
+/// An upload whose plays cluster around `dot_at`, enough of them
+/// (≥ `min_plays_per_round` = 8) to trigger a refinement round.
+fn refining_upload(video: u64, client: u64, dot_at: f64) -> String {
+    let mut events = Vec::new();
+    for i in 0..8 {
+        let at = (dot_at - 2.0 + 0.3 * i as f64).max(0.0);
+        events.push(EventDto::Play { at });
+        events.push(EventDto::Pause { at: at + 6.0 });
+    }
+    events.push(EventDto::Leave { at: dot_at + 20.0 });
+    serde_json::to_string(&SessionUpload {
+        video,
+        client,
+        events,
+    })
+    .unwrap()
+}
+
+fn healthz(client: &mut HttpClient) -> RouterHealthzResponse {
+    client.get("/healthz").unwrap().json().unwrap()
+}
+
+fn wait_backend_state(router: SocketAddr, addr: SocketAddr, want: &str, within: Duration) {
+    let deadline = Instant::now() + within;
+    let mut client = HttpClient::connect(router).unwrap();
+    loop {
+        let hz = healthz(&mut client);
+        let state = hz
+            .backends
+            .iter()
+            .find(|b| b.addr == addr.to_string())
+            .map(|b| b.health.clone())
+            .unwrap_or_default();
+        if state == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend {addr} never reached {want:?} (stuck at {state:?})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn killing_and_restarting_a_backend_mid_load_loses_nothing() {
+    const SEED: u64 = 71;
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("b{i}"))).collect();
+
+    // Boot 3 real backend processes (same seed → identical catalogs).
+    let mut backends: Vec<Option<(Proc, SocketAddr)>> = Vec::new();
+    let mut catalog = Vec::new();
+    for dir in &dirs {
+        let (proc_, addr, cat) = spawn_backend(&dir.0, SEED, 0);
+        catalog = cat;
+        backends.push(Some((proc_, addr)));
+    }
+    assert!(!catalog.is_empty(), "backends must publish a catalog");
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.as_ref().unwrap().1).collect();
+    let (_router_proc, router_addr) = spawn_router(&addrs);
+
+    // The router binary and this in-test replica build the same
+    // deterministic ring from the same backend list, so the test knows
+    // which shard owns which video without asking the router.
+    let ring = Cluster::new(ClusterConfig::new(addrs.clone()));
+    let victim = ring.shard_for(catalog[0]);
+    let victim_vid = catalog[0];
+    let victim_addr = addrs[victim];
+    let victim_port = victim_addr.port();
+    // Synthetic ids let the load loop exercise every healthy shard even
+    // if the catalog happens to hash onto few of them: unknown videos
+    // answer 404, which is still a non-5xx from a healthy shard.
+    let healthy_probe_ids: Vec<u64> = (0..1000u64)
+        .filter(|&v| ring.shard_for(v) != victim)
+        .take(8)
+        .collect();
+
+    let mut client = HttpClient::connect(router_addr).unwrap();
+    assert_eq!(healthz(&mut client).status, "ok");
+
+    // Phase 1 — load: open the victim's video and upload sessions until
+    // a refinement round is acknowledged (the state the kill must not
+    // lose). Every ack here is durable by contract: refine persists
+    // through the WAL-fronted KV store before answering.
+    let dots: DotsResponse = client
+        .get(&format!("/video/{victim_vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(!dots.dots.is_empty());
+    let mut refined_acked = 0usize;
+    for i in 0..200u64 {
+        let dot_at = dots.dots[(i as usize) % dots.dots.len()].at_seconds;
+        let resp = client
+            .post_json("/sessions", &refining_upload(victim_vid, i, dot_at))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let ack: SessionAccepted = resp.json().unwrap();
+        refined_acked += ack.dots_refined;
+        if refined_acked >= 3 {
+            break;
+        }
+    }
+    assert!(
+        refined_acked >= 1,
+        "load never triggered a refinement round"
+    );
+    let acknowledged: DotsResponse = client
+        .get(&format!("/video/{victim_vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+
+    // Phase 2 — chaos: background load hammers healthy shards while the
+    // victim is killed; healthy shards must never answer 5xx.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loader = {
+        let stop = stop.clone();
+        let ids = healthy_probe_ids.clone();
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(router_addr).unwrap();
+            let mut five_xx = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                for &v in &ids {
+                    let resp = client.get(&format!("/video/{v}/dots")).unwrap();
+                    if resp.status >= 500 {
+                        five_xx.push((v, resp.status));
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            five_xx
+        })
+    };
+
+    // SIGKILL the victim mid-load.
+    drop(backends[victim].take());
+    wait_backend_state(router_addr, victim_addr, "down", Duration::from_secs(20));
+    let hz = healthz(&mut client);
+    assert_eq!(hz.status, "degraded");
+
+    // The dead shard fast-fails with Retry-After; healthy shards serve.
+    let resp = client.get(&format!("/video/{victim_vid}/dots")).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert!(resp.header("retry-after").is_some());
+    let resp = client
+        .post_json("/sessions", &refining_upload(victim_vid, 999, 10.0))
+        .unwrap();
+    assert_eq!(resp.status, 503, "writes to a down shard fast-fail");
+
+    // Phase 3 — recovery: restart the victim on its old port and data
+    // dir; probes must walk it back to healthy.
+    let (proc_, addr, _) = spawn_backend(&dirs[victim].0, SEED, victim_port);
+    assert_eq!(addr, victim_addr, "restart must reuse the old address");
+    backends[victim] = Some((proc_, addr));
+    wait_backend_state(
+        router_addr,
+        victim_addr,
+        "healthy",
+        Duration::from_secs(120),
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let five_xx = loader.join().unwrap();
+    assert!(
+        five_xx.is_empty(),
+        "healthy shards answered 5xx during failover: {five_xx:?}"
+    );
+
+    // Zero acknowledged loss: the refined dots the router acknowledged
+    // before the SIGKILL came back from the restarted shard's storage.
+    let restored: DotsResponse = client
+        .get(&format!("/video/{victim_vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        restored, acknowledged,
+        "acknowledged refinement state was lost in the failover"
+    );
+    assert_eq!(healthz(&mut client).status, "ok");
+}

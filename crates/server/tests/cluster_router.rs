@@ -1,0 +1,295 @@
+//! Cluster-mode integration tests over real loopback sockets: the
+//! router in front of in-process backends — proxying, aggregation,
+//! failover to `down`, and recovery — all driven through HTTP.
+
+use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
+use lightor_chatsim::{dota2_dataset, SimPlatform};
+use lightor_crowdsim::Campaign;
+use lightor_eval::harness::{train_initializer, train_type_classifier};
+use lightor_platform::wire::{
+    CompactResponse, DotsResponse, EventDto, RouterHealthzResponse, RouterStatsResponse,
+    SessionUpload,
+};
+use lightor_platform::{LightorService, ServiceConfig};
+use lightor_server::cluster::{ClusterConfig, RouterServer};
+use lightor_server::{
+    HealthPolicy, HealthState, HttpClient, HttpServer, RetryPolicy, ServerConfig,
+};
+use lightor_types::GameKind;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "lightor-cluster-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Models are expensive to train; every test shares one bundle.
+fn models() -> ModelBundle {
+    static MODELS: OnceLock<ModelBundle> = OnceLock::new();
+    MODELS
+        .get_or_init(|| {
+            let data = dota2_dataset(2, 5001);
+            let train: Vec<_> = data.videos.iter().collect();
+            let initializer = train_initializer(&train, FeatureSet::Full);
+            let mut campaign = Campaign::new(200, 5002);
+            let (classifier, _) = train_type_classifier(&train, &mut campaign, 3, 5003);
+            ModelBundle {
+                initializer,
+                extractor: HighlightExtractor::new(classifier, ExtractorConfig::default()),
+                provenance: "cluster tests".into(),
+            }
+        })
+        .clone()
+}
+
+/// Every backend simulates the same platform, so any shard can serve
+/// any video the catalog knows — sharding decides *ownership* of the
+/// refinement state, not visibility.
+fn platform() -> SimPlatform {
+    SimPlatform::top_channels(GameKind::Dota2, 2, 3, 5004)
+}
+
+/// One in-process backend over `dir`, bound to `addr` (port 0 = any).
+fn backend(dir: &Path, addr: SocketAddr) -> HttpServer {
+    let svc = Arc::new(
+        LightorService::open(dir, models(), platform(), ServiceConfig::default()).unwrap(),
+    );
+    HttpServer::bind(addr, svc, ServerConfig::default()).unwrap()
+}
+
+/// A router over `backends` with test-fast probing and retries.
+fn router(backends: Vec<SocketAddr>) -> RouterServer {
+    let cfg = ClusterConfig {
+        connect_timeout: Duration::from_millis(250),
+        request_timeout: Duration::from_secs(5),
+        probe_timeout: Duration::from_millis(250),
+        health: HealthPolicy {
+            down_after: 3,
+            recover_after: 2,
+            probe_interval: Duration::from_millis(50),
+            probe_backoff_base: Duration::from_millis(50),
+            probe_backoff_max: Duration::from_millis(200),
+        },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+        },
+        ..ClusterConfig::new(backends)
+    };
+    RouterServer::bind(("127.0.0.1", 0), cfg, ServerConfig::default()).unwrap()
+}
+
+fn catalog() -> Vec<u64> {
+    let p = platform();
+    let mut ids: Vec<u64> = p.all_videos().map(|v| v.video.meta.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn upload_json(video: u64) -> String {
+    serde_json::to_string(&SessionUpload {
+        video,
+        client: 1,
+        events: vec![
+            EventDto::Play { at: 10.0 },
+            EventDto::Pause { at: 25.0 },
+            EventDto::Leave { at: 25.0 },
+        ],
+    })
+    .unwrap()
+}
+
+fn wait_for_health(router: &RouterServer, idx: usize, want: HealthState, within: Duration) -> bool {
+    let deadline = Instant::now() + within;
+    while Instant::now() < deadline {
+        if router.cluster().backend_health(idx) == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn router_proxies_routes_and_aggregates_stats() {
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("agg{i}"))).collect();
+    let backends: Vec<HttpServer> = dirs
+        .iter()
+        .map(|d| backend(&d.0, "127.0.0.1:0".parse().unwrap()))
+        .collect();
+    let router = router(backends.iter().map(|b| b.local_addr()).collect());
+    let mut client = HttpClient::connect(router.local_addr()).unwrap();
+
+    // Router healthz: its own DTO, all shards healthy.
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    let hz: RouterHealthzResponse = resp.json().unwrap();
+    assert_eq!(hz.status, "ok");
+    assert_eq!(hz.backends.len(), 3);
+    assert!(hz.backends.iter().all(|b| b.health == "healthy"));
+
+    // Dots through the router match the owning shard's direct answer.
+    let vid = catalog()[0];
+    let via_router = client.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(via_router.status, 200, "{}", via_router.body_str());
+    let routed: DotsResponse = via_router.json().unwrap();
+    let shard = router.cluster().shard_for(vid);
+    let mut direct = HttpClient::connect(backends[shard].local_addr()).unwrap();
+    let direct_dots: DotsResponse = direct
+        .get(&format!("/video/{vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(routed, direct_dots);
+
+    // Sessions route by the video id inside the body.
+    let resp = client.post_json("/sessions", &upload_json(vid)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    // Garbage bodies bounce at the router with 400, not a proxy error.
+    let resp = client.post_json("/sessions", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+    // Unroutable paths answer 404 from the router itself.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+
+    // Compact broadcasts to every shard and sums the results.
+    let resp = client.post_json("/admin/compact", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let _: CompactResponse = resp.json().unwrap();
+
+    // Stats aggregate per-shard health, counters, and backend stats.
+    let resp = client.get("/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    let stats: RouterStatsResponse = resp.json().unwrap();
+    assert!(stats.requests >= 5);
+    assert_eq!(stats.backends.len(), 3);
+    assert!(stats.backends.iter().all(|b| b.health == "healthy"));
+    assert!(
+        stats.backends.iter().all(|b| b.stats.is_some()),
+        "live shards answer the stats sweep"
+    );
+    let owner = &stats.backends[shard];
+    assert!(owner.proxied >= 2, "dots + session went to the owner");
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn router_trips_a_dead_shard_and_recovers_it() {
+    let dirs: Vec<TempDir> = (0..2).map(|i| TempDir::new(&format!("trip{i}"))).collect();
+    let mut backends: Vec<Option<HttpServer>> = dirs
+        .iter()
+        .map(|d| Some(backend(&d.0, "127.0.0.1:0".parse().unwrap())))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().local_addr())
+        .collect();
+    let router = router(addrs.clone());
+    let mut client = HttpClient::connect(router.local_addr()).unwrap();
+
+    // Find one video per shard (the ring is deterministic; the fixture
+    // catalog covers both shards).
+    let ids = catalog();
+    let victim_vid = ids[0];
+    let victim = router.cluster().shard_for(victim_vid);
+    let survivor_vid = *ids
+        .iter()
+        .find(|&&v| router.cluster().shard_for(v) != victim)
+        .expect("catalog must span both shards");
+
+    // Warm both shards (initializes + persists the dots).
+    let before: DotsResponse = client
+        .get(&format!("/video/{victim_vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        client
+            .get(&format!("/video/{survivor_vid}/dots"))
+            .unwrap()
+            .status,
+        200
+    );
+
+    // Kill the victim shard and wait for the breaker to trip.
+    backends[victim].take().unwrap().shutdown();
+    assert!(
+        wait_for_health(&router, victim, HealthState::Down, Duration::from_secs(10)),
+        "probes must trip the dead shard to down"
+    );
+
+    // Router healthz reflects the partial outage.
+    let hz: RouterHealthzResponse = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(hz.status, "degraded");
+    assert_eq!(hz.backends[victim].health, "down");
+
+    // Requests to the down shard fast-fail 503 with a Retry-After;
+    // the surviving shard keeps answering 200 — never a 5xx.
+    for _ in 0..5 {
+        let resp = client.get(&format!("/video/{victim_vid}/dots")).unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.body_str());
+        assert!(
+            resp.header("retry-after").is_some(),
+            "503 carries Retry-After"
+        );
+        let resp = client
+            .post_json("/sessions", &upload_json(victim_vid))
+            .unwrap();
+        assert_eq!(resp.status, 503, "writes fast-fail too");
+        let resp = client.get(&format!("/video/{survivor_vid}/dots")).unwrap();
+        assert_eq!(resp.status, 200, "healthy shard must not see 5xx");
+    }
+    let stats: RouterStatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert!(stats.backends[victim].breaker_trips >= 1);
+    assert!(stats.backends[victim].probe_failures >= 1);
+    assert!(
+        stats.backends[victim].stats.is_none(),
+        "down shard: no stats"
+    );
+
+    // Restart the shard on its old address and old data dir: probes
+    // must walk it down → recovering → healthy, and the refined dots
+    // it acknowledged before the kill must still be there.
+    backends[victim] = Some(backend(&dirs[victim].0, addrs[victim]));
+    assert!(
+        wait_for_health(
+            &router,
+            victim,
+            HealthState::Healthy,
+            Duration::from_secs(10)
+        ),
+        "probes must walk the restarted shard back to healthy"
+    );
+    let resp = client.get(&format!("/video/{victim_vid}/dots")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let after: DotsResponse = resp.json().unwrap();
+    assert_eq!(after, before, "persisted dots survive the restart");
+
+    router.shutdown();
+    for b in backends.into_iter().flatten() {
+        b.shutdown();
+    }
+}

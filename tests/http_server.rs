@@ -523,3 +523,86 @@ fn backlog_overflow_sheds_load_with_503() {
     assert_eq!(resp.status, 503, "{}", resp.body_str());
     server.shutdown();
 }
+
+/// A plausible short viewing session for upload bodies.
+fn sample_session() -> Session {
+    use lightor_types::{Interaction, Sec, UserId};
+    Session::new(
+        UserId(5),
+        vec![
+            Interaction::Play {
+                video_ts: Sec(10.0),
+            },
+            Interaction::Pause {
+                video_ts: Sec(22.0),
+            },
+            Interaction::Leave {
+                video_ts: Sec(22.0),
+            },
+        ],
+    )
+}
+
+#[test]
+fn degraded_service_serves_warm_reads_and_503s_writes() {
+    use lightor_platform::{Fault, FaultKind};
+
+    let dir = TempDir::new("degraded");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 4070);
+    let vids = platform.recent_videos(platform.channels()[0].id).to_vec();
+    let svc = Arc::new(
+        LightorService::open(&dir.0, models(4071), platform, ServiceConfig::default()).unwrap(),
+    );
+    let server = HttpServer::bind(("127.0.0.1", 0), svc.clone(), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Warm one video, then make the next persistence attempt fail: the
+    // cold open answers 500 and flips the service read-only.
+    assert_eq!(
+        client
+            .get(&format!("/video/{}/dots", vids[0].0))
+            .unwrap()
+            .status,
+        200
+    );
+    svc.fault_injector()
+        .arm(Fault::once("kv.wal.write", FaultKind::Error));
+    let resp = client.get(&format!("/video/{}/dots", vids[1].0)).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert!(stats.degraded, "degraded must be visible in /stats");
+
+    // Read-only mode: warm reads still answer; writes are refused with
+    // 503 + Retry-After instead of acknowledging what cannot be kept.
+    assert_eq!(
+        client
+            .get(&format!("/video/{}/dots", vids[0].0))
+            .unwrap()
+            .status,
+        200,
+        "warm reads must survive degraded mode"
+    );
+    let resp = client
+        .post_json("/sessions", &upload_json(vids[0].0, &sample_session()))
+        .unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert!(
+        resp.header("retry-after").is_some(),
+        "503 carries Retry-After"
+    );
+    let resp = client
+        .post_json(&format!("/video/{}/rescore", vids[0].0), "")
+        .unwrap();
+    assert_eq!(resp.status, 503, "rescore is a write too");
+
+    // Compaction is the repair path: it stays allowed, and success
+    // clears the flag and re-opens the write path.
+    assert_eq!(client.post_json("/admin/compact", "").unwrap().status, 200);
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert!(!stats.degraded, "successful compaction must clear degraded");
+    let resp = client
+        .post_json("/sessions", &upload_json(vids[0].0, &sample_session()))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    server.shutdown();
+}

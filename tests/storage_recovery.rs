@@ -6,7 +6,9 @@ use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
 use lightor_chatsim::{dota2_dataset, SimPlatform};
 use lightor_crowdsim::Campaign;
 use lightor_eval::harness::{train_initializer, train_type_classifier};
-use lightor_platform::{ChatStore, Crawler, LightorService, ServiceConfig};
+use lightor_platform::{
+    ChatStore, Crawler, Fault, FaultInjector, FaultKind, LightorService, ServiceConfig,
+};
 use lightor_types::{ChannelId, GameKind};
 use std::path::PathBuf;
 
@@ -175,6 +177,155 @@ fn compact_storage_snapshots_kv_and_reports_counters() {
     assert_eq!(after.kv_wal_bytes, 0, "snapshot must retire the WAL");
     assert!(after.kv_shard_rewrites > 0);
     assert_eq!(after.chat_dead_bytes, 0);
+}
+
+/// A WAL append whose `sync_data` is injected to fail must not
+/// acknowledge: the service flips degraded, the trimmed WAL stays
+/// clean, and a restart serves exactly the pre-failure state.
+#[test]
+fn injected_wal_sync_failure_degrades_without_corrupting() {
+    let dir = TempDir::new("sync-fault");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3101);
+    let vids = platform.recent_videos(platform.channels()[0].id).to_vec();
+
+    let before = {
+        let svc = LightorService::open(
+            &dir.0,
+            models(3102),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.open_video(vids[0]).unwrap().unwrap();
+        let good = svc.video_state(vids[0]).unwrap();
+
+        // The next WAL append writes fully but its sync fails: the
+        // frame must be trimmed and the write reported as failed.
+        svc.fault_injector()
+            .arm(Fault::once("kv.wal.sync", FaultKind::Error));
+        let err = svc.open_video(vids[1]).unwrap_err();
+        assert_eq!(err.to_string(), "injected fault at kv.wal.sync");
+        assert!(svc.is_degraded(), "failed persistence must flip degraded");
+        assert!(svc.stats().degraded);
+        assert_eq!(svc.fault_injector().fired("kv.wal.sync"), 1);
+        good
+    };
+
+    // Restart: the unsynced frame was trimmed, so replay is clean and
+    // only the acknowledged video is there.
+    let svc2 = LightorService::open(
+        &dir.0,
+        models(3102),
+        platform.clone(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(svc2.video_state(vids[0]).unwrap(), before);
+    assert!(
+        svc2.video_state(vids[1]).is_none(),
+        "unacknowledged state must not reappear"
+    );
+    assert!(
+        !svc2.is_degraded(),
+        "degraded does not persist across opens"
+    );
+    // The store still works: the failed video can be re-opened cleanly.
+    svc2.open_video(vids[1]).unwrap().unwrap();
+}
+
+/// A torn WAL append — the write dies mid-frame, the partial bytes hit
+/// disk, and even the cleanup `set_len` fails — leaves a genuinely
+/// durable torn tail. Replay at the next open must truncate it and
+/// recover every acknowledged record, for a tear inside the frame
+/// header and for one inside the CRC-covered payload.
+#[test]
+fn injected_torn_wal_tail_is_truncated_on_recovery() {
+    for (keep, tag) in [(5usize, "header"), (32usize, "payload")] {
+        let dir = TempDir::new(&format!("torn-{tag}"));
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3103);
+        let vids = platform.recent_videos(platform.channels()[0].id).to_vec();
+
+        let before = {
+            let svc = LightorService::open(
+                &dir.0,
+                models(3104),
+                platform.clone(),
+                ServiceConfig::default(),
+            )
+            .unwrap();
+            svc.open_video(vids[0]).unwrap().unwrap();
+            let good = svc.video_state(vids[0]).unwrap();
+
+            // Tear the next append after `keep` durable bytes AND fail
+            // the trim that would normally clean up, so the torn frame
+            // really reaches disk — the crash-mid-write worst case.
+            let inj: &FaultInjector = svc.fault_injector();
+            inj.arm(Fault::once("kv.wal.write", FaultKind::TornWrite { keep }));
+            inj.arm(Fault::once("kv.wal.trim", FaultKind::Error));
+            svc.open_video(vids[1]).unwrap_err();
+            assert!(svc.is_degraded());
+            assert_eq!(inj.fired("kv.wal.write"), 1, "torn write fired ({tag})");
+            assert_eq!(inj.fired("kv.wal.trim"), 1, "trim failure fired ({tag})");
+            good
+        };
+
+        // The WAL now ends in a torn frame. Recovery must truncate it,
+        // keep the acknowledged record, and accept new writes.
+        let svc2 = LightorService::open(
+            &dir.0,
+            models(3104),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            svc2.video_state(vids[0]).unwrap(),
+            before,
+            "acknowledged state lost to a torn tail ({tag})"
+        );
+        assert!(
+            svc2.video_state(vids[1]).is_none(),
+            "torn frame must not replay ({tag})"
+        );
+        svc2.open_video(vids[1]).unwrap().unwrap();
+        assert!(svc2.video_state(vids[1]).is_some());
+    }
+}
+
+/// A degraded service heals through `compact_storage`: the successful
+/// snapshot proves persistence works again and clears the flag.
+#[test]
+fn compaction_clears_degraded_mode() {
+    let dir = TempDir::new("heal");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3105);
+    let vids = platform.recent_videos(platform.channels()[0].id).to_vec();
+    let svc = LightorService::open(
+        &dir.0,
+        models(3106),
+        platform.clone(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    svc.open_video(vids[0]).unwrap().unwrap();
+
+    svc.fault_injector()
+        .arm(Fault::once("kv.wal.write", FaultKind::Error));
+    svc.open_video(vids[1]).unwrap_err();
+    assert!(svc.is_degraded());
+    // Warm reads still work while degraded (read-only mode). Even the
+    // failed video reads warm: open_video publishes to memory before
+    // persisting, so only its durability was lost.
+    assert!(svc.cached_dots(vids[0]).is_some());
+    assert!(svc.cached_dots(vids[1]).is_some());
+
+    // …and a successful compaction (fault was once-only) heals it.
+    svc.compact_storage().unwrap();
+    assert!(
+        !svc.is_degraded(),
+        "successful compaction must clear degraded"
+    );
+    assert!(!svc.stats().degraded);
+    svc.open_video(vids[1]).unwrap().unwrap();
 }
 
 /// The crawler's re-crawl path accumulates dead bytes in the chat log

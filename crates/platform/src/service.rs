@@ -28,6 +28,7 @@
 use crate::cache::LruCache;
 use crate::crawler::Crawler;
 use crate::store::{ChatStore, FaultInjector, KvStore};
+use crate::wire::{self, BundleDto, BundleEntryDto, ExportRequest, ImportResponse};
 use lightor::{
     aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, ModelBundle,
     TokenizedChat,
@@ -40,6 +41,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -141,6 +143,12 @@ pub struct LightorService {
     /// Set when persistence hits an I/O error: warm reads keep working,
     /// writes are refused until storage recovers (successful compact).
     degraded: AtomicBool,
+    /// Per-video write-freeze deadlines — the migration cutover window.
+    /// Frozen videos answer writes with 503 + Retry-After at the HTTP
+    /// edge until the deadline passes (expiry is lazy, on lookup), so a
+    /// stalled migration can never block refinement for longer than the
+    /// TTL it asked for. Leaf lock: never held across any other lock.
+    frozen: Mutex<HashMap<VideoId, Instant>>,
 }
 
 impl LightorService {
@@ -193,6 +201,7 @@ impl LightorService {
             corpora: Mutex::new(LruCache::new(cfg.corpus_cache_cap.max(1))),
             fault,
             degraded: AtomicBool::new(false),
+            frozen: Mutex::new(HashMap::new()),
         })
     }
 
@@ -485,6 +494,212 @@ impl LightorService {
         self.corpora.lock().clear();
     }
 
+    /// Freeze writes to `videos` for `ttl` — the migration cutover
+    /// window. While frozen, the HTTP edge refuses session uploads for
+    /// those videos with `503 Retry-After` so the final WAL-tail delta
+    /// the exporter ships is complete. The TTL structurally bounds the
+    /// window: a crashed or stalled migration driver cannot leave a
+    /// video frozen forever.
+    pub fn freeze_videos(&self, videos: &[VideoId], ttl: Duration) {
+        let deadline = Instant::now() + ttl;
+        let mut frozen = self.frozen.lock();
+        for &v in videos {
+            frozen.insert(v, deadline);
+        }
+    }
+
+    /// Remaining freeze time on `video`, or `None` when it is not
+    /// frozen. Expired freezes are reaped on lookup.
+    pub fn frozen_for(&self, video: VideoId) -> Option<Duration> {
+        let mut frozen = self.frozen.lock();
+        let deadline = *frozen.get(&video)?;
+        let now = Instant::now();
+        if now >= deadline {
+            frozen.remove(&video);
+            return None;
+        }
+        Some(deadline - now)
+    }
+
+    /// Lift every active freeze — the handoff completed (or was
+    /// abandoned) before the TTLs ran out.
+    pub fn unfreeze_all(&self) {
+        self.frozen.lock().clear();
+    }
+
+    /// Export a consistent migration bundle: per-video refinement state
+    /// newer than `req.since_seq` plus (on full exports, `since_seq ==
+    /// 0`) the raw chat records, CRC-framed. `req.freeze_ms > 0` arms
+    /// the write freeze on the exported videos first, so the returned
+    /// bundle is the final word on their state for the freeze window —
+    /// the cutover protocol is: bulk export (no freeze) → import →
+    /// freeze + delta export (`since_seq` = bulk's `as_of_seq`) →
+    /// import delta → swap ring → unfreeze.
+    pub fn export_bundle(&self, req: &ExportRequest) -> std::io::Result<BundleDto> {
+        let mut requested: Vec<VideoId> = req.videos.iter().copied().map(VideoId).collect();
+        requested.sort_unstable_by_key(|v| v.0);
+        requested.dedup();
+        if req.freeze_ms > 0 {
+            let targets: Vec<VideoId> = if requested.is_empty() {
+                self.videos.read().keys().copied().collect()
+            } else {
+                requested.clone()
+            };
+            self.freeze_videos(&targets, Duration::from_millis(req.freeze_ms));
+        }
+        let stores = self.stores.lock();
+        let ids = if requested.is_empty() {
+            Self::all_video_ids(&stores.chat, &stores.kv)
+        } else {
+            requested
+        };
+        let changed: HashMap<String, serde_json::Value> = stores
+            .kv
+            .export_since("video:", req.since_seq)
+            .into_iter()
+            .collect();
+        let mut entries = Vec::new();
+        for v in ids {
+            let state = changed.get(&format!("video:{}", v.0)).cloned();
+            let chat_hex = if req.since_seq == 0 {
+                stores.chat.export_record(v)?.map(|b| wire::hex_encode(&b))
+            } else {
+                None
+            };
+            if state.is_some() || chat_hex.is_some() {
+                entries.push(BundleEntryDto {
+                    video: v.0,
+                    state,
+                    chat_hex,
+                });
+            }
+        }
+        let crc32 = wire::bundle_crc(&entries);
+        Ok(BundleDto {
+            format_version: 1,
+            as_of_seq: stores.kv.current_seq(),
+            entries,
+            crc32,
+        })
+    }
+
+    /// Apply a migration bundle: verify its CRC, then append chat
+    /// records, persist refinement states, and publish them to the
+    /// in-memory map so reads serve the migrated videos immediately.
+    /// Idempotent — byte-identical chat records already stored are
+    /// skipped (re-imports don't orphan log bytes) and state re-puts
+    /// are plain overwrites.
+    pub fn import_bundle(&self, bundle: &BundleDto) -> std::io::Result<ImportResponse> {
+        use std::io::{Error, ErrorKind};
+        if bundle.format_version != 1 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "unsupported bundle format_version {}",
+                    bundle.format_version
+                ),
+            ));
+        }
+        if wire::bundle_crc(&bundle.entries) != bundle.crc32 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "bundle CRC mismatch — refusing to apply corrupted entries",
+            ));
+        }
+        let mut states_applied = 0;
+        let mut chats_applied = 0;
+        let mut restored: Vec<(VideoId, VideoState)> = Vec::new();
+        {
+            let mut stores = self.stores.lock();
+            for entry in &bundle.entries {
+                let video = VideoId(entry.video);
+                if let Some(hex) = &entry.chat_hex {
+                    let bytes = wire::hex_decode(hex).ok_or_else(|| {
+                        Error::new(
+                            ErrorKind::InvalidData,
+                            format!("bundle chat payload for video {} is not hex", entry.video),
+                        )
+                    })?;
+                    if stores.chat.export_record(video)?.as_deref() != Some(bytes.as_slice()) {
+                        stores.chat.import_record(video, bytes)?;
+                        chats_applied += 1;
+                    }
+                }
+                if let Some(state) = &entry.state {
+                    let parsed: VideoState = serde_json::from_value_ref(state).map_err(|e| {
+                        Error::new(
+                            ErrorKind::InvalidData,
+                            format!("bundle state for video {}: {e:?}", entry.video),
+                        )
+                    })?;
+                    stores.kv.put(&format!("video:{}", entry.video), state)?;
+                    states_applied += 1;
+                    restored.push((video, parsed));
+                }
+            }
+        }
+        // Publish after the stores lock is released (lock order is
+        // videos map → stores; never the reverse).
+        if !restored.is_empty() {
+            let mut map = self.videos.write();
+            for (video, state) in restored {
+                map.insert(video, Arc::new(Mutex::new(state)));
+            }
+        }
+        Ok(ImportResponse {
+            videos: bundle.entries.len(),
+            states_applied,
+            chats_applied,
+        })
+    }
+
+    /// Rebuild a full migration bundle straight from a (possibly dead)
+    /// service's data directory — the crash-replacement source when the
+    /// owning process is gone. Opening the stores replays the KV WAL
+    /// tail and drops any torn chat-log tail, so the bundle reflects
+    /// exactly the acknowledged state at the crash: "last snapshot +
+    /// WAL tail" with no live process required.
+    pub fn bundle_from_dir(dir: &Path) -> std::io::Result<BundleDto> {
+        let chat = ChatStore::open(dir.join("chat"))?;
+        let kv = KvStore::open(dir.join("state"))?;
+        let mut entries = Vec::new();
+        for v in Self::all_video_ids(&chat, &kv) {
+            let state = kv.get::<serde_json::Value>(&format!("video:{}", v.0));
+            let chat_hex = chat.export_record(v)?.map(|b| wire::hex_encode(&b));
+            if state.is_some() || chat_hex.is_some() {
+                entries.push(BundleEntryDto {
+                    video: v.0,
+                    state,
+                    chat_hex,
+                });
+            }
+        }
+        let crc32 = wire::bundle_crc(&entries);
+        Ok(BundleDto {
+            format_version: 1,
+            as_of_seq: kv.current_seq(),
+            entries,
+            crc32,
+        })
+    }
+
+    /// Union of videos with stored chat and videos with persisted
+    /// refinement state, sorted by id.
+    fn all_video_ids(chat: &ChatStore, kv: &KvStore) -> Vec<VideoId> {
+        let mut ids = chat.videos();
+        for key in kv.keys_with_prefix("video:") {
+            if let Some(id) = key
+                .strip_prefix("video:")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                ids.push(VideoId(id));
+            }
+        }
+        ids.sort_unstable_by_key(|v| v.0);
+        ids.dedup();
+        ids
+    }
+
     fn current_dots(state: &VideoState) -> Vec<RedDot> {
         state
             .dots
@@ -748,5 +963,161 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.tracked_videos, vids.len());
         assert_eq!(stats.stored_videos, vids.len());
+    }
+
+    #[test]
+    fn freeze_expires_by_ttl_and_lifts_on_unfreeze() {
+        let dir = TempDir::new("freeze");
+        let svc = service(&dir.0);
+        let vid = VideoId(42);
+        assert!(svc.frozen_for(vid).is_none());
+
+        svc.freeze_videos(&[vid], std::time::Duration::from_millis(40));
+        let remaining = svc.frozen_for(vid).expect("freeze is armed");
+        assert!(remaining <= std::time::Duration::from_millis(40));
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(svc.frozen_for(vid).is_none(), "TTL bounds the freeze");
+
+        svc.freeze_videos(&[vid], std::time::Duration::from_secs(60));
+        assert!(svc.frozen_for(vid).is_some());
+        svc.unfreeze_all();
+        assert!(svc.frozen_for(vid).is_none());
+    }
+
+    #[test]
+    fn export_import_migrates_a_video_with_its_refined_state() {
+        let src_dir = TempDir::new("exp-src");
+        let dst_dir = TempDir::new("exp-dst");
+        let src = service(&src_dir.0);
+        let dst = service(&dst_dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+        let truth = platform.ground_truth(vid).unwrap().clone();
+
+        // Refine on the source so the bundle carries non-initial state.
+        let dots = src.open_video(vid).unwrap().unwrap();
+        let mut campaign = Campaign::new(60, 95);
+        for dot in &dots {
+            let result = campaign.run_task(&truth.video, dot.at, 12);
+            for session in &result.sessions {
+                src.log_session(vid, session);
+            }
+        }
+        src.refine_video(vid).unwrap();
+        let refined = src.cached_dots(vid).unwrap();
+
+        // Bulk copy: full bundle (chat + state), no freeze.
+        let bulk = src
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![vid.0],
+                since_seq: 0,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        assert_eq!(bulk.entries.len(), 1);
+        assert!(bulk.entries[0].state.is_some());
+        assert!(bulk.entries[0].chat_hex.is_some());
+        let applied = dst.import_bundle(&bulk).unwrap();
+        assert_eq!(applied.states_applied, 1);
+        assert_eq!(applied.chats_applied, 1);
+        assert_eq!(dst.cached_dots(vid).unwrap(), refined);
+        assert_eq!(dst.stored_videos(), 1);
+
+        // More refinement lands on the source after the bulk copy …
+        for dot in &refined {
+            let result = campaign.run_task(&truth.video, dot.at, 12);
+            for session in &result.sessions {
+                src.log_session(vid, session);
+            }
+        }
+        src.refine_video(vid).unwrap();
+
+        // … and the frozen delta ships only the state that changed.
+        let delta = src
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![vid.0],
+                since_seq: bulk.as_of_seq,
+                freeze_ms: 500,
+            })
+            .unwrap();
+        assert!(src.frozen_for(vid).is_some(), "delta export armed freeze");
+        assert_eq!(delta.entries.len(), 1);
+        assert!(delta.entries[0].state.is_some());
+        assert!(
+            delta.entries[0].chat_hex.is_none(),
+            "chat is immutable post-crawl; deltas ship state only"
+        );
+        dst.import_bundle(&delta).unwrap();
+        assert_eq!(dst.cached_dots(vid).unwrap(), src.cached_dots(vid).unwrap());
+        src.unfreeze_all();
+
+        // Re-import is idempotent: no new chat bytes appended.
+        let again = dst.import_bundle(&bulk).unwrap();
+        assert_eq!(again.chats_applied, 0);
+    }
+
+    #[test]
+    fn import_refuses_corrupted_bundles() {
+        let src_dir = TempDir::new("crc-src");
+        let dst_dir = TempDir::new("crc-dst");
+        let src = service(&src_dir.0);
+        let dst = service(&dst_dir.0);
+        let p = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = p.recent_videos(p.channels()[0].id)[0];
+        src.open_video(vid).unwrap().unwrap();
+
+        let mut bundle = src
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![],
+                since_seq: 0,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        bundle.entries[0].video ^= 1;
+        let err = dst.import_bundle(&bundle).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(dst.stored_videos(), 0, "nothing applied from a bad bundle");
+
+        bundle.entries[0].video ^= 1;
+        bundle.format_version = 99;
+        let err = dst.import_bundle(&bundle).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bundle_from_dir_restores_a_dead_services_state() {
+        let dead_dir = TempDir::new("dead");
+        let fresh_dir = TempDir::new("fresh");
+        let vid;
+        let refined;
+        {
+            let svc = service(&dead_dir.0);
+            let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+            vid = platform.recent_videos(platform.channels()[0].id)[0];
+            let truth = platform.ground_truth(vid).unwrap().clone();
+            let dots = svc.open_video(vid).unwrap().unwrap();
+            let mut campaign = Campaign::new(60, 96);
+            for dot in &dots {
+                let result = campaign.run_task(&truth.video, dot.at, 12);
+                for session in &result.sessions {
+                    svc.log_session(vid, session);
+                }
+            }
+            svc.refine_video(vid).unwrap();
+            refined = svc.cached_dots(vid).unwrap();
+            // Dropped here: the "dead" process. Its directory is all
+            // that survives.
+        }
+        let bundle = LightorService::bundle_from_dir(&dead_dir.0).unwrap();
+        assert!(!bundle.entries.is_empty());
+        let fresh = service(&fresh_dir.0);
+        let applied = fresh.import_bundle(&bundle).unwrap();
+        assert_eq!(applied.states_applied, 1);
+        assert_eq!(applied.chats_applied, 1);
+        assert_eq!(
+            fresh.cached_dots(vid).unwrap(),
+            refined,
+            "refined dots survive the crash-restore"
+        );
     }
 }

@@ -206,6 +206,40 @@ impl ChatStore {
         Ok(())
     }
 
+    /// Export a video's live chat record as raw (already encoded)
+    /// payload bytes — the migration-bundle path. The bytes are exactly
+    /// what [`ChatStore::import_record`] on the destination appends, so
+    /// a shipped record reads back byte-for-byte identical (format
+    /// version included).
+    pub fn export_record(&self, video: VideoId) -> std::io::Result<Option<Vec<u8>>> {
+        match self.index.get(&video) {
+            Some(entry) => self.log.read(entry.id).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Import a raw record payload (from a migration bundle) for
+    /// `video`, durably, replacing any record the store already holds
+    /// for it. The payload must sniff as a chat record for this video —
+    /// a bundle routed to the wrong video id is rejected as
+    /// `InvalidData` rather than silently indexed under the wrong key.
+    pub fn import_record(&mut self, video: VideoId, payload: Vec<u8>) -> std::io::Result<()> {
+        match format::sniff(&payload) {
+            Some(info) if info.video == video => self.put_one_synced(payload, video),
+            Some(info) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "bundle record for video {} arrived under video {}",
+                    info.video.0, video.0
+                ),
+            )),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bundle record does not sniff as a chat record",
+            )),
+        }
+    }
+
     /// Fetch a video's chat replay as a zero-copy view, if crawled.
     ///
     /// The fast path: a cache hit is a hash lookup plus an `Arc` bump;
@@ -240,6 +274,14 @@ impl ChatStore {
     /// Number of distinct videos stored.
     pub fn video_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// Every video with a stored chat record, sorted by id — the
+    /// migration driver's catalog of what a full bundle must carry.
+    pub fn videos(&self) -> Vec<VideoId> {
+        let mut ids: Vec<VideoId> = self.index.keys().copied().collect();
+        ids.sort_unstable_by_key(|v| v.0);
+        ids
     }
 
     /// Legacy v1 records still live in the log (they upgrade to v2 on
@@ -498,6 +540,50 @@ mod tests {
         // ...and the legacy/truncation counters report the migration state.
         assert_eq!(store.v1_records(), 2);
         assert_eq!(store.v1_truncated_records(), 1);
+    }
+
+    #[test]
+    fn export_import_ships_records_byte_for_byte() {
+        let src_dir = TempDir::new("export-src");
+        let dst_dir = TempDir::new("export-dst");
+        let mut src = ChatStore::open(&src_dir.0).unwrap();
+        let chat = sample_chat();
+        src.put_chat(VideoId(1), &chat).unwrap();
+        src.put_chat(VideoId(2), &ChatLog::empty()).unwrap();
+        assert!(src.export_record(VideoId(99)).unwrap().is_none());
+
+        let mut dst = ChatStore::open(&dst_dir.0).unwrap();
+        for vid in [VideoId(1), VideoId(2)] {
+            let payload = src.export_record(vid).unwrap().unwrap();
+            dst.import_record(vid, payload).unwrap();
+        }
+        assert_eq!(dst.get_chat(VideoId(1)).unwrap().unwrap(), chat);
+        assert_eq!(dst.get_chat(VideoId(2)).unwrap().unwrap(), ChatLog::empty());
+        // The shipped bytes are identical to the source's (same format,
+        // same payload) and durable across a destination reopen.
+        assert_eq!(
+            src.export_record(VideoId(1)).unwrap(),
+            dst.export_record(VideoId(1)).unwrap()
+        );
+        drop(dst);
+        let dst = ChatStore::open(&dst_dir.0).unwrap();
+        assert_eq!(dst.get_chat(VideoId(1)).unwrap().unwrap(), chat);
+    }
+
+    #[test]
+    fn import_rejects_mismatched_or_garbage_records() {
+        let dir = TempDir::new("import-bad");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        // A record encoded for video 1 must not import under video 2.
+        let payload = format::encode_v2(VideoId(1), &sample_chat());
+        let err = store.import_record(VideoId(2), payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Garbage bytes are rejected before touching the log.
+        let err = store
+            .import_record(VideoId(1), b"not a chat record".to_vec())
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(store.video_count(), 0);
     }
 
     #[test]

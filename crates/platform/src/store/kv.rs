@@ -101,6 +101,14 @@ pub struct KvStore {
     wal_appends: u64,
     shard_rewrites: u64,
     fault: FaultInjector,
+    /// Monotonic in-memory op sequence — the migration watermark. Keys
+    /// present at open (snapshot + replayed WAL tail) all carry seq 1;
+    /// every later `put`/`remove` bumps the counter. The counter resets
+    /// on reopen, so delta exports are only meaningful within one
+    /// process lifetime (a restarted source re-exports in full).
+    seq: u64,
+    /// Last mutation seq per live key.
+    seqs: BTreeMap<String, u64>,
 }
 
 /// Shard a key by its prefix segment (up to and including the first
@@ -237,6 +245,8 @@ impl KvStore {
         sync_dir(&dir)?;
         sync_parent(&dir)?;
 
+        let seq = u64::from(!map.is_empty());
+        let seqs: BTreeMap<String, u64> = map.keys().map(|k| (k.clone(), seq)).collect();
         let mut store = KvStore {
             dir,
             cfg,
@@ -248,6 +258,8 @@ impl KvStore {
             wal_appends: 0,
             shard_rewrites: 0,
             fault: FaultInjector::new(),
+            seq,
+            seqs,
         };
         // Migration writes through immediately, and only then retires
         // the staged legacy file — the point of no return comes after
@@ -320,6 +332,8 @@ impl KvStore {
         self.append_wal(payload.as_bytes())?;
         self.dirty[shard_of(key)] = true;
         self.map.insert(key.to_owned(), v);
+        self.seq += 1;
+        self.seqs.insert(key.to_owned(), self.seq);
         self.maybe_snapshot()
     }
 
@@ -341,8 +355,31 @@ impl KvStore {
         self.append_wal(format!("[\"r\",{key_json}]").as_bytes())?;
         self.dirty[shard_of(key)] = true;
         self.map.remove(key);
+        self.seq += 1;
+        self.seqs.remove(key);
         self.maybe_snapshot()?;
         Ok(true)
+    }
+
+    /// The current op-sequence watermark: the seq of the most recent
+    /// mutation (0 for a store that has never held a key). Monotonic
+    /// within one open; resets on reopen (see the `seq` field docs).
+    pub fn current_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Export every live `(key, value)` under `prefix` whose last
+    /// mutation seq is *greater than* `since` (`since = 0` exports the
+    /// full prefix). The companion watermark for a later delta export
+    /// is [`KvStore::current_seq`] sampled at the same moment — the
+    /// snapshot + WAL-tail shipping primitive for live shard migration.
+    pub fn export_since(&self, prefix: &str, since: u64) -> Vec<(String, serde_json::Value)> {
+        self.map
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter(|(k, _)| self.seqs.get(*k).copied().unwrap_or(0) > since)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// All keys with the given prefix, sorted.
@@ -749,6 +786,73 @@ mod tests {
         assert_eq!(kv.get::<f64>("a"), None);
         assert_eq!(kv.get::<f64>("b"), Some(2.0));
         assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn export_since_tracks_mutation_watermarks() {
+        let d = TempDir::new("export");
+        let mut kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.current_seq(), 0, "empty store starts at watermark 0");
+        kv.put("video:1", &1.0).unwrap();
+        kv.put("video:2", &2.0).unwrap();
+        kv.put("model:main", &9.0).unwrap();
+
+        // Full export: everything under the prefix, nothing else.
+        let full = kv.export_since("video:", 0);
+        assert_eq!(
+            full.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["video:1", "video:2"]
+        );
+
+        // Delta export: only keys mutated after the watermark.
+        let mark = kv.current_seq();
+        assert_eq!(kv.export_since("video:", mark).len(), 0);
+        kv.put("video:2", &2.5).unwrap();
+        let delta = kv.export_since("video:", mark);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].0, "video:2");
+        assert_eq!(serde_json::from_value_ref::<f64>(&delta[0].1).unwrap(), 2.5);
+
+        // Exported values round-trip through put on a second store.
+        let d2 = TempDir::new("export-dst");
+        let mut dst = KvStore::open(&d2.0).unwrap();
+        for (k, v) in kv.export_since("video:", 0) {
+            dst.put(&k, &v).unwrap();
+        }
+        assert_eq!(dst.get::<f64>("video:2"), Some(2.5));
+        assert_eq!(dst.get::<f64>("video:1"), Some(1.0));
+    }
+
+    #[test]
+    fn reopen_resets_the_watermark_to_a_full_export() {
+        let d = TempDir::new("export-reopen");
+        {
+            let mut kv = KvStore::open(&d.0).unwrap();
+            kv.put("video:1", &1.0).unwrap();
+            kv.put("video:2", &2.0).unwrap();
+        }
+        // After a reopen the per-key seqs collapse to 1: a delta export
+        // against a stale watermark would miss keys, so drivers must
+        // re-export in full — and a full export still sees everything.
+        let kv = KvStore::open(&d.0).unwrap();
+        assert_eq!(kv.current_seq(), 1);
+        assert_eq!(kv.export_since("video:", 0).len(), 2);
+        assert_eq!(kv.export_since("video:", 1).len(), 0);
+    }
+
+    #[test]
+    fn removed_keys_leave_the_export_set() {
+        let d = TempDir::new("export-remove");
+        let mut kv = KvStore::open(&d.0).unwrap();
+        kv.put("video:1", &1.0).unwrap();
+        kv.put("video:2", &2.0).unwrap();
+        kv.remove("video:1").unwrap();
+        let keys: Vec<String> = kv
+            .export_since("video:", 0)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec!["video:2".to_owned()]);
     }
 
     #[test]

@@ -208,6 +208,10 @@ pub struct BackendStatsDto {
     pub probe_failures: u64,
     /// Times the circuit breaker tripped this backend into `down`.
     pub breaker_trips: u64,
+    /// True when the aggregation sweep could not reach this backend
+    /// (down, or the sweep request failed) — the aggregate is partial,
+    /// not failed, and this marker says which slice is missing.
+    pub unreachable: bool,
     /// The backend's own `/stats`, when it answered the aggregation
     /// sweep; `None` for a shard that is down.
     pub stats: Option<StatsResponse>,
@@ -224,6 +228,9 @@ pub struct RouterStatsResponse {
     pub errors_5xx: u64,
     /// Listener `accept()` failures at the router itself.
     pub accept_errors: u64,
+    /// Version of the ring currently routing (bumps on every applied
+    /// `POST /admin/ring`).
+    pub ring_version: u64,
     /// One entry per configured backend, in ring order.
     pub backends: Vec<BackendStatsDto>,
 }
@@ -245,6 +252,9 @@ pub struct BackendHealthDto {
 pub struct RouterHealthzResponse {
     /// `"ok"` when every shard is healthy, `"degraded"` otherwise.
     pub status: String,
+    /// Version of the ring currently routing (bumps on every applied
+    /// `POST /admin/ring`).
+    pub ring_version: u64,
     /// Per-shard health, in ring order.
     pub backends: Vec<BackendHealthDto>,
 }
@@ -276,6 +286,140 @@ impl From<crate::store::CompactStats> for CompactResponse {
             live_records: s.live_records,
         }
     }
+}
+
+/// `POST /admin/export` request body: which slice of this backend's
+/// state to bundle up for migration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExportRequest {
+    /// Video ids to export; empty means every video this backend
+    /// tracks.
+    pub videos: Vec<u64>,
+    /// Export only state mutated after this KV watermark (`0` = full
+    /// export, including chat records). A delta export against a
+    /// nonzero watermark ships refinement-state changes only — chat
+    /// records are immutable once crawled, so the bulk copy already
+    /// has them.
+    pub since_seq: u64,
+    /// Freeze writes to the exported videos for up to this many
+    /// milliseconds (`0` = no freeze). The freeze is the cutover
+    /// window: frozen videos answer writes with `503 Retry-After`
+    /// until the TTL expires or the freeze is lifted, bounding how
+    /// long a migration can block refinement.
+    pub freeze_ms: u64,
+}
+
+/// One video's migratable state inside a [`BundleDto`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BundleEntryDto {
+    /// The video this entry belongs to.
+    pub video: u64,
+    /// The video's refinement state (`video:{id}` KV value), when it
+    /// changed since the request's watermark.
+    pub state: Option<serde_json::Value>,
+    /// The video's raw chat record, hex-encoded (the JSON layer has no
+    /// binary transport). `None` on delta exports and for videos whose
+    /// chat was never crawled.
+    pub chat_hex: Option<String>,
+}
+
+/// A consistent migration bundle: the `POST /admin/export` response,
+/// shippable verbatim as the `POST /admin/import` request body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BundleDto {
+    /// Bundle layout version (currently 1).
+    pub format_version: u32,
+    /// The source's KV op watermark at export time — pass as
+    /// `since_seq` on the next delta export to ship only what changed
+    /// after this bundle.
+    pub as_of_seq: u64,
+    /// Per-video state, sorted by video id.
+    pub entries: Vec<BundleEntryDto>,
+    /// CRC-32 over the canonical serialization of `entries` (see
+    /// [`bundle_crc`]); verified on import before anything is applied.
+    pub crc32: u32,
+}
+
+/// `POST /admin/import` response.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ImportResponse {
+    /// Entries in the bundle.
+    pub videos: usize,
+    /// Refinement states applied to the KV store.
+    pub states_applied: usize,
+    /// Chat records appended to the chat store.
+    pub chats_applied: usize,
+}
+
+/// `POST /admin/ring` request body: the new backend set. The router
+/// rebuilds the ring from these addresses, carrying over the health
+/// state and connection pools of addresses it already knows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingUpdateRequest {
+    /// Backend addresses (`host:port`) of the new ring, in ring order.
+    pub backends: Vec<String>,
+}
+
+/// `POST /admin/ring` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingUpdateResponse {
+    /// The new ring's version (monotonic; the boot ring is version 1).
+    pub version: u64,
+    /// The addresses now routing.
+    pub backends: Vec<String>,
+}
+
+/// CRC-32 over the canonical serialization of a bundle's entries:
+/// per entry, the decimal video id, the state's JSON text (or `-`),
+/// and the chat hex (or `-`), each newline-terminated. Deterministic
+/// across processes — the JSON tree preserves map order end to end —
+/// so the importer can verify the shipped bytes before applying any
+/// of them.
+pub fn bundle_crc(entries: &[BundleEntryDto]) -> u32 {
+    let mut buf = Vec::new();
+    for e in entries {
+        buf.extend_from_slice(e.video.to_string().as_bytes());
+        buf.push(b'\n');
+        match &e.state {
+            Some(v) => buf.extend_from_slice(serde_json::value_to_string(v).as_bytes()),
+            None => buf.push(b'-'),
+        }
+        buf.push(b'\n');
+        match &e.chat_hex {
+            Some(h) => buf.extend_from_slice(h.as_bytes()),
+            None => buf.push(b'-'),
+        }
+        buf.push(b'\n');
+    }
+    crate::store::crc32(&buf)
+}
+
+/// Lowercase hex encoding — how bundles carry raw chat-record bytes
+/// through JSON (no binary or base64 support in the vendored layer).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[usize::from(b >> 4)] as char);
+        s.push(HEX[usize::from(b & 0xF)] as char);
+    }
+    s
+}
+
+/// Decode [`hex_encode`] output; `None` on odd length or a non-hex
+/// digit (case-insensitive).
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
 }
 
 /// Why a [`SessionUpload`] was rejected (a 422-style semantic error:
@@ -499,6 +643,7 @@ mod tests {
             requests: 100,
             errors_5xx: 3,
             accept_errors: 1,
+            ring_version: 2,
             backends: vec![
                 BackendStatsDto {
                     addr: "127.0.0.1:7879".into(),
@@ -508,6 +653,7 @@ mod tests {
                     retries: 2,
                     probe_failures: 0,
                     breaker_trips: 0,
+                    unreachable: false,
                     stats: Some(
                         crate::service::ServiceStats {
                             stored_videos: 1,
@@ -524,6 +670,7 @@ mod tests {
                     retries: 6,
                     probe_failures: 9,
                     breaker_trips: 1,
+                    unreachable: true,
                     stats: None,
                 },
             ],
@@ -531,14 +678,18 @@ mod tests {
         let js = serde_json::to_string(&dto).unwrap();
         let back: RouterStatsResponse = serde_json::from_str(&js).unwrap();
         assert_eq!(dto, back);
+        assert_eq!(back.ring_version, 2);
         assert!(back.backends[0].stats.is_some());
+        assert!(!back.backends[0].unreachable);
         assert!(back.backends[1].stats.is_none(), "down shard has no stats");
+        assert!(back.backends[1].unreachable, "partial aggregate is marked");
     }
 
     #[test]
     fn router_healthz_round_trip() {
         let dto = RouterHealthzResponse {
             status: "degraded".into(),
+            ring_version: 1,
             backends: vec![
                 BackendHealthDto {
                     addr: "127.0.0.1:7879".into(),
@@ -669,6 +820,92 @@ mod tests {
         assert_eq!(e.code(), "unknown_video");
         assert!(e.to_string().contains("42"));
         assert!(UploadError::NoEvents.to_string().contains("no events"));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        let hex = hex_encode(&all);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(hex_decode(&hex).unwrap(), all);
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+        assert_eq!(hex_decode(&hex.to_ascii_uppercase()).unwrap(), all);
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex digit");
+    }
+
+    #[test]
+    fn bundle_round_trips_and_crc_detects_tampering() {
+        let entries = vec![
+            BundleEntryDto {
+                video: 7,
+                state: Some(serde_json::Value::Map(vec![(
+                    "dots".to_owned(),
+                    serde_json::Value::Seq(vec![serde_json::Value::F64(12.5)]),
+                )])),
+                chat_hex: Some(hex_encode(b"raw chat record bytes")),
+            },
+            BundleEntryDto {
+                video: 9,
+                state: None,
+                chat_hex: None,
+            },
+        ];
+        let dto = BundleDto {
+            format_version: 1,
+            as_of_seq: 42,
+            crc32: bundle_crc(&entries),
+            entries,
+        };
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: BundleDto = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
+        // The CRC survives the wire round trip (the canonical form is
+        // process-independent)...
+        assert_eq!(bundle_crc(&back.entries), back.crc32);
+        // ...and flips when any entry is altered.
+        let mut tampered = back.clone();
+        tampered.entries[0].video = 8;
+        assert_ne!(bundle_crc(&tampered.entries), tampered.crc32);
+        let mut tampered = back.clone();
+        tampered.entries[0].chat_hex = Some(hex_encode(b"other bytes"));
+        assert_ne!(bundle_crc(&tampered.entries), tampered.crc32);
+    }
+
+    #[test]
+    fn export_import_ring_dtos_round_trip() {
+        let req = ExportRequest {
+            videos: vec![3, 5],
+            since_seq: 17,
+            freeze_ms: 400,
+        };
+        let back: ExportRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(req, back);
+
+        let resp = ImportResponse {
+            videos: 2,
+            states_applied: 2,
+            chats_applied: 1,
+        };
+        let back: ImportResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(resp, back);
+
+        let ring = RingUpdateRequest {
+            backends: vec!["127.0.0.1:7801".into(), "127.0.0.1:7802".into()],
+        };
+        let back: RingUpdateRequest =
+            serde_json::from_str(&serde_json::to_string(&ring).unwrap()).unwrap();
+        assert_eq!(ring, back);
+
+        let resp = RingUpdateResponse {
+            version: 2,
+            backends: ring.backends.clone(),
+        };
+        let back: RingUpdateResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(resp, back);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! Defaults: port 7979, 4 workers, 2000 ms per-request deadline.
 //! Prints one `listening on http://…` line once bound (smoke tests
 //! grep for it), then routes until killed.
+//!
+//! The `--backend` list is only the *boot* ring: `POST /admin/ring`
+//! swaps in a new backend set at runtime (live resharding, shard
+//! replacement) — see the operations runbook in the `lightor_server`
+//! crate docs for the full migration recipes.
 
 use lightor_server::cluster::{ClusterConfig, RouterServer};
 use lightor_server::ServerConfig;

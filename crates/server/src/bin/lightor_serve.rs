@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N] [--quick]
+//!               [--restore-from PATH]
 //! ```
 //!
 //! Defaults: port 7878, a fresh temp data dir, 4 workers. `--quick`
@@ -14,6 +15,16 @@
 //! wait for it) and one `catalog: <id> <id> …` line listing the
 //! simulated platform's video ids (the chaos harness shards load by
 //! them), then serves until killed.
+//!
+//! `--restore-from PATH` is the crash-replacement path: PATH is a dead
+//! backend's data directory. Before the socket binds, its chat segments
+//! and KV state (snapshot + WAL tail — [`KvStore`] replay picks up
+//! every acknowledged write) are read into a bundle and imported into
+//! this process's own fresh data dir, so the replacement answers for
+//! the dead shard's videos the moment the `listening` line prints.
+//! Prints one `restored: N videos from PATH` line before the banner.
+//!
+//! [`KvStore`]: lightor_platform::store::KvStore
 
 use lightor::{ExtractorConfig, FeatureSet, HighlightExtractor, ModelBundle};
 use lightor_chatsim::{dota2_dataset, SimPlatform};
@@ -30,6 +41,7 @@ struct Args {
     workers: usize,
     seed: u64,
     quick: bool,
+    restore_from: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         seed: 71,
         quick: false,
+        restore_from: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--quick" => args.quick = true,
+            "--restore-from" => args.restore_from = Some(value("--restore-from")?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -72,7 +86,10 @@ fn main() -> std::io::Result<()> {
         Ok(a) => a,
         Err(e) => {
             eprintln!("lightor-serve: {e}");
-            eprintln!("usage: lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N]");
+            eprintln!(
+                "usage: lightor-serve [--port N] [--data-dir PATH] [--workers N] [--seed N] \
+                 [--quick] [--restore-from PATH]"
+            );
             std::process::exit(2);
         }
     };
@@ -106,6 +123,20 @@ fn main() -> std::io::Result<()> {
         platform,
         ServiceConfig::default(),
     )?);
+
+    // Crash replacement: adopt a dead backend's range before taking
+    // traffic. The dead dir's WAL replay happens inside
+    // `bundle_from_dir`, so everything the old process acknowledged —
+    // including writes that never made it into a snapshot — lands here.
+    if let Some(dead_dir) = &args.restore_from {
+        let bundle = LightorService::bundle_from_dir(dead_dir)?;
+        let applied = svc.import_bundle(&bundle)?;
+        println!(
+            "restored: {} videos from {}",
+            applied.videos,
+            dead_dir.display()
+        );
+    }
 
     let server = HttpServer::bind(
         ("127.0.0.1", args.port),

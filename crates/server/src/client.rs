@@ -156,6 +156,17 @@ impl ClientResponse {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
+
+    /// The `Retry-After` header as a duration, when present and
+    /// parseable (integer seconds — the only form this stack emits).
+    /// A 503 fast-fail carrying this header tells a retrying caller
+    /// *when* the shard expects to be probed again; honoring it beats
+    /// burning retry budget on the next blind backoff tick.
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+    }
 }
 
 /// A response captured as raw wire bytes for verbatim relay, plus the
@@ -178,6 +189,21 @@ impl RelayResponse {
     /// The body bytes (exactly `Content-Length` of them).
     pub fn body(&self) -> &[u8] {
         &self.raw[self.body_start..]
+    }
+
+    /// The `Retry-After` header as a duration, scanned from the raw
+    /// head (the relay path never builds a header list). Same
+    /// integer-seconds contract as [`ClientResponse::retry_after`].
+    pub fn retry_after(&self) -> Option<Duration> {
+        let head = std::str::from_utf8(&self.raw[..self.body_start]).ok()?;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("retry-after") {
+                    return value.trim().parse::<u64>().ok().map(Duration::from_secs);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -623,6 +649,32 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"ok");
         assert!(resp.closed());
+    }
+
+    #[test]
+    fn retry_after_parses_from_both_response_forms() {
+        let resp = get_one(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(resp.retry_after(), Some(Duration::from_secs(3)));
+
+        let mut c = HttpClient::connect(scripted_server(
+            b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 2\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ))
+        .unwrap();
+        let relay = c
+            .request_relay("GET", "/x", None, Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(relay.status, 503);
+        assert_eq!(relay.retry_after(), Some(Duration::from_secs(2)));
+
+        // Absent or garbage values parse to None, never panic.
+        let resp = get_one(
+            b"HTTP/1.1 503 X\r\nRetry-After: soon\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(resp.retry_after(), None);
     }
 
     // The malformed-response matrix — the client-side mirror of the

@@ -13,7 +13,23 @@
 //!   summed;
 //! * `GET /healthz`, `GET /stats` → answered by the router itself with
 //!   per-shard health and aggregated backend stats
-//!   ([`wire::RouterHealthzResponse`], [`wire::RouterStatsResponse`]).
+//!   ([`wire::RouterHealthzResponse`], [`wire::RouterStatsResponse`]);
+//! * `POST /admin/ring` → swap in a new backend set without a restart
+//!   (see below).
+//!
+//! # Versioned ring
+//!
+//! The ring is an epoch ([`RingEpoch`]): version 1 is built at boot,
+//! and every applied `POST /admin/ring` builds version N+1 from the
+//! posted addresses. Addresses the router already knows carry their
+//! [`Backend`] over — health state, connection pool, counters —
+//! while new addresses are admitted in `Recovering` and must earn
+//! `Healthy` through the ordinary state machine. For a bounded
+//! overlap window after a swap ([`ClusterConfig::ring_overlap`]) the
+//! previous epoch is kept: reads that fail on the new owner
+//! (5xx/404) are double-routed to the old owner, so a request racing
+//! the cutover never observes a gap; writes always go to the new
+//! owner, where the migrated state lives and future reads will look.
 //!
 //! # Failure policy
 //!
@@ -42,12 +58,12 @@ use crate::retry::{RetryBudget, RetryPolicy, XorShift64};
 use crate::router::{resolve, Route};
 use crate::server::Handler;
 use lightor_platform::wire::{
-    BackendHealthDto, BackendStatsDto, CompactResponse, RouterHealthzResponse, RouterStatsResponse,
-    SessionUpload, StatsResponse,
+    BackendHealthDto, BackendStatsDto, CompactResponse, RingUpdateRequest, RingUpdateResponse,
+    RouterHealthzResponse, RouterStatsResponse, SessionUpload, StatsResponse,
 };
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Router tuning knobs.
@@ -67,6 +83,9 @@ pub struct ClusterConfig {
     pub health: HealthPolicy,
     /// Retry shape for idempotent GETs.
     pub retry: RetryPolicy,
+    /// How long after a ring swap the previous epoch keeps serving as
+    /// a read fallback (and its backends keep being probed).
+    pub ring_overlap: Duration,
 }
 
 impl ClusterConfig {
@@ -80,11 +99,14 @@ impl ClusterConfig {
             probe_timeout: Duration::from_millis(500),
             health: HealthPolicy::default(),
             retry: RetryPolicy::default(),
+            ring_overlap: Duration::from_secs(2),
         }
     }
 }
 
-/// One backend's connection pool, health, and counters.
+/// One backend's connection pool, health, and counters. Shared by
+/// `Arc` across ring epochs: a ring swap that keeps an address keeps
+/// its health history, pool, and counters too.
 struct Backend {
     addr: SocketAddr,
     health: Mutex<BackendHealth>,
@@ -94,6 +116,30 @@ struct Backend {
     proxied: AtomicU64,
     proxy_errors: AtomicU64,
     retries: AtomicU64,
+}
+
+impl Backend {
+    fn with_health(addr: SocketAddr, health: BackendHealth) -> Self {
+        Backend {
+            addr,
+            health: Mutex::new(health),
+            conn: Mutex::new(None),
+            proxied: AtomicU64::new(0),
+            proxy_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// A boot-ring backend, assumed healthy until proven otherwise.
+    fn boot(addr: SocketAddr, policy: HealthPolicy, now: Instant) -> Self {
+        Self::with_health(addr, BackendHealth::new(policy, now))
+    }
+
+    /// A backend first seen in a ring update: admitted in `Recovering`,
+    /// it takes trial traffic but must earn `Healthy`.
+    fn admitted(addr: SocketAddr, policy: HealthPolicy, now: Instant) -> Self {
+        Self::with_health(addr, BackendHealth::new_recovering(policy, now))
+    }
 }
 
 /// FNV-1a, for hashing backend addresses onto the ring.
@@ -144,11 +190,35 @@ impl Ring {
     }
 }
 
-/// The routing tier: ring + per-backend state + retry budget. Serves
-/// HTTP through its [`Handler`] impl (see [`RouterServer`]).
-pub struct Cluster {
-    backends: Vec<Backend>,
+/// One version of the cluster topology: the ring plus the backends it
+/// indexes into, immutable once built. Swapped wholesale by
+/// `POST /admin/ring`.
+struct RingEpoch {
+    /// Monotonic: the boot ring is 1, every applied update adds 1.
+    version: u64,
+    backends: Vec<Arc<Backend>>,
     ring: Ring,
+}
+
+impl RingEpoch {
+    fn owner(&self, video: u64) -> &Arc<Backend> {
+        &self.backends[self.ring.owner(video)]
+    }
+}
+
+/// The live topology: the current epoch, plus — for a bounded window
+/// after a swap — the previous one as a read fallback.
+struct Topology {
+    current: RingEpoch,
+    /// `(epoch, expires_at)`; dropped lazily once expired.
+    previous: Option<(RingEpoch, Instant)>,
+}
+
+/// The routing tier: versioned ring + per-backend state + retry
+/// budget. Serves HTTP through its [`Handler`] impl (see
+/// [`RouterServer`]).
+pub struct Cluster {
+    topo: RwLock<Topology>,
     cfg: ClusterConfig,
     budget: RetryBudget,
     rng: Mutex<XorShift64>,
@@ -158,27 +228,27 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Build the ring and per-backend state. Panics on an empty
-    /// backend list (a router with nothing behind it is a config bug).
+    /// Build the boot ring (version 1) and per-backend state. Panics
+    /// on an empty backend list (a router with nothing behind it is a
+    /// config bug).
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(!cfg.backends.is_empty(), "cluster needs at least 1 backend");
         let now = Instant::now();
         let backends = cfg
             .backends
             .iter()
-            .map(|&addr| Backend {
-                addr,
-                health: Mutex::new(BackendHealth::new(cfg.health, now)),
-                conn: Mutex::new(None),
-                proxied: AtomicU64::new(0),
-                proxy_errors: AtomicU64::new(0),
-                retries: AtomicU64::new(0),
-            })
+            .map(|&addr| Arc::new(Backend::boot(addr, cfg.health, now)))
             .collect();
         let ring = Ring::build(&cfg.backends, cfg.vnodes.max(1));
         Cluster {
-            backends,
-            ring,
+            topo: RwLock::new(Topology {
+                current: RingEpoch {
+                    version: 1,
+                    backends,
+                    ring,
+                },
+                previous: None,
+            }),
             budget: RetryBudget::default(),
             rng: Mutex::new(XorShift64::new(0x1D0_71E5)),
             requests: AtomicU64::new(0),
@@ -188,20 +258,126 @@ impl Cluster {
         }
     }
 
-    /// Index of the backend owning `video` (exposed for tests and the
-    /// chaos harness, which must know which shard to kill).
+    fn topo(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
+        self.topo.read().expect("topology lock poisoned")
+    }
+
+    /// The current ring's version (boot = 1; `POST /admin/ring` bumps).
+    pub fn ring_version(&self) -> u64 {
+        self.topo().current.version
+    }
+
+    /// Index of the backend owning `video` in the *current* epoch
+    /// (exposed for tests and the chaos harness, which must know which
+    /// shard to kill).
     pub fn shard_for(&self, video: u64) -> usize {
-        self.ring.owner(video)
+        self.topo().current.ring.owner(video)
     }
 
-    /// Address of backend `idx`.
+    /// Address of backend `idx` in the current epoch.
     pub fn backend_addr(&self, idx: usize) -> SocketAddr {
-        self.backends[idx].addr
+        self.topo().current.backends[idx].addr
     }
 
-    /// Current health state of backend `idx`.
+    /// Current health state of backend `idx` in the current epoch.
     pub fn backend_health(&self, idx: usize) -> HealthState {
-        self.lock_health(&self.backends[idx]).state()
+        let b = self.topo().current.backends[idx].clone();
+        let health = self.lock_health(&b);
+        health.state()
+    }
+
+    /// Swap in a new ring built from `addrs` (version = current + 1).
+    /// Known addresses keep their [`Backend`] — health, pool, counters
+    /// — across the swap; new addresses are admitted in `Recovering`.
+    /// The outgoing epoch stays behind as a read fallback until
+    /// [`ClusterConfig::ring_overlap`] elapses.
+    pub fn apply_ring(&self, addrs: Vec<SocketAddr>) -> Result<RingUpdateResponse, String> {
+        if addrs.is_empty() {
+            return Err("a ring needs at least 1 backend".into());
+        }
+        let mut dedup = addrs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.len() != addrs.len() {
+            return Err("duplicate backend address in ring update".into());
+        }
+        let now = Instant::now();
+        let mut topo = self.topo.write().expect("topology lock poisoned");
+        let known: std::collections::HashMap<SocketAddr, Arc<Backend>> = topo
+            .current
+            .backends
+            .iter()
+            .chain(topo.previous.iter().flat_map(|(e, _)| e.backends.iter()))
+            .map(|b| (b.addr, b.clone()))
+            .collect();
+        let backends: Vec<Arc<Backend>> = addrs
+            .iter()
+            .map(|&addr| {
+                known
+                    .get(&addr)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(Backend::admitted(addr, self.cfg.health, now)))
+            })
+            .collect();
+        let ring = Ring::build(&addrs, self.cfg.vnodes.max(1));
+        let version = topo.current.version + 1;
+        let outgoing = std::mem::replace(
+            &mut topo.current,
+            RingEpoch {
+                version,
+                backends,
+                ring,
+            },
+        );
+        topo.previous = Some((outgoing, now + self.cfg.ring_overlap));
+        Ok(RingUpdateResponse {
+            version,
+            backends: addrs.iter().map(ToString::to_string).collect(),
+        })
+    }
+
+    /// Drop the previous epoch once its overlap window has passed.
+    fn maybe_expire_overlap(&self) {
+        let expired = match &self.topo().previous {
+            Some((_, until)) => Instant::now() >= *until,
+            None => return,
+        };
+        if expired {
+            self.topo.write().expect("topology lock poisoned").previous = None;
+        }
+    }
+
+    /// The owners of `video`: current epoch's, plus the previous
+    /// epoch's while the overlap window is open and the owner actually
+    /// differs.
+    fn owners(&self, video: u64) -> (Arc<Backend>, Option<Arc<Backend>>) {
+        let topo = self.topo();
+        let cur = topo.current.owner(video).clone();
+        let prev = topo
+            .previous
+            .as_ref()
+            .filter(|(_, until)| Instant::now() < *until)
+            .map(|(e, _)| e.owner(video))
+            .filter(|b| b.addr != cur.addr)
+            .cloned();
+        (cur, prev)
+    }
+
+    /// Every distinct backend in the current epoch plus the (unexpired)
+    /// previous one — the probe sweep's working set during overlap.
+    fn all_backends(&self) -> Vec<Arc<Backend>> {
+        let topo = self.topo();
+        let mut out: Vec<Arc<Backend>> = topo.current.backends.to_vec();
+        if let Some((prev, until)) = &topo.previous {
+            if Instant::now() < *until {
+                for b in &prev.backends {
+                    if !out.iter().any(|c| c.addr == b.addr) {
+                        out.push(b.clone());
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn lock_health<'a>(&self, b: &'a Backend) -> std::sync::MutexGuard<'a, BackendHealth> {
@@ -295,11 +471,13 @@ impl Cluster {
         Ok(resp)
     }
 
-    /// Proxy an idempotent GET to backend `idx`: pooled connection,
-    /// per-request deadline, budgeted jittered retries on transport
-    /// errors, verbatim relay of the backend's bytes.
-    fn proxy_get(&self, idx: usize, path: &str) -> Response {
-        let b = &self.backends[idx];
+    /// Proxy an idempotent GET to `b`: pooled connection, per-request
+    /// deadline, budgeted jittered retries on transport errors,
+    /// verbatim relay of the backend's bytes. A parsed `503` carrying
+    /// `Retry-After` is also retried — after waiting exactly what the
+    /// backend asked for, budget permitting, instead of hammering the
+    /// next blind backoff tick.
+    fn proxy_get(&self, b: &Backend, path: &str) -> Response {
         if let Some(resp) = self.gate(b) {
             return resp;
         }
@@ -312,6 +490,15 @@ impl Cluster {
             match self.relay_exchange(b, path, deadline) {
                 Ok(resp) => {
                     self.mark_success(b);
+                    if resp.status == 503 && attempt < self.cfg.retry.max_attempts {
+                        if let Some(wait) = resp.retry_after() {
+                            if Instant::now() + wait < deadline && self.budget.try_withdraw() {
+                                b.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(wait);
+                                continue;
+                            }
+                        }
+                    }
                     return Response::relay(resp.status, resp.raw);
                 }
                 Err(e) => {
@@ -337,11 +524,40 @@ impl Cluster {
         }
     }
 
-    /// Proxy a write to backend `idx`: fresh connection, one attempt,
-    /// never retried (see the module docs). `Err` carries the ready
+    /// Route a read: the current owner first; on a gap answer (5xx, or
+    /// 404 from a shard that may not have the video yet) retry the
+    /// previous epoch's owner while the overlap window is open. A
+    /// request racing a ring swap never observes the handoff.
+    fn route_read(&self, video: u64, path: &str) -> Response {
+        self.maybe_expire_overlap();
+        let (cur, prev) = self.owners(video);
+        let resp = self.proxy_get(&cur, path);
+        if resp.status < 500 && resp.status != 404 {
+            return resp;
+        }
+        if let Some(prev) = prev {
+            let fallback = self.proxy_get(&prev, path);
+            if fallback.status < 400 {
+                return fallback;
+            }
+        }
+        resp
+    }
+
+    /// Route a write: always the current owner — that is where the
+    /// migrated state lives and where every future read will look.
+    /// (Falling back to the old owner would strand the write on an
+    /// epoch about to be dropped.)
+    fn route_write(&self, video: u64, path: &str, body: &[u8]) -> Response {
+        self.maybe_expire_overlap();
+        let (cur, _) = self.owners(video);
+        self.proxy_write(&cur, path, body)
+    }
+
+    /// Proxy a write to `b`: fresh connection, one attempt, never
+    /// retried (see the module docs). `Err` carries the ready
     /// client-facing failure (shard down, bad gateway).
-    fn write_once(&self, idx: usize, path: &str, body: &[u8]) -> Result<RelayResponse, Response> {
-        let b = &self.backends[idx];
+    fn write_once(&self, b: &Backend, path: &str, body: &[u8]) -> Result<RelayResponse, Response> {
         if let Some(resp) = self.gate(b) {
             return Err(resp);
         }
@@ -365,8 +581,8 @@ impl Cluster {
     }
 
     /// [`Cluster::write_once`] relayed straight to the client.
-    fn proxy_write(&self, idx: usize, path: &str, body: &[u8]) -> Response {
-        match self.write_once(idx, path, body) {
+    fn proxy_write(&self, b: &Backend, path: &str, body: &[u8]) -> Response {
+        match self.write_once(b, path, body) {
             Ok(resp) => Response::relay(resp.status, resp.raw),
             Err(resp) => resp,
         }
@@ -380,7 +596,34 @@ impl Cluster {
             Ok(u) => u,
             Err(_) => return Response::error(400, "bad_json", "body must be a SessionUpload"),
         };
-        self.proxy_write(self.shard_for(upload.video), "/sessions", body)
+        self.route_write(upload.video, "/sessions", body)
+    }
+
+    /// `POST /admin/ring`: parse and apply a ring update, without a
+    /// restart. Bad addresses or an empty/duplicated set answer 400;
+    /// nothing about the running topology changes on a rejected update.
+    fn handle_ring(&self, body: &[u8]) -> Response {
+        let req: RingUpdateRequest = match serde_json::from_slice(body) {
+            Ok(r) => r,
+            Err(_) => return Response::error(400, "bad_json", "body must be a RingUpdateRequest"),
+        };
+        let mut addrs = Vec::with_capacity(req.backends.len());
+        for s in &req.backends {
+            match s.parse::<SocketAddr>() {
+                Ok(a) => addrs.push(a),
+                Err(_) => {
+                    return Response::error(
+                        400,
+                        "bad_addr",
+                        &format!("not a host:port backend address: {s:?}"),
+                    )
+                }
+            }
+        }
+        match self.apply_ring(addrs) {
+            Ok(applied) => Response::json(200, &applied),
+            Err(msg) => Response::error(400, "bad_ring", &msg),
+        }
     }
 
     /// `POST /admin/compact`: broadcast to every shard; sums the
@@ -392,8 +635,9 @@ impl Cluster {
             dropped_records: 0,
             live_records: 0,
         };
-        for idx in 0..self.backends.len() {
-            let resp = match self.write_once(idx, "/admin/compact", &[]) {
+        let backends = self.topo().current.backends.to_vec();
+        for b in &backends {
+            let resp = match self.write_once(b, "/admin/compact", &[]) {
                 Ok(resp) => resp,
                 Err(resp) => return resp,
             };
@@ -418,10 +662,14 @@ impl Cluster {
         Response::json(200, &total)
     }
 
-    /// Router `GET /healthz`: per-shard health, overall status.
+    /// Router `GET /healthz`: per-shard health, ring version, overall
+    /// status.
     fn healthz(&self) -> Response {
-        let backends: Vec<BackendHealthDto> = self
-            .backends
+        let (ring_version, snapshot) = {
+            let topo = self.topo();
+            (topo.current.version, topo.current.backends.to_vec())
+        };
+        let backends: Vec<BackendHealthDto> = snapshot
             .iter()
             .map(|b| BackendHealthDto {
                 addr: b.addr.to_string(),
@@ -433,16 +681,23 @@ impl Cluster {
             200,
             &RouterHealthzResponse {
                 status: if all_healthy { "ok" } else { "degraded" }.to_string(),
+                ring_version,
                 backends,
             },
         )
     }
 
     /// Router `GET /stats`: router counters plus a best-effort sweep of
-    /// each live backend's own `/stats`.
+    /// each live backend's own `/stats`. The sweep never fails the
+    /// aggregate: a shard that is down (or whose sweep request failed)
+    /// reports `unreachable: true` with `stats: null`, and every other
+    /// row is still real.
     fn stats(&self, metrics: &HttpMetrics) -> Response {
-        let backends: Vec<BackendStatsDto> = self
-            .backends
+        let (ring_version, snapshot) = {
+            let topo = self.topo();
+            (topo.current.version, topo.current.backends.to_vec())
+        };
+        let backends: Vec<BackendStatsDto> = snapshot
             .iter()
             .map(|b| {
                 let (health, available) = {
@@ -467,6 +722,7 @@ impl Cluster {
                     retries: b.retries.load(Ordering::Relaxed),
                     probe_failures: h.probe_failures(),
                     breaker_trips: h.breaker_trips(),
+                    unreachable: stats.is_none(),
                     stats,
                 }
             })
@@ -477,16 +733,19 @@ impl Cluster {
                 requests: self.requests.load(Ordering::Relaxed),
                 errors_5xx: self.errors_5xx.load(Ordering::Relaxed),
                 accept_errors: metrics.accept_errors(),
+                ring_version,
                 backends,
             },
         )
     }
 
     /// One probe sweep at `now`: actively probe every backend whose
-    /// probe is due. Returns how many probes ran.
+    /// probe is due — across both epochs during overlap, so a shard
+    /// being migrated away from stays watched until the window closes.
+    /// Returns how many probes ran.
     fn probe_due_backends(&self) -> usize {
         let mut probed = 0;
-        for b in &self.backends {
+        for b in &self.all_backends() {
             if !self.lock_health(b).probe_due(Instant::now()) {
                 continue;
             }
@@ -509,6 +768,7 @@ impl Cluster {
     /// The prober loop: sweep due probes until shutdown.
     fn probe_loop(self: &Arc<Self>) {
         while !self.shutdown.load(Ordering::SeqCst) {
+            self.maybe_expire_overlap();
             self.probe_due_backends();
             std::thread::sleep(Duration::from_millis(20));
         }
@@ -525,10 +785,19 @@ impl Handler for Cluster {
         let response = match route {
             Route::Healthz => self.healthz(),
             Route::Stats => self.stats(metrics),
-            Route::Dots(id) => self.proxy_get(self.shard_for(id), &req.path),
-            Route::Rescore(id) => self.proxy_write(self.shard_for(id), &req.path, &req.body),
+            Route::Dots(id) => self.route_read(id, &req.path),
+            Route::Rescore(id) => self.route_write(id, &req.path, &req.body),
             Route::Sessions => self.route_session(&req.body),
             Route::Compact => self.broadcast_compact(),
+            Route::Ring => self.handle_ring(&req.body),
+            // Bundles move between a migration driver and a specific
+            // shard; proxying them through the ring would re-route by
+            // video id and defeat the point.
+            Route::Export | Route::Import => Response::error(
+                404,
+                "not_found",
+                "export/import are backend routes; talk to the shard directly",
+            ),
         };
         if response.status >= 500 {
             self.errors_5xx.fetch_add(1, Ordering::Relaxed);
@@ -665,5 +934,65 @@ mod tests {
     #[should_panic(expected = "at least 1 backend")]
     fn empty_backend_list_is_a_config_bug() {
         let _ = Cluster::new(ClusterConfig::new(Vec::new()));
+    }
+
+    #[test]
+    fn ring_updates_bump_the_version_and_admit_new_backends_recovering() {
+        let cluster = Cluster::new(ClusterConfig::new(addrs(2)));
+        assert_eq!(cluster.ring_version(), 1, "boot ring is version 1");
+        assert_eq!(cluster.backend_health(0), HealthState::Healthy);
+
+        let applied = cluster.apply_ring(addrs(3)).unwrap();
+        assert_eq!(applied.version, 2);
+        assert_eq!(applied.backends.len(), 3);
+        assert_eq!(cluster.ring_version(), 2);
+        // Known addresses carried their health over; the new one is on
+        // trial.
+        assert_eq!(cluster.backend_health(0), HealthState::Healthy);
+        assert_eq!(cluster.backend_health(1), HealthState::Healthy);
+        assert_eq!(cluster.backend_health(2), HealthState::Recovering);
+        // The current ring routes exactly like a fresh 3-backend ring.
+        let fresh = Ring::build(&addrs(3), 64);
+        for video in 0..200 {
+            assert_eq!(cluster.shard_for(video), fresh.owner(video));
+        }
+    }
+
+    #[test]
+    fn bad_ring_updates_change_nothing() {
+        let cluster = Cluster::new(ClusterConfig::new(addrs(2)));
+        assert!(cluster.apply_ring(Vec::new()).is_err());
+        let mut dup = addrs(2);
+        dup.push(dup[0]);
+        assert!(cluster.apply_ring(dup).is_err());
+        assert_eq!(cluster.ring_version(), 1, "rejected updates don't bump");
+    }
+
+    #[test]
+    fn overlap_window_keeps_the_old_owner_as_read_fallback() {
+        let cfg = ClusterConfig {
+            ring_overlap: Duration::from_millis(80),
+            ..ClusterConfig::new(addrs(2))
+        };
+        let cluster = Cluster::new(cfg);
+        cluster.apply_ring(addrs(3)).unwrap();
+
+        // Some video must be owned differently across the two epochs.
+        let old_ring = Ring::build(&addrs(2), 64);
+        let moved = (0..500u64)
+            .find(|&v| {
+                cluster.shard_for(v) == 2 && old_ring.owner(v) < 2 // moved to the new backend
+            })
+            .expect("some video moved to the new backend");
+        let (cur, prev) = cluster.owners(moved);
+        assert_eq!(cur.addr, addrs(3)[2]);
+        let prev = prev.expect("old owner is the fallback during overlap");
+        assert_eq!(prev.addr, addrs(3)[old_ring.owner(moved)]);
+
+        // Past the window the fallback expires.
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.maybe_expire_overlap();
+        let (_, prev) = cluster.owners(moved);
+        assert!(prev.is_none(), "overlap fallback expired");
     }
 }

@@ -107,6 +107,19 @@ impl BackendHealth {
         }
     }
 
+    /// A backend admitted in `Recovering` at `now` — how a ring update
+    /// introduces an address the router has never health-checked. It
+    /// takes trial traffic immediately but must string together
+    /// `recover_after` successes before it counts as healthy, and a
+    /// single failure re-trips it to `Down` — a misconfigured address
+    /// in a ring update never lingers as "healthy by assumption".
+    pub fn new_recovering(policy: HealthPolicy, now: Instant) -> Self {
+        BackendHealth {
+            state: HealthState::Recovering,
+            ..Self::new(policy, now)
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> HealthState {
         self.state
@@ -363,6 +376,27 @@ mod tests {
         h.record_success(t0);
         assert!(!h.probe_due(t0 + policy.probe_interval / 2));
         assert!(h.probe_due(t0 + policy.probe_interval));
+    }
+
+    #[test]
+    fn recovering_admission_must_earn_healthy() {
+        let t0 = Instant::now();
+        let mut rng = XorShift64::new(7);
+        let mut h = BackendHealth::new_recovering(HealthPolicy::default(), t0);
+        assert_eq!(h.state(), HealthState::Recovering);
+        assert!(h.is_available(), "admitted shards take trial traffic");
+        assert!(h.probe_due(t0), "first probe immediate");
+
+        // One failure while on trial trips straight to down.
+        h.record_failure(t0, &mut rng);
+        assert_eq!(h.state(), HealthState::Down);
+
+        // A fresh admission walks to healthy on recover_after successes.
+        let mut h = BackendHealth::new_recovering(HealthPolicy::default(), t0);
+        h.record_success(t0);
+        assert_eq!(h.state(), HealthState::Recovering);
+        h.record_success(t0);
+        assert_eq!(h.state(), HealthState::Healthy);
     }
 
     #[test]

@@ -81,7 +81,59 @@
 //! (`--backend host:port` per shard). Backends stay plain
 //! `lightor-serve` processes — killing one degrades exactly its key
 //! range while the survivors keep answering, which is what the chaos
-//! test (`tests/cluster_chaos.rs`) and the CI cluster smoke assert.
+//! tests (`tests/cluster_chaos.rs`) and the CI cluster smoke assert.
+//!
+//! The ring is *versioned*: `POST /admin/ring` swaps in a new backend
+//! set without a restart, and backends ship state to each other with
+//! `POST /admin/export` / `POST /admin/import` bundles (per-video KV
+//! snapshots + WAL-tail state and chat records, CRC-framed). Together
+//! those make resharding and shard replacement live operations; the
+//! recipes below are the whole procedure.
+//!
+//! # Operations runbook
+//!
+//! **Reading `/healthz`.** The router's `GET /healthz` reports
+//! `status` (`"ok"` / `"degraded"`), the `ring_version` currently
+//! routing, and one entry per shard whose `health` is one of:
+//!
+//! * `"healthy"` — taking traffic, probes passing;
+//! * `"suspect"` — consecutive failures accumulating; still serving,
+//!   trips to `down` at the policy threshold;
+//! * `"down"` — circuit open: requests fast-fail `503` with a
+//!   `Retry-After`; background probes keep testing it;
+//! * `"recovering"` — a probe succeeded (or the shard was newly
+//!   admitted by a ring update): trial traffic flows, a failure sends
+//!   it back to `down`, sustained successes earn `healthy`.
+//!
+//! **Adding a backend.** Boot a fresh `lightor-serve`; for every shard
+//! that loses part of its range to the newcomer, `POST /admin/export`
+//! (`{"videos":[],"since_seq":0,"freeze_ms":0}`) on the shard and ship
+//! the bundle verbatim to the newcomer's `POST /admin/import`. Then
+//! cut over: re-export with `since_seq` set to the bulk bundle's
+//! `as_of_seq` and a small `freeze_ms` (the sub-second write-freeze
+//! window), import that delta, and `POST /admin/ring` on the router
+//! with the full new address list. The router bumps the ring version,
+//! admits the new address in `recovering`, and keeps the outgoing
+//! epoch as a read fallback for a bounded overlap window — reads never
+//! observe a gap, and writes resume the moment the swap lands (the new
+//! owner was never frozen).
+//!
+//! **Replacing a crashed shard.** The dead process's data dir is all
+//! that is needed: boot a replacement with
+//! `lightor-serve --restore-from <dead-data-dir>` (it re-reads the
+//! snapshot + WAL tail — every acknowledged write — and imports the
+//! range before binding), import the restored range into any other
+//! shard that will own part of it, then `POST /admin/ring` with the
+//! dead address swapped for the replacement. The replacement joins in
+//! `recovering` and earns `healthy` through the ordinary probe state
+//! machine.
+//!
+//! **Applying a ring update.** `POST /admin/ring` with
+//! `{"backends":["host:port", …]}`. Known addresses carry their
+//! health, connection pools, and counters across the swap; the
+//! response and subsequent `/healthz` / `/stats` bodies carry the new
+//! `ring_version`. Updates are rejected (`400`) if the list is empty
+//! or contains duplicates, and nothing changes on rejection.
 
 #![warn(missing_docs)]
 

@@ -25,18 +25,27 @@ pub enum RouteKey {
     Stats = 4,
     /// `POST /admin/compact`
     Compact = 5,
+    /// `POST /admin/export`
+    Export = 6,
+    /// `POST /admin/import`
+    Import = 7,
+    /// `POST /admin/ring`
+    Ring = 8,
     /// Anything unroutable: 404/405, parse errors, load-sheds.
-    Other = 6,
+    Other = 9,
 }
 
 /// Route templates, indexed by [`RouteKey`].
-pub const ROUTE_NAMES: [&str; 7] = [
+pub const ROUTE_NAMES: [&str; 10] = [
     "GET /healthz",
     "GET /video/{id}/dots",
     "POST /video/{id}/rescore",
     "POST /sessions",
     "GET /stats",
     "POST /admin/compact",
+    "POST /admin/export",
+    "POST /admin/import",
+    "POST /admin/ring",
     "other",
 ];
 
@@ -51,7 +60,7 @@ struct RouteCounters {
 /// All routes' counters; shared across worker threads.
 #[derive(Default)]
 pub struct HttpMetrics {
-    routes: [RouteCounters; 7],
+    routes: [RouteCounters; 10],
     accept_errors: AtomicU64,
 }
 

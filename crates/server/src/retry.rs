@@ -235,6 +235,60 @@ mod tests {
     }
 
     #[test]
+    fn flapping_backend_drains_budget_recovers_and_never_amplifies() {
+        // A backend that flaps — bursts of transport failures between
+        // healthy stretches — is the worst case for retry storms. Walk
+        // the budget through two full flap cycles and check all three
+        // properties: it drains to denial, it recovers from healthy
+        // first-attempt volume, and total retries never exceed
+        // burst + ratio × attempts (the amplification cap).
+        let b = RetryBudget::new(0.1, 5);
+        let mut attempts = 0u64;
+        let mut granted = 0u64;
+        for cycle in 0..2 {
+            // Flap: every request fails and wants max_attempts retries.
+            let mut denied_this_flap = 0;
+            for _ in 0..100 {
+                b.record_attempt();
+                attempts += 1;
+                for _ in 0..2 {
+                    if b.try_withdraw() {
+                        granted += 1;
+                    } else {
+                        denied_this_flap += 1;
+                    }
+                }
+            }
+            assert!(
+                denied_this_flap > 0,
+                "cycle {cycle}: the bucket never drained under 2× retry demand"
+            );
+            assert!(
+                !b.try_withdraw(),
+                "cycle {cycle}: still granting after a sustained flap"
+            );
+            // Healthy stretch: first attempts succeed, nothing retries,
+            // the bucket refills at the deposit ratio.
+            for _ in 0..60 {
+                b.record_attempt();
+                attempts += 1;
+            }
+            assert!(
+                b.try_withdraw(),
+                "cycle {cycle}: budget did not recover from healthy traffic"
+            );
+            granted += 1;
+        }
+        // Amplification cap: burst + ceil(ratio × attempts).
+        let cap = 5 + (attempts as f64 * 0.1).ceil() as u64;
+        assert!(
+            granted <= cap,
+            "granted {granted} retries from {attempts} attempts (cap {cap})"
+        );
+        assert!(b.exhausted_count() > 0, "denials were counted");
+    }
+
+    #[test]
     fn budget_balance_is_capped_at_burst() {
         let b = RetryBudget::new(1.0, 2);
         // Massive attempt volume must not bank unlimited retries.

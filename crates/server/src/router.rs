@@ -9,6 +9,9 @@
 //! | `POST /sessions` | [`SessionUpload`] → [`SessionAccepted`] | `log_session` + `refine_video` |
 //! | `GET /stats` | [`StatsResponse`] | `stats` + HTTP counters |
 //! | `POST /admin/compact` | [`CompactResponse`] | `compact_storage` |
+//! | `POST /admin/export` | [`ExportRequest`] → [`BundleDto`] | `export_bundle` |
+//! | `POST /admin/import` | [`BundleDto`] → [`ImportResponse`] | `import_bundle` |
+//! | `POST /admin/ring` | router-only | ring swap (404 on a backend) |
 //!
 //! Semantic failures answer with the standard error body
 //! (`{"error":{"code":…,"message":…}}`): `404` for videos the platform
@@ -20,7 +23,8 @@ use crate::http::{Request, Response};
 use crate::metrics::{HttpMetrics, RouteKey};
 use crate::server::Handler;
 use lightor_platform::wire::{
-    CompactResponse, DotsResponse, RescoreRequest, SessionUpload, StatsResponse, UploadError,
+    BundleDto, CompactResponse, DotsResponse, ExportRequest, RescoreRequest, SessionUpload,
+    StatsResponse, UploadError,
 };
 use lightor_platform::LightorService;
 use lightor_types::VideoId;
@@ -41,6 +45,12 @@ pub enum Route {
     Stats,
     /// `POST /admin/compact`
     Compact,
+    /// `POST /admin/export`
+    Export,
+    /// `POST /admin/import`
+    Import,
+    /// `POST /admin/ring`
+    Ring,
 }
 
 impl Route {
@@ -53,6 +63,9 @@ impl Route {
             Route::Sessions => RouteKey::Sessions,
             Route::Stats => RouteKey::Stats,
             Route::Compact => RouteKey::Compact,
+            Route::Export => RouteKey::Export,
+            Route::Import => RouteKey::Import,
+            Route::Ring => RouteKey::Ring,
         }
     }
 }
@@ -102,6 +115,9 @@ pub fn resolve(method: &str, path: &str) -> Result<Route, RouteError> {
         ["stats"] => (Route::Stats, "GET"),
         ["sessions"] => (Route::Sessions, "POST"),
         ["admin", "compact"] => (Route::Compact, "POST"),
+        ["admin", "export"] => (Route::Export, "POST"),
+        ["admin", "import"] => (Route::Import, "POST"),
+        ["admin", "ring"] => (Route::Ring, "POST"),
         ["video", id, "dots"] => (Route::Dots(parse_id(id)?), "GET"),
         ["video", id, "rescore"] => (Route::Rescore(parse_id(id)?), "POST"),
         _ => return Err(RouteError::NotFound),
@@ -137,6 +153,15 @@ pub fn dispatch(
         // path — a successful compaction rewrites storage and clears
         // the degraded flag.
         Route::Compact => handle_compact(svc),
+        Route::Export => handle_export(svc, &req.body),
+        Route::Import => gate_write(svc).unwrap_or_else(|| handle_import(svc, &req.body)),
+        // Ring membership is the router's concern; a backend owns no
+        // ring to update.
+        Route::Ring => Response::error(
+            404,
+            "not_found",
+            "ring updates apply at the router, not a backend",
+        ),
     };
     (route.key(), response)
 }
@@ -234,6 +259,17 @@ fn handle_sessions(svc: &LightorService, body: &[u8]) -> Response {
         Ok(pair) => pair,
         Err(e) => return Response::error(422, e.code(), &e.to_string()),
     };
+    // Migration cutover: while a video is frozen, its refinement
+    // writes 503 with a Retry-After covering the rest of the window,
+    // so the exporter's final WAL-tail delta is complete.
+    if let Some(remaining) = svc.frozen_for(video) {
+        return Response::error(
+            503,
+            "frozen",
+            "this video is mid-migration; retry after the cutover",
+        )
+        .with_header("Retry-After", remaining.as_secs().max(1).to_string());
+    }
     let Some(plays_buffered) = svc.log_session(video, &session) else {
         let e = UploadError::UnknownVideo { video: video.0 };
         return Response::error(422, e.code(), &e.to_string());
@@ -265,6 +301,33 @@ fn handle_compact(svc: &LightorService) -> Response {
     }
 }
 
+fn handle_export(svc: &LightorService, body: &[u8]) -> Response {
+    let req: ExportRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(_) => return Response::error(400, "bad_json", "body must be an ExportRequest"),
+    };
+    match svc.export_bundle(&req) {
+        Ok(bundle) => Response::json(200, &bundle),
+        Err(e) => storage_error(&e),
+    }
+}
+
+fn handle_import(svc: &LightorService, body: &[u8]) -> Response {
+    let bundle: BundleDto = match serde_json::from_slice(body) {
+        Ok(b) => b,
+        Err(_) => return Response::error(400, "bad_json", "body must be a BundleDto"),
+    };
+    match svc.import_bundle(&bundle) {
+        Ok(applied) => Response::json(200, &applied),
+        // A CRC mismatch or malformed entry is the sender's problem
+        // (the bundle is semantically bad), not a storage failure.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Response::error(422, "bad_bundle", &e.to_string())
+        }
+        Err(e) => storage_error(&e),
+    }
+}
+
 fn storage_error(e: &std::io::Error) -> Response {
     Response::error(500, "storage_error", &e.to_string())
 }
@@ -279,6 +342,13 @@ mod tests {
         assert_eq!(resolve("GET", "/stats"), Ok(Route::Stats));
         assert_eq!(resolve("POST", "/sessions"), Ok(Route::Sessions));
         assert_eq!(resolve("POST", "/admin/compact"), Ok(Route::Compact));
+        assert_eq!(resolve("POST", "/admin/export"), Ok(Route::Export));
+        assert_eq!(resolve("POST", "/admin/import"), Ok(Route::Import));
+        assert_eq!(resolve("POST", "/admin/ring"), Ok(Route::Ring));
+        assert_eq!(
+            resolve("GET", "/admin/export"),
+            Err(RouteError::MethodNotAllowed)
+        );
         assert_eq!(resolve("GET", "/video/42/dots"), Ok(Route::Dots(42)));
         assert_eq!(resolve("POST", "/video/7/rescore"), Ok(Route::Rescore(7)));
         // Trailing slash tolerated (empty segments are dropped).

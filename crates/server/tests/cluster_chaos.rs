@@ -1,15 +1,23 @@
-//! Chaos test: real `lightor-serve` backend *processes* behind a real
-//! `lightor-router` process, with one backend SIGKILLed and restarted
-//! mid-load.
+//! Chaos tests: real `lightor-serve` backend *processes* behind a real
+//! `lightor-router` process, with backends SIGKILLed, replaced, and
+//! resharded mid-load.
 //!
 //! Asserts the fault-tolerance contract end to end:
 //!
 //! * refined red dots acknowledged before the kill survive the
 //!   failover (same data dir + WAL replay on restart);
 //! * GETs to healthy shards never see a 5xx while the victim is down;
-//! * the router's `/healthz` walks the victim down and back to healthy.
+//! * the router's `/healthz` walks the victim down and back to healthy;
+//! * a planned live migration (bulk → freeze + delta → ring swap)
+//!   bounds its write-freeze window under one second;
+//! * a SIGKILLed shard's range comes back on a *fresh* process via
+//!   `--restore-from` + a live ring update, with zero acknowledged
+//!   loss.
 
-use lightor_platform::wire::{DotsResponse, EventDto, RouterHealthzResponse, SessionUpload};
+use lightor_platform::wire::{
+    BundleDto, DotsResponse, EventDto, ExportRequest, ImportResponse, RingUpdateRequest,
+    RingUpdateResponse, RouterHealthzResponse, SessionUpload,
+};
 use lightor_server::cluster::{Cluster, ClusterConfig};
 use lightor_server::router::SessionAccepted;
 use lightor_server::HttpClient;
@@ -79,6 +87,19 @@ fn spawn_and_parse<T>(
 
 /// Boot one backend; returns (process, bound addr, catalog video ids).
 fn spawn_backend(dir: &std::path::Path, seed: u64, port: u16) -> (Proc, SocketAddr, Vec<u64>) {
+    let (proc_, addr, catalog, _) = spawn_backend_restoring(dir, seed, port, None);
+    (proc_, addr, catalog)
+}
+
+/// Boot one backend, optionally restoring a dead backend's range from
+/// its data dir first; the fourth return is the restored-video count
+/// (`None` when not restoring).
+fn spawn_backend_restoring(
+    dir: &std::path::Path,
+    seed: u64,
+    port: u16,
+    restore_from: Option<&std::path::Path>,
+) -> (Proc, SocketAddr, Vec<u64>, Option<usize>) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_lightor-serve"));
     cmd.args([
         "--quick",
@@ -89,11 +110,24 @@ fn spawn_backend(dir: &std::path::Path, seed: u64, port: u16) -> (Proc, SocketAd
         "--data-dir",
     ])
     .arg(dir);
-    // The backend prints `listening on http://ADDR` then `catalog: …`;
-    // parse both (they arrive in order).
-    let (proc_, (addr, catalog)) = spawn_and_parse(cmd, Duration::from_secs(120), {
+    if let Some(dead) = restore_from {
+        cmd.arg("--restore-from").arg(dead);
+    }
+    // The backend prints `restored: …` (when restoring), then
+    // `listening on http://ADDR`, then `catalog: …` — in that order.
+    let (proc_, (addr, catalog, restored)) = spawn_and_parse(cmd, Duration::from_secs(120), {
         let addr = std::cell::Cell::new(None::<SocketAddr>);
+        let restored = std::cell::Cell::new(None::<usize>);
         move |line| {
+            if let Some(rest) = line.strip_prefix("restored: ") {
+                let count = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("restored count");
+                restored.set(Some(count));
+                return None;
+            }
             if let Some(rest) = line.strip_prefix("lightor-serve listening on http://") {
                 addr.set(Some(rest.trim().parse().expect("addr")));
                 return None;
@@ -103,10 +137,14 @@ fn spawn_backend(dir: &std::path::Path, seed: u64, port: u16) -> (Proc, SocketAd
                 .split_whitespace()
                 .map(|s| s.parse().expect("catalog id"))
                 .collect();
-            Some((addr.get().expect("listening line before catalog"), catalog))
+            Some((
+                addr.get().expect("listening line before catalog"),
+                catalog,
+                restored.get(),
+            ))
         }
     });
-    (proc_, addr, catalog)
+    (proc_, addr, catalog, restored)
 }
 
 /// Boot the router over `backends`; returns (process, bound addr).
@@ -142,6 +180,97 @@ fn refining_upload(video: u64, client: u64, dot_at: f64) -> String {
 
 fn healthz(client: &mut HttpClient) -> RouterHealthzResponse {
     client.get("/healthz").unwrap().json().unwrap()
+}
+
+/// `POST /admin/export` on one backend; returns the raw bundle body
+/// (shippable verbatim as an import body) and its parsed form.
+fn export_bundle(addr: SocketAddr, req: &ExportRequest) -> (String, BundleDto) {
+    let mut c = HttpClient::connect(addr).unwrap();
+    let resp = c
+        .post_json("/admin/export", &serde_json::to_string(req).unwrap())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let bundle = resp.json().unwrap();
+    (resp.body_str().to_string(), bundle)
+}
+
+/// `POST /admin/import` a bundle body into one backend.
+fn import_bundle(addr: SocketAddr, body: &str) -> ImportResponse {
+    let mut c = HttpClient::connect(addr).unwrap();
+    let resp = c.post_json("/admin/import", body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.json().unwrap()
+}
+
+/// `POST /admin/ring` on the router: swap in a new backend set, live.
+fn apply_ring(router: SocketAddr, backends: &[SocketAddr]) -> RingUpdateResponse {
+    let req = RingUpdateRequest {
+        backends: backends.iter().map(|a| a.to_string()).collect(),
+    };
+    let mut c = HttpClient::connect(router).unwrap();
+    let resp = c
+        .post_json("/admin/ring", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.json().unwrap()
+}
+
+/// Open `vid` and drive refining uploads through the router until a
+/// refinement round is acknowledged, then return the acknowledged
+/// dots. Every ack is durable by contract: refine persists through the
+/// WAL-fronted KV store before answering.
+fn refine_and_ack(client: &mut HttpClient, vid: u64) -> DotsResponse {
+    let dots: DotsResponse = client
+        .get(&format!("/video/{vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(!dots.dots.is_empty());
+    let mut refined_acked = 0usize;
+    for i in 0..200u64 {
+        let dot_at = dots.dots[(i as usize) % dots.dots.len()].at_seconds;
+        let resp = client
+            .post_json("/sessions", &refining_upload(vid, i, dot_at))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let ack: SessionAccepted = resp.json().unwrap();
+        refined_acked += ack.dots_refined;
+        if refined_acked >= 3 {
+            break;
+        }
+    }
+    assert!(
+        refined_acked >= 1,
+        "load never triggered a refinement round"
+    );
+    client
+        .get(&format!("/video/{vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap()
+}
+
+/// Background GET load over `ids` through the router; joining the
+/// handle yields every 5xx observed (the tests assert it stays empty).
+fn spawn_loader(
+    router: SocketAddr,
+    ids: Vec<u64>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<Vec<(u64, u16)>> {
+    std::thread::spawn(move || {
+        let mut client = HttpClient::connect(router).unwrap();
+        let mut five_xx = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            for &v in &ids {
+                let resp = client.get(&format!("/video/{v}/dots")).unwrap();
+                if resp.status >= 500 {
+                    five_xx.push((v, resp.status));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        five_xx
+    })
 }
 
 fn wait_backend_state(router: SocketAddr, addr: SocketAddr, want: &str, within: Duration) {
@@ -204,58 +333,13 @@ fn killing_and_restarting_a_backend_mid_load_loses_nothing() {
 
     // Phase 1 — load: open the victim's video and upload sessions until
     // a refinement round is acknowledged (the state the kill must not
-    // lose). Every ack here is durable by contract: refine persists
-    // through the WAL-fronted KV store before answering.
-    let dots: DotsResponse = client
-        .get(&format!("/video/{victim_vid}/dots"))
-        .unwrap()
-        .json()
-        .unwrap();
-    assert!(!dots.dots.is_empty());
-    let mut refined_acked = 0usize;
-    for i in 0..200u64 {
-        let dot_at = dots.dots[(i as usize) % dots.dots.len()].at_seconds;
-        let resp = client
-            .post_json("/sessions", &refining_upload(victim_vid, i, dot_at))
-            .unwrap();
-        assert_eq!(resp.status, 200, "{}", resp.body_str());
-        let ack: SessionAccepted = resp.json().unwrap();
-        refined_acked += ack.dots_refined;
-        if refined_acked >= 3 {
-            break;
-        }
-    }
-    assert!(
-        refined_acked >= 1,
-        "load never triggered a refinement round"
-    );
-    let acknowledged: DotsResponse = client
-        .get(&format!("/video/{victim_vid}/dots"))
-        .unwrap()
-        .json()
-        .unwrap();
+    // lose).
+    let acknowledged = refine_and_ack(&mut client, victim_vid);
 
     // Phase 2 — chaos: background load hammers healthy shards while the
     // victim is killed; healthy shards must never answer 5xx.
     let stop = Arc::new(AtomicBool::new(false));
-    let loader = {
-        let stop = stop.clone();
-        let ids = healthy_probe_ids.clone();
-        std::thread::spawn(move || {
-            let mut client = HttpClient::connect(router_addr).unwrap();
-            let mut five_xx = Vec::new();
-            while !stop.load(Ordering::Relaxed) {
-                for &v in &ids {
-                    let resp = client.get(&format!("/video/{v}/dots")).unwrap();
-                    if resp.status >= 500 {
-                        five_xx.push((v, resp.status));
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            five_xx
-        })
-    };
+    let loader = spawn_loader(router_addr, healthy_probe_ids.clone(), stop.clone());
 
     // SIGKILL the victim mid-load.
     drop(backends[victim].take());
@@ -303,4 +387,210 @@ fn killing_and_restarting_a_backend_mid_load_loses_nothing() {
         "acknowledged refinement state was lost in the failover"
     );
     assert_eq!(healthz(&mut client).status, "ok");
+}
+
+#[test]
+fn planned_migration_drains_a_shard_with_a_subsecond_freeze() {
+    const SEED: u64 = 72;
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("mig{i}"))).collect();
+
+    // Two shards + router; a third backend boots later as the target.
+    let (_proc_a, addr_a, catalog) = spawn_backend(&dirs[0].0, SEED, 0);
+    let (_proc_b, addr_b, _) = spawn_backend(&dirs[1].0, SEED, 0);
+    let addrs = vec![addr_a, addr_b];
+    let (_router_proc, router_addr) = spawn_router(&addrs);
+    let ring = Cluster::new(ClusterConfig::new(addrs.clone()));
+
+    // Drain the shard that owns the catalog's first video; the other
+    // shard stays in the ring.
+    let vid = catalog[0];
+    let src = ring.shard_for(vid);
+    let keep = 1 - src;
+
+    let mut client = HttpClient::connect(router_addr).unwrap();
+    let acknowledged = refine_and_ack(&mut client, vid);
+
+    let (_proc_c, addr_c, _) = spawn_backend(&dirs[2].0, SEED, 0);
+
+    // Background GETs against the shard that stays; resharding must
+    // never cost a healthy shard's reads a 5xx.
+    let keep_ids: Vec<u64> = (0..1000u64)
+        .filter(|&v| ring.shard_for(v) == keep)
+        .take(8)
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let loader = spawn_loader(router_addr, keep_ids, stop.clone());
+
+    // Phase 1 — bulk copy, no freeze: the drained shard's full range
+    // goes to both remaining backends (whichever owns each video after
+    // the swap must hold its state).
+    let (bulk_body, bulk) = export_bundle(
+        addrs[src],
+        &ExportRequest {
+            videos: vec![],
+            since_seq: 0,
+            freeze_ms: 0,
+        },
+    );
+    assert!(import_bundle(addrs[keep], &bulk_body).videos >= 1);
+    import_bundle(addr_c, &bulk_body);
+
+    // Phase 2 — cutover: freeze the drained shard's writes, ship the
+    // delta since the bulk copy, swap the ring. The clock starts at
+    // the freeze and stops at the first accepted write.
+    let t0 = Instant::now();
+    let (delta_body, _) = export_bundle(
+        addrs[src],
+        &ExportRequest {
+            videos: vec![],
+            since_seq: bulk.as_of_seq,
+            freeze_ms: 900,
+        },
+    );
+    import_bundle(addrs[keep], &delta_body);
+    import_bundle(addr_c, &delta_body);
+
+    // Mid-freeze, the old owner rejects writes with a Retry-After.
+    let resp = client
+        .post_json("/sessions", &refining_upload(vid, 500, 10.0))
+        .unwrap();
+    assert_eq!(resp.status, 503, "frozen video rejects writes");
+    assert!(resp.header("retry-after").is_some());
+
+    let applied = apply_ring(router_addr, &[addrs[keep], addr_c]);
+    assert_eq!(applied.version, 2);
+
+    // Writes land again the moment the new ring routes them — the
+    // freeze window ends with the cutover, not with its TTL — and the
+    // whole window stays under a second.
+    let freeze_window = loop {
+        let resp = client
+            .post_json("/sessions", &refining_upload(vid, 501, 10.0))
+            .unwrap();
+        if resp.status == 200 {
+            break t0.elapsed();
+        }
+        assert_eq!(resp.status, 503, "{}", resp.body_str());
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "writes never resumed after the ring swap"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        freeze_window < Duration::from_secs(1),
+        "cutover froze writes for {freeze_window:?}"
+    );
+
+    // The refined dots acknowledged before the migration come back
+    // identical through the new ring.
+    let resp = client.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let after: DotsResponse = resp.json().unwrap();
+    assert_eq!(after, acknowledged, "refined state was lost in the move");
+
+    // The target earns healthy through the ordinary state machine.
+    wait_backend_state(router_addr, addr_c, "healthy", Duration::from_secs(120));
+    let hz = healthz(&mut client);
+    assert_eq!(hz.status, "ok");
+    assert_eq!(hz.ring_version, 2);
+
+    stop.store(true, Ordering::Relaxed);
+    let five_xx = loader.join().unwrap();
+    assert!(
+        five_xx.is_empty(),
+        "healthy shards answered 5xx during the migration: {five_xx:?}"
+    );
+}
+
+#[test]
+fn crash_replacement_restores_the_dead_range_on_a_fresh_process() {
+    const SEED: u64 = 73;
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("rep{i}"))).collect();
+
+    let mut backends: Vec<Option<(Proc, SocketAddr)>> = Vec::new();
+    let mut catalog = Vec::new();
+    for dir in &dirs[..2] {
+        let (proc_, addr, cat) = spawn_backend(&dir.0, SEED, 0);
+        catalog = cat;
+        backends.push(Some((proc_, addr)));
+    }
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.as_ref().unwrap().1).collect();
+    let (_router_proc, router_addr) = spawn_router(&addrs);
+    let ring = Cluster::new(ClusterConfig::new(addrs.clone()));
+
+    let vid = catalog[0];
+    let victim = ring.shard_for(vid);
+    let survivor = 1 - victim;
+
+    let mut client = HttpClient::connect(router_addr).unwrap();
+    let acknowledged = refine_and_ack(&mut client, vid);
+
+    let survivor_ids: Vec<u64> = (0..1000u64)
+        .filter(|&v| ring.shard_for(v) == survivor)
+        .take(8)
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let loader = spawn_loader(router_addr, survivor_ids, stop.clone());
+
+    // SIGKILL the victim; its data dir is all that survives.
+    drop(backends[victim].take());
+    wait_backend_state(router_addr, addrs[victim], "down", Duration::from_secs(20));
+
+    // A *fresh* process on a new port and a new data dir adopts the
+    // dead shard's range: snapshot + WAL tail from the dead dir.
+    let (_proc_c, addr_c, _, restored_count) =
+        spawn_backend_restoring(&dirs[2].0, SEED, 0, Some(&dirs[victim].0));
+    assert!(
+        restored_count.expect("replacement prints a restored line") >= 1,
+        "the dead dir held the victim's range"
+    );
+
+    // Fan the restored range to the survivor too — after the swap,
+    // whichever of the two owns each ex-victim video must hold its
+    // state.
+    let (bundle_body, _) = export_bundle(
+        addr_c,
+        &ExportRequest {
+            videos: vec![],
+            since_seq: 0,
+            freeze_ms: 0,
+        },
+    );
+    import_bundle(addrs[survivor], &bundle_body);
+
+    // Replace the dead address with the replacement, live.
+    let applied = apply_ring(router_addr, &[addrs[survivor], addr_c]);
+    assert_eq!(applied.version, 2);
+
+    // Zero acknowledged loss: every refinement round the router
+    // acknowledged before the SIGKILL is served by the new ring.
+    let resp = client.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let after: DotsResponse = resp.json().unwrap();
+    assert_eq!(
+        after, acknowledged,
+        "acknowledged refinement state was lost in the replacement"
+    );
+
+    // Writes flow to the new ring immediately.
+    let resp = client
+        .post_json("/sessions", &refining_upload(vid, 999, 10.0))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // The replacement joins through recovering → healthy; the dead
+    // address is gone from the ring.
+    wait_backend_state(router_addr, addr_c, "healthy", Duration::from_secs(120));
+    let hz = healthz(&mut client);
+    assert_eq!(hz.status, "ok");
+    assert_eq!(hz.ring_version, 2);
+    assert_eq!(hz.backends.len(), 2);
+
+    stop.store(true, Ordering::Relaxed);
+    let five_xx = loader.join().unwrap();
+    assert!(
+        five_xx.is_empty(),
+        "healthy shards answered 5xx during the replacement: {five_xx:?}"
+    );
 }

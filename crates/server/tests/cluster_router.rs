@@ -7,7 +7,8 @@ use lightor_chatsim::{dota2_dataset, SimPlatform};
 use lightor_crowdsim::Campaign;
 use lightor_eval::harness::{train_initializer, train_type_classifier};
 use lightor_platform::wire::{
-    CompactResponse, DotsResponse, EventDto, RouterHealthzResponse, RouterStatsResponse,
+    BundleDto, CompactResponse, DotsResponse, EventDto, ExportRequest, ImportResponse,
+    RingUpdateRequest, RingUpdateResponse, RouterHealthzResponse, RouterStatsResponse,
     SessionUpload,
 };
 use lightor_platform::{LightorService, ServiceConfig};
@@ -145,6 +146,7 @@ fn router_proxies_routes_and_aggregates_stats() {
     assert_eq!(resp.status, 200);
     let hz: RouterHealthzResponse = resp.json().unwrap();
     assert_eq!(hz.status, "ok");
+    assert_eq!(hz.ring_version, 1, "the boot ring is version 1");
     assert_eq!(hz.backends.len(), 3);
     assert!(hz.backends.iter().all(|b| b.health == "healthy"));
 
@@ -269,6 +271,17 @@ fn router_trips_a_dead_shard_and_recovers_it() {
         stats.backends[victim].stats.is_none(),
         "down shard: no stats"
     );
+    // The sweep reports partial results rather than failing outright:
+    // the dead shard is marked, the rest still carry their stats.
+    assert!(stats.backends[victim].unreachable);
+    for (i, b) in stats.backends.iter().enumerate() {
+        if i != victim {
+            assert!(
+                !b.unreachable && b.stats.is_some(),
+                "live shard {i} aggregated"
+            );
+        }
+    }
 
     // Restart the shard on its old address and old data dir: probes
     // must walk it down → recovering → healthy, and the refined dots
@@ -290,6 +303,139 @@ fn router_trips_a_dead_shard_and_recovers_it() {
 
     router.shutdown();
     for b in backends.into_iter().flatten() {
+        b.shutdown();
+    }
+}
+
+/// The full live-resharding protocol over real sockets: bulk export →
+/// import → freeze + delta → import → ring swap — and at every step,
+/// the requests that must keep working do.
+#[test]
+fn live_migration_hands_ownership_to_a_new_backend() {
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("mig{i}"))).collect();
+    let old: Vec<HttpServer> = dirs[..2]
+        .iter()
+        .map(|d| backend(&d.0, "127.0.0.1:0".parse().unwrap()))
+        .collect();
+    let router = router(old.iter().map(|b| b.local_addr()).collect());
+    let mut client = HttpClient::connect(router.local_addr()).unwrap();
+
+    // Warm + refine one video through the router; its state is what
+    // the migration must carry over intact.
+    let vid = catalog()[0];
+    assert_eq!(
+        client.get(&format!("/video/{vid}/dots")).unwrap().status,
+        200
+    );
+    for _ in 0..3 {
+        let resp = client.post_json("/sessions", &upload_json(vid)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    let refined: DotsResponse = client
+        .get(&format!("/video/{vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+
+    // The migration target: a fresh backend with an empty data dir.
+    let target = backend(&dirs[2].0, "127.0.0.1:0".parse().unwrap());
+    let mut to_target = HttpClient::connect(target.local_addr()).unwrap();
+
+    // Phase 1 — bulk copy, no freeze: export everything each old shard
+    // tracks and import it into the target. Writes keep flowing.
+    let mut bulk_seqs = Vec::new();
+    for b in &old {
+        let mut src = HttpClient::connect(b.local_addr()).unwrap();
+        let req = ExportRequest {
+            videos: vec![],
+            since_seq: 0,
+            freeze_ms: 0,
+        };
+        let resp = src
+            .post_json("/admin/export", &serde_json::to_string(&req).unwrap())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let bundle: BundleDto = resp.json().unwrap();
+        bulk_seqs.push(bundle.as_of_seq);
+        // The bundle ships verbatim as the import body.
+        let resp = to_target
+            .post_json("/admin/import", resp.body_str())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let _: ImportResponse = resp.json().unwrap();
+    }
+
+    // Phase 2 — cutover: freeze writes on the old owner while shipping
+    // the delta of anything refined since the bulk copy.
+    let owner = router.cluster().shard_for(vid);
+    let mut src = HttpClient::connect(old[owner].local_addr()).unwrap();
+    let req = ExportRequest {
+        videos: vec![vid],
+        since_seq: bulk_seqs[owner],
+        freeze_ms: 5_000,
+    };
+    let resp = src
+        .post_json("/admin/export", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let delta: BundleDto = resp.json().unwrap();
+    assert!(
+        delta.entries.iter().all(|e| e.chat_hex.is_none()),
+        "delta exports ship state only; chat is immutable after crawl"
+    );
+    let resp = to_target
+        .post_json("/admin/import", resp.body_str())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // Inside the freeze window the old owner answers writes 503 with a
+    // Retry-After (relayed through the router); reads still work.
+    let resp = client.post_json("/sessions", &upload_json(vid)).unwrap();
+    assert_eq!(resp.status, 503, "frozen video rejects writes");
+    assert!(
+        resp.header("retry-after").is_some(),
+        "503 names a retry time"
+    );
+    assert_eq!(
+        client.get(&format!("/video/{vid}/dots")).unwrap().status,
+        200
+    );
+
+    // Phase 3 — handoff: swap the ring to the target, live.
+    let req = RingUpdateRequest {
+        backends: vec![target.local_addr().to_string()],
+    };
+    let resp = client
+        .post_json("/admin/ring", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let applied: RingUpdateResponse = resp.json().unwrap();
+    assert_eq!(applied.version, 2);
+    let hz: RouterHealthzResponse = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(hz.ring_version, 2);
+    assert_eq!(hz.backends.len(), 1);
+
+    // The new owner serves the migrated video with its refined state —
+    // byte-for-byte the dots the old owner acknowledged.
+    let resp = client.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let after: DotsResponse = resp.json().unwrap();
+    assert_eq!(after, refined, "refined state survived the migration");
+
+    // Writes land again immediately — the target was never frozen, so
+    // the freeze window ended with the cutover, not with its TTL.
+    let resp = client.post_json("/sessions", &upload_json(vid)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // Stats aggregate over the new ring.
+    let stats: RouterStatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(stats.ring_version, 2);
+    assert_eq!(stats.backends.len(), 1);
+    assert!(!stats.backends[0].unreachable);
+
+    router.shutdown();
+    target.shutdown();
+    for b in old {
         b.shutdown();
     }
 }

@@ -27,6 +27,13 @@
 //!   one backend and again through a `lightor-router` in front of it;
 //!   the `via_router` / `direct` ratio is the proxy hop's overhead
 //!   (budget: ≤ 2×);
+//! * `corpus_persist` — the cold-scoring fix at store level: rebuild a
+//!   scoring corpus by re-tokenizing the stored replay's raw text
+//!   (`rebuild_raw`, the pre-v3 cold path) vs decoding the persisted
+//!   v3 tokenized section into the same corpus (`load_v3_first_touch`
+//!   pays the once-per-process vocab-term strings; `load_v3` is the
+//!   steady-state columns-only decode); the `rebuild_raw` / `load_v3`
+//!   ratio is the persistence win;
 //! * `chat_generation` — one video's chat replay: the bump-buffer
 //!   fast path (compiled-lexicon pools straight into a columnar
 //!   `ChatLogView`) vs the owned-`String`-per-message reference sink
@@ -197,6 +204,90 @@ fn bench_segmentlog_compact(c: &mut Criterion) {
             i = (i + 1) % 32;
             store.put_chat(VideoId(i), &chat).unwrap();
             black_box(store.compact().unwrap())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_corpus_persist(c: &mut Criterion) {
+    use lightor::{GlobalVocab, TokenizedChat};
+    use lightor_platform::store::TokenizedRecord;
+
+    let dir = std::env::temp_dir().join(format!("lightor-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One bench-corpus replay stored both ways: the v2 chat record and
+    // its v3 tokenized companion, exactly as the service persists them.
+    let data = bench_dataset();
+    let vid = VideoId(1);
+    let mut store = ChatStore::open(&dir).unwrap();
+    store
+        .put_chat(vid, &data.videos[0].video.chat.to_chat_log())
+        .unwrap();
+    let view = store.get_chat_view(vid).unwrap().unwrap();
+    let vocab = GlobalVocab::new();
+    let (corpus, delta) = TokenizedChat::build_from_view_global(&view, &vocab);
+    store
+        .put_tokenized(&TokenizedRecord {
+            video: vid,
+            dim: corpus.dim() as u32,
+            token_ends: corpus.token_ends().to_vec(),
+            token_ids: corpus.token_ids().to_vec(),
+            word_counts: corpus.word_counts().to_vec(),
+            vocab_base: delta.base,
+            vocab_terms: delta.terms.clone(),
+        })
+        .unwrap();
+
+    let mut g = c.benchmark_group("corpus_persist");
+    g.throughput(Throughput::Elements(view.len() as u64));
+    // Pre-v3 cold path: read the replay, re-tokenize every message
+    // (steady state: the global vocab is already warm).
+    g.bench_function("rebuild_raw", |b| {
+        b.iter(|| {
+            let view = store.get_chat_view(vid).unwrap().unwrap();
+            black_box(TokenizedChat::build_from_view_global(&view, &vocab))
+        })
+    });
+    // v3 first touch: full decode including the vocab-term strings the
+    // service absorbs into its shared vocabulary once per process.
+    g.bench_function("load_v3_first_touch", |b| {
+        b.iter(|| {
+            let view = store.get_chat_view(vid).unwrap().unwrap();
+            let rec = store.get_tokenized(vid).unwrap().unwrap();
+            let ts: Vec<f64> = (0..view.len()).map(|i| view.ts(i).0).collect();
+            black_box(
+                TokenizedChat::from_columns(
+                    ts,
+                    rec.word_counts,
+                    &rec.token_ends,
+                    &rec.token_ids,
+                    rec.dim as usize,
+                )
+                .expect("persisted columns are consistent"),
+            )
+        })
+    });
+    // v3 steady-state cold path: columns-only decode (terms validated
+    // but not materialized), reassemble the corpus — no tokenizer, no
+    // per-term allocation.
+    g.bench_function("load_v3", |b| {
+        b.iter(|| {
+            let view = store.get_chat_view(vid).unwrap().unwrap();
+            let rec = store.get_tokenized_columns(vid).unwrap().unwrap();
+            let ts: Vec<f64> = (0..view.len()).map(|i| view.ts(i).0).collect();
+            black_box(
+                TokenizedChat::from_columns(
+                    ts,
+                    rec.word_counts,
+                    &rec.token_ends,
+                    &rec.token_ids,
+                    rec.dim as usize,
+                )
+                .expect("persisted columns are consistent"),
+            )
         })
     });
     g.finish();
@@ -437,6 +528,7 @@ criterion_group!(
     bench_campaign_run_task,
     bench_kv_put_throughput,
     bench_segmentlog_compact,
+    bench_corpus_persist,
     bench_http_serve,
     bench_router_proxy,
     bench_chat_generation,

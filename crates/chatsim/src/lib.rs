@@ -60,4 +60,5 @@ pub use catalog::{Channel, SimPlatform};
 pub use chat::{ChatGenerator, SimVideo};
 pub use dataset::{dota2_dataset, lol_dataset, Dataset};
 pub use game::GameProfile;
+pub use lexicon::{CompiledLexicon, MessageKind};
 pub use video::{VideoGenerator, VideoSpec};

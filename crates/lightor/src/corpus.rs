@@ -7,9 +7,9 @@
 //! This module makes featurization incremental:
 //!
 //! * [`TokenizedChat`] — built **once** per [`ChatLog`]: a corpus-level
-//!   [`Vocab`], every message interned to a [`BowVector`], cached word
-//!   counts, and prefix sums over word counts. Index-aligned with
-//!   `ChatLog::messages()`.
+//!   [`Vocab`], every message's sorted-unique token ids stored in one
+//!   flat CSR column, cached word counts, and prefix sums over word
+//!   counts. Index-aligned with `ChatLog::messages()`.
 //! * [`TokenizedChat::featurize_windows`] — slides over a sorted window
 //!   list with two monotone message pointers, maintaining a sparse
 //!   token-count window ([`LooWindow`]) by adding entering messages and
@@ -26,23 +26,42 @@
 //! unchanged whichever path scored the windows.
 
 use crate::features::WindowFeatures;
-use lightor_mlcore::text::{BowVector, Vocab};
+use crate::vocab::{FragmentTable, GlobalVocab, VocabDelta};
+use lightor_mlcore::text::Vocab;
 use lightor_mlcore::LooWindow;
-use lightor_types::{ChatLog, ChatLogView, Sec, TimeRange};
+use lightor_types::{ChatLog, ChatLogView, FragRuns, Sec, TimeRange};
 use rayon::prelude::*;
 
 /// A chat log tokenized exactly once, with the aggregates window
 /// featurization needs.
 #[derive(Clone, Debug, Default)]
 pub struct TokenizedChat {
+    /// Per-corpus vocabulary — populated only by the original
+    /// word-split builds. Corpora built against a [`GlobalVocab`]
+    /// (or decoded from persisted columns) leave this empty: their
+    /// term ids live in the shared table and scoring needs only
+    /// [`TokenizedChat::dim`].
     vocab: Vocab,
-    vectors: Vec<BowVector>,
+    /// Flat CSR token storage: every message's sorted-unique token ids
+    /// concatenated; message `i` owns `token_ids[offsets[i]..offsets[i+1]]`.
+    /// One allocation for the whole corpus instead of one `Vec` per
+    /// message — the difference between a decode-bound cold load and a
+    /// malloc-bound one.
+    token_ids: Vec<u32>,
+    /// Length `n + 1`, `offsets[0] == 0`, monotone non-decreasing.
+    offsets: Vec<u32>,
     word_counts: Vec<u32>,
     /// Prefix sums of `word_counts`; `word_prefix[i]` = words in
     /// messages `0..i`. Length `n + 1`.
     word_prefix: Vec<u64>,
     /// Message timestamps (sorted, mirrors `ChatLog` order).
     ts: Vec<f64>,
+    /// Dense term-space size: every vector index is `< dim`. For
+    /// per-corpus builds this equals `vocab.len()`; for global-vocab
+    /// builds it is the largest used id + 1. Feeds the rolling
+    /// count-array size, under which features are invariant to any
+    /// injective id remapping.
+    dim: usize,
 }
 
 impl TokenizedChat {
@@ -73,14 +92,18 @@ impl TokenizedChat {
         I: Iterator<Item = (f64, S)>,
     {
         let mut vocab = Vocab::new();
-        let mut vectors = Vec::with_capacity(n_hint);
+        let mut token_ids = Vec::new();
+        let mut offsets = Vec::with_capacity(n_hint + 1);
         let mut word_counts = Vec::with_capacity(n_hint);
         let mut word_prefix = Vec::with_capacity(n_hint + 1);
         let mut ts = Vec::with_capacity(n_hint);
         word_prefix.push(0u64);
+        offsets.push(0u32);
         for (t, text) in messages {
             let text = text.as_ref();
-            vectors.push(vocab.intern_text(text));
+            let v = vocab.intern_text(text);
+            token_ids.extend_from_slice(v.indices());
+            offsets.push(token_ids.len() as u32);
             let wc = text.split_whitespace().count() as u32;
             word_counts.push(wc);
             word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
@@ -90,33 +113,212 @@ impl TokenizedChat {
             );
             ts.push(t);
         }
+        let dim = vocab.len();
         TokenizedChat {
             vocab,
-            vectors,
+            token_ids,
+            offsets,
             word_counts,
             word_prefix,
             ts,
+            dim,
         }
+    }
+
+    /// Tokenize a view against a shared [`GlobalVocab`] instead of a
+    /// fresh per-corpus table: one [`crate::vocab::VocabSession`] for
+    /// the whole build, returning the corpus plus the
+    /// [`VocabDelta`] of terms this video introduced (the unit worth
+    /// persisting). The resulting corpus scores bit-exactly like the
+    /// per-corpus build — see the pins in [`crate::vocab`].
+    pub fn build_from_view_global(view: &ChatLogView, vocab: &GlobalVocab) -> (Self, VocabDelta) {
+        let n = view.len();
+        let mut sess = vocab.session();
+        let mut token_ids = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut word_counts = Vec::with_capacity(n);
+        let mut word_prefix = Vec::with_capacity(n + 1);
+        let mut ts = Vec::with_capacity(n);
+        let mut max_id: Option<u32> = None;
+        let mut idx: Vec<u32> = Vec::new();
+        word_prefix.push(0u64);
+        offsets.push(0u32);
+        for m in view.iter() {
+            idx.clear();
+            sess.tokenize_into(&m.text, &mut idx);
+            idx.sort_unstable();
+            idx.dedup();
+            if let Some(&hi) = idx.last() {
+                max_id = Some(max_id.map_or(hi, |m| m.max(hi)));
+            }
+            token_ids.extend_from_slice(&idx);
+            offsets.push(token_ids.len() as u32);
+            let wc = m.text.split_whitespace().count() as u32;
+            word_counts.push(wc);
+            word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
+            ts.push(m.ts.0);
+        }
+        let delta = sess.finish();
+        let corpus = TokenizedChat {
+            vocab: Vocab::new(),
+            token_ids,
+            offsets,
+            word_counts,
+            word_prefix,
+            ts,
+            dim: max_id.map_or(0, |m| m as usize + 1),
+        };
+        (corpus, delta)
+    }
+
+    /// Tokenize generated chat by fragment-table lookup: no
+    /// word-splitting at all. `runs` records which fragments composed
+    /// each message (see [`FragRuns`]) and `table` maps each fragment
+    /// to its global token ids and word count. Must be index-aligned
+    /// with `view` (one run per message).
+    pub fn build_from_frag_runs(
+        view: &ChatLogView,
+        runs: &FragRuns,
+        table: &FragmentTable,
+    ) -> Self {
+        let n = view.len();
+        assert_eq!(runs.len(), n, "one fragment run per message required");
+        let mut token_ids = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut word_counts = Vec::with_capacity(n);
+        let mut word_prefix = Vec::with_capacity(n + 1);
+        let mut ts = Vec::with_capacity(n);
+        let mut max_id: Option<u32> = None;
+        let mut idx: Vec<u32> = Vec::new();
+        word_prefix.push(0u64);
+        offsets.push(0u32);
+        for i in 0..n {
+            idx.clear();
+            let mut wc = 0u32;
+            for &frag in runs.run(i) {
+                idx.extend_from_slice(table.tokens(frag));
+                wc += table.word_count(frag);
+            }
+            idx.sort_unstable();
+            idx.dedup();
+            if let Some(&hi) = idx.last() {
+                max_id = Some(max_id.map_or(hi, |m| m.max(hi)));
+            }
+            token_ids.extend_from_slice(&idx);
+            offsets.push(token_ids.len() as u32);
+            word_counts.push(wc);
+            word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
+            ts.push(view.ts(i).0);
+        }
+        TokenizedChat {
+            vocab: Vocab::new(),
+            token_ids,
+            offsets,
+            word_counts,
+            word_prefix,
+            ts,
+            dim: max_id.map_or(0, |m| m as usize + 1),
+        }
+    }
+
+    /// Reassemble a corpus from persisted columns (the v3 tokenized
+    /// record decode path). `token_offsets` is the cumulative end of
+    /// each message's sorted-unique token ids inside `token_ids`
+    /// (length `n`); timestamps come from the paired chat view.
+    /// Returns `None` when the columns are mutually inconsistent, when
+    /// any id is `>= dim`, or when a message's ids are not strictly
+    /// increasing (the writer persists sorted-unique ids, so anything
+    /// else is corruption — callers fall back to re-tokenizing).
+    pub fn from_columns(
+        ts: Vec<f64>,
+        word_counts: Vec<u32>,
+        token_offsets: &[u32],
+        token_ids: &[u32],
+        dim: usize,
+    ) -> Option<Self> {
+        let n = ts.len();
+        if word_counts.len() != n || token_offsets.len() != n {
+            return None;
+        }
+        if n > 0 && *token_offsets.last().unwrap() as usize != token_ids.len() {
+            return None;
+        }
+        if n == 0 && !token_ids.is_empty() {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut start = 0usize;
+        for &end in token_offsets {
+            let end = end as usize;
+            if end < start || end > token_ids.len() {
+                return None;
+            }
+            let slice = &token_ids[start..end];
+            if slice.iter().any(|&id| id as usize >= dim) {
+                return None;
+            }
+            if slice.windows(2).any(|w| w[0] >= w[1]) {
+                return None;
+            }
+            offsets.push(end as u32);
+            start = end;
+        }
+        let mut word_prefix = Vec::with_capacity(n + 1);
+        word_prefix.push(0u64);
+        for &wc in &word_counts {
+            word_prefix.push(word_prefix.last().unwrap() + u64::from(wc));
+        }
+        Some(TokenizedChat {
+            vocab: Vocab::new(),
+            token_ids: token_ids.to_vec(),
+            offsets,
+            word_counts,
+            word_prefix,
+            ts,
+            dim,
+        })
     }
 
     /// Number of messages.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        // `Default` leaves `offsets` empty (no leading 0 sentinel).
+        self.offsets.len().saturating_sub(1)
     }
 
     /// True when the corpus holds no messages.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.len() == 0
     }
 
-    /// The corpus-level vocabulary.
+    /// The corpus-level vocabulary (empty for global-vocab builds —
+    /// see the field docs).
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
     }
 
-    /// Message vectors, index-aligned with `ChatLog::messages()`.
-    pub fn vectors(&self) -> &[BowVector] {
-        &self.vectors
+    /// Dense term-space size (every vector index is `< dim`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Message `i`'s sorted-unique token ids, index-aligned with
+    /// `ChatLog::messages()`.
+    pub fn vector(&self, i: usize) -> &[u32] {
+        &self.token_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The flat token-id column: every message's ids concatenated.
+    /// Together with [`TokenizedChat::token_ends`], this is exactly the
+    /// v3 on-disk layout — persisting a corpus is two bulk copies.
+    pub fn token_ids(&self) -> &[u32] {
+        &self.token_ids
+    }
+
+    /// Cumulative end of each message's span inside
+    /// [`TokenizedChat::token_ids`] (length `len()`).
+    pub fn token_ends(&self) -> &[u32] {
+        &self.offsets[1..]
     }
 
     /// Message timestamps, index-aligned with `ChatLog::messages()`.
@@ -260,7 +462,7 @@ impl<'a> RollingWindow<'a> {
     fn new(corpus: &'a TokenizedChat) -> Self {
         RollingWindow {
             corpus,
-            loo: LooWindow::new(corpus.vocab.len()),
+            loo: LooWindow::new(corpus.dim),
             lo: 0,
             hi: 0,
         }
@@ -270,30 +472,29 @@ impl<'a> RollingWindow<'a> {
     /// messages and removing leaving ones. Handles arbitrary movement
     /// (both directions), amortized O(messages touched).
     fn slide_to(&mut self, lo: usize, hi: usize) {
-        let vectors = &self.corpus.vectors;
         // Disjoint jump: drop everything, rebuild from empty — cheaper
         // than walking out and back in.
         if lo >= self.hi || hi <= self.lo {
-            for v in &vectors[self.lo..self.hi] {
-                self.loo.remove(v);
+            for i in self.lo..self.hi {
+                self.loo.remove_ids(self.corpus.vector(i));
             }
             self.lo = lo;
             self.hi = lo;
         }
         while self.lo > lo {
             self.lo -= 1;
-            self.loo.add(&vectors[self.lo]);
+            self.loo.add_ids(self.corpus.vector(self.lo));
         }
         while self.lo < lo {
-            self.loo.remove(&vectors[self.lo]);
+            self.loo.remove_ids(self.corpus.vector(self.lo));
             self.lo += 1;
         }
         while self.hi > hi {
             self.hi -= 1;
-            self.loo.remove(&vectors[self.hi]);
+            self.loo.remove_ids(self.corpus.vector(self.hi));
         }
         while self.hi < hi {
-            self.loo.add(&vectors[self.hi]);
+            self.loo.add_ids(self.corpus.vector(self.hi));
             self.hi += 1;
         }
     }
@@ -308,7 +509,7 @@ impl<'a> RollingWindow<'a> {
         let words = self.corpus.words_in(self.lo, self.hi);
         let msg_sim = self
             .loo
-            .mean_loo(self.corpus.vectors[self.lo..self.hi].iter());
+            .mean_loo_ids((self.lo..self.hi).map(|i| self.corpus.vector(i)));
         WindowFeatures {
             msg_num: n as f64,
             msg_len: words as f64 / n as f64,
@@ -339,7 +540,8 @@ mod tests {
         assert_eq!(from_view.len(), from_log.len());
         assert_eq!(from_view.timestamps(), from_log.timestamps());
         assert_eq!(from_view.word_counts(), from_log.word_counts());
-        assert_eq!(from_view.vectors(), from_log.vectors());
+        assert_eq!(from_view.token_ids(), from_log.token_ids());
+        assert_eq!(from_view.token_ends(), from_log.token_ends());
         assert_eq!(from_view.vocab().len(), from_log.vocab().len());
     }
 

@@ -36,6 +36,7 @@ pub mod filter;
 pub mod initializer;
 pub mod model;
 pub mod pipeline;
+pub mod vocab;
 pub mod window;
 
 pub use adjust::learn_adjustment;
@@ -51,4 +52,5 @@ pub use initializer::{
 };
 pub use model::ModelBundle;
 pub use pipeline::{ExtractedHighlight, Lightor};
+pub use vocab::{FragmentTable, GlobalVocab, VocabDelta, VocabSession};
 pub use window::{sliding_windows, sliding_windows_from_ts};

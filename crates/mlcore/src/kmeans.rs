@@ -100,15 +100,21 @@ pub fn mean_loo_similarity(vectors: &[BowVector], dim: usize) -> f64 {
 /// the final division and square roots, so any code path that feeds the
 /// same `total`/`total_sq` produces the identical `f64`.
 fn loo_term(total: &[u32], total_sq: u64, n: usize, v: &BowVector) -> f64 {
+    loo_term_ids(total, total_sq, n, v.indices())
+}
+
+/// [`loo_term`] over a raw sorted-unique id slice — the zero-wrapper
+/// form flat-stored corpora (CSR token layouts) feed directly.
+fn loo_term_ids(total: &[u32], total_sq: u64, n: usize, ids: &[u32]) -> f64 {
     let m = (n - 1) as f64;
     let mut dot_num: u64 = 0; // Σ (total[w] - 1) over v's tokens
     let mut total_dot_x: u64 = 0; // Σ total[w] over v's tokens
-    for &i in v.indices() {
+    for &i in ids {
         let t = u64::from(total.get(i as usize).copied().unwrap_or(0));
         dot_num += t.saturating_sub(1);
         total_dot_x += t;
     }
-    let nnz = v.indices().len() as u64;
+    let nnz = ids.len() as u64;
     // total_sq + nnz >= 2 * total_dot_x because it equals |total - x_i|^2
     // plus non-negative cross terms; the subtraction cannot underflow.
     let center_norm_num = (total_sq + nnz) - 2 * total_dot_x;
@@ -159,7 +165,13 @@ impl LooWindow {
 
     /// Add one message's vector to the window.
     pub fn add(&mut self, v: &BowVector) {
-        for &i in v.indices() {
+        self.add_ids(v.indices());
+    }
+
+    /// [`LooWindow::add`] over a raw sorted-unique id slice (the form
+    /// CSR-stored corpora hold natively — no `BowVector` needed).
+    pub fn add_ids(&mut self, ids: &[u32]) {
+        for &i in ids {
             if let Some(c) = self.counts.get_mut(i as usize) {
                 // (c+1)² - c² = 2c + 1
                 self.total_sq += 2 * u64::from(*c) + 1;
@@ -172,7 +184,12 @@ impl LooWindow {
     /// Remove one message's vector from the window (it must have been
     /// added earlier).
     pub fn remove(&mut self, v: &BowVector) {
-        for &i in v.indices() {
+        self.remove_ids(v.indices());
+    }
+
+    /// [`LooWindow::remove`] over a raw sorted-unique id slice.
+    pub fn remove_ids(&mut self, ids: &[u32]) {
+        for &i in ids {
             if let Some(c) = self.counts.get_mut(i as usize) {
                 // A hard assert: a zero count here means the caller is
                 // removing a vector that was never added, and wrapping
@@ -192,12 +209,17 @@ impl LooWindow {
     /// window order, to match the accumulation order of the batch
     /// function). Returns 0 with fewer than two members.
     pub fn mean_loo<'a>(&self, members: impl Iterator<Item = &'a BowVector>) -> f64 {
+        self.mean_loo_ids(members.map(|v| v.indices()))
+    }
+
+    /// [`LooWindow::mean_loo`] over raw sorted-unique id slices.
+    pub fn mean_loo_ids<'a>(&self, members: impl Iterator<Item = &'a [u32]>) -> f64 {
         if self.n < 2 {
             return 0.0;
         }
         let mut acc = 0.0;
-        for v in members {
-            acc += loo_term(&self.counts, self.total_sq, self.n, v);
+        for ids in members {
+            acc += loo_term_ids(&self.counts, self.total_sq, self.n, ids);
         }
         acc / self.n as f64
     }

@@ -27,11 +27,11 @@
 
 use crate::cache::LruCache;
 use crate::crawler::Crawler;
-use crate::store::{ChatStore, FaultInjector, KvStore};
+use crate::store::{ChatStore, FaultInjector, KvStore, TokenizedRecord};
 use crate::wire::{self, BundleDto, BundleEntryDto, ExportRequest, ImportResponse};
 use lightor::{
-    aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, ModelBundle,
-    TokenizedChat,
+    aggregate_type1, aggregate_type2, filter_plays, play_position_features, DotType, GlobalVocab,
+    ModelBundle, TokenizedChat, VocabDelta,
 };
 use lightor_chatsim::SimPlatform;
 use lightor_types::{Play, RedDot, Sec, Session, VideoId};
@@ -39,7 +39,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -100,8 +100,20 @@ pub struct ServiceStats {
     pub tracked_videos: usize,
     /// Corpus-cache hits (warm scores that skipped tokenization).
     pub corpus_cache_hits: u64,
-    /// Corpus-cache misses (tokenization runs).
+    /// Corpus-cache misses (corpus loads that went to storage).
     pub corpus_cache_misses: u64,
+    /// Corpus loads served from persisted v3 tokenized records —
+    /// zero re-tokenization, term ids straight off disk.
+    pub tokenized_hits: u64,
+    /// Corpus loads that had to re-tokenize raw chat (no usable v3
+    /// companion yet).
+    pub tokenized_misses: u64,
+    /// Lazy v2→v3 upgrades persisted: cold tokenizations written back
+    /// so no future process pays that cost again.
+    pub tokenized_lazy_upgrades: u64,
+    /// Wall time of the boot-time training pass, milliseconds (0 until
+    /// the serve binary reports it).
+    pub train_boot_ms: u64,
     /// Chat-record cache hits in the store.
     pub record_cache_hits: u64,
     /// Chat-record cache misses in the store.
@@ -137,6 +149,24 @@ pub struct LightorService {
     stores: Mutex<Stores>,
     videos: RwLock<HashMap<VideoId, Arc<Mutex<VideoState>>>>,
     corpora: Mutex<LruCache<VideoId, Arc<TokenizedChat>>>,
+    /// Process-wide interned vocabulary: every corpus build and every
+    /// absorbed v3 vocab delta shares it, so a term is tokenized at
+    /// most once per process (and, with v3 companions, once *ever*).
+    vocab: Arc<GlobalVocab>,
+    /// Videos whose persisted vocab delta has been absorbed into
+    /// `vocab` this process (or whose build fed it directly). Decodes
+    /// of these skip term materialization entirely — the terms are
+    /// warm-up data, needed at most once per process per video. Leaf
+    /// lock, taken only inside `corpus_for`.
+    absorbed: Mutex<std::collections::HashSet<VideoId>>,
+    /// Corpus loads decoded from persisted v3 records (no tokenizing).
+    tok_hits: AtomicU64,
+    /// Corpus loads that re-tokenized chat (then upgraded lazily).
+    tok_misses: AtomicU64,
+    /// v3 companions persisted by the lazy-upgrade path.
+    tok_upgrades: AtomicU64,
+    /// Boot-time training wall time, reported by the serve binary.
+    train_boot_ms: AtomicU64,
     /// One injector shared by both stores — the chaos/recovery tests'
     /// handle into the storage I/O of a live service.
     fault: FaultInjector,
@@ -199,6 +229,12 @@ impl LightorService {
             stores: Mutex::new(Stores { chat, kv }),
             videos: RwLock::new(videos),
             corpora: Mutex::new(LruCache::new(cfg.corpus_cache_cap.max(1))),
+            vocab: Arc::new(GlobalVocab::new()),
+            absorbed: Mutex::new(std::collections::HashSet::new()),
+            tok_hits: AtomicU64::new(0),
+            tok_misses: AtomicU64::new(0),
+            tok_upgrades: AtomicU64::new(0),
+            train_boot_ms: AtomicU64::new(0),
             fault,
             degraded: AtomicBool::new(false),
             frozen: Mutex::new(HashMap::new()),
@@ -214,27 +250,19 @@ impl LightorService {
             return Ok(Some(Self::current_dots(&state.lock())));
         }
 
-        // First sight: crawl on miss, tokenize (into the corpus cache),
-        // initialize. The stores lock is scoped to the crawl/read and the
-        // persist; scoring runs without any service-wide lock held.
-        let duration;
-        let corpus;
+        // First sight: crawl on miss, then load the corpus through the
+        // shared path (persisted v3 companion if one shipped in a
+        // bundle, tokenize-and-upgrade otherwise). The stores lock is
+        // scoped to the crawl; scoring runs without any service-wide
+        // lock held.
         {
             let mut stores = self.stores.lock();
             let crawler = Crawler::new(&self.platform);
             if !crawler.crawl_video(video, &mut stores.chat)? {
                 return Ok(None);
             }
-            let view = stores.chat.get_chat_view(video)?.expect("just crawled");
-            duration = self
-                .platform
-                .video_meta(video)
-                .map(|m| m.duration)
-                .unwrap_or_else(|| view.last_ts().unwrap_or(Sec::ZERO));
-            drop(stores);
-            corpus = Arc::new(TokenizedChat::build_from_view(&view));
-            self.corpora.lock().insert(video, corpus.clone());
         }
+        let (corpus, duration) = self.corpus_for(video)?.expect("just crawled");
         let dots = self
             .models
             .initializer
@@ -285,7 +313,17 @@ impl LightorService {
         ))
     }
 
-    /// The cached corpus for a stored video, tokenizing on first use.
+    /// The cached corpus for a stored video.
+    ///
+    /// Resolution order — each step strictly cheaper than the next:
+    /// LRU hit (no storage) → persisted v3 tokenized record (decode
+    /// only, zero re-tokenization) → tokenize the chat view against the
+    /// shared vocabulary and lazily persist the result as a v3
+    /// companion so no future load (this process or the next) pays the
+    /// tokenization again. Companion write failures are swallowed: the
+    /// corpus is correct either way, and the upgrade retries on the
+    /// next cold load — a read path must not flip the service into
+    /// degraded mode over an optional cache write.
     fn corpus_for(&self, video: VideoId) -> std::io::Result<Option<(Arc<TokenizedChat>, Sec)>> {
         let meta_duration = self.platform.video_meta(video).map(|m| m.duration);
         if let Some(corpus) = self.corpora.lock().get(&video) {
@@ -293,17 +331,113 @@ impl LightorService {
                 .unwrap_or_else(|| Sec(corpus.timestamps().last().copied().unwrap_or(0.0)));
             return Ok(Some((corpus, duration)));
         }
-        let view = {
+        // A record's vocab terms are pure warm-up for the shared
+        // vocabulary — needed at most once per process per video. After
+        // the first absorb, decode the cheap columns-only variant and
+        // skip one String allocation per term.
+        let need_terms = !self.absorbed.lock().contains(&video);
+        let (view, tok) = {
             let stores = self.stores.lock();
             match stores.chat.get_chat_view(video)? {
-                Some(v) => v,
+                Some(v) => {
+                    let tok = if need_terms {
+                        stores.chat.get_tokenized(video)?
+                    } else {
+                        stores.chat.get_tokenized_columns(video)?
+                    };
+                    (v, tok)
+                }
                 None => return Ok(None),
             }
         };
         let duration = meta_duration.unwrap_or_else(|| view.last_ts().unwrap_or(Sec::ZERO));
-        let corpus = Arc::new(TokenizedChat::build_from_view(&view));
+        if let Some(rec) = tok {
+            // The store orphans companions on chat overwrite, so a
+            // mismatched message count means corruption — reject and
+            // rebuild rather than serve misaligned columns.
+            if rec.len() == view.len() {
+                // Re-warm the shared vocabulary with the delta this
+                // record carried, so later cold builds re-use its terms
+                // (ids may differ across processes; each record's ids
+                // are self-consistent, which is all scoring needs).
+                if need_terms {
+                    self.vocab.absorb(&rec.vocab_terms);
+                    self.absorbed.lock().insert(video);
+                }
+                let ts: Vec<f64> = (0..view.len()).map(|i| view.ts(i).0).collect();
+                if let Some(corpus) = TokenizedChat::from_columns(
+                    ts,
+                    rec.word_counts,
+                    &rec.token_ends,
+                    &rec.token_ids,
+                    rec.dim as usize,
+                ) {
+                    self.tok_hits.fetch_add(1, Ordering::Relaxed);
+                    let corpus = Arc::new(corpus);
+                    self.corpora.lock().insert(video, corpus.clone());
+                    return Ok(Some((corpus, duration)));
+                }
+            }
+        }
+        self.tok_misses.fetch_add(1, Ordering::Relaxed);
+        let (corpus, delta) = TokenizedChat::build_from_view_global(&view, &self.vocab);
+        let corpus = Arc::new(corpus);
+        let record = Self::tokenized_record(video, &corpus, &delta);
+        if self.stores.lock().chat.put_tokenized(&record).is_ok() {
+            self.tok_upgrades.fetch_add(1, Ordering::Relaxed);
+        }
+        // The build fed the shared vocab directly; the record we just
+        // wrote never needs its terms re-read in this process.
+        self.absorbed.lock().insert(video);
         self.corpora.lock().insert(video, corpus.clone());
         Ok(Some((corpus, duration)))
+    }
+
+    /// Flatten a freshly built corpus (plus the vocab delta its build
+    /// produced) into the v3 persistence columns.
+    fn tokenized_record(
+        video: VideoId,
+        corpus: &TokenizedChat,
+        delta: &VocabDelta,
+    ) -> TokenizedRecord {
+        TokenizedRecord {
+            video,
+            dim: corpus.dim() as u32,
+            // The corpus CSR layout IS the v3 column layout.
+            token_ends: corpus.token_ends().to_vec(),
+            token_ids: corpus.token_ids().to_vec(),
+            word_counts: corpus.word_counts().to_vec(),
+            vocab_base: delta.base,
+            vocab_terms: delta.terms.clone(),
+        }
+    }
+
+    /// Load every stored video's corpus, preferring persisted v3
+    /// records: returns `(loaded, rebuilt)` — `loaded` corpora came
+    /// straight off disk with zero re-tokenization, `rebuilt` had to
+    /// tokenize (and were lazily persisted for next boot). The serve
+    /// binary prints this as its corpus readiness line; on a restart
+    /// over a populated data dir the whole catalog should be `loaded`.
+    pub fn warm_corpora(&self) -> std::io::Result<(usize, usize)> {
+        let videos = self.stores.lock().chat.videos();
+        let mut loaded = 0usize;
+        let mut rebuilt = 0usize;
+        for video in videos {
+            let misses_before = self.tok_misses.load(Ordering::Relaxed);
+            if self.corpus_for(video)?.is_some() {
+                if self.tok_misses.load(Ordering::Relaxed) > misses_before {
+                    rebuilt += 1;
+                } else {
+                    loaded += 1;
+                }
+            }
+        }
+        Ok((loaded, rebuilt))
+    }
+
+    /// Record the boot-time training pass's wall time (serve binary).
+    pub fn set_train_boot_ms(&self, ms: u64) {
+        self.train_boot_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Log one viewer session: its plays are buffered against the nearest
@@ -462,6 +596,10 @@ impl LightorService {
             tracked_videos: self.videos.read().len(),
             corpus_cache_hits: corpus_hits,
             corpus_cache_misses: corpus_misses,
+            tokenized_hits: self.tok_hits.load(Ordering::Relaxed),
+            tokenized_misses: self.tok_misses.load(Ordering::Relaxed),
+            tokenized_lazy_upgrades: self.tok_upgrades.load(Ordering::Relaxed),
+            train_boot_ms: self.train_boot_ms.load(Ordering::Relaxed),
             record_cache_hits: record_hits,
             record_cache_misses: record_misses,
             v1_truncated_records: v1_truncated,
@@ -561,22 +699,29 @@ impl LightorService {
         let mut entries = Vec::new();
         for v in ids {
             let state = changed.get(&format!("video:{}", v.0)).cloned();
-            let chat_hex = if req.since_seq == 0 {
-                stores.chat.export_record(v)?.map(|b| wire::hex_encode(&b))
+            let (chat_hex, tokenized_hex) = if req.since_seq == 0 {
+                (
+                    stores.chat.export_record(v)?.map(|b| wire::hex_encode(&b)),
+                    stores
+                        .chat
+                        .export_tokenized(v)?
+                        .map(|b| wire::hex_encode(&b)),
+                )
             } else {
-                None
+                (None, None)
             };
             if state.is_some() || chat_hex.is_some() {
                 entries.push(BundleEntryDto {
                     video: v.0,
                     state,
                     chat_hex,
+                    tokenized_hex,
                 });
             }
         }
         let crc32 = wire::bundle_crc(&entries);
         Ok(BundleDto {
-            format_version: 1,
+            format_version: 2,
             as_of_seq: stores.kv.current_seq(),
             entries,
             crc32,
@@ -584,18 +729,19 @@ impl LightorService {
     }
 
     /// Apply a migration bundle: verify its CRC, then append chat
-    /// records, persist refinement states, and publish them to the
-    /// in-memory map so reads serve the migrated videos immediately.
-    /// Idempotent — byte-identical chat records already stored are
-    /// skipped (re-imports don't orphan log bytes) and state re-puts
-    /// are plain overwrites.
+    /// records (and their tokenized v3 companions, when the bundle
+    /// carries them), persist refinement states, and publish them to
+    /// the in-memory map so reads serve the migrated videos
+    /// immediately. Idempotent — byte-identical chat and tokenized
+    /// records already stored are skipped (re-imports don't orphan log
+    /// bytes) and state re-puts are plain overwrites.
     pub fn import_bundle(&self, bundle: &BundleDto) -> std::io::Result<ImportResponse> {
         use std::io::{Error, ErrorKind};
-        if bundle.format_version != 1 {
+        if bundle.format_version != 2 {
             return Err(Error::new(
                 ErrorKind::InvalidData,
                 format!(
-                    "unsupported bundle format_version {}",
+                    "unsupported bundle format_version {} (this build speaks 2)",
                     bundle.format_version
                 ),
             ));
@@ -608,6 +754,7 @@ impl LightorService {
         }
         let mut states_applied = 0;
         let mut chats_applied = 0;
+        let mut tokenized_applied = 0;
         let mut restored: Vec<(VideoId, VideoState)> = Vec::new();
         {
             let mut stores = self.stores.lock();
@@ -623,6 +770,24 @@ impl LightorService {
                     if stores.chat.export_record(video)?.as_deref() != Some(bytes.as_slice()) {
                         stores.chat.import_record(video, bytes)?;
                         chats_applied += 1;
+                    }
+                }
+                // Tokenized companion after the chat record (the store
+                // requires the chat to exist first); idempotent at the
+                // byte level like chat imports.
+                if let Some(hex) = &entry.tokenized_hex {
+                    let bytes = wire::hex_decode(hex).ok_or_else(|| {
+                        Error::new(
+                            ErrorKind::InvalidData,
+                            format!(
+                                "bundle tokenized payload for video {} is not hex",
+                                entry.video
+                            ),
+                        )
+                    })?;
+                    if stores.chat.export_tokenized(video)?.as_deref() != Some(bytes.as_slice()) {
+                        stores.chat.import_tokenized(video, bytes)?;
+                        tokenized_applied += 1;
                     }
                 }
                 if let Some(state) = &entry.state {
@@ -650,6 +815,7 @@ impl LightorService {
             videos: bundle.entries.len(),
             states_applied,
             chats_applied,
+            tokenized_applied,
         })
     }
 
@@ -666,17 +832,19 @@ impl LightorService {
         for v in Self::all_video_ids(&chat, &kv) {
             let state = kv.get::<serde_json::Value>(&format!("video:{}", v.0));
             let chat_hex = chat.export_record(v)?.map(|b| wire::hex_encode(&b));
+            let tokenized_hex = chat.export_tokenized(v)?.map(|b| wire::hex_encode(&b));
             if state.is_some() || chat_hex.is_some() {
                 entries.push(BundleEntryDto {
                     video: v.0,
                     state,
                     chat_hex,
+                    tokenized_hex,
                 });
             }
         }
         let crc32 = wire::bundle_crc(&entries);
         Ok(BundleDto {
-            format_version: 1,
+            format_version: 2,
             as_of_seq: kv.current_seq(),
             entries,
             crc32,

@@ -32,6 +32,14 @@
 //!   only; records whose text hits the 65 535-byte v1 ceiling are
 //!   counted in [`ChatStore::v1_truncated_records`] and reported once
 //!   per open, because the original bytes are unrecoverable.
+//! * **v3 (tokenized companion)** — not chat data: a per-video
+//!   tokenized-corpus record written *after* (and indexed next to) the
+//!   video's chat record, so reopening a store never re-tokenizes raw
+//!   text. A separate `VideoId → entry` index tracks them; writing a
+//!   fresh chat record for a video **orphans** its v3 companion (the
+//!   tokenization is stale), both at write time and — because the scan
+//!   runs in log order — across a reopen. Companions whose chat record
+//!   vanished are dropped by the scan too.
 //!
 //! # Read path
 //!
@@ -42,7 +50,7 @@
 //! through [`ChatStore::put_chat`], or [`ChatStore::put_chats`] to
 //! batch many videos into one `sync`.
 
-use super::format::{self, Format};
+use super::format::{self, Format, TokenizedRecord};
 use super::log::{RecordId, SegmentLog};
 use super::FaultInjector;
 use crate::cache::LruCache;
@@ -84,9 +92,13 @@ pub struct CompactStats {
 pub struct ChatStore {
     log: SegmentLog,
     index: HashMap<VideoId, IndexEntry>,
+    /// Live v3 tokenized-companion records, keyed by video. An entry
+    /// here is only valid while the video's chat record is unchanged —
+    /// chat writes orphan it.
+    tok_index: HashMap<VideoId, IndexEntry>,
     /// Decoded views by video; interior mutability so reads stay `&self`.
     cache: Mutex<LruCache<VideoId, ChatLogView>>,
-    /// Framed bytes of all live records (index entries).
+    /// Framed bytes of all live records (chat + tokenized entries).
     live_bytes: u64,
     /// Cumulative bytes reclaimed by compactions since open.
     reclaimed_bytes: u64,
@@ -106,34 +118,49 @@ impl ChatStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let log = SegmentLog::open(dir, 8 << 20)?;
         let mut index: HashMap<VideoId, IndexEntry> = HashMap::new();
+        let mut tok_index: HashMap<VideoId, IndexEntry> = HashMap::new();
         let mut v1_records = 0usize;
         let mut v1_truncated = 0usize;
         log.scan_with(|id, payload| {
             if let Some(info) = format::sniff(payload) {
+                let entry = IndexEntry {
+                    id,
+                    framed_bytes: payload.len() as u64 + FRAME_OVERHEAD,
+                };
+                if info.format == Format::V3 {
+                    // Tokenized companion: later records win, exactly
+                    // like chat overwrites.
+                    tok_index.insert(info.video, entry);
+                    return;
+                }
                 if info.format == Format::V1 {
                     v1_records += 1;
                     v1_truncated += usize::from(info.truncated);
                 }
-                // Later records win: re-crawls overwrite.
-                index.insert(
-                    info.video,
-                    IndexEntry {
-                        id,
-                        framed_bytes: payload.len() as u64 + FRAME_OVERHEAD,
-                    },
-                );
+                // Later records win: re-crawls overwrite. A fresh chat
+                // record also orphans any earlier tokenized companion —
+                // its ids describe the *previous* chat bytes.
+                index.insert(info.video, entry);
+                tok_index.remove(&info.video);
             }
         })?;
+        // A companion whose chat record is gone is useless: drop it.
+        tok_index.retain(|video, _| index.contains_key(video));
         if v1_truncated > 0 {
             eprintln!(
                 "chatstore: {v1_truncated} legacy v1 record(s) hit the u16 text ceiling; \
                  their texts were truncated at write time — re-crawl to recover"
             );
         }
-        let live_bytes = index.values().map(|e| e.framed_bytes).sum();
+        let live_bytes = index
+            .values()
+            .chain(tok_index.values())
+            .map(|e| e.framed_bytes)
+            .sum();
         Ok(ChatStore {
             log,
             index,
+            tok_index,
             cache: Mutex::new(LruCache::new(RECORD_CACHE_CAP)),
             live_bytes,
             reclaimed_bytes: 0,
@@ -144,6 +171,8 @@ impl ChatStore {
 
     /// Point a video's index entry at a fresh record, keeping the
     /// live-byte tally consistent (a replaced record becomes dead).
+    /// A fresh chat record also orphans the video's tokenized
+    /// companion: its ids describe the bytes just replaced.
     fn index_insert(&mut self, video: VideoId, id: RecordId, payload_len: usize) {
         let framed = payload_len as u64 + FRAME_OVERHEAD;
         if let Some(old) = self.index.insert(
@@ -156,6 +185,9 @@ impl ChatStore {
             self.live_bytes -= old.framed_bytes;
         }
         self.live_bytes += framed;
+        if let Some(tok) = self.tok_index.remove(&video) {
+            self.live_bytes -= tok.framed_bytes;
+        }
     }
 
     /// Store (or replace) a video's chat replay from an owned log.
@@ -238,6 +270,143 @@ impl ChatStore {
                 "bundle record does not sniff as a chat record",
             )),
         }
+    }
+
+    /// Store (or replace) a video's tokenized-corpus companion record,
+    /// durably. The video's chat record must already be stored (a
+    /// companion without chat data is meaningless and would be dropped
+    /// on reopen anyway), and `record.video` must match.
+    pub fn put_tokenized(&mut self, record: &TokenizedRecord) -> std::io::Result<()> {
+        if !self.index.contains_key(&record.video) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "tokenized companion for video {} has no chat record",
+                    record.video.0
+                ),
+            ));
+        }
+        self.put_tokenized_payload(record.video, format::encode_v3(record))
+    }
+
+    /// Append a pre-encoded v3 payload for `video`, durably, replacing
+    /// any companion the store already holds for it.
+    fn put_tokenized_payload(&mut self, video: VideoId, payload: Vec<u8>) -> std::io::Result<()> {
+        let id = self.log.append_with_point(&payload, "log.tok.write")?;
+        self.log.sync()?;
+        let framed = payload.len() as u64 + FRAME_OVERHEAD;
+        if let Some(old) = self.tok_index.insert(
+            video,
+            IndexEntry {
+                id,
+                framed_bytes: framed,
+            },
+        ) {
+            self.live_bytes -= old.framed_bytes;
+        }
+        self.live_bytes += framed;
+        Ok(())
+    }
+
+    /// Fetch a video's tokenized-corpus companion, if one is live.
+    ///
+    /// A record that fails CRC surfaces as an I/O error; one that fails
+    /// v3 validation decodes to `None` (callers re-tokenize the chat).
+    pub fn get_tokenized(&self, video: VideoId) -> std::io::Result<Option<TokenizedRecord>> {
+        match self.tok_index.get(&video) {
+            Some(entry) => Ok(self
+                .log
+                .read(entry.id)
+                .ok()
+                .and_then(|p| format::decode_v3(&p))),
+            None => Ok(None),
+        }
+    }
+
+    /// [`ChatStore::get_tokenized`] minus the vocab-term strings: same
+    /// validation, `vocab_terms` left empty. The service's hot reload
+    /// path uses this once a record's vocab delta has already been
+    /// absorbed, skipping one `String` allocation per term.
+    pub fn get_tokenized_columns(
+        &self,
+        video: VideoId,
+    ) -> std::io::Result<Option<TokenizedRecord>> {
+        match self.tok_index.get(&video) {
+            Some(entry) => Ok(self
+                .log
+                .read(entry.id)
+                .ok()
+                .and_then(|p| format::decode_v3_columns(&p))),
+            None => Ok(None),
+        }
+    }
+
+    /// Whether a live tokenized companion exists for `video`.
+    pub fn has_tokenized(&self, video: VideoId) -> bool {
+        self.tok_index.contains_key(&video)
+    }
+
+    /// Number of videos with a live tokenized companion.
+    pub fn tokenized_count(&self) -> usize {
+        self.tok_index.len()
+    }
+
+    /// Export a video's live tokenized companion as raw payload bytes
+    /// (the migration-bundle path; `None` if the video has no live
+    /// companion).
+    pub fn export_tokenized(&self, video: VideoId) -> std::io::Result<Option<Vec<u8>>> {
+        match self.tok_index.get(&video) {
+            Some(entry) => self.log.read(entry.id).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Import a raw v3 payload (from a migration bundle) for `video`.
+    ///
+    /// Idempotent: if the store already holds a byte-identical
+    /// companion, nothing is appended — re-importing the same bundle
+    /// must not grow the log. The payload must sniff as a v3 record for
+    /// this video, and the chat record must be imported first (bundles
+    /// list chat before tokenized sections).
+    pub fn import_tokenized(&mut self, video: VideoId, payload: Vec<u8>) -> std::io::Result<()> {
+        match format::sniff(&payload) {
+            Some(info) if info.format == Format::V3 && info.video == video => {}
+            Some(info) if info.format == Format::V3 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "bundle tokenized record for video {} arrived under video {}",
+                        info.video.0, video.0
+                    ),
+                ));
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bundle payload does not sniff as a tokenized (v3) record",
+                ));
+            }
+        }
+        if !self.index.contains_key(&video) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "tokenized companion for video {} has no chat record",
+                    video.0
+                ),
+            ));
+        }
+        if let Some(entry) = self.tok_index.get(&video) {
+            if self
+                .log
+                .read(entry.id)
+                .map(|p| p == payload)
+                .unwrap_or(false)
+            {
+                return Ok(()); // byte-identical companion already live
+            }
+        }
+        self.put_tokenized_payload(video, payload)
     }
 
     /// Fetch a video's chat replay as a zero-copy view, if crawled.
@@ -332,9 +501,14 @@ impl ChatStore {
     /// identical afterwards (the cache stays valid — it is keyed by
     /// video, and payloads are unchanged).
     pub fn compact(&mut self) -> std::io::Result<CompactStats> {
-        let live: HashSet<RecordId> = self.index.values().map(|e| e.id).collect();
+        let live: HashSet<RecordId> = self
+            .index
+            .values()
+            .chain(self.tok_index.values())
+            .map(|e| e.id)
+            .collect();
         let outcome = self.log.compact(&live)?;
-        for entry in self.index.values_mut() {
+        for entry in self.index.values_mut().chain(self.tok_index.values_mut()) {
             entry.id = *outcome
                 .remap
                 .get(&entry.id)
@@ -344,7 +518,7 @@ impl ChatStore {
         Ok(CompactStats {
             reclaimed_bytes: outcome.bytes_reclaimed(),
             dropped_records: outcome.dropped_records,
-            live_records: self.index.len(),
+            live_records: self.index.len() + self.tok_index.len(),
         })
     }
 
@@ -584,6 +758,125 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert_eq!(store.video_count(), 0);
+    }
+
+    fn sample_tokenized(video: VideoId) -> TokenizedRecord {
+        TokenizedRecord {
+            video,
+            dim: 4,
+            token_ends: vec![2, 3, 5],
+            token_ids: vec![0, 1, 2, 3, 0],
+            word_counts: vec![2, 1, 2],
+            vocab_base: 0,
+            vocab_terms: vec!["first".into(), "message".into()],
+        }
+    }
+
+    #[test]
+    fn tokenized_companion_round_trips_and_survives_reopen() {
+        let dir = TempDir::new("tok-rt");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let rec = sample_tokenized(VideoId(1));
+        // No chat record yet → the companion is refused.
+        assert_eq!(
+            store.put_tokenized(&rec).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        store.put_tokenized(&rec).unwrap();
+        assert!(store.has_tokenized(VideoId(1)));
+        assert_eq!(store.tokenized_count(), 1);
+        assert_eq!(store.get_tokenized(VideoId(1)).unwrap().unwrap(), rec);
+        assert!(store.get_tokenized(VideoId(2)).unwrap().is_none());
+        // The companion is rebuilt from the scan on reopen, and the
+        // chat record still reads as chat.
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.get_tokenized(VideoId(1)).unwrap().unwrap(), rec);
+        assert_eq!(store.get_chat(VideoId(1)).unwrap().unwrap(), sample_chat());
+        assert_eq!(store.video_count(), 1);
+    }
+
+    #[test]
+    fn recrawl_orphans_tokenized_companion() {
+        let dir = TempDir::new("tok-orphan");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        store.put_tokenized(&sample_tokenized(VideoId(1))).unwrap();
+        // A re-crawl invalidates the tokenization, immediately...
+        store.put_chat(VideoId(1), &ChatLog::empty()).unwrap();
+        assert!(!store.has_tokenized(VideoId(1)));
+        assert!(store.get_tokenized(VideoId(1)).unwrap().is_none());
+        // ...and across a reopen (scan order: chat record came later).
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert!(!store.has_tokenized(VideoId(1)));
+        // The orphaned companion is dead bytes; compaction drops it.
+        let mut store = store;
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.live_records, 1);
+        assert!(stats.dropped_records >= 2, "old chat + orphaned companion");
+    }
+
+    #[test]
+    fn compaction_carries_tokenized_companions() {
+        let dir = TempDir::new("tok-compact");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        let rec = sample_tokenized(VideoId(1));
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        store.put_tokenized(&rec).unwrap();
+        store.put_chat(VideoId(2), &sample_chat()).unwrap();
+        store.put_chat(VideoId(2), &sample_chat()).unwrap(); // dead bytes
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.live_records, 3, "2 chat + 1 companion");
+        assert_eq!(store.get_tokenized(VideoId(1)).unwrap().unwrap(), rec);
+        assert_eq!(store.dead_bytes(), 0);
+        drop(store);
+        let store = ChatStore::open(&dir.0).unwrap();
+        assert_eq!(store.get_tokenized(VideoId(1)).unwrap().unwrap(), rec);
+        assert_eq!(store.get_chat(VideoId(2)).unwrap().unwrap(), sample_chat());
+    }
+
+    #[test]
+    fn import_tokenized_is_idempotent_and_validated() {
+        let dir = TempDir::new("tok-import");
+        let mut store = ChatStore::open(&dir.0).unwrap();
+        store.put_chat(VideoId(1), &sample_chat()).unwrap();
+        let payload = format::encode_v3(&sample_tokenized(VideoId(1)));
+        // Wrong video id and non-v3 payloads are rejected.
+        assert_eq!(
+            store
+                .import_tokenized(VideoId(2), payload.clone())
+                .unwrap_err()
+                .kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            store
+                .import_tokenized(VideoId(1), format::encode_v2(VideoId(1), &sample_chat()))
+                .unwrap_err()
+                .kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        store.import_tokenized(VideoId(1), payload.clone()).unwrap();
+        let bytes_after_first = store.total_bytes();
+        // Re-importing the identical payload must not grow the log.
+        store.import_tokenized(VideoId(1), payload.clone()).unwrap();
+        assert_eq!(store.total_bytes(), bytes_after_first);
+        // A *different* companion does replace the live one.
+        let mut changed = sample_tokenized(VideoId(1));
+        changed.word_counts = vec![9, 9, 9];
+        store
+            .import_tokenized(VideoId(1), format::encode_v3(&changed))
+            .unwrap();
+        assert_eq!(store.get_tokenized(VideoId(1)).unwrap().unwrap(), changed);
+        assert!(store.total_bytes() > bytes_after_first);
+        // Export ships exactly the live bytes.
+        assert_eq!(
+            store.export_tokenized(VideoId(1)).unwrap().unwrap(),
+            format::encode_v3(&changed)
+        );
+        assert!(store.export_tokenized(VideoId(7)).unwrap().is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | `kv.shard.write` | shard snapshot `write_all` |
 //! | `kv.shard.sync` | shard snapshot `sync_all` before rename |
 //! | `log.append.write` | segment record `write_all` |
+//! | `log.tok.write` | tokenized-companion (v3) record `write_all` |
 //! | `log.sync` | segment `sync_data` |
 //! | `log.read` | record read (post-read corruption) |
 

@@ -32,8 +32,41 @@
 //! [`ChatLogView`] with O(1) allocations: the view `Arc`s the payload
 //! buffer and reads the arrays in place.
 //!
+//! **v3 (tokenized corpus, companion record)** — not a chat format: a
+//! v3 record rides in the same log *next to* a video's v2 chat record
+//! and persists the tokenized corpus (interned term ids) so reopening
+//! a store never re-tokenizes raw text. Layout (all little-endian):
+//!
+//! ```text
+//! [magic: u32 = "LTv3"][version: u16 = 3][flags: u16 = 0]
+//! [video_id: u64][n: u32][dim: u32][token_total: u32]
+//! [token_end: u32 × n][token_id: u32 × token_total][word_count: u32 × n]
+//! [vocab_base: u32][vocab_count: u32][term_end: u32 × vocab_count]
+//! [blob_len: u32][utf8 term blob]
+//! ```
+//!
+//! `token_end[i]` is the cumulative end offset of message `i`'s term
+//! ids in the `token_id` array (same framing idea as v2's `text_end`);
+//! `dim` is the dense feature dimension the ids were built against
+//! (every id < `dim`). The trailing *vocab delta* carries the terms the
+//! global vocabulary interned while tokenizing this record —
+//! `vocab_base` is the id of the first delta term, `term_end` frames
+//! each term's UTF-8 slice in the blob — so a fresh process can replay
+//! deltas in log order and rebuild a vocabulary consistent with every
+//! persisted record (see `lightor::vocab::GlobalVocab::absorb`).
+//!
+//! v3 records are written **lazily**: the first time a corpus is built
+//! from a v2 chat record (a "cold" tokenization), the service persists
+//! the result as a v3 companion. Re-crawling a video orphans its v3
+//! record (the chat bytes changed, so the tokenization is stale);
+//! the store's scan enforces that by log order. Decoding a v3 record
+//! validates every length equation, offset monotonicity, id bound and
+//! UTF-8 term slice — a corrupt record decodes to `None` and the
+//! service falls back to re-tokenizing the chat record.
+//!
 //! Format detection ([`sniff`] / [`decode`]) tries v2 first — magic,
-//! version, and an exact length equation must all hold — then falls
+//! version, and an exact length equation must all hold — then v3 (a
+//! distinct magic plus its own length equations), then falls
 //! back to a strict v1 walk that must consume the payload exactly.
 //! A false positive would need a v1 video id whose low bytes equal the
 //! magic *and* a byte stream satisfying the v2 length equation, which
@@ -50,6 +83,15 @@ pub const V2_VERSION: u16 = 2;
 /// Byte length of the fixed v2 header (magic + version + flags + video + n).
 const V2_HEADER: usize = 4 + 2 + 2 + 8 + 4;
 
+/// v3 header magic: `b"LTv3"` read as a little-endian u32 ("T" for
+/// tokenized — distinct from the chat magic so sniffing never confuses
+/// the two).
+pub const V3_MAGIC: u32 = u32::from_le_bytes(*b"LTv3");
+/// Tokenized-corpus record format version.
+pub const V3_VERSION: u16 = 3;
+/// Fixed v3 header (magic + version + flags + video + n + dim + token_total).
+const V3_HEADER: usize = 4 + 2 + 2 + 8 + 4 + 4 + 4;
+
 /// Which codec a record was written with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Format {
@@ -57,6 +99,8 @@ pub enum Format {
     V1,
     /// Columnar zero-copy records.
     V2,
+    /// Tokenized-corpus companion records (not chat data).
+    V3,
 }
 
 /// Cheap per-record metadata extracted without materializing messages.
@@ -191,6 +235,227 @@ pub fn decode_v2(payload: &Arc<[u8]>) -> Option<(VideoId, ChatLogView)> {
     Some((video, view))
 }
 
+/// Decoded contents of a v3 tokenized-corpus record.
+///
+/// Columns mirror `lightor::TokenizedChat::from_columns` inputs:
+/// `token_ends[i]` frames message `i`'s slice of `token_ids`, every id
+/// is `< dim`, and `word_counts[i]` is the message's whitespace word
+/// count (the paper's message-length feature). The vocab delta
+/// (`vocab_base` + `vocab_terms`) is what the global vocabulary
+/// interned while producing this record; replaying deltas in log order
+/// reconstructs a vocabulary consistent with all persisted ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenizedRecord {
+    /// The video whose corpus this record persists.
+    pub video: VideoId,
+    /// Dense feature dimension the ids were built against.
+    pub dim: u32,
+    /// Cumulative per-message end offsets into `token_ids` (length n).
+    pub token_ends: Vec<u32>,
+    /// Interned term ids, all messages concatenated.
+    pub token_ids: Vec<u32>,
+    /// Per-message whitespace word counts (length n).
+    pub word_counts: Vec<u32>,
+    /// Id of the first term in `vocab_terms`.
+    pub vocab_base: u32,
+    /// Terms this record's tokenization added to the global vocabulary.
+    pub vocab_terms: Vec<String>,
+}
+
+impl TokenizedRecord {
+    /// Number of messages the record covers.
+    pub fn len(&self) -> usize {
+        self.token_ends.len()
+    }
+
+    /// Whether the record covers zero messages.
+    pub fn is_empty(&self) -> bool {
+        self.token_ends.is_empty()
+    }
+}
+
+/// Encode a tokenized corpus as a v3 record.
+pub fn encode_v3(record: &TokenizedRecord) -> Vec<u8> {
+    let n = record.token_ends.len();
+    debug_assert_eq!(record.word_counts.len(), n);
+    debug_assert_eq!(
+        record.token_ends.last().copied().unwrap_or(0) as usize,
+        record.token_ids.len()
+    );
+    let blob_len: usize = record.vocab_terms.iter().map(|t| t.len()).sum();
+    let mut buf = BytesMut::with_capacity(
+        V3_HEADER + 4 * (2 * n + record.token_ids.len() + record.vocab_terms.len()) + 12 + blob_len,
+    );
+    buf.put_u32_le(V3_MAGIC);
+    buf.put_u16_le(V3_VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u64_le(record.video.0);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(record.dim);
+    buf.put_u32_le(record.token_ids.len() as u32);
+    for &end in &record.token_ends {
+        buf.put_u32_le(end);
+    }
+    for &id in &record.token_ids {
+        buf.put_u32_le(id);
+    }
+    for &wc in &record.word_counts {
+        buf.put_u32_le(wc);
+    }
+    buf.put_u32_le(record.vocab_base);
+    buf.put_u32_le(record.vocab_terms.len() as u32);
+    let mut end = 0u32;
+    for t in &record.vocab_terms {
+        end += t.len() as u32;
+        buf.put_u32_le(end);
+    }
+    buf.put_u32_le(blob_len as u32);
+    for t in &record.vocab_terms {
+        buf.put_slice(t.as_bytes());
+    }
+    buf.to_vec()
+}
+
+/// Section offsets of a v3 record, computed (and bounds-checked)
+/// without materializing anything. `None` unless every length equation
+/// holds exactly.
+struct V3Layout {
+    video: VideoId,
+    n: usize,
+    dim: u32,
+    token_total: usize,
+    ends_off: usize,
+    ids_off: usize,
+    wc_off: usize,
+    vocab_off: usize,
+    vocab_count: usize,
+    term_ends_off: usize,
+    blob_off: usize,
+    blob_len: usize,
+}
+
+fn v3_layout(payload: &[u8]) -> Option<V3Layout> {
+    if payload.len() < V3_HEADER {
+        return None;
+    }
+    let mut p = payload;
+    if p.get_u32_le() != V3_MAGIC || p.get_u16_le() != V3_VERSION {
+        return None;
+    }
+    let _flags = p.get_u16_le();
+    let video = VideoId(p.get_u64_le());
+    let n = p.get_u32_le() as usize;
+    let dim = p.get_u32_le();
+    let token_total = p.get_u32_le() as usize;
+    let ends_off = V3_HEADER;
+    let ids_off = ends_off.checked_add(n.checked_mul(4)?)?;
+    let wc_off = ids_off.checked_add(token_total.checked_mul(4)?)?;
+    let vocab_off = wc_off.checked_add(n.checked_mul(4)?)?;
+    let term_ends_off = vocab_off.checked_add(8)?;
+    if term_ends_off > payload.len() {
+        return None;
+    }
+    let vocab_count = read_u32_at(payload, vocab_off + 4) as usize;
+    let blob_len_off = term_ends_off.checked_add(vocab_count.checked_mul(4)?)?;
+    let blob_off = blob_len_off.checked_add(4)?;
+    if blob_off > payload.len() {
+        return None;
+    }
+    let blob_len = read_u32_at(payload, blob_len_off) as usize;
+    // Exact length equation: nothing may trail the term blob.
+    if blob_off.checked_add(blob_len)? != payload.len() {
+        return None;
+    }
+    Some(V3Layout {
+        video,
+        n,
+        dim,
+        token_total,
+        ends_off,
+        ids_off,
+        wc_off,
+        vocab_off,
+        vocab_count,
+        term_ends_off,
+        blob_off,
+        blob_len,
+    })
+}
+
+fn read_u32s(payload: &[u8], off: usize, count: usize) -> Vec<u32> {
+    (0..count)
+        .map(|i| read_u32_at(payload, off + 4 * i))
+        .collect()
+}
+
+/// Decode (and fully validate) a v3 tokenized-corpus record.
+///
+/// Beyond the layout equations this checks offset monotonicity, the
+/// `id < dim` bound and each term's UTF-8 — a record that fails any
+/// check decodes to `None`, and callers fall back to re-tokenizing
+/// the chat record.
+pub fn decode_v3(payload: &[u8]) -> Option<TokenizedRecord> {
+    decode_v3_impl(payload, true)
+}
+
+/// [`decode_v3`] minus the vocab-term materialization: every validation
+/// still runs (term-end monotonicity, per-term UTF-8, the exact length
+/// equations), but `vocab_terms` comes back empty instead of paying one
+/// `String` per term. The hot reload path uses this once a record's
+/// delta has already been absorbed into the process vocabulary — the
+/// terms are only ever needed once per process.
+pub fn decode_v3_columns(payload: &[u8]) -> Option<TokenizedRecord> {
+    decode_v3_impl(payload, false)
+}
+
+fn decode_v3_impl(payload: &[u8], with_terms: bool) -> Option<TokenizedRecord> {
+    let l = v3_layout(payload)?;
+    let token_ends = read_u32s(payload, l.ends_off, l.n);
+    let mut prev = 0u32;
+    for &end in &token_ends {
+        if end < prev {
+            return None;
+        }
+        prev = end;
+    }
+    if prev as usize != l.token_total {
+        return None;
+    }
+    let token_ids = read_u32s(payload, l.ids_off, l.token_total);
+    if token_ids.iter().any(|&id| id >= l.dim) {
+        return None;
+    }
+    let word_counts = read_u32s(payload, l.wc_off, l.n);
+    let vocab_base = read_u32_at(payload, l.vocab_off);
+    let term_ends = read_u32s(payload, l.term_ends_off, l.vocab_count);
+    let mut vocab_terms = Vec::with_capacity(if with_terms { l.vocab_count } else { 0 });
+    let mut start = 0usize;
+    for &end in &term_ends {
+        let end = end as usize;
+        if end < start || end > l.blob_len {
+            return None;
+        }
+        let slice = &payload[l.blob_off + start..l.blob_off + end];
+        let term = std::str::from_utf8(slice).ok()?;
+        if with_terms {
+            vocab_terms.push(term.to_owned());
+        }
+        start = end;
+    }
+    if start != l.blob_len {
+        return None;
+    }
+    Some(TokenizedRecord {
+        video: l.video,
+        dim: l.dim,
+        token_ends,
+        token_ids,
+        word_counts,
+        vocab_base,
+        vocab_terms,
+    })
+}
+
 /// The legacy owned-`String` v1 decode (also the benchmark baseline).
 /// Strict: the payload must be consumed exactly.
 pub fn decode_v1_owned(mut payload: &[u8]) -> Option<(VideoId, ChatLog, bool)> {
@@ -260,6 +525,13 @@ pub fn sniff(payload: &[u8]) -> Option<RecordInfo> {
             truncated: false,
         });
     }
+    if let Some(l) = v3_layout(payload) {
+        return Some(RecordInfo {
+            video: l.video,
+            format: Format::V3,
+            truncated: false,
+        });
+    }
     v1_walk(payload).map(|(video, truncated)| RecordInfo {
         video,
         format: Format::V1,
@@ -267,13 +539,18 @@ pub fn sniff(payload: &[u8]) -> Option<RecordInfo> {
     })
 }
 
-/// Decode a record of either format into a [`ChatLogView`].
+/// Decode a *chat* record of either chat format into a [`ChatLogView`].
 ///
 /// v2 records share `payload` zero-copy; v1 records are materialized
-/// once and re-columnarized (the price of the migration path).
+/// once and re-columnarized (the price of the migration path). v3
+/// records are not chat data and decode to `None` here — use
+/// [`decode_v3`].
 pub fn decode(payload: &Arc<[u8]>) -> Option<(VideoId, ChatLogView, Format)> {
     if let Some((video, view)) = decode_v2(payload) {
         return Some((video, view, Format::V2));
+    }
+    if v3_layout(payload).is_some() {
+        return None;
     }
     let (video, chat, _) = decode_v1_owned(payload)?;
     Some((video, ChatLogView::from_chat_log(&chat), Format::V1))
@@ -382,6 +659,108 @@ mod tests {
             assert_eq!(format, fmt);
             assert_eq!(view, chat);
         }
+    }
+
+    fn sample_tokenized() -> TokenizedRecord {
+        TokenizedRecord {
+            video: VideoId(42),
+            dim: 7,
+            token_ends: vec![2, 2, 5],
+            token_ids: vec![0, 3, 6, 6, 1],
+            word_counts: vec![2, 0, 3],
+            vocab_base: 4,
+            vocab_terms: vec!["pog".into(), "消息".into(), "gg".into()],
+        }
+    }
+
+    #[test]
+    fn v3_round_trip() {
+        let rec = sample_tokenized();
+        let payload = encode_v3(&rec);
+        assert_eq!(decode_v3(&payload), Some(rec.clone()));
+        assert_eq!(
+            sniff(&payload),
+            Some(RecordInfo {
+                video: VideoId(42),
+                format: Format::V3,
+                truncated: false
+            })
+        );
+        // An empty corpus (zero messages, no delta) round-trips too.
+        let empty = TokenizedRecord {
+            video: VideoId(7),
+            dim: 0,
+            token_ends: vec![],
+            token_ids: vec![],
+            word_counts: vec![],
+            vocab_base: 0,
+            vocab_terms: vec![],
+        };
+        assert_eq!(decode_v3(&encode_v3(&empty)), Some(empty));
+    }
+
+    #[test]
+    fn v3_columns_decode_matches_full_minus_terms() {
+        let rec = sample_tokenized();
+        let payload = encode_v3(&rec);
+        let cols = decode_v3_columns(&payload).expect("valid record");
+        assert_eq!(
+            cols,
+            TokenizedRecord {
+                vocab_terms: vec![],
+                ..rec.clone()
+            }
+        );
+        // Same strictness as the full decode: every truncation and the
+        // same corruptions must be rejected, not silently tolerated.
+        for cut in 1..payload.len() {
+            assert!(
+                decode_v3_columns(&payload[..payload.len() - cut]).is_none(),
+                "cut {cut}"
+            );
+        }
+        let mut bad = rec.clone();
+        bad.token_ends = vec![3, 2, 5];
+        assert!(decode_v3_columns(&encode_v3(&bad)).is_none());
+        let mut raw = payload.clone();
+        let n = raw.len();
+        raw[n - 1] = 0xFF;
+        assert!(
+            decode_v3_columns(&raw).is_none(),
+            "bad UTF-8 must fail even without term materialization"
+        );
+    }
+
+    #[test]
+    fn v3_is_not_a_chat_record() {
+        let payload: Arc<[u8]> = encode_v3(&sample_tokenized()).into();
+        assert!(decode(&payload).is_none(), "v3 must not decode as chat");
+        assert!(decode_v2(&payload).is_none());
+        // And the chat formats are not v3.
+        assert!(decode_v3(&encode_v2(VideoId(1), &sample_chat())).is_none());
+        assert!(decode_v3(&encode_v1(VideoId(1), &sample_chat())).is_none());
+    }
+
+    #[test]
+    fn v3_truncations_and_corruptions_are_rejected() {
+        let good = encode_v3(&sample_tokenized());
+        for cut in 1..good.len() {
+            assert!(decode_v3(&good[..good.len() - cut]).is_none(), "cut {cut}");
+        }
+        assert!(decode_v3(&[]).is_none());
+        // Non-monotone token_ends.
+        let mut bad = sample_tokenized();
+        bad.token_ends = vec![3, 2, 5];
+        assert!(decode_v3(&encode_v3(&bad)).is_none());
+        // Token id out of the declared dimension.
+        let mut bad = sample_tokenized();
+        bad.dim = 5; // ids contain 6
+        assert!(decode_v3(&encode_v3(&bad)).is_none());
+        // Invalid UTF-8 in the term blob.
+        let mut raw = encode_v3(&sample_tokenized());
+        let n = raw.len();
+        raw[n - 1] = 0xFF;
+        assert!(decode_v3(&raw).is_none());
     }
 
     #[test]

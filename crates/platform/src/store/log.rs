@@ -140,6 +140,18 @@ impl SegmentLog {
 
     /// Append one record; returns its stable address.
     pub fn append(&mut self, payload: &[u8]) -> std::io::Result<RecordId> {
+        self.append_with_point(payload, "log.append.write")
+    }
+
+    /// [`SegmentLog::append`] with a caller-chosen fault-injection point
+    /// name, so stores can distinguish write classes sharing one log
+    /// (e.g. the chat store's tokenized-companion writes arm
+    /// `log.tok.write` without tearing chat appends).
+    pub fn append_with_point(
+        &mut self,
+        payload: &[u8],
+        point: &'static str,
+    ) -> std::io::Result<RecordId> {
         if self.active_len + (HEADER + payload.len()) as u64 > self.max_segment_bytes
             && self.active_len > 0
         {
@@ -153,8 +165,7 @@ impl SegmentLog {
         frame.put_u32_le(payload.len() as u32);
         frame.put_u32_le(crc32(payload));
         frame.put_slice(payload);
-        self.fault
-            .write_all("log.append.write", &mut self.active_file, &frame)?;
+        self.fault.write_all(point, &mut self.active_file, &frame)?;
         self.active_len += frame.len() as u64;
         self.total_bytes += frame.len() as u64;
         Ok(id)

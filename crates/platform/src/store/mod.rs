@@ -24,6 +24,7 @@ mod log;
 
 pub use chatstore::{ChatStore, CompactStats};
 pub use fault::{Fault, FaultInjector, FaultKind};
+pub use format::TokenizedRecord;
 pub use kv::{KvConfig, KvStats, KvStore, SHARD_COUNT};
 pub use log::{CompactionOutcome, RecordId, SegmentLog};
 
@@ -35,13 +36,18 @@ pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
 }
 
 /// CRC-32 (IEEE) over a byte slice — integrity check for log records.
+///
+/// Slice-by-16: 16 lookup tables let each iteration fold 16 bytes with
+/// independent loads, ~8× the byte-at-a-time throughput. Every log
+/// read re-verifies its record's CRC, so this sits directly on the
+/// cold corpus-load path (a v3 tokenized record is ~100 KB).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    // Table-driven IEEE CRC-32; table built on first use.
+    // 16 tables × 256 entries; table k advances a byte by k+1 positions.
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<Box<[[u32; 256]; 16]>> = OnceLock::new();
+    let t = TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 16]);
+        for i in 0..256usize {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -50,13 +56,42 @@ pub fn crc32(bytes: &[u8]) -> u32 {
                     c >> 1
                 };
             }
-            *entry = c;
+            t[0][i] = c;
+        }
+        for k in 1..16 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
         }
         t
     });
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        let a = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+        let b = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let c = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+        let d = u32::from_le_bytes(chunk[12..16].try_into().unwrap());
+        crc = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][(a >> 24) as usize]
+            ^ t[11][(b & 0xFF) as usize]
+            ^ t[10][((b >> 8) & 0xFF) as usize]
+            ^ t[9][((b >> 16) & 0xFF) as usize]
+            ^ t[8][(b >> 24) as usize]
+            ^ t[7][(c & 0xFF) as usize]
+            ^ t[6][((c >> 8) & 0xFF) as usize]
+            ^ t[5][((c >> 16) & 0xFF) as usize]
+            ^ t[4][(c >> 24) as usize]
+            ^ t[3][(d & 0xFF) as usize]
+            ^ t[2][((d >> 8) & 0xFF) as usize]
+            ^ t[1][((d >> 16) & 0xFF) as usize]
+            ^ t[0][(d >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     crc ^ 0xFFFF_FFFF
 }
@@ -71,5 +106,32 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn crc32_sliced_matches_bytewise_reference() {
+        // The slice-by-16 fast path must agree with the canonical
+        // byte-at-a-time recurrence at every length that exercises the
+        // chunked loop, the remainder loop, and their seam.
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        0xEDB8_8320 ^ (crc >> 1)
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            crc ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for len in (0..64).chain([255, 256, 257, 1000, 1024]) {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 }

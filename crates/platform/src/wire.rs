@@ -134,10 +134,20 @@ pub struct StatsResponse {
     pub stored_videos: usize,
     /// Videos with live refinement state.
     pub tracked_videos: usize,
-    /// Warm scores served without re-tokenizing.
+    /// Warm scores served without touching storage.
     pub corpus_cache_hits: u64,
-    /// Tokenization runs (cold scores).
+    /// Corpus loads that went to storage (v3 decode or re-tokenize).
     pub corpus_cache_misses: u64,
+    /// Corpus loads decoded from persisted v3 tokenized records — zero
+    /// re-tokenization.
+    pub tokenized_hits: u64,
+    /// Corpus loads that re-tokenized raw chat (no usable v3 record).
+    pub tokenized_misses: u64,
+    /// Cold tokenizations lazily persisted as v3 records (v2→v3
+    /// upgrades).
+    pub tokenized_lazy_upgrades: u64,
+    /// Boot-time training wall time, milliseconds (0 when unreported).
+    pub train_boot_ms: u64,
     /// Chat records served from the decoded-record cache.
     pub record_cache_hits: u64,
     /// Chat records decoded from the log.
@@ -174,6 +184,10 @@ impl From<crate::service::ServiceStats> for StatsResponse {
             tracked_videos: s.tracked_videos,
             corpus_cache_hits: s.corpus_cache_hits,
             corpus_cache_misses: s.corpus_cache_misses,
+            tokenized_hits: s.tokenized_hits,
+            tokenized_misses: s.tokenized_misses,
+            tokenized_lazy_upgrades: s.tokenized_lazy_upgrades,
+            train_boot_ms: s.train_boot_ms,
             record_cache_hits: s.record_cache_hits,
             record_cache_misses: s.record_cache_misses,
             v1_truncated_records: s.v1_truncated_records,
@@ -321,13 +335,20 @@ pub struct BundleEntryDto {
     /// binary transport). `None` on delta exports and for videos whose
     /// chat was never crawled.
     pub chat_hex: Option<String>,
+    /// The video's raw v3 tokenized-corpus record, hex-encoded, so the
+    /// destination never re-tokenizes migrated chat. `None` on delta
+    /// exports and for videos not yet tokenized on the source
+    /// (`serde(default)` keeps pre-v2 bundle JSON parseable).
+    #[serde(default)]
+    pub tokenized_hex: Option<String>,
 }
 
 /// A consistent migration bundle: the `POST /admin/export` response,
 /// shippable verbatim as the `POST /admin/import` request body.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BundleDto {
-    /// Bundle layout version (currently 1).
+    /// Bundle layout version (currently 2; version 2 added the
+    /// per-entry tokenized section and folded it into the CRC).
     pub format_version: u32,
     /// The source's KV op watermark at export time — pass as
     /// `since_seq` on the next delta export to ship only what changed
@@ -349,6 +370,10 @@ pub struct ImportResponse {
     pub states_applied: usize,
     /// Chat records appended to the chat store.
     pub chats_applied: usize,
+    /// Tokenized (v3) companion records appended (byte-identical
+    /// re-imports are skipped, like chat records).
+    #[serde(default)]
+    pub tokenized_applied: usize,
 }
 
 /// `POST /admin/ring` request body: the new backend set. The router
@@ -371,10 +396,10 @@ pub struct RingUpdateResponse {
 
 /// CRC-32 over the canonical serialization of a bundle's entries:
 /// per entry, the decimal video id, the state's JSON text (or `-`),
-/// and the chat hex (or `-`), each newline-terminated. Deterministic
-/// across processes — the JSON tree preserves map order end to end —
-/// so the importer can verify the shipped bytes before applying any
-/// of them.
+/// the chat hex (or `-`), and the tokenized hex (or `-`), each
+/// newline-terminated. Deterministic across processes — the JSON tree
+/// preserves map order end to end — so the importer can verify the
+/// shipped bytes before applying any of them.
 pub fn bundle_crc(entries: &[BundleEntryDto]) -> u32 {
     let mut buf = Vec::new();
     for e in entries {
@@ -386,6 +411,11 @@ pub fn bundle_crc(entries: &[BundleEntryDto]) -> u32 {
         }
         buf.push(b'\n');
         match &e.chat_hex {
+            Some(h) => buf.extend_from_slice(h.as_bytes()),
+            None => buf.push(b'-'),
+        }
+        buf.push(b'\n');
+        match &e.tokenized_hex {
             Some(h) => buf.extend_from_slice(h.as_bytes()),
             None => buf.push(b'-'),
         }
@@ -614,6 +644,10 @@ mod tests {
             tracked_videos: 2,
             corpus_cache_hits: 10,
             corpus_cache_misses: 3,
+            tokenized_hits: 6,
+            tokenized_misses: 2,
+            tokenized_lazy_upgrades: 2,
+            train_boot_ms: 1234,
             record_cache_hits: 7,
             record_cache_misses: 4,
             v1_truncated_records: 1,
@@ -633,6 +667,9 @@ mod tests {
         assert_eq!(back.kv_wal_appends, 21);
         assert_eq!(back.kv_shard_rewrites, 2);
         assert_eq!(back.chat_reclaimed_bytes, 8192);
+        assert_eq!(back.tokenized_hits, 6);
+        assert_eq!(back.tokenized_lazy_upgrades, 2);
+        assert_eq!(back.train_boot_ms, 1234);
         assert!(back.degraded);
         assert_eq!(back.accept_errors, 0);
     }
@@ -844,15 +881,17 @@ mod tests {
                     serde_json::Value::Seq(vec![serde_json::Value::F64(12.5)]),
                 )])),
                 chat_hex: Some(hex_encode(b"raw chat record bytes")),
+                tokenized_hex: Some(hex_encode(b"raw v3 record bytes")),
             },
             BundleEntryDto {
                 video: 9,
                 state: None,
                 chat_hex: None,
+                tokenized_hex: None,
             },
         ];
         let dto = BundleDto {
-            format_version: 1,
+            format_version: 2,
             as_of_seq: 42,
             crc32: bundle_crc(&entries),
             entries,
@@ -870,6 +909,13 @@ mod tests {
         let mut tampered = back.clone();
         tampered.entries[0].chat_hex = Some(hex_encode(b"other bytes"));
         assert_ne!(bundle_crc(&tampered.entries), tampered.crc32);
+        let mut tampered = back.clone();
+        tampered.entries[0].tokenized_hex = None;
+        assert_ne!(
+            bundle_crc(&tampered.entries),
+            tampered.crc32,
+            "the tokenized section is covered by the CRC"
+        );
     }
 
     #[test]
@@ -887,6 +933,7 @@ mod tests {
             videos: 2,
             states_applied: 2,
             chats_applied: 1,
+            tokenized_applied: 1,
         };
         let back: ImportResponse =
             serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();

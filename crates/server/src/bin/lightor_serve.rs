@@ -14,7 +14,11 @@
 //! `listening on http://…` line once the socket is bound (smoke tests
 //! wait for it) and one `catalog: <id> <id> …` line listing the
 //! simulated platform's video ids (the chaos harness shards load by
-//! them), then serves until killed.
+//! them), then serves until killed. Before binding it also warms every
+//! already-crawled corpus and prints `corpus: N loaded, M rebuilt` —
+//! `loaded` decoded straight from persisted v3 tokenized sections,
+//! `rebuilt` re-tokenized from raw text (a restart of a populated data
+//! dir reports `0 rebuilt`).
 //!
 //! `--restore-from PATH` is the crash-replacement path: PATH is a dead
 //! backend's data directory. Before the socket binds, its chat segments
@@ -96,8 +100,11 @@ fn main() -> std::io::Result<()> {
 
     // Offline phase: train the Initializer and the play-position type
     // classifier on simulated labelled videos (same recipe as the
-    // browser-extension example).
+    // browser-extension example). Wall time is reported via
+    // `GET /stats` (`train_boot_ms`) so operators can see what a boot
+    // cost without scraping logs.
     eprintln!("training models (seed {})...", args.seed);
+    let train_started = std::time::Instant::now();
     let labelled = dota2_dataset(1, args.seed);
     let train: Vec<_> = labelled.videos.iter().collect();
     let workers_budget = if args.quick { 60 } else { 300 };
@@ -109,6 +116,7 @@ fn main() -> std::io::Result<()> {
         extractor: HighlightExtractor::new(classifier, ExtractorConfig::default()),
         provenance: format!("lightor-serve seed {}", args.seed),
     };
+    let train_boot_ms = train_started.elapsed().as_millis() as u64;
 
     let (channels, per_channel) = if args.quick { (2, 2) } else { (3, 4) };
     let platform = SimPlatform::top_channels(GameKind::Dota2, channels, per_channel, args.seed ^ 3);
@@ -123,6 +131,7 @@ fn main() -> std::io::Result<()> {
         platform,
         ServiceConfig::default(),
     )?);
+    svc.set_train_boot_ms(train_boot_ms);
 
     // Crash replacement: adopt a dead backend's range before taking
     // traffic. The dead dir's WAL replay happens inside
@@ -137,6 +146,14 @@ fn main() -> std::io::Result<()> {
             dead_dir.display()
         );
     }
+
+    // Warm every already-crawled video's scoring corpus before taking
+    // traffic. With the v3 tokenized sections in place this is a decode,
+    // not a re-tokenization: a restart of a populated data dir prints
+    // `corpus: N loaded, 0 rebuilt` (the CI server smoke asserts the
+    // `0 rebuilt` half — restarts must never re-run the tokenizer).
+    let (loaded, rebuilt) = svc.warm_corpora()?;
+    println!("corpus: {loaded} loaded, {rebuilt} rebuilt");
 
     let server = HttpServer::bind(
         ("127.0.0.1", args.port),

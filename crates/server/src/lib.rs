@@ -23,7 +23,12 @@
 //! * **"model refresh"** → `POST /video/{id}/rescore`: re-run the
 //!   Initializer at a chosen `k` without touching refinement state.
 //! * **operations** → `GET /stats` (service + per-route HTTP counters,
-//!   [`wire::StatsResponse`]), `POST /admin/compact` (reclaim storage,
+//!   [`wire::StatsResponse`] — including the tokenized-corpus columns:
+//!   `tokenized_hits` / `tokenized_misses` count corpora decoded from
+//!   persisted v3 sections vs re-tokenized from raw text,
+//!   `tokenized_lazy_upgrades` counts v2→v3 persists, and
+//!   `train_boot_ms` is the boot-time model-training wall clock),
+//!   `POST /admin/compact` (reclaim storage,
 //!   [`wire::CompactResponse`]), `GET /healthz` (liveness).
 //!
 //! # Architecture
@@ -86,7 +91,9 @@
 //! The ring is *versioned*: `POST /admin/ring` swaps in a new backend
 //! set without a restart, and backends ship state to each other with
 //! `POST /admin/export` / `POST /admin/import` bundles (per-video KV
-//! snapshots + WAL-tail state and chat records, CRC-framed). Together
+//! snapshots + WAL-tail state, chat records, and v3 tokenized-corpus
+//! sections, CRC-framed — an imported shard scores its new range
+//! without re-running the tokenizer). Together
 //! those make resharding and shard replacement live operations; the
 //! recipes below are the whole procedure.
 //!

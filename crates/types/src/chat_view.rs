@@ -102,6 +102,47 @@ fn read_u64(buf: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
 }
 
+/// Per-message fragment-id runs, parallel to a [`ChatLogView`]'s
+/// message order.
+///
+/// A *fragment id* is an opaque `u32` whose meaning belongs to the
+/// producer (e.g. a compiled-lexicon span id in `lightor-chatsim`):
+/// message `i` was written as the concatenation of `run(i)`'s
+/// fragments, in order. Consumers that can map a fragment id to its
+/// token ids (a table lookup) can tokenize a whole generated corpus
+/// without ever re-splitting the message text into words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragRuns {
+    /// Flat fragment ids, message-major.
+    ids: Vec<u32>,
+    /// Cumulative end offset of each message's run inside `ids`
+    /// (length = number of messages).
+    ends: Vec<u32>,
+}
+
+impl FragRuns {
+    /// Number of messages covered.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when no message has a recorded run.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The fragment ids message `i` was written from, in write order.
+    pub fn run(&self, i: usize) -> &[u32] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.ids[start..self.ends[i] as usize]
+    }
+
+    /// Iterate every message's run, in message order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(move |i| self.run(i))
+    }
+}
+
 /// An append-only chat accumulator that finishes into a [`ChatLogView`].
 ///
 /// Message text is written *incrementally* into one shared blob:
@@ -111,6 +152,12 @@ fn read_u64(buf: &[u8], off: usize) -> u64 {
 /// order; [`ChatLogBuilder::finish_sorted`] applies a stable
 /// timestamp sort (ties keep insertion order — the same contract as
 /// [`ChatLog::new`]) while laying out the final columnar buffer.
+///
+/// Builders created with [`ChatLogBuilder::recording_frags`] also
+/// accumulate a [`FragRuns`] — producers push the fragment ids each
+/// message was composed from ([`ChatLogBuilder::push_frag`]) and
+/// [`ChatLogBuilder::finish_sorted_with_runs`] returns the runs in the
+/// same final (sorted) message order as the view.
 #[derive(Clone, Debug, Default)]
 pub struct ChatLogBuilder {
     ts: Vec<f64>,
@@ -118,6 +165,8 @@ pub struct ChatLogBuilder {
     /// Cumulative end offset of each committed message inside `text`.
     ends: Vec<u32>,
     text: String,
+    /// Fragment-run accumulator, present only when recording.
+    frags: Option<FragRuns>,
 }
 
 impl ChatLogBuilder {
@@ -134,7 +183,42 @@ impl ChatLogBuilder {
             users: Vec::with_capacity(messages),
             ends: Vec::with_capacity(messages),
             text: String::with_capacity(text_bytes),
+            frags: None,
         }
+    }
+
+    /// Like [`ChatLogBuilder::with_capacity`], but also records the
+    /// fragment-id run of every message (see [`FragRuns`]). Producers
+    /// push ids through [`ChatLogBuilder::push_frag`] or the vector
+    /// handed out by [`ChatLogBuilder::text_and_frags`]; runs are
+    /// sealed by the same [`ChatLogBuilder::commit`] as the text.
+    pub fn recording_frags(messages: usize, text_bytes: usize) -> Self {
+        let mut b = ChatLogBuilder::with_capacity(messages, text_bytes);
+        b.frags = Some(FragRuns {
+            ids: Vec::with_capacity(messages * 2),
+            ends: Vec::with_capacity(messages),
+        });
+        b
+    }
+
+    /// True when this builder records fragment runs.
+    pub fn records_frags(&self) -> bool {
+        self.frags.is_some()
+    }
+
+    /// Append one fragment id to the in-progress message's run.
+    /// No-op on builders that are not recording.
+    pub fn push_frag(&mut self, id: u32) {
+        if let Some(f) = &mut self.frags {
+            f.ids.push(id);
+        }
+    }
+
+    /// Borrow-split accessor: the text blob tail plus (when recording)
+    /// the flat fragment-id accumulator, so writers can append to both
+    /// without fighting the borrow checker.
+    pub fn text_and_frags(&mut self) -> (&mut String, Option<&mut Vec<u32>>) {
+        (&mut self.text, self.frags.as_mut().map(|f| &mut f.ids))
     }
 
     /// The blob tail for the message currently being written. Append
@@ -160,6 +244,9 @@ impl ChatLogBuilder {
         self.ts.push(ts);
         self.users.push(user.0);
         self.ends.push(self.text.len() as u32);
+        if let Some(f) = &mut self.frags {
+            f.ends.push(f.ids.len() as u32);
+        }
     }
 
     /// Convenience: append a whole message at once.
@@ -182,21 +269,52 @@ impl ChatLogBuilder {
     /// keep insertion order, matching [`ChatLog::new`]). One pass lays
     /// the ts/user/end columns and the reordered blob into a single
     /// contiguous buffer.
-    pub fn finish_sorted(self) -> ChatLogView {
+    pub fn finish_sorted(mut self) -> ChatLogView {
         // Committed-in-order logs (the chat generator sorts its event
         // layout before writing text) skip the permutation entirely:
         // the columns and blob are already final, so finishing is one
         // sequential serialization pass.
         if self.ts.windows(2).all(|w| w[0] <= w[1]) {
+            self.frags = None;
             return self.finish_ordered();
         }
-        let n = self.ts.len();
-        // Pack each message as (total-order key, insertion index) and
-        // sort the pairs unstably: the key mapping reproduces
-        // `f64::total_cmp` exactly, indices are distinct so ties break
-        // by insertion order (= a stable sort), and integer compares on
-        // contiguous pairs are several times cheaper than indirect
-        // `total_cmp` through an index permutation.
+        let order = self.sort_order();
+        self.finish_permuted(&order)
+    }
+
+    /// Like [`ChatLogBuilder::finish_sorted`], but also returns the
+    /// recorded [`FragRuns`] permuted into the same final message
+    /// order as the view. Runs are empty when the builder was not
+    /// created with [`ChatLogBuilder::recording_frags`].
+    pub fn finish_sorted_with_runs(mut self) -> (ChatLogView, FragRuns) {
+        let frags = self.frags.take().unwrap_or_default();
+        if self.ts.windows(2).all(|w| w[0] <= w[1]) {
+            return (self.finish_ordered(), frags);
+        }
+        let order = self.sort_order();
+        if frags.is_empty() {
+            return (self.finish_permuted(&order), frags);
+        }
+        let mut permuted = FragRuns {
+            ids: Vec::with_capacity(frags.ids.len()),
+            ends: Vec::with_capacity(frags.ends.len()),
+        };
+        for &i in &order {
+            permuted.ids.extend_from_slice(frags.run(i as usize));
+            permuted.ends.push(permuted.ids.len() as u32);
+        }
+        (self.finish_permuted(&order), permuted)
+    }
+
+    /// Stable timestamp sort order over the committed messages.
+    ///
+    /// Packs each message as (total-order key, insertion index) and
+    /// sorts the pairs unstably: the key mapping reproduces
+    /// `f64::total_cmp` exactly, indices are distinct so ties break
+    /// by insertion order (= a stable sort), and integer compares on
+    /// contiguous pairs are several times cheaper than indirect
+    /// `total_cmp` through an index permutation.
+    fn sort_order(&self) -> Vec<u32> {
         let mut order: Vec<(u64, u32)> = self
             .ts
             .iter()
@@ -204,28 +322,32 @@ impl ChatLogBuilder {
             .map(|(i, &t)| (ts_order_key(t), i as u32))
             .collect();
         order.sort_unstable();
-        let order: Vec<u32> = order.into_iter().map(|(_, i)| i).collect();
+        order.into_iter().map(|(_, i)| i).collect()
+    }
 
+    /// Serialize the columns and blob in `order`'s message order.
+    fn finish_permuted(self, order: &[u32]) -> ChatLogView {
+        let n = self.ts.len();
         let text_len = self.text.len();
         let ts_off = 0;
         let user_off = ts_off + 8 * n;
         let ends_off = user_off + 8 * n;
         let text_off = ends_off + 4 * n;
         let mut buf = Vec::with_capacity(text_off + text_len);
-        for &i in &order {
+        for &i in order {
             buf.extend_from_slice(&self.ts[i as usize].to_le_bytes());
         }
-        for &i in &order {
+        for &i in order {
             buf.extend_from_slice(&self.users[i as usize].to_le_bytes());
         }
         let mut end = 0u32;
-        for &i in &order {
+        for &i in order {
             let i = i as usize;
             let start = if i == 0 { 0 } else { self.ends[i - 1] };
             end += self.ends[i] - start;
             buf.extend_from_slice(&end.to_le_bytes());
         }
-        for &i in &order {
+        for &i in order {
             let i = i as usize;
             let start = if i == 0 { 0 } else { self.ends[i - 1] } as usize;
             buf.extend_from_slice(&self.text.as_bytes()[start..self.ends[i] as usize]);

@@ -172,7 +172,9 @@ fn compact_storage_snapshots_kv_and_reports_counters() {
     assert_eq!(before.chat_dead_bytes, 0, "fresh crawls leave nothing dead");
 
     let stats = svc.compact_storage().unwrap();
-    assert_eq!(stats.live_records, before.stored_videos);
+    // Every open persisted a chat record plus its v3 tokenized
+    // companion; both are live and both survive compaction.
+    assert_eq!(stats.live_records, before.stored_videos * 2);
     let after = svc.stats();
     assert_eq!(after.kv_wal_bytes, 0, "snapshot must retire the WAL");
     assert!(after.kv_shard_rewrites > 0);
@@ -326,6 +328,129 @@ fn compaction_clears_degraded_mode() {
     );
     assert!(!svc.stats().degraded);
     svc.open_video(vids[1]).unwrap().unwrap();
+}
+
+/// A chat store written before the v3 tokenized sections existed (the
+/// crawler writes v2 chat records only) must open mixed: the first
+/// service generation rebuilds every corpus from raw text and lazily
+/// persists v3 companions; the next generation decodes them all with
+/// zero re-tokenizations — and scores bit-exactly either way.
+#[test]
+fn mixed_v2_v3_store_upgrades_lazily_and_reloads_tokenized() {
+    let dir = TempDir::new("mixed-v3");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3201);
+    let channels: Vec<ChannelId> = platform.channels().iter().map(|c| c.id).collect();
+    let vids: Vec<_> = platform.recent_videos(channels[0]).to_vec();
+
+    // Phase 1: a v2-only store, as any pre-v3 deployment left behind.
+    {
+        let mut store = ChatStore::open(dir.0.join("chat")).unwrap();
+        Crawler::new(&platform)
+            .offline_pass(&channels, &mut store)
+            .unwrap();
+    }
+
+    // Phase 2: first open on the mixed store — everything rebuilds,
+    // and every rebuild lazily upgrades to a persisted v3 section.
+    let scores_rebuilt = {
+        let svc = LightorService::open(
+            &dir.0,
+            models(3202),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let (loaded, rebuilt) = svc.warm_corpora().unwrap();
+        assert_eq!((loaded, rebuilt), (0, vids.len()), "v2-only store");
+        let stats = svc.stats();
+        assert_eq!(stats.tokenized_hits, 0);
+        assert_eq!(stats.tokenized_misses, vids.len() as u64);
+        assert_eq!(stats.tokenized_lazy_upgrades, vids.len() as u64);
+        vids.iter()
+            .map(|&v| svc.rescore_video(v, 5).unwrap().unwrap())
+            .collect::<Vec<_>>()
+    };
+
+    // Phase 3: restart — every corpus decodes from its v3 section, the
+    // tokenizer never runs, and scores are bit-identical.
+    let svc2 = LightorService::open(
+        &dir.0,
+        models(3202),
+        platform.clone(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let (loaded, rebuilt) = svc2.warm_corpora().unwrap();
+    assert_eq!(
+        (loaded, rebuilt),
+        (vids.len(), 0),
+        "restart must not re-tokenize"
+    );
+    let stats = svc2.stats();
+    assert_eq!(stats.tokenized_hits, vids.len() as u64);
+    assert_eq!(stats.tokenized_misses, 0);
+    for (i, &v) in vids.iter().enumerate() {
+        assert_eq!(
+            svc2.rescore_video(v, 5).unwrap().unwrap(),
+            scores_rebuilt[i],
+            "decoded corpus must score bit-exactly vs rebuilt"
+        );
+    }
+}
+
+/// A torn v3 tokenized-companion write (crash mid-append) must not cost
+/// anything durable: the paired chat record — written and synced first —
+/// survives, reopen truncates the torn frame, and the corpus silently
+/// rebuilds (and re-upgrades) on the next open.
+#[test]
+fn torn_tokenized_tail_is_truncated_and_rebuilt() {
+    let dir = TempDir::new("torn-tok");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 2, 3203);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+
+    let dots_before = {
+        let svc = LightorService::open(
+            &dir.0,
+            models(3204),
+            platform.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        // Tear the v3 companion append mid-frame. The chat append uses a
+        // different fault point ("log.append.write"), so the crawl's own
+        // write goes through untouched.
+        svc.fault_injector().arm(Fault::once(
+            "log.tok.write",
+            FaultKind::TornWrite { keep: 9 },
+        ));
+        let dots = svc.open_video(vid).unwrap().unwrap();
+        assert_eq!(svc.fault_injector().fired("log.tok.write"), 1);
+        // Losing the lazy upgrade is a perf event, not a durability one.
+        assert!(!svc.is_degraded(), "a failed v3 upgrade must not degrade");
+        assert_eq!(svc.stats().tokenized_lazy_upgrades, 0);
+        dots
+    };
+
+    // Reopen over the torn tail: the chat record replays, the torn v3
+    // frame is truncated, and the corpus rebuilds (miss, not a hit) —
+    // this time persisting its v3 section successfully.
+    let svc2 = LightorService::open(
+        &dir.0,
+        models(3204),
+        platform.clone(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let (loaded, rebuilt) = svc2.warm_corpora().unwrap();
+    assert_eq!((loaded, rebuilt), (0, 1), "torn v3 frame must not decode");
+    assert_eq!(svc2.stats().tokenized_lazy_upgrades, 1);
+    assert_eq!(svc2.cached_dots(vid).unwrap(), dots_before);
+
+    // Third generation proves the re-upgrade stuck.
+    drop(svc2);
+    let svc3 =
+        LightorService::open(&dir.0, models(3204), platform, ServiceConfig::default()).unwrap();
+    assert_eq!(svc3.warm_corpora().unwrap(), (1, 0));
 }
 
 /// The crawler's re-crawl path accumulates dead bytes in the chat log

@@ -639,11 +639,25 @@ impl LightorService {
     /// window: a crashed or stalled migration driver cannot leave a
     /// video frozen forever.
     pub fn freeze_videos(&self, videos: &[VideoId], ttl: Duration) {
-        let deadline = Instant::now() + ttl;
+        let now = Instant::now();
+        let deadline = now + ttl;
         let mut frozen = self.frozen.lock();
+        // Sweep expired deadlines while we hold the lock anyway:
+        // `frozen_for` only reaps the video it looks up, so a
+        // supervisor freezing different subsets on every delta tick
+        // would otherwise grow the map without bound.
+        frozen.retain(|_, d| *d > now);
         for &v in videos {
             frozen.insert(v, deadline);
         }
+    }
+
+    /// Videos currently frozen (expired deadlines swept first).
+    pub fn frozen_count(&self) -> usize {
+        let now = Instant::now();
+        let mut frozen = self.frozen.lock();
+        frozen.retain(|_, d| *d > now);
+        frozen.len()
     }
 
     /// Remaining freeze time on `video`, or `None` when it is not
@@ -677,7 +691,14 @@ impl LightorService {
         let mut requested: Vec<VideoId> = req.videos.iter().copied().map(VideoId).collect();
         requested.sort_unstable_by_key(|v| v.0);
         requested.dedup();
-        if req.freeze_ms > 0 {
+        if req.freeze_ms == 0 {
+            // Freeze-less exports (a replication delta loop hits this
+            // path every tick) still sweep expired freeze deadlines,
+            // so earlier frozen cutovers don't linger in the map.
+            // Freezing exports sweep inside `freeze_videos`.
+            let now = Instant::now();
+            self.frozen.lock().retain(|_, d| *d > now);
+        } else {
             let targets: Vec<VideoId> = if requested.is_empty() {
                 self.videos.read().keys().copied().collect()
             } else {
@@ -1150,6 +1171,134 @@ mod tests {
         assert!(svc.frozen_for(vid).is_some());
         svc.unfreeze_all();
         assert!(svc.frozen_for(vid).is_none());
+    }
+
+    #[test]
+    fn freeze_map_is_swept_by_repeated_freezes_and_exports() {
+        let dir = TempDir::new("freeze-sweep");
+        let svc = service(&dir.0);
+
+        // A supervisor freezing a different subset on every cutover
+        // must not accumulate expired deadlines: each `freeze_videos`
+        // sweeps what already lapsed.
+        svc.freeze_videos(
+            &[VideoId(1), VideoId(2), VideoId(3)],
+            std::time::Duration::from_millis(30),
+        );
+        assert_eq!(svc.frozen_count(), 3);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        svc.freeze_videos(&[VideoId(4)], std::time::Duration::from_secs(60));
+        assert_eq!(
+            svc.frozen_count(),
+            1,
+            "expired freezes swept on the next freeze, not retained"
+        );
+
+        // A freeze-less export (the delta-loop path) sweeps too.
+        svc.freeze_videos(&[VideoId(5)], std::time::Duration::from_millis(30));
+        svc.unfreeze_all();
+        svc.freeze_videos(&[VideoId(6)], std::time::Duration::from_millis(30));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        svc.export_bundle(&crate::wire::ExportRequest {
+            videos: vec![],
+            since_seq: 0,
+            freeze_ms: 0,
+        })
+        .unwrap();
+        assert_eq!(svc.frozen.lock().len(), 0, "export swept the lapsed freeze");
+    }
+
+    #[test]
+    fn export_beyond_watermark_returns_a_well_formed_empty_delta() {
+        let dir = TempDir::new("exp-edge-seq");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+        svc.open_video(vid).unwrap().unwrap();
+
+        let full = svc
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![],
+                since_seq: 0,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        assert!(!full.entries.is_empty());
+
+        // `since_seq` at the watermark: nothing changed since — the
+        // supervisor's steady-state delta tick. Must be empty, not a
+        // full re-export.
+        let at = svc
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![],
+                since_seq: full.as_of_seq,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        assert!(at.entries.is_empty(), "no writes since the watermark");
+        assert_eq!(at.as_of_seq, full.as_of_seq, "watermark still reported");
+
+        // `since_seq` beyond the watermark (e.g. the primary was
+        // restored from an older snapshot): still a well-formed empty
+        // bundle, not an error.
+        let beyond = svc
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![],
+                since_seq: full.as_of_seq + 1_000_000,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        assert!(beyond.entries.is_empty());
+        assert_eq!(beyond.format_version, 2);
+        assert_eq!(beyond.as_of_seq, full.as_of_seq);
+        assert_eq!(beyond.crc32, crate::wire::bundle_crc(&[]));
+
+        // The empty delta is importable — a delta loop ships whatever
+        // it exported without inspecting it first.
+        let dst_dir = TempDir::new("exp-edge-dst");
+        let dst = service(&dst_dir.0);
+        let applied = dst.import_bundle(&beyond).unwrap();
+        assert_eq!(applied.videos, 0);
+        assert_eq!(applied.states_applied, 0);
+    }
+
+    #[test]
+    fn export_of_unknown_videos_returns_a_well_formed_empty_bundle() {
+        let dir = TempDir::new("exp-edge-vids");
+        let svc = service(&dir.0);
+        let platform = SimPlatform::top_channels(GameKind::Dota2, 2, 2, 92);
+        let vid = platform.recent_videos(platform.channels()[0].id)[0];
+        svc.open_video(vid).unwrap().unwrap();
+
+        // Unknown ids: nothing to ship, full export or delta alike.
+        for since in [0, 10_000] {
+            let bundle = svc
+                .export_bundle(&crate::wire::ExportRequest {
+                    videos: vec![999_991, 999_992],
+                    since_seq: since,
+                    freeze_ms: 0,
+                })
+                .unwrap();
+            assert!(bundle.entries.is_empty(), "since_seq={since}");
+            assert_eq!(bundle.format_version, 2);
+            assert_eq!(bundle.crc32, crate::wire::bundle_crc(&[]));
+            assert!(bundle.as_of_seq > 0, "watermark reflects real state");
+        }
+
+        // An empty video list on a service with no tracked videos at
+        // all (fresh data dir) is the supervisor bootstrapping against
+        // an idle primary — empty bundle, zero watermark.
+        let idle_dir = TempDir::new("exp-edge-idle");
+        let idle = service(&idle_dir.0);
+        let bundle = idle
+            .export_bundle(&crate::wire::ExportRequest {
+                videos: vec![],
+                since_seq: 0,
+                freeze_ms: 0,
+            })
+            .unwrap();
+        assert!(bundle.entries.is_empty());
+        assert_eq!(bundle.as_of_seq, 0);
     }
 
     #[test]

@@ -257,6 +257,14 @@ pub struct BackendHealthDto {
     /// Health-state name: `"healthy"`, `"suspect"`, `"down"`, or
     /// `"recovering"`.
     pub health: String,
+    /// Milliseconds since this backend last changed health state —
+    /// how long it has been in `health`. A supervisor comparing
+    /// replication lag against shard health needs to know whether
+    /// "down" means "down for 80 ms" (probe blip) or "down for 20 s"
+    /// (promote now). `serde(default)` keeps pre-supervisor health
+    /// JSON parseable.
+    #[serde(default)]
+    pub last_transition_ms: u64,
 }
 
 /// Router `GET /healthz` response: overall status plus per-shard
@@ -392,6 +400,75 @@ pub struct RingUpdateResponse {
     pub version: u64,
     /// The addresses now routing.
     pub backends: Vec<String>,
+}
+
+/// One replicated range as the supervisor's `GET /stats` reports it:
+/// a primary, its warm standby, and how far behind the standby is.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStatusDto {
+    /// The primary's address (`host:port`) — the ring member being
+    /// shadowed.
+    pub primary: String,
+    /// The warm standby's address — receives bulk + delta bundles and
+    /// is promoted into the ring if the primary dies.
+    pub standby: String,
+    /// Lifecycle phase: `"bootstrapping"` (no bulk copy yet),
+    /// `"replicating"` (delta loop running), `"promoting"` (primary
+    /// down, promotion in flight), `"promoted"` (standby swapped into
+    /// the ring), or `"retired"` (primary left the ring without a
+    /// promotion — a manual ring update superseded the supervisor).
+    pub phase: String,
+    /// The primary's KV watermark as of the last bundle the standby
+    /// imported (`as_of_seq` of that bundle). 0 until bootstrapped.
+    pub synced_seq: u64,
+    /// KV ops the standby was behind at the last observation: the
+    /// primary's watermark minus `synced_seq`. 0 while fully caught
+    /// up, and frozen at its last value once the primary is gone.
+    pub lag_ops: u64,
+    /// Milliseconds since the standby last imported a bundle. Grows
+    /// between delta ticks; resets on every successful sync.
+    pub lag_ms: u64,
+    /// Delta bundles shipped since the supervisor started.
+    pub deltas_shipped: u64,
+    /// Bulk (full) syncs since the supervisor started — 1 after a
+    /// clean bootstrap, more if the standby was re-seeded.
+    pub bulk_syncs: u64,
+}
+
+/// One completed promotion as the supervisor's `GET /stats` reports
+/// it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PromotionDto {
+    /// The dead primary the ring dropped.
+    pub from: String,
+    /// The standby that took over its range.
+    pub to: String,
+    /// The ring version the swap produced.
+    pub ring_version: u64,
+    /// Milliseconds since the promotion completed.
+    pub ms_ago: u64,
+    /// Where the final pre-swap delta came from: `"live"` (the primary
+    /// still answered `/admin/export`), `"data_dir"` (rebuilt from the
+    /// dead primary's data directory via WAL-tail replay), or `"none"`
+    /// (neither reachable — the standby was promoted at its last
+    /// synced watermark).
+    pub final_delta_source: String,
+}
+
+/// Supervisor `GET /stats` response: the reconciliation loop's
+/// counters plus one [`ReplicaStatusDto`] per watched range.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorStatsResponse {
+    /// Reconciliation ticks (observe → plan → act) completed.
+    pub ticks: u64,
+    /// Actions executed (bulk syncs + deltas + promotions + retires).
+    pub actions: u64,
+    /// Promotions driven to completion since start.
+    pub promotions: u64,
+    /// The most recent completed promotion, if any.
+    pub last_promotion: Option<PromotionDto>,
+    /// Per-range replication status, in configuration order.
+    pub ranges: Vec<ReplicaStatusDto>,
 }
 
 /// CRC-32 over the canonical serialization of a bundle's entries:
@@ -731,10 +808,12 @@ mod tests {
                 BackendHealthDto {
                     addr: "127.0.0.1:7879".into(),
                     health: "healthy".into(),
+                    last_transition_ms: 12_500,
                 },
                 BackendHealthDto {
                     addr: "127.0.0.1:7880".into(),
                     health: "suspect".into(),
+                    last_transition_ms: 80,
                 },
             ],
         };
@@ -742,6 +821,68 @@ mod tests {
         let back: RouterHealthzResponse = serde_json::from_str(&js).unwrap();
         assert_eq!(dto, back);
         assert!(js.contains("\"suspect\""), "{js}");
+        assert!(js.contains("\"last_transition_ms\":80"), "{js}");
+        // Pre-supervisor health rows have no transition stamp; the
+        // field must default rather than fail the parse.
+        let old: BackendHealthDto =
+            serde_json::from_str(r#"{"addr":"127.0.0.1:7879","health":"down"}"#).unwrap();
+        assert_eq!(old.last_transition_ms, 0);
+    }
+
+    #[test]
+    fn supervisor_stats_round_trip() {
+        let dto = SupervisorStatsResponse {
+            ticks: 412,
+            actions: 39,
+            promotions: 1,
+            last_promotion: Some(PromotionDto {
+                from: "127.0.0.1:7881".into(),
+                to: "127.0.0.1:7891".into(),
+                ring_version: 2,
+                ms_ago: 1_800,
+                final_delta_source: "data_dir".into(),
+            }),
+            ranges: vec![
+                ReplicaStatusDto {
+                    primary: "127.0.0.1:7880".into(),
+                    standby: "127.0.0.1:7890".into(),
+                    phase: "replicating".into(),
+                    synced_seq: 941,
+                    lag_ops: 3,
+                    lag_ms: 120,
+                    deltas_shipped: 37,
+                    bulk_syncs: 1,
+                },
+                ReplicaStatusDto {
+                    primary: "127.0.0.1:7881".into(),
+                    standby: "127.0.0.1:7891".into(),
+                    phase: "promoted".into(),
+                    synced_seq: 502,
+                    lag_ops: 0,
+                    lag_ms: 1_900,
+                    deltas_shipped: 12,
+                    bulk_syncs: 1,
+                },
+            ],
+        };
+        let js = serde_json::to_string(&dto).unwrap();
+        let back: SupervisorStatsResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(dto, back);
+        assert!(js.contains("\"phase\":\"promoted\""), "{js}");
+        assert!(js.contains("\"final_delta_source\":\"data_dir\""), "{js}");
+
+        // No promotion yet: the option serializes as null and parses
+        // back.
+        let quiet = SupervisorStatsResponse {
+            ticks: 1,
+            actions: 0,
+            promotions: 0,
+            last_promotion: None,
+            ranges: Vec::new(),
+        };
+        let js = serde_json::to_string(&quiet).unwrap();
+        let back: SupervisorStatsResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(quiet, back);
     }
 
     #[test]

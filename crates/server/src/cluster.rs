@@ -669,11 +669,16 @@ impl Cluster {
             let topo = self.topo();
             (topo.current.version, topo.current.backends.to_vec())
         };
+        let now = Instant::now();
         let backends: Vec<BackendHealthDto> = snapshot
             .iter()
-            .map(|b| BackendHealthDto {
-                addr: b.addr.to_string(),
-                health: self.lock_health(b).state().name().to_string(),
+            .map(|b| {
+                let h = self.lock_health(b);
+                BackendHealthDto {
+                    addr: b.addr.to_string(),
+                    health: h.state().name().to_string(),
+                    last_transition_ms: h.last_transition_ms(now),
+                }
             })
             .collect();
         let all_healthy = backends.iter().all(|b| b.health == "healthy");

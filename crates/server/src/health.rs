@@ -89,6 +89,10 @@ pub struct BackendHealth {
     next_probe_at: Instant,
     probe_failures: u64,
     breaker_trips: u64,
+    /// When `state` last changed (construction counts). A supervisor
+    /// deciding whether "down" warrants a promotion needs the dwell
+    /// time, not just the state name.
+    last_transition: Instant,
 }
 
 impl BackendHealth {
@@ -104,6 +108,7 @@ impl BackendHealth {
             next_probe_at: now,
             probe_failures: 0,
             breaker_trips: 0,
+            last_transition: now,
         }
     }
 
@@ -140,6 +145,13 @@ impl BackendHealth {
         self.breaker_trips
     }
 
+    /// Milliseconds this backend has been in its current state at
+    /// `now` — surfaced per backend in the router's `/healthz` rows.
+    pub fn last_transition_ms(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.last_transition)
+            .as_millis() as u64
+    }
+
     /// Whether an active probe is due at `now`.
     pub fn probe_due(&self, now: Instant) -> bool {
         now >= self.next_probe_at
@@ -163,24 +175,27 @@ impl BackendHealth {
             HealthState::Healthy => {}
             HealthState::Suspect => {
                 self.state = HealthState::Healthy;
+                self.last_transition = now;
             }
             HealthState::Down => {
                 // First good probe: trial traffic may flow again.
                 self.state = HealthState::Recovering;
+                self.last_transition = now;
                 self.down_probes = 0;
                 self.consecutive_successes = 1;
-                self.maybe_recover();
+                self.maybe_recover(now);
             }
             HealthState::Recovering => {
                 self.consecutive_successes += 1;
-                self.maybe_recover();
+                self.maybe_recover(now);
             }
         }
     }
 
-    fn maybe_recover(&mut self) {
+    fn maybe_recover(&mut self, now: Instant) {
         if self.consecutive_successes >= self.policy.recover_after {
             self.state = HealthState::Healthy;
+            self.last_transition = now;
             self.consecutive_successes = 0;
         }
     }
@@ -193,6 +208,7 @@ impl BackendHealth {
         match self.state {
             HealthState::Healthy => {
                 self.state = HealthState::Suspect;
+                self.last_transition = now;
                 if self.consecutive_failures >= self.policy.down_after {
                     self.trip(now, rng);
                 }
@@ -222,6 +238,7 @@ impl BackendHealth {
 
     fn trip(&mut self, now: Instant, rng: &mut XorShift64) {
         self.state = HealthState::Down;
+        self.last_transition = now;
         self.breaker_trips += 1;
         self.down_probes = 0;
         self.next_probe_at = now + self.probe_backoff(rng);
@@ -397,6 +414,46 @@ mod tests {
         assert_eq!(h.state(), HealthState::Recovering);
         h.record_success(t0);
         assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn last_transition_tracks_state_changes_only() {
+        let (mut h, mut rng, t0) = fixture();
+        // Fresh backend: in Healthy since construction.
+        assert_eq!(h.last_transition_ms(t0 + Duration::from_millis(250)), 250);
+
+        // A success in Healthy is not a transition — the dwell clock
+        // keeps running.
+        h.record_success(t0 + Duration::from_millis(100));
+        assert_eq!(h.last_transition_ms(t0 + Duration::from_millis(250)), 250);
+
+        // Healthy → Suspect restamps.
+        let t1 = t0 + Duration::from_millis(300);
+        h.record_failure(t1, &mut rng);
+        assert_eq!(h.state(), HealthState::Suspect);
+        assert_eq!(h.last_transition_ms(t1 + Duration::from_millis(40)), 40);
+
+        // A repeat failure that stays Suspect does not restamp.
+        h.record_failure(t1 + Duration::from_millis(10), &mut rng);
+        assert_eq!(h.state(), HealthState::Suspect);
+        assert_eq!(h.last_transition_ms(t1 + Duration::from_millis(40)), 40);
+
+        // The trip to Down restamps — this is the dwell time the
+        // supervisor reads before promoting.
+        let t2 = t1 + Duration::from_millis(500);
+        h.record_failure(t2, &mut rng);
+        assert_eq!(h.state(), HealthState::Down);
+        assert_eq!(h.last_transition_ms(t2 + Duration::from_millis(75)), 75);
+
+        // Down → Recovering → Healthy restamp at each hop.
+        let t3 = t2 + Duration::from_secs(1);
+        h.record_success(t3);
+        assert_eq!(h.state(), HealthState::Recovering);
+        assert_eq!(h.last_transition_ms(t3 + Duration::from_millis(5)), 5);
+        let t4 = t3 + Duration::from_millis(200);
+        h.record_success(t4);
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.last_transition_ms(t4 + Duration::from_millis(9)), 9);
     }
 
     #[test]

@@ -141,6 +141,43 @@
 //! response and subsequent `/healthz` / `/stats` bodies carry the new
 //! `ring_version`. Updates are rejected (`400`) if the list is empty
 //! or contains duplicates, and nothing changes on rejection.
+//!
+//! # Supervisor topology
+//!
+//! Everything above is a human following a recipe. The
+//! `lightor-supervisor` binary ([`supervisor`], [`replicate`]) is that
+//! human, mechanized — deploy it next to the router when shard death
+//! must not page anyone:
+//!
+//! ```text
+//!   lightor-supervisor ──observe──▶ lightor-router /healthz
+//!        │    │                         │ consistent hash
+//!        │    └──────bulk + deltas──┐   ▼
+//!        │                          │ lightor-serve (primary A)
+//!        │                          ▼
+//!        │                      lightor-serve (warm standby A')
+//!        └─── on A down: final delta + POST /admin/ring (A → A')
+//! ```
+//!
+//! One `--pair PRIMARY,STANDBY[,DATA_DIR]` per protected range. The
+//! supervisor runs a single-threaded observe → plan → act loop: it
+//! seeds each standby with one bulk bundle, then ships deltas every
+//! tick (`--tick-ms`, default 250) using the `since_seq`/`as_of_seq`
+//! watermarks, tracking lag in ops and milliseconds. When the router's
+//! `/healthz` reports a primary `down` (optionally dwelling
+//! `--down-dwell-ms` first; each health row carries
+//! `last_transition_ms` for exactly this), it promotes unattended:
+//! final delta from the primary if it still answers, else a WAL-tail
+//! rebuild from `DATA_DIR` (the zero-acknowledged-loss path for a
+//! SIGKILLed shard), then a ring update with the standby substituted.
+//! The plan is derived only from the live observation, so a supervisor
+//! crash mid-failover resumes on restart and never double-promotes.
+//!
+//! Its `GET /stats` reports per-range phase
+//! (`bootstrapping`/`replicating`/`promoting`/`promoted`/`retired`),
+//! `synced_seq`, lag, bundle counts, and the last promotion. Without a
+//! supervisor the cluster degrades to the manual runbook above —
+//! nothing else depends on it, and it owns no request-path state.
 
 #![warn(missing_docs)]
 
@@ -150,9 +187,11 @@ pub mod health;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod replicate;
 pub mod retry;
 pub mod router;
 pub mod server;
+pub mod supervisor;
 
 pub use client::{ClientError, ClientResponse, HttpClient};
 pub use cluster::{Cluster, ClusterConfig, RouterServer};
@@ -162,6 +201,8 @@ pub use lightor_platform::wire;
 pub use lightor_platform::LightorService;
 pub use metrics::{HttpMetrics, RouteKey, ROUTE_NAMES};
 pub use pool::ThreadPool;
+pub use replicate::{ReplicaPair, ReplicaTracker, SyncTimeouts};
 pub use retry::{RetryBudget, RetryPolicy, XorShift64};
 pub use router::{Route, RouteError, SessionAccepted};
 pub use server::{Handler, HttpServer, ServerConfig};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorServer};

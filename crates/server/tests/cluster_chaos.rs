@@ -14,286 +14,16 @@
 //!   `--restore-from` + a live ring update, with zero acknowledged
 //!   loss.
 
-use lightor_platform::wire::{
-    BundleDto, DotsResponse, EventDto, ExportRequest, ImportResponse, RingUpdateRequest,
-    RingUpdateResponse, RouterHealthzResponse, SessionUpload,
-};
+mod harness;
+
+use harness::*;
+use lightor_platform::wire::{DotsResponse, ExportRequest};
 use lightor_server::cluster::{Cluster, ClusterConfig};
-use lightor_server::router::SessionAccepted;
 use lightor_server::HttpClient;
-use std::io::BufRead;
 use std::net::SocketAddr;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-struct TempDir(PathBuf);
-impl TempDir {
-    fn new(tag: &str) -> Self {
-        let p = std::env::temp_dir().join(format!(
-            "lightor-chaos-{tag}-{}-{}",
-            std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
-        ));
-        std::fs::create_dir_all(&p).unwrap();
-        TempDir(p)
-    }
-}
-impl Drop for TempDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-/// A child process killed on drop (tests must never leak servers).
-struct Proc(Child);
-impl Drop for Proc {
-    fn drop(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
-
-/// Spawn a process and read its stdout until `parse` extracts a value
-/// from some line; the rest of the stream is drained in the background.
-fn spawn_and_parse<T>(
-    mut cmd: Command,
-    deadline: Duration,
-    parse: impl Fn(&str) -> Option<T>,
-) -> (Proc, T) {
-    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
-    let mut child = cmd.spawn().expect("spawn");
-    let stdout = child.stdout.take().expect("stdout piped");
-    let mut lines = std::io::BufReader::new(stdout).lines();
-    let start = Instant::now();
-    let mut parsed = None;
-    for line in &mut lines {
-        let line = line.expect("read child stdout");
-        if let Some(v) = parse(&line) {
-            parsed = Some(v);
-            break;
-        }
-        assert!(start.elapsed() < deadline, "child never printed its banner");
-    }
-    // Keep draining so the child never blocks on a full pipe.
-    std::thread::spawn(move || for _ in lines {});
-    (Proc(child), parsed.expect("child exited before its banner"))
-}
-
-/// Boot one backend; returns (process, bound addr, catalog video ids).
-fn spawn_backend(dir: &std::path::Path, seed: u64, port: u16) -> (Proc, SocketAddr, Vec<u64>) {
-    let (proc_, addr, catalog, _) = spawn_backend_restoring(dir, seed, port, None);
-    (proc_, addr, catalog)
-}
-
-/// Boot one backend, optionally restoring a dead backend's range from
-/// its data dir first; the fourth return is the restored-video count
-/// (`None` when not restoring).
-fn spawn_backend_restoring(
-    dir: &std::path::Path,
-    seed: u64,
-    port: u16,
-    restore_from: Option<&std::path::Path>,
-) -> (Proc, SocketAddr, Vec<u64>, Option<usize>) {
-    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lightor-serve"));
-    cmd.args([
-        "--quick",
-        "--port",
-        &port.to_string(),
-        "--seed",
-        &seed.to_string(),
-        "--data-dir",
-    ])
-    .arg(dir);
-    if let Some(dead) = restore_from {
-        cmd.arg("--restore-from").arg(dead);
-    }
-    // The backend prints `restored: …` (when restoring), then
-    // `listening on http://ADDR`, then `catalog: …` — in that order.
-    let (proc_, (addr, catalog, restored)) = spawn_and_parse(cmd, Duration::from_secs(120), {
-        let addr = std::cell::Cell::new(None::<SocketAddr>);
-        let restored = std::cell::Cell::new(None::<usize>);
-        move |line| {
-            if let Some(rest) = line.strip_prefix("restored: ") {
-                let count = rest
-                    .split_whitespace()
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .expect("restored count");
-                restored.set(Some(count));
-                return None;
-            }
-            if let Some(rest) = line.strip_prefix("lightor-serve listening on http://") {
-                addr.set(Some(rest.trim().parse().expect("addr")));
-                return None;
-            }
-            let ids = line.strip_prefix("catalog: ")?;
-            let catalog: Vec<u64> = ids
-                .split_whitespace()
-                .map(|s| s.parse().expect("catalog id"))
-                .collect();
-            Some((
-                addr.get().expect("listening line before catalog"),
-                catalog,
-                restored.get(),
-            ))
-        }
-    });
-    (proc_, addr, catalog, restored)
-}
-
-/// Boot the router over `backends`; returns (process, bound addr).
-fn spawn_router(backends: &[SocketAddr]) -> (Proc, SocketAddr) {
-    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lightor-router"));
-    cmd.args(["--port", "0", "--request-timeout-ms", "5000"]);
-    for b in backends {
-        cmd.args(["--backend", &b.to_string()]);
-    }
-    spawn_and_parse(cmd, Duration::from_secs(60), |line| {
-        line.strip_prefix("lightor-router listening on http://")
-            .map(|rest| rest.trim().parse().expect("addr"))
-    })
-}
-
-/// An upload whose plays cluster around `dot_at`, enough of them
-/// (≥ `min_plays_per_round` = 8) to trigger a refinement round.
-fn refining_upload(video: u64, client: u64, dot_at: f64) -> String {
-    let mut events = Vec::new();
-    for i in 0..8 {
-        let at = (dot_at - 2.0 + 0.3 * i as f64).max(0.0);
-        events.push(EventDto::Play { at });
-        events.push(EventDto::Pause { at: at + 6.0 });
-    }
-    events.push(EventDto::Leave { at: dot_at + 20.0 });
-    serde_json::to_string(&SessionUpload {
-        video,
-        client,
-        events,
-    })
-    .unwrap()
-}
-
-fn healthz(client: &mut HttpClient) -> RouterHealthzResponse {
-    client.get("/healthz").unwrap().json().unwrap()
-}
-
-/// `POST /admin/export` on one backend; returns the raw bundle body
-/// (shippable verbatim as an import body) and its parsed form.
-fn export_bundle(addr: SocketAddr, req: &ExportRequest) -> (String, BundleDto) {
-    let mut c = HttpClient::connect(addr).unwrap();
-    let resp = c
-        .post_json("/admin/export", &serde_json::to_string(req).unwrap())
-        .unwrap();
-    assert_eq!(resp.status, 200, "{}", resp.body_str());
-    let bundle = resp.json().unwrap();
-    (resp.body_str().to_string(), bundle)
-}
-
-/// `POST /admin/import` a bundle body into one backend.
-fn import_bundle(addr: SocketAddr, body: &str) -> ImportResponse {
-    let mut c = HttpClient::connect(addr).unwrap();
-    let resp = c.post_json("/admin/import", body).unwrap();
-    assert_eq!(resp.status, 200, "{}", resp.body_str());
-    resp.json().unwrap()
-}
-
-/// `POST /admin/ring` on the router: swap in a new backend set, live.
-fn apply_ring(router: SocketAddr, backends: &[SocketAddr]) -> RingUpdateResponse {
-    let req = RingUpdateRequest {
-        backends: backends.iter().map(|a| a.to_string()).collect(),
-    };
-    let mut c = HttpClient::connect(router).unwrap();
-    let resp = c
-        .post_json("/admin/ring", &serde_json::to_string(&req).unwrap())
-        .unwrap();
-    assert_eq!(resp.status, 200, "{}", resp.body_str());
-    resp.json().unwrap()
-}
-
-/// Open `vid` and drive refining uploads through the router until a
-/// refinement round is acknowledged, then return the acknowledged
-/// dots. Every ack is durable by contract: refine persists through the
-/// WAL-fronted KV store before answering.
-fn refine_and_ack(client: &mut HttpClient, vid: u64) -> DotsResponse {
-    let dots: DotsResponse = client
-        .get(&format!("/video/{vid}/dots"))
-        .unwrap()
-        .json()
-        .unwrap();
-    assert!(!dots.dots.is_empty());
-    let mut refined_acked = 0usize;
-    for i in 0..200u64 {
-        let dot_at = dots.dots[(i as usize) % dots.dots.len()].at_seconds;
-        let resp = client
-            .post_json("/sessions", &refining_upload(vid, i, dot_at))
-            .unwrap();
-        assert_eq!(resp.status, 200, "{}", resp.body_str());
-        let ack: SessionAccepted = resp.json().unwrap();
-        refined_acked += ack.dots_refined;
-        if refined_acked >= 3 {
-            break;
-        }
-    }
-    assert!(
-        refined_acked >= 1,
-        "load never triggered a refinement round"
-    );
-    client
-        .get(&format!("/video/{vid}/dots"))
-        .unwrap()
-        .json()
-        .unwrap()
-}
-
-/// Background GET load over `ids` through the router; joining the
-/// handle yields every 5xx observed (the tests assert it stays empty).
-fn spawn_loader(
-    router: SocketAddr,
-    ids: Vec<u64>,
-    stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<Vec<(u64, u16)>> {
-    std::thread::spawn(move || {
-        let mut client = HttpClient::connect(router).unwrap();
-        let mut five_xx = Vec::new();
-        while !stop.load(Ordering::Relaxed) {
-            for &v in &ids {
-                let resp = client.get(&format!("/video/{v}/dots")).unwrap();
-                if resp.status >= 500 {
-                    five_xx.push((v, resp.status));
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        five_xx
-    })
-}
-
-fn wait_backend_state(router: SocketAddr, addr: SocketAddr, want: &str, within: Duration) {
-    let deadline = Instant::now() + within;
-    let mut client = HttpClient::connect(router).unwrap();
-    loop {
-        let hz = healthz(&mut client);
-        let state = hz
-            .backends
-            .iter()
-            .find(|b| b.addr == addr.to_string())
-            .map(|b| b.health.clone())
-            .unwrap_or_default();
-        if state == want {
-            return;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "backend {addr} never reached {want:?} (stuck at {state:?})"
-        );
-        std::thread::sleep(Duration::from_millis(50));
-    }
-}
 
 #[test]
 fn killing_and_restarting_a_backend_mid_load_loses_nothing() {

@@ -97,6 +97,15 @@ pub fn get_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Fetch a named field, falling back to `Default::default()` when the
+/// key is absent (`#[serde(default)]` derive helper).
+pub fn get_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get_key(name) {
+        Some(inner) => T::from_value(inner),
+        None => Ok(T::default()),
+    }
+}
+
 /// Fetch the `i`-th element of a `Seq` value (derive helper).
 pub fn seq_item(v: &Value, i: usize) -> Result<&Value, Error> {
     match v {

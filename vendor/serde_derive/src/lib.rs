@@ -6,8 +6,8 @@
 //! parser below walks the raw `TokenStream` (no `syn`/`quote` in this
 //! offline environment) and supports exactly the shapes the workspace
 //! uses: named-field structs, tuple structs, unit enums, and data enums —
-//! plus the `#[serde(skip)]`, `#[serde(transparent)]` and
-//! `#[serde(tag = "...", rename_all = "snake_case")]` attributes.
+//! plus the `#[serde(skip)]`, `#[serde(default)]`, `#[serde(transparent)]`
+//! and `#[serde(tag = "...", rename_all = "snake_case")]` attributes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -15,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -156,7 +157,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             i += 1; // the comma
         }
         let skip = attrs.iter().any(|a| a.contains("skip"));
-        fields.push(Field { name, skip });
+        let default = attrs.iter().any(|a| a.contains("default"));
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -381,6 +387,11 @@ fn gen_deserialize(input: &Input) -> String {
                 .map(|f| {
                     if f.skip {
                         format!("{}: ::std::default::Default::default(),\n", f.name)
+                    } else if f.default {
+                        format!(
+                            "{0}: ::serde::get_field_or_default(__v, \"{0}\")?,\n",
+                            f.name
+                        )
                     } else {
                         format!("{0}: ::serde::get_field(__v, \"{0}\")?,\n", f.name)
                     }

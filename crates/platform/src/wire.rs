@@ -172,6 +172,26 @@ pub struct StatsResponse {
     /// exhaustion, interrupted syscalls) — nonzero means the accept
     /// loop has been shedding connections.
     pub accept_errors: u64,
+    /// NDJSON lines accepted on `POST /sessions/stream` since start.
+    /// (`serde(default)` on the stream counters keeps pre-streaming
+    /// stats JSON parseable.)
+    #[serde(default)]
+    pub stream_lines_accepted: u64,
+    /// NDJSON lines rejected with a typed per-line error.
+    #[serde(default)]
+    pub stream_lines_rejected: u64,
+    /// Event batches folded into refinement state via the incremental
+    /// path (buffered `POST /sessions` uploads count here too — both
+    /// paths share `refine_batch`).
+    #[serde(default)]
+    pub stream_batches_folded: u64,
+    /// Batches recognized as idempotent replays (sequence at or below
+    /// the per-session watermark) and skipped.
+    #[serde(default)]
+    pub stream_batches_replayed: u64,
+    /// Streams currently open (headers received, body still arriving).
+    #[serde(default)]
+    pub stream_open: u64,
     /// Per-route HTTP counters, when an HTTP front end is serving.
     /// Empty for embedded (in-process) deployments.
     pub http: Vec<RouteStatsDto>,
@@ -198,6 +218,11 @@ impl From<crate::service::ServiceStats> for StatsResponse {
             chat_reclaimed_bytes: s.chat_reclaimed_bytes,
             degraded: s.degraded,
             accept_errors: 0,
+            stream_lines_accepted: 0,
+            stream_lines_rejected: 0,
+            stream_batches_folded: 0,
+            stream_batches_replayed: 0,
+            stream_open: 0,
             http: Vec::new(),
         }
     }
@@ -662,6 +687,86 @@ impl SessionUpload {
     }
 }
 
+/// One NDJSON line on `POST /sessions/stream`: an event batch for one
+/// video from one client, optionally carrying a client-assigned batch
+/// sequence for idempotent replay.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamBatchDto {
+    /// The video being watched.
+    pub video: u64,
+    /// Anonymous client id (the replay watermark is per
+    /// `(video, client)`).
+    pub client: u64,
+    /// Client-assigned batch sequence, strictly increasing per
+    /// `(video, client)` session. A batch at or below the acknowledged
+    /// watermark is recognized as a replay and not folded twice.
+    /// `None` (or absent) opts out of replay protection.
+    #[serde(default)]
+    pub seq: Option<u64>,
+    /// Ordered player events in this batch.
+    pub events: Vec<EventDto>,
+}
+
+impl StreamBatchDto {
+    /// The batch's events as a buffered-style [`SessionUpload`] — the
+    /// two ingestion paths validate and fold identically through this.
+    pub fn as_upload(&self) -> SessionUpload {
+        SessionUpload {
+            video: self.video,
+            client: self.client,
+            events: self.events.clone(),
+        }
+    }
+}
+
+/// One rejected NDJSON line inside a [`StreamAccepted`] ack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LineRejectDto {
+    /// 1-based line number within the stream.
+    pub line: u64,
+    /// Stable machine-readable code (`bad_json`, `line_too_long`, the
+    /// [`UploadError`] codes, …).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// `POST /sessions/stream` success ack (200): per-stream totals plus
+/// every rejected line. Rejected lines do not fail the stream until
+/// the error budget is exhausted.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamAccepted {
+    /// NDJSON lines accepted and folded (or recognized as replays).
+    pub lines_accepted: u64,
+    /// Lines rejected with a typed per-line error.
+    pub lines_rejected: u64,
+    /// Batches folded into refinement state.
+    pub batches_folded: u64,
+    /// Batches recognized as idempotent replays and skipped.
+    pub batches_replayed: u64,
+    /// Plays buffered against dots across the stream.
+    pub plays_buffered: u64,
+    /// Refinement rounds completed across the stream.
+    pub dots_refined: u64,
+    /// Highest acknowledged batch sequence (0 when unsequenced) — the
+    /// client resumes replay from the next sequence after a crash.
+    pub last_seq: u64,
+    /// The rejected lines, in stream order.
+    pub rejected: Vec<LineRejectDto>,
+}
+
+/// `POST /sessions/stream` terminal failure (the stream was cut):
+/// which line ended it and everything rejected up to that point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamRejected {
+    /// Stable machine-readable code (`error_budget_exhausted`, …).
+    pub error: String,
+    /// 1-based line number the stream died on.
+    pub line: u64,
+    /// The rejected lines, in stream order.
+    pub rejected: Vec<LineRejectDto>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +854,65 @@ mod tests {
         assert_eq!(back.train_boot_ms, 1234);
         assert!(back.degraded);
         assert_eq!(back.accept_errors, 0);
+        assert_eq!(back.stream_lines_accepted, 0);
+
+        // Pre-streaming stats JSON (no stream_* fields) must parse
+        // with the counters defaulted, not fail.
+        let js = js
+            .split(",\"stream_lines_accepted\"")
+            .next()
+            .unwrap()
+            .to_string()
+            + ",\"http\":[]}";
+        let old: StatsResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(old.stream_open, 0);
+        assert_eq!(old.stored_videos, 3);
+    }
+
+    #[test]
+    fn stream_dtos_round_trip() {
+        let batch = StreamBatchDto {
+            video: 7,
+            client: 99,
+            seq: Some(3),
+            events: vec![EventDto::Play { at: 1.0 }, EventDto::Pause { at: 9.0 }],
+        };
+        let js = serde_json::to_string(&batch).unwrap();
+        let back: StreamBatchDto = serde_json::from_str(&js).unwrap();
+        assert_eq!(batch, back);
+        assert_eq!(back.as_upload().events.len(), 2);
+        // An unsequenced line (no `seq` key at all) parses with None.
+        let unseq: StreamBatchDto =
+            serde_json::from_str(r#"{"video":7,"client":99,"events":[{"type":"play","at":1.0}]}"#)
+                .unwrap();
+        assert_eq!(unseq.seq, None);
+
+        let ack = StreamAccepted {
+            lines_accepted: 5,
+            lines_rejected: 2,
+            batches_folded: 4,
+            batches_replayed: 1,
+            plays_buffered: 40,
+            dots_refined: 2,
+            last_seq: 5,
+            rejected: vec![LineRejectDto {
+                line: 3,
+                code: "bad_json".into(),
+                message: "line 3 is not valid JSON".into(),
+            }],
+        };
+        let back: StreamAccepted =
+            serde_json::from_str(&serde_json::to_string(&ack).unwrap()).unwrap();
+        assert_eq!(ack, back);
+
+        let cut = StreamRejected {
+            error: "error_budget_exhausted".into(),
+            line: 19,
+            rejected: Vec::new(),
+        };
+        let back: StreamRejected =
+            serde_json::from_str(&serde_json::to_string(&cut).unwrap()).unwrap();
+        assert_eq!(cut, back);
     }
 
     #[test]

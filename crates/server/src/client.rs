@@ -373,6 +373,67 @@ impl HttpClient {
         self.read_response(None)
     }
 
+    /// Begin a chunked-transfer request: writes the head with
+    /// `Transfer-Encoding: chunked` and no `Content-Length`. Follow
+    /// with [`Self::send_chunk`] calls, then read the response with
+    /// [`Self::finish_chunked`] (or its relay twin).
+    pub fn start_chunked(&mut self, method: &str, path: &str) -> Result<(), ClientError> {
+        use std::io::Write as _;
+        let mut raw = Vec::with_capacity(96 + method.len() + path.len());
+        write!(
+            raw,
+            "{method} {path} HTTP/1.1\r\nHost: lightor\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        .expect("writing to a Vec never fails");
+        self.stream.write_all(&raw)?;
+        Ok(())
+    }
+
+    /// Send one chunk frame of an in-flight chunked request. Empty
+    /// data is a no-op (a zero-size frame would terminate the body).
+    pub fn send_chunk(&mut self, data: &[u8]) -> Result<(), ClientError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        use std::io::Write as _;
+        let mut frame = Vec::with_capacity(data.len() + 16);
+        write!(frame, "{:x}\r\n", data.len()).expect("writing to a Vec never fails");
+        frame.extend_from_slice(data);
+        frame.extend_from_slice(b"\r\n");
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Terminate an in-flight chunked request (the zero chunk) and read
+    /// the response, which must complete before `deadline`.
+    pub fn finish_chunked(&mut self, deadline: Instant) -> Result<ClientResponse, ClientError> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        let result = self.read_response(Some(deadline));
+        self.restore_timeout()?;
+        result
+    }
+
+    /// [`Self::finish_chunked`] capturing the response as raw relay
+    /// bytes — the router's streamed-upload hop.
+    pub fn finish_chunked_relay(
+        &mut self,
+        deadline: Instant,
+    ) -> Result<RelayResponse, ClientError> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        let result = self.read_relay(Some(deadline));
+        self.restore_timeout()?;
+        result
+    }
+
+    /// Read one relay response without sending anything first — used
+    /// when a send failed mid-stream because the server answered early
+    /// (a mid-stream 503/422) and stopped reading.
+    pub fn read_early_relay(&mut self, deadline: Instant) -> Result<RelayResponse, ClientError> {
+        let result = self.read_relay(Some(deadline));
+        self.restore_timeout()?;
+        result
+    }
+
     /// The underlying stream, for tests that need to write a partial
     /// request without reading a response yet.
     pub fn stream_mut(&mut self) -> &mut TcpStream {

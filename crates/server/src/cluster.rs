@@ -56,10 +56,11 @@ use crate::http::{Request, Response};
 use crate::metrics::{HttpMetrics, RouteKey};
 use crate::retry::{RetryBudget, RetryPolicy, XorShift64};
 use crate::router::{resolve, Route};
-use crate::server::Handler;
+use crate::server::{BodySource, Handler, StreamBodyError};
 use lightor_platform::wire::{
     BackendHealthDto, BackendStatsDto, CompactResponse, RingUpdateRequest, RingUpdateResponse,
-    RouterHealthzResponse, RouterStatsResponse, SessionUpload, StatsResponse,
+    RouterHealthzResponse, RouterStatsResponse, SessionUpload, StatsResponse, StreamAccepted,
+    StreamBatchDto,
 };
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -169,11 +170,30 @@ struct Ring {
     points: Vec<(u64, usize)>,
 }
 
+/// The default hash base for a ring slot, derived from the member's
+/// address. A one-for-one substitution inherits the departed slot's
+/// base instead of deriving a fresh one — see [`Cluster::apply_ring`].
+fn addr_base(addr: &SocketAddr) -> u64 {
+    fnv1a64(addr.to_string().as_bytes())
+}
+
 impl Ring {
+    /// Build from addresses, each slot at its default base — what the
+    /// boot ring does via [`Cluster::new`]; kept for tests that need a
+    /// reference ring without a `Cluster`.
+    #[cfg(test)]
     fn build(backends: &[SocketAddr], vnodes: usize) -> Self {
-        let mut points = Vec::with_capacity(backends.len() * vnodes);
-        for (idx, addr) in backends.iter().enumerate() {
-            let base = fnv1a64(addr.to_string().as_bytes());
+        let bases: Vec<u64> = backends.iter().map(addr_base).collect();
+        Self::build_from_bases(&bases, vnodes)
+    }
+
+    /// Build from explicit per-slot hash bases. A slot's vnode points
+    /// are a pure function of its base, so two rings sharing a base
+    /// place that slot's points identically — the stability guarantee
+    /// that makes an address substitution ownership-preserving.
+    fn build_from_bases(bases: &[u64], vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(bases.len() * vnodes);
+        for (idx, &base) in bases.iter().enumerate() {
             for v in 0..vnodes as u64 {
                 points.push((splitmix64(base ^ splitmix64(v)), idx));
             }
@@ -197,6 +217,11 @@ struct RingEpoch {
     /// Monotonic: the boot ring is 1, every applied update adds 1.
     version: u64,
     backends: Vec<Arc<Backend>>,
+    /// Per-slot hash bases, parallel to `backends`. Carried so the
+    /// next swap can keep a substituted slot's vnode points — and
+    /// therefore its key range — exactly where the departed member's
+    /// were.
+    bases: Vec<u64>,
     ring: Ring,
 }
 
@@ -239,12 +264,14 @@ impl Cluster {
             .iter()
             .map(|&addr| Arc::new(Backend::boot(addr, cfg.health, now)))
             .collect();
-        let ring = Ring::build(&cfg.backends, cfg.vnodes.max(1));
+        let bases: Vec<u64> = cfg.backends.iter().map(addr_base).collect();
+        let ring = Ring::build_from_bases(&bases, cfg.vnodes.max(1));
         Cluster {
             topo: RwLock::new(Topology {
                 current: RingEpoch {
                     version: 1,
                     backends,
+                    bases,
                     ring,
                 },
                 previous: None,
@@ -291,6 +318,20 @@ impl Cluster {
     /// — across the swap; new addresses are admitted in `Recovering`.
     /// The outgoing epoch stays behind as a read fallback until
     /// [`ClusterConfig::ring_overlap`] elapses.
+    ///
+    /// **Substitutions preserve ownership.** An address already in a
+    /// live epoch keeps the hash base (and so the exact key range) it
+    /// had there, and a brand-new address that one-for-one replaces a
+    /// single departed member inherits the departed slot's base. That
+    /// is the failover/replacement contract: a standby promoted over a
+    /// dead primary — or a restored shard swapped in for the process
+    /// it replaces — takes over *exactly* the old member's videos.
+    /// Without it, rehashing the new address would silently strand a
+    /// slice of the dead shard's acknowledged state on survivors that
+    /// never received it. Any other membership change (growing,
+    /// shrinking, multiple simultaneous replacements) hashes new
+    /// addresses fresh and re-shards as consistent hashing normally
+    /// does.
     pub fn apply_ring(&self, addrs: Vec<SocketAddr>) -> Result<RingUpdateResponse, String> {
         if addrs.is_empty() {
             return Err("a ring needs at least 1 backend".into());
@@ -319,13 +360,46 @@ impl Cluster {
                     .unwrap_or_else(|| Arc::new(Backend::admitted(addr, self.cfg.health, now)))
             })
             .collect();
-        let ring = Ring::build(&addrs, self.cfg.vnodes.max(1));
+        // Slot bases: live addresses keep theirs (current epoch wins
+        // over the overlap fallback); a single unknown address that
+        // one-for-one replaces a single departed member inherits the
+        // departed slot's base (see the method docs); anything else
+        // hashes fresh.
+        let known_bases: std::collections::HashMap<SocketAddr, u64> = topo
+            .previous
+            .iter()
+            .flat_map(|(e, _)| e.backends.iter().zip(&e.bases))
+            .chain(topo.current.backends.iter().zip(&topo.current.bases))
+            .map(|(b, &base)| (b.addr, base))
+            .collect();
+        let departed: Vec<u64> = topo
+            .current
+            .backends
+            .iter()
+            .zip(&topo.current.bases)
+            .filter(|(b, _)| !addrs.contains(&b.addr))
+            .map(|(_, &base)| base)
+            .collect();
+        let unknown = addrs
+            .iter()
+            .filter(|a| !known_bases.contains_key(a))
+            .count();
+        let bases: Vec<u64> = addrs
+            .iter()
+            .map(|addr| match known_bases.get(addr) {
+                Some(&base) => base,
+                None if unknown == 1 && departed.len() == 1 => departed[0],
+                None => addr_base(addr),
+            })
+            .collect();
+        let ring = Ring::build_from_bases(&bases, self.cfg.vnodes.max(1));
         let version = topo.current.version + 1;
         let outgoing = std::mem::replace(
             &mut topo.current,
             RingEpoch {
                 version,
                 backends,
+                bases,
                 ring,
             },
         );
@@ -599,6 +673,138 @@ impl Cluster {
         self.route_write(upload.video, "/sessions", body)
     }
 
+    /// `POST /sessions/stream` with a buffered (Content-Length) body:
+    /// the first non-blank line carries the video id; the whole body is
+    /// already here, so route it like any other write.
+    fn route_session_stream_buffered(&self, body: &[u8]) -> Response {
+        let Some(line) = body
+            .split(|&b| b == b'\n')
+            .map(|l| l.trim_ascii())
+            .find(|l| !l.is_empty())
+        else {
+            return empty_stream_ack();
+        };
+        let batch: StreamBatchDto = match serde_json::from_slice(line) {
+            Ok(b) => b,
+            Err(_) => {
+                return Response::error(400, "bad_json", "first line must be a StreamBatchDto")
+            }
+        };
+        self.route_write(batch.video, "/sessions/stream", body)
+    }
+
+    /// Relay a streamed NDJSON upload to the owning shard chunk by
+    /// chunk. The video id lives on the first line, so the router
+    /// buffers only up to the first non-blank newline (bounded), picks
+    /// the owner, then forwards the buffered prefix and every later
+    /// chunk as it arrives — the hop never holds the whole stream.
+    /// Like every write it goes out on a fresh connection and never
+    /// retries; a backend that answers early (mid-stream freeze `503`,
+    /// budget `422`) and stops reading has that early response relayed
+    /// instead of a blind `502`.
+    fn relay_session_stream(&self, body: &mut dyn BodySource) -> Response {
+        const MAX_FIRST_LINE: usize = 256 * 1024;
+        let mut prefix: Vec<u8> = Vec::new();
+        let mut ended = false;
+        let mut scan = 0usize; // start of the line being assembled
+        let (line_start, line_end) = loop {
+            if let Some(pos) = prefix[scan..].iter().position(|&b| b == b'\n') {
+                let (s, e) = (scan, scan + pos);
+                if !prefix[s..e].trim_ascii().is_empty() {
+                    break (s, e);
+                }
+                scan = e + 1;
+                continue;
+            }
+            if ended {
+                break (scan, prefix.len());
+            }
+            if prefix.len() - scan > MAX_FIRST_LINE {
+                return Response::error(
+                    400,
+                    "line_too_long",
+                    "first NDJSON line exceeds 256 KiB; the router cannot route it",
+                );
+            }
+            match body.next_chunk() {
+                Ok(Some(data)) => prefix.extend_from_slice(&data),
+                Ok(None) => ended = true,
+                Err(e) => return stream_pull_error(e),
+            }
+        };
+        let first_line = prefix[line_start..line_end].trim_ascii();
+        if first_line.is_empty() {
+            // Nothing but blank lines: same zero-line ack a backend
+            // would give, no shard involved.
+            return empty_stream_ack();
+        }
+        let batch: StreamBatchDto = match serde_json::from_slice(first_line) {
+            Ok(b) => b,
+            Err(_) => {
+                return Response::error(400, "bad_json", "first line must be a StreamBatchDto")
+            }
+        };
+
+        self.maybe_expire_overlap();
+        let (owner, _) = self.owners(batch.video);
+        if let Some(resp) = self.gate(&owner) {
+            return resp;
+        }
+        owner.proxied.fetch_add(1, Ordering::Relaxed);
+        self.budget.record_attempt();
+        let mut conn = match HttpClient::connect_with(
+            owner.addr,
+            self.cfg.connect_timeout,
+            self.cfg.request_timeout,
+        ) {
+            Ok(conn) => conn,
+            Err(e) => {
+                self.mark_failure(&owner, false);
+                owner.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                return Response::error(502, "bad_gateway", &e.to_string());
+            }
+        };
+        let mut send_result = conn
+            .start_chunked("POST", "/sessions/stream")
+            .and_then(|()| conn.send_chunk(&prefix));
+        if send_result.is_ok() && !ended {
+            loop {
+                match body.next_chunk() {
+                    Ok(Some(data)) => {
+                        if let Err(e) = conn.send_chunk(&data) {
+                            send_result = Err(e);
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    // The *client* side failed; dropping `conn` cuts
+                    // the backend stream, which loses only what was
+                    // never acknowledged.
+                    Err(e) => return stream_pull_error(e),
+                }
+            }
+        }
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let read = match send_result {
+            Ok(()) => conn.finish_chunked_relay(deadline),
+            // The backend stopped reading mid-send: it usually
+            // answered early (frozen video, blown error budget). Relay
+            // that answer if one is there.
+            Err(_) => conn.read_early_relay(deadline),
+        };
+        match read {
+            Ok(resp) => {
+                self.mark_success(&owner);
+                Response::relay(resp.status, resp.raw)
+            }
+            Err(e) => {
+                self.mark_failure(&owner, false);
+                owner.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(502, "bad_gateway", &e.to_string())
+            }
+        }
+    }
+
     /// `POST /admin/ring`: parse and apply a ring update, without a
     /// restart. Bad addresses or an empty/duplicated set answer 400;
     /// nothing about the running topology changes on a rejected update.
@@ -793,6 +999,7 @@ impl Handler for Cluster {
             Route::Dots(id) => self.route_read(id, &req.path),
             Route::Rescore(id) => self.route_write(id, &req.path, &req.body),
             Route::Sessions => self.route_session(&req.body),
+            Route::SessionsStream => self.route_session_stream_buffered(&req.body),
             Route::Compact => self.broadcast_compact(),
             Route::Ring => self.handle_ring(&req.body),
             // Bundles move between a migration driver and a specific
@@ -808,6 +1015,64 @@ impl Handler for Cluster {
             self.errors_5xx.fetch_add(1, Ordering::Relaxed);
         }
         (route.key(), response)
+    }
+
+    fn wants_stream(&self, method: &str, path: &str) -> bool {
+        matches!(resolve(method, path), Ok(Route::SessionsStream))
+    }
+
+    fn handle_stream(
+        &self,
+        _head: &Request,
+        body: &mut dyn BodySource,
+        metrics: &HttpMetrics,
+    ) -> (RouteKey, Response) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        metrics.stream.stream_opened();
+        let response = self.relay_session_stream(body);
+        metrics.stream.stream_completed();
+        if response.status >= 500 {
+            self.errors_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        (RouteKey::SessionsStream, response)
+    }
+}
+
+/// The zero-line `POST /sessions/stream` ack (an empty or all-blank
+/// stream), identical at the router and a backend.
+fn empty_stream_ack() -> Response {
+    Response::json(
+        200,
+        &StreamAccepted {
+            lines_accepted: 0,
+            lines_rejected: 0,
+            batches_folded: 0,
+            batches_replayed: 0,
+            plays_buffered: 0,
+            dots_refined: 0,
+            last_seq: 0,
+            rejected: Vec::new(),
+        },
+    )
+}
+
+/// Map a failed pull from the *client's* stream to the response the
+/// client (if still there) should see.
+fn stream_pull_error(e: StreamBodyError) -> Response {
+    match e {
+        StreamBodyError::Timeout => Response::error(
+            408,
+            "request_timeout",
+            "stream stalled past the progress deadline",
+        ),
+        StreamBodyError::TooLarge => {
+            Response::error(413, "body_too_large", "stream buffer overflowed its bound")
+        }
+        StreamBodyError::Malformed(m) => Response::error(400, "bad_request", m),
+        // Nobody is left to read this; the server skips the write.
+        StreamBodyError::Disconnected => {
+            Response::error(400, "bad_request", "client disconnected mid-stream")
+        }
     }
 }
 
@@ -960,6 +1225,52 @@ mod tests {
         let fresh = Ring::build(&addrs(3), 64);
         for video in 0..200 {
             assert_eq!(cluster.shard_for(video), fresh.owner(video));
+        }
+    }
+
+    #[test]
+    fn one_for_one_substitution_preserves_every_ownership() {
+        // The promotion/replacement contract: swapping a single
+        // address hands the newcomer exactly the departed member's
+        // key range — no key may move between survivors, and none may
+        // land anywhere but the substitute.
+        let old = addrs(3);
+        let cluster = Cluster::new(ClusterConfig::new(old.clone()));
+        let before: Vec<usize> = (0..3000u64).map(|v| cluster.shard_for(v)).collect();
+
+        let replaced = 1usize;
+        let mut new_ring = old.clone();
+        new_ring[replaced] = "10.9.8.7:6543".parse().unwrap();
+        cluster.apply_ring(new_ring.clone()).unwrap();
+        for (v, &owner_before) in before.iter().enumerate() {
+            let owner_after = cluster.shard_for(v as u64);
+            assert_eq!(
+                new_ring[owner_after],
+                if owner_before == replaced {
+                    new_ring[replaced]
+                } else {
+                    old[owner_before]
+                },
+                "video {v} moved off its slot across a substitution"
+            );
+        }
+
+        // Substitutions chain: replacing the substitute hands the same
+        // range over again (the inherited base propagates).
+        let mut third = new_ring.clone();
+        third[replaced] = "10.9.8.7:6544".parse().unwrap();
+        cluster.apply_ring(third.clone()).unwrap();
+        for (v, &owner_before) in before.iter().enumerate() {
+            let owner_after = cluster.shard_for(v as u64);
+            assert_eq!(
+                third[owner_after],
+                if owner_before == replaced {
+                    third[replaced]
+                } else {
+                    old[owner_before]
+                },
+                "video {v} moved off its slot across a chained substitution"
+            );
         }
     }
 

@@ -5,14 +5,32 @@
 //! which yields a complete [`Request`], `None` ("need more bytes"), or a
 //! typed [`HttpError`] that maps straight to a status code:
 //!
-//! * `400` — malformed request line, header, or `Content-Length`;
-//! * `413` — declared body larger than the configured cap;
+//! * `400` — malformed request line, header, `Content-Length`, or
+//!   chunked framing;
+//! * `408` — a body stalled past its progress deadline (raised by the
+//!   connection loop, which owns the clock; the parser only names it);
+//! * `413` — declared or decoded body larger than the configured cap;
 //! * `431` — head (request line + headers) larger than the cap;
-//! * `501` — transfer encodings this server does not speak (chunked).
+//! * `501` — a transfer encoding other than chunked.
 //!
-//! Framing is strict `Content-Length`; pipelined bytes after one
-//! request's body are kept in the buffer for the next `try_next` call,
-//! which is what keep-alive needs.
+//! Framing is strict `Content-Length` or RFC 7230 chunked transfer
+//! coding (decoded transparently — `try_next` yields the de-chunked
+//! body). Pipelined bytes after one request's body are kept in the
+//! buffer for the next `try_next` call, which is what keep-alive needs.
+//!
+//! # Streamed bodies
+//!
+//! Routes that consume the body incrementally (the NDJSON ingest
+//! endpoint) use the streaming half of the API instead of `try_next`:
+//! [`RequestParser::begin_stream`] consumes the head and switches the
+//! parser into streamed-body mode, after which
+//! [`RequestParser::next_stream_chunk`] yields decoded body pieces
+//! ([`StreamChunk::Data`]) as bytes arrive, until [`StreamChunk::End`].
+//! Memory stays bounded the whole way: chunk-size lines are capped
+//! (`400` past [`MAX_CHUNK_LINE`]), the raw buffer never grows beyond
+//! the body cap plus a fixed framing allowance (`413`), and a streamed
+//! chunked body has no *total* cap — the data flows through the buffer
+//! instead of accumulating in it.
 
 use std::io::Write;
 
@@ -37,12 +55,23 @@ impl Default for Limits {
 /// Maximum number of header lines a request may carry.
 const MAX_HEADERS: usize = 100;
 
+/// Longest accepted chunk-size line (hex digits + extensions). A size
+/// line that runs past this without a CRLF is a 400, which bounds how
+/// much garbage a client can feed before the first framing decision.
+const MAX_CHUNK_LINE: usize = 64;
+
+/// Raw-buffer allowance past the body cap for chunk framing overhead
+/// (size lines, CRLFs, trailers) while a chunked body accumulates.
+const CHUNK_SLACK: usize = 16 * 1024;
+
 /// A parse-level failure, mapped to its HTTP status code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HttpError {
     /// 400 — the request is syntactically broken.
     BadRequest(&'static str),
-    /// 413 — the declared body exceeds the cap.
+    /// 408 — the body stalled past the route's progress deadline.
+    RequestTimeout,
+    /// 413 — the declared (or decoded) body exceeds the cap.
     BodyTooLarge,
     /// 431 — the head exceeds the cap (or too many headers).
     HeadersTooLarge,
@@ -55,6 +84,7 @@ impl HttpError {
     pub fn status(&self) -> u16 {
         match self {
             HttpError::BadRequest(_) => 400,
+            HttpError::RequestTimeout => 408,
             HttpError::BodyTooLarge => 413,
             HttpError::HeadersTooLarge => 431,
             HttpError::NotImplemented(_) => 501,
@@ -65,10 +95,32 @@ impl HttpError {
     pub fn message(&self) -> &'static str {
         match self {
             HttpError::BadRequest(m) | HttpError::NotImplemented(m) => m,
+            HttpError::RequestTimeout => "request body stalled past the progress deadline",
             HttpError::BodyTooLarge => "request body exceeds the configured limit",
             HttpError::HeadersTooLarge => "request head exceeds the configured limit",
         }
     }
+}
+
+/// How a request's body is framed on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// Exactly this many raw bytes (strict `Content-Length`).
+    Length(usize),
+    /// RFC 7230 chunked transfer coding, decoded by the parser.
+    Chunked,
+}
+
+/// One step of a streamed body (see
+/// [`RequestParser::next_stream_chunk`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamChunk {
+    /// Decoded body bytes — framing never shows through.
+    Data(Vec<u8>),
+    /// Nothing decodable is buffered; feed more socket bytes.
+    NeedMore,
+    /// The body is complete; the parser is ready for the next request.
+    End,
 }
 
 /// One parsed request.
@@ -80,7 +132,8 @@ pub struct Request {
     pub path: String,
     /// Header list: lowercased names, trimmed values, request order.
     pub headers: Vec<(String, String)>,
-    /// Raw body bytes (exactly `Content-Length` of them).
+    /// Raw body bytes (exactly `Content-Length` of them, or the
+    /// decoded chunked body; empty for a streamed head).
     pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
@@ -97,11 +150,47 @@ impl Request {
     }
 }
 
+/// A fully parsed head plus the framing it declared, before any body.
+struct ParsedHead {
+    request: Request,
+    framing: Framing,
+    /// Offset of the first body byte in the parser buffer.
+    body_start: usize,
+}
+
+/// Where a streamed chunked body is in its framing grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChunkPhase {
+    /// Expecting a `SIZE[;ext]\r\n` line.
+    Size,
+    /// Inside a chunk's data bytes.
+    Data,
+    /// Expecting the CRLF that terminates a chunk's data.
+    DataCrlf,
+    /// Past the zero chunk: consuming trailer lines until a blank one.
+    Trailers,
+    /// The terminal blank line was seen; the body is complete.
+    Done,
+}
+
+/// Progress state of a streamed body between `next_stream_chunk` calls.
+#[derive(Debug)]
+struct StreamState {
+    framing: Framing,
+    /// `Length`: raw bytes still owed. `Chunked`: bytes left in the
+    /// current chunk's data.
+    remaining: usize,
+    phase: ChunkPhase,
+}
+
 /// Incremental request parser over a growable byte buffer.
 #[derive(Debug)]
 pub struct RequestParser {
     buf: Vec<u8>,
     limits: Limits,
+    /// Set while a streamed body is being consumed (between
+    /// `begin_stream` and `StreamChunk::End`).
+    stream: Option<StreamState>,
 }
 
 impl RequestParser {
@@ -110,6 +199,7 @@ impl RequestParser {
         RequestParser {
             buf: Vec::new(),
             limits,
+            stream: None,
         }
     }
 
@@ -120,7 +210,23 @@ impl RequestParser {
 
     /// True when no unconsumed bytes are buffered (nothing in flight).
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf.is_empty() && self.stream.is_none()
+    }
+
+    /// True when a complete head is buffered — a request is mid-flight
+    /// even if its body has not finished arriving. The connection loop
+    /// uses this to arm the body-progress deadline.
+    pub fn head_complete(&self) -> bool {
+        find_head_end(&self.buf).is_some()
+    }
+
+    /// Parse the head of the next buffered request without consuming
+    /// anything: the returned [`Request`] carries an empty body, plus
+    /// the body [`Framing`] the wire declared. The connection loop uses
+    /// this to pick per-route deadlines and streamed dispatch before
+    /// the body exists.
+    pub fn peek_head(&self) -> Result<Option<(Request, Framing)>, HttpError> {
+        Ok(self.parse_head()?.map(|h| (h.request, h.framing)))
     }
 
     /// Try to parse one complete request off the front of the buffer.
@@ -129,6 +235,182 @@ impl RequestParser {
     /// terminal for the connection: the buffer state is unspecified
     /// afterwards and the caller should answer and close.
     pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        debug_assert!(
+            self.stream.is_none(),
+            "try_next during an active body stream"
+        );
+        let Some(head) = self.parse_head()? else {
+            return Ok(None);
+        };
+        let body_start = head.body_start;
+        match head.framing {
+            Framing::Length(content_length) => {
+                if self.buf.len() < body_start + content_length {
+                    return Ok(None);
+                }
+                let mut request = head.request;
+                request.body = self.buf[body_start..body_start + content_length].to_vec();
+                // Keep pipelined bytes for the next request.
+                self.buf.drain(..body_start + content_length);
+                Ok(Some(request))
+            }
+            Framing::Chunked => {
+                match decode_chunked(&self.buf[body_start..], self.limits.max_body_bytes)? {
+                    Some((body, consumed)) => {
+                        let mut request = head.request;
+                        request.body = body;
+                        self.buf.drain(..body_start + consumed);
+                        Ok(Some(request))
+                    }
+                    None => {
+                        // Bounded buffering while chunks accumulate:
+                        // the decoded cap plus framing allowance.
+                        if self.buf.len() - body_start > self.limits.max_body_bytes + CHUNK_SLACK {
+                            return Err(HttpError::BodyTooLarge);
+                        }
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume the next request's head and switch into streamed-body
+    /// mode: subsequent [`Self::next_stream_chunk`] calls yield the
+    /// decoded body incrementally. Returns the head as a [`Request`]
+    /// with an empty body, or `None` when the head is incomplete.
+    pub fn begin_stream(&mut self) -> Result<Option<Request>, HttpError> {
+        debug_assert!(
+            self.stream.is_none(),
+            "begin_stream during an active body stream"
+        );
+        let Some(head) = self.parse_head()? else {
+            return Ok(None);
+        };
+        self.buf.drain(..head.body_start);
+        self.stream = Some(match head.framing {
+            Framing::Length(n) => StreamState {
+                framing: head.framing,
+                remaining: n,
+                phase: ChunkPhase::Data,
+            },
+            Framing::Chunked => StreamState {
+                framing: head.framing,
+                remaining: 0,
+                phase: ChunkPhase::Size,
+            },
+        });
+        Ok(Some(head.request))
+    }
+
+    /// Decode the next piece of a streamed body. Call only between
+    /// [`Self::begin_stream`] and the [`StreamChunk::End`] it ends on;
+    /// after `End` the parser is back in normal (`try_next`) mode with
+    /// any pipelined bytes intact.
+    pub fn next_stream_chunk(&mut self) -> Result<StreamChunk, HttpError> {
+        // The raw buffer must never grow unboundedly even if the
+        // handler pulls slower than the socket fills.
+        if self.buf.len() > self.limits.max_body_bytes + CHUNK_SLACK {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let Some(mut state) = self.stream.take() else {
+            return Err(HttpError::BadRequest("no streamed body is active"));
+        };
+        let result = self.advance_stream(&mut state);
+        match &result {
+            Ok(StreamChunk::End) => {} // leave self.stream = None
+            _ => self.stream = Some(state),
+        }
+        result
+    }
+
+    /// One decoding step over `state`; factored out so the state can be
+    /// moved out of `self` while the buffer is mutated.
+    fn advance_stream(&mut self, state: &mut StreamState) -> Result<StreamChunk, HttpError> {
+        if let Framing::Length(_) = state.framing {
+            if state.remaining == 0 {
+                return Ok(StreamChunk::End);
+            }
+            if self.buf.is_empty() {
+                return Ok(StreamChunk::NeedMore);
+            }
+            let take = state.remaining.min(self.buf.len());
+            let data: Vec<u8> = self.buf.drain(..take).collect();
+            state.remaining -= take;
+            return Ok(StreamChunk::Data(data));
+        }
+        // Chunked: run the framing grammar as far as the buffer allows,
+        // accumulating decoded data.
+        let mut out = Vec::new();
+        loop {
+            match state.phase {
+                ChunkPhase::Size => {
+                    let Some(eol) = find_crlf(&self.buf) else {
+                        if self.buf.len() > MAX_CHUNK_LINE {
+                            return Err(HttpError::BadRequest("chunk size line too long"));
+                        }
+                        break;
+                    };
+                    let size = parse_chunk_size(&self.buf[..eol])?;
+                    self.buf.drain(..eol + 2);
+                    if size == 0 {
+                        state.phase = ChunkPhase::Trailers;
+                    } else {
+                        state.remaining = size;
+                        state.phase = ChunkPhase::Data;
+                    }
+                }
+                ChunkPhase::Data => {
+                    if self.buf.is_empty() {
+                        break;
+                    }
+                    let take = state.remaining.min(self.buf.len());
+                    out.extend(self.buf.drain(..take));
+                    state.remaining -= take;
+                    if state.remaining == 0 {
+                        state.phase = ChunkPhase::DataCrlf;
+                    }
+                }
+                ChunkPhase::DataCrlf => {
+                    if self.buf.len() < 2 {
+                        break;
+                    }
+                    if &self.buf[..2] != b"\r\n" {
+                        return Err(HttpError::BadRequest("chunk data not terminated by CRLF"));
+                    }
+                    self.buf.drain(..2);
+                    state.phase = ChunkPhase::Size;
+                }
+                ChunkPhase::Trailers => {
+                    let Some(eol) = find_crlf(&self.buf) else {
+                        if self.buf.len() > self.limits.max_head_bytes {
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        break;
+                    };
+                    let blank = eol == 0;
+                    // Trailer header lines are consumed and ignored.
+                    self.buf.drain(..eol + 2);
+                    if blank {
+                        state.phase = ChunkPhase::Done;
+                    }
+                }
+                ChunkPhase::Done => break,
+            }
+        }
+        if !out.is_empty() {
+            return Ok(StreamChunk::Data(out));
+        }
+        if state.phase == ChunkPhase::Done {
+            Ok(StreamChunk::End)
+        } else {
+            Ok(StreamChunk::NeedMore)
+        }
+    }
+
+    /// Parse the head (request line + headers + framing) off the front
+    /// of the buffer without consuming it. `Ok(None)` = incomplete.
+    fn parse_head(&self) -> Result<Option<ParsedHead>, HttpError> {
         let Some(head_len) = find_head_end(&self.buf) else {
             if self.buf.len() > self.limits.max_head_bytes {
                 return Err(HttpError::HeadersTooLarge);
@@ -163,11 +445,6 @@ impl RequestParser {
             headers.push((name, value.trim().to_string()));
         }
 
-        if header_value(&headers, "transfer-encoding").is_some() {
-            return Err(HttpError::NotImplemented(
-                "transfer encodings are not supported; send Content-Length",
-            ));
-        }
         // RFC 7230 §3.3.2: conflicting Content-Length values are a
         // smuggling vector (a proxy may frame by one, us by another) —
         // reject duplicates outright unless they agree.
@@ -185,13 +462,29 @@ impl RequestParser {
                 content_length = parsed;
             }
         }
-        if content_length > self.limits.max_body_bytes {
-            return Err(HttpError::BodyTooLarge);
-        }
-        // Head ends with "\r\n\r\n": the body starts 4 bytes past it.
-        let body_start = head_len + 4;
-        if self.buf.len() < body_start + content_length {
-            return Ok(None);
+        let framing = match header_value(&headers, "transfer-encoding") {
+            // Transfer-Encoding alongside Content-Length is the other
+            // half of the same smuggling vector — reject it outright
+            // instead of picking a winner.
+            Some(v) if v.trim().eq_ignore_ascii_case("chunked") => {
+                if seen_length.is_some() {
+                    return Err(HttpError::BadRequest(
+                        "both Transfer-Encoding and Content-Length present",
+                    ));
+                }
+                Framing::Chunked
+            }
+            Some(_) => {
+                return Err(HttpError::NotImplemented(
+                    "only the chunked transfer encoding is supported",
+                ))
+            }
+            None => Framing::Length(content_length),
+        };
+        if let Framing::Length(n) = framing {
+            if n > self.limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge);
+            }
         }
 
         // Header values kept their original case; match Connection
@@ -201,24 +494,83 @@ impl RequestParser {
             Some(v) if contains_ignore_case(v, "keep-alive") => true,
             _ => version_11,
         };
-        let method = method.to_string();
-        let path = path.to_string();
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        // Keep pipelined bytes for the next request.
-        self.buf.drain(..body_start + content_length);
-        Ok(Some(Request {
-            method,
-            path,
-            headers,
-            body,
-            keep_alive,
+        Ok(Some(ParsedHead {
+            request: Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                headers,
+                body: Vec::new(),
+                keep_alive,
+            },
+            framing,
+            // Head ends with "\r\n\r\n": the body starts 4 bytes past.
+            body_start: head_len + 4,
         }))
     }
+}
+
+/// Decode a complete chunked body from `raw`: `Ok(Some((body,
+/// consumed)))` once the terminal chunk and its trailer section are
+/// fully buffered, `Ok(None)` when more bytes are needed.
+fn decode_chunked(raw: &[u8], max_body: usize) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(eol) = find_crlf(&raw[pos..]) else {
+            if raw.len() - pos > MAX_CHUNK_LINE {
+                return Err(HttpError::BadRequest("chunk size line too long"));
+            }
+            return Ok(None);
+        };
+        let size = parse_chunk_size(&raw[pos..pos + eol])?;
+        pos += eol + 2;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                let Some(eol) = find_crlf(&raw[pos..]) else {
+                    return Ok(None);
+                };
+                let blank = eol == 0;
+                pos += eol + 2;
+                if blank {
+                    return Ok(Some((body, pos)));
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        if raw.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&raw[pos..pos + size]);
+        if &raw[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(HttpError::BadRequest("chunk data not terminated by CRLF"));
+        }
+        pos += size + 2;
+    }
+}
+
+/// Parse one `SIZE[;extensions]` chunk-size line (sans CRLF).
+fn parse_chunk_size(line: &[u8]) -> Result<usize, HttpError> {
+    if line.len() > MAX_CHUNK_LINE {
+        return Err(HttpError::BadRequest("chunk size line too long"));
+    }
+    let line = std::str::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("chunk size line is not valid UTF-8"))?;
+    // Chunk extensions (";name=value") are legal; ignore them.
+    let size = line.split(';').next().unwrap_or("").trim();
+    usize::from_str_radix(size, 16).map_err(|_| HttpError::BadRequest("unparseable chunk size"))
 }
 
 /// Offset of the `\r\n\r\n` head terminator, if present.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Offset of the next `\r\n`, if present.
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 /// ASCII case-insensitive substring search (header token lists are
@@ -268,6 +620,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
@@ -530,9 +883,143 @@ mod tests {
     }
 
     #[test]
-    fn chunked_maps_to_501() {
-        let err = parse_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+    fn chunked_bodies_decode_buffered() {
+        let req = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"hello world");
+
+        // Trailer headers after the zero chunk are consumed, and
+        // pipelined bytes after the body survive for the next request.
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              2\r\nok\r\n0\r\nX-Trailer: v\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+        );
+        let first = p.try_next().unwrap().unwrap();
+        assert_eq!(first.body, b"ok");
+        let second = p.try_next().unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn chunked_bodies_decode_incrementally() {
+        let raw: &[u8] = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                           3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n";
+        let mut p = RequestParser::new(Limits::default());
+        for &b in &raw[..raw.len() - 1] {
+            p.extend(&[b]);
+            assert!(p.try_next().unwrap().is_none());
+        }
+        p.extend(&raw[raw.len() - 1..]);
+        let req = p.try_next().unwrap().unwrap();
+        assert_eq!(req.body, b"abcdefg");
+    }
+
+    #[test]
+    fn chunked_framing_failures_are_typed() {
+        // Unparseable chunk size → 400.
+        let err = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhello\r\n0\r\n\r\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Chunk data not CRLF-terminated → 400.
+        let err = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX0\r\n\r\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        // A size line that never ends → 400 after MAX_CHUNK_LINE.
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        p.extend(&[b'1'; MAX_CHUNK_LINE + 8]);
+        assert_eq!(p.try_next().unwrap_err().status(), 400);
+        // Decoded body past the cap → 413, even before the terminal
+        // chunk arrives.
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        });
+        p.extend(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n9\r\nAAAAAAAAA\r\n");
+        assert_eq!(p.try_next(), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn unknown_transfer_encodings_map_to_501() {
+        let err = parse_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n").unwrap_err();
         assert_eq!(err.status(), 501);
+        // chunked + Content-Length is the smuggling pairing → 400.
+        let err = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn streamed_bodies_yield_decoded_chunks() {
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(b"POST /sessions/stream HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(p.head_complete());
+        let (head, framing) = p.peek_head().unwrap().unwrap();
+        assert_eq!(framing, Framing::Chunked);
+        assert_eq!(head.path, "/sessions/stream");
+        let head = p.begin_stream().unwrap().unwrap();
+        assert_eq!(head.method, "POST");
+        assert!(head.body.is_empty());
+
+        assert_eq!(p.next_stream_chunk(), Ok(StreamChunk::NeedMore));
+        p.extend(b"5\r\nline1\r\n");
+        assert_eq!(
+            p.next_stream_chunk(),
+            Ok(StreamChunk::Data(b"line1".to_vec()))
+        );
+        // Split a chunk across feeds: data arrives as it lands.
+        p.extend(b"6\r\n\nli");
+        assert_eq!(
+            p.next_stream_chunk(),
+            Ok(StreamChunk::Data(b"\nli".to_vec()))
+        );
+        p.extend(b"ne2\r\n0\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            p.next_stream_chunk(),
+            Ok(StreamChunk::Data(b"ne2".to_vec()))
+        );
+        assert_eq!(p.next_stream_chunk(), Ok(StreamChunk::End));
+        // Back in normal mode with the pipelined request intact.
+        let next = p.try_next().unwrap().unwrap();
+        assert_eq!(next.path, "/healthz");
+    }
+
+    #[test]
+    fn streamed_length_bodies_work_too() {
+        let mut p = RequestParser::new(Limits::default());
+        p.extend(b"POST /sessions/stream HTTP/1.1\r\nContent-Length: 10\r\n\r\nhello");
+        let head = p.begin_stream().unwrap().unwrap();
+        assert_eq!(head.path, "/sessions/stream");
+        assert_eq!(
+            p.next_stream_chunk(),
+            Ok(StreamChunk::Data(b"hello".to_vec()))
+        );
+        assert_eq!(p.next_stream_chunk(), Ok(StreamChunk::NeedMore));
+        p.extend(b"world");
+        assert_eq!(
+            p.next_stream_chunk(),
+            Ok(StreamChunk::Data(b"world".to_vec()))
+        );
+        assert_eq!(p.next_stream_chunk(), Ok(StreamChunk::End));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn request_timeout_maps_to_408() {
+        assert_eq!(HttpError::RequestTimeout.status(), 408);
+        assert_eq!(reason(408), "Request Timeout");
     }
 
     #[test]

@@ -20,6 +20,17 @@
 //!   implicit-crowdsourcing step that turns passive viewers into
 //!   labellers. Garbage payloads (NaN/negative timestamps, unknown
 //!   videos) are rejected with a typed 422 ([`wire::UploadError`]).
+//! * **"interactions stream back, live"** → `POST /sessions/stream`.
+//!   The streaming twin: a chunked (or Content-Length) NDJSON body,
+//!   one [`wire::StreamBatchDto`] event batch per line, folded
+//!   incrementally as each line arrives. Acknowledged batches are
+//!   WAL-durable *before* the [`wire::StreamAccepted`] ack; a client
+//!   that tags batches with a per-`(video, client)` `seq` can replay
+//!   from its last acknowledged sequence after any crash without
+//!   double-counting (replays are recognized and skipped). Malformed
+//!   lines reject the *line* — typed, with its 1-based number — not
+//!   the session, up to a 16-line error budget
+//!   ([`wire::StreamRejected`]).
 //! * **"model refresh"** → `POST /video/{id}/rescore`: re-run the
 //!   Initializer at a chosen `k` without touching refinement state.
 //! * **operations** → `GET /stats` (service + per-route HTTP counters,
@@ -141,6 +152,52 @@
 //! response and subsequent `/healthz` / `/stats` bodies carry the new
 //! `ring_version`. Updates are rejected (`400`) if the list is empty
 //! or contains duplicates, and nothing changes on rejection.
+//! Swapping exactly one new address in for exactly one departed
+//! member is **ownership-preserving**: the newcomer takes over
+//! precisely the departed member's videos (this is what a supervisor
+//! promotion or a `--restore-from` replacement relies on — no key
+//! quietly moves to a survivor that never received the dead shard's
+//! state). Any other membership change re-shards as consistent
+//! hashing normally does, so grow/shrink operations still need the
+//! export/import migration dance first.
+//!
+//! **Streaming ingest.** `POST /sessions/stream` accepts a chunked (or
+//! `Content-Length`) NDJSON body and folds each line as it arrives, so
+//! a long-lived uploader holds one connection, not one buffered body.
+//! What to know when operating it:
+//!
+//! * *Progress deadlines.* A streamed body must make progress — each
+//!   read window is bounded by [`ServerConfig`]'s `body_progress`
+//!   (default 2 s; per-route override via `Handler::body_progress`).
+//!   A stalled uploader (slowloris) gets a clean `408
+//!   request_timeout` naming the deadline, never a hung worker. Raise
+//!   it only for uploaders that legitimately pause between batches;
+//!   prefer client-side keep-alive batches over a long deadline.
+//! * *Budgets.* Lines over 256 KiB are rejected (and skipped to the
+//!   next newline without buffering); a connection accumulating more
+//!   than 16 rejected lines is terminated with `422
+//!   error_budget_exhausted` listing every rejection so far. Total
+//!   buffered bytes per connection stay bounded by [`Limits`] — an
+//!   over-limit body is `413`.
+//! * *Reading `/stats`.* `stream_open` is the number of streams in
+//!   flight right now; `stream_lines_accepted` / `stream_lines_rejected`
+//!   count per-line outcomes; `stream_batches_folded` counts batches
+//!   that advanced refinement state and `stream_batches_replayed`
+//!   counts duplicates recognized by their `seq` watermark and
+//!   skipped. `folded + replayed` reconciling with `lines_accepted`
+//!   (buffered `POST /sessions` also counts one `folded` each) is the
+//!   healthy steady state.
+//! * *Resume after a crash.* Every `StreamAccepted` ack means the
+//!   batches it covers are WAL-durable on the owning shard. A client
+//!   that tags batches with a monotone per-`(video, client)` `seq`
+//!   resumes by replaying from its last acked `last_seq` + 1; sending
+//!   earlier batches again is harmless (they come back
+//!   `batches_replayed`, fold nothing).
+//! * *Freeze windows.* A mid-stream export freeze answers `503
+//!   frozen` with a `Retry-After` and terminates the stream cleanly;
+//!   the router relays a streamed body chunk-by-chunk to the owning
+//!   shard and never retries a streamed write, so resume with the
+//!   `seq` protocol after the window passes.
 //!
 //! # Supervisor topology
 //!
@@ -196,13 +253,13 @@ pub mod supervisor;
 pub use client::{ClientError, ClientResponse, HttpClient};
 pub use cluster::{Cluster, ClusterConfig, RouterServer};
 pub use health::{BackendHealth, HealthPolicy, HealthState};
-pub use http::{HttpError, Limits, Request, RequestParser, Response};
+pub use http::{Framing, HttpError, Limits, Request, RequestParser, Response, StreamChunk};
 pub use lightor_platform::wire;
 pub use lightor_platform::LightorService;
-pub use metrics::{HttpMetrics, RouteKey, ROUTE_NAMES};
+pub use metrics::{HttpMetrics, RouteKey, StreamMetrics, ROUTE_NAMES};
 pub use pool::ThreadPool;
 pub use replicate::{ReplicaPair, ReplicaTracker, SyncTimeouts};
 pub use retry::{RetryBudget, RetryPolicy, XorShift64};
 pub use router::{Route, RouteError, SessionAccepted};
-pub use server::{Handler, HttpServer, ServerConfig};
+pub use server::{BodySource, Handler, HttpServer, ServerConfig, StreamBodyError};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorServer};

@@ -31,12 +31,14 @@ pub enum RouteKey {
     Import = 7,
     /// `POST /admin/ring`
     Ring = 8,
+    /// `POST /sessions/stream`
+    SessionsStream = 9,
     /// Anything unroutable: 404/405, parse errors, load-sheds.
-    Other = 9,
+    Other = 10,
 }
 
 /// Route templates, indexed by [`RouteKey`].
-pub const ROUTE_NAMES: [&str; 10] = [
+pub const ROUTE_NAMES: [&str; 11] = [
     "GET /healthz",
     "GET /video/{id}/dots",
     "POST /video/{id}/rescore",
@@ -46,6 +48,7 @@ pub const ROUTE_NAMES: [&str; 10] = [
     "POST /admin/export",
     "POST /admin/import",
     "POST /admin/ring",
+    "POST /sessions/stream",
     "other",
 ];
 
@@ -57,11 +60,74 @@ struct RouteCounters {
     latency_max_us: AtomicU64,
 }
 
+/// Streamed-ingest counters (`POST /sessions/stream`), alongside the
+/// per-route request rows: NDJSON lines accepted/rejected, batches
+/// folded into refinement state vs recognized as replays, and the
+/// open-stream gauge (`opened − completed`).
+#[derive(Default)]
+pub struct StreamMetrics {
+    lines_accepted: AtomicU64,
+    lines_rejected: AtomicU64,
+    batches_folded: AtomicU64,
+    batches_replayed: AtomicU64,
+    streams_opened: AtomicU64,
+    streams_completed: AtomicU64,
+}
+
+impl StreamMetrics {
+    /// A stream began (the head was dispatched to the NDJSON handler).
+    pub fn stream_opened(&self) {
+        self.streams_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A stream finished, successfully or not.
+    pub fn stream_completed(&self) {
+        self.streams_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one stream's line/batch outcomes in bulk.
+    pub fn add_lines(&self, accepted: u64, rejected: u64, folded: u64, replayed: u64) {
+        self.lines_accepted.fetch_add(accepted, Ordering::Relaxed);
+        self.lines_rejected.fetch_add(rejected, Ordering::Relaxed);
+        self.batches_folded.fetch_add(folded, Ordering::Relaxed);
+        self.batches_replayed.fetch_add(replayed, Ordering::Relaxed);
+    }
+
+    /// NDJSON lines accepted so far.
+    pub fn lines_accepted(&self) -> u64 {
+        self.lines_accepted.load(Ordering::Relaxed)
+    }
+
+    /// NDJSON lines rejected so far (typed per-line 422s).
+    pub fn lines_rejected(&self) -> u64 {
+        self.lines_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Batches folded into refinement state so far.
+    pub fn batches_folded(&self) -> u64 {
+        self.batches_folded.load(Ordering::Relaxed)
+    }
+
+    /// Batches recognized as idempotent replays so far.
+    pub fn batches_replayed(&self) -> u64 {
+        self.batches_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Streams currently open (opened − completed).
+    pub fn open_streams(&self) -> u64 {
+        self.streams_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.streams_completed.load(Ordering::Relaxed))
+    }
+}
+
 /// All routes' counters; shared across worker threads.
 #[derive(Default)]
 pub struct HttpMetrics {
-    routes: [RouteCounters; 10],
+    routes: [RouteCounters; 11],
     accept_errors: AtomicU64,
+    /// Streamed-ingest counters, surfaced in `GET /stats`.
+    pub stream: StreamMetrics,
 }
 
 impl HttpMetrics {
@@ -135,6 +201,23 @@ mod tests {
         assert_eq!(dots.latency_max_us, 120);
         assert_eq!(snap[RouteKey::Sessions as usize].requests, 1);
         assert_eq!(snap[RouteKey::Healthz as usize].requests, 0);
+    }
+
+    #[test]
+    fn stream_counters_track_opens_and_lines() {
+        let m = HttpMetrics::new();
+        assert_eq!(m.stream.open_streams(), 0);
+        m.stream.stream_opened();
+        m.stream.stream_opened();
+        assert_eq!(m.stream.open_streams(), 2);
+        m.stream.stream_completed();
+        assert_eq!(m.stream.open_streams(), 1);
+        m.stream.add_lines(5, 2, 4, 1);
+        m.stream.add_lines(1, 0, 1, 0);
+        assert_eq!(m.stream.lines_accepted(), 6);
+        assert_eq!(m.stream.lines_rejected(), 2);
+        assert_eq!(m.stream.batches_folded(), 5);
+        assert_eq!(m.stream.batches_replayed(), 1);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! | `GET /healthz` | — | liveness probe |
 //! | `GET /video/{id}/dots` | [`DotsResponse`] | `open_video` |
 //! | `POST /video/{id}/rescore` | [`RescoreRequest`] → [`DotsResponse`] | `rescore_video` |
-//! | `POST /sessions` | [`SessionUpload`] → [`SessionAccepted`] | `log_session` + `refine_video` |
+//! | `POST /sessions` | [`SessionUpload`] → [`SessionAccepted`] | `refine_batch` |
+//! | `POST /sessions/stream` | NDJSON [`StreamBatchDto`] lines → [`StreamAccepted`] | `refine_batch` per line |
 //! | `GET /stats` | [`StatsResponse`] | `stats` + HTTP counters |
 //! | `POST /admin/compact` | [`CompactResponse`] | `compact_storage` |
 //! | `POST /admin/export` | [`ExportRequest`] → [`BundleDto`] | `export_bundle` |
@@ -21,10 +22,10 @@
 
 use crate::http::{Request, Response};
 use crate::metrics::{HttpMetrics, RouteKey};
-use crate::server::Handler;
+use crate::server::{BodySource, Handler, StreamBodyError};
 use lightor_platform::wire::{
-    BundleDto, CompactResponse, DotsResponse, ExportRequest, RescoreRequest, SessionUpload,
-    StatsResponse, UploadError,
+    BundleDto, CompactResponse, DotsResponse, ExportRequest, LineRejectDto, RescoreRequest,
+    SessionUpload, StatsResponse, StreamAccepted, StreamBatchDto, StreamRejected, UploadError,
 };
 use lightor_platform::LightorService;
 use lightor_types::VideoId;
@@ -41,6 +42,8 @@ pub enum Route {
     Rescore(u64),
     /// `POST /sessions`
     Sessions,
+    /// `POST /sessions/stream` (NDJSON, one event batch per line)
+    SessionsStream,
     /// `GET /stats`
     Stats,
     /// `POST /admin/compact`
@@ -61,6 +64,7 @@ impl Route {
             Route::Dots(_) => RouteKey::Dots,
             Route::Rescore(_) => RouteKey::Rescore,
             Route::Sessions => RouteKey::Sessions,
+            Route::SessionsStream => RouteKey::SessionsStream,
             Route::Stats => RouteKey::Stats,
             Route::Compact => RouteKey::Compact,
             Route::Export => RouteKey::Export,
@@ -114,6 +118,7 @@ pub fn resolve(method: &str, path: &str) -> Result<Route, RouteError> {
         ["healthz"] => (Route::Healthz, "GET"),
         ["stats"] => (Route::Stats, "GET"),
         ["sessions"] => (Route::Sessions, "POST"),
+        ["sessions", "stream"] => (Route::SessionsStream, "POST"),
         ["admin", "compact"] => (Route::Compact, "POST"),
         ["admin", "export"] => (Route::Export, "POST"),
         ["admin", "import"] => (Route::Import, "POST"),
@@ -147,7 +152,13 @@ pub fn dispatch(
         Route::Healthz => Response::text(200, "ok"),
         Route::Dots(id) => handle_dots(svc, id),
         Route::Rescore(id) => gate_write(svc).unwrap_or_else(|| handle_rescore(svc, id, &req.body)),
-        Route::Sessions => gate_write(svc).unwrap_or_else(|| handle_sessions(svc, &req.body)),
+        Route::Sessions => {
+            gate_write(svc).unwrap_or_else(|| handle_sessions(svc, metrics, &req.body))
+        }
+        // A buffered (Content-Length) POST to the streaming route runs
+        // the same per-line machinery over the complete body — small
+        // clients need not speak chunked encoding.
+        Route::SessionsStream => handle_sessions_stream_buffered(svc, metrics, &req.body),
         Route::Stats => handle_stats(svc, metrics),
         // Compaction stays allowed while degraded: it is the repair
         // path — a successful compaction rewrites storage and clears
@@ -170,6 +181,285 @@ impl Handler for LightorService {
     fn handle(&self, req: &Request, metrics: &HttpMetrics) -> (RouteKey, Response) {
         dispatch(self, metrics, req)
     }
+
+    fn wants_stream(&self, method: &str, path: &str) -> bool {
+        matches!(resolve(method, path), Ok(Route::SessionsStream))
+    }
+
+    fn handle_stream(
+        &self,
+        _head: &Request,
+        body: &mut dyn BodySource,
+        metrics: &HttpMetrics,
+    ) -> (RouteKey, Response) {
+        metrics.stream.stream_opened();
+        let mut ingest = NdjsonIngest::new(self, &metrics.stream);
+        let response = loop {
+            match body.next_chunk() {
+                Ok(Some(data)) => {
+                    ingest.feed(&data);
+                    if ingest.terminal.is_some() {
+                        // Terminal mid-stream failure (budget blown,
+                        // freeze, storage): answer now and cut the
+                        // stream — everything acknowledged so far is
+                        // already durable.
+                        break ingest.response();
+                    }
+                }
+                Ok(None) => {
+                    ingest.finish();
+                    break ingest.response();
+                }
+                Err(StreamBodyError::Timeout) => {
+                    break Response::error(
+                        408,
+                        "request_timeout",
+                        "stream stalled past the progress deadline",
+                    )
+                }
+                Err(StreamBodyError::TooLarge) => {
+                    break Response::error(
+                        413,
+                        "body_too_large",
+                        "stream buffer overflowed its bound",
+                    )
+                }
+                Err(StreamBodyError::Malformed(m)) => break Response::error(400, "bad_request", m),
+                // The peer is gone; the server will not write this
+                // response, but the ingest totals still count.
+                Err(StreamBodyError::Disconnected) => break ingest.response(),
+            }
+        };
+        metrics.stream.stream_completed();
+        (RouteKey::SessionsStream, response)
+    }
+}
+
+/// NDJSON lines a stream may reject before it is cut with a terminal
+/// 422 (`error_budget_exhausted`).
+const STREAM_ERROR_BUDGET: u64 = 16;
+
+/// Longest accepted NDJSON line. Oversized lines are rejected (and
+/// skipped to the next newline) without buffering them.
+const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// Incremental NDJSON ingester for `POST /sessions/stream`: fed raw
+/// body bytes in arbitrary chunk sizes, it splits lines, validates
+/// each as a [`StreamBatchDto`], and folds accepted batches through
+/// [`LightorService::refine_batch`]. Malformed lines reject the *line*
+/// (typed, with its 1-based number), not the session, up to
+/// [`STREAM_ERROR_BUDGET`].
+struct NdjsonIngest<'a> {
+    svc: &'a LightorService,
+    /// Live stream counters: flushed per line, not at stream end, so
+    /// `GET /stats` observes a long-lived stream making progress.
+    stream_metrics: &'a crate::metrics::StreamMetrics,
+    line_no: u64,
+    carry: Vec<u8>,
+    /// Mid-oversized-line: discard bytes until the next newline.
+    skipping: bool,
+    lines_accepted: u64,
+    lines_rejected: u64,
+    batches_folded: u64,
+    batches_replayed: u64,
+    plays_buffered: u64,
+    dots_refined: u64,
+    last_seq: u64,
+    rejected: Vec<LineRejectDto>,
+    /// Set when the stream must be cut: the final response.
+    terminal: Option<Response>,
+}
+
+impl<'a> NdjsonIngest<'a> {
+    fn new(svc: &'a LightorService, stream_metrics: &'a crate::metrics::StreamMetrics) -> Self {
+        NdjsonIngest {
+            svc,
+            stream_metrics,
+            line_no: 0,
+            carry: Vec::new(),
+            skipping: false,
+            lines_accepted: 0,
+            lines_rejected: 0,
+            batches_folded: 0,
+            batches_replayed: 0,
+            plays_buffered: 0,
+            dots_refined: 0,
+            last_seq: 0,
+            rejected: Vec::new(),
+            terminal: None,
+        }
+    }
+
+    /// Feed one chunk of raw body bytes; processes every complete line.
+    fn feed(&mut self, data: &[u8]) {
+        if self.terminal.is_some() {
+            return;
+        }
+        self.carry.extend_from_slice(data);
+        loop {
+            if self.terminal.is_some() {
+                self.carry.clear();
+                return;
+            }
+            if self.skipping {
+                match self.carry.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        self.carry.drain(..=i);
+                        self.skipping = false;
+                        continue;
+                    }
+                    None => {
+                        self.carry.clear();
+                        return;
+                    }
+                }
+            }
+            match self.carry.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let line: Vec<u8> = self.carry.drain(..=i).collect();
+                    self.line_no += 1;
+                    self.process_line(&line[..line.len() - 1]);
+                }
+                None => {
+                    if self.carry.len() > MAX_LINE_BYTES {
+                        // Reject without ever buffering the rest: the
+                        // line number is consumed, the bytes are not.
+                        self.carry.clear();
+                        self.skipping = true;
+                        self.line_no += 1;
+                        self.reject("line_too_long", "NDJSON line exceeds 256 KiB");
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// End of body: the trailing newline is optional.
+    fn finish(&mut self) {
+        if self.terminal.is_some() || self.skipping {
+            return;
+        }
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.line_no += 1;
+            self.process_line(&line);
+        }
+    }
+
+    fn process_line(&mut self, raw: &[u8]) {
+        let line = raw.trim_ascii();
+        if line.is_empty() {
+            return; // blank lines keep their number but are not events
+        }
+        // Degraded storage refuses writes mid-stream too: folding a
+        // batch the service cannot persist would acknowledge data a
+        // crash then loses.
+        if let Some(resp) = gate_write(self.svc) {
+            self.terminal = Some(resp);
+            return;
+        }
+        let batch: StreamBatchDto = match serde_json::from_slice(line) {
+            Ok(b) => b,
+            Err(_) => return self.reject("bad_json", "line must be a StreamBatchDto"),
+        };
+        let seq = batch.seq;
+        let (video, session) = match batch.as_upload().try_into_session() {
+            Ok(pair) => pair,
+            Err(e) => return self.reject(e.code(), &e.to_string()),
+        };
+        // A freeze window opening mid-stream terminates the stream
+        // cleanly: acknowledged batches stay durable, the 503 carries
+        // the Retry-After, and the client resumes past the cutover
+        // from its last acknowledged sequence.
+        if let Some(remaining) = self.svc.frozen_for(video) {
+            self.terminal = Some(
+                Response::error(
+                    503,
+                    "frozen",
+                    "this video is mid-migration; retry after the cutover",
+                )
+                .with_header("Retry-After", remaining.as_secs().max(1).to_string()),
+            );
+            return;
+        }
+        match self.svc.refine_batch(video, seq, &session) {
+            Ok(None) => {
+                let e = UploadError::UnknownVideo { video: video.0 };
+                self.reject(e.code(), &e.to_string());
+            }
+            Ok(Some(outcome)) => {
+                self.lines_accepted += 1;
+                if outcome.replayed {
+                    self.batches_replayed += 1;
+                    self.stream_metrics.add_lines(1, 0, 0, 1);
+                } else {
+                    self.batches_folded += 1;
+                    self.stream_metrics.add_lines(1, 0, 1, 0);
+                }
+                self.plays_buffered += outcome.plays_buffered as u64;
+                self.dots_refined += outcome.dots_refined as u64;
+                if let Some(seq) = seq {
+                    self.last_seq = self.last_seq.max(seq);
+                }
+            }
+            Err(e) => self.terminal = Some(storage_error(&e)),
+        }
+    }
+
+    fn reject(&mut self, code: &str, message: &str) {
+        self.lines_rejected += 1;
+        self.stream_metrics.add_lines(0, 1, 0, 0);
+        self.rejected.push(LineRejectDto {
+            line: self.line_no,
+            code: code.to_string(),
+            message: message.to_string(),
+        });
+        if self.lines_rejected > STREAM_ERROR_BUDGET {
+            self.terminal = Some(Response::json(
+                422,
+                &StreamRejected {
+                    error: "error_budget_exhausted".to_string(),
+                    line: self.line_no,
+                    rejected: std::mem::take(&mut self.rejected),
+                },
+            ));
+        }
+    }
+
+    /// The stream's final response: the terminal failure if one was
+    /// set, the 200 ack otherwise.
+    fn response(&mut self) -> Response {
+        if let Some(terminal) = self.terminal.take() {
+            return terminal;
+        }
+        Response::json(
+            200,
+            &StreamAccepted {
+                lines_accepted: self.lines_accepted,
+                lines_rejected: self.lines_rejected,
+                batches_folded: self.batches_folded,
+                batches_replayed: self.batches_replayed,
+                plays_buffered: self.plays_buffered,
+                dots_refined: self.dots_refined,
+                last_seq: self.last_seq,
+                rejected: std::mem::take(&mut self.rejected),
+            },
+        )
+    }
+}
+
+/// The buffered fallback for `POST /sessions/stream`: same per-line
+/// machinery, body already complete.
+fn handle_sessions_stream_buffered(
+    svc: &LightorService,
+    metrics: &HttpMetrics,
+    body: &[u8],
+) -> Response {
+    let mut ingest = NdjsonIngest::new(svc, &metrics.stream);
+    ingest.feed(body);
+    ingest.finish();
+    ingest.response()
 }
 
 /// `Some(503)` when the service is degraded (persistence failed) and
@@ -250,7 +540,7 @@ fn handle_rescore(svc: &LightorService, id: u64, body: &[u8]) -> Response {
     }
 }
 
-fn handle_sessions(svc: &LightorService, body: &[u8]) -> Response {
+fn handle_sessions(svc: &LightorService, metrics: &HttpMetrics, body: &[u8]) -> Response {
     let upload: SessionUpload = match serde_json::from_slice(body) {
         Ok(u) => u,
         Err(_) => return Response::error(400, "bad_json", "body must be a SessionUpload"),
@@ -270,19 +560,24 @@ fn handle_sessions(svc: &LightorService, body: &[u8]) -> Response {
         )
         .with_header("Retry-After", remaining.as_secs().max(1).to_string());
     }
-    let Some(plays_buffered) = svc.log_session(video, &session) else {
-        let e = UploadError::UnknownVideo { video: video.0 };
-        return Response::error(422, e.code(), &e.to_string());
-    };
-    match svc.refine_video(video) {
-        Ok(dots_refined) => Response::json(
-            200,
-            &SessionAccepted {
-                video: video.0,
-                plays_buffered,
-                dots_refined,
-            },
-        ),
+    // The buffered path folds through the same incremental unit as the
+    // streamed one, so both produce bit-identical refinement state.
+    match svc.refine_batch(video, None, &session) {
+        Ok(None) => {
+            let e = UploadError::UnknownVideo { video: video.0 };
+            Response::error(422, e.code(), &e.to_string())
+        }
+        Ok(Some(outcome)) => {
+            metrics.stream.add_lines(0, 0, 1, 0);
+            Response::json(
+                200,
+                &SessionAccepted {
+                    video: video.0,
+                    plays_buffered: outcome.plays_buffered,
+                    dots_refined: outcome.dots_refined,
+                },
+            )
+        }
         Err(e) => storage_error(&e),
     }
 }
@@ -291,6 +586,11 @@ fn handle_stats(svc: &LightorService, metrics: &HttpMetrics) -> Response {
     let mut stats = StatsResponse::from(svc.stats());
     stats.http = metrics.snapshot();
     stats.accept_errors = metrics.accept_errors();
+    stats.stream_lines_accepted = metrics.stream.lines_accepted();
+    stats.stream_lines_rejected = metrics.stream.lines_rejected();
+    stats.stream_batches_folded = metrics.stream.batches_folded();
+    stats.stream_batches_replayed = metrics.stream.batches_replayed();
+    stats.stream_open = metrics.stream.open_streams();
     Response::json(200, &stats)
 }
 
@@ -341,6 +641,14 @@ mod tests {
         assert_eq!(resolve("GET", "/healthz"), Ok(Route::Healthz));
         assert_eq!(resolve("GET", "/stats"), Ok(Route::Stats));
         assert_eq!(resolve("POST", "/sessions"), Ok(Route::Sessions));
+        assert_eq!(
+            resolve("POST", "/sessions/stream"),
+            Ok(Route::SessionsStream)
+        );
+        assert_eq!(
+            resolve("GET", "/sessions/stream"),
+            Err(RouteError::MethodNotAllowed)
+        );
         assert_eq!(resolve("POST", "/admin/compact"), Ok(Route::Compact));
         assert_eq!(resolve("POST", "/admin/export"), Ok(Route::Export));
         assert_eq!(resolve("POST", "/admin/import"), Ok(Route::Import));

@@ -18,7 +18,7 @@
 //! still arriving, up to a drain grace period) before closing their
 //! connections, and the pool joins every worker.
 
-use crate::http::{Limits, Request, RequestParser, Response};
+use crate::http::{HttpError, Limits, Request, RequestParser, Response, StreamChunk};
 use crate::metrics::{HttpMetrics, RouteKey};
 use crate::pool::ThreadPool;
 use lightor_platform::LightorService;
@@ -44,6 +44,12 @@ pub struct ServerConfig {
     /// How long shutdown waits for a partially received request to
     /// finish arriving before the connection is dropped.
     pub drain_grace: Duration,
+    /// Default body-progress deadline: once a request's head is
+    /// complete, its body must make progress (buffered: any bytes;
+    /// streamed: a decoded chunk) at least this often or the request
+    /// is answered `408` and the connection closed. Routes can
+    /// override via [`Handler::body_progress`].
+    pub body_progress: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +60,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             keep_alive: Duration::from_secs(5),
             drain_grace: Duration::from_secs(2),
+            body_progress: Duration::from_secs(2),
         }
     }
 }
@@ -73,6 +80,70 @@ pub trait Handler: Send + Sync + 'static {
     /// Handle one complete request. `metrics` is the server's own
     /// counter set, passed in so `/stats`-style routes can merge it.
     fn handle(&self, req: &Request, metrics: &HttpMetrics) -> (RouteKey, Response);
+
+    /// True when this route's body should be *streamed* to
+    /// [`Self::handle_stream`] instead of buffered: the server hands
+    /// over as soon as the head is parsed, before any body bytes need
+    /// to exist.
+    fn wants_stream(&self, _method: &str, _path: &str) -> bool {
+        false
+    }
+
+    /// Per-route body-progress deadline override; `None` uses
+    /// [`ServerConfig::body_progress`]. Streaming routes that expect
+    /// naturally slow clients (a live session dribbling events in real
+    /// time) return a larger window here without loosening the guard
+    /// for every buffered route.
+    fn body_progress(&self, _method: &str, _path: &str) -> Option<Duration> {
+        None
+    }
+
+    /// Handle a streamed-body request: `head` carries the parsed head
+    /// (empty body) and `body` yields decoded body chunks as they
+    /// arrive. The default answers `501` — a handler that returns
+    /// `true` from [`Self::wants_stream`] must override this.
+    fn handle_stream(
+        &self,
+        _head: &Request,
+        _body: &mut dyn BodySource,
+        _metrics: &HttpMetrics,
+    ) -> (RouteKey, Response) {
+        (
+            RouteKey::Other,
+            Response::error(
+                501,
+                "not_implemented",
+                "this route does not accept streamed bodies",
+            ),
+        )
+    }
+}
+
+/// Why a streamed body stopped yielding chunks (see [`BodySource`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamBodyError {
+    /// No decoded progress within the route's progress deadline (or
+    /// the server began draining mid-stream) — answer `408`.
+    Timeout,
+    /// The connection buffer overflowed its bound — answer `413`.
+    TooLarge,
+    /// The body framing is broken — answer `400`.
+    Malformed(&'static str),
+    /// The peer closed or the socket died; there is usually nobody
+    /// left to answer.
+    Disconnected,
+}
+
+/// A streamed request body, pulled chunk by chunk.
+///
+/// `Ok(Some(bytes))` is decoded body data (transfer framing never
+/// shows through), `Ok(None)` is clean end-of-body. Implementations
+/// block until one of those or a [`StreamBodyError`] — each call gets
+/// a fresh progress deadline, so time a handler spends processing
+/// between calls never counts against the client.
+pub trait BodySource {
+    /// Pull the next decoded chunk.
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, StreamBodyError>;
 }
 
 /// Shared connection context.
@@ -211,6 +282,95 @@ fn shed_load(mut stream: TcpStream, ctx: &Ctx) {
     ctx.metrics.record(RouteKey::Other, 503, Duration::ZERO);
 }
 
+/// Answer a parse-level failure with its status code, record it in the
+/// catch-all bucket, and close — the framing is unrecoverable.
+fn answer_parse_error(stream: &mut TcpStream, ctx: &Ctx, e: HttpError) {
+    let response = Response::error(
+        e.status(),
+        match e.status() {
+            408 => "request_timeout",
+            413 => "body_too_large",
+            431 => "headers_too_large",
+            501 => "not_implemented",
+            _ => "bad_request",
+        },
+        e.message(),
+    );
+    let _ = response.write_to(stream, false);
+    ctx.metrics
+        .record(RouteKey::Other, e.status(), Duration::ZERO);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The live [`BodySource`] over one connection: pulls decoded chunks
+/// out of the parser, refilling it from the socket, under a fresh
+/// progress deadline per [`BodySource::next_chunk`] call.
+struct SocketBody<'a> {
+    stream: &'a mut TcpStream,
+    parser: &'a mut RequestParser,
+    /// Per-chunk progress deadline (route override or server default).
+    progress: Duration,
+    shutdown: &'a AtomicBool,
+    grace: Duration,
+    /// Armed when the shutdown flag is first seen mid-stream.
+    shutdown_deadline: Option<Instant>,
+    /// The body reached its clean end (`StreamChunk::End`).
+    drained: bool,
+    /// The peer vanished; writing a response is pointless.
+    disconnected: bool,
+}
+
+impl BodySource for SocketBody<'_> {
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, StreamBodyError> {
+        if self.drained {
+            return Ok(None);
+        }
+        let started = Instant::now();
+        let mut read_buf = [0u8; 16 * 1024];
+        loop {
+            match self.parser.next_stream_chunk() {
+                Ok(StreamChunk::Data(data)) => return Ok(Some(data)),
+                Ok(StreamChunk::End) => {
+                    self.drained = true;
+                    return Ok(None);
+                }
+                Ok(StreamChunk::NeedMore) => {}
+                Err(HttpError::BodyTooLarge) | Err(HttpError::HeadersTooLarge) => {
+                    return Err(StreamBodyError::TooLarge)
+                }
+                Err(e) => return Err(StreamBodyError::Malformed(e.message())),
+            }
+            // Nothing decodable buffered: wait for socket bytes, under
+            // the progress deadline (and the drain grace once the
+            // server is shutting down).
+            if started.elapsed() > self.progress {
+                return Err(StreamBodyError::Timeout);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                let deadline = *self
+                    .shutdown_deadline
+                    .get_or_insert_with(|| Instant::now() + self.grace);
+                if Instant::now() > deadline {
+                    return Err(StreamBodyError::Timeout);
+                }
+            }
+            match self.stream.read(&mut read_buf) {
+                Ok(0) => {
+                    self.disconnected = true;
+                    return Err(StreamBodyError::Disconnected);
+                }
+                Ok(n) => self.parser.extend(&read_buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.disconnected = true;
+                    return Err(StreamBodyError::Disconnected);
+                }
+            }
+        }
+    }
+}
+
 /// Run one connection to completion: parse → dispatch → respond, while
 /// keep-alive holds and the server is not draining.
 fn serve_connection(stream: TcpStream, ctx: &Ctx) {
@@ -220,12 +380,65 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
     let mut parser = RequestParser::new(ctx.cfg.limits);
     let mut read_buf = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
+    // Last time any request bytes arrived: the body-progress clock for
+    // buffered requests (408 when a header-complete request's body
+    // stalls past the route's deadline).
+    let mut last_progress = Instant::now();
     // Set once the shutdown flag is observed with bytes still in
     // flight: the worker keeps reading until the request completes or
     // this deadline passes.
     let mut drain_deadline: Option<Instant> = None;
 
     loop {
+        // Streamed dispatch runs off the head alone — the handler takes
+        // over before the body exists. Peek errors fall through to
+        // `try_next`, which surfaces the same error with a status.
+        if parser.head_complete() {
+            if let Ok(Some((head, _))) = parser.peek_head() {
+                if ctx.handler.wants_stream(&head.method, &head.path) {
+                    let head = parser
+                        .begin_stream()
+                        .expect("peek_head succeeded")
+                        .expect("head is complete");
+                    let started = Instant::now();
+                    let progress = ctx
+                        .handler
+                        .body_progress(&head.method, &head.path)
+                        .unwrap_or(ctx.cfg.body_progress);
+                    let mut body = SocketBody {
+                        stream: &mut stream,
+                        parser: &mut parser,
+                        progress,
+                        shutdown: &ctx.shutdown,
+                        grace: ctx.cfg.drain_grace,
+                        shutdown_deadline: None,
+                        drained: false,
+                        disconnected: false,
+                    };
+                    let (key, response) = ctx.handler.handle_stream(&head, &mut body, &ctx.metrics);
+                    let (drained, disconnected) = (body.drained, body.disconnected);
+                    ctx.metrics.record(key, response.status, started.elapsed());
+                    if disconnected {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    // Reuse the connection only when the body reached
+                    // its clean end — otherwise unread body bytes would
+                    // be parsed as the next request.
+                    let keep_alive =
+                        head.keep_alive && drained && !ctx.shutdown.load(Ordering::SeqCst);
+                    let wrote = response.write_to(&mut stream, keep_alive);
+                    if wrote.is_err() || !keep_alive {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    last_activity = Instant::now();
+                    last_progress = Instant::now();
+                    continue;
+                }
+            }
+        }
+
         match parser.try_next() {
             Ok(Some(req)) => {
                 let started = Instant::now();
@@ -241,26 +454,12 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
                     return;
                 }
                 last_activity = Instant::now();
+                last_progress = Instant::now();
                 continue;
             }
             Ok(None) => {}
             Err(e) => {
-                // Parse-level failure: answer with its status and close
-                // (the framing is unrecoverable).
-                let response = Response::error(
-                    e.status(),
-                    match e.status() {
-                        413 => "body_too_large",
-                        431 => "headers_too_large",
-                        501 => "not_implemented",
-                        _ => "bad_request",
-                    },
-                    e.message(),
-                );
-                let _ = response.write_to(&mut stream, false);
-                ctx.metrics
-                    .record(RouteKey::Other, e.status(), Duration::ZERO);
-                let _ = stream.shutdown(Shutdown::Both);
+                answer_parse_error(&mut stream, ctx, e);
                 return;
             }
         }
@@ -279,14 +478,32 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
-        } else if last_activity.elapsed() > ctx.cfg.keep_alive {
-            // Idle keep-alive expiry — and, because `last_activity`
-            // only resets when a *response* completes, also the
-            // overall deadline for one request to finish arriving.
-            // A slowloris client dribbling a byte at a time cannot
-            // hold the worker past this window.
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
+        } else {
+            if parser.head_complete() {
+                // A header-complete request whose body has stalled past
+                // the route's progress deadline gets a clean 408 — not
+                // a silent close at keep-alive expiry.
+                let progress = match parser.peek_head() {
+                    Ok(Some((head, _))) => ctx
+                        .handler
+                        .body_progress(&head.method, &head.path)
+                        .unwrap_or(ctx.cfg.body_progress),
+                    _ => ctx.cfg.body_progress,
+                };
+                if last_progress.elapsed() > progress {
+                    answer_parse_error(&mut stream, ctx, HttpError::RequestTimeout);
+                    return;
+                }
+            }
+            if last_activity.elapsed() > ctx.cfg.keep_alive {
+                // Idle keep-alive expiry — and, because `last_activity`
+                // only resets when a *response* completes, also the
+                // overall deadline for one request to finish arriving.
+                // A slowloris client dribbling a byte at a time cannot
+                // hold the worker past this window.
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
         }
 
         match stream.read(&mut read_buf) {
@@ -296,6 +513,7 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
             }
             Ok(n) => {
                 parser.extend(&read_buf[..n]);
+                last_progress = Instant::now();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}

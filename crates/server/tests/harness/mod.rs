@@ -10,7 +10,8 @@
 
 use lightor_platform::wire::{
     BundleDto, DotsResponse, EventDto, ExportRequest, ImportResponse, RingUpdateRequest,
-    RingUpdateResponse, RouterHealthzResponse, SessionUpload, SupervisorStatsResponse,
+    RingUpdateResponse, RouterHealthzResponse, SessionUpload, StreamBatchDto,
+    SupervisorStatsResponse,
 };
 use lightor_server::router::SessionAccepted;
 use lightor_server::HttpClient;
@@ -194,6 +195,46 @@ pub fn refining_upload(video: u64, client: u64, dot_at: f64) -> String {
         events,
     })
     .unwrap()
+}
+
+/// One sequenced NDJSON stream line (newline-terminated) whose plays
+/// cluster around `dot_at` — the streaming twin of [`refining_upload`].
+pub fn refining_stream_line(video: u64, client: u64, seq: u64, dot_at: f64) -> String {
+    let mut events = Vec::new();
+    for i in 0..8 {
+        let at = (dot_at - 2.0 + 0.3 * i as f64).max(0.0);
+        events.push(EventDto::Play { at });
+        events.push(EventDto::Pause { at: at + 6.0 });
+    }
+    stream_line(video, client, seq, events)
+}
+
+/// One sequenced NDJSON stream line whose single play lands at
+/// `far_ts` — place it outside every dot's neighborhood and the batch
+/// folds (advancing the seq watermark) without buffering a play or
+/// triggering refinement, so the video's dots stay byte-stable.
+pub fn inert_stream_line(video: u64, client: u64, seq: u64, far_ts: f64) -> String {
+    stream_line(
+        video,
+        client,
+        seq,
+        vec![
+            EventDto::Play { at: far_ts },
+            EventDto::Pause { at: far_ts + 1.0 },
+        ],
+    )
+}
+
+fn stream_line(video: u64, client: u64, seq: u64, events: Vec<EventDto>) -> String {
+    let mut line = serde_json::to_string(&StreamBatchDto {
+        video,
+        client,
+        seq: Some(seq),
+        events,
+    })
+    .unwrap();
+    line.push('\n');
+    line
 }
 
 pub fn healthz(client: &mut HttpClient) -> RouterHealthzResponse {

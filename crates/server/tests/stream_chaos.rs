@@ -1,0 +1,218 @@
+//! Mid-stream chaos drill: a client is streaming sequenced NDJSON
+//! batches through the router when the owning shard is SIGKILLed. Under
+//! supervisor watch the standby must take over within the promotion
+//! budget with every *acknowledged* batch intact — and the client's
+//! resume protocol (replay from the last acknowledged `seq`) must fold
+//! nothing twice.
+//!
+//! The contract under test, end to end over real processes:
+//!
+//! * a completed stream's `StreamAccepted` ack means those batches are
+//!   WAL-durable and delta-replicated — byte-identical dots on the
+//!   promoted standby;
+//! * a stream cut by the kill is **never** falsely acknowledged;
+//! * promotion lands within 5 s of the router marking the shard down;
+//! * replaying the whole session (acked prefix + unacked tail) folds
+//!   each batch at most once, and a second full replay is a pure no-op.
+
+mod harness;
+
+use harness::*;
+use lightor_platform::wire::{StreamAccepted, SupervisorStatsResponse};
+use lightor_server::cluster::{Cluster, ClusterConfig};
+use lightor_server::HttpClient;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Poll the supervisor's `/stats` until `ok` accepts a snapshot.
+fn wait_supervisor(
+    sup: SocketAddr,
+    what: &str,
+    within: Duration,
+    ok: impl Fn(&SupervisorStatsResponse) -> bool,
+) -> SupervisorStatsResponse {
+    let deadline = Instant::now() + within;
+    loop {
+        let stats = supervisor_stats(sup);
+        if ok(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never reached {what}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn mid_stream_shard_kill_loses_no_acked_batch_and_replays_clean() {
+    const SEED: u64 = 76;
+    const CLIENT: u64 = 4242;
+    let dirs: Vec<TempDir> = ["sp0", "sp1", "sstandby"]
+        .iter()
+        .map(|tag| TempDir::new(tag))
+        .collect();
+
+    let (p0, a0, catalog) = spawn_backend(&dirs[0].0, SEED, 0);
+    let (p1, a1, _) = spawn_backend(&dirs[1].0, SEED, 0);
+    let (_standby_proc, standby_addr, _) = spawn_backend(&dirs[2].0, SEED, 0);
+    let addrs = vec![a0, a1];
+    let (_router_proc, router_addr) = spawn_router(&addrs);
+
+    let ring = Cluster::new(ClusterConfig::new(addrs.clone()));
+    let vid = catalog[0];
+    let victim = ring.shard_for(vid);
+    let victim_addr = addrs[victim];
+    let mut procs = [Some(p0), Some(p1)];
+
+    let pair_spec = format!("{victim_addr},{standby_addr},{}", dirs[victim].0.display());
+    let (_sup_proc, sup_addr) = spawn_supervisor(router_addr, &[pair_spec], 100);
+    wait_supervisor(sup_addr, "bootstrap", Duration::from_secs(60), |s| {
+        let r = &s.ranges[0];
+        r.phase == "replicating" && r.bulk_syncs >= 1 && r.lag_ops == 0
+    });
+
+    // Phase 1 — a sequenced stream through the router, completed and
+    // acknowledged. Keep the exact lines for the replay later.
+    let mut reader = HttpClient::connect(router_addr).unwrap();
+    let dots: lightor_platform::wire::DotsResponse = reader
+        .get(&format!("/video/{vid}/dots"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(!dots.dots.is_empty());
+    let far_ts = dots.dots.iter().fold(0.0f64, |m, d| m.max(d.at_seconds)) + 1000.0;
+
+    const N_ACKED: u64 = 40;
+    let mut lines: Vec<String> = (1..=N_ACKED)
+        .map(|seq| {
+            let dot_at = dots.dots[(seq as usize) % dots.dots.len()].at_seconds;
+            refining_stream_line(vid, CLIENT, seq, dot_at)
+        })
+        .collect();
+
+    let mut uploader = HttpClient::connect(router_addr).unwrap();
+    uploader.start_chunked("POST", "/sessions/stream").unwrap();
+    for line in &lines {
+        uploader.send_chunk(line.as_bytes()).unwrap();
+    }
+    let resp = uploader
+        .finish_chunked(Instant::now() + Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let ack: StreamAccepted = resp.json().unwrap();
+    assert_eq!(ack.lines_accepted, N_ACKED);
+    assert_eq!(ack.batches_folded, N_ACKED);
+    assert_eq!(ack.last_seq, N_ACKED);
+    assert!(ack.dots_refined > 0, "the acked stream must refine dots");
+
+    // The acknowledged bytes, and the delta loop shipping them.
+    let acked_resp = reader.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(acked_resp.status, 200);
+    let acked_body = acked_resp.body_str().to_string();
+    wait_supervisor(
+        sup_addr,
+        "delta convergence",
+        Duration::from_secs(30),
+        |s| {
+            let r = &s.ranges[0];
+            r.deltas_shipped >= 1 && r.lag_ops == 0 && r.synced_seq > 0
+        },
+    );
+
+    // Phase 2 — a second stream is mid-flight when the shard dies. Its
+    // tail batches are inert (plays outside every dot's neighborhood)
+    // so the acknowledged dot bytes stay the ground truth regardless of
+    // how far the victim got before the SIGKILL landed.
+    const N_TAIL: u64 = 4;
+    for seq in N_ACKED + 1..=N_ACKED + N_TAIL {
+        lines.push(inert_stream_line(vid, CLIENT, seq, far_ts));
+    }
+    let mut cut = HttpClient::connect(router_addr).unwrap();
+    cut.start_chunked("POST", "/sessions/stream").unwrap();
+    for line in &lines[N_ACKED as usize..] {
+        cut.send_chunk(line.as_bytes()).unwrap();
+    }
+    // SIGKILL the owning shard while the stream is open.
+    drop(procs[victim].take());
+    // Whatever comes back, it must not be a false 200 ack: the router
+    // never retries a streamed write, so the client either sees the
+    // relay error or a dead connection (an `Err` is equally not an
+    // ack).
+    if let Ok(resp) = cut.finish_chunked(Instant::now() + Duration::from_secs(15)) {
+        assert!(
+            resp.status >= 500,
+            "a stream cut by the kill must not be acked: {} {}",
+            resp.status,
+            resp.body_str()
+        );
+    }
+
+    // Promotion budget: within 5 s of the router marking the shard
+    // down, the standby serves the acknowledged bytes.
+    wait_backend_state(router_addr, victim_addr, "down", Duration::from_secs(20));
+    let marked_down = Instant::now();
+    let promoted_in = loop {
+        let resp = reader.get(&format!("/video/{vid}/dots")).unwrap();
+        if resp.status == 200 {
+            assert_eq!(
+                resp.body_str(),
+                acked_body,
+                "promoted standby lost or mutated acknowledged batches; supervisor: {:?}",
+                supervisor_stats(sup_addr)
+            );
+            break marked_down.elapsed();
+        }
+        assert!(
+            marked_down.elapsed() < Duration::from_secs(5),
+            "standby not serving within 5s of down (last status {})",
+            resp.status
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        promoted_in < Duration::from_secs(5),
+        "promotion took {promoted_in:?}"
+    );
+    let hz = healthz(&mut reader);
+    assert_eq!(hz.ring_version, 2);
+    assert!(hz
+        .backends
+        .iter()
+        .any(|b| b.addr == standby_addr.to_string()));
+
+    // Phase 3 — the resume protocol: replay the whole session from
+    // seq 1. The acknowledged prefix must be recognized by its
+    // watermark (replicated with the state); the tail folds at most
+    // once; nothing ever folds twice.
+    let replay_body: String = lines.concat();
+    let resp = reader.post_json("/sessions/stream", &replay_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let ack: StreamAccepted = resp.json().unwrap();
+    let total = N_ACKED + N_TAIL;
+    assert_eq!(ack.lines_accepted, total);
+    assert_eq!(ack.lines_rejected, 0, "{:?}", ack.rejected);
+    assert_eq!(
+        ack.batches_folded + ack.batches_replayed,
+        total,
+        "every batch folds or replays"
+    );
+    assert!(
+        ack.batches_replayed >= N_ACKED,
+        "acked batches must replay, not refold: {ack:?}"
+    );
+    assert_eq!(ack.last_seq, total);
+    // Inert tail + replayed prefix: the acknowledged bytes still stand.
+    let resp = reader.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(resp.body_str(), acked_body, "replay mutated dot state");
+
+    // A second full replay is a pure no-op — the no-duplicates proof.
+    let resp = reader.post_json("/sessions/stream", &replay_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let ack: StreamAccepted = resp.json().unwrap();
+    assert_eq!(ack.batches_replayed, total);
+    assert_eq!(ack.batches_folded, 0);
+    let resp = reader.get(&format!("/video/{vid}/dots")).unwrap();
+    assert_eq!(resp.body_str(), acked_body, "second replay moved state");
+}

@@ -287,8 +287,14 @@ fn malformed_requests_get_the_right_status_codes() {
             400,
         ),
         (
-            b"POST /sessions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            // Chunked is supported now; an *unknown* coding is not.
+            b"POST /sessions HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
             501,
+        ),
+        (
+            // TE + Content-Length together is a smuggling vector.
+            b"POST /sessions HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\n",
+            400,
         ),
     ];
     for (raw, want) in parse_cases {
@@ -541,6 +547,77 @@ fn sample_session() -> Session {
             },
         ],
     )
+}
+
+#[test]
+fn chunked_bodies_are_decoded_for_buffered_routes() {
+    let dir = TempDir::new("chunked");
+    let (server, platform) = serve(&dir.0, 4080);
+    let vid = platform.recent_videos(platform.channels()[0].id)[0];
+    let addr = server.local_addr();
+    // Track the video first so the upload is accepted.
+    HttpClient::connect(addr)
+        .unwrap()
+        .get(&format!("/video/{}/dots", vid.0))
+        .unwrap();
+
+    // The same `POST /sessions` body, but chunked — split mid-JSON so
+    // the decoder has to reassemble across frames.
+    let body = upload_json(vid.0, &sample_session());
+    let (a, b) = body.as_bytes().split_at(body.len() / 2);
+    let mut raw =
+        b"POST /sessions HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+    for part in [a, b] {
+        raw.extend_from_slice(format!("{:x}\r\n", part.len()).as_bytes());
+        raw.extend_from_slice(part);
+        raw.extend_from_slice(b"\r\n");
+    }
+    raw.extend_from_slice(b"0\r\n\r\n");
+    let mut c = HttpClient::connect(addr).unwrap();
+    let resp = c.send_raw(&raw).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let accepted: SessionAccepted = resp.json().unwrap();
+    assert_eq!(accepted.video, vid.0);
+    server.shutdown();
+}
+
+#[test]
+fn stalled_bodies_time_out_with_408() {
+    let dir = TempDir::new("stall");
+    let platform = SimPlatform::top_channels(GameKind::Dota2, 1, 1, 4090);
+    let svc = Arc::new(
+        LightorService::open(&dir.0, models(4091), platform, ServiceConfig::default()).unwrap(),
+    );
+    let server = HttpServer::bind(
+        ("127.0.0.1", 0),
+        svc,
+        ServerConfig {
+            body_progress: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Buffered route: the declared body never arrives.
+    let mut c = HttpClient::connect(addr).unwrap();
+    let resp = c
+        .send_raw(b"POST /sessions HTTP/1.1\r\nHost: h\r\nContent-Length: 64\r\n\r\n")
+        .unwrap();
+    assert_eq!(resp.status, 408, "{}", resp.body_str());
+    assert!(resp.body_str().contains("request_timeout"));
+    assert!(resp.closed(), "a timed-out connection must close");
+
+    // Streamed route: one chunk arrives, then the uploader stalls
+    // (slowloris). The server must answer 408 on its own.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.start_chunked("POST", "/sessions/stream").unwrap();
+    c.send_chunk(br#"{"video":1,"#).unwrap();
+    let resp = c
+        .read_early_relay(std::time::Instant::now() + Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(resp.status, 408, "{}", String::from_utf8_lossy(resp.body()));
+    server.shutdown();
 }
 
 #[test]
